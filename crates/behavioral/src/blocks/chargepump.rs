@@ -1,0 +1,79 @@
+//! Charge pump.
+
+/// A charge pump converting PFD phase error into current pulses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargePump {
+    /// Pump current magnitude (A).
+    pub icp: f64,
+}
+
+impl ChargePump {
+    /// Creates a charge pump.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `icp` is not positive.
+    pub fn new(icp: f64) -> Self {
+        assert!(icp > 0.0, "charge pump current must be positive");
+        ChargePump { icp }
+    }
+
+    /// Converts a phase error into `(signed current, pulse duty)` for
+    /// one reference period: the pump sources/sinks `±icp` for a
+    /// fraction `|φe|/2π` of the period.
+    pub fn pulse(&self, phase_error: f64) -> (f64, f64) {
+        let duty = (phase_error.abs() / (2.0 * std::f64::consts::PI)).min(1.0);
+        (self.icp * phase_error.signum(), duty)
+    }
+
+    /// Average current over a reference period for a given phase error —
+    /// the linearised PFD/CP gain is `icp/2π` A/rad.
+    pub fn average_current(&self, phase_error: f64) -> f64 {
+        let (i, duty) = self.pulse(phase_error);
+        i * duty
+    }
+
+    /// Linearised gain `icp/2π` in A/rad.
+    pub fn gain(&self) -> f64 {
+        self.icp / (2.0 * std::f64::consts::PI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn pulse_sign_follows_error() {
+        let cp = ChargePump::new(100e-6);
+        let (i_up, _) = cp.pulse(0.5);
+        let (i_dn, _) = cp.pulse(-0.5);
+        assert!(i_up > 0.0 && i_dn < 0.0);
+    }
+
+    #[test]
+    fn duty_proportional_to_error() {
+        let cp = ChargePump::new(100e-6);
+        let (_, d) = cp.pulse(PI);
+        assert!((d - 0.5).abs() < 1e-12);
+        let (_, d) = cp.pulse(4.0 * PI);
+        assert_eq!(d, 1.0); // saturates at full period
+    }
+
+    #[test]
+    fn average_current_is_linear_in_error() {
+        let cp = ChargePump::new(100e-6);
+        let i1 = cp.average_current(0.1);
+        let i2 = cp.average_current(0.2);
+        assert!((i2 / i1 - 2.0).abs() < 1e-9);
+        // Matches the icp/2π small-signal gain.
+        assert!((i1 - cp.gain() * 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_current_rejected() {
+        let _ = ChargePump::new(0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Feedback divider.
+
+/// An integer feedback divider: the divider output phase advances at
+/// `1/N` of the VCO phase rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divider {
+    /// Division ratio.
+    pub n: u32,
+}
+
+impl Divider {
+    /// Creates a divider.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "divider ratio must be at least 1");
+        Divider { n }
+    }
+
+    /// Divider output phase increment for a VCO phase increment.
+    pub fn divide_phase(&self, vco_phase_increment: f64) -> f64 {
+        vco_phase_increment / self.n as f64
+    }
+
+    /// Output frequency for a VCO frequency.
+    pub fn divide_freq(&self, f_vco: f64) -> f64 {
+        f_vco / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divides_phase_and_frequency() {
+        let d = Divider::new(36);
+        assert!((d.divide_freq(900e6) - 25e6).abs() < 1e-6);
+        assert!((d.divide_phase(36.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unity_divider_is_identity() {
+        let d = Divider::new(1);
+        assert_eq!(d.divide_freq(1e9), 1e9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_ratio_panics() {
+        let _ = Divider::new(0);
+    }
+}

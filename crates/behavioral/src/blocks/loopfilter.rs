@@ -1,0 +1,179 @@
+//! Second-order passive loop filter (series R1–C1 shunted by C2).
+
+use numkit::Complex;
+
+/// The classic charge-pump PLL loop filter: R1 in series with C1, that
+/// branch in parallel with C2. The control voltage is the voltage across
+/// C2 (the filter input node).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopFilter {
+    /// Series capacitor (F).
+    pub c1: f64,
+    /// Shunt capacitor (F).
+    pub c2: f64,
+    /// Zero resistor (Ω).
+    pub r1: f64,
+    /// State: voltage across C1 (V).
+    pub v_c1: f64,
+    /// State: voltage across C2 = control voltage (V).
+    pub v_c2: f64,
+}
+
+impl LoopFilter {
+    /// Creates a filter with both capacitors pre-charged to `v_init`
+    /// (the VCO control starting point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any element value is non-positive.
+    pub fn new(c1: f64, c2: f64, r1: f64, v_init: f64) -> Self {
+        assert!(
+            c1 > 0.0 && c2 > 0.0 && r1 > 0.0,
+            "loop filter elements must be positive"
+        );
+        LoopFilter {
+            c1,
+            c2,
+            r1,
+            v_c1: v_init,
+            v_c2: v_init,
+        }
+    }
+
+    /// Control voltage (across C2).
+    pub fn vctrl(&self) -> f64 {
+        self.v_c2
+    }
+
+    /// Advances the filter by `dt` seconds with constant input current
+    /// `i_in` (RK4 on the two-state ODE).
+    ///
+    /// State equations (input current `i` into the top node):
+    /// `dv_c1/dt = (v_c2 − v_c1)/(R1·C1)`
+    /// `dv_c2/dt = (i − (v_c2 − v_c1)/R1)/C2`
+    pub fn step(&mut self, i_in: f64, dt: f64) {
+        let f = |v1: f64, v2: f64| -> (f64, f64) {
+            let i_r = (v2 - v1) / self.r1;
+            (i_r / self.c1, (i_in - i_r) / self.c2)
+        };
+        let (k1a, k1b) = f(self.v_c1, self.v_c2);
+        let (k2a, k2b) = f(self.v_c1 + 0.5 * dt * k1a, self.v_c2 + 0.5 * dt * k1b);
+        let (k3a, k3b) = f(self.v_c1 + 0.5 * dt * k2a, self.v_c2 + 0.5 * dt * k2b);
+        let (k4a, k4b) = f(self.v_c1 + dt * k3a, self.v_c2 + dt * k3b);
+        self.v_c1 += dt / 6.0 * (k1a + 2.0 * k2a + 2.0 * k3a + k4a);
+        self.v_c2 += dt / 6.0 * (k1b + 2.0 * k2b + 2.0 * k3b + k4b);
+    }
+
+    /// Trans-impedance `Z(s) = (1 + s·R1·C1) / (s·(C1+C2)·(1 + s·R1·Cs))`
+    /// with `Cs = C1·C2/(C1+C2)`.
+    pub fn impedance(&self, s: Complex) -> Complex {
+        let c_total = self.c1 + self.c2;
+        let c_series = self.c1 * self.c2 / c_total;
+        let num = Complex::ONE + s.scale(self.r1 * self.c1);
+        let den = s.scale(c_total) * (Complex::ONE + s.scale(self.r1 * c_series));
+        num / den
+    }
+
+    /// Zero frequency `1/(2π·R1·C1)` in Hz.
+    pub fn zero_freq(&self) -> f64 {
+        1.0 / (2.0 * std::f64::consts::PI * self.r1 * self.c1)
+    }
+
+    /// Parasitic pole frequency `1/(2π·R1·Cs)` in Hz.
+    pub fn pole_freq(&self) -> f64 {
+        let c_series = self.c1 * self.c2 / (self.c1 + self.c2);
+        1.0 / (2.0 * std::f64::consts::PI * self.r1 * c_series)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_current_charges_both_caps() {
+        // With constant input current and t → ∞, all current flows into
+        // C1 (C2 settles), so dv/dt → i/(C1) on v_c1? At steady ramp,
+        // both nodes ramp together at i/(C1+C2).
+        let mut f = LoopFilter::new(50e-12, 5e-12, 30e3, 0.0);
+        let i = 1e-6;
+        let dt = 1e-9;
+        for _ in 0..10_000 {
+            f.step(i, dt);
+        }
+        let t = 10_000.0 * dt;
+        let expected_slope = i / (f.c1 + f.c2);
+        // After initial transient the ramp rate matches i/(C1+C2).
+        let v_before = f.v_c2;
+        for _ in 0..1_000 {
+            f.step(i, dt);
+        }
+        let slope = (f.v_c2 - v_before) / (1_000.0 * dt);
+        assert!(
+            (slope / expected_slope - 1.0).abs() < 0.01,
+            "slope {slope} vs {expected_slope} (t = {t})"
+        );
+    }
+
+    #[test]
+    fn zero_input_holds_state() {
+        let mut f = LoopFilter::new(50e-12, 5e-12, 30e3, 0.6);
+        for _ in 0..1_000 {
+            f.step(0.0, 1e-9);
+        }
+        assert!((f.vctrl() - 0.6).abs() < 1e-9);
+        assert!((f.v_c1 - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn internal_rc_relaxation() {
+        // Start with C2 charged above C1: the difference relaxes with
+        // τ = R1·(C1·C2/(C1+C2)).
+        let mut f = LoopFilter::new(50e-12, 5e-12, 30e3, 0.0);
+        f.v_c2 = 1.0;
+        let c_series = f.c1 * f.c2 / (f.c1 + f.c2);
+        let tau = f.r1 * c_series;
+        let dt = tau / 200.0;
+        let steps = 200; // one τ
+        for _ in 0..steps {
+            f.step(0.0, dt);
+        }
+        let diff = f.v_c2 - f.v_c1;
+        // Initial difference 1.0 decays to ≈ 1/e.
+        assert!(
+            (diff - (-1.0f64).exp()).abs() < 0.02,
+            "difference after one tau: {diff}"
+        );
+    }
+
+    #[test]
+    fn impedance_magnitude_at_extremes() {
+        let f = LoopFilter::new(50e-12, 5e-12, 30e3, 0.0);
+        // Far below the zero: |Z| ≈ 1/(ω(C1+C2)) — integrator.
+        let w_lo = 2.0 * std::f64::consts::PI * 1e3;
+        let z_lo = f.impedance(Complex::new(0.0, w_lo)).abs();
+        assert!((z_lo * w_lo * (f.c1 + f.c2) - 1.0).abs() < 0.01);
+        // Between zero and parasitic pole: |Z| ≈ R1·C1/(C1+C2).
+        let w_mid = 2.0
+            * std::f64::consts::PI
+            * (f.zero_freq() * f.pole_freq()).sqrt();
+        let z_mid = f.impedance(Complex::new(0.0, w_mid)).abs();
+        let plateau = f.r1 * f.c1 / (f.c1 + f.c2);
+        assert!(
+            (z_mid / plateau - 1.0).abs() < 0.5,
+            "plateau {z_mid} vs {plateau}"
+        );
+    }
+
+    #[test]
+    fn zero_below_pole() {
+        let f = LoopFilter::new(50e-12, 5e-12, 30e3, 0.0);
+        assert!(f.zero_freq() < f.pole_freq());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_elements() {
+        let _ = LoopFilter::new(0.0, 5e-12, 30e3, 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! The individual behavioural PLL blocks (after Kundert).
+
+pub mod chargepump;
+pub mod divider;
+pub mod loopfilter;
+pub mod pfd;
+pub mod vco;
+
+pub use chargepump::ChargePump;
+pub use divider::Divider;
+pub use loopfilter::LoopFilter;
+pub use pfd::Pfd;
+pub use vco::VcoBlock;

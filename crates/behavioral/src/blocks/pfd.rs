@@ -1,0 +1,69 @@
+//! Phase-frequency detector.
+
+/// A tri-state phase-frequency detector.
+///
+/// The PFD compares reference and divider phases and outputs UP/DOWN
+/// pulses whose net width is proportional to the phase error. Its
+/// linear range is ±2π; beyond that a real PFD cycle-slips, which the
+/// behavioural model reproduces by wrapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pfd;
+
+impl Pfd {
+    /// Creates a PFD.
+    pub fn new() -> Self {
+        Pfd
+    }
+
+    /// Phase error `θref − θdiv` saturated to the PFD's ±2π output
+    /// range. A tri-state PFD is also a frequency detector: under a
+    /// sustained frequency error its output pegs at a full-period pulse
+    /// rather than wrapping, which is what pulls the loop in during
+    /// acquisition.
+    pub fn phase_error(&self, theta_ref: f64, theta_div: f64) -> f64 {
+        let two_pi = 2.0 * std::f64::consts::PI;
+        (theta_ref - theta_div).clamp(-two_pi, two_pi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn small_errors_pass_through() {
+        let pfd = Pfd::new();
+        assert!((pfd.phase_error(1.0, 0.5) - 0.5).abs() < 1e-12);
+        assert!((pfd.phase_error(0.5, 1.0) + 0.5).abs() < 1e-12);
+        assert_eq!(pfd.phase_error(7.0, 7.0), 0.0);
+    }
+
+    #[test]
+    fn linear_up_to_two_pi() {
+        let pfd = Pfd::new();
+        let e = pfd.phase_error(1.9 * PI, 0.0);
+        assert!((e - 1.9 * PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturates_beyond_two_pi() {
+        let pfd = Pfd::new();
+        // Sustained frequency error: the PFD pegs at a full-cycle pulse
+        // instead of wrapping (frequency-detector behaviour).
+        let e = pfd.phase_error(7.5 * PI, 0.0);
+        assert!((e - 2.0 * PI).abs() < 1e-12, "got {e}");
+        let e = pfd.phase_error(0.0, 7.5 * PI);
+        assert!((e + 2.0 * PI).abs() < 1e-12, "got {e}");
+    }
+
+    #[test]
+    fn error_is_antisymmetric() {
+        let pfd = Pfd::new();
+        for d in [0.3, 1.0, 3.0, 5.5] {
+            let a = pfd.phase_error(d, 0.0);
+            let b = pfd.phase_error(0.0, d);
+            assert!((a + b).abs() < 1e-9, "asymmetry at {d}: {a} vs {b}");
+        }
+    }
+}

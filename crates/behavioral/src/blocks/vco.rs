@@ -1,0 +1,105 @@
+//! Behavioural VCO block.
+
+/// The behavioural VCO: linear tuning around a reference control
+/// voltage, clamped to the achievable frequency range interpolated from
+/// the transistor-level characterisation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VcoBlock {
+    /// Gain (Hz/V).
+    pub kvco: f64,
+    /// Frequency at `vctrl_ref` (Hz).
+    pub f0: f64,
+    /// Control voltage where the VCO runs at `f0` (V).
+    pub vctrl_ref: f64,
+    /// Minimum achievable frequency (Hz).
+    pub fmin: f64,
+    /// Maximum achievable frequency (Hz).
+    pub fmax: f64,
+}
+
+impl VcoBlock {
+    /// Creates a VCO block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is inverted or the gain non-positive.
+    pub fn new(kvco: f64, f0: f64, vctrl_ref: f64, fmin: f64, fmax: f64) -> Self {
+        assert!(kvco > 0.0, "vco gain must be positive");
+        assert!(fmin < fmax, "vco frequency range inverted");
+        assert!(
+            (fmin..=fmax).contains(&f0),
+            "f0 must lie inside the frequency range"
+        );
+        VcoBlock {
+            kvco,
+            f0,
+            vctrl_ref,
+            fmin,
+            fmax,
+        }
+    }
+
+    /// Instantaneous frequency for a control voltage, clamped to the
+    /// achievable range.
+    pub fn freq(&self, vctrl: f64) -> f64 {
+        (self.f0 + self.kvco * (vctrl - self.vctrl_ref)).clamp(self.fmin, self.fmax)
+    }
+
+    /// Control voltage needed for frequency `f` (inverse tuning law,
+    /// unclamped — callers check range feasibility separately).
+    pub fn vctrl_for(&self, f: f64) -> f64 {
+        self.vctrl_ref + (f - self.f0) / self.kvco
+    }
+
+    /// Whether a target frequency is inside the achievable range.
+    pub fn can_reach(&self, f: f64) -> bool {
+        (self.fmin..=self.fmax).contains(&f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vco() -> VcoBlock {
+        VcoBlock::new(1e9, 0.9e9, 0.6, 0.3e9, 2.0e9)
+    }
+
+    #[test]
+    fn linear_tuning_inside_range() {
+        let v = vco();
+        assert_eq!(v.freq(0.6), 0.9e9);
+        assert!((v.freq(0.7) - 1.0e9).abs() < 1.0);
+        assert!((v.freq(0.5) - 0.8e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn clamps_at_range_edges() {
+        let v = vco();
+        assert_eq!(v.freq(10.0), 2.0e9);
+        assert_eq!(v.freq(-10.0), 0.3e9);
+    }
+
+    #[test]
+    fn inverse_tuning_law_round_trips() {
+        let v = vco();
+        for f in [0.5e9, 0.9e9, 1.5e9] {
+            let vc = v.vctrl_for(f);
+            assert!((v.freq(vc) - f).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn reachability() {
+        let v = vco();
+        assert!(v.can_reach(1.2e9));
+        assert!(!v.can_reach(2.5e9));
+        assert!(!v.can_reach(0.1e9));
+    }
+
+    #[test]
+    #[should_panic(expected = "range inverted")]
+    fn inverted_range_panics() {
+        let _ = VcoBlock::new(1e9, 0.9e9, 0.6, 2.0e9, 0.3e9);
+    }
+}

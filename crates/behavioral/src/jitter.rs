@@ -1,0 +1,214 @@
+//! Output-jitter accumulation (Kundert's behavioural jitter model).
+//!
+//! The paper's VCO behavioural model (Listing 2) converts the VCO period
+//! jitter into an accumulated per-edge dither
+//! `delta = jvco·√(2·ratio)` where `ratio` is the output-to-reference
+//! frequency ratio (the divider N) — edges accumulate `2N` independent
+//! jitter contributions between phase corrections. On top of the VCO
+//! contribution the PFD/charge-pump/divider add a white floor.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Jitter floor contributed by the non-VCO blocks (PFD, charge pump,
+/// divider, buffers), in seconds. Calibrated so the system-level jitter
+/// sums land in the paper's Table 2 magnitude window (≈ 4.2–4.4 ps for
+/// sub-picosecond VCO jitter).
+pub const PLL_JITTER_FLOOR: f64 = 4.15e-12;
+
+/// Jitter summary of a PLL operating point: nominal plus the corner
+/// values propagated from the VCO variation model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterSummary {
+    /// Nominal output jitter sum (s).
+    pub nominal: f64,
+    /// Minimum-corner jitter (s).
+    pub min: f64,
+    /// Maximum-corner jitter (s).
+    pub max: f64,
+}
+
+/// Kundert accumulation: the per-reference-cycle jitter of a VCO with
+/// period jitter `jvco` running `ratio` cycles per reference cycle.
+///
+/// # Panics
+///
+/// Panics if `jvco` is negative or `ratio` is zero.
+pub fn accumulated_vco_jitter(jvco: f64, ratio: u32) -> f64 {
+    assert!(jvco >= 0.0, "jitter must be non-negative");
+    assert!(ratio > 0, "frequency ratio must be positive");
+    jvco * (2.0 * ratio as f64).sqrt()
+}
+
+/// Total PLL output jitter: VCO accumulation combined (RSS) with the
+/// fixed block floor.
+pub fn pll_jitter_sum(jvco: f64, ratio: u32) -> f64 {
+    let vco = accumulated_vco_jitter(jvco, ratio);
+    (vco * vco + PLL_JITTER_FLOOR * PLL_JITTER_FLOOR).sqrt()
+}
+
+/// Jitter summary across the VCO variation corners, mirroring the
+/// paper's use of `jvco`, `jvco_min`, `jvco_max` in Listing 2.
+///
+/// # Panics
+///
+/// Panics if the corner ordering is violated (`min > nominal` or
+/// `nominal > max`).
+pub fn jitter_summary(jvco_nom: f64, jvco_min: f64, jvco_max: f64, ratio: u32) -> JitterSummary {
+    assert!(
+        jvco_min <= jvco_nom && jvco_nom <= jvco_max,
+        "jitter corners must be ordered: {jvco_min} <= {jvco_nom} <= {jvco_max}"
+    );
+    JitterSummary {
+        nominal: pll_jitter_sum(jvco_nom, ratio),
+        min: pll_jitter_sum(jvco_min, ratio),
+        max: pll_jitter_sum(jvco_max, ratio),
+    }
+}
+
+/// Converts white (period) jitter into the single-sideband phase-noise
+/// level at offset `delta_f` from the carrier, per Kundert:
+/// `L(Δf) = jvco²·f0³ / Δf²` (the −20 dB/decade region of a free-running
+/// oscillator), returned in dBc/Hz.
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn phase_noise_dbc(jvco: f64, f0: f64, delta_f: f64) -> f64 {
+    assert!(
+        jvco > 0.0 && f0 > 0.0 && delta_f > 0.0,
+        "phase-noise arguments must be positive"
+    );
+    10.0 * (jvco * jvco * f0 * f0 * f0 / (delta_f * delta_f)).log10()
+}
+
+/// Simulates jittered oscillator edges: each period is the nominal
+/// period plus an independent Gaussian deviation of `jvco` — the
+/// discrete-time model behind the paper's Listing 2
+/// (`dt = delta·$rdist_normal(seed,0,1)`). Returns the absolute edge
+/// times of `cycles` periods.
+///
+/// # Panics
+///
+/// Panics if `period <= 0`, `jvco < 0` or `cycles == 0`.
+pub fn simulate_jittered_edges<R: Rng + ?Sized>(
+    rng: &mut R,
+    period: f64,
+    jvco: f64,
+    cycles: usize,
+) -> Vec<f64> {
+    assert!(period > 0.0, "period must be positive");
+    assert!(jvco >= 0.0, "jitter must be non-negative");
+    assert!(cycles > 0, "need at least one cycle");
+    let mut t = 0.0;
+    let mut edges = Vec::with_capacity(cycles);
+    for _ in 0..cycles {
+        t += period + numkit::dist::normal(rng, 0.0, jvco);
+        edges.push(t);
+    }
+    edges
+}
+
+/// Accumulated timing error after `k` periods, measured against the
+/// ideal grid, for each starting edge — the random-walk statistic whose
+/// standard deviation grows as `jvco·√k` (the basis of the `√(2N)`
+/// accumulation rule).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `edges.len() <= k`.
+pub fn k_cycle_errors(edges: &[f64], period: f64, k: usize) -> Vec<f64> {
+    assert!(k > 0, "k must be positive");
+    assert!(edges.len() > k, "need more than k edges");
+    edges
+        .windows(k + 1)
+        .map(|w| (w[k] - w[0]) - k as f64 * period)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_follows_sqrt_2n() {
+        let j = accumulated_vco_jitter(0.2e-12, 36);
+        assert!((j - 0.2e-12 * 72f64.sqrt()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn jitter_sum_magnitude_matches_table2() {
+        // VCO jitter 0.1–0.4 ps, N = 36 → sums ≈ 4.2–4.7 ps as in Table 2.
+        for jvco in [0.11e-12, 0.2e-12, 0.36e-12] {
+            let sum = pll_jitter_sum(jvco, 36);
+            assert!(
+                (4.0e-12..5.5e-12).contains(&sum),
+                "jitter sum {sum:.3e} for jvco {jvco:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn floor_dominates_small_vco_jitter() {
+        let tiny = pll_jitter_sum(1e-15, 36);
+        assert!((tiny - PLL_JITTER_FLOOR).abs() < 0.01 * PLL_JITTER_FLOOR);
+    }
+
+    #[test]
+    fn summary_preserves_corner_order() {
+        let s = jitter_summary(0.2e-12, 0.15e-12, 0.26e-12, 36);
+        assert!(s.min <= s.nominal && s.nominal <= s.max);
+        assert!(s.max - s.min > 0.0);
+    }
+
+    #[test]
+    fn more_division_means_more_accumulation() {
+        assert!(pll_jitter_sum(0.3e-12, 48) > pll_jitter_sum(0.3e-12, 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn unordered_corners_panic() {
+        let _ = jitter_summary(0.1e-12, 0.2e-12, 0.3e-12, 36);
+    }
+
+    #[test]
+    fn phase_noise_magnitude_and_slope() {
+        // 0.2 ps on a 900 MHz carrier → ≈ −105 dBc/Hz at 1 MHz offset.
+        let l1m = phase_noise_dbc(0.2e-12, 900e6, 1e6);
+        assert!((-112.0..=-98.0).contains(&l1m), "L(1MHz) = {l1m}");
+        // −20 dB/decade.
+        let l10m = phase_noise_dbc(0.2e-12, 900e6, 10e6);
+        assert!((l1m - l10m - 20.0).abs() < 1e-9);
+        // Lower jitter → lower phase noise.
+        assert!(phase_noise_dbc(0.1e-12, 900e6, 1e6) < l1m);
+    }
+
+    #[test]
+    fn random_walk_matches_sqrt_k_law() {
+        let mut rng = numkit::dist::seeded_rng(42);
+        let period = 1e-9;
+        let jvco = 0.5e-12;
+        let edges = simulate_jittered_edges(&mut rng, period, jvco, 20_000);
+        for k in [1usize, 4, 16] {
+            let errors = k_cycle_errors(&edges, period, k);
+            let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+            let sigma = (errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
+                / errors.len() as f64)
+                .sqrt();
+            let expected = jvco * (k as f64).sqrt();
+            assert!(
+                (sigma / expected - 1.0).abs() < 0.12,
+                "k={k}: sigma {sigma:.3e} vs jvco*sqrt(k) {expected:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn edges_are_monotone_for_small_jitter() {
+        let mut rng = numkit::dist::seeded_rng(7);
+        let edges = simulate_jittered_edges(&mut rng, 1e-9, 1e-12, 1_000);
+        assert!(edges.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(edges.len(), 1_000);
+    }
+}

@@ -1,0 +1,198 @@
+//! s-domain loop analysis of the charge-pump PLL.
+//!
+//! Open-loop transfer function (phase domain):
+//! `G(s) = Kφ · Z(s) · Kv / (s·N)` with `Kφ = Icp/2π` (A/rad),
+//! `Kv = 2π·Kvco` (rad/s/V) and `Z(s)` the loop-filter trans-impedance —
+//! the 2π factors cancel, so `G(s) = Icp·Kvco·Z(s)/(s·N)`.
+//!
+//! The classic second-order approximations (ignoring C2) give
+//! `ωn = √(Icp·Kvco/(N·C1))` and `ζ = R1·C1·ωn/2`; the phase margin is
+//! computed exactly from the third-order loop numerically.
+
+use numkit::Complex;
+
+use crate::blocks::LoopFilter;
+use crate::params::PllParams;
+
+/// Results of the s-domain loop analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopAnalysis {
+    /// Natural frequency ωn (rad/s), second-order approximation.
+    pub omega_n: f64,
+    /// Damping factor ζ, second-order approximation.
+    pub zeta: f64,
+    /// Unity-gain (crossover) frequency of the full loop (Hz).
+    pub crossover_hz: f64,
+    /// Phase margin at crossover (degrees).
+    pub phase_margin_deg: f64,
+}
+
+impl LoopAnalysis {
+    /// Analyses the loop described by `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters fail [`PllParams::validate`] — callers
+    /// should validate first when handling user input.
+    pub fn of(params: &PllParams) -> Self {
+        params
+            .validate()
+            .unwrap_or_else(|m| panic!("invalid pll parameters: {m}"));
+        let n = params.divider as f64;
+        let omega_n = (params.icp * params.kvco / (n * params.c1)).sqrt();
+        let zeta = params.r1 * params.c1 * omega_n / 2.0;
+
+        let filter = LoopFilter::new(params.c1, params.c2, params.r1, 0.0);
+        let open_loop = |w: f64| -> Complex {
+            let s = Complex::new(0.0, w);
+            let z = filter.impedance(s);
+            z.scale(params.icp * params.kvco) / (s.scale(n))
+        };
+
+        // Find |G(jw)| = 1 by bisection on a log axis.
+        let mut w_lo = omega_n * 1e-3;
+        let mut w_hi = omega_n * 1e3;
+        // Ensure the bracket actually brackets unity gain.
+        for _ in 0..60 {
+            if open_loop(w_lo).abs() > 1.0 {
+                break;
+            }
+            w_lo *= 0.5;
+        }
+        for _ in 0..60 {
+            if open_loop(w_hi).abs() < 1.0 {
+                break;
+            }
+            w_hi *= 2.0;
+        }
+        for _ in 0..100 {
+            let w_mid = (w_lo * w_hi).sqrt();
+            if open_loop(w_mid).abs() > 1.0 {
+                w_lo = w_mid;
+            } else {
+                w_hi = w_mid;
+            }
+        }
+        let w_c = (w_lo * w_hi).sqrt();
+        let phase = open_loop(w_c).arg().to_degrees();
+        LoopAnalysis {
+            omega_n,
+            zeta,
+            crossover_hz: w_c / (2.0 * std::f64::consts::PI),
+            phase_margin_deg: 180.0 + phase,
+        }
+    }
+
+    /// Whether the loop is acceptably stable: positive phase margin with
+    /// engineering headroom, and the loop bandwidth below `fref/10`
+    /// (the discrete-time stability rule of thumb for CP-PLLs).
+    pub fn is_stable(&self, fref: f64) -> bool {
+        self.phase_margin_deg > 20.0 && self.crossover_hz < fref / 10.0 * 2.0
+    }
+
+    /// Analytic lock-time estimate: the time for the frequency error to
+    /// decay from `f_err_initial` to `f_tol`, governed by the dominant
+    /// closed-loop pole (`ζωn` underdamped, `ωn/2ζ` overdamped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency argument is non-positive.
+    pub fn lock_time_estimate(&self, f_err_initial: f64, f_tol: f64) -> f64 {
+        assert!(
+            f_err_initial > 0.0 && f_tol > 0.0,
+            "frequencies must be positive"
+        );
+        if f_err_initial <= f_tol {
+            return 0.0;
+        }
+        let decay = if self.zeta < 1.0 {
+            self.zeta * self.omega_n
+        } else {
+            // Overdamped: the slow pole dominates.
+            self.omega_n * (self.zeta - (self.zeta * self.zeta - 1.0).sqrt())
+        };
+        (f_err_initial / f_tol).ln() / decay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timesim::{simulate_lock, LockSimConfig};
+
+    #[test]
+    fn nominal_loop_constants() {
+        let p = PllParams::nominal();
+        let a = LoopAnalysis::of(&p);
+        // Hand calculation: ωn = sqrt(50µ·1G/(18·30p)) ≈ 9.62e6 rad/s.
+        assert!((a.omega_n - 9.62e6).abs() < 0.05e6, "ωn {}", a.omega_n);
+        assert!((a.zeta - 0.72).abs() < 0.05, "ζ {}", a.zeta);
+        assert!(a.phase_margin_deg > 30.0, "pm {}", a.phase_margin_deg);
+        assert!(a.is_stable(p.fref));
+    }
+
+    #[test]
+    fn crossover_near_natural_frequency_for_moderate_damping() {
+        let a = LoopAnalysis::of(&PllParams::nominal());
+        let ratio = a.crossover_hz * 2.0 * std::f64::consts::PI / a.omega_n;
+        assert!(
+            (0.5..5.0).contains(&ratio),
+            "crossover/ωn ratio {ratio} implausible"
+        );
+    }
+
+    #[test]
+    fn shrinking_r1_reduces_damping_and_margin() {
+        let p = PllParams::nominal();
+        let mut p_low = p;
+        p_low.r1 = p.r1 / 10.0;
+        let a = LoopAnalysis::of(&p);
+        let a_low = LoopAnalysis::of(&p_low);
+        assert!(a_low.zeta < a.zeta / 5.0);
+        assert!(a_low.phase_margin_deg < a.phase_margin_deg);
+    }
+
+    #[test]
+    fn big_c2_eats_phase_margin() {
+        let p = PllParams::nominal();
+        let mut p_bad = p;
+        p_bad.c2 = p.c1; // parasitic pole lands on the zero
+        let a = LoopAnalysis::of(&p);
+        let a_bad = LoopAnalysis::of(&p_bad);
+        assert!(a_bad.phase_margin_deg < a.phase_margin_deg - 10.0);
+    }
+
+    #[test]
+    fn lock_estimate_tracks_simulation_magnitude() {
+        let p = PllParams::nominal();
+        let a = LoopAnalysis::of(&p);
+        let sim = simulate_lock(&p, &LockSimConfig::default()).unwrap();
+        let f_err0 = (p.f_target() - p.fmin).abs();
+        let est = a.lock_time_estimate(f_err0, 0.002 * p.f_target());
+        let measured = sim.lock_time.unwrap();
+        let ratio = measured / est;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "estimate {est:.3e} vs simulated {measured:.3e}"
+        );
+    }
+
+    #[test]
+    fn lock_estimate_zero_when_already_in_tolerance() {
+        let a = LoopAnalysis::of(&PllParams::nominal());
+        assert_eq!(a.lock_time_estimate(1.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn overdamped_estimate_uses_slow_pole() {
+        let p = PllParams::nominal();
+        let mut p_over = p;
+        p_over.r1 = p.r1 * 10.0; // ζ ≈ 7.5
+        let a = LoopAnalysis::of(&p_over);
+        assert!(a.zeta > 3.0);
+        let t = a.lock_time_estimate(600e6, 1.8e6);
+        // Slow pole ωn/(2ζ) → decay much slower than ζωn would suggest.
+        let naive = (600f64 / 1.8).ln() / (a.zeta * a.omega_n);
+        assert!(t > 5.0 * naive);
+    }
+}

@@ -1,0 +1,141 @@
+//! The PLL specification window of the paper's §4.
+
+use serde::{Deserialize, Serialize};
+
+/// System-level PLL specifications (paper §4: output 500 MHz–1.2 GHz,
+/// lock time < 1 µs, current < 15 mA, jitter minimised).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PllSpec {
+    /// Lowest output frequency the PLL must reach (Hz).
+    pub f_out_min: f64,
+    /// Highest output frequency the PLL must reach (Hz).
+    pub f_out_max: f64,
+    /// Maximum lock time (s).
+    pub lock_time_max: f64,
+    /// Maximum total supply current (A).
+    pub current_max: f64,
+}
+
+impl Default for PllSpec {
+    fn default() -> Self {
+        PllSpec {
+            f_out_min: 500e6,
+            f_out_max: 1.2e9,
+            lock_time_max: 1e-6,
+            current_max: 15e-3,
+        }
+    }
+}
+
+/// Measured (or predicted) PLL performance to check against a spec.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PllPerformance {
+    /// VCO minimum frequency (Hz).
+    pub fmin: f64,
+    /// VCO maximum frequency (Hz).
+    pub fmax: f64,
+    /// Lock time (s); infinite when the loop failed to lock.
+    pub lock_time: f64,
+    /// Output jitter sum (s).
+    pub jitter: f64,
+    /// Total supply current (A).
+    pub current: f64,
+}
+
+impl PllSpec {
+    /// Checks a performance point, returning the list of violated
+    /// requirements (empty = pass).
+    pub fn violations(&self, perf: &PllPerformance) -> Vec<String> {
+        let mut v = Vec::new();
+        if perf.fmin > self.f_out_min {
+            v.push(format!(
+                "vco cannot reach {:.3e} Hz (fmin {:.3e})",
+                self.f_out_min, perf.fmin
+            ));
+        }
+        if perf.fmax < self.f_out_max {
+            v.push(format!(
+                "vco cannot reach {:.3e} Hz (fmax {:.3e})",
+                self.f_out_max, perf.fmax
+            ));
+        }
+        if !(perf.lock_time <= self.lock_time_max) {
+            v.push(format!(
+                "lock time {:.3e} exceeds {:.3e}",
+                perf.lock_time, self.lock_time_max
+            ));
+        }
+        if perf.current > self.current_max {
+            v.push(format!(
+                "current {:.3e} exceeds {:.3e}",
+                perf.current, self.current_max
+            ));
+        }
+        v
+    }
+
+    /// Whether a performance point meets every requirement.
+    pub fn passes(&self, perf: &PllPerformance) -> bool {
+        self.violations(perf).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_perf() -> PllPerformance {
+        PllPerformance {
+            fmin: 400e6,
+            fmax: 1.5e9,
+            lock_time: 0.8e-6,
+            jitter: 4.3e-12,
+            current: 14e-3,
+        }
+    }
+
+    #[test]
+    fn passing_point_passes() {
+        let spec = PllSpec::default();
+        assert!(spec.passes(&good_perf()));
+        assert!(spec.violations(&good_perf()).is_empty());
+    }
+
+    #[test]
+    fn each_violation_is_reported() {
+        let spec = PllSpec::default();
+        let mut p = good_perf();
+        p.fmin = 600e6;
+        assert_eq!(spec.violations(&p).len(), 1);
+        let mut p = good_perf();
+        p.fmax = 1.0e9;
+        assert_eq!(spec.violations(&p).len(), 1);
+        let mut p = good_perf();
+        p.lock_time = 2e-6;
+        assert_eq!(spec.violations(&p).len(), 1);
+        let mut p = good_perf();
+        p.current = 20e-3;
+        assert_eq!(spec.violations(&p).len(), 1);
+    }
+
+    #[test]
+    fn unlocked_loop_fails() {
+        let spec = PllSpec::default();
+        let mut p = good_perf();
+        p.lock_time = f64::INFINITY;
+        assert!(!spec.passes(&p));
+    }
+
+    #[test]
+    fn multiple_violations_accumulate() {
+        let spec = PllSpec::default();
+        let p = PllPerformance {
+            fmin: 800e6,
+            fmax: 1.0e9,
+            lock_time: 5e-6,
+            jitter: 1e-11,
+            current: 50e-3,
+        };
+        assert_eq!(spec.violations(&p).len(), 4);
+    }
+}

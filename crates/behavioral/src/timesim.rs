@@ -1,0 +1,316 @@
+//! Phase-domain lock-transient simulation.
+//!
+//! The PLL is stepped one reference cycle at a time (the standard
+//! discrete-time charge-pump PLL model): each cycle the PFD produces a
+//! phase error, the charge pump converts it into a current pulse, the
+//! loop filter integrates the pulse over the cycle (RK4 substeps) and
+//! the VCO/divider phase advances with the instantaneous frequency.
+//! This reproduces the paper's Fig 8 locking transient and yields the
+//! lock time used as a system-level objective.
+
+use std::fmt;
+
+use crate::blocks::{ChargePump, Divider, LoopFilter, Pfd, VcoBlock};
+use crate::params::PllParams;
+
+/// Error from the lock simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulatePllError {
+    /// The parameter bundle failed validation.
+    BadParams(String),
+    /// The target output frequency is outside the VCO range.
+    Unreachable {
+        /// Target output frequency (Hz).
+        f_target: f64,
+        /// VCO minimum (Hz).
+        fmin: f64,
+        /// VCO maximum (Hz).
+        fmax: f64,
+    },
+}
+
+impl fmt::Display for SimulatePllError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimulatePllError::BadParams(m) => write!(f, "bad pll parameters: {m}"),
+            SimulatePllError::Unreachable {
+                f_target,
+                fmin,
+                fmax,
+            } => write!(
+                f,
+                "target {f_target:.3e} Hz outside vco range [{fmin:.3e}, {fmax:.3e}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimulatePllError {}
+
+/// Lock-simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LockSimConfig {
+    /// Maximum reference cycles to simulate.
+    pub max_ref_cycles: usize,
+    /// Loop-filter integration substeps per reference cycle.
+    pub substeps: usize,
+    /// Relative frequency tolerance declaring lock.
+    pub lock_tol_rel: f64,
+    /// Consecutive in-tolerance cycles required to declare lock.
+    pub lock_hold_cycles: usize,
+    /// Initial control voltage (V).
+    pub v_init: f64,
+}
+
+impl Default for LockSimConfig {
+    fn default() -> Self {
+        LockSimConfig {
+            max_ref_cycles: 200,
+            substeps: 16,
+            lock_tol_rel: 0.002,
+            lock_hold_cycles: 10,
+            v_init: 0.0,
+        }
+    }
+}
+
+/// Result of a lock simulation: the control-voltage and frequency
+/// transients plus the detected lock time.
+#[derive(Debug, Clone)]
+pub struct LockResult {
+    /// Lock time (s), or `None` if the loop never settled.
+    pub lock_time: Option<f64>,
+    /// Sample times (s).
+    pub times: Vec<f64>,
+    /// Control-voltage transient (V).
+    pub vctrl: Vec<f64>,
+    /// VCO frequency transient (Hz).
+    pub freq: Vec<f64>,
+    /// Final VCO frequency (Hz).
+    pub final_freq: f64,
+    /// Final control voltage (V).
+    pub final_vctrl: f64,
+}
+
+impl LockResult {
+    /// Whether the loop locked within the simulated window.
+    pub fn locked(&self) -> bool {
+        self.lock_time.is_some()
+    }
+}
+
+/// Simulates the PLL locking transient.
+///
+/// # Errors
+///
+/// Returns [`SimulatePllError::BadParams`] for invalid parameters and
+/// [`SimulatePllError::Unreachable`] when `N·fref` lies outside the VCO
+/// range (the loop would slam into a rail and never lock).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn simulate_lock(
+    params: &PllParams,
+    cfg: &LockSimConfig,
+) -> Result<LockResult, SimulatePllError> {
+    params.validate().map_err(SimulatePllError::BadParams)?;
+    let f_target = params.f_target();
+    let vco = VcoBlock::new(
+        params.kvco,
+        params.f0,
+        params.vctrl_ref,
+        params.fmin,
+        params.fmax,
+    );
+    if !vco.can_reach(f_target) {
+        return Err(SimulatePllError::Unreachable {
+            f_target,
+            fmin: params.fmin,
+            fmax: params.fmax,
+        });
+    }
+    assert!(cfg.substeps >= 2, "need at least 2 substeps per cycle");
+    assert!(cfg.max_ref_cycles >= cfg.lock_hold_cycles + 1);
+
+    let pfd = Pfd::new();
+    let cp = ChargePump::new(params.icp);
+    let divider = Divider::new(params.divider);
+    let mut filter = LoopFilter::new(params.c1, params.c2, params.r1, cfg.v_init);
+
+    let t_ref = 1.0 / params.fref;
+    let dt = t_ref / cfg.substeps as f64;
+    let two_pi = 2.0 * std::f64::consts::PI;
+
+    let mut theta_ref = 0.0f64;
+    let mut theta_vco = 0.0f64;
+    let mut time = 0.0f64;
+
+    let total = cfg.max_ref_cycles * cfg.substeps;
+    let mut times = Vec::with_capacity(total + 1);
+    let mut vctrl = Vec::with_capacity(total + 1);
+    let mut freq = Vec::with_capacity(total + 1);
+    times.push(0.0);
+    vctrl.push(filter.vctrl());
+    freq.push(vco.freq(filter.vctrl()));
+
+    let mut lock_candidate: Option<f64> = None;
+    let mut hold = 0usize;
+    let mut lock_time = None;
+
+    for _cycle in 0..cfg.max_ref_cycles {
+        let theta_div = divider.divide_phase(theta_vco);
+        let phase_error = pfd.phase_error(theta_ref, theta_div);
+        let (i_pump, duty) = cp.pulse(phase_error);
+
+        let theta_cycle_start = theta_vco;
+        for j in 0..cfg.substeps {
+            // Exact-charge discretisation: weight the pump current by
+            // the overlap of this substep with the pulse window, so the
+            // delivered charge matches the ideal pulse regardless of
+            // substep count.
+            let lo = j as f64 / cfg.substeps as f64;
+            let hi = (j + 1) as f64 / cfg.substeps as f64;
+            let overlap = (duty.min(hi) - lo).max(0.0);
+            let i_now = i_pump * overlap * cfg.substeps as f64;
+            filter.step(i_now, dt);
+            let f_now = vco.freq(filter.vctrl());
+            theta_vco += two_pi * f_now * dt;
+            time += dt;
+            times.push(time);
+            vctrl.push(filter.vctrl());
+            freq.push(f_now);
+        }
+        theta_ref += two_pi;
+
+        // Lock detector: the cycle-averaged VCO frequency (phase
+        // increment over the reference period) within tolerance for
+        // `lock_hold_cycles` consecutive cycles. The instantaneous
+        // frequency carries charge-pump ripple (Icp·R1 spikes across
+        // C2) and would never settle to tolerance.
+        let f_avg = (theta_vco - theta_cycle_start) / (two_pi * t_ref);
+        let f_err = (f_avg - f_target).abs() / f_target;
+        if f_err <= cfg.lock_tol_rel {
+            if lock_candidate.is_none() {
+                lock_candidate = Some(time - t_ref);
+            }
+            hold += 1;
+            if hold >= cfg.lock_hold_cycles && lock_time.is_none() {
+                lock_time = lock_candidate;
+            }
+        } else {
+            lock_candidate = None;
+            hold = 0;
+        }
+    }
+
+    Ok(LockResult {
+        lock_time,
+        final_freq: *freq.last().expect("samples recorded"),
+        final_vctrl: *vctrl.last().expect("samples recorded"),
+        times,
+        vctrl,
+        freq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_pll_locks_to_target() {
+        let p = PllParams::nominal();
+        let r = simulate_lock(&p, &LockSimConfig::default()).unwrap();
+        assert!(r.locked(), "nominal loop must lock");
+        let f_err = (r.final_freq - p.f_target()).abs() / p.f_target();
+        assert!(f_err < 0.005, "final frequency error {f_err}");
+        // Lock in the paper's magnitude window (< ~2 µs).
+        assert!(r.lock_time.unwrap() < 3e-6);
+    }
+
+    #[test]
+    fn lock_time_positive_and_before_end() {
+        let p = PllParams::nominal();
+        let cfg = LockSimConfig::default();
+        let r = simulate_lock(&p, &cfg).unwrap();
+        let lt = r.lock_time.unwrap();
+        assert!(lt > 0.0);
+        assert!(lt < *r.times.last().unwrap());
+    }
+
+    #[test]
+    fn unreachable_target_is_reported() {
+        let mut p = PllParams::nominal();
+        p.divider = 120; // 3 GHz target > fmax
+        let err = simulate_lock(&p, &LockSimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimulatePllError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn stiffer_filter_locks_slower() {
+        let p_fast = PllParams::nominal();
+        let mut p_slow = p_fast;
+        p_slow.c1 *= 8.0; // lower loop bandwidth
+        p_slow.r1 *= 2.0;
+        let cfg = LockSimConfig {
+            max_ref_cycles: 1200,
+            ..Default::default()
+        };
+        let fast = simulate_lock(&p_fast, &cfg).unwrap();
+        let slow = simulate_lock(&p_slow, &cfg).unwrap();
+        assert!(fast.locked() && slow.locked());
+        assert!(
+            slow.lock_time.unwrap() > fast.lock_time.unwrap(),
+            "slow {:?} vs fast {:?}",
+            slow.lock_time,
+            fast.lock_time
+        );
+    }
+
+    #[test]
+    fn vctrl_settles_to_inverse_tuning_voltage() {
+        let p = PllParams::nominal();
+        let r = simulate_lock(&p, &LockSimConfig::default()).unwrap();
+        let expected = p.vctrl_ref + (p.f_target() - p.f0) / p.kvco;
+        assert!(
+            (r.final_vctrl - expected).abs() < 0.02,
+            "vctrl {} vs expected {expected}",
+            r.final_vctrl
+        );
+    }
+
+    #[test]
+    fn waveforms_are_consistent() {
+        let p = PllParams::nominal();
+        let r = simulate_lock(&p, &LockSimConfig::default()).unwrap();
+        assert_eq!(r.times.len(), r.vctrl.len());
+        assert_eq!(r.times.len(), r.freq.len());
+        assert!(r.times.windows(2).all(|w| w[1] > w[0]));
+        // Frequencies stay within the VCO range.
+        assert!(r.freq.iter().all(|&f| f >= p.fmin && f <= p.fmax));
+    }
+
+    #[test]
+    fn never_locks_when_window_too_short() {
+        let p = PllParams::nominal();
+        let cfg = LockSimConfig {
+            max_ref_cycles: 12,
+            lock_hold_cycles: 10,
+            ..Default::default()
+        };
+        let r = simulate_lock(&p, &cfg).unwrap();
+        // 12 cycles at 25 MHz = 0.48 µs — too short for this loop.
+        assert!(!r.locked());
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut p = PllParams::nominal();
+        p.icp = -1.0;
+        assert!(matches!(
+            simulate_lock(&p, &LockSimConfig::default()),
+            Err(SimulatePllError::BadParams(_))
+        ));
+    }
+}

@@ -1,0 +1,82 @@
+//! ABL-SPEED — the paper's motivation, measured: the cost of one
+//! system-level candidate evaluation through the behavioural model vs
+//! the same evaluation with the transistor-level VCO in the loop.
+//! Hierarchical optimisation exists because the first is orders of
+//! magnitude cheaper than the second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use behavioral::spec::PllSpec;
+use behavioral::timesim::LockSimConfig;
+use hierflow::charmodel::{CharPoint, CharacterizedFront, VcoDeltas};
+use hierflow::model::PerfVariationModel;
+use hierflow::system_opt::{PllArchitecture, PllSystemProblem};
+use hierflow::vco_eval::{VcoPerf, VcoTestbench};
+use moea::problem::Problem;
+use netlist::topology::VcoSizing;
+
+/// A synthetic characterised front standing in for stage-2 output (the
+/// model's content does not affect lookup cost).
+fn model() -> Arc<PerfVariationModel> {
+    let n = 16;
+    let points: Vec<CharPoint> = (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            CharPoint {
+                sizing: VcoSizing::nominal(),
+                perf: VcoPerf {
+                    kvco: 0.9e9 + 1.2e9 * t,
+                    ivco: 2e-3 + 5e-3 * t,
+                    jvco: 0.3e-12 - 0.15e-12 * t,
+                    fmin: 0.35e9 + 0.1e9 * t,
+                    fmax: 1.4e9 + 0.9e9 * t,
+                },
+                delta: VcoDeltas {
+                    kvco: 0.4,
+                    ivco: 2.7,
+                    jvco: 22.0,
+                    fmin: 1.0,
+                    fmax: 1.0,
+                },
+                mc_accepted: 100,
+                mc_failed: 0,
+            }
+        })
+        .collect();
+    Arc::new(PerfVariationModel::from_front(&CharacterizedFront { points }).unwrap())
+}
+
+fn bench_model_based(c: &mut Criterion) {
+    let problem = PllSystemProblem::new(
+        model(),
+        PllArchitecture::default(),
+        PllSpec::default(),
+        LockSimConfig::default(),
+    );
+    let x = [1.5e9, 4.5e-3, 30e-12, 3e-12, 4e3];
+    let mut group = c.benchmark_group("system_candidate_eval");
+    group.sample_size(20);
+    group.bench_function("model_based_hierarchical", |b| {
+        b.iter(|| problem.evaluate(black_box(&x)))
+    });
+    group.finish();
+}
+
+fn bench_transistor_in_loop(c: &mut Criterion) {
+    // The flat alternative: evaluating the same candidate requires a
+    // full transistor-level VCO characterisation (two oscillator
+    // measurements) before the behavioural loop can even run.
+    let tb = VcoTestbench::default();
+    let sizing = VcoSizing::nominal();
+    let mut group = c.benchmark_group("system_candidate_eval");
+    group.sample_size(10);
+    group.bench_function("transistor_in_the_loop", |b| {
+        b.iter(|| tb.evaluate_sizing(black_box(&sizing)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_based, bench_transistor_in_loop);
+criterion_main!(benches);

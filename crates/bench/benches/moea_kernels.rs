@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the optimisation machinery: non-dominated
+//! sorting, crowding and a full NSGA-II run on a cheap analytic problem.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use moea::nsga2::{run_nsga2, Nsga2Config};
+use moea::problem::{Evaluation, Individual, Problem};
+use moea::sorting::{crowding_distance, fast_non_dominated_sort};
+
+struct Zdt1;
+
+impl Problem for Zdt1 {
+    fn num_vars(&self) -> usize {
+        10
+    }
+    fn bounds(&self, _i: usize) -> (f64, f64) {
+        (0.0, 1.0)
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (x.len() - 1) as f64;
+        Evaluation::feasible(vec![f1, g * (1.0 - (f1 / g).sqrt())])
+    }
+}
+
+fn synth_population(n: usize) -> Vec<Individual> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            Individual::new(
+                vec![t],
+                Evaluation::feasible(vec![
+                    (t * 0.37).sin() + 2.0,
+                    (t * 0.61).cos() + 2.0,
+                    (t * 0.13).sin() * (t * 0.07).cos() + 2.0,
+                ]),
+            )
+        })
+        .collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let pop = synth_population(200);
+    c.bench_function("fast_non_dominated_sort_200x3", |b| {
+        b.iter(|| fast_non_dominated_sort(black_box(&pop)))
+    });
+    let fronts = fast_non_dominated_sort(&pop);
+    c.bench_function("crowding_distance_front0", |b| {
+        b.iter(|| crowding_distance(black_box(&pop), black_box(&fronts[0])))
+    });
+}
+
+fn bench_nsga2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2");
+    group.sample_size(10);
+    group.bench_function("zdt1_pop40_gen20", |b| {
+        let cfg = Nsga2Config {
+            population: 40,
+            generations: 20,
+            seed: 1,
+            ..Default::default()
+        };
+        b.iter(|| run_nsga2(black_box(&Zdt1), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting, bench_nsga2);
+criterion_main!(benches);

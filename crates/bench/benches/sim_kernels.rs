@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the simulator kernels: DC operating point,
+//! transient integration and oscillator measurement — the costs that
+//! dominate the paper's "computationally intensive" transistor-level
+//! stage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use netlist::topology::{build_rc_lowpass, build_ring_vco, VcoSizing};
+use netlist::SourceWaveform;
+use spicesim::dc::dc_operating_point;
+use spicesim::measure::{measure_oscillator, OscConfig};
+use spicesim::transient::{run_transient, TransientSpec};
+use spicesim::SimOptions;
+
+fn bench_dc(c: &mut Criterion) {
+    let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+    let opts = SimOptions::default();
+    c.bench_function("dc_op_ring_vco_22fets", |b| {
+        b.iter(|| dc_operating_point(black_box(&vco.circuit), &opts).unwrap())
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let rc = build_rc_lowpass(
+        1e3,
+        1e-9,
+        SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 1e-12,
+            fall: 1e-12,
+            width: 1.0,
+            period: 0.0,
+        },
+    );
+    let opts = SimOptions::default();
+    c.bench_function("transient_rc_1000_steps", |b| {
+        let spec = TransientSpec::new(1e-6, 1e-9).with_ic().recording_every(10);
+        b.iter(|| run_transient(black_box(&rc), &spec, &opts).unwrap())
+    });
+
+    let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+    c.bench_function("transient_ring_vco_5ns", |b| {
+        let spec = TransientSpec::new(5e-9, 5e-12).with_ic().recording_every(8);
+        b.iter(|| run_transient(black_box(&vco.circuit), &spec, &opts).unwrap())
+    });
+}
+
+fn bench_oscillator_measurement(c: &mut Criterion) {
+    let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+    let opts = SimOptions::default();
+    let mut group = c.benchmark_group("oscillator");
+    group.sample_size(10);
+    group.bench_function("measure_freq_and_current", |b| {
+        b.iter(|| {
+            measure_oscillator(
+                black_box(&vco.circuit),
+                vco.out,
+                vco.vdd_source,
+                &OscConfig::default(),
+                &opts,
+                None,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dc, bench_transient, bench_oscillator_measurement);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the table-model lookups — the operation the
+//! hierarchical flow performs thousands of times per system-level
+//! optimisation (its cheapness versus transistor simulation is the whole
+//! point of the paper's approach).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tablemodel::grid::GridTable;
+use tablemodel::interp::Table1d;
+use tablemodel::scattered::{ScatterMethod, ScatteredTable};
+use tablemodel::spline::CubicSpline;
+
+fn bench_spline(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..64).map(|i| i as f64 * 0.1).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (x * 0.7).sin()).collect();
+    let spline = CubicSpline::natural(&xs, &ys).unwrap();
+    c.bench_function("spline_eval_64_knots", |b| {
+        b.iter(|| spline.eval(black_box(3.21)))
+    });
+    c.bench_function("spline_build_64_knots", |b| {
+        b.iter(|| CubicSpline::natural(black_box(&xs), black_box(&ys)).unwrap())
+    });
+}
+
+fn bench_table1d(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..32).map(|i| i as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+    let cubic = Table1d::new(xs.clone(), ys.clone(), "3C".parse().unwrap()).unwrap();
+    let linear = Table1d::new(xs, ys, "1C".parse().unwrap()).unwrap();
+    c.bench_function("table1d_cubic_eval", |b| {
+        b.iter(|| cubic.eval(black_box(17.3)).unwrap())
+    });
+    c.bench_function("table1d_linear_eval", |b| {
+        b.iter(|| linear.eval(black_box(17.3)).unwrap())
+    });
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let axis: Vec<f64> = (0..16).map(|i| i as f64).collect();
+    let mut values = Vec::new();
+    for x in &axis {
+        for y in &axis {
+            values.push(x * 2.0 + y);
+        }
+    }
+    let grid = GridTable::new(
+        vec![axis.clone(), axis],
+        values,
+        vec!["1C".parse().unwrap(), "1C".parse().unwrap()],
+    )
+    .unwrap();
+    c.bench_function("grid2d_16x16_eval", |b| {
+        b.iter(|| grid.eval(black_box(&[7.3, 9.1])).unwrap())
+    });
+}
+
+fn bench_scattered(c: &mut Criterion) {
+    let points: Vec<Vec<f64>> = (0..24)
+        .map(|i| {
+            let t = i as f64 / 23.0;
+            vec![t, (t * 5.0).sin() * 0.5 + 0.5]
+        })
+        .collect();
+    let values: Vec<f64> = points.iter().map(|p| p[0] * 3.0 - p[1]).collect();
+    let idw = ScatteredTable::new(points.clone(), values.clone(), ScatterMethod::default())
+        .unwrap();
+    let rbf =
+        ScatteredTable::new(points, values, ScatterMethod::Rbf { shape: 1.5 }).unwrap();
+    c.bench_function("scattered_idw_24pts_eval", |b| {
+        b.iter(|| idw.eval(black_box(&[0.5, 0.5])).unwrap())
+    });
+    c.bench_function("scattered_rbf_24pts_eval", |b| {
+        b.iter(|| rbf.eval(black_box(&[0.5, 0.5])).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_spline, bench_table1d, bench_grid, bench_scattered);
+criterion_main!(benches);

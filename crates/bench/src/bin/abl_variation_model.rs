@@ -1,0 +1,103 @@
+//! ABL-VAR — the paper's core improvement over its predecessor (its ref. 10):
+//! system-level optimisation **with** the variation model vs **without**
+//! (performance-only hierarchical flow). The variation-blind flow picks
+//! designs whose corners violate the spec; the variation-aware flow's
+//! selections survive verification.
+//!
+//! ```text
+//! cargo run --release -p bench --bin abl_variation_model [-- --full]
+//! ```
+
+use std::sync::Arc;
+
+use bench::{load_or_build_front, Budget};
+use behavioral::spec::PllSpec;
+use behavioral::timesim::LockSimConfig;
+use hierflow::charmodel::CharacterizedFront;
+use hierflow::model::PerfVariationModel;
+use hierflow::system_opt::{PllArchitecture, PllSystemProblem};
+use moea::nsga2::{run_nsga2_seeded, Nsga2Config};
+
+fn main() {
+    let budget = Budget::from_args();
+    let front = load_or_build_front(budget);
+
+    // Variation-aware model (the paper's proposal).
+    let with_var = Arc::new(PerfVariationModel::from_front(&front).expect("model"));
+
+    // Variation-blind model: identical performance surface, zero deltas
+    // (what ref [10]'s performance-only flow sees).
+    let mut blind_front = CharacterizedFront {
+        points: front.points.clone(),
+    };
+    for p in &mut blind_front.points {
+        p.delta.kvco = 0.0;
+        p.delta.ivco = 0.0;
+        p.delta.jvco = 0.0;
+        p.delta.fmin = 0.0;
+        p.delta.fmax = 0.0;
+    }
+    let without_var = Arc::new(PerfVariationModel::from_front(&blind_front).expect("model"));
+
+    let ga = Nsga2Config {
+        population: 24,
+        generations: 10,
+        seed: 7,
+        eval_threads: 2,
+        ..Default::default()
+    };
+    let arch = PllArchitecture::default();
+    let spec = PllSpec::default();
+
+    println!("# ABL-VAR: system optimisation with vs without the variation model\n");
+    let mut corner_stats = Vec::new();
+    for (label, model) in [("with-variation", with_var.clone()), ("without-variation", without_var)] {
+        let problem = PllSystemProblem::new(
+            Arc::clone(&model),
+            arch,
+            spec,
+            LockSimConfig::default(),
+        );
+        let result = run_nsga2_seeded(&problem, &ga, &problem.warm_start_seeds());
+        let pareto = result.pareto_front();
+
+        // Judge each front under the TRUE (variation-aware) corners.
+        let judge = PllSystemProblem::new(
+            Arc::clone(&with_var),
+            arch,
+            spec,
+            LockSimConfig::default(),
+        );
+        let mut pass_self = 0usize;
+        let mut pass_true = 0usize;
+        for ind in &pareto {
+            if let Ok(sol) = problem.detail(&ind.x) {
+                if sol.meets_spec {
+                    pass_self += 1;
+                }
+            }
+            if let Ok(sol) = judge.detail(&ind.x) {
+                if sol.meets_spec {
+                    pass_true += 1;
+                }
+            }
+        }
+        println!(
+            "{label:<18}: front {:>3}, claims spec-ok {:>3}, survives true corners {:>3}",
+            pareto.len(),
+            pass_self,
+            pass_true
+        );
+        corner_stats.push((label, pareto.len(), pass_self, pass_true));
+    }
+
+    println!("\n# expectation (the paper's point): the variation-blind flow");
+    println!("# over-claims — designs it believes are compliant fail once the");
+    println!("# true corners are applied; the variation-aware flow's claims");
+    println!("# match the corner-checked outcome.");
+    if let [(_, _, claim_a, true_a), (_, _, claim_b, true_b)] = corner_stats[..] {
+        let over_a = claim_a.saturating_sub(true_a);
+        let over_b = claim_b.saturating_sub(true_b);
+        println!("# over-claims: with-variation {over_a}, without-variation {over_b}");
+    }
+}

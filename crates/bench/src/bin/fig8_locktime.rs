@@ -1,0 +1,103 @@
+//! FIG8 — regenerates the paper's Figure 8: the PLL locking-time
+//! transient (control voltage and output frequency vs time) for the
+//! selected design. Reads the design cached by `table2_system`, or
+//! falls back to a representative design from the characterised front.
+//!
+//! ```text
+//! cargo run --release -p bench --bin fig8_locktime [-- --full]
+//! ```
+
+use std::sync::Arc;
+
+use bench::{artifact_dir, load_or_build_front, Budget};
+use behavioral::spec::PllSpec;
+use behavioral::timesim::{simulate_lock, LockSimConfig};
+use hierflow::model::PerfVariationModel;
+use hierflow::system_opt::{PllArchitecture, PllSystemProblem};
+
+fn main() {
+    let budget = Budget::from_args();
+    let front = load_or_build_front(budget);
+    let model = Arc::new(PerfVariationModel::from_front(&front).expect("model builds"));
+    let arch = PllArchitecture::default();
+    let problem = PllSystemProblem::new(
+        Arc::clone(&model),
+        arch,
+        PllSpec::default(),
+        LockSimConfig::default(),
+    );
+
+    // Preferred: the design selected by table2_system.
+    let selected_path = artifact_dir().join(format!("selected_{}.json", budget.label()));
+    let x: Vec<f64> = std::fs::read_to_string(&selected_path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .and_then(|v| serde_json::from_value(v["x"].clone()).ok())
+        .unwrap_or_else(|| {
+            eprintln!("no cached selected design; using a mid-front point");
+            let dom = model.design_domain();
+            vec![
+                0.5 * (dom[0].0 + dom[0].1),
+                0.5 * (dom[1].0 + dom[1].1),
+                30e-12,
+                3e-12,
+                4e3,
+            ]
+        });
+
+    let q = model.query(x[0], x[1]).expect("design inside model domain");
+    let params = behavioral::params::PllParams {
+        fref: arch.fref,
+        divider: arch.divider,
+        icp: arch.icp,
+        c1: x[2],
+        c2: x[3],
+        r1: x[4],
+        kvco: q.kvco,
+        f0: 0.5 * (q.fmin + q.fmax),
+        vctrl_ref: 0.5 * (arch.vctrl_lo + arch.vctrl_hi),
+        fmin: q.fmin,
+        fmax: q.fmax,
+        ivco: q.ivco,
+        jvco: q.jvco,
+    };
+    params.validate().expect("valid pll parameters");
+    let cfg = LockSimConfig {
+        max_ref_cycles: 400,
+        ..Default::default()
+    };
+    let result = simulate_lock(&params, &cfg).expect("simulates");
+
+    println!("# FIG8: pll locking transient ({} budget)", budget.label());
+    println!(
+        "# design: kvco={:.0} MHz/V ivco={:.2} mA c1={:.1} pF c2={:.2} pF r1={:.1} k",
+        x[0] / 1e6,
+        x[1] * 1e3,
+        x[2] * 1e12,
+        x[3] * 1e12,
+        x[4] / 1e3
+    );
+    match result.lock_time {
+        Some(t) => println!("# lock time: {:.3} us (paper: ~0.9 us, spec < 1 us)", t * 1e6),
+        None => println!("# loop did not lock within the window"),
+    }
+    println!("# time_us  vctrl_V  freq_GHz");
+    let stride = (result.times.len() / 400).max(1);
+    for k in (0..result.times.len()).step_by(stride) {
+        println!(
+            "{:>9.4} {:>8.4} {:>9.4}",
+            result.times[k] * 1e6,
+            result.vctrl[k],
+            result.freq[k] / 1e9
+        );
+    }
+
+    let check = problem.detail(&x);
+    if let Ok(sol) = check {
+        println!(
+            "# corner lock times: nominal {:.3} us, worst {:.3} us",
+            sol.lock_time * 1e6,
+            sol.lock_time_worst * 1e6
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Pareto-front characterisation: Monte-Carlo spreads per optimal
+//! solution (paper §3.3/§4.3, producing Table 1) and `.tbl` emission
+//! (Listing 1).
+
+use std::path::Path;
+
+use moea::problem::Individual;
+use netlist::topology::VcoSizing;
+use serde::{Deserialize, Serialize};
+use tablemodel::tbl_io::write_tbl_file;
+use variation::mc::{McConfig, MonteCarlo};
+
+use crate::error::FlowError;
+use crate::vco_eval::{VcoPerf, VcoTestbench};
+use crate::vco_problem::VcoSizingProblem;
+
+/// Relative spreads (the paper's ∆ columns, `σ/µ` in percent) of the
+/// five VCO performances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcoDeltas {
+    /// ∆Kvco (%).
+    pub kvco: f64,
+    /// ∆Ivco (%).
+    pub ivco: f64,
+    /// ∆Jvco (%).
+    pub jvco: f64,
+    /// ∆fmin (%).
+    pub fmin: f64,
+    /// ∆fmax (%).
+    pub fmax: f64,
+}
+
+impl VcoDeltas {
+    /// Packs in the canonical (kvco, ivco, jvco, fmin, fmax) order.
+    pub fn to_array(&self) -> [f64; 5] {
+        [self.kvco, self.ivco, self.jvco, self.fmin, self.fmax]
+    }
+}
+
+/// One characterised Pareto point: sizing, nominal performance and
+/// Monte-Carlo spreads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CharPoint {
+    /// Transistor sizing (the paper's p1…p7).
+    pub sizing: VcoSizing,
+    /// Nominal performance.
+    pub perf: VcoPerf,
+    /// Relative spreads from Monte Carlo.
+    pub delta: VcoDeltas,
+    /// Monte-Carlo samples that evaluated successfully.
+    pub mc_accepted: usize,
+    /// Monte-Carlo samples that failed (circuit stopped oscillating —
+    /// itself a yield signal).
+    pub mc_failed: usize,
+}
+
+/// The characterised Pareto front: the combined performance + variation
+/// model's raw data.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CharacterizedFront {
+    /// Characterised points.
+    pub points: Vec<CharPoint>,
+}
+
+/// Characterises every Pareto-front individual: for each one, a
+/// `mc.samples`-sample Monte Carlo re-measures the five performances on
+/// perturbed circuits and records the relative spreads.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Stage`] when the front is empty or every MC
+/// sample of a point fails.
+pub fn characterize_front(
+    front: &[Individual],
+    testbench: &VcoTestbench,
+    engine: &MonteCarlo,
+    mc: &McConfig,
+) -> Result<CharacterizedFront, FlowError> {
+    if front.is_empty() {
+        return Err(FlowError::stage("characterise", "empty pareto front"));
+    }
+    let mut points = Vec::with_capacity(front.len());
+    for ind in front {
+        let sizing = VcoSizing::from_array(&ind.x);
+        let nominal = VcoSizingProblem::perf_of(&ind.objectives);
+        let ring = testbench.build(&sizing);
+        let run = engine.run(&ring.circuit, mc, |_i, perturbed| {
+            testbench
+                .evaluate_circuit(perturbed, &ring)
+                .ok()
+                .map(|p| p.to_array().to_vec())
+        });
+        if run.accepted == 0 {
+            return Err(FlowError::stage(
+                "characterise",
+                format!(
+                    "all {} monte-carlo samples failed for sizing {:?}",
+                    mc.samples, sizing
+                ),
+            ));
+        }
+        let delta_of = |k: usize| run.delta_percent(k).unwrap_or(0.0);
+        points.push(CharPoint {
+            sizing,
+            perf: nominal,
+            delta: VcoDeltas {
+                kvco: delta_of(0),
+                ivco: delta_of(1),
+                jvco: delta_of(2),
+                fmin: delta_of(3),
+                fmax: delta_of(4),
+            },
+            mc_accepted: run.accepted,
+            mc_failed: run.failed,
+        });
+    }
+    Ok(CharacterizedFront { points })
+}
+
+impl CharacterizedFront {
+    /// Writes the paper's data files (Listing 1) into `dir`:
+    ///
+    /// * `kvco_delta.tbl`, `ivco_delta.tbl`, `jvco_delta.tbl`,
+    ///   `fmin_delta.tbl`, `fmax_delta.tbl` — 1-D performance → ∆%;
+    /// * `data.tbl` — (kvco, ivco) → jvco, the forward performance
+    ///   model used by Listing 2;
+    /// * `p1_data.tbl` … `p7_data.tbl` — 5-D performance point →
+    ///   transistor dimension (the inverse sizing model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Table`] on I/O failure.
+    pub fn write_tbl_files<P: AsRef<Path>>(&self, dir: P) -> Result<(), FlowError> {
+        let dir = dir.as_ref();
+        let perf_arrays: Vec<[f64; 5]> = self.points.iter().map(|p| p.perf.to_array()).collect();
+        let delta_arrays: Vec<[f64; 5]> =
+            self.points.iter().map(|p| p.delta.to_array()).collect();
+
+        for (k, name) in VcoPerf::NAMES.iter().enumerate() {
+            let points: Vec<Vec<f64>> = perf_arrays.iter().map(|p| vec![p[k]]).collect();
+            let values: Vec<f64> = delta_arrays.iter().map(|d| d[k]).collect();
+            write_tbl_file(
+                dir.join(format!("{name}_delta.tbl")),
+                &points,
+                &values,
+                &format!("{name} -> delta percent (sigma / mean)"),
+            )?;
+        }
+
+        // Forward model: (kvco, ivco) -> jvco.
+        let ki: Vec<Vec<f64>> = perf_arrays.iter().map(|p| vec![p[0], p[1]]).collect();
+        let jv: Vec<f64> = perf_arrays.iter().map(|p| p[2]).collect();
+        write_tbl_file(dir.join("data.tbl"), &ki, &jv, "(kvco, ivco) -> jvco")?;
+
+        // Inverse sizing model: 5-D performance -> each parameter.
+        let perf5: Vec<Vec<f64>> = perf_arrays.iter().map(|p| p.to_vec()).collect();
+        for (idx, name) in VcoSizing::NAMES.iter().enumerate() {
+            let values: Vec<f64> = self
+                .points
+                .iter()
+                .map(|p| p.sizing.to_array()[idx])
+                .collect();
+            write_tbl_file(
+                dir.join(format!("p{}_data.tbl", idx + 1)),
+                &perf5,
+                &values,
+                &format!("(kvco, ivco, jvco, fmin, fmax) -> {name}"),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moea::problem::Evaluation;
+    use variation::process::ProcessSpec;
+
+    fn fake_front(n: usize) -> Vec<Individual> {
+        (0..n)
+            .map(|i| {
+                let mut sizing = VcoSizing::nominal();
+                sizing.wsn = 20e-6 + i as f64 * 10e-6;
+                sizing.wsp = 40e-6 + i as f64 * 10e-6;
+                let perf = VcoPerf {
+                    kvco: 1e9 + i as f64 * 1e8,
+                    jvco: 0.3e-12 - i as f64 * 0.02e-12,
+                    ivco: 2e-3 + i as f64 * 1e-3,
+                    fmin: 0.5e9,
+                    fmax: 1.5e9 + i as f64 * 1e8,
+                };
+                Individual::new(
+                    sizing.to_array().to_vec(),
+                    Evaluation::feasible(VcoSizingProblem::objectives_of(&perf)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn characterise_small_front_produces_spreads() {
+        let front = fake_front(2);
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 6,
+            seed: 1,
+            threads: 2,
+        };
+        let out = characterize_front(&front, &tb, &engine, &mc).unwrap();
+        assert_eq!(out.points.len(), 2);
+        for p in &out.points {
+            assert!(p.mc_accepted > 0);
+            // All spreads non-negative; kvco spread smaller than jvco's
+            // is checked at paper scale in the table1 experiment.
+            assert!(p.delta.kvco >= 0.0 && p.delta.jvco >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_front_is_an_error() {
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig::default();
+        assert!(matches!(
+            characterize_front(&[], &tb, &engine, &mc),
+            Err(FlowError::Stage { .. })
+        ));
+    }
+
+    #[test]
+    fn tbl_files_are_written_and_parse_back() {
+        let front = CharacterizedFront {
+            points: vec![
+                CharPoint {
+                    sizing: VcoSizing::nominal(),
+                    perf: VcoPerf {
+                        kvco: 1e9,
+                        jvco: 0.2e-12,
+                        ivco: 3e-3,
+                        fmin: 0.5e9,
+                        fmax: 1.4e9,
+                    },
+                    delta: VcoDeltas {
+                        kvco: 0.4,
+                        ivco: 2.8,
+                        jvco: 23.0,
+                        fmin: 1.0,
+                        fmax: 1.2,
+                    },
+                    mc_accepted: 100,
+                    mc_failed: 0,
+                },
+                CharPoint {
+                    sizing: VcoSizing::nominal(),
+                    perf: VcoPerf {
+                        kvco: 1.5e9,
+                        jvco: 0.3e-12,
+                        ivco: 5e-3,
+                        fmin: 0.6e9,
+                        fmax: 1.8e9,
+                    },
+                    delta: VcoDeltas {
+                        kvco: 0.3,
+                        ivco: 2.6,
+                        jvco: 25.0,
+                        fmin: 0.9,
+                        fmax: 1.1,
+                    },
+                    mc_accepted: 100,
+                    mc_failed: 0,
+                },
+            ],
+        };
+        let dir = std::env::temp_dir().join("hierflow_charmodel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        front.write_tbl_files(&dir).unwrap();
+        // Files named per Listing 1 exist and parse.
+        for name in [
+            "kvco_delta.tbl",
+            "jvco_delta.tbl",
+            "ivco_delta.tbl",
+            "fmin_delta.tbl",
+            "fmax_delta.tbl",
+            "data.tbl",
+            "p1_data.tbl",
+            "p7_data.tbl",
+        ] {
+            let data = tablemodel::tbl_io::read_tbl_file(dir.join(name))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(data.len(), 2, "{name}");
+        }
+        // p-tables key on all five performances.
+        let p1 = tablemodel::tbl_io::read_tbl_file(dir.join("p1_data.tbl")).unwrap();
+        assert_eq!(p1.dim(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

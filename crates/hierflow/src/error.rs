@@ -1,0 +1,90 @@
+//! Flow-level error type.
+
+use std::fmt;
+
+/// Errors surfaced by the hierarchical flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// Transistor-level simulation failed.
+    Sim(spicesim::SimError),
+    /// Table-model construction or lookup failed.
+    Table(tablemodel::TableModelError),
+    /// Behavioural PLL simulation failed.
+    Pll(behavioral::timesim::SimulatePllError),
+    /// A flow stage could not proceed (e.g. empty Pareto front).
+    Stage {
+        /// Stage name.
+        stage: &'static str,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Sim(e) => write!(f, "simulation: {e}"),
+            FlowError::Table(e) => write!(f, "table model: {e}"),
+            FlowError::Pll(e) => write!(f, "pll simulation: {e}"),
+            FlowError::Stage { stage, message } => write!(f, "{stage} stage: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Sim(e) => Some(e),
+            FlowError::Table(e) => Some(e),
+            FlowError::Pll(e) => Some(e),
+            FlowError::Stage { .. } => None,
+        }
+    }
+}
+
+impl From<spicesim::SimError> for FlowError {
+    fn from(e: spicesim::SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+impl From<tablemodel::TableModelError> for FlowError {
+    fn from(e: tablemodel::TableModelError) -> Self {
+        FlowError::Table(e)
+    }
+}
+
+impl From<behavioral::timesim::SimulatePllError> for FlowError {
+    fn from(e: behavioral::timesim::SimulatePllError) -> Self {
+        FlowError::Pll(e)
+    }
+}
+
+impl FlowError {
+    /// Convenience constructor for stage errors.
+    pub fn stage(stage: &'static str, message: impl Into<String>) -> Self {
+        FlowError::Stage {
+            stage,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FlowError = spicesim::SimError::Singular { analysis: "dc" }.into();
+        assert!(e.to_string().contains("dc"));
+        let e = FlowError::stage("characterise", "empty front");
+        assert!(e.to_string().contains("characterise"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

@@ -1,0 +1,295 @@
+//! End-to-end orchestration of the hierarchical flow (paper Fig 4).
+
+use std::sync::Arc;
+
+use behavioral::spec::PllSpec;
+use behavioral::timesim::LockSimConfig;
+use moea::nsga2::{run_nsga2, run_nsga2_seeded, Nsga2Config};
+use moea::problem::Individual;
+use netlist::topology::VcoSizing;
+use serde::Serialize;
+use variation::mc::{McConfig, MonteCarlo};
+use variation::process::ProcessSpec;
+
+use crate::charmodel::{characterize_front, CharacterizedFront};
+use crate::error::FlowError;
+use crate::model::PerfVariationModel;
+use crate::propagate::select_verified_design;
+use crate::system_opt::{PllArchitecture, PllSystemProblem, SystemSolution};
+use crate::vco_eval::VcoTestbench;
+use crate::vco_problem::VcoSizingProblem;
+use crate::verify::{verify_design, VerificationReport};
+
+/// Complete configuration of the hierarchical flow.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Transistor-level VCO testbench.
+    pub testbench: VcoTestbench,
+    /// Circuit-level NSGA-II settings (paper: 100 × 30).
+    pub circuit_ga: Nsga2Config,
+    /// Monte-Carlo settings per Pareto point (paper: 100 samples).
+    pub char_mc: McConfig,
+    /// Statistical process description.
+    pub process: ProcessSpec,
+    /// PLL architecture around the optimised components.
+    pub arch: PllArchitecture,
+    /// System-level specification window.
+    pub spec: PllSpec,
+    /// System-level NSGA-II settings.
+    pub system_ga: Nsga2Config,
+    /// Behavioural lock-simulation settings.
+    pub lock_sim: LockSimConfig,
+    /// Final verification Monte-Carlo settings (paper: 500 samples).
+    pub verify_mc: McConfig,
+    /// Cap on characterised Pareto points (cost control; the front is
+    /// thinned evenly along the current axis).
+    pub max_char_points: usize,
+}
+
+impl FlowConfig {
+    /// Paper-scale budgets: pop 100 × 30 generations at circuit level,
+    /// 100 MC samples per Pareto point, 500-sample verification.
+    /// Expect hours of CPU — use [`FlowConfig::quick`] for development.
+    pub fn paper_scale() -> Self {
+        FlowConfig {
+            testbench: VcoTestbench::default(),
+            circuit_ga: Nsga2Config {
+                population: 100,
+                generations: 30,
+                seed: 2009,
+                eval_threads: 2,
+                axial_seeds: true,
+                ..Default::default()
+            },
+            char_mc: McConfig {
+                samples: 100,
+                seed: 42,
+                threads: 2,
+            },
+            process: ProcessSpec::default(),
+            arch: PllArchitecture::default(),
+            spec: PllSpec::default(),
+            system_ga: Nsga2Config {
+                population: 64,
+                generations: 40,
+                seed: 7,
+                eval_threads: 2,
+                axial_seeds: true,
+                ..Default::default()
+            },
+            lock_sim: LockSimConfig::default(),
+            verify_mc: McConfig {
+                samples: 500,
+                seed: 99,
+                threads: 2,
+            },
+            max_char_points: 24,
+        }
+    }
+
+    /// Development-scale budgets: the same flow, minutes instead of
+    /// hours. Fronts are coarser but every stage runs for real.
+    pub fn quick() -> Self {
+        let mut cfg = Self::paper_scale();
+        cfg.circuit_ga.population = 32;
+        cfg.circuit_ga.generations = 10;
+        cfg.char_mc.samples = 12;
+        cfg.system_ga.population = 48;
+        cfg.system_ga.generations = 24;
+        cfg.verify_mc.samples = 40;
+        cfg.max_char_points = 10;
+        cfg
+    }
+}
+
+/// Everything the flow produced, stage by stage.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowReport {
+    /// Characterised circuit-level Pareto front (Table 1 data).
+    pub front: CharacterizedFront,
+    /// System-level Pareto front rows (Table 2 data).
+    pub system_front: Vec<SystemSolution>,
+    /// The selected design solution (the paper's shaded row).
+    pub selected: SystemSolution,
+    /// Decision vector of the selected solution.
+    pub selected_x: Vec<f64>,
+    /// Transistor sizing recovered by spec propagation.
+    pub final_sizing: VcoSizing,
+    /// Bottom-up verification outcome (yield, paper §4.5).
+    pub verification: VerificationReport,
+    /// Transistor-level evaluations spent in stage 1.
+    pub circuit_evaluations: usize,
+    /// Model-based evaluations spent in stage 4.
+    pub system_evaluations: usize,
+}
+
+/// The flow orchestrator.
+#[derive(Debug, Clone)]
+pub struct HierarchicalFlow {
+    config: FlowConfig,
+}
+
+impl HierarchicalFlow {
+    /// Creates a flow with the given configuration.
+    pub fn new(config: FlowConfig) -> Self {
+        HierarchicalFlow { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs all five stages end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage errors: an empty Pareto front, model-domain
+    /// failures, no spec-compliant system solution, or a broken final
+    /// design.
+    pub fn run(&self) -> Result<FlowReport, FlowError> {
+        let cfg = &self.config;
+
+        // Stage 1: circuit-level multi-objective sizing, with the
+        // system band propagated down as coverage constraints (Fig 3).
+        let problem = VcoSizingProblem::with_band(
+            cfg.testbench.clone(),
+            cfg.spec.f_out_min,
+            cfg.spec.f_out_max,
+        );
+        let result = run_nsga2(&problem, &cfg.circuit_ga);
+        let mut front = result.pareto_front();
+        if front.is_empty() {
+            return Err(FlowError::stage(
+                "circuit-opt",
+                "circuit-level optimisation produced no feasible designs",
+            ));
+        }
+        thin_front(&mut front, cfg.max_char_points);
+
+        // Stage 2: Monte-Carlo characterisation of the front.
+        let engine = MonteCarlo::new(cfg.process);
+        let characterized =
+            characterize_front(&front, &cfg.testbench, &engine, &cfg.char_mc)?;
+
+        // Stage 3: the combined performance + variation model.
+        let model = Arc::new(PerfVariationModel::from_front(&characterized)?);
+
+        // Stage 4: system-level optimisation with the model in the loop.
+        let system_problem = PllSystemProblem::new(
+            Arc::clone(&model),
+            cfg.arch,
+            cfg.spec,
+            cfg.lock_sim,
+        );
+        let system_result = run_nsga2_seeded(
+            &system_problem,
+            &cfg.system_ga,
+            &system_problem.warm_start_seeds(),
+        );
+        let system_front = system_result.pareto_front();
+        let system_rows: Vec<SystemSolution> = system_front
+            .iter()
+            .filter_map(|ind| system_problem.detail(&ind.x).ok())
+            .collect();
+
+        // Stage 5: spec propagation with verification-in-the-loop
+        // (Fig 3's two-way arrows), then bottom-up Monte Carlo.
+        let picked = select_verified_design(
+            &system_problem,
+            &system_front,
+            &model,
+            &cfg.testbench,
+            &cfg.arch,
+            &cfg.spec,
+            &cfg.lock_sim,
+            12,
+        )?;
+        let verification = verify_design(
+            &picked.sizing,
+            (picked.solution.c1, picked.solution.c2, picked.solution.r1),
+            &cfg.testbench,
+            &cfg.arch,
+            &cfg.spec,
+            &engine,
+            &cfg.verify_mc,
+            &cfg.lock_sim,
+        )?;
+
+        Ok(FlowReport {
+            front: characterized,
+            system_front: system_rows,
+            selected: picked.solution,
+            selected_x: picked.x,
+            final_sizing: picked.sizing,
+            verification,
+            circuit_evaluations: result.evaluations,
+            system_evaluations: system_result.evaluations,
+        })
+    }
+}
+
+/// Thins a front to at most `max_points`, spread evenly along the
+/// minimum-frequency axis: the system level needs designs spanning from
+/// band-bottom coverage (low fmin) to band-top coverage (high fmax), and
+/// fmin orders the front along exactly that trade-off.
+fn thin_front(front: &mut Vec<Individual>, max_points: usize) {
+    if front.len() <= max_points || max_points == 0 {
+        return;
+    }
+    // Sort by the current objective: with the band constraint active
+    // every feasible design covers the band, so current orders the
+    // power/jitter trade-off the system level explores.
+    front.sort_by(|a, b| {
+        a.objectives[1]
+            .partial_cmp(&b.objectives[1])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let n = front.len();
+    let picked: Vec<Individual> = (0..max_points)
+        .map(|k| front[k * (n - 1) / (max_points - 1)].clone())
+        .collect();
+    *front = picked;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moea::problem::Evaluation;
+
+    fn ind(current_obj: f64) -> Individual {
+        Individual::new(
+            vec![0.0],
+            Evaluation::feasible(vec![0.0, current_obj, 0.0, 0.0, 0.0]),
+        )
+    }
+
+    #[test]
+    fn thinning_keeps_extremes() {
+        let mut front: Vec<Individual> = (0..30).map(|i| ind(i as f64 * 1e-3)).collect();
+        thin_front(&mut front, 5);
+        assert_eq!(front.len(), 5);
+        // Both current extremes survive (leanest and fastest designs).
+        assert!(front.iter().any(|i| i.objectives[1] == 0.0));
+        assert!(front.iter().any(|i| i.objectives[1] == 29.0e-3));
+    }
+
+    #[test]
+    fn thinning_is_noop_for_small_fronts() {
+        let mut front: Vec<Individual> = (0..3).map(|i| ind(i as f64)).collect();
+        thin_front(&mut front, 10);
+        assert_eq!(front.len(), 3);
+    }
+
+    #[test]
+    fn quick_config_is_smaller_than_paper_scale() {
+        let q = FlowConfig::quick();
+        let p = FlowConfig::paper_scale();
+        assert!(q.circuit_ga.population < p.circuit_ga.population);
+        assert!(q.verify_mc.samples < p.verify_mc.samples);
+        assert_eq!(p.circuit_ga.population, 100, "paper §4.2");
+        assert_eq!(p.circuit_ga.generations, 30, "paper §4.2");
+        assert_eq!(p.char_mc.samples, 100, "paper §4.3");
+        assert_eq!(p.verify_mc.samples, 500, "paper §4.5");
+    }
+}

@@ -1,0 +1,477 @@
+//! The combined performance + variation model (paper §3.4, Listings
+//! 1–2): table models over the characterised Pareto front.
+//!
+//! Mirrors the paper's Verilog-A structure:
+//!
+//! * 1-D ∆ tables per performance (`kvco_delta.tbl`, …) give the
+//!   relative spread at a performance value;
+//! * a forward model `(kvco, ivco) → jvco` (plus `fmin`, `fmax`)
+//!   interpolates the Pareto trade-off surface;
+//! * 5-D inverse tables `(kvco, ivco, jvco, fmin, fmax) → p1…p7`
+//!   recover transistor dimensions for spec propagation.
+
+use std::path::Path;
+
+use netlist::topology::VcoSizing;
+use serde::{Deserialize, Serialize};
+use tablemodel::control::ControlSpec;
+use tablemodel::interp::Table1d;
+use tablemodel::scattered::{ScatterMethod, ScatteredTable};
+use tablemodel::tbl_io::read_tbl_file;
+
+use crate::charmodel::{CharPoint, CharacterizedFront, VcoDeltas};
+use crate::error::FlowError;
+use crate::vco_eval::VcoPerf;
+
+/// Fractional bounding-box margin allowed on scattered lookups: the
+/// variation corners sit just off the nominal surface, so a small
+/// tolerance keeps legitimate corner queries inside the model while
+/// still refusing genuine extrapolation (paper control string `"3E"`).
+const SCATTER_MARGIN: f64 = 0.05;
+
+/// Manifold guard: a query (kvco, ivco) is trusted only when **each
+/// axis** lies within this relative distance of the nearest
+/// characterised design. A Pareto cloud is a thin manifold inside its
+/// bounding box; bounding-box or euclidean guards cannot express that a
+/// "small" absolute current drift is a large relative error — and it is
+/// the relative error that fabricates un-realisable designs (maximum
+/// gain at half the nearest design's current). On dense paper-scale
+/// fronts neighbouring designs differ by far less than this tolerance,
+/// so continuous interpolation is retained; on sparse quick-budget
+/// fronts the trusted region collapses towards the samples themselves,
+/// which is the honest behaviour.
+const MANIFOLD_REL_TOLERANCE: f64 = 0.15;
+
+/// A ∆ model: interpolated when the front has enough spread in the key
+/// performance, constant otherwise.
+#[derive(Debug, Clone)]
+enum DeltaModel {
+    Table(Table1d),
+    Constant(f64),
+}
+
+impl DeltaModel {
+    fn build(keys: &[f64], deltas: &[f64]) -> Self {
+        // Cubic splines oscillate on noisy MC spreads; the paper's ∆
+        // columns vary slowly, so piecewise-linear with clamping is the
+        // robust choice for the ∆ tables specifically.
+        let control: ControlSpec = "1C".parse().expect("static control string");
+        match Table1d::new(keys.to_vec(), deltas.to_vec(), control) {
+            Ok(t) => DeltaModel::Table(t),
+            Err(_) => {
+                let mean = deltas.iter().sum::<f64>() / deltas.len().max(1) as f64;
+                DeltaModel::Constant(mean)
+            }
+        }
+    }
+
+    fn eval(&self, key: f64) -> f64 {
+        match self {
+            DeltaModel::Table(t) => t.eval(key).unwrap_or_else(|_| {
+                // 1C clamps, so this is unreachable; keep a safe value.
+                0.0
+            }),
+            DeltaModel::Constant(c) => *c,
+        }
+    }
+}
+
+/// The Listing-2 query result: nominal, minimum and maximum values of
+/// the VCO performances at a (kvco, ivco) design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcoQuery {
+    /// Nominal gain (Hz/V).
+    pub kvco: f64,
+    /// Gain at the −∆ corner.
+    pub kvco_min: f64,
+    /// Gain at the +∆ corner.
+    pub kvco_max: f64,
+    /// Nominal current (A).
+    pub ivco: f64,
+    /// Current at the −∆ corner.
+    pub ivco_min: f64,
+    /// Current at the +∆ corner.
+    pub ivco_max: f64,
+    /// Nominal jitter (s), interpolated from the Pareto surface.
+    pub jvco: f64,
+    /// Jitter at the minimum corner.
+    pub jvco_min: f64,
+    /// Jitter at the maximum corner.
+    pub jvco_max: f64,
+    /// Nominal minimum VCO frequency (Hz).
+    pub fmin: f64,
+    /// Worst-case (highest) minimum frequency across variation (Hz).
+    pub fmin_worst: f64,
+    /// Nominal maximum VCO frequency (Hz).
+    pub fmax: f64,
+    /// Worst-case (lowest) maximum frequency across variation (Hz).
+    pub fmax_worst: f64,
+}
+
+/// The combined performance and variation model.
+#[derive(Debug, Clone)]
+pub struct PerfVariationModel {
+    delta_kvco: DeltaModel,
+    delta_ivco: DeltaModel,
+    delta_jvco: DeltaModel,
+    delta_fmin: DeltaModel,
+    delta_fmax: DeltaModel,
+    jvco_of: ScatteredTable,
+    fmin_of: ScatteredTable,
+    fmax_of: ScatteredTable,
+    /// Inverse sizing tables, one per parameter p1…p7.
+    inverse: Vec<ScatteredTable>,
+    /// The raw characterised points, for nearest-design fallback.
+    points: Vec<CharPoint>,
+}
+
+impl PerfVariationModel {
+    /// Builds the model from an in-memory characterised front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Stage`] for fronts with fewer than two
+    /// points and [`FlowError::Table`] when a scattered table cannot be
+    /// constructed.
+    pub fn from_front(front: &CharacterizedFront) -> Result<Self, FlowError> {
+        let pts = &front.points;
+        if pts.len() < 2 {
+            return Err(FlowError::stage(
+                "model",
+                format!("need at least two pareto points, got {}", pts.len()),
+            ));
+        }
+        let perf: Vec<[f64; 5]> = pts.iter().map(|p| p.perf.to_array()).collect();
+        let delta: Vec<[f64; 5]> = pts.iter().map(|p| p.delta.to_array()).collect();
+
+        let keys = |k: usize| -> Vec<f64> { perf.iter().map(|p| p[k]).collect() };
+        let dels = |k: usize| -> Vec<f64> { delta.iter().map(|d| d[k]).collect() };
+
+        let ki: Vec<Vec<f64>> = perf.iter().map(|p| vec![p[0], p[1]]).collect();
+        let scattered = |values: Vec<f64>| -> Result<ScatteredTable, FlowError> {
+            Ok(
+                ScatteredTable::new(ki.clone(), values, ScatterMethod::default())?
+                    .with_margin(SCATTER_MARGIN),
+            )
+        };
+        let perf5: Vec<Vec<f64>> = perf.iter().map(|p| p.to_vec()).collect();
+        let mut inverse = Vec::with_capacity(VcoSizing::DIM);
+        for idx in 0..VcoSizing::DIM {
+            let values: Vec<f64> = pts.iter().map(|p| p.sizing.to_array()[idx]).collect();
+            inverse.push(
+                ScatteredTable::new(perf5.clone(), values, ScatterMethod::default())?
+                    .with_margin(SCATTER_MARGIN),
+            );
+        }
+
+        Ok(PerfVariationModel {
+            delta_kvco: DeltaModel::build(&keys(0), &dels(0)),
+            delta_ivco: DeltaModel::build(&keys(1), &dels(1)),
+            delta_jvco: DeltaModel::build(&keys(2), &dels(2)),
+            delta_fmin: DeltaModel::build(&keys(3), &dels(3)),
+            delta_fmax: DeltaModel::build(&keys(4), &dels(4)),
+            jvco_of: scattered(perf.iter().map(|p| p[2]).collect())?,
+            fmin_of: scattered(perf.iter().map(|p| p[3]).collect())?,
+            fmax_of: scattered(perf.iter().map(|p| p[4]).collect())?,
+            inverse,
+            points: pts.clone(),
+        })
+    }
+
+    /// Loads the model from a directory of `.tbl` files written by
+    /// [`CharacterizedFront::write_tbl_files`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Table`] on missing or malformed files.
+    pub fn from_tbl_dir<P: AsRef<Path>>(dir: P) -> Result<Self, FlowError> {
+        let dir = dir.as_ref();
+        // Reconstruct the characterised front from the p-tables (which
+        // carry all five performances per row) plus the ∆ tables.
+        let p_tables: Vec<_> = (1..=VcoSizing::DIM)
+            .map(|i| read_tbl_file(dir.join(format!("p{i}_data.tbl"))))
+            .collect::<Result<_, _>>()?;
+        let n = p_tables[0].len();
+        let mut points = Vec::with_capacity(n);
+        let delta_files: Vec<_> = VcoPerf::NAMES
+            .iter()
+            .map(|name| read_tbl_file(dir.join(format!("{name}_delta.tbl"))))
+            .collect::<Result<_, _>>()?;
+        for row in 0..n {
+            let perf5 = &p_tables[0].points[row];
+            let sizing_arr: Vec<f64> = p_tables.iter().map(|t| t.values[row]).collect();
+            let delta_arr: Vec<f64> = delta_files.iter().map(|t| t.values[row]).collect();
+            points.push(CharPoint {
+                sizing: VcoSizing::from_array(&sizing_arr),
+                perf: VcoPerf::from_array(perf5),
+                delta: VcoDeltas {
+                    kvco: delta_arr[0],
+                    ivco: delta_arr[1],
+                    jvco: delta_arr[2],
+                    fmin: delta_arr[3],
+                    fmax: delta_arr[4],
+                },
+                mc_accepted: 0,
+                mc_failed: 0,
+            });
+        }
+        Self::from_front(&CharacterizedFront { points })
+    }
+
+    /// The characterised points backing the model.
+    pub fn points(&self) -> &[CharPoint] {
+        &self.points
+    }
+
+    /// The (kvco, ivco) domain of the model: per-dimension bounds of the
+    /// Pareto cloud.
+    pub fn design_domain(&self) -> [(f64, f64); 2] {
+        let d = self.jvco_of.domain();
+        [d[0], d[1]]
+    }
+
+    /// The Listing-2 query: interpolates nominal, minimum and maximum
+    /// VCO performances at a (kvco, ivco) design point.
+    ///
+    /// Corner lookups are clamped into the model domain (the corners sit
+    /// a fraction of a percent off the nominal surface).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Table`] when (kvco, ivco) falls outside the
+    /// Pareto cloud — the system-level optimiser treats that as an
+    /// infeasible candidate.
+    pub fn query(&self, kvco: f64, ivco: f64) -> Result<VcoQuery, FlowError> {
+        if self.manifold_distance(kvco, ivco) > 1.0 {
+            let nearest = self.nearest_point(kvco, ivco);
+            let _ = nearest;
+            return Err(FlowError::Table(
+                tablemodel::TableModelError::TooFarFromSamples {
+                    distance: self.manifold_distance(kvco, ivco),
+                    max_gap: 1.0,
+                },
+            ));
+        }
+        let jvco = self.jvco_of.eval(&[kvco, ivco])?;
+        let fmin = self.fmin_of.eval(&[kvco, ivco])?;
+        let fmax = self.fmax_of.eval(&[kvco, ivco])?;
+
+        let dk = self.delta_kvco.eval(kvco) / 100.0;
+        let di = self.delta_ivco.eval(ivco) / 100.0;
+        let dfmin = self.delta_fmin.eval(fmin) / 100.0;
+        let dfmax = self.delta_fmax.eval(fmax) / 100.0;
+
+        let kvco_min = kvco * (1.0 - dk);
+        let kvco_max = kvco * (1.0 + dk);
+        let ivco_min = ivco * (1.0 - di);
+        let ivco_max = ivco * (1.0 + di);
+
+        // Paper Listing 2: jvco_min/max interpolated at the corner
+        // (kvco, ivco) points; clamp into the model domain first.
+        // (Corner lookups reuse the nominal value when the corner slips
+        // past the manifold guard — the unwrap_or below.)
+        let clamp = |v: f64, (lo, hi): (f64, f64)| v.clamp(lo, hi);
+        let dom = self.design_domain();
+        let j_at = |k: f64, i: f64| -> f64 {
+            self.jvco_of
+                .eval(&[clamp(k, dom[0]), clamp(i, dom[1])])
+                .unwrap_or(jvco)
+        };
+        let j1 = j_at(kvco_min, ivco_min);
+        let j2 = j_at(kvco_max, ivco_max);
+        // Widen by the jitter's own ∆ and order the corners.
+        let dj = self.delta_jvco.eval(jvco) / 100.0;
+        let candidates = [jvco * (1.0 - dj), jvco * (1.0 + dj), j1, j2];
+        let jvco_min = candidates.iter().copied().fold(f64::INFINITY, f64::min);
+        let jvco_max = candidates
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+
+        Ok(VcoQuery {
+            kvco,
+            kvco_min,
+            kvco_max,
+            ivco,
+            ivco_min,
+            ivco_max,
+            jvco,
+            jvco_min,
+            jvco_max,
+            fmin,
+            fmin_worst: fmin * (1.0 + dfmin),
+            fmax,
+            fmax_worst: fmax * (1.0 - dfmax),
+        })
+    }
+
+    /// Inverse sizing lookup (the paper's p1…p7 tables): transistor
+    /// dimensions for a full performance point, clamped to the sizing
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Table`] when the performance point lies
+    /// outside the characterised cloud.
+    pub fn sizing_for(&self, perf: &VcoPerf) -> Result<VcoSizing, FlowError> {
+        let key = perf.to_array();
+        let mut params = [0.0; VcoSizing::DIM];
+        for (idx, table) in self.inverse.iter().enumerate() {
+            params[idx] = table.eval(&key)?;
+        }
+        Ok(VcoSizing::from_array(&params).clamped())
+    }
+
+    /// The characterised point nearest to a (kvco, ivco) query — the
+    /// discrete design behind an interpolated value.
+    pub fn nearest_point(&self, kvco: f64, ivco: f64) -> &CharPoint {
+        let (idx, _) = self.jvco_of.nearest(&[kvco, ivco]);
+        &self.points[idx]
+    }
+
+    /// Distance from a (kvco, ivco) design point to the characterised
+    /// Pareto manifold in units of the trust tolerance: the worst
+    /// per-axis relative deviation from the nearest characterised
+    /// design, divided by [`MANIFOLD_REL_TOLERANCE`]. ≤ 1 means the
+    /// point is inside the trusted region. Gives optimisers a smooth
+    /// feasibility signal.
+    pub fn manifold_distance(&self, kvco: f64, ivco: f64) -> f64 {
+        let nearest = self.nearest_point(kvco, ivco);
+        let rel_k = (kvco - nearest.perf.kvco).abs() / nearest.perf.kvco.abs().max(1e-30);
+        let rel_i = (ivco - nearest.perf.ivco).abs() / nearest.perf.ivco.abs().max(1e-30);
+        rel_k.max(rel_i) / MANIFOLD_REL_TOLERANCE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic characterised front with a smooth trade-off:
+    /// jvco falls and ivco rises along the front.
+    fn synthetic_front(n: usize) -> CharacterizedFront {
+        let points = (0..n)
+            .map(|i| {
+                let t = i as f64 / (n - 1) as f64;
+                let mut sizing = VcoSizing::nominal();
+                sizing.wsn = 15e-6 + 60e-6 * t;
+                sizing.wn = 12e-6 + 40e-6 * t;
+                CharPoint {
+                    sizing,
+                    perf: VcoPerf {
+                        kvco: 0.8e9 + 1.2e9 * t + 0.05e9 * (t * 7.0).sin(),
+                        ivco: 2e-3 + 6e-3 * t,
+                        jvco: 0.35e-12 - 0.22e-12 * t,
+                        fmin: 0.4e9 + 0.2e9 * t,
+                        fmax: 1.3e9 + 1.2e9 * t,
+                    },
+                    delta: VcoDeltas {
+                        kvco: 0.4,
+                        ivco: 2.8,
+                        jvco: 23.0,
+                        fmin: 1.0,
+                        fmax: 1.1,
+                    },
+                    mc_accepted: 100,
+                    mc_failed: 0,
+                }
+            })
+            .collect();
+        CharacterizedFront { points }
+    }
+
+    #[test]
+    fn query_inside_domain_produces_ordered_corners() {
+        let model = PerfVariationModel::from_front(&synthetic_front(12)).unwrap();
+        let q = model.query(1.2e9, 4.5e-3).unwrap();
+        assert!(q.kvco_min < q.kvco && q.kvco < q.kvco_max);
+        assert!(q.ivco_min < q.ivco && q.ivco < q.ivco_max);
+        assert!(q.jvco_min <= q.jvco && q.jvco <= q.jvco_max);
+        assert!(q.jvco_max - q.jvco_min > 0.0, "jitter spread present");
+        assert!(q.fmin_worst >= q.fmin);
+        assert!(q.fmax_worst <= q.fmax);
+    }
+
+    #[test]
+    fn query_outside_domain_errors() {
+        let model = PerfVariationModel::from_front(&synthetic_front(12)).unwrap();
+        assert!(model.query(10e9, 4e-3).is_err());
+        assert!(model.query(1.2e9, 1.0).is_err());
+    }
+
+    #[test]
+    fn jitter_interpolation_tracks_the_front() {
+        let model = PerfVariationModel::from_front(&synthetic_front(16)).unwrap();
+        // Low-current designs jitter more than high-current ones.
+        let q_low = model.query(0.9e9, 2.5e-3).unwrap();
+        let q_high = model.query(1.9e9, 7.5e-3).unwrap();
+        assert!(
+            q_low.jvco > q_high.jvco,
+            "jitter/current trade-off lost: {} vs {}",
+            q_low.jvco,
+            q_high.jvco
+        );
+    }
+
+    #[test]
+    fn sizing_inverse_recovers_front_designs() {
+        let front = synthetic_front(10);
+        let model = PerfVariationModel::from_front(&front).unwrap();
+        // At an exact front point the inverse tables reproduce the
+        // sizing (IDW is exact at samples).
+        let p = &front.points[4];
+        let sizing = model.sizing_for(&p.perf).unwrap();
+        assert!((sizing.wsn - p.sizing.wsn).abs() < 1e-9);
+        assert!((sizing.wn - p.sizing.wn).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_point_returns_backing_design() {
+        let front = synthetic_front(10);
+        let model = PerfVariationModel::from_front(&front).unwrap();
+        let p = &front.points[7];
+        let found = model.nearest_point(p.perf.kvco, p.perf.ivco);
+        assert_eq!(found.perf, p.perf);
+    }
+
+    #[test]
+    fn too_small_front_rejected() {
+        let front = synthetic_front(1);
+        assert!(matches!(
+            PerfVariationModel::from_front(&front),
+            Err(FlowError::Stage { .. })
+        ));
+    }
+
+    #[test]
+    fn manifold_guard_rejects_fabricated_combinations() {
+        let model = PerfVariationModel::from_front(&synthetic_front(12)).unwrap();
+        // On-manifold: kvco at t=0.5 pairs with ivco at t=0.5.
+        assert!(model.manifold_distance(1.4e9, 5.0e-3) <= 1.0);
+        assert!(model.query(1.4e9, 5.0e-3).is_ok());
+        // Fabricated: max gain with min current — inside the bounding
+        // box, far from every characterised design.
+        assert!(model.manifold_distance(2.0e9, 2.0e-3) > 1.0);
+        assert!(matches!(
+            model.query(2.0e9, 2.0e-3),
+            Err(FlowError::Table(
+                tablemodel::TableModelError::TooFarFromSamples { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn tbl_round_trip_preserves_queries() {
+        let front = synthetic_front(12);
+        let model = PerfVariationModel::from_front(&front).unwrap();
+        let dir = std::env::temp_dir().join("hierflow_model_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        front.write_tbl_files(&dir).unwrap();
+        let loaded = PerfVariationModel::from_tbl_dir(&dir).unwrap();
+        let a = model.query(1.2e9, 4.5e-3).unwrap();
+        let b = loaded.query(1.2e9, 4.5e-3).unwrap();
+        assert!((a.jvco - b.jvco).abs() < 1e-18);
+        assert!((a.kvco_min - b.kvco_min).abs() < 1.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,138 @@
+//! Plain-text rendering of the paper's tables.
+
+use std::fmt::Write as _;
+
+use crate::charmodel::CharacterizedFront;
+use crate::system_opt::SystemSolution;
+
+/// Renders Table 1 (performance and variation values of selected Pareto
+/// designs): Kvco, ∆Kvco, Jvco, ∆Jvco, Ivco, ∆Ivco.
+pub fn format_table1(front: &CharacterizedFront) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} | {:>10} {:>8} | {:>9} {:>8} | {:>9} {:>8}",
+        "Dsg", "Kvco(MHz/V)", "dKvco%", "Jvco(ps)", "dJvco%", "Ivco(mA)", "dIvco%"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(72));
+    for (i, p) in front.points.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>4} | {:>10.0} {:>8.2} | {:>9.3} {:>8.1} | {:>9.2} {:>8.1}",
+            i,
+            p.perf.kvco / 1e6,
+            p.delta.kvco,
+            p.perf.jvco * 1e12,
+            p.delta.jvco,
+            p.perf.ivco * 1e3,
+            p.delta.ivco,
+        );
+    }
+    out
+}
+
+/// Renders Table 2 (PLL system-level solution samples) with the same
+/// columns as the paper: Kv/Iv (nom, min, max), C1, C2, R1, lock time,
+/// jitter sum (nom, min, max), current (nom, min, max).
+pub fn format_table2(solutions: &[SystemSolution]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>8} {:>8} | {:>6} {:>6} {:>6} | {:>7} {:>7} {:>7} | {:>6} | {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} | spec",
+        "Kv", "Kvmin", "Kvmax", "Iv", "Ivmin", "Ivmax", "C1(pF)", "C2(pF)", "R1(k)",
+        "Lt(us)", "Jit", "Jitmn", "Jitmx", "Curr", "Currmn", "Currmx"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(132));
+    for s in solutions {
+        let _ = writeln!(
+            out,
+            "{:>8.0} {:>8.0} {:>8.0} | {:>6.2} {:>6.2} {:>6.2} | {:>7.2} {:>7.2} {:>7.2} | {:>6.2} | {:>6.2} {:>6.2} {:>6.2} | {:>6.2} {:>6.2} {:>6.2} | {}",
+            s.kvco / 1e6,
+            s.kvco_min / 1e6,
+            s.kvco_max / 1e6,
+            s.ivco * 1e3,
+            s.ivco_min * 1e3,
+            s.ivco_max * 1e3,
+            s.c1 * 1e12,
+            s.c2 * 1e12,
+            s.r1 / 1e3,
+            s.lock_time * 1e6,
+            s.jitter * 1e12,
+            s.jitter_min * 1e12,
+            s.jitter_max * 1e12,
+            s.current * 1e3,
+            s.current_min * 1e3,
+            s.current_max * 1e3,
+            if s.meets_spec { "PASS" } else { "----" },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::charmodel::{CharPoint, VcoDeltas};
+    use crate::vco_eval::VcoPerf;
+    use netlist::topology::VcoSizing;
+
+    #[test]
+    fn table1_contains_all_rows_and_units() {
+        let front = CharacterizedFront {
+            points: vec![CharPoint {
+                sizing: VcoSizing::nominal(),
+                perf: VcoPerf {
+                    kvco: 997e6,
+                    jvco: 0.13e-12,
+                    ivco: 8.62e-3,
+                    fmin: 0.5e9,
+                    fmax: 1.4e9,
+                },
+                delta: VcoDeltas {
+                    kvco: 0.50,
+                    ivco: 2.9,
+                    jvco: 22.0,
+                    fmin: 1.0,
+                    fmax: 1.1,
+                },
+                mc_accepted: 100,
+                mc_failed: 0,
+            }],
+        };
+        let s = format_table1(&front);
+        assert!(s.contains("997"), "{s}");
+        assert!(s.contains("22.0"), "{s}");
+        assert!(s.contains("8.62"), "{s}");
+        assert_eq!(s.lines().count(), 3);
+    }
+
+    #[test]
+    fn table2_marks_spec_compliance() {
+        let sol = SystemSolution {
+            kvco: 1540e6,
+            kvco_min: 1536e6,
+            kvco_max: 1545e6,
+            ivco: 4.0e-3,
+            ivco_min: 3.9e-3,
+            ivco_max: 4.1e-3,
+            c1: 5e-12,
+            c2: 0.5e-12,
+            r1: 20e3,
+            lock_time: 0.9e-6,
+            lock_time_worst: 0.95e-6,
+            jitter: 4.30e-12,
+            jitter_min: 4.23e-12,
+            jitter_max: 4.38e-12,
+            current: 14.0e-3,
+            current_min: 13.9e-3,
+            current_max: 14.1e-3,
+            meets_spec: true,
+        };
+        let s = format_table2(&[sol]);
+        assert!(s.contains("PASS"), "{s}");
+        assert!(s.contains("1540"), "{s}");
+        let mut failing = sol;
+        failing.meets_spec = false;
+        assert!(format_table2(&[failing]).contains("----"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Sensitivity analysis: finite-difference derivatives of the five VCO
+//! performances with respect to the seven designable parameters — the
+//! designer-facing companion to the variation model (which parameter
+//! moves which performance, and how hard).
+
+use netlist::topology::VcoSizing;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlowError;
+use crate::vco_eval::{VcoPerf, VcoTestbench};
+
+/// Sensitivities at one design point: `d perf / d param`, normalised to
+/// percent change of performance per percent change of parameter
+/// (elasticities), in a 5×7 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityMatrix {
+    /// The design point analysed.
+    pub sizing: VcoSizing,
+    /// Nominal performance at the point.
+    pub nominal: VcoPerf,
+    /// `elasticity[perf][param]` — percent per percent; rows in
+    /// [`VcoPerf::NAMES`] order, columns in [`VcoSizing::NAMES`] order.
+    pub elasticity: Vec<Vec<f64>>,
+}
+
+impl SensitivityMatrix {
+    /// Renders the matrix as a table.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{:>6}", "");
+        for name in VcoSizing::NAMES {
+            let _ = write!(out, " {name:>9}");
+        }
+        let _ = writeln!(out);
+        for (row, perf_name) in VcoPerf::NAMES.iter().enumerate() {
+            let _ = write!(out, "{perf_name:>6}");
+            for col in 0..VcoSizing::DIM {
+                let _ = write!(out, " {:>9.3}", self.elasticity[row][col]);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// The parameter with the strongest influence (largest absolute
+    /// elasticity) on performance index `perf_idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perf_idx >= 5`.
+    pub fn dominant_param(&self, perf_idx: usize) -> (&'static str, f64) {
+        let row = &self.elasticity[perf_idx];
+        let (idx, value) = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.abs()
+                    .partial_cmp(&b.1.abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("seven parameters");
+        (VcoSizing::NAMES[idx], *value)
+    }
+}
+
+/// Computes the elasticity matrix by central finite differences with a
+/// relative step `rel_step` (e.g. 0.05 = ±5 %) on each parameter,
+/// clamped to the sizing bounds.
+///
+/// Cost: `1 + 2×7` transistor-level evaluations.
+///
+/// # Errors
+///
+/// Propagates evaluation failures ([`FlowError::Sim`]) — a perturbed
+/// design that stops oscillating aborts the analysis.
+pub fn sensitivity_matrix(
+    testbench: &VcoTestbench,
+    sizing: &VcoSizing,
+    rel_step: f64,
+) -> Result<SensitivityMatrix, FlowError> {
+    assert!(
+        rel_step > 0.0 && rel_step < 0.5,
+        "relative step must be in (0, 0.5)"
+    );
+    let nominal = testbench.evaluate_sizing(sizing)?;
+    let nominal_arr = nominal.to_array();
+    let base = sizing.to_array();
+
+    let mut elasticity = vec![vec![0.0; VcoSizing::DIM]; 5];
+    for param in 0..VcoSizing::DIM {
+        let (lo, hi) = VcoSizing::BOUNDS[param];
+        let step = base[param] * rel_step;
+        let mut up = base;
+        up[param] = (base[param] + step).min(hi);
+        let mut down = base;
+        down[param] = (base[param] - step).max(lo);
+        let span = up[param] - down[param];
+        if span <= 0.0 {
+            continue;
+        }
+        let perf_up = testbench.evaluate_sizing(&VcoSizing::from_array(&up))?;
+        let perf_down = testbench.evaluate_sizing(&VcoSizing::from_array(&down))?;
+        let up_arr = perf_up.to_array();
+        let down_arr = perf_down.to_array();
+        for metric in 0..5 {
+            let d_perf = (up_arr[metric] - down_arr[metric]) / nominal_arr[metric];
+            let d_param = span / base[param];
+            elasticity[metric][param] = d_perf / d_param;
+        }
+    }
+
+    Ok(SensitivityMatrix {
+        sizing: *sizing,
+        nominal,
+        elasticity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Expensive (15 transistor-level evaluations) — the physics
+    /// assertions the matrix must satisfy.
+    #[test]
+    #[ignore = "15 transistor-level evaluations; run with --ignored"]
+    fn elasticities_have_physical_signs() {
+        let tb = VcoTestbench::default();
+        let m = sensitivity_matrix(&tb, &VcoSizing::nominal(), 0.08).unwrap();
+        // ivco (row 1) rises with the starve widths (columns 2, 3).
+        assert!(m.elasticity[1][2] > 0.0, "ivco vs wsn: {}", m.elasticity[1][2]);
+        assert!(m.elasticity[1][3] > 0.0, "ivco vs wsp: {}", m.elasticity[1][3]);
+        // fmax (row 4) falls with the inverter widths (more load).
+        assert!(m.elasticity[4][0] < 0.0, "fmax vs wn: {}", m.elasticity[4][0]);
+        // jvco (row 2) falls as inverter width grows (bigger C).
+        assert!(m.elasticity[2][0] < 0.0, "jvco vs wn: {}", m.elasticity[2][0]);
+        let table = m.to_table();
+        assert!(table.contains("kvco") && table.contains("w_bias"));
+    }
+
+    #[test]
+    fn dominant_param_picks_largest_magnitude() {
+        let m = SensitivityMatrix {
+            sizing: VcoSizing::nominal(),
+            nominal: VcoPerf {
+                kvco: 1e9,
+                jvco: 0.2e-12,
+                ivco: 4e-3,
+                fmin: 0.5e9,
+                fmax: 1.5e9,
+            },
+            elasticity: vec![
+                vec![0.1, -0.9, 0.2, 0.0, 0.0, 0.0, 0.0],
+                vec![0.0; 7],
+                vec![0.0; 7],
+                vec![0.0; 7],
+                vec![0.0; 7],
+            ],
+        };
+        let (name, value) = m.dominant_param(0);
+        assert_eq!(name, "wp");
+        assert_eq!(value, -0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative step")]
+    fn rejects_bad_step() {
+        let tb = VcoTestbench::default();
+        let _ = sensitivity_matrix(&tb, &VcoSizing::nominal(), 0.9);
+    }
+}

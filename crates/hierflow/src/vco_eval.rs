@@ -1,0 +1,334 @@
+//! Transistor-level VCO evaluation: the testbench behind both the
+//! circuit-level optimisation and the Monte-Carlo characterisation.
+
+use netlist::topology::{build_ring_vco, RingVco, VcoSizing};
+use netlist::{Circuit, Device, SourceWaveform};
+use serde::{Deserialize, Serialize};
+use spicesim::measure::{measure_oscillator, OscConfig};
+use spicesim::noise::{
+    analytic_ring_jitter, measure_period_jitter, DEFAULT_JITTER_CALIBRATION,
+};
+use spicesim::SimOptions;
+
+use crate::error::FlowError;
+
+/// The five VCO performance functions of the paper (§4.1): gain, jitter,
+/// current, minimum and maximum frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcoPerf {
+    /// VCO gain Kvco (Hz/V).
+    pub kvco: f64,
+    /// Period jitter (s).
+    pub jvco: f64,
+    /// Supply current at the top of the tuning range (A).
+    pub ivco: f64,
+    /// Frequency at the lowest control voltage (Hz).
+    pub fmin: f64,
+    /// Frequency at the highest control voltage (Hz).
+    pub fmax: f64,
+}
+
+impl VcoPerf {
+    /// Packs the performances in the canonical (kvco, ivco, jvco, fmin,
+    /// fmax) order used by the paper's 5-input p-tables.
+    pub fn to_array(&self) -> [f64; 5] {
+        [self.kvco, self.ivco, self.jvco, self.fmin, self.fmax]
+    }
+
+    /// Unpacks an array packed by [`VcoPerf::to_array`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 5`.
+    pub fn from_array(x: &[f64]) -> Self {
+        assert_eq!(x.len(), 5, "vco perf has five entries");
+        VcoPerf {
+            kvco: x[0],
+            ivco: x[1],
+            jvco: x[2],
+            fmin: x[3],
+            fmax: x[4],
+        }
+    }
+
+    /// Names of the performance functions, in array order.
+    pub const NAMES: [&'static str; 5] = ["kvco", "ivco", "jvco", "fmin", "fmax"];
+}
+
+/// How jitter is extracted during evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum JitterMode {
+    /// Fast first-order analytic estimator (default inside optimisation
+    /// loops; calibrated against the noise transient).
+    Analytic,
+    /// Thermal-noise-injected transient measurement over this many
+    /// periods — the accurate (and expensive) route; its estimator
+    /// variance is also what gives the paper-scale ∆Jvco spreads.
+    NoiseTransient {
+        /// Periods to measure.
+        periods: usize,
+        /// Noise seed.
+        seed: u64,
+    },
+}
+
+/// The VCO testbench: everything needed to evaluate a sizing — or a
+/// statistically perturbed copy of its circuit — at transistor level.
+#[derive(Debug, Clone)]
+pub struct VcoTestbench {
+    /// Ring stage count (paper: 5).
+    pub stages: usize,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Lower end of the control-voltage range (V).
+    pub vctrl_lo: f64,
+    /// Upper end of the control-voltage range (V).
+    pub vctrl_hi: f64,
+    /// Oscillator measurement settings.
+    pub osc: OscConfig,
+    /// Simulator numerical options.
+    pub sim: SimOptions,
+    /// Jitter extraction mode.
+    pub jitter: JitterMode,
+    /// Calibration factor for the analytic jitter estimator.
+    pub jitter_calibration: f64,
+}
+
+impl Default for VcoTestbench {
+    fn default() -> Self {
+        VcoTestbench {
+            stages: 5,
+            vdd: 1.2,
+            vctrl_lo: 0.5,
+            vctrl_hi: 1.2,
+            osc: OscConfig::default(),
+            sim: SimOptions::default(),
+            jitter: JitterMode::Analytic,
+            jitter_calibration: DEFAULT_JITTER_CALIBRATION,
+        }
+    }
+}
+
+impl VcoTestbench {
+    /// Builds the testbench circuit for a sizing (control source at the
+    /// high end; measurements retune it in place).
+    pub fn build(&self, sizing: &VcoSizing) -> RingVco {
+        build_ring_vco(sizing, self.stages, self.vdd, self.vctrl_hi)
+    }
+
+    /// Evaluates a sizing from scratch (builds the circuit, then
+    /// measures).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Sim`] when the circuit fails to oscillate or
+    /// a transient diverges.
+    pub fn evaluate_sizing(&self, sizing: &VcoSizing) -> Result<VcoPerf, FlowError> {
+        let ring = self.build(sizing);
+        self.evaluate_circuit(&ring.circuit, &ring)
+    }
+
+    /// Evaluates a (possibly perturbed) copy of a testbench circuit.
+    /// `handles` must come from the [`VcoTestbench::build`] call that
+    /// produced the circuit `circuit` was cloned from — node and device
+    /// ids are stable across cloning and statistical perturbation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Sim`] when any measurement fails.
+    pub fn evaluate_circuit(
+        &self,
+        circuit: &Circuit,
+        handles: &RingVco,
+    ) -> Result<VcoPerf, FlowError> {
+        let mut work = circuit.clone();
+
+        // fmax + current at the top of the range.
+        set_dc(&mut work, handles, self.vctrl_hi);
+        let hi = measure_oscillator(
+            &work,
+            handles.out,
+            handles.vdd_source,
+            &self.osc,
+            &self.sim,
+            None,
+        )?;
+
+        // fmin at the bottom of the range.
+        set_dc(&mut work, handles, self.vctrl_lo);
+        let lo = measure_oscillator(
+            &work,
+            handles.out,
+            handles.vdd_source,
+            &self.osc,
+            &self.sim,
+            None,
+        )?;
+
+        // Gain as the full-range tuning slope, matching the paper's
+        // Kvco magnitudes (Table 1: 373–2280 MHz/V). Note the resulting
+        // ∆Kvco carries the near-threshold fmin sensitivity of the
+        // square-law model — see EXPERIMENTS.md for the discussion.
+        let kvco = (hi.freq - lo.freq) / (self.vctrl_hi - self.vctrl_lo);
+        if kvco <= 0.0 {
+            return Err(FlowError::Sim(spicesim::SimError::Measurement {
+                message: format!(
+                    "non-positive vco gain: f({}) = {:.3e}, f({}) = {:.3e}",
+                    self.vctrl_lo, lo.freq, self.vctrl_hi, hi.freq
+                ),
+            }));
+        }
+
+        // Jitter at the top of the range (where the paper's spec bites).
+        set_dc(&mut work, handles, self.vctrl_hi);
+        let jvco = match self.jitter {
+            JitterMode::Analytic => {
+                let c_load = stage_load_cap(&work)?;
+                let gamma = stage_gamma(&work);
+                analytic_ring_jitter(
+                    self.stages,
+                    c_load,
+                    gamma,
+                    hi.freq,
+                    self.vdd,
+                    self.jitter_calibration,
+                )
+            }
+            JitterMode::NoiseTransient { periods, seed } => {
+                measure_period_jitter(
+                    &work,
+                    handles.out,
+                    handles.vdd_source,
+                    periods,
+                    seed,
+                    &self.sim,
+                )?
+                .sigma
+            }
+        };
+
+        Ok(VcoPerf {
+            kvco,
+            jvco,
+            ivco: hi.avg_supply_current,
+            fmin: lo.freq,
+            fmax: hi.freq,
+        })
+    }
+}
+
+/// Sets the control-voltage source of a testbench circuit.
+fn set_dc(circuit: &mut Circuit, handles: &RingVco, value: f64) {
+    match circuit.device_mut(handles.vctrl_source) {
+        Device::VSource { waveform, .. } => *waveform = SourceWaveform::Dc(value),
+        _ => unreachable!("vctrl handle points at a voltage source"),
+    }
+}
+
+/// Reads the per-stage load capacitance back from the circuit (device
+/// `Cl0`), so perturbed circuits and sizings stay consistent.
+fn stage_load_cap(circuit: &Circuit) -> Result<f64, FlowError> {
+    let id = circuit
+        .find_device("Cl0")
+        .ok_or_else(|| FlowError::stage("evaluate", "testbench circuit lacks Cl0"))?;
+    match circuit.device(id) {
+        Device::Capacitor { value, .. } => Ok(*value),
+        _ => Err(FlowError::stage("evaluate", "Cl0 is not a capacitor")),
+    }
+}
+
+/// Thermal-noise excess factor of the inverter devices (post
+/// perturbation).
+fn stage_gamma(circuit: &Circuit) -> f64 {
+    circuit
+        .find_device("Mn0")
+        .map(|id| match circuit.device(id) {
+            Device::Mos(m) => m.model.gamma_noise,
+            _ => 1.5,
+        })
+        .unwrap_or(1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_sizing_evaluates_with_sane_magnitudes() {
+        let tb = VcoTestbench::default();
+        let perf = tb.evaluate_sizing(&VcoSizing::nominal()).unwrap();
+        assert!(perf.fmax > perf.fmin, "range must be positive");
+        assert!(
+            (1e8..1e10).contains(&perf.fmax),
+            "fmax {:.3e} out of band",
+            perf.fmax
+        );
+        assert!(
+            (1e8..5e9).contains(&perf.kvco),
+            "kvco {:.3e} outside the paper's magnitude window",
+            perf.kvco
+        );
+        assert!(
+            (1e-4..5e-2).contains(&perf.ivco),
+            "ivco {:.3e} implausible",
+            perf.ivco
+        );
+        assert!(
+            (1e-15..5e-12).contains(&perf.jvco),
+            "jvco {:.3e} implausible",
+            perf.jvco
+        );
+    }
+
+    #[test]
+    fn perf_array_round_trip() {
+        let p = VcoPerf {
+            kvco: 1e9,
+            jvco: 0.2e-12,
+            ivco: 4e-3,
+            fmin: 0.5e9,
+            fmax: 1.5e9,
+        };
+        assert_eq!(VcoPerf::from_array(&p.to_array()), p);
+    }
+
+    #[test]
+    fn wider_inverters_draw_more_current() {
+        let tb = VcoTestbench::default();
+        let base = tb.evaluate_sizing(&VcoSizing::nominal()).unwrap();
+        let mut big = VcoSizing::nominal();
+        big.wsn *= 1.8;
+        big.wsp *= 1.8;
+        let more = tb.evaluate_sizing(&big).unwrap();
+        assert!(
+            more.ivco > base.ivco,
+            "wider starve devices must draw more: {} vs {}",
+            more.ivco,
+            base.ivco
+        );
+    }
+
+    #[test]
+    fn evaluate_circuit_accepts_perturbed_clone() {
+        let tb = VcoTestbench::default();
+        let ring = tb.build(&VcoSizing::nominal());
+        let mut perturbed = ring.circuit.clone();
+        // Shift every NMOS threshold up 30 mV: frequency must drop.
+        let ids: Vec<_> = perturbed.devices().map(|(id, _)| id).collect();
+        for id in ids {
+            if let Device::Mos(m) = perturbed.device_mut(id) {
+                if m.model.polarity == netlist::MosPolarity::Nmos {
+                    m.model.vto += 0.03;
+                }
+            }
+        }
+        let nominal = tb.evaluate_circuit(&ring.circuit, &ring).unwrap();
+        let shifted = tb.evaluate_circuit(&perturbed, &ring).unwrap();
+        assert!(
+            shifted.fmax < nominal.fmax,
+            "higher thresholds must slow the ring: {:.3e} vs {:.3e}",
+            shifted.fmax,
+            nominal.fmax
+        );
+    }
+}

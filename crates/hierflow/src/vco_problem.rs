@@ -1,0 +1,200 @@
+//! The circuit-level sizing problem (paper §4.1–4.2): seven W/L
+//! designables, five objectives, transistor-level evaluation.
+
+use moea::problem::{Evaluation, Problem};
+use netlist::topology::VcoSizing;
+
+use crate::vco_eval::{VcoPerf, VcoTestbench};
+
+/// The VCO sizing problem handed to NSGA-II.
+///
+/// Objectives (all minimised, matching the paper's trade-off directions):
+/// jitter ↓, current ↓, gain ↑ (negated), fmin ↓, fmax ↑ (negated).
+/// Candidates whose circuit fails to oscillate are marked failed and
+/// sink to the bottom under constrained domination.
+///
+/// An optional **band-coverage constraint** implements the paper's
+/// specification propagation (Fig 3): the system-level output band
+/// becomes `fmin ≤ band.0` and `fmax ≥ band.1` constraints at circuit
+/// level, steering the front into the region the system optimiser can
+/// actually use.
+#[derive(Debug, Clone)]
+pub struct VcoSizingProblem {
+    testbench: VcoTestbench,
+    band: Option<(f64, f64)>,
+}
+
+impl VcoSizingProblem {
+    /// Creates the problem around a testbench, without band constraints
+    /// (the pure five-objective formulation of §4.1).
+    pub fn new(testbench: VcoTestbench) -> Self {
+        VcoSizingProblem {
+            testbench,
+            band: None,
+        }
+    }
+
+    /// Adds the propagated system-band constraint: every feasible design
+    /// must tune below `f_lo` and above `f_hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_lo >= f_hi` or either is non-positive.
+    pub fn with_band(testbench: VcoTestbench, f_lo: f64, f_hi: f64) -> Self {
+        assert!(
+            f_lo > 0.0 && f_hi > f_lo,
+            "band must satisfy 0 < f_lo < f_hi"
+        );
+        VcoSizingProblem {
+            testbench,
+            band: Some((f_lo, f_hi)),
+        }
+    }
+
+    /// The testbench in use.
+    pub fn testbench(&self) -> &VcoTestbench {
+        &self.testbench
+    }
+
+    /// Converts a performance measurement into the minimised objective
+    /// vector `(jvco, ivco, −kvco, fmin, −fmax)`.
+    pub fn objectives_of(perf: &VcoPerf) -> Vec<f64> {
+        vec![perf.jvco, perf.ivco, -perf.kvco, perf.fmin, -perf.fmax]
+    }
+
+    /// Recovers the performance from an objective vector produced by
+    /// [`VcoSizingProblem::objectives_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objectives.len() != 5`.
+    pub fn perf_of(objectives: &[f64]) -> VcoPerf {
+        assert_eq!(objectives.len(), 5, "five objectives expected");
+        VcoPerf {
+            jvco: objectives[0],
+            ivco: objectives[1],
+            kvco: -objectives[2],
+            fmin: objectives[3],
+            fmax: -objectives[4],
+        }
+    }
+}
+
+impl Problem for VcoSizingProblem {
+    fn num_vars(&self) -> usize {
+        VcoSizing::DIM
+    }
+
+    fn bounds(&self, i: usize) -> (f64, f64) {
+        VcoSizing::BOUNDS[i]
+    }
+
+    fn num_objectives(&self) -> usize {
+        5
+    }
+
+    fn num_constraints(&self) -> usize {
+        if self.band.is_some() {
+            2
+        } else {
+            0
+        }
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let sizing = VcoSizing::from_array(x);
+        match self.testbench.evaluate_sizing(&sizing) {
+            Ok(perf) => {
+                let constraints = match self.band {
+                    Some((f_lo, f_hi)) => vec![
+                        (f_lo - perf.fmin) / f_lo,
+                        (perf.fmax - f_hi) / f_hi,
+                    ],
+                    None => Vec::new(),
+                };
+                Evaluation {
+                    objectives: Self::objectives_of(&perf),
+                    constraints,
+                }
+            }
+            Err(_) => Evaluation::failed(5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moea::nsga2::{run_nsga2, Nsga2Config};
+
+    #[test]
+    fn objective_mapping_round_trips() {
+        let perf = VcoPerf {
+            kvco: 1.2e9,
+            jvco: 0.15e-12,
+            ivco: 3e-3,
+            fmin: 0.6e9,
+            fmax: 1.6e9,
+        };
+        let obj = VcoSizingProblem::objectives_of(&perf);
+        assert_eq!(VcoSizingProblem::perf_of(&obj), perf);
+        // Gain and fmax are maximised → negated.
+        assert!(obj[2] < 0.0 && obj[4] < 0.0);
+    }
+
+    #[test]
+    fn problem_dimensions_match_paper() {
+        let p = VcoSizingProblem::new(VcoTestbench::default());
+        assert_eq!(p.num_vars(), 7);
+        assert_eq!(p.num_objectives(), 5);
+        assert_eq!(p.num_constraints(), 0);
+        assert_eq!(p.bounds(0), (10e-6, 100e-6));
+        assert_eq!(p.bounds(4), (0.12e-6, 1e-6));
+    }
+
+    #[test]
+    fn band_constraint_scores_coverage() {
+        let p = VcoSizingProblem::with_band(VcoTestbench::default(), 500e6, 1.2e9);
+        assert_eq!(p.num_constraints(), 2);
+        // A known band-covering sizing is feasible; the nominal (fmin
+        // above 500 MHz) violates the low-side constraint.
+        let lean = VcoSizing {
+            wn: 10e-6,
+            wp: 12e-6,
+            wsn: 15e-6,
+            wsp: 30e-6,
+            l_inv: 0.12e-6,
+            l_starve: 0.3e-6,
+            w_bias: 15e-6,
+        };
+        let eval = p.evaluate(&lean.to_array());
+        assert!(
+            eval.is_feasible(),
+            "lean sizing should cover the band: {:?}",
+            eval.constraints
+        );
+    }
+
+    /// A miniature end-to-end sizing run: tiny GA budget, but enough to
+    /// confirm transistor-level evaluations flow through NSGA-II and a
+    /// usable front emerges. (The paper-scale run lives in the fig7
+    /// experiment binary.)
+    #[test]
+    fn tiny_sizing_run_produces_a_front() {
+        let problem = VcoSizingProblem::new(VcoTestbench::default());
+        let cfg = Nsga2Config {
+            population: 8,
+            generations: 2,
+            seed: 42,
+            eval_threads: 2,
+            ..Default::default()
+        };
+        let result = run_nsga2(&problem, &cfg);
+        let front = result.pareto_front();
+        assert!(!front.is_empty(), "no feasible VCO designs found");
+        for ind in &front {
+            let perf = VcoSizingProblem::perf_of(&ind.objectives);
+            assert!(perf.kvco > 0.0 && perf.fmax > perf.fmin);
+        }
+    }
+}

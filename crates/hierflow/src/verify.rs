@@ -1,0 +1,198 @@
+//! Bottom-up verification (paper §4.5): Monte Carlo on the final
+//! transistor-level design, re-running the behavioural PLL per sample
+//! and confirming the predicted yield.
+
+use behavioral::jitter::pll_jitter_sum;
+use behavioral::params::{PllParams, PLL_FIXED_CURRENT};
+use behavioral::spec::{PllPerformance, PllSpec};
+use behavioral::timesim::{simulate_lock, LockSimConfig};
+use netlist::topology::VcoSizing;
+use numkit::stats::wilson_interval;
+use serde::{Deserialize, Serialize};
+use variation::mc::{McConfig, MonteCarlo};
+
+use crate::error::FlowError;
+use crate::system_opt::PllArchitecture;
+use crate::vco_eval::{VcoPerf, VcoTestbench};
+
+/// Verification outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Samples meeting every PLL spec.
+    pub passed: usize,
+    /// Total Monte-Carlo samples.
+    pub total: usize,
+    /// Yield point estimate.
+    pub yield_value: f64,
+    /// 95 % Wilson confidence bounds on the yield.
+    pub yield_ci: (f64, f64),
+    /// Per-sample VCO performances (for post-mortem analysis).
+    pub vco_samples: Vec<VcoPerf>,
+    /// Samples whose transistor-level evaluation failed outright
+    /// (counted as spec failures).
+    pub evaluation_failures: usize,
+}
+
+/// Runs the bottom-up verification: `mc.samples` transistor-level
+/// Monte-Carlo evaluations of the final sizing, each fed through the
+/// behavioural PLL with the loop filter of the selected solution, then
+/// checked against the spec.
+///
+/// # Errors
+///
+/// Returns [`FlowError::Stage`] when every sample fails to evaluate
+/// (the design is broken, not merely low-yield).
+pub fn verify_design(
+    sizing: &VcoSizing,
+    filter: (f64, f64, f64),
+    testbench: &VcoTestbench,
+    arch: &PllArchitecture,
+    spec: &PllSpec,
+    engine: &MonteCarlo,
+    mc: &McConfig,
+    sim_cfg: &LockSimConfig,
+) -> Result<VerificationReport, FlowError> {
+    let (c1, c2, r1) = filter;
+    let ring = testbench.build(sizing);
+    let run = engine.run(&ring.circuit, mc, |_i, perturbed| {
+        testbench
+            .evaluate_circuit(perturbed, &ring)
+            .ok()
+            .map(|p| p.to_array().to_vec())
+    });
+    if run.accepted == 0 {
+        return Err(FlowError::stage(
+            "verify",
+            "every monte-carlo sample failed transistor-level evaluation",
+        ));
+    }
+
+    let vctrl_ref = 0.5 * (arch.vctrl_lo + arch.vctrl_hi);
+    let mut passed = 0usize;
+    let mut vco_samples = Vec::with_capacity(run.accepted);
+    for row in &run.metrics {
+        let perf = VcoPerf::from_array(row);
+        vco_samples.push(perf);
+        let params = PllParams {
+            fref: arch.fref,
+            divider: arch.divider,
+            icp: arch.icp,
+            c1,
+            c2,
+            r1,
+            kvco: perf.kvco,
+            f0: 0.5 * (perf.fmin + perf.fmax),
+            vctrl_ref,
+            fmin: perf.fmin,
+            fmax: perf.fmax,
+            ivco: perf.ivco,
+            jvco: perf.jvco,
+        };
+        let lock_time = match simulate_lock(&params, sim_cfg) {
+            Ok(r) => r.lock_time.unwrap_or(f64::INFINITY),
+            Err(_) => f64::INFINITY,
+        };
+        let pll_perf = PllPerformance {
+            fmin: perf.fmin,
+            fmax: perf.fmax,
+            lock_time,
+            jitter: pll_jitter_sum(perf.jvco, arch.divider),
+            current: perf.ivco + PLL_FIXED_CURRENT,
+        };
+        if spec.passes(&pll_perf) {
+            passed += 1;
+        }
+    }
+
+    // Failed transistor-level evaluations count as spec failures.
+    let total = run.accepted + run.failed;
+    let (lo, hi) = wilson_interval(passed, total, 1.96);
+    Ok(VerificationReport {
+        passed,
+        total,
+        yield_value: passed as f64 / total as f64,
+        yield_ci: (lo, hi),
+        vco_samples,
+        evaluation_failures: run.failed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use variation::process::ProcessSpec;
+
+    /// Transistor-level verification on the nominal sizing with a small
+    /// MC budget; the full 500-sample run lives in the yield_verify
+    /// experiment binary.
+    #[test]
+    fn small_verification_run_reports_yield() {
+        let sizing = VcoSizing::nominal();
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 8,
+            seed: 3,
+            threads: 2,
+        };
+        // A very permissive spec the nominal VCO easily meets — the
+        // point here is plumbing, not the paper numbers.
+        let spec = PllSpec {
+            f_out_min: 1.0e9,
+            f_out_max: 1.1e9,
+            lock_time_max: 5e-6,
+            current_max: 60e-3,
+        };
+        let arch = PllArchitecture {
+            divider: 21, // 1.05 GHz target, inside the nominal VCO range
+            ..Default::default()
+        };
+        let report = verify_design(
+            &sizing,
+            (30e-12, 3e-12, 4e3),
+            &tb,
+            &arch,
+            &spec,
+            &engine,
+            &mc,
+            &LockSimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.total, 8);
+        assert!(report.yield_value > 0.5, "yield {}", report.yield_value);
+        assert!(report.yield_ci.0 <= report.yield_value);
+        assert!(report.yield_ci.1 >= report.yield_value);
+        assert_eq!(report.vco_samples.len(), report.total - report.evaluation_failures);
+    }
+
+    #[test]
+    fn impossible_spec_gives_zero_yield() {
+        let sizing = VcoSizing::nominal();
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 4,
+            seed: 9,
+            threads: 2,
+        };
+        let spec = PllSpec {
+            f_out_min: 1e6, // requires fmin below 1 MHz — impossible
+            f_out_max: 50e9,
+            lock_time_max: 1e-9,
+            current_max: 1e-6,
+        };
+        let report = verify_design(
+            &sizing,
+            (30e-12, 3e-12, 4e3),
+            &tb,
+            &PllArchitecture::default(),
+            &spec,
+            &engine,
+            &mc,
+            &LockSimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(report.passed, 0);
+        assert_eq!(report.yield_value, 0.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Baseline optimisers for comparison benches: a single-objective
+//! weighted-sum GA and pure random search.
+//!
+//! The paper positions NSGA-II as the standard tool for analogue sizing;
+//! the ablation benches use these baselines to show what the
+//! multi-objective machinery buys (front coverage per evaluation).
+
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+
+use numkit::dist;
+
+use crate::problem::{Individual, Problem};
+use crate::sorting::pareto_front_indices;
+
+/// Configuration shared by the baseline optimisers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// Population size (GA) or batch size (random search).
+    pub population: usize,
+    /// Generations (GA) or batches (random search).
+    pub generations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig {
+            population: 100,
+            generations: 30,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a baseline run: every evaluated individual plus the
+/// non-dominated subset, for apples-to-apples front comparisons.
+#[derive(Debug, Clone)]
+pub struct BaselineResult {
+    /// All evaluated individuals.
+    pub evaluated: Vec<Individual>,
+    /// Total evaluations (== `evaluated.len()`).
+    pub evaluations: usize,
+}
+
+impl BaselineResult {
+    /// Non-dominated feasible subset of everything evaluated.
+    pub fn pareto_front(&self) -> Vec<Individual> {
+        pareto_front_indices(&self.evaluated)
+            .into_iter()
+            .map(|i| self.evaluated[i].clone())
+            .filter(|ind| ind.is_feasible())
+            .collect()
+    }
+}
+
+/// Pure random search: uniform samples over the box bounds.
+pub fn run_random_search<P: Problem>(problem: &P, cfg: &BaselineConfig) -> BaselineResult {
+    let mut rng = dist::seeded_rng(cfg.seed);
+    let bounds = problem.all_bounds();
+    let total = cfg.population * (cfg.generations + 1);
+    let mut evaluated = Vec::with_capacity(total);
+    for _ in 0..total {
+        let x: Vec<f64> = bounds
+            .iter()
+            .map(|&(lo, hi)| dist::uniform(&mut rng, lo, hi))
+            .collect();
+        let eval = problem.evaluate(&x);
+        evaluated.push(Individual::new(x, eval));
+    }
+    BaselineResult {
+        evaluations: evaluated.len(),
+        evaluated,
+    }
+}
+
+/// Single-objective GA on a fixed weighted sum of the objectives, with a
+/// penalty for constraint violation. Repeated runs with different weight
+/// vectors approximate a front the way pre-NSGA flows did.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != problem.num_objectives()` or all weights
+/// are zero.
+pub fn run_weighted_sum_ga<P: Problem>(
+    problem: &P,
+    weights: &[f64],
+    cfg: &BaselineConfig,
+) -> BaselineResult {
+    assert_eq!(
+        weights.len(),
+        problem.num_objectives(),
+        "one weight per objective required"
+    );
+    assert!(
+        weights.iter().any(|&w| w != 0.0),
+        "at least one weight must be nonzero"
+    );
+    let mut rng = dist::seeded_rng(cfg.seed);
+    let bounds = problem.all_bounds();
+    let fitness = |ind: &Individual| -> f64 {
+        let weighted: f64 = ind
+            .objectives
+            .iter()
+            .zip(weights)
+            .map(|(o, w)| o * w)
+            .sum();
+        weighted + 1e6 * ind.violation()
+    };
+
+    let initial = dist::latin_hypercube(&mut rng, cfg.population, &bounds);
+    let mut evaluated: Vec<Individual> = Vec::new();
+    let mut population: Vec<Individual> = initial
+        .into_iter()
+        .map(|x| {
+            let eval = problem.evaluate(&x);
+            Individual::new(x, eval)
+        })
+        .collect();
+    evaluated.extend(population.iter().cloned());
+
+    for _gen in 0..cfg.generations {
+        let mut offspring = Vec::with_capacity(cfg.population);
+        while offspring.len() < cfg.population {
+            // Binary tournament on scalar fitness.
+            let pick = |rng: &mut rand::rngs::StdRng, pop: &[Individual]| -> usize {
+                let a = rng.random_range(0..pop.len());
+                let b = rng.random_range(0..pop.len());
+                if fitness(&pop[a]) < fitness(&pop[b]) {
+                    a
+                } else {
+                    b
+                }
+            };
+            let p1 = pick(&mut rng, &population);
+            let p2 = pick(&mut rng, &population);
+            // Arithmetic crossover + gaussian mutation.
+            let alpha: f64 = rng.random();
+            let mut child: Vec<f64> = population[p1]
+                .x
+                .iter()
+                .zip(&population[p2].x)
+                .map(|(a, b)| alpha * a + (1.0 - alpha) * b)
+                .collect();
+            for (i, v) in child.iter_mut().enumerate() {
+                if rng.random::<f64>() < 0.2 {
+                    let (lo, hi) = bounds[i];
+                    *v = (*v + dist::normal(&mut rng, 0.0, 0.1 * (hi - lo))).clamp(lo, hi);
+                }
+            }
+            let eval = problem.evaluate(&child);
+            offspring.push(Individual::new(child, eval));
+        }
+        evaluated.extend(offspring.iter().cloned());
+        // Elitist (µ+λ) truncation on scalar fitness.
+        population.extend(offspring);
+        population.sort_by(|a, b| {
+            fitness(a)
+                .partial_cmp(&fitness(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        population.truncate(cfg.population);
+    }
+
+    BaselineResult {
+        evaluations: evaluated.len(),
+        evaluated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    struct Sphere;
+
+    impl Problem for Sphere {
+        fn num_vars(&self) -> usize {
+            3
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (-2.0, 2.0)
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, x: &[f64]) -> Evaluation {
+            let s1: f64 = x.iter().map(|v| v * v).sum();
+            let s2: f64 = x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum();
+            Evaluation::feasible(vec![s1, s2])
+        }
+    }
+
+    #[test]
+    fn random_search_counts_evaluations() {
+        let cfg = BaselineConfig {
+            population: 10,
+            generations: 4,
+            seed: 1,
+        };
+        let r = run_random_search(&Sphere, &cfg);
+        assert_eq!(r.evaluations, 50);
+        assert!(!r.pareto_front().is_empty());
+    }
+
+    #[test]
+    fn weighted_ga_minimises_weighted_sum() {
+        let cfg = BaselineConfig {
+            population: 30,
+            generations: 30,
+            seed: 2,
+        };
+        // All weight on the first objective → should reach x ≈ 0.
+        let r = run_weighted_sum_ga(&Sphere, &[1.0, 0.0], &cfg);
+        let best = r
+            .evaluated
+            .iter()
+            .min_by(|a, b| {
+                a.objectives[0]
+                    .partial_cmp(&b.objectives[0])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        assert!(best.objectives[0] < 0.05, "best f1 {}", best.objectives[0]);
+    }
+
+    #[test]
+    fn weighted_ga_front_is_narrower_than_nsga2() {
+        // A single weight vector concentrates solutions around one point
+        // of the trade-off; its non-dominated set spreads much less than
+        // the true front [0, 3] in f1.
+        let cfg = BaselineConfig {
+            population: 40,
+            generations: 20,
+            seed: 3,
+        };
+        let r = run_weighted_sum_ga(&Sphere, &[0.5, 0.5], &cfg);
+        let front = r.pareto_front();
+        assert!(!front.is_empty());
+        let min_f1 = front
+            .iter()
+            .map(|i| i.objectives[0])
+            .fold(f64::INFINITY, f64::min);
+        let max_f1 = front
+            .iter()
+            .map(|i| i.objectives[0])
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Concentration: the weighted-sum front covers a narrow band.
+        assert!(max_f1 - min_f1 < 3.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = BaselineConfig {
+            population: 10,
+            generations: 3,
+            seed: 7,
+        };
+        let a = run_random_search(&Sphere, &cfg);
+        let b = run_random_search(&Sphere, &cfg);
+        assert_eq!(a.evaluated, b.evaluated);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per objective")]
+    fn weight_count_checked() {
+        let cfg = BaselineConfig::default();
+        let _ = run_weighted_sum_ga(&Sphere, &[1.0], &cfg);
+    }
+}

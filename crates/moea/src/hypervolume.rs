@@ -1,0 +1,215 @@
+//! Front-quality indicators: hypervolume (2-D exact sweep, 3-D exact
+//! slicing) and inverted generational distance (IGD). Used by the
+//! GA-budget ablation bench.
+
+/// Exact hypervolume of a 2-objective front against `reference`
+/// (both objectives minimised; points beyond the reference are clipped
+/// out).
+///
+/// # Panics
+///
+/// Panics if any point has a dimension other than 2.
+pub fn hypervolume_2d(points: &[Vec<f64>], reference: &[f64; 2]) -> f64 {
+    for p in points {
+        assert_eq!(p.len(), 2, "hypervolume_2d needs 2-d points");
+    }
+    // Keep points that dominate the reference corner.
+    let mut pts: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .map(|p| (p[0], p[1]))
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by f1 ascending; sweep keeping the best (lowest) f2 so far.
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut volume = 0.0;
+    let mut best_f2 = reference[1];
+    let mut prev_f1 = pts[0].0;
+    for &(f1, f2) in &pts {
+        if f1 > prev_f1 {
+            volume += (f1 - prev_f1) * (reference[1] - best_f2);
+            prev_f1 = f1;
+        }
+        if f2 < best_f2 {
+            best_f2 = f2;
+        }
+    }
+    volume += (reference[0] - prev_f1) * (reference[1] - best_f2);
+    volume
+}
+
+/// Exact hypervolume of a 3-objective front against `reference` by
+/// slicing along the third objective and accumulating 2-D volumes.
+///
+/// # Panics
+///
+/// Panics if any point has a dimension other than 3.
+pub fn hypervolume_3d(points: &[Vec<f64>], reference: &[f64; 3]) -> f64 {
+    for p in points {
+        assert_eq!(p.len(), 3, "hypervolume_3d needs 3-d points");
+    }
+    let pts: Vec<&Vec<f64>> = points
+        .iter()
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1] && p[2] < reference[2])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Distinct f3 levels, ascending.
+    let mut levels: Vec<f64> = pts.iter().map(|p| p[2]).collect();
+    levels.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    levels.dedup();
+    levels.push(reference[2]);
+
+    let mut volume = 0.0;
+    for w in levels.windows(2) {
+        let (z0, z1) = (w[0], w[1]);
+        // 2-D front of all points with f3 <= z0.
+        let slice: Vec<Vec<f64>> = pts
+            .iter()
+            .filter(|p| p[2] <= z0)
+            .map(|p| vec![p[0], p[1]])
+            .collect();
+        let area = hypervolume_2d(&slice, &[reference[0], reference[1]]);
+        volume += area * (z1 - z0);
+    }
+    volume
+}
+
+/// Inverted generational distance: mean Euclidean distance from each
+/// reference-front point to its nearest approximation point. Lower is
+/// better; 0 means the reference front is fully covered.
+///
+/// # Panics
+///
+/// Panics if either set is empty or dimensions differ.
+pub fn igd(approximation: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert!(
+        !approximation.is_empty() && !reference.is_empty(),
+        "igd needs non-empty fronts"
+    );
+    let dim = reference[0].len();
+    assert!(
+        approximation.iter().chain(reference).all(|p| p.len() == dim),
+        "igd dimension mismatch"
+    );
+    let total: f64 = reference
+        .iter()
+        .map(|r| {
+            approximation
+                .iter()
+                .map(|a| {
+                    r.iter()
+                        .zip(a)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt()
+                })
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    total / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_2d() {
+        let hv = hypervolume_2d(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_2d() {
+        // Two points: (1,2) and (2,1) against (3,3). Inclusion-exclusion:
+        // box areas 2 + 2 minus intersection 1 → union 3.
+        let hv = hypervolume_2d(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 3.0).abs() < 1e-12, "got {hv}");
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let base = hypervolume_2d(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        let with_dominated =
+            hypervolume_2d(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]);
+        assert!((base - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_reference_points_clip_to_zero() {
+        assert_eq!(hypervolume_2d(&[vec![4.0, 4.0]], &[3.0, 3.0]), 0.0);
+        assert_eq!(hypervolume_2d(&[], &[3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn better_front_has_larger_hypervolume() {
+        let near: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                let t = i as f64 / 9.0;
+                vec![t, 1.0 - t]
+            })
+            .collect();
+        let far: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                let t = i as f64 / 9.0;
+                vec![t + 0.5, 1.5 - t]
+            })
+            .collect();
+        let r = [3.0, 3.0];
+        assert!(hypervolume_2d(&near, &r) > hypervolume_2d(&far, &r));
+    }
+
+    #[test]
+    fn igd_zero_when_fronts_coincide() {
+        let f = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        assert_eq!(igd(&f, &f), 0.0);
+    }
+
+    #[test]
+    fn igd_grows_with_distance() {
+        let reference = vec![vec![0.0, 0.0]];
+        let near = vec![vec![0.1, 0.0]];
+        let far = vec![vec![1.0, 0.0]];
+        assert!(igd(&near, &reference) < igd(&far, &reference));
+        assert!((igd(&far, &reference) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn igd_uses_nearest_neighbour() {
+        let reference = vec![vec![0.0, 0.0], vec![10.0, 0.0]];
+        let approx = vec![vec![0.0, 0.0], vec![10.0, 1.0]];
+        // First ref point covered exactly, second at distance 1 → mean 0.5.
+        assert!((igd(&approx, &reference) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_3d() {
+        let hv = hypervolume_3d(&[vec![1.0, 1.0, 1.0]], &[2.0, 2.0, 2.0]);
+        assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_point_3d_matches_inclusion_exclusion() {
+        // Boxes: (1,1,1)->(3,3,3) volume 8; (2,2,0)->(3,3,3) volume 3;
+        // intersection (2,2,1)->(3,3,3) volume 2 → union 9.
+        let hv = hypervolume_3d(
+            &[vec![1.0, 1.0, 1.0], vec![2.0, 2.0, 0.0]],
+            &[3.0, 3.0, 3.0],
+        );
+        assert!((hv - 9.0).abs() < 1e-12, "got {hv}");
+    }
+
+    #[test]
+    fn hv3d_consistent_with_2d_extrusion() {
+        // Points sharing one f3 level: volume = 2-D area × depth.
+        let pts2 = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let area = hypervolume_2d(&pts2, &[3.0, 3.0]);
+        let pts3: Vec<Vec<f64>> = pts2.iter().map(|p| vec![p[0], p[1], 0.0]).collect();
+        let vol = hypervolume_3d(&pts3, &[3.0, 3.0, 4.0]);
+        assert!((vol - area * 4.0).abs() < 1e-12);
+    }
+}

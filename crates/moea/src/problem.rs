@@ -1,0 +1,228 @@
+//! The optimisation problem abstraction and evaluated individuals.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of evaluating one candidate solution.
+///
+/// All objectives are **minimised**; negate maximised quantities at the
+/// problem boundary. Constraints
+/// use the `g(x) ≥ 0` convention: negative values measure violation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Objective values, all minimised.
+    pub objectives: Vec<f64>,
+    /// Constraint values; `g ≥ 0` is feasible.
+    pub constraints: Vec<f64>,
+}
+
+impl Evaluation {
+    /// An evaluation with no constraints.
+    pub fn feasible(objectives: Vec<f64>) -> Self {
+        Evaluation {
+            objectives,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// An evaluation marking a completely failed candidate (e.g. a
+    /// simulation that did not converge): every objective is `+∞` and a
+    /// single fully-violated constraint is attached, so constrained
+    /// domination ranks it below every working candidate.
+    pub fn failed(num_objectives: usize) -> Self {
+        Evaluation {
+            objectives: vec![f64::INFINITY; num_objectives],
+            constraints: vec![-1e30],
+        }
+    }
+
+    /// Total constraint violation (0 when feasible).
+    pub fn violation(&self) -> f64 {
+        self.constraints
+            .iter()
+            .filter(|&&g| g < 0.0)
+            .map(|g| -g)
+            .sum()
+    }
+
+    /// Whether all constraints are satisfied.
+    pub fn is_feasible(&self) -> bool {
+        self.constraints.iter().all(|&g| g >= 0.0)
+    }
+}
+
+/// A candidate solution with its evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Individual {
+    /// Decision variables.
+    pub x: Vec<f64>,
+    /// Objective values (minimised).
+    pub objectives: Vec<f64>,
+    /// Constraint values (`g ≥ 0` feasible).
+    pub constraints: Vec<f64>,
+}
+
+impl Individual {
+    /// Builds an individual from variables and an evaluation.
+    pub fn new(x: Vec<f64>, eval: Evaluation) -> Self {
+        Individual {
+            x,
+            objectives: eval.objectives,
+            constraints: eval.constraints,
+        }
+    }
+
+    /// Total constraint violation (0 when feasible).
+    pub fn violation(&self) -> f64 {
+        self.constraints
+            .iter()
+            .filter(|&&g| g < 0.0)
+            .map(|g| -g)
+            .sum()
+    }
+
+    /// Whether all constraints are satisfied.
+    pub fn is_feasible(&self) -> bool {
+        self.constraints.iter().all(|&g| g >= 0.0)
+    }
+
+    /// Pareto-dominance under the constrained-domination rule of
+    /// Deb et al.: a feasible solution dominates an infeasible one; of
+    /// two infeasible solutions the smaller violation dominates; two
+    /// feasible solutions use standard Pareto dominance on objectives.
+    pub fn constrained_dominates(&self, other: &Individual) -> bool {
+        let va = self.violation();
+        let vb = other.violation();
+        if va == 0.0 && vb > 0.0 {
+            return true;
+        }
+        if va > 0.0 && vb == 0.0 {
+            return false;
+        }
+        if va > 0.0 && vb > 0.0 {
+            return va < vb;
+        }
+        pareto_dominates(&self.objectives, &other.objectives)
+    }
+}
+
+/// Standard Pareto dominance on minimised objective vectors: `a`
+/// dominates `b` when it is no worse everywhere and strictly better
+/// somewhere.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length.
+pub fn pareto_dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective count mismatch");
+    let mut strictly_better = false;
+    for (ai, bi) in a.iter().zip(b) {
+        if ai > bi {
+            return false;
+        }
+        if ai < bi {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// A box-bounded multi-objective optimisation problem.
+///
+/// Implementors must be [`Sync`] so populations can be evaluated in
+/// parallel.
+pub trait Problem: Sync {
+    /// Number of decision variables.
+    fn num_vars(&self) -> usize;
+
+    /// Bounds `(lo, hi)` of variable `i`.
+    fn bounds(&self, i: usize) -> (f64, f64);
+
+    /// Number of objectives (all minimised).
+    fn num_objectives(&self) -> usize;
+
+    /// Number of constraints (default 0).
+    fn num_constraints(&self) -> usize {
+        0
+    }
+
+    /// Evaluates a candidate. `x.len() == num_vars()` is guaranteed by
+    /// the optimisers; values lie within bounds.
+    fn evaluate(&self, x: &[f64]) -> Evaluation;
+
+    /// All bounds as a vector, convenience for samplers.
+    fn all_bounds(&self) -> Vec<(f64, f64)> {
+        (0..self.num_vars()).map(|i| self.bounds(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(pareto_dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(pareto_dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!pareto_dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!pareto_dominates(&[1.0, 1.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn constrained_domination_prefers_feasible() {
+        let feasible = Individual::new(
+            vec![0.0],
+            Evaluation {
+                objectives: vec![10.0],
+                constraints: vec![0.5],
+            },
+        );
+        let infeasible = Individual::new(
+            vec![0.0],
+            Evaluation {
+                objectives: vec![1.0],
+                constraints: vec![-0.5],
+            },
+        );
+        assert!(feasible.constrained_dominates(&infeasible));
+        assert!(!infeasible.constrained_dominates(&feasible));
+    }
+
+    #[test]
+    fn constrained_domination_orders_by_violation() {
+        let bad = Individual::new(
+            vec![0.0],
+            Evaluation {
+                objectives: vec![1.0],
+                constraints: vec![-2.0],
+            },
+        );
+        let worse = Individual::new(
+            vec![0.0],
+            Evaluation {
+                objectives: vec![0.5],
+                constraints: vec![-5.0],
+            },
+        );
+        assert!(bad.constrained_dominates(&worse));
+        assert!(!worse.constrained_dominates(&bad));
+    }
+
+    #[test]
+    fn failed_evaluation_is_dominated_by_anything_feasible() {
+        let failed = Individual::new(vec![0.0], Evaluation::failed(2));
+        let ok = Individual::new(vec![0.0], Evaluation::feasible(vec![1e9, 1e9]));
+        assert!(ok.constrained_dominates(&failed));
+        assert!(!failed.is_feasible());
+        assert!(failed.violation() > 0.0);
+    }
+
+    #[test]
+    fn violation_sums_only_negative_constraints() {
+        let e = Evaluation {
+            objectives: vec![0.0],
+            constraints: vec![1.0, -0.25, -0.75],
+        };
+        assert_eq!(e.violation(), 1.0);
+        assert!(!e.is_feasible());
+    }
+}

@@ -1,0 +1,197 @@
+//! Fast non-dominated sorting and crowding distance (Deb et al. 2002).
+
+use crate::problem::Individual;
+
+/// Partitions `pop` (by index) into non-dominated fronts under
+/// constrained domination. Front 0 is the Pareto front of the
+/// population.
+pub fn fast_non_dominated_sort(pop: &[Individual]) -> Vec<Vec<usize>> {
+    let n = pop.len();
+    let mut dominates: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut dominated_count = vec![0usize; n];
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+
+    for p in 0..n {
+        for q in (p + 1)..n {
+            if pop[p].constrained_dominates(&pop[q]) {
+                dominates[p].push(q);
+                dominated_count[q] += 1;
+            } else if pop[q].constrained_dominates(&pop[p]) {
+                dominates[q].push(p);
+                dominated_count[p] += 1;
+            }
+        }
+    }
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &p in &current {
+            for &q in &dominates[p] {
+                dominated_count[q] -= 1;
+                if dominated_count[q] == 0 {
+                    next.push(q);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each member of one front (indices into `pop`).
+/// Boundary solutions get `+∞` so they are always preferred.
+pub fn crowding_distance(pop: &[Individual], front: &[usize]) -> Vec<f64> {
+    let m = front.len();
+    let mut distance = vec![0.0; m];
+    if m == 0 {
+        return distance;
+    }
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    let n_obj = pop[front[0]].objectives.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    for obj in 0..n_obj {
+        order.sort_by(|&a, &b| {
+            pop[front[a]].objectives[obj]
+                .partial_cmp(&pop[front[b]].objectives[obj])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let lo = pop[front[order[0]]].objectives[obj];
+        let hi = pop[front[order[m - 1]]].objectives[obj];
+        distance[order[0]] = f64::INFINITY;
+        distance[order[m - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 || !span.is_finite() {
+            continue;
+        }
+        for k in 1..(m - 1) {
+            let prev = pop[front[order[k - 1]]].objectives[obj];
+            let next = pop[front[order[k + 1]]].objectives[obj];
+            distance[order[k]] += (next - prev) / span;
+        }
+    }
+    distance
+}
+
+/// Extracts the non-dominated subset of a set of individuals (their
+/// indices), using constrained domination.
+pub fn pareto_front_indices(pop: &[Individual]) -> Vec<usize> {
+    let fronts = fast_non_dominated_sort(pop);
+    fronts.into_iter().next().unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    fn ind(objs: &[f64]) -> Individual {
+        Individual::new(vec![0.0], Evaluation::feasible(objs.to_vec()))
+    }
+
+    #[test]
+    fn sorting_separates_fronts() {
+        // Front 0: (1,4), (2,2), (4,1). Front 1: (3,4), (5,2). Front 2: (6,6).
+        let pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 2.0]),
+            ind(&[4.0, 1.0]),
+            ind(&[3.0, 4.0]),
+            ind(&[5.0, 2.0]),
+            ind(&[6.0, 6.0]),
+        ];
+        let fronts = fast_non_dominated_sort(&pop);
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1, 2]);
+        let mut f1 = fronts[1].clone();
+        f1.sort_unstable();
+        assert_eq!(f1, vec![3, 4]);
+        assert_eq!(fronts[2], vec![5]);
+    }
+
+    #[test]
+    fn every_individual_lands_in_exactly_one_front() {
+        let pop: Vec<Individual> = (0..20)
+            .map(|i| {
+                let f = i as f64;
+                ind(&[f.sin() + 2.0, f.cos() + 2.0])
+            })
+            .collect();
+        let fronts = fast_non_dominated_sort(&pop);
+        let mut seen = vec![false; pop.len()];
+        for front in &fronts {
+            for &i in front {
+                assert!(!seen[i], "individual {i} in two fronts");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn front_zero_is_mutually_non_dominating() {
+        let pop: Vec<Individual> = (0..50)
+            .map(|i| {
+                let f = i as f64 / 10.0;
+                ind(&[f, 5.0 - f + (i % 3) as f64])
+            })
+            .collect();
+        let fronts = fast_non_dominated_sort(&pop);
+        let f0 = &fronts[0];
+        for &a in f0 {
+            for &b in f0 {
+                if a != b {
+                    assert!(!pop[a].constrained_dominates(&pop[b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let pop = vec![
+            ind(&[1.0, 4.0]),
+            ind(&[2.0, 3.0]),
+            ind(&[3.0, 2.0]),
+            ind(&[4.0, 1.0]),
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pop, &front);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_prefers_isolated_points() {
+        // Points at 0, 1, 2, 9, 10 on a line (second objective mirrors).
+        let pop = vec![
+            ind(&[0.0, 10.0]),
+            ind(&[1.0, 9.0]),
+            ind(&[2.0, 8.0]),
+            ind(&[9.0, 1.0]),
+            ind(&[10.0, 0.0]),
+        ];
+        let front: Vec<usize> = (0..5).collect();
+        let d = crowding_distance(&pop, &front);
+        // Index 3 sits in a sparse region; index 1 in a dense one.
+        assert!(d[3] > d[1]);
+    }
+
+    #[test]
+    fn tiny_fronts_get_infinite_distance() {
+        let pop = vec![ind(&[1.0, 2.0]), ind(&[2.0, 1.0])];
+        let d = crowding_distance(&pop, &[0, 1]);
+        assert!(d.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn pareto_front_indices_shortcut() {
+        let pop = vec![ind(&[1.0, 1.0]), ind(&[2.0, 2.0])];
+        assert_eq!(pareto_front_indices(&pop), vec![0]);
+    }
+}

@@ -1,0 +1,537 @@
+//! The [`Circuit`] container: nodes, devices and designable parameters.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{Device, Mosfet, SourceWaveform};
+use crate::error::NetlistError;
+
+/// Identifier of a circuit node. Node 0 is always ground.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index of the node; ground is index 0.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this node is the ground reference.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of a device within its circuit.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct DeviceId(pub(crate) usize);
+
+impl DeviceId {
+    /// Raw index of the device.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Which numeric field of a device a designable parameter drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeviceField {
+    /// Resistance or capacitance value.
+    Value,
+    /// MOSFET channel width.
+    Width,
+    /// MOSFET channel length.
+    Length,
+    /// DC value of a source.
+    DcValue,
+}
+
+/// Binds a named designable parameter to one device field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamBinding {
+    /// Parameter name, e.g. `"wn"`.
+    pub param: String,
+    /// Target device.
+    pub device: DeviceId,
+    /// Target field on that device.
+    pub field: DeviceField,
+    /// Multiplier applied to the parameter value before assignment,
+    /// letting one parameter drive several scaled fields.
+    pub scale: f64,
+}
+
+/// An analogue circuit: named nodes, devices, and parameter bindings.
+///
+/// See the [crate-level documentation](crate) for a construction example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Circuit {
+    name: String,
+    node_names: Vec<String>,
+    #[serde(skip)]
+    node_lookup: HashMap<String, NodeId>,
+    devices: Vec<Device>,
+    device_names: Vec<String>,
+    bindings: Vec<ParamBinding>,
+}
+
+impl Circuit {
+    /// The ground node, present in every circuit.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new(name: &str) -> Self {
+        let mut node_lookup = HashMap::new();
+        node_lookup.insert("0".to_string(), NodeId(0));
+        node_lookup.insert("gnd".to_string(), NodeId(0));
+        Circuit {
+            name: name.to_string(),
+            node_names: vec!["0".to_string()],
+            node_lookup,
+            devices: Vec::new(),
+            device_names: Vec::new(),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The names `"0"` and `"gnd"` (any case) both refer to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        let key = name.to_ascii_lowercase();
+        if let Some(&id) = self.node_lookup.get(&key) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_lookup.insert(key, id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_lookup.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.node_names[id.0]
+    }
+
+    /// Total number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Iterates over `(DeviceId, &Device)` pairs.
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i), d))
+    }
+
+    /// Returns a device by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn device(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// Returns a mutable device by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn device_mut(&mut self, id: DeviceId) -> &mut Device {
+        &mut self.devices[id.0]
+    }
+
+    /// Name of a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this circuit.
+    pub fn device_name(&self, id: DeviceId) -> &str {
+        &self.device_names[id.0]
+    }
+
+    /// Finds a device by name (case-insensitive).
+    pub fn find_device(&self, name: &str) -> Option<DeviceId> {
+        self.device_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(name))
+            .map(DeviceId)
+    }
+
+    /// Adds an arbitrary device under `name`.
+    ///
+    /// Prefer the typed helpers (`add_resistor`, …) where possible; this
+    /// entry point exists for the parser and generic tooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken — use
+    /// [`Circuit::try_add_device`] for fallible insertion.
+    pub fn add_device(&mut self, name: &str, device: Device) -> DeviceId {
+        self.try_add_device(name, device)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Adds a device, failing on duplicate names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::DuplicateDevice`] when `name` is already
+    /// used in this circuit.
+    pub fn try_add_device(
+        &mut self,
+        name: &str,
+        device: Device,
+    ) -> Result<DeviceId, NetlistError> {
+        if self.find_device(name).is_some() {
+            return Err(NetlistError::DuplicateDevice {
+                name: name.to_string(),
+            });
+        }
+        let id = DeviceId(self.devices.len());
+        self.devices.push(device);
+        self.device_names.push(name.to_string());
+        Ok(id)
+    }
+
+    /// Adds a resistor.
+    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, value: f64) -> DeviceId {
+        self.add_device(name, Device::Resistor { a, b, value })
+    }
+
+    /// Adds a capacitor.
+    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, value: f64) -> DeviceId {
+        self.add_device(
+            name,
+            Device::Capacitor {
+                a,
+                b,
+                value,
+                ic: None,
+            },
+        )
+    }
+
+    /// Adds a capacitor with an initial condition for transient analysis.
+    pub fn add_capacitor_with_ic(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        value: f64,
+        ic: f64,
+    ) -> DeviceId {
+        self.add_device(
+            name,
+            Device::Capacitor {
+                a,
+                b,
+                value,
+                ic: Some(ic),
+            },
+        )
+    }
+
+    /// Adds an inductor.
+    pub fn add_inductor(&mut self, name: &str, a: NodeId, b: NodeId, value: f64) -> DeviceId {
+        self.add_device(
+            name,
+            Device::Inductor {
+                a,
+                b,
+                value,
+                ic: None,
+            },
+        )
+    }
+
+    /// Adds an inductor with an initial current for transient analysis.
+    pub fn add_inductor_with_ic(
+        &mut self,
+        name: &str,
+        a: NodeId,
+        b: NodeId,
+        value: f64,
+        ic: f64,
+    ) -> DeviceId {
+        self.add_device(
+            name,
+            Device::Inductor {
+                a,
+                b,
+                value,
+                ic: Some(ic),
+            },
+        )
+    }
+
+    /// Adds an independent voltage source.
+    pub fn add_vsource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        waveform: SourceWaveform,
+    ) -> DeviceId {
+        self.add_device(name, Device::VSource { pos, neg, waveform })
+    }
+
+    /// Adds an independent current source.
+    pub fn add_isource(
+        &mut self,
+        name: &str,
+        pos: NodeId,
+        neg: NodeId,
+        waveform: SourceWaveform,
+    ) -> DeviceId {
+        self.add_device(name, Device::ISource { pos, neg, waveform })
+    }
+
+    /// Adds a MOSFET.
+    pub fn add_mosfet(&mut self, name: &str, mosfet: Mosfet) -> DeviceId {
+        self.add_device(name, Device::Mos(mosfet))
+    }
+
+    /// Binds a designable parameter to a device field.
+    ///
+    /// Applying parameter values later (via [`Circuit::apply_params`])
+    /// writes `value·scale` into the bound field.
+    pub fn bind_param(&mut self, param: &str, device: DeviceId, field: DeviceField, scale: f64) {
+        self.bindings.push(ParamBinding {
+            param: param.to_string(),
+            device,
+            field,
+            scale,
+        });
+    }
+
+    /// The parameter bindings registered on this circuit.
+    pub fn bindings(&self) -> &[ParamBinding] {
+        &self.bindings
+    }
+
+    /// Sorted list of the distinct designable parameter names.
+    pub fn param_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.bindings.iter().map(|b| b.param.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Applies designable parameter values to all bound device fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MissingParam`] when a bound parameter is
+    /// absent from `values`, or [`NetlistError::FieldMismatch`] when a
+    /// binding targets a field the device does not have (e.g. `Width` on
+    /// a resistor). Values already applied before the error are retained.
+    pub fn apply_params(&mut self, values: &HashMap<String, f64>) -> Result<(), NetlistError> {
+        let bindings = self.bindings.clone();
+        for b in &bindings {
+            let value = *values
+                .get(&b.param)
+                .ok_or_else(|| NetlistError::MissingParam {
+                    name: b.param.clone(),
+                })?
+                * b.scale;
+            let name = self.device_names[b.device.0].clone();
+            let device = &mut self.devices[b.device.0];
+            match (device, b.field) {
+                (Device::Resistor { value: v, .. }, DeviceField::Value)
+                | (Device::Capacitor { value: v, .. }, DeviceField::Value) => *v = value,
+                (Device::Mos(m), DeviceField::Width) => m.w = value,
+                (Device::Mos(m), DeviceField::Length) => m.l = value,
+                (Device::VSource { waveform, .. }, DeviceField::DcValue)
+                | (Device::ISource { waveform, .. }, DeviceField::DcValue) => {
+                    *waveform = SourceWaveform::Dc(value);
+                }
+                _ => {
+                    return Err(NetlistError::FieldMismatch {
+                        device: name,
+                        field: format!("{:?}", b.field),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the internal node-name lookup; needed after
+    /// deserialisation because the map is not serialised.
+    pub fn rebuild_lookup(&mut self) {
+        self.node_lookup.clear();
+        for (i, n) in self.node_names.iter().enumerate() {
+            self.node_lookup.insert(n.to_ascii_lowercase(), NodeId(i));
+        }
+        self.node_lookup.insert("gnd".to_string(), NodeId(0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MosModel;
+
+    fn mosfet(c: &mut Circuit) -> Mosfet {
+        Mosfet {
+            drain: c.node("d"),
+            gate: c.node("g"),
+            source: Circuit::GROUND,
+            w: 10e-6,
+            l: 0.12e-6,
+            model: MosModel::nmos_012(),
+        }
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let mut c = Circuit::new("t");
+        assert_eq!(c.node("0"), Circuit::GROUND);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("GND"), Circuit::GROUND);
+        assert!(Circuit::GROUND.is_ground());
+    }
+
+    #[test]
+    fn node_creation_is_idempotent() {
+        let mut c = Circuit::new("t");
+        let a = c.node("out");
+        let b = c.node("OUT");
+        assert_eq!(a, b);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.node_name(a), "out");
+    }
+
+    #[test]
+    fn duplicate_device_rejected() {
+        let mut c = Circuit::new("t");
+        let n = c.node("n");
+        c.add_resistor("R1", n, Circuit::GROUND, 1.0);
+        let err = c
+            .try_add_device(
+                "r1",
+                Device::Resistor {
+                    a: n,
+                    b: Circuit::GROUND,
+                    value: 2.0,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateDevice { .. }));
+    }
+
+    #[test]
+    fn find_device_case_insensitive() {
+        let mut c = Circuit::new("t");
+        let n = c.node("n");
+        let id = c.add_resistor("Rload", n, Circuit::GROUND, 50.0);
+        assert_eq!(c.find_device("RLOAD"), Some(id));
+        assert_eq!(c.find_device("nope"), None);
+        assert_eq!(c.device_name(id), "Rload");
+    }
+
+    #[test]
+    fn apply_params_drives_mosfet_geometry() {
+        let mut c = Circuit::new("t");
+        let m = mosfet(&mut c);
+        let id = c.add_mosfet("M1", m);
+        c.bind_param("wn", id, DeviceField::Width, 1.0);
+        c.bind_param("ln", id, DeviceField::Length, 1.0);
+        let mut vals = HashMap::new();
+        vals.insert("wn".to_string(), 42e-6);
+        vals.insert("ln".to_string(), 0.24e-6);
+        c.apply_params(&vals).unwrap();
+        match c.device(id) {
+            Device::Mos(m) => {
+                assert_eq!(m.w, 42e-6);
+                assert_eq!(m.l, 0.24e-6);
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn apply_params_scale_factor() {
+        let mut c = Circuit::new("t");
+        let n = c.node("n");
+        let id = c.add_resistor("R1", n, Circuit::GROUND, 1.0);
+        c.bind_param("r", id, DeviceField::Value, 2.0);
+        let mut vals = HashMap::new();
+        vals.insert("r".to_string(), 500.0);
+        c.apply_params(&vals).unwrap();
+        match c.device(id) {
+            Device::Resistor { value, .. } => assert_eq!(*value, 1000.0),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn apply_params_missing_param_errors() {
+        let mut c = Circuit::new("t");
+        let n = c.node("n");
+        let id = c.add_resistor("R1", n, Circuit::GROUND, 1.0);
+        c.bind_param("r", id, DeviceField::Value, 1.0);
+        let err = c.apply_params(&HashMap::new()).unwrap_err();
+        assert!(matches!(err, NetlistError::MissingParam { .. }));
+    }
+
+    #[test]
+    fn apply_params_field_mismatch_errors() {
+        let mut c = Circuit::new("t");
+        let n = c.node("n");
+        let id = c.add_resistor("R1", n, Circuit::GROUND, 1.0);
+        c.bind_param("w", id, DeviceField::Width, 1.0);
+        let mut vals = HashMap::new();
+        vals.insert("w".to_string(), 1e-6);
+        let err = c.apply_params(&vals).unwrap_err();
+        assert!(matches!(err, NetlistError::FieldMismatch { .. }));
+    }
+
+    #[test]
+    fn param_names_sorted_unique() {
+        let mut c = Circuit::new("t");
+        let n = c.node("n");
+        let r1 = c.add_resistor("R1", n, Circuit::GROUND, 1.0);
+        let r2 = c.add_resistor("R2", n, Circuit::GROUND, 1.0);
+        c.bind_param("b", r1, DeviceField::Value, 1.0);
+        c.bind_param("a", r2, DeviceField::Value, 1.0);
+        c.bind_param("b", r2, DeviceField::Value, 0.5);
+        assert_eq!(c.param_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn devices_iterator_yields_ids_in_order() {
+        let mut c = Circuit::new("t");
+        let n = c.node("n");
+        c.add_resistor("R1", n, Circuit::GROUND, 1.0);
+        c.add_capacitor("C1", n, Circuit::GROUND, 1e-12);
+        let ids: Vec<usize> = c.devices().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

@@ -1,0 +1,501 @@
+//! Device definitions: passive elements, sources and MOSFETs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::NodeId;
+
+/// Polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+impl MosPolarity {
+    /// +1 for NMOS, −1 for PMOS; the sign convention used by the
+    /// square-law model evaluation.
+    pub fn sign(self) -> f64 {
+        match self {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// Level-1 (square-law) MOSFET model parameters.
+///
+/// Each [`Mosfet`] owns its model so statistical variation can perturb
+/// devices independently (global process shift + local mismatch).
+///
+/// # Examples
+///
+/// ```
+/// use netlist::{MosModel, MosPolarity};
+///
+/// let nmos = MosModel::nmos_012();
+/// assert_eq!(nmos.polarity, MosPolarity::Nmos);
+/// assert!(nmos.vto > 0.0);
+/// let pmos = MosModel::pmos_012();
+/// assert!(pmos.vto < 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosModel {
+    /// Device polarity.
+    pub polarity: MosPolarity,
+    /// Zero-bias threshold voltage in volts (negative for PMOS).
+    pub vto: f64,
+    /// Transconductance parameter µ·Cox in A/V².
+    pub kp: f64,
+    /// Channel-length modulation coefficient λ′ in m/V; the effective
+    /// λ of a device is `λ′ / L` so short devices show more modulation.
+    pub lambda_prime: f64,
+    /// Gate-oxide capacitance per area in F/m², used by topology
+    /// generators to compute lumped load capacitances.
+    pub cox_per_area: f64,
+    /// Junction (drain/source) capacitance per metre of device width in
+    /// F/m, also consumed by topology generators.
+    pub cj_per_width: f64,
+    /// Thermal-noise excess factor γ for jitter estimation.
+    pub gamma_noise: f64,
+}
+
+impl MosModel {
+    /// Representative 0.12 µm NMOS model used throughout the
+    /// reproduction (VDD = 1.2 V process).
+    pub fn nmos_012() -> Self {
+        MosModel {
+            polarity: MosPolarity::Nmos,
+            vto: 0.35,
+            kp: 350e-6,
+            lambda_prime: 0.04e-6,
+            cox_per_area: 0.010,  // 10 fF/µm²
+            // Effective junction + local interconnect loading; sized so
+            // the ring VCO covers the paper's 0.5 GHz band edge and its
+            // gain lands in Table 1's 0.4-2.3 GHz/V window.
+            cj_per_width: 8.0e-9, // 8 fF/µm
+            gamma_noise: 1.5,
+        }
+    }
+
+    /// Representative 0.12 µm PMOS model (matched to [`MosModel::nmos_012`]).
+    pub fn pmos_012() -> Self {
+        MosModel {
+            polarity: MosPolarity::Pmos,
+            vto: -0.38,
+            kp: 130e-6,
+            lambda_prime: 0.05e-6,
+            cox_per_area: 0.010,
+            cj_per_width: 8.0e-9,
+            gamma_noise: 1.5,
+        }
+    }
+
+    /// Magnitude of the threshold voltage.
+    pub fn vth_abs(&self) -> f64 {
+        self.vto.abs()
+    }
+}
+
+/// A MOSFET instance: terminals, geometry and an owned model.
+///
+/// The bulk terminal is implicit (tied to the supply rails by polarity);
+/// the level-1 model used here has no body effect, which the DESIGN.md
+/// substitution table documents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mosfet {
+    /// Drain node.
+    pub drain: NodeId,
+    /// Gate node.
+    pub gate: NodeId,
+    /// Source node.
+    pub source: NodeId,
+    /// Channel width in metres.
+    pub w: f64,
+    /// Channel length in metres.
+    pub l: f64,
+    /// Device model (owned per-instance for statistical perturbation).
+    pub model: MosModel,
+}
+
+impl Mosfet {
+    /// Gate capacitance `Cox′·W·L` of this device, in farads.
+    pub fn gate_cap(&self) -> f64 {
+        self.model.cox_per_area * self.w * self.l
+    }
+
+    /// Approximate drain junction capacitance `Cj′·W`, in farads.
+    pub fn junction_cap(&self) -> f64 {
+        self.model.cj_per_width * self.w
+    }
+
+    /// Effective channel-length modulation λ = λ′ / L, in 1/V.
+    pub fn lambda(&self) -> f64 {
+        self.model.lambda_prime / self.l
+    }
+}
+
+/// Time-dependent source description, shared by voltage and current
+/// sources.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE PULSE(v1 v2 delay rise fall width period).
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge, seconds.
+        delay: f64,
+        /// Rise time, seconds.
+        rise: f64,
+        /// Fall time, seconds.
+        fall: f64,
+        /// Pulse width, seconds.
+        width: f64,
+        /// Repetition period, seconds (0 disables repetition).
+        period: f64,
+    },
+    /// SPICE SIN(offset amplitude freq) — zero phase.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq: f64,
+    },
+    /// Piecewise-linear (time, value) pairs; times must be increasing.
+    Pwl(Vec<(f64, f64)>),
+}
+
+impl SourceWaveform {
+    /// Evaluates the waveform at time `t` (seconds).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::SourceWaveform;
+    ///
+    /// let w = SourceWaveform::Pwl(vec![(0.0, 0.0), (1.0, 2.0)]);
+    /// assert_eq!(w.value_at(0.5), 1.0);
+    /// assert_eq!(w.value_at(5.0), 2.0); // holds last value
+    /// ```
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let mut tau = t - delay;
+                if *period > 0.0 {
+                    tau %= period;
+                }
+                if tau < *rise {
+                    if *rise == 0.0 {
+                        *v2
+                    } else {
+                        v1 + (v2 - v1) * tau / rise
+                    }
+                } else if tau < rise + width {
+                    *v2
+                } else if tau < rise + width + fall {
+                    if *fall == 0.0 {
+                        *v1
+                    } else {
+                        v2 + (v1 - v2) * (tau - rise - width) / fall
+                    }
+                } else {
+                    *v1
+                }
+            }
+            SourceWaveform::Sine {
+                offset,
+                amplitude,
+                freq,
+            } => offset + amplitude * (2.0 * std::f64::consts::PI * freq * t).sin(),
+            SourceWaveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for pair in points.windows(2) {
+                    let (t0, v0) = pair[0];
+                    let (t1, v1) = pair[1];
+                    if t <= t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points[points.len() - 1].1
+            }
+        }
+    }
+
+    /// The DC (t = 0⁻) value used for operating-point analysis.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pulse { v1, .. } => *v1,
+            SourceWaveform::Sine { offset, .. } => *offset,
+            SourceWaveform::Pwl(points) => points.first().map_or(0.0, |p| p.1),
+        }
+    }
+}
+
+/// One circuit element.
+///
+/// Device names live in the owning [`crate::Circuit`], keyed by
+/// [`crate::DeviceId`], so the variants carry only electrical content.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Device {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be positive).
+        value: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be positive).
+        value: f64,
+        /// Optional initial voltage for transient analysis.
+        ic: Option<f64>,
+    },
+    /// Independent voltage source; positive terminal `pos`.
+    VSource {
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source waveform.
+        waveform: SourceWaveform,
+    },
+    /// Independent current source; current flows from `pos` through the
+    /// source to `neg` (i.e. it pushes current into `neg` externally).
+    ISource {
+        /// Terminal the current leaves from (through the external circuit).
+        pos: NodeId,
+        /// Terminal the current returns to.
+        neg: NodeId,
+        /// Source waveform.
+        waveform: SourceWaveform,
+    },
+    /// Linear inductor between `a` and `b` (adds an MNA branch current).
+    Inductor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries (must be positive).
+        value: f64,
+        /// Optional initial current for transient analysis (A, flowing a→b).
+        ic: Option<f64>,
+    },
+    /// MOSFET.
+    Mos(Mosfet),
+    /// Voltage-controlled voltage source:
+    /// `v(out_p) − v(out_n) = gain·(v(in_p) − v(in_n))` (adds a branch current).
+    Vcvs {
+        /// Output positive terminal.
+        out_p: NodeId,
+        /// Output negative terminal.
+        out_n: NodeId,
+        /// Control positive node.
+        in_p: NodeId,
+        /// Control negative node.
+        in_n: NodeId,
+        /// Voltage gain.
+        gain: f64,
+    },
+    /// Voltage-controlled current source: `i(out_p→out_n) = gm·(v(in_p) − v(in_n))`.
+    Vccs {
+        /// Output positive terminal (current exits here).
+        out_p: NodeId,
+        /// Output negative terminal.
+        out_n: NodeId,
+        /// Control positive node.
+        in_p: NodeId,
+        /// Control negative node.
+        in_n: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+}
+
+impl Device {
+    /// All nodes this device touches, for connectivity analysis.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Device::Resistor { a, b, .. }
+            | Device::Capacitor { a, b, .. }
+            | Device::Inductor { a, b, .. } => vec![*a, *b],
+            Device::VSource { pos, neg, .. } | Device::ISource { pos, neg, .. } => {
+                vec![*pos, *neg]
+            }
+            Device::Mos(m) => vec![m.drain, m.gate, m.source],
+            Device::Vcvs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                ..
+            }
+            | Device::Vccs {
+                out_p,
+                out_n,
+                in_p,
+                in_n,
+                ..
+            } => vec![*out_p, *out_n, *in_p, *in_n],
+        }
+    }
+
+    /// Whether this device needs an MNA branch-current unknown.
+    pub fn needs_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Device::VSource { .. } | Device::Inductor { .. } | Device::Vcvs { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn polarity_signs() {
+        assert_eq!(MosPolarity::Nmos.sign(), 1.0);
+        assert_eq!(MosPolarity::Pmos.sign(), -1.0);
+    }
+
+    #[test]
+    fn default_models_are_physical() {
+        let n = MosModel::nmos_012();
+        let p = MosModel::pmos_012();
+        assert!(n.kp > p.kp, "electron mobility exceeds hole mobility");
+        assert!(n.vto > 0.0 && p.vto < 0.0);
+        assert!(n.cox_per_area > 0.0);
+    }
+
+    #[test]
+    fn mosfet_derived_quantities_scale_with_geometry() {
+        let mut m = Mosfet {
+            drain: NodeId(1),
+            gate: NodeId(2),
+            source: NodeId(0),
+            w: 10e-6,
+            l: 0.12e-6,
+            model: MosModel::nmos_012(),
+        };
+        let cg1 = m.gate_cap();
+        m.w *= 2.0;
+        assert!((m.gate_cap() / cg1 - 2.0).abs() < 1e-12);
+        assert!(m.lambda() > 0.0);
+        let lambda_short = m.lambda();
+        m.l *= 2.0;
+        assert!(m.lambda() < lambda_short, "longer channel → less modulation");
+    }
+
+    #[test]
+    fn pulse_waveform_shape() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1.0,
+            rise: 1.0,
+            fall: 1.0,
+            width: 2.0,
+            period: 10.0,
+        };
+        assert_eq!(w.value_at(0.5), 0.0); // before delay
+        assert!((w.value_at(1.5) - 0.5).abs() < 1e-12); // mid rise
+        assert_eq!(w.value_at(3.0), 1.0); // plateau
+        assert!((w.value_at(4.5) - 0.5).abs() < 1e-12); // mid fall
+        assert_eq!(w.value_at(6.0), 0.0); // back at v1
+        assert_eq!(w.value_at(13.0), 1.0); // second period plateau
+    }
+
+    #[test]
+    fn pulse_with_zero_edges() {
+        let w = SourceWaveform::Pulse {
+            v1: 0.0,
+            v2: 1.2,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 5.0,
+            period: 0.0,
+        };
+        assert_eq!(w.value_at(0.0), 1.2);
+        assert_eq!(w.value_at(4.9), 1.2);
+        assert_eq!(w.value_at(5.1), 0.0);
+    }
+
+    #[test]
+    fn sine_waveform() {
+        let w = SourceWaveform::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            freq: 1.0,
+        };
+        assert!((w.value_at(0.0) - 1.0).abs() < 1e-12);
+        assert!((w.value_at(0.25) - 1.5).abs() < 1e-12);
+        assert_eq!(w.dc_value(), 1.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = SourceWaveform::Pwl(vec![(1.0, 0.0), (2.0, 10.0), (3.0, 10.0)]);
+        assert_eq!(w.value_at(0.0), 0.0);
+        assert_eq!(w.value_at(1.5), 5.0);
+        assert_eq!(w.value_at(2.5), 10.0);
+        assert_eq!(w.value_at(99.0), 10.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn device_nodes_enumeration() {
+        let mut c = Circuit::new("t");
+        let n1 = c.node("n1");
+        let n2 = c.node("n2");
+        let d = Device::Resistor {
+            a: n1,
+            b: n2,
+            value: 1.0,
+        };
+        assert_eq!(d.nodes(), vec![n1, n2]);
+        assert!(!d.needs_branch_current());
+        let v = Device::VSource {
+            pos: n1,
+            neg: n2,
+            waveform: SourceWaveform::Dc(1.0),
+        };
+        assert!(v.needs_branch_current());
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type shared by netlist construction, parsing and validation.
+
+use std::fmt;
+
+/// Errors produced while building, parsing or validating a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A textual netlist line could not be parsed.
+    Parse {
+        /// 1-based line number in the source text.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A numeric value (possibly with an engineering suffix) was malformed.
+    BadValue {
+        /// The offending token.
+        token: String,
+    },
+    /// A device referenced a model name that was never declared.
+    UnknownModel {
+        /// The missing model name.
+        model: String,
+    },
+    /// A device name was used twice in the same circuit.
+    DuplicateDevice {
+        /// The duplicated device name.
+        name: String,
+    },
+    /// A designable parameter was not supplied when applying parameters.
+    MissingParam {
+        /// The parameter name.
+        name: String,
+    },
+    /// A parameter binding referenced a field the device does not have.
+    FieldMismatch {
+        /// Device name.
+        device: String,
+        /// Description of the field that was requested.
+        field: String,
+    },
+    /// Validation found a structural problem with the circuit.
+    Invalid {
+        /// Description of the violation.
+        message: String,
+    },
+    /// A device value was non-physical (negative resistance, zero width…).
+    NonPhysical {
+        /// Device name.
+        device: String,
+        /// Description of the bad quantity.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::BadValue { token } => {
+                write!(f, "malformed numeric value `{token}`")
+            }
+            NetlistError::UnknownModel { model } => {
+                write!(f, "unknown device model `{model}`")
+            }
+            NetlistError::DuplicateDevice { name } => {
+                write!(f, "duplicate device name `{name}`")
+            }
+            NetlistError::MissingParam { name } => {
+                write!(f, "missing designable parameter `{name}`")
+            }
+            NetlistError::FieldMismatch { device, field } => {
+                write!(f, "device `{device}` has no field `{field}`")
+            }
+            NetlistError::Invalid { message } => {
+                write!(f, "invalid circuit: {message}")
+            }
+            NetlistError::NonPhysical { device, message } => {
+                write!(f, "non-physical value on `{device}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "expected node name".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: expected node name");
+        let e = NetlistError::BadValue { token: "2.2x".into() };
+        assert!(e.to_string().contains("2.2x"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

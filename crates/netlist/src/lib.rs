@@ -1,0 +1,61 @@
+//! Analogue circuit netlist representation.
+//!
+//! This crate is the structural substrate of the hiersizer workspace: it
+//! defines circuits as collections of named nodes and devices, supports a
+//! SPICE-like text format for interchange, binds *designable parameters*
+//! (the quantities an optimiser is allowed to change) onto device fields,
+//! and ships generators for the topologies the DATE 2009 reproduction
+//! needs — most importantly the 5-stage current-starved ring VCO with its
+//! seven designable transistor dimensions.
+//!
+//! # Examples
+//!
+//! Building a small RC divider programmatically:
+//!
+//! ```
+//! use netlist::{Circuit, SourceWaveform};
+//!
+//! let mut c = Circuit::new("rc");
+//! let vin = c.node("in");
+//! let vout = c.node("out");
+//! let gnd = Circuit::GROUND;
+//! c.add_vsource("V1", vin, gnd, SourceWaveform::Dc(1.0));
+//! c.add_resistor("R1", vin, vout, 1.0e3);
+//! c.add_capacitor("C1", vout, gnd, 1.0e-9);
+//! assert_eq!(c.num_nodes(), 3); // ground + in + out
+//! c.validate().expect("well-formed circuit");
+//! ```
+//!
+//! Round-tripping through the SPICE-like text format:
+//!
+//! ```
+//! # fn main() -> Result<(), netlist::NetlistError> {
+//! let text = "\
+//! * divider
+//! V1 in 0 DC 1.2
+//! R1 in out 2k
+//! R2 out 0 1k
+//! .end
+//! ";
+//! let c = netlist::parse(text)?;
+//! let emitted = c.to_spice_string();
+//! let again = netlist::parse(&emitted)?;
+//! assert_eq!(c.num_devices(), again.num_devices());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod circuit;
+pub mod device;
+pub mod error;
+pub mod parser;
+pub mod subckt;
+pub mod topology;
+pub mod units;
+pub mod validate;
+pub mod writer;
+
+pub use circuit::{Circuit, DeviceField, DeviceId, NodeId, ParamBinding};
+pub use device::{Device, MosModel, MosPolarity, Mosfet, SourceWaveform};
+pub use error::NetlistError;
+pub use parser::parse;

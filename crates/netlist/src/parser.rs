@@ -1,0 +1,638 @@
+//! SPICE-like netlist text parser.
+//!
+//! The accepted dialect is a practical subset of Berkeley SPICE:
+//!
+//! ```text
+//! * comment lines start with '*'; '$' or ';' start trailing comments
+//! Rname n1 n2 value
+//! Cname n1 n2 value [IC=v]
+//! Lname n1 n2 value [IC=i]
+//! Vname n+ n- DC value | PULSE(v1 v2 td tr tf pw per) | SIN(off ampl freq)
+//! Iname n+ n- DC value | ...
+//! Mname d g s b modelname W=value L=value
+//! Ename out+ out- in+ in- gain        (VCVS)
+//! Gname out+ out- in+ in- gm          (VCCS)
+//! .model name NMOS|PMOS (vto=.. kp=.. lambda=.. [cox=..] [cj=..] [gamma=..])
+//! .end
+//! ```
+//!
+//! Values accept engineering suffixes via [`crate::units::parse_value`].
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::device::{Device, MosModel, Mosfet, SourceWaveform};
+use crate::error::NetlistError;
+use crate::subckt::{flatten, Subcircuit};
+use crate::units::parse_value;
+
+/// Parses a SPICE-like netlist into a [`Circuit`].
+///
+/// The first line is treated as a title if it does not parse as an
+/// element or directive (classic SPICE behaviour) — to be safe, start
+/// netlists with a `*` comment.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] (with a line number) for malformed
+/// lines, [`NetlistError::UnknownModel`] for MOSFETs referencing
+/// undeclared models, and [`NetlistError::DuplicateDevice`] for repeated
+/// element names.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let c = netlist::parse("* rc\nR1 a 0 1k\nC1 a 0 1n\n.end\n")?;
+/// assert_eq!(c.num_devices(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
+    let mut circuit = Circuit::new("netlist");
+    let mut models: HashMap<String, MosModel> = HashMap::new();
+    let mut subckts: HashMap<String, Subcircuit> = HashMap::new();
+    let mut top: Vec<(usize, String)> = Vec::new();
+    let mut current_sub: Option<Subcircuit> = None;
+
+    // Pass 1: collect .model cards and .subckt definitions (both are
+    // global in this dialect), gather element lines.
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let lower = line.to_ascii_lowercase();
+        if lower.starts_with(".model") {
+            let (name, model) = parse_model_card(line, lineno)?;
+            models.insert(name.to_ascii_lowercase(), model);
+            continue;
+        }
+        if lower.starts_with(".subckt") {
+            if current_sub.is_some() {
+                return Err(parse_err(lineno, "nested .subckt definitions not supported"));
+            }
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            if tokens.len() < 3 {
+                return Err(parse_err(lineno, "expected `.subckt name port...`"));
+            }
+            current_sub = Some(Subcircuit {
+                name: tokens[1].to_ascii_lowercase(),
+                ports: tokens[2..].iter().map(|t| t.to_ascii_lowercase()).collect(),
+                body: Vec::new(),
+            });
+            continue;
+        }
+        if lower.starts_with(".ends") {
+            let sub = current_sub.take().ok_or_else(|| {
+                parse_err(lineno, ".ends without a matching .subckt")
+            })?;
+            subckts.insert(sub.name.clone(), sub);
+            continue;
+        }
+        if lower.starts_with(".end") {
+            break;
+        }
+        if lower.starts_with('.') {
+            // Other directives are ignored (documented subset).
+            continue;
+        }
+        match &mut current_sub {
+            Some(sub) => sub.body.push(line.to_string()),
+            None => top.push((lineno, line.to_string())),
+        }
+    }
+    if let Some(sub) = current_sub {
+        return Err(NetlistError::Parse {
+            line: text.lines().count(),
+            message: format!("subcircuit `{}` missing its .ends", sub.name),
+        });
+    }
+
+    // Pass 2: expand subcircuit instances into a flat element list.
+    let flat = flatten(&top, &subckts)?;
+
+    // Pass 3: parse the flat elements. Hierarchically expanded names
+    // carry `instance.` prefixes, so the element kind is the first
+    // character after the last dot.
+    for (lineno, line) in &flat {
+        let line = line.as_str();
+        let lineno = *lineno;
+        let name = line.split_whitespace().next().unwrap_or("");
+        let base = name.rsplit('.').next().unwrap_or(name);
+        let first = base.chars().next().unwrap_or(' ').to_ascii_lowercase();
+        match first {
+            'r' => parse_two_terminal(&mut circuit, line, lineno, TwoTerminal::Resistor)?,
+            'c' => parse_two_terminal(&mut circuit, line, lineno, TwoTerminal::Capacitor)?,
+            'l' => parse_two_terminal(&mut circuit, line, lineno, TwoTerminal::Inductor)?,
+            'e' => parse_vcvs(&mut circuit, line, lineno)?,
+            'v' => parse_source(&mut circuit, line, lineno, true)?,
+            'i' => parse_source(&mut circuit, line, lineno, false)?,
+            'm' => parse_mosfet(&mut circuit, line, lineno, &models)?,
+            'g' => parse_vccs(&mut circuit, line, lineno)?,
+            '*' => {}
+            _ => {
+                return Err(NetlistError::Parse {
+                    line: lineno,
+                    message: format!("unsupported element `{line}`"),
+                })
+            }
+        }
+    }
+    Ok(circuit)
+}
+
+fn strip_comment(raw: &str) -> &str {
+    let raw = raw.trim();
+    if raw.starts_with('*') {
+        return "";
+    }
+    let end = raw.find(['$', ';']).unwrap_or(raw.len());
+    raw[..end].trim()
+}
+
+enum TwoTerminal {
+    Resistor,
+    Capacitor,
+    Inductor,
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_two_terminal(
+    circuit: &mut Circuit,
+    line: &str,
+    lineno: usize,
+    kind: TwoTerminal,
+) -> Result<(), NetlistError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 4 {
+        return Err(parse_err(lineno, "expected `name n1 n2 value`"));
+    }
+    let a = circuit.node(tokens[1]);
+    let b = circuit.node(tokens[2]);
+    let value = parse_value(tokens[3])?;
+    let device = match kind {
+        TwoTerminal::Resistor => {
+            if value <= 0.0 {
+                return Err(NetlistError::NonPhysical {
+                    device: tokens[0].to_string(),
+                    message: format!("resistance {value} must be positive"),
+                });
+            }
+            Device::Resistor { a, b, value }
+        }
+        TwoTerminal::Capacitor => {
+            if value <= 0.0 {
+                return Err(NetlistError::NonPhysical {
+                    device: tokens[0].to_string(),
+                    message: format!("capacitance {value} must be positive"),
+                });
+            }
+            let ic = tokens.iter().skip(4).find_map(|t| {
+                let t = t.to_ascii_lowercase();
+                t.strip_prefix("ic=")
+                    .and_then(|v| parse_value(v).ok())
+            });
+            Device::Capacitor { a, b, value, ic }
+        }
+        TwoTerminal::Inductor => {
+            if value <= 0.0 {
+                return Err(NetlistError::NonPhysical {
+                    device: tokens[0].to_string(),
+                    message: format!("inductance {value} must be positive"),
+                });
+            }
+            let ic = tokens.iter().skip(4).find_map(|t| {
+                let t = t.to_ascii_lowercase();
+                t.strip_prefix("ic=")
+                    .and_then(|v| parse_value(v).ok())
+            });
+            Device::Inductor { a, b, value, ic }
+        }
+    };
+    circuit.try_add_device(tokens[0], device)?;
+    Ok(())
+}
+
+fn parse_source(
+    circuit: &mut Circuit,
+    line: &str,
+    lineno: usize,
+    voltage: bool,
+) -> Result<(), NetlistError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 4 {
+        return Err(parse_err(lineno, "expected `name n+ n- spec`"));
+    }
+    let pos = circuit.node(tokens[1]);
+    let neg = circuit.node(tokens[2]);
+    let spec = tokens[3..].join(" ");
+    let waveform = parse_waveform(&spec, lineno)?;
+    let device = if voltage {
+        Device::VSource { pos, neg, waveform }
+    } else {
+        Device::ISource { pos, neg, waveform }
+    };
+    circuit.try_add_device(tokens[0], device)?;
+    Ok(())
+}
+
+fn parse_waveform(spec: &str, lineno: usize) -> Result<SourceWaveform, NetlistError> {
+    let lower = spec.to_ascii_lowercase();
+    if let Some(rest) = lower.strip_prefix("dc") {
+        let v = parse_value(rest.trim())?;
+        return Ok(SourceWaveform::Dc(v));
+    }
+    if lower.starts_with("pulse") {
+        let args = paren_args(spec, lineno)?;
+        if args.len() != 7 {
+            return Err(parse_err(
+                lineno,
+                "pulse needs 7 arguments (v1 v2 td tr tf pw per)",
+            ));
+        }
+        return Ok(SourceWaveform::Pulse {
+            v1: args[0],
+            v2: args[1],
+            delay: args[2],
+            rise: args[3],
+            fall: args[4],
+            width: args[5],
+            period: args[6],
+        });
+    }
+    if lower.starts_with("sin") {
+        let args = paren_args(spec, lineno)?;
+        if args.len() != 3 {
+            return Err(parse_err(lineno, "sin needs 3 arguments (offset ampl freq)"));
+        }
+        return Ok(SourceWaveform::Sine {
+            offset: args[0],
+            amplitude: args[1],
+            freq: args[2],
+        });
+    }
+    if lower.starts_with("pwl") {
+        let args = paren_args(spec, lineno)?;
+        if args.len() < 2 || args.len() % 2 != 0 {
+            return Err(parse_err(lineno, "pwl needs an even number of values"));
+        }
+        let points = args.chunks(2).map(|c| (c[0], c[1])).collect();
+        return Ok(SourceWaveform::Pwl(points));
+    }
+    // Bare value => DC.
+    Ok(SourceWaveform::Dc(parse_value(spec.trim())?))
+}
+
+fn paren_args(spec: &str, lineno: usize) -> Result<Vec<f64>, NetlistError> {
+    let open = spec
+        .find('(')
+        .ok_or_else(|| parse_err(lineno, "expected `(`"))?;
+    let close = spec
+        .rfind(')')
+        .ok_or_else(|| parse_err(lineno, "expected `)`"))?;
+    spec[open + 1..close]
+        .split([' ', ','])
+        .filter(|t| !t.trim().is_empty())
+        .map(|t| parse_value(t.trim()))
+        .collect()
+}
+
+fn parse_mosfet(
+    circuit: &mut Circuit,
+    line: &str,
+    lineno: usize,
+    models: &HashMap<String, MosModel>,
+) -> Result<(), NetlistError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 6 {
+        return Err(parse_err(lineno, "expected `name d g s b model W=.. L=..`"));
+    }
+    let drain = circuit.node(tokens[1]);
+    let gate = circuit.node(tokens[2]);
+    let source = circuit.node(tokens[3]);
+    // tokens[4] is the bulk node — parsed for format compatibility but the
+    // level-1 model has no body effect, so it is not stored.
+    let _bulk = circuit.node(tokens[4]);
+    let model_name = tokens[5].to_ascii_lowercase();
+    let model = *models
+        .get(&model_name)
+        .ok_or(NetlistError::UnknownModel { model: model_name })?;
+    let mut w = None;
+    let mut l = None;
+    for t in &tokens[6..] {
+        let t = t.to_ascii_lowercase();
+        if let Some(v) = t.strip_prefix("w=") {
+            w = Some(parse_value(v)?);
+        } else if let Some(v) = t.strip_prefix("l=") {
+            l = Some(parse_value(v)?);
+        }
+    }
+    let (w, l) = match (w, l) {
+        (Some(w), Some(l)) => (w, l),
+        _ => return Err(parse_err(lineno, "mosfet requires W= and L=")),
+    };
+    if w <= 0.0 || l <= 0.0 {
+        return Err(NetlistError::NonPhysical {
+            device: tokens[0].to_string(),
+            message: format!("W={w} L={l} must be positive"),
+        });
+    }
+    circuit.try_add_device(
+        tokens[0],
+        Device::Mos(Mosfet {
+            drain,
+            gate,
+            source,
+            w,
+            l,
+            model,
+        }),
+    )?;
+    Ok(())
+}
+
+fn parse_vcvs(circuit: &mut Circuit, line: &str, lineno: usize) -> Result<(), NetlistError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 6 {
+        return Err(parse_err(lineno, "expected `name out+ out- in+ in- gain`"));
+    }
+    let out_p = circuit.node(tokens[1]);
+    let out_n = circuit.node(tokens[2]);
+    let in_p = circuit.node(tokens[3]);
+    let in_n = circuit.node(tokens[4]);
+    let gain = parse_value(tokens[5])?;
+    circuit.try_add_device(
+        tokens[0],
+        Device::Vcvs {
+            out_p,
+            out_n,
+            in_p,
+            in_n,
+            gain,
+        },
+    )?;
+    Ok(())
+}
+
+fn parse_vccs(circuit: &mut Circuit, line: &str, lineno: usize) -> Result<(), NetlistError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 6 {
+        return Err(parse_err(lineno, "expected `name out+ out- in+ in- gm`"));
+    }
+    let out_p = circuit.node(tokens[1]);
+    let out_n = circuit.node(tokens[2]);
+    let in_p = circuit.node(tokens[3]);
+    let in_n = circuit.node(tokens[4]);
+    let gm = parse_value(tokens[5])?;
+    circuit.try_add_device(
+        tokens[0],
+        Device::Vccs {
+            out_p,
+            out_n,
+            in_p,
+            in_n,
+            gm,
+        },
+    )?;
+    Ok(())
+}
+
+fn parse_model_card(line: &str, lineno: usize) -> Result<(String, MosModel), NetlistError> {
+    // .model NAME NMOS (vto=0.35 kp=350u lambda=0.04u cox=0.01 cj=0.6n gamma=1.5)
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 3 {
+        return Err(parse_err(lineno, "expected `.model name NMOS|PMOS (...)`"));
+    }
+    let name = tokens[1].to_string();
+    let kind = tokens[2]
+        .trim_start_matches('(')
+        .to_ascii_lowercase();
+    let mut model = match kind.as_str() {
+        "nmos" => MosModel::nmos_012(),
+        "pmos" => MosModel::pmos_012(),
+        other => {
+            return Err(parse_err(
+                lineno,
+                format!("unknown model kind `{other}`, expected NMOS or PMOS"),
+            ))
+        }
+    };
+    // Optional key=value overrides inside or outside parentheses.
+    let rest = line
+        .splitn(4, char::is_whitespace)
+        .nth(3)
+        .unwrap_or("")
+        .replace(['(', ')'], " ");
+    for kv in rest.split_whitespace() {
+        let Some((key, value)) = kv.split_once('=') else {
+            continue;
+        };
+        let v = parse_value(value)?;
+        match key.to_ascii_lowercase().as_str() {
+            "vto" => model.vto = v,
+            "kp" => model.kp = v,
+            "lambda" => model.lambda_prime = v,
+            "cox" => model.cox_per_area = v,
+            "cj" => model.cj_per_width = v,
+            "gamma" => model.gamma_noise = v,
+            _ => {
+                return Err(parse_err(lineno, format!("unknown model parameter `{key}`")));
+            }
+        }
+    }
+    Ok((name, model))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MosPolarity;
+
+    #[test]
+    fn parses_rc_network() {
+        let c = parse("* rc\nR1 in out 1k\nC1 out 0 2.2p\nV1 in 0 DC 1.2\n.end\n").unwrap();
+        assert_eq!(c.num_devices(), 3);
+        assert_eq!(c.num_nodes(), 3);
+        match c.device(c.find_device("C1").unwrap()) {
+            Device::Capacitor { value, .. } => assert!((value - 2.2e-12).abs() < 1e-24),
+            _ => panic!("expected capacitor"),
+        }
+    }
+
+    #[test]
+    fn parses_mosfet_with_model() {
+        let text = "\
+* inverter
+.model mynmos NMOS (vto=0.4 kp=300u)
+.model mypmos PMOS
+Vdd vdd 0 DC 1.2
+Mn out in 0 0 mynmos W=10u L=0.12u
+Mp out in vdd vdd mypmos W=20u L=0.12u
+";
+        let c = parse(text).unwrap();
+        match c.device(c.find_device("Mn").unwrap()) {
+            Device::Mos(m) => {
+                assert_eq!(m.model.vto, 0.4);
+                assert_eq!(m.model.kp, 300e-6);
+                assert!((m.w - 10e-6).abs() < 1e-18);
+                assert_eq!(m.model.polarity, MosPolarity::Nmos);
+            }
+            _ => panic!("expected mosfet"),
+        }
+        match c.device(c.find_device("Mp").unwrap()) {
+            Device::Mos(m) => assert_eq!(m.model.polarity, MosPolarity::Pmos),
+            _ => panic!("expected mosfet"),
+        }
+    }
+
+    #[test]
+    fn model_declared_after_use_is_found() {
+        let text = "M1 d g 0 0 nm W=1u L=1u\n.model nm NMOS\n";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let err = parse("M1 d g 0 0 missing W=1u L=1u\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownModel { .. }));
+    }
+
+    #[test]
+    fn parses_pulse_and_sin_sources() {
+        let text = "\
+V1 a 0 PULSE(0 1.2 1n 0.1n 0.1n 5n 10n)
+V2 b 0 SIN(0.6 0.3 1meg)
+I1 c 0 DC 1m
+";
+        let c = parse(text).unwrap();
+        match c.device(c.find_device("V1").unwrap()) {
+            Device::VSource {
+                waveform: SourceWaveform::Pulse { v2, period, .. },
+                ..
+            } => {
+                assert_eq!(*v2, 1.2);
+                assert!((period - 10e-9).abs() < 1e-20);
+            }
+            _ => panic!("expected pulse"),
+        }
+        match c.device(c.find_device("V2").unwrap()) {
+            Device::VSource {
+                waveform: SourceWaveform::Sine { freq, .. },
+                ..
+            } => assert_eq!(*freq, 1e6),
+            _ => panic!("expected sine"),
+        }
+    }
+
+    #[test]
+    fn parses_pwl_source() {
+        let c = parse("V1 a 0 PWL(0 0 1u 1.2)\n").unwrap();
+        match c.device(c.find_device("V1").unwrap()) {
+            Device::VSource {
+                waveform: SourceWaveform::Pwl(pts),
+                ..
+            } => assert_eq!(pts.len(), 2),
+            _ => panic!("expected pwl"),
+        }
+    }
+
+    #[test]
+    fn bare_value_source_is_dc() {
+        let c = parse("V1 a 0 1.2\n").unwrap();
+        match c.device(c.find_device("V1").unwrap()) {
+            Device::VSource {
+                waveform: SourceWaveform::Dc(v),
+                ..
+            } => assert_eq!(*v, 1.2),
+            _ => panic!("expected dc"),
+        }
+    }
+
+    #[test]
+    fn capacitor_initial_condition() {
+        let c = parse("C1 a 0 1p IC=0.6\n").unwrap();
+        match c.device(c.find_device("C1").unwrap()) {
+            Device::Capacitor { ic, .. } => assert_eq!(*ic, Some(0.6)),
+            _ => panic!("expected capacitor"),
+        }
+    }
+
+    #[test]
+    fn inductor_parses_with_ic() {
+        let c = parse("L1 a 0 10n IC=1m\n").unwrap();
+        match c.device(c.find_device("L1").unwrap()) {
+            Device::Inductor { value, ic, .. } => {
+                assert!((value - 10e-9).abs() < 1e-18);
+                assert_eq!(*ic, Some(1e-3));
+            }
+            _ => panic!("expected inductor"),
+        }
+    }
+
+    #[test]
+    fn negative_inductance_rejected() {
+        assert!(matches!(
+            parse("L1 a 0 -1n\n"),
+            Err(NetlistError::NonPhysical { .. })
+        ));
+    }
+
+    #[test]
+    fn vcvs_parses() {
+        let c = parse("E1 out 0 in 0 25\n").unwrap();
+        match c.device(c.find_device("E1").unwrap()) {
+            Device::Vcvs { gain, .. } => assert_eq!(*gain, 25.0),
+            _ => panic!("expected vcvs"),
+        }
+    }
+
+    #[test]
+    fn vccs_parses() {
+        let c = parse("G1 out 0 in 0 1m\n").unwrap();
+        match c.device(c.find_device("G1").unwrap()) {
+            Device::Vccs { gm, .. } => assert_eq!(*gm, 1e-3),
+            _ => panic!("expected vccs"),
+        }
+    }
+
+    #[test]
+    fn trailing_comments_stripped() {
+        let c = parse("R1 a 0 1k $ load resistor\nR2 a 0 2k ; another\n").unwrap();
+        assert_eq!(c.num_devices(), 2);
+    }
+
+    #[test]
+    fn negative_resistance_rejected() {
+        let err = parse("R1 a 0 -5\n").unwrap_err();
+        assert!(matches!(err, NetlistError::NonPhysical { .. }));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = parse("R1 a 0 1k\nR1 b 0 2k\n").unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateDevice { .. }));
+    }
+
+    #[test]
+    fn parse_stops_at_end_directive() {
+        let c = parse("R1 a 0 1k\n.end\nR2 b 0 2k\n").unwrap();
+        assert_eq!(c.num_devices(), 1);
+    }
+
+    #[test]
+    fn unsupported_element_errors_with_line_number() {
+        let err = parse("R1 a 0 1k\nX1 a b sub\n").unwrap_err();
+        match err {
+            NetlistError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Subcircuit definitions and flattening.
+//!
+//! The parser collects `.subckt name port1 port2 … / .ends` blocks as
+//! raw element lines; `X` instances expand them textually with
+//! hierarchical renaming: an instance `Xcore a b amp` maps the
+//! subcircuit ports onto `a`/`b`, prefixes every internal node with
+//! `xcore.` and every device name with `xcore.`, and recurses for nested
+//! instances. Flattening happens before device parsing, so subcircuits
+//! compose with every element the dialect supports.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+
+/// A parsed-but-unexpanded subcircuit definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Subcircuit {
+    /// Subcircuit name (lower-cased).
+    pub name: String,
+    /// Port (external node) names, in declaration order.
+    pub ports: Vec<String>,
+    /// Raw element lines of the body (comments stripped).
+    pub body: Vec<String>,
+}
+
+/// Maximum expansion depth, guarding against recursive definitions.
+const MAX_DEPTH: usize = 16;
+
+/// Expands all `X` instance lines in `lines` against `defs`, returning a
+/// flat element list. Non-instance lines pass through unchanged.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for malformed instances, unknown
+/// subcircuit names, port-count mismatches, or recursion deeper than 16
+/// levels (a definition cycle).
+pub fn flatten(
+    lines: &[(usize, String)],
+    defs: &HashMap<String, Subcircuit>,
+) -> Result<Vec<(usize, String)>, NetlistError> {
+    let mut out = Vec::new();
+    let empty = HashMap::new();
+    expand_lines(lines, defs, &empty, "", 0, &mut out)?;
+    Ok(out)
+}
+
+/// Expands one scope's lines: port names map through `port_map`, other
+/// node names and device names take the instance `prefix`; nested `X`
+/// instances recurse with a composed context.
+fn expand_lines(
+    lines: &[(usize, String)],
+    defs: &HashMap<String, Subcircuit>,
+    port_map: &HashMap<String, String>,
+    prefix: &str,
+    depth: usize,
+    out: &mut Vec<(usize, String)>,
+) -> Result<(), NetlistError> {
+    if depth > MAX_DEPTH {
+        return Err(NetlistError::Parse {
+            line: lines.first().map_or(0, |(n, _)| *n),
+            message: "subcircuit expansion exceeds depth 16 (definition cycle?)".to_string(),
+        });
+    }
+    for (lineno, line) in lines {
+        let first = line.chars().next().unwrap_or(' ').to_ascii_lowercase();
+        if first != 'x' {
+            out.push((*lineno, rewrite_line(line, port_map, prefix)));
+            continue;
+        }
+        // Xname node1 … nodeN subname
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if tokens.len() < 3 {
+            return Err(NetlistError::Parse {
+                line: *lineno,
+                message: "expected `Xname node... subckt_name`".to_string(),
+            });
+        }
+        let inst_name = tokens[0].to_ascii_lowercase();
+        let sub_name = tokens[tokens.len() - 1].to_ascii_lowercase();
+        let actual_nodes = &tokens[1..tokens.len() - 1];
+        let def = defs.get(&sub_name).ok_or_else(|| NetlistError::Parse {
+            line: *lineno,
+            message: format!("unknown subcircuit `{sub_name}`"),
+        })?;
+        if actual_nodes.len() != def.ports.len() {
+            return Err(NetlistError::Parse {
+                line: *lineno,
+                message: format!(
+                    "instance `{}` passes {} nodes to `{sub_name}` which has {} ports",
+                    tokens[0],
+                    actual_nodes.len(),
+                    def.ports.len()
+                ),
+            });
+        }
+        // Map the actual nodes through the *current* context, then bind
+        // them to the definition's port names for the inner scope.
+        let inner_map: HashMap<String, String> = def
+            .ports
+            .iter()
+            .zip(actual_nodes)
+            .map(|(port, actual)| (port.clone(), map_node(actual, port_map, prefix)))
+            .collect();
+        let inst_prefix = format!("{prefix}{inst_name}.");
+        let body: Vec<(usize, String)> = def
+            .body
+            .iter()
+            .map(|body_line| (*lineno, body_line.clone()))
+            .collect();
+        expand_lines(&body, defs, &inner_map, &inst_prefix, depth + 1, out)?;
+    }
+    Ok(())
+}
+
+/// Rewrites one non-instance element line: the device name gets the
+/// instance prefix; node tokens are mapped through the port map or
+/// prefixed as internal nodes. Value/parameter tokens pass through.
+fn rewrite_line(line: &str, port_map: &HashMap<String, String>, prefix: &str) -> String {
+    if prefix.is_empty() && port_map.is_empty() {
+        return line.to_string();
+    }
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.is_empty() {
+        return String::new();
+    }
+    let kind = tokens[0].chars().next().unwrap_or(' ').to_ascii_lowercase();
+    // Which token positions are node names, per element kind (the rest
+    // are values/waveforms/model references and pass through verbatim).
+    let node_positions: &[usize] = match kind {
+        'r' | 'c' | 'l' | 'v' | 'i' => &[1, 2],
+        'm' | 'e' | 'g' => &[1, 2, 3, 4],
+        _ => &[],
+    };
+    let mut rewritten = Vec::with_capacity(tokens.len());
+    rewritten.push(format!("{prefix}{}", tokens[0]));
+    for (i, t) in tokens.iter().enumerate().skip(1) {
+        if node_positions.contains(&i) {
+            rewritten.push(map_node(t, port_map, prefix));
+        } else {
+            rewritten.push(t.to_string());
+        }
+    }
+    rewritten.join(" ")
+}
+
+fn map_node(token: &str, port_map: &HashMap<String, String>, prefix: &str) -> String {
+    let key = token.to_ascii_lowercase();
+    if key == "0" || key == "gnd" {
+        return "0".to_string();
+    }
+    match port_map.get(&key) {
+        Some(actual) => actual.clone(),
+        None => format!("{prefix}{key}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::Device;
+
+    #[test]
+    fn divider_subcircuit_expands() {
+        let text = "\
+* subckt demo
+.subckt div in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 DC 2.0
+Xd a mid div
+";
+        let c = parse(text).unwrap();
+        // V1 + two resistors from the expansion.
+        assert_eq!(c.num_devices(), 3);
+        assert!(c.find_device("xd.R1").is_some(), "hierarchical device name");
+        assert!(c.find_node("mid").is_some(), "port mapped to outer node");
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn internal_nodes_are_scoped_per_instance() {
+        let text = "\
+.subckt stage in out
+R1 in n1 1k
+R2 n1 out 1k
+.ends
+V1 a 0 DC 1.0
+X1 a b stage
+X2 b 0 stage
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_devices(), 5);
+        // Each instance gets its own internal node.
+        assert!(c.find_node("x1.n1").is_some());
+        assert!(c.find_node("x2.n1").is_some());
+        assert_ne!(c.find_node("x1.n1"), c.find_node("x2.n1"));
+    }
+
+    #[test]
+    fn nested_subcircuits_expand_recursively() {
+        let text = "\
+.subckt leaf a b
+R1 a b 100
+.ends
+.subckt pair x y
+Xleft x m leaf
+Xright m y leaf
+.ends
+V1 top 0 DC 1.0
+Xp top 0 pair
+";
+        let c = parse(text).unwrap();
+        assert_eq!(c.num_devices(), 3);
+        assert!(c.find_device("xp.xleft.R1").is_some());
+        assert!(c.find_device("xp.xright.R1").is_some());
+        assert!(c.find_node("xp.m").is_some());
+    }
+
+    #[test]
+    fn ground_passes_through_unprefixed() {
+        let text = "\
+.subckt load a
+R1 a 0 1k
+.ends
+V1 n 0 DC 1.0
+X1 n load
+";
+        let c = parse(text).unwrap();
+        // The expanded resistor really lands on ground.
+        let r = c.find_device("x1.R1").unwrap();
+        match c.device(r) {
+            Device::Resistor { b, .. } => assert!(b.is_ground()),
+            _ => panic!("expected resistor"),
+        }
+    }
+
+    #[test]
+    fn mosfets_inside_subcircuits() {
+        let text = "\
+.model nm NMOS
+.subckt pull in out
+M1 out in 0 0 nm W=10u L=0.12u
+.ends
+Vdd vdd 0 DC 1.2
+R1 vdd o 10k
+Vin i 0 DC 1.2
+Xp i o pull
+";
+        let c = parse(text).unwrap();
+        assert!(c.find_device("xp.M1").is_some());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_subcircuit_is_reported() {
+        let err = parse("X1 a b nothere\n").unwrap_err();
+        assert!(matches!(err, NetlistError::Parse { .. }));
+        assert!(err.to_string().contains("nothere"));
+    }
+
+    #[test]
+    fn port_count_mismatch_is_reported() {
+        let text = ".subckt s a b\nR1 a b 1k\n.ends\nX1 n s\n";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("ports"));
+    }
+
+    #[test]
+    fn recursive_definition_is_caught() {
+        let text = "\
+.subckt loop a
+Xinner a loop
+.ends
+X1 n loop
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn unterminated_subckt_is_reported() {
+        let err = parse(".subckt s a\nR1 a 0 1k\n").unwrap_err();
+        assert!(err.to_string().contains(".ends"));
+    }
+}

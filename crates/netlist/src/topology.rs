@@ -1,0 +1,610 @@
+//! Generators for the circuit topologies used in the reproduction.
+//!
+//! The central generator is [`build_ring_vco`]: the paper's 5-stage
+//! current-starved ring voltage-controlled oscillator with **seven
+//! designable parameters** (transistor widths and lengths, §4.1 of the
+//! paper). Because load and parasitic capacitances depend on the chosen
+//! geometry, the builder recomputes them from the sizing on every call —
+//! optimisers rebuild the circuit per candidate rather than patching
+//! values in place.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::{Circuit, DeviceId, NodeId};
+use crate::device::{MosModel, Mosfet, SourceWaveform};
+
+/// The seven designable parameters of the ring VCO, matching the paper's
+/// "transistor lengths and widths making a total of 7 designable
+/// parameters" with the ranges of §4.2 (L ∈ [0.12 µm, 1 µm],
+/// W ∈ [10 µm, 100 µm]).
+///
+/// # Examples
+///
+/// ```
+/// use netlist::topology::VcoSizing;
+///
+/// let s = VcoSizing::nominal();
+/// let arr = s.to_array();
+/// let back = VcoSizing::from_array(&arr);
+/// assert_eq!(s, back);
+/// assert!(VcoSizing::BOUNDS.iter().all(|(lo, hi)| lo < hi));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VcoSizing {
+    /// Inverter NMOS width (m).
+    pub wn: f64,
+    /// Inverter PMOS width (m).
+    pub wp: f64,
+    /// Starving NMOS width (m).
+    pub wsn: f64,
+    /// Starving PMOS width (m).
+    pub wsp: f64,
+    /// Inverter transistor length (m).
+    pub l_inv: f64,
+    /// Starving/bias transistor length (m).
+    pub l_starve: f64,
+    /// Bias mirror transistor width (m).
+    pub w_bias: f64,
+}
+
+impl VcoSizing {
+    /// Number of designable parameters.
+    pub const DIM: usize = 7;
+
+    /// Paper §4.2 bounds: widths 10–100 µm, lengths 0.12–1 µm, in the
+    /// parameter order of [`VcoSizing::to_array`].
+    pub const BOUNDS: [(f64, f64); Self::DIM] = [
+        (10e-6, 100e-6),   // wn
+        (10e-6, 100e-6),   // wp
+        (10e-6, 100e-6),   // wsn
+        (10e-6, 100e-6),   // wsp
+        (0.12e-6, 1e-6),   // l_inv
+        (0.12e-6, 1e-6),   // l_starve
+        (10e-6, 100e-6),   // w_bias
+    ];
+
+    /// Human-readable parameter names, in array order (these are the
+    /// paper's p1…p7).
+    pub const NAMES: [&'static str; Self::DIM] =
+        ["wn", "wp", "wsn", "wsp", "l_inv", "l_starve", "w_bias"];
+
+    /// A mid-range sizing useful as a starting point and in tests.
+    pub fn nominal() -> Self {
+        VcoSizing {
+            wn: 20e-6,
+            wp: 40e-6,
+            wsn: 30e-6,
+            wsp: 60e-6,
+            l_inv: 0.12e-6,
+            l_starve: 0.24e-6,
+            w_bias: 30e-6,
+        }
+    }
+
+    /// Packs the sizing into the canonical parameter array (p1…p7).
+    pub fn to_array(&self) -> [f64; Self::DIM] {
+        [
+            self.wn,
+            self.wp,
+            self.wsn,
+            self.wsp,
+            self.l_inv,
+            self.l_starve,
+            self.w_bias,
+        ]
+    }
+
+    /// Unpacks a parameter array produced by [`VcoSizing::to_array`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 7`.
+    pub fn from_array(x: &[f64]) -> Self {
+        assert_eq!(x.len(), Self::DIM, "vco sizing needs 7 parameters");
+        VcoSizing {
+            wn: x[0],
+            wp: x[1],
+            wsn: x[2],
+            wsp: x[3],
+            l_inv: x[4],
+            l_starve: x[5],
+            w_bias: x[6],
+        }
+    }
+
+    /// Clamps every parameter into [`VcoSizing::BOUNDS`].
+    pub fn clamped(&self) -> Self {
+        let mut arr = self.to_array();
+        for (v, (lo, hi)) in arr.iter_mut().zip(Self::BOUNDS.iter()) {
+            *v = v.clamp(*lo, *hi);
+        }
+        Self::from_array(&arr)
+    }
+}
+
+/// Handles to the interesting parts of a generated ring VCO circuit.
+#[derive(Debug, Clone)]
+pub struct RingVco {
+    /// The complete circuit (supplies included).
+    pub circuit: Circuit,
+    /// Output node of the last stage (observed for frequency/jitter).
+    pub out: NodeId,
+    /// All stage output nodes, in ring order.
+    pub stage_outputs: Vec<NodeId>,
+    /// The VDD source device (its branch current is the supply current).
+    pub vdd_source: DeviceId,
+    /// The control-voltage source device.
+    pub vctrl_source: DeviceId,
+    /// Supply voltage used.
+    pub vdd: f64,
+}
+
+/// Builds an `stages`-stage current-starved ring VCO.
+///
+/// Topology per stage: a PMOS starving device from VDD feeds the inverter
+/// PMOS; the inverter NMOS sinks through an NMOS starving device to
+/// ground. NMOS starve gates are driven directly by `vctrl`; PMOS starve
+/// gates by the mirrored bias node `nb` (diode-connected PMOS fed by an
+/// NMOS whose gate is `vctrl`). Lumped load capacitors representing the
+/// next stage's gate capacitance plus junction capacitance are computed
+/// from the sizing — this is where the level-1 model's missing intrinsic
+/// capacitances are reintroduced (see DESIGN.md).
+///
+/// # Panics
+///
+/// Panics if `stages` is even or < 3 (an even ring latches instead of
+/// oscillating), or if the sizing is non-positive.
+pub fn build_ring_vco(sizing: &VcoSizing, stages: usize, vdd: f64, vctrl: f64) -> RingVco {
+    assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+    let s = sizing;
+    for v in s.to_array() {
+        assert!(v > 0.0, "sizing parameters must be positive");
+    }
+    let nmos = MosModel::nmos_012();
+    let pmos = MosModel::pmos_012();
+
+    let mut c = Circuit::new("ring_vco");
+    let vdd_node = c.node("vdd");
+    let vctrl_node = c.node("vctrl");
+    let nb = c.node("nb");
+    let vdd_source = c.add_vsource("Vdd", vdd_node, Circuit::GROUND, SourceWaveform::Dc(vdd));
+    let vctrl_source =
+        c.add_vsource("Vctrl", vctrl_node, Circuit::GROUND, SourceWaveform::Dc(vctrl));
+
+    // Bias branch: Mbn (gate = vctrl) pulls current through diode-connected
+    // Mbp, producing the PMOS starve gate voltage at `nb`.
+    c.add_mosfet(
+        "Mbn",
+        Mosfet {
+            drain: nb,
+            gate: vctrl_node,
+            source: Circuit::GROUND,
+            w: s.w_bias,
+            l: s.l_starve,
+            model: nmos,
+        },
+    );
+    c.add_mosfet(
+        "Mbp",
+        Mosfet {
+            drain: nb,
+            gate: nb,
+            source: vdd_node,
+            w: s.w_bias,
+            l: s.l_starve,
+            model: pmos,
+        },
+    );
+    // Bias node parasitics: Mbp junction + all PMOS starve gate caps.
+    let c_nb = pmos.cj_per_width * 2.0 * s.w_bias
+        + pmos.cox_per_area * s.wsp * s.l_starve * stages as f64;
+    c.add_capacitor("Cnb", nb, Circuit::GROUND, c_nb.max(1e-18));
+
+    let stage_outputs: Vec<NodeId> = (0..stages)
+        .map(|i| c.node(&format!("s{i}")))
+        .collect();
+
+    for i in 0..stages {
+        let input = stage_outputs[(i + stages - 1) % stages];
+        let out = stage_outputs[i];
+        let sp = c.node(&format!("sp{i}"));
+        let sn = c.node(&format!("sn{i}"));
+        c.add_mosfet(
+            &format!("Msp{i}"),
+            Mosfet {
+                drain: sp,
+                gate: nb,
+                source: vdd_node,
+                w: s.wsp,
+                l: s.l_starve,
+                model: pmos,
+            },
+        );
+        c.add_mosfet(
+            &format!("Mp{i}"),
+            Mosfet {
+                drain: out,
+                gate: input,
+                source: sp,
+                w: s.wp,
+                l: s.l_inv,
+                model: pmos,
+            },
+        );
+        c.add_mosfet(
+            &format!("Mn{i}"),
+            Mosfet {
+                drain: out,
+                gate: input,
+                source: sn,
+                w: s.wn,
+                l: s.l_inv,
+                model: nmos,
+            },
+        );
+        c.add_mosfet(
+            &format!("Msn{i}"),
+            Mosfet {
+                drain: sn,
+                gate: vctrl_node,
+                source: Circuit::GROUND,
+                w: s.wsn,
+                l: s.l_starve,
+                model: nmos,
+            },
+        );
+        // Stage load: next stage's gate caps + this stage's junction caps.
+        let c_load = nmos.cox_per_area * (s.wn + s.wp) * s.l_inv
+            + nmos.cj_per_width * (s.wn + s.wp);
+        // Alternate the initial condition around the ring so the transient
+        // starts from an asymmetric state and oscillation builds immediately.
+        let ic = if i % 2 == 0 { 0.0 } else { vdd };
+        c.add_capacitor_with_ic(&format!("Cl{i}"), out, Circuit::GROUND, c_load, ic);
+        // Internal starve-node parasitics.
+        let c_sp = pmos.cj_per_width * (s.wsp + s.wp);
+        let c_sn = nmos.cj_per_width * (s.wsn + s.wn);
+        c.add_capacitor(&format!("Csp{i}"), sp, Circuit::GROUND, c_sp);
+        c.add_capacitor(&format!("Csn{i}"), sn, Circuit::GROUND, c_sn);
+    }
+
+    RingVco {
+        out: stage_outputs[stages - 1],
+        stage_outputs,
+        circuit: c,
+        vdd_source,
+        vctrl_source,
+        vdd,
+    }
+}
+
+/// Handles to a generated two-stage Miller-compensated opamp, used by the
+/// generality example.
+#[derive(Debug, Clone)]
+pub struct TwoStageOpamp {
+    /// The complete circuit.
+    pub circuit: Circuit,
+    /// Non-inverting input node.
+    pub in_p: NodeId,
+    /// Inverting input node.
+    pub in_n: NodeId,
+    /// Output node.
+    pub out: NodeId,
+    /// VDD source device.
+    pub vdd_source: DeviceId,
+}
+
+/// Designable parameters of the two-stage opamp example.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpampSizing {
+    /// Differential-pair NMOS width (m).
+    pub w_diff: f64,
+    /// PMOS mirror-load width (m).
+    pub w_load: f64,
+    /// Tail current source width (m).
+    pub w_tail: f64,
+    /// Second-stage PMOS width (m).
+    pub w_out: f64,
+    /// Channel length for all devices (m).
+    pub l: f64,
+    /// Miller compensation capacitance (F).
+    pub c_comp: f64,
+}
+
+impl OpampSizing {
+    /// Number of designable parameters.
+    pub const DIM: usize = 6;
+
+    /// Bounds used by the opamp sizing example.
+    pub const BOUNDS: [(f64, f64); Self::DIM] = [
+        (2e-6, 100e-6),
+        (2e-6, 100e-6),
+        (2e-6, 100e-6),
+        (10e-6, 400e-6),
+        (0.12e-6, 1e-6),
+        (0.2e-12, 10e-12),
+    ];
+
+    /// A reasonable mid-range sizing.
+    pub fn nominal() -> Self {
+        OpampSizing {
+            w_diff: 20e-6,
+            w_load: 10e-6,
+            w_tail: 20e-6,
+            w_out: 80e-6,
+            l: 0.24e-6,
+            c_comp: 2e-12,
+        }
+    }
+
+    /// Packs into an array in field order.
+    pub fn to_array(&self) -> [f64; Self::DIM] {
+        [
+            self.w_diff,
+            self.w_load,
+            self.w_tail,
+            self.w_out,
+            self.l,
+            self.c_comp,
+        ]
+    }
+
+    /// Unpacks an array produced by [`OpampSizing::to_array`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != 6`.
+    pub fn from_array(x: &[f64]) -> Self {
+        assert_eq!(x.len(), Self::DIM, "opamp sizing needs 6 parameters");
+        OpampSizing {
+            w_diff: x[0],
+            w_load: x[1],
+            w_tail: x[2],
+            w_out: x[3],
+            l: x[4],
+            c_comp: x[5],
+        }
+    }
+}
+
+/// Builds a two-stage Miller-compensated opamp with NMOS input pair,
+/// PMOS mirror load and PMOS common-source output stage, biased by a
+/// simple current mirror fed from `ibias`.
+pub fn build_two_stage_opamp(sizing: &OpampSizing, vdd: f64, ibias: f64) -> TwoStageOpamp {
+    let s = sizing;
+    let nmos = MosModel::nmos_012();
+    let pmos = MosModel::pmos_012();
+    let mut c = Circuit::new("two_stage_opamp");
+
+    let vdd_node = c.node("vdd");
+    let in_p = c.node("inp");
+    let in_n = c.node("inn");
+    let out = c.node("out");
+    let d1 = c.node("d1"); // first-stage output (drain of M2/M4)
+    let dm = c.node("dm"); // mirror diode node
+    let tail = c.node("tail");
+    let nbias = c.node("nbias");
+
+    let vdd_source = c.add_vsource("Vdd", vdd_node, Circuit::GROUND, SourceWaveform::Dc(vdd));
+    // Input common-mode bias sources; testbenches overwrite their
+    // waveforms (e.g. with a small differential sine) via `device_mut`.
+    c.add_vsource("Vinp", in_p, Circuit::GROUND, SourceWaveform::Dc(vdd / 2.0));
+    c.add_vsource("Vinn", in_n, Circuit::GROUND, SourceWaveform::Dc(vdd / 2.0));
+    // Bias current into diode-connected NMOS sets the tail mirror gate.
+    c.add_isource(
+        "Ibias",
+        vdd_node,
+        nbias,
+        SourceWaveform::Dc(ibias),
+    );
+    c.add_mosfet(
+        "Mbias",
+        Mosfet {
+            drain: nbias,
+            gate: nbias,
+            source: Circuit::GROUND,
+            w: s.w_tail,
+            l: s.l,
+            model: nmos,
+        },
+    );
+    c.add_mosfet(
+        "Mtail",
+        Mosfet {
+            drain: tail,
+            gate: nbias,
+            source: Circuit::GROUND,
+            w: s.w_tail,
+            l: s.l,
+            model: nmos,
+        },
+    );
+    // Differential pair.
+    c.add_mosfet(
+        "M1",
+        Mosfet {
+            drain: dm,
+            gate: in_p,
+            source: tail,
+            w: s.w_diff,
+            l: s.l,
+            model: nmos,
+        },
+    );
+    c.add_mosfet(
+        "M2",
+        Mosfet {
+            drain: d1,
+            gate: in_n,
+            source: tail,
+            w: s.w_diff,
+            l: s.l,
+            model: nmos,
+        },
+    );
+    // PMOS mirror load.
+    c.add_mosfet(
+        "M3",
+        Mosfet {
+            drain: dm,
+            gate: dm,
+            source: vdd_node,
+            w: s.w_load,
+            l: s.l,
+            model: pmos,
+        },
+    );
+    c.add_mosfet(
+        "M4",
+        Mosfet {
+            drain: d1,
+            gate: dm,
+            source: vdd_node,
+            w: s.w_load,
+            l: s.l,
+            model: pmos,
+        },
+    );
+    // Output stage: PMOS common source + NMOS mirror sink.
+    c.add_mosfet(
+        "M5",
+        Mosfet {
+            drain: out,
+            gate: d1,
+            source: vdd_node,
+            w: s.w_out,
+            l: s.l,
+            model: pmos,
+        },
+    );
+    c.add_mosfet(
+        "M6",
+        Mosfet {
+            drain: out,
+            gate: nbias,
+            source: Circuit::GROUND,
+            w: 2.0 * s.w_tail,
+            l: s.l,
+            model: nmos,
+        },
+    );
+    // Miller compensation and load.
+    c.add_capacitor("Cc", d1, out, s.c_comp);
+    c.add_capacitor("Cload", out, Circuit::GROUND, 1e-12);
+    // Parasitics at internal nodes.
+    c.add_capacitor(
+        "Cd1",
+        d1,
+        Circuit::GROUND,
+        nmos.cox_per_area * s.w_out * s.l + nmos.cj_per_width * (s.w_diff + s.w_load),
+    );
+    c.add_capacitor(
+        "Ctail",
+        tail,
+        Circuit::GROUND,
+        nmos.cj_per_width * (2.0 * s.w_diff + s.w_tail),
+    );
+    c.add_capacitor(
+        "Cdm",
+        dm,
+        Circuit::GROUND,
+        nmos.cj_per_width * (s.w_diff + s.w_load)
+            + pmos.cox_per_area * 2.0 * s.w_load * s.l,
+    );
+    c.add_capacitor(
+        "Cnbias",
+        nbias,
+        Circuit::GROUND,
+        nmos.cox_per_area * 3.0 * s.w_tail * s.l,
+    );
+
+    TwoStageOpamp {
+        circuit: c,
+        in_p,
+        in_n,
+        out,
+        vdd_source,
+    }
+}
+
+/// Builds a single-pole RC low-pass filter driven by `waveform`, a classic
+/// simulator validation fixture (analytic step response known).
+pub fn build_rc_lowpass(r: f64, c_val: f64, waveform: SourceWaveform) -> Circuit {
+    let mut c = Circuit::new("rc_lowpass");
+    let inp = c.node("in");
+    let out = c.node("out");
+    c.add_vsource("Vin", inp, Circuit::GROUND, waveform);
+    c.add_resistor("R1", inp, out, r);
+    c.add_capacitor("C1", out, Circuit::GROUND, c_val);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizing_array_round_trip() {
+        let s = VcoSizing::nominal();
+        assert_eq!(VcoSizing::from_array(&s.to_array()), s);
+        let o = OpampSizing::nominal();
+        assert_eq!(OpampSizing::from_array(&o.to_array()), o);
+    }
+
+    #[test]
+    fn sizing_clamp_respects_bounds() {
+        let mut arr = VcoSizing::nominal().to_array();
+        arr[0] = 1.0; // absurd width
+        arr[4] = 0.0; // absurd length
+        let s = VcoSizing::from_array(&arr).clamped();
+        assert_eq!(s.wn, VcoSizing::BOUNDS[0].1);
+        assert_eq!(s.l_inv, VcoSizing::BOUNDS[4].0);
+    }
+
+    #[test]
+    fn ring_vco_structure() {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.8);
+        // 2 bias FETs + 4 FETs/stage * 5 = 22 MOSFETs; 2 sources;
+        // 1 bias cap + 3 caps/stage * 5 = 16 caps → 40 devices.
+        assert_eq!(vco.circuit.num_devices(), 40);
+        assert_eq!(vco.stage_outputs.len(), 5);
+        vco.circuit.validate().expect("generated vco is valid");
+    }
+
+    #[test]
+    fn ring_vco_caps_scale_with_sizing() {
+        let small = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.8);
+        let mut big_sizing = VcoSizing::nominal();
+        big_sizing.wn *= 2.0;
+        big_sizing.wp *= 2.0;
+        let big = build_ring_vco(&big_sizing, 5, 1.2, 0.8);
+        let get_cl0 = |c: &Circuit| -> f64 {
+            match c.device(c.find_device("Cl0").unwrap()) {
+                crate::device::Device::Capacitor { value, .. } => *value,
+                _ => unreachable!(),
+            }
+        };
+        assert!(
+            get_cl0(&big.circuit) > get_cl0(&small.circuit) * 1.9,
+            "load capacitance should track device width"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_stage_count_panics() {
+        let _ = build_ring_vco(&VcoSizing::nominal(), 4, 1.2, 0.8);
+    }
+
+    #[test]
+    fn opamp_structure_is_valid() {
+        let op = build_two_stage_opamp(&OpampSizing::nominal(), 1.2, 20e-6);
+        op.circuit.validate().expect("generated opamp is valid");
+        assert!(op.circuit.find_device("Cc").is_some());
+    }
+
+    #[test]
+    fn rc_lowpass_is_valid() {
+        let c = build_rc_lowpass(1e3, 1e-9, SourceWaveform::Dc(1.0));
+        c.validate().expect("rc filter valid");
+    }
+}

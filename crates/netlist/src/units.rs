@@ -1,0 +1,213 @@
+//! SPICE engineering-notation value parsing and formatting.
+//!
+//! SPICE decks write `2.2p` for 2.2 pF and `0.12u` for 0.12 µm. This
+//! module converts between those strings and `f64`, supporting the full
+//! SPICE suffix set including the awkward `meg` (1e6) vs `m` (1e-3) pair.
+
+use crate::error::NetlistError;
+
+/// Parses a SPICE numeric token with an optional engineering suffix.
+///
+/// Recognised suffixes (case-insensitive): `f` (1e-15), `p` (1e-12),
+/// `n` (1e-9), `u` (1e-6), `m` (1e-3), `k` (1e3), `meg` (1e6), `g` (1e9),
+/// `t` (1e12). Any trailing alphabetic unit after the suffix is ignored,
+/// as in SPICE (`10pF` == `10p`).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::BadValue`] when the token has no leading
+/// numeric part or the numeric part is malformed.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// assert!((netlist::units::parse_value("2.2p")? - 2.2e-12).abs() < 1e-24);
+/// assert_eq!(netlist::units::parse_value("1meg")?, 1.0e6);
+/// assert_eq!(netlist::units::parse_value("10pF")?, 10.0e-12);
+/// assert_eq!(netlist::units::parse_value("-3.5")?, -3.5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_value(token: &str) -> Result<f64, NetlistError> {
+    let token = token.trim();
+    if token.is_empty() {
+        return Err(NetlistError::BadValue {
+            token: token.to_string(),
+        });
+    }
+    // Split at the first character that cannot belong to a float literal.
+    let mut split = token.len();
+    for (i, ch) in token.char_indices() {
+        let numeric = ch.is_ascii_digit()
+            || ch == '.'
+            || ch == '-'
+            || ch == '+'
+            || ch == 'e'
+            || ch == 'E';
+        // 'e'/'E' only counts as numeric if followed by digit or sign —
+        // otherwise it is a suffix-or-unit character (e.g. "2.2e" is a unit-less
+        // trailing char, but "1e6" is scientific notation).
+        if (ch == 'e' || ch == 'E')
+            && !token[i + ch.len_utf8()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-')
+        {
+            split = i;
+            break;
+        }
+        if !numeric {
+            split = i;
+            break;
+        }
+    }
+    let (num_part, suffix_part) = token.split_at(split);
+    let base: f64 = num_part.parse().map_err(|_| NetlistError::BadValue {
+        token: token.to_string(),
+    })?;
+    let mult = suffix_multiplier(suffix_part);
+    Ok(base * mult)
+}
+
+/// Returns the multiplier for a suffix string (with trailing unit letters
+/// ignored). Unknown suffixes are treated as plain units → multiplier 1.
+fn suffix_multiplier(suffix: &str) -> f64 {
+    let s = suffix.to_ascii_lowercase();
+    if s.starts_with("meg") {
+        return 1e6;
+    }
+    if s.starts_with("mil") {
+        return 25.4e-6;
+    }
+    match s.chars().next() {
+        Some('f') => 1e-15,
+        Some('p') => 1e-12,
+        Some('n') => 1e-9,
+        Some('u') => 1e-6,
+        Some('m') => 1e-3,
+        Some('k') => 1e3,
+        Some('g') => 1e9,
+        Some('t') => 1e12,
+        _ => 1.0,
+    }
+}
+
+/// Formats a value using the closest SPICE engineering suffix, e.g.
+/// `2.2e-12 → "2.2p"`.
+///
+/// Values whose exponent is outside the suffix table fall back to
+/// scientific notation. The output always round-trips through
+/// [`parse_value`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(netlist::units::format_value(2.2e-12), "2.2p");
+/// assert_eq!(netlist::units::format_value(1.0e6), "1meg");
+/// assert_eq!(netlist::units::format_value(0.0), "0");
+/// ```
+pub fn format_value(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    const SUFFIXES: [(f64, &str); 9] = [
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    for (mult, suffix) in SUFFIXES {
+        if mag >= mult && mag < mult * 1e3 {
+            let scaled = value / mult;
+            // Up to 6 significant digits, trailing zeros trimmed.
+            let s = format!("{scaled:.6}");
+            let s = s.trim_end_matches('0').trim_end_matches('.');
+            return format!("{s}{suffix}");
+        }
+    }
+    format!("{value:e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_suffixes() {
+        let cases = [
+            ("1f", 1e-15),
+            ("1p", 1e-12),
+            ("1n", 1e-9),
+            ("1u", 1e-6),
+            ("1m", 1e-3),
+            ("1k", 1e3),
+            ("1meg", 1e6),
+            ("1MEG", 1e6),
+            ("1g", 1e9),
+            ("1t", 1e12),
+        ];
+        for (tok, expect) in cases {
+            let v = parse_value(tok).unwrap();
+            assert!(
+                (v - expect).abs() <= 1e-9 * expect.abs(),
+                "{tok} parsed to {v}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_scientific_notation() {
+        assert_eq!(parse_value("1e6").unwrap(), 1e6);
+        assert_eq!(parse_value("2.5E-3").unwrap(), 2.5e-3);
+        assert_eq!(parse_value("-1.2e+2").unwrap(), -120.0);
+    }
+
+    #[test]
+    fn ignores_trailing_units() {
+        assert_eq!(parse_value("10pF").unwrap(), 10e-12);
+        assert_eq!(parse_value("1kOhm").unwrap(), 1e3);
+        assert_eq!(parse_value("5Volts").unwrap(), 5.0);
+    }
+
+    #[test]
+    fn distinguishes_m_and_meg() {
+        assert_eq!(parse_value("1m").unwrap(), 1e-3);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("1mF").unwrap(), 1e-3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("--3").is_err());
+    }
+
+    #[test]
+    fn format_round_trips() {
+        for v in [
+            2.2e-12, 1.0e6, 3.3, 0.12e-6, 100e-6, 1.5e3, -4.7e-9, 0.0, 999.0,
+        ] {
+            let s = format_value(v);
+            let back = parse_value(&s).unwrap();
+            let tol = 1e-6 * v.abs().max(1e-300);
+            assert!(
+                (back - v).abs() <= tol,
+                "value {v} formatted to {s} parsed back to {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn format_extreme_values_fall_back_to_scientific() {
+        let s = format_value(1e-20);
+        assert!(parse_value(&s).unwrap() == 1e-20, "got {s}");
+    }
+}

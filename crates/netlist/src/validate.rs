@@ -1,0 +1,208 @@
+//! Structural validation of circuits before simulation.
+
+use std::collections::HashSet;
+
+use crate::circuit::Circuit;
+use crate::device::Device;
+use crate::error::NetlistError;
+
+impl Circuit {
+    /// Checks the circuit for structural problems that would make MNA
+    /// analysis fail or meaningless.
+    ///
+    /// Validated properties:
+    ///
+    /// * at least one device exists;
+    /// * every non-ground node is connected to at least two device
+    ///   terminals (no dangling nodes);
+    /// * something connects to ground (a floating circuit has a singular
+    ///   MNA matrix);
+    /// * no two voltage sources are connected in parallel across the same
+    ///   node pair (inconsistent or redundant);
+    /// * device values are physical (positive R/C, positive W/L).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::Invalid`] or [`NetlistError::NonPhysical`]
+    /// describing the first violation found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        if self.num_devices() == 0 {
+            return Err(NetlistError::Invalid {
+                message: "circuit has no devices".to_string(),
+            });
+        }
+
+        let mut touch_count = vec![0usize; self.num_nodes()];
+        let mut grounded = false;
+        let mut vsource_pairs: HashSet<(usize, usize)> = HashSet::new();
+
+        for (id, device) in self.devices() {
+            for node in device.nodes() {
+                touch_count[node.index()] += 1;
+                if node.is_ground() {
+                    grounded = true;
+                }
+            }
+            match device {
+                Device::Resistor { value, .. } => {
+                    if *value <= 0.0 || !value.is_finite() {
+                        return Err(NetlistError::NonPhysical {
+                            device: self.device_name(id).to_string(),
+                            message: format!("resistance {value} must be positive and finite"),
+                        });
+                    }
+                }
+                Device::Capacitor { value, .. } => {
+                    if *value <= 0.0 || !value.is_finite() {
+                        return Err(NetlistError::NonPhysical {
+                            device: self.device_name(id).to_string(),
+                            message: format!("capacitance {value} must be positive and finite"),
+                        });
+                    }
+                }
+                Device::Mos(m) => {
+                    if m.w <= 0.0 || m.l <= 0.0 || !m.w.is_finite() || !m.l.is_finite() {
+                        return Err(NetlistError::NonPhysical {
+                            device: self.device_name(id).to_string(),
+                            message: format!("W={} L={} must be positive and finite", m.w, m.l),
+                        });
+                    }
+                    if m.model.kp <= 0.0 {
+                        return Err(NetlistError::NonPhysical {
+                            device: self.device_name(id).to_string(),
+                            message: format!("kp={} must be positive", m.model.kp),
+                        });
+                    }
+                }
+                Device::VSource { pos, neg, .. } => {
+                    let key = if pos.index() <= neg.index() {
+                        (pos.index(), neg.index())
+                    } else {
+                        (neg.index(), pos.index())
+                    };
+                    if !vsource_pairs.insert(key) {
+                        return Err(NetlistError::Invalid {
+                            message: format!(
+                                "two voltage sources in parallel across nodes `{}` and `{}`",
+                                self.node_name(*pos),
+                                self.node_name(*neg)
+                            ),
+                        });
+                    }
+                }
+                Device::Inductor { value, .. } => {
+                    if *value <= 0.0 || !value.is_finite() {
+                        return Err(NetlistError::NonPhysical {
+                            device: self.device_name(id).to_string(),
+                            message: format!("inductance {value} must be positive and finite"),
+                        });
+                    }
+                }
+                Device::ISource { .. } | Device::Vccs { .. } | Device::Vcvs { .. } => {}
+            }
+        }
+
+        if !grounded {
+            return Err(NetlistError::Invalid {
+                message: "no device connects to ground".to_string(),
+            });
+        }
+
+        for (idx, &count) in touch_count.iter().enumerate().skip(1) {
+            if count == 0 {
+                // Unreachable through the public API (nodes are created on
+                // demand) but kept for defence in depth.
+                continue;
+            }
+            if count < 2 {
+                return Err(NetlistError::Invalid {
+                    message: format!(
+                        "node `{}` is dangling (only one device terminal)",
+                        self.node_names_for_validation(idx)
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn node_names_for_validation(&self, idx: usize) -> &str {
+        self.node_name(crate::circuit::NodeId(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SourceWaveform;
+
+    #[test]
+    fn valid_divider_passes() {
+        let mut c = Circuit::new("div");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("R1", a, b, 1e3);
+        c.add_resistor("R2", b, Circuit::GROUND, 1e3);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_circuit_fails() {
+        let c = Circuit::new("empty");
+        assert!(matches!(c.validate(), Err(NetlistError::Invalid { .. })));
+    }
+
+    #[test]
+    fn dangling_node_fails() {
+        let mut c = Circuit::new("dangle");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("R1", a, b, 1e3); // node b has nothing else
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("dangling"));
+    }
+
+    #[test]
+    fn ungrounded_circuit_fails() {
+        let mut c = Circuit::new("float");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_resistor("R1", a, b, 1e3);
+        c.add_resistor("R2", a, b, 2e3);
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("ground"));
+    }
+
+    #[test]
+    fn parallel_vsources_fail() {
+        let mut c = Circuit::new("par");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_vsource("V2", a, Circuit::GROUND, SourceWaveform::Dc(2.0));
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("parallel"));
+    }
+
+    #[test]
+    fn antiparallel_vsources_also_fail() {
+        let mut c = Circuit::new("par2");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_vsource("V2", Circuit::GROUND, a, SourceWaveform::Dc(2.0));
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_value_resistor_fails() {
+        let mut c = Circuit::new("zr");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 0.0);
+        assert!(matches!(
+            c.validate(),
+            Err(NetlistError::NonPhysical { .. })
+        ));
+    }
+}

@@ -1,0 +1,331 @@
+//! Emission of circuits back to the SPICE-like text format.
+
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::device::{Device, MosPolarity, SourceWaveform};
+use crate::units::format_value;
+
+impl Circuit {
+    /// Renders the circuit in the SPICE-like dialect accepted by
+    /// [`crate::parse`], so `parse(c.to_spice_string())` round-trips.
+    ///
+    /// Model cards are emitted per-device (each MOSFET owns its model, to
+    /// support per-device statistical perturbation), named after the
+    /// device itself.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use netlist::{Circuit, SourceWaveform};
+    ///
+    /// let mut c = Circuit::new("demo");
+    /// let n = c.node("out");
+    /// c.add_resistor("R1", n, Circuit::GROUND, 1.0e3);
+    /// let text = c.to_spice_string();
+    /// assert!(text.contains("R1 out 0 1k"));
+    /// ```
+    pub fn to_spice_string(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "* {}", self.name());
+        // Model cards first (one per MOSFET, named m_<device>).
+        for (id, device) in self.devices() {
+            if let Device::Mos(m) = device {
+                let kind = match m.model.polarity {
+                    MosPolarity::Nmos => "NMOS",
+                    MosPolarity::Pmos => "PMOS",
+                };
+                let _ = writeln!(
+                    out,
+                    ".model m_{} {} (vto={} kp={} lambda={} cox={} cj={} gamma={})",
+                    self.device_name(id).to_ascii_lowercase(),
+                    kind,
+                    format_value(m.model.vto),
+                    format_value(m.model.kp),
+                    format_value(m.model.lambda_prime),
+                    format_value(m.model.cox_per_area),
+                    format_value(m.model.cj_per_width),
+                    format_value(m.model.gamma_noise),
+                );
+            }
+        }
+        for (id, device) in self.devices() {
+            let name = self.device_name(id);
+            match device {
+                Device::Resistor { a, b, value } => {
+                    let _ = writeln!(
+                        out,
+                        "{name} {} {} {}",
+                        self.node_name(*a),
+                        self.node_name(*b),
+                        format_value(*value)
+                    );
+                }
+                Device::Capacitor { a, b, value, ic } => {
+                    let _ = write!(
+                        out,
+                        "{name} {} {} {}",
+                        self.node_name(*a),
+                        self.node_name(*b),
+                        format_value(*value)
+                    );
+                    if let Some(ic) = ic {
+                        let _ = write!(out, " IC={}", format_value(*ic));
+                    }
+                    let _ = writeln!(out);
+                }
+                Device::Inductor { a, b, value, ic } => {
+                    let _ = write!(
+                        out,
+                        "{name} {} {} {}",
+                        self.node_name(*a),
+                        self.node_name(*b),
+                        format_value(*value)
+                    );
+                    if let Some(ic) = ic {
+                        let _ = write!(out, " IC={}", format_value(*ic));
+                    }
+                    let _ = writeln!(out);
+                }
+                Device::VSource { pos, neg, waveform } | Device::ISource { pos, neg, waveform } => {
+                    let _ = writeln!(
+                        out,
+                        "{name} {} {} {}",
+                        self.node_name(*pos),
+                        self.node_name(*neg),
+                        waveform_text(waveform)
+                    );
+                }
+                Device::Mos(m) => {
+                    let _ = writeln!(
+                        out,
+                        "{name} {} {} {} 0 m_{} W={} L={}",
+                        self.node_name(m.drain),
+                        self.node_name(m.gate),
+                        self.node_name(m.source),
+                        name.to_ascii_lowercase(),
+                        format_value(m.w),
+                        format_value(m.l)
+                    );
+                }
+                Device::Vcvs {
+                    out_p,
+                    out_n,
+                    in_p,
+                    in_n,
+                    gain,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{name} {} {} {} {} {}",
+                        self.node_name(*out_p),
+                        self.node_name(*out_n),
+                        self.node_name(*in_p),
+                        self.node_name(*in_n),
+                        format_value(*gain)
+                    );
+                }
+                Device::Vccs {
+                    out_p,
+                    out_n,
+                    in_p,
+                    in_n,
+                    gm,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "{name} {} {} {} {} {}",
+                        self.node_name(*out_p),
+                        self.node_name(*out_n),
+                        self.node_name(*in_p),
+                        self.node_name(*in_n),
+                        format_value(*gm)
+                    );
+                }
+            }
+        }
+        out.push_str(".end\n");
+        out
+    }
+}
+
+fn waveform_text(w: &SourceWaveform) -> String {
+    match w {
+        SourceWaveform::Dc(v) => format!("DC {}", format_value(*v)),
+        SourceWaveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => format!(
+            "PULSE({} {} {} {} {} {} {})",
+            format_value(*v1),
+            format_value(*v2),
+            format_value(*delay),
+            format_value(*rise),
+            format_value(*fall),
+            format_value(*width),
+            format_value(*period)
+        ),
+        SourceWaveform::Sine {
+            offset,
+            amplitude,
+            freq,
+        } => format!(
+            "SIN({} {} {})",
+            format_value(*offset),
+            format_value(*amplitude),
+            format_value(*freq)
+        ),
+        SourceWaveform::Pwl(points) => {
+            let body: Vec<String> = points
+                .iter()
+                .flat_map(|(t, v)| [format_value(*t), format_value(*v)])
+                .collect();
+            format!("PWL({})", body.join(" "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::circuit::Circuit;
+    use crate::device::{Device, MosModel, Mosfet, SourceWaveform};
+    use crate::parse;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new("sample");
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("Vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource(
+            "Vin",
+            inp,
+            Circuit::GROUND,
+            SourceWaveform::Pulse {
+                v1: 0.0,
+                v2: 1.2,
+                delay: 1e-9,
+                rise: 0.1e-9,
+                fall: 0.1e-9,
+                width: 5e-9,
+                period: 10e-9,
+            },
+        );
+        c.add_mosfet(
+            "Mn",
+            Mosfet {
+                drain: out,
+                gate: inp,
+                source: Circuit::GROUND,
+                w: 10e-6,
+                l: 0.12e-6,
+                model: MosModel::nmos_012(),
+            },
+        );
+        c.add_mosfet(
+            "Mp",
+            Mosfet {
+                drain: out,
+                gate: inp,
+                source: vdd,
+                w: 20e-6,
+                l: 0.12e-6,
+                model: MosModel::pmos_012(),
+            },
+        );
+        c.add_capacitor("Cl", out, Circuit::GROUND, 10e-15);
+        c
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c = sample_circuit();
+        let text = c.to_spice_string();
+        let back = parse(&text).expect("emitted netlist parses");
+        assert_eq!(back.num_devices(), c.num_devices());
+        assert_eq!(back.num_nodes(), c.num_nodes());
+        // MOSFET geometry round-trips.
+        let mn = back.find_device("Mn").unwrap();
+        match back.device(mn) {
+            Device::Mos(m) => {
+                assert!((m.w - 10e-6).abs() < 1e-12 * 10e-6);
+                assert!((m.l - 0.12e-6).abs() < 1e-12);
+                assert!((m.model.vto - 0.35).abs() < 1e-9);
+            }
+            _ => panic!("expected mosfet"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_pulse_waveform() {
+        let c = sample_circuit();
+        let back = parse(&c.to_spice_string()).unwrap();
+        match back.device(back.find_device("Vin").unwrap()) {
+            Device::VSource {
+                waveform: SourceWaveform::Pulse { width, .. },
+                ..
+            } => assert!((width - 5e-9).abs() < 1e-18),
+            _ => panic!("expected pulse source"),
+        }
+    }
+
+    #[test]
+    fn inductor_and_vcvs_round_trip() {
+        let mut c = Circuit::new("le");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_inductor_with_ic("L1", a, b, 10e-9, 1e-3);
+        c.add_resistor("R1", b, Circuit::GROUND, 50.0);
+        c.add_device(
+            "E1",
+            Device::Vcvs {
+                out_p: b,
+                out_n: Circuit::GROUND,
+                in_p: a,
+                in_n: Circuit::GROUND,
+                gain: 2.5,
+            },
+        );
+        let back = parse(&c.to_spice_string()).unwrap();
+        match back.device(back.find_device("L1").unwrap()) {
+            Device::Inductor { value, ic, .. } => {
+                assert!((value - 10e-9).abs() < 1e-18);
+                assert_eq!(*ic, Some(1e-3));
+            }
+            _ => panic!("expected inductor"),
+        }
+        match back.device(back.find_device("E1").unwrap()) {
+            Device::Vcvs { gain, .. } => assert_eq!(*gain, 2.5),
+            _ => panic!("expected vcvs"),
+        }
+    }
+
+    #[test]
+    fn pwl_round_trips() {
+        let mut c = Circuit::new("p");
+        let a = c.node("a");
+        c.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::Pwl(vec![(0.0, 0.0), (1e-6, 1.2)]),
+        );
+        let back = parse(&c.to_spice_string()).unwrap();
+        match back.device(back.find_device("V1").unwrap()) {
+            Device::VSource {
+                waveform: SourceWaveform::Pwl(pts),
+                ..
+            } => {
+                assert_eq!(pts.len(), 2);
+                assert!((pts[1].0 - 1e-6).abs() < 1e-15);
+            }
+            _ => panic!("expected pwl source"),
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Complex arithmetic and a dense complex linear solver.
+//!
+//! Used by the AC (small-signal) analysis in `spicesim` and by the
+//! s-domain PLL loop analysis in `behavioral`.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+use crate::matrix::SolveMatrixError;
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use numkit::Complex;
+///
+/// let z = Complex::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+    /// The imaginary unit `j`.
+    pub const J: Complex = Complex { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|`, computed with `hypot` for robustness.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `z == 0`; in release builds the result
+    /// contains infinities, matching IEEE-754 division semantics.
+    pub fn recip(self) -> Complex {
+        debug_assert!(self.abs_sq() > 0.0, "reciprocal of zero complex number");
+        let d = self.abs_sq();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Complex {
+        Complex::new(self.re * k, self.im * k)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::from_real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+/// A dense square complex matrix stored row-major, with an LU solver.
+///
+/// Only the operations needed for AC analysis are provided: stamping
+/// (`add_at`), clearing, and solving.
+#[derive(Debug, Clone)]
+pub struct ComplexMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates an `n × n` zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn zeros(n: usize) -> Self {
+        assert!(n > 0, "matrix dimension must be nonzero");
+        ComplexMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Sets all entries to zero, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(Complex::ZERO);
+    }
+
+    /// Adds `value` to entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn add_at(&mut self, r: usize, c: usize, value: Complex) {
+        assert!(r < self.n && c < self.n, "complex matrix index out of bounds");
+        self.data[r * self.n + c] += value;
+    }
+
+    /// Returns entry `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Complex {
+        assert!(r < self.n && c < self.n, "complex matrix index out of bounds");
+        self.data[r * self.n + c]
+    }
+
+    /// Solves `A·x = b` in place via Gaussian elimination with partial
+    /// pivoting (by magnitude).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveMatrixError::Singular`] when a pivot magnitude falls
+    /// below `1e-300`, or [`SolveMatrixError::DimensionMismatch`] when `b`
+    /// has the wrong length.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>, SolveMatrixError> {
+        if b.len() != self.n {
+            return Err(SolveMatrixError::DimensionMismatch {
+                expected: self.n,
+                got: b.len(),
+            });
+        }
+        let n = self.n;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for k in 0..n {
+            let mut pivot_row = k;
+            let mut pivot_mag = a[k * n + k].abs();
+            for r in (k + 1)..n {
+                let m = a[r * n + k].abs();
+                if m > pivot_mag {
+                    pivot_mag = m;
+                    pivot_row = r;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(SolveMatrixError::Singular { step: k });
+            }
+            if pivot_row != k {
+                for c in 0..n {
+                    a.swap(k * n + c, pivot_row * n + c);
+                }
+                x.swap(k, pivot_row);
+            }
+            let pivot = a[k * n + k];
+            for r in (k + 1)..n {
+                let factor = a[r * n + k] / pivot;
+                a[r * n + k] = Complex::ZERO;
+                for c in (k + 1)..n {
+                    let sub = factor * a[k * n + c];
+                    a[r * n + c] = a[r * n + c] - sub;
+                }
+                let sub = factor * x[k];
+                x[r] = x[r] - sub;
+            }
+        }
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in (r + 1)..n {
+                acc = acc - a[r * n + c] * x[c];
+            }
+            x[r] = acc / a[r * n + r];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(2.0, -3.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        let w = z * z.recip();
+        assert!((w.re - 1.0).abs() < 1e-12 && w.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn j_squared_is_minus_one() {
+        let jj = Complex::J * Complex::J;
+        assert_eq!(jj, Complex::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn division_matches_hand_computation() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let q = a / b;
+        // (1+2j)/(3-j) = (1+2j)(3+j)/10 = (1+7j)/10
+        assert!((q.re - 0.1).abs() < 1e-12);
+        assert!((q.im - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_solve_rc_divider() {
+        // Solve [[1, -1], [1, 1]] x = [j, 1]
+        let mut m = ComplexMatrix::zeros(2);
+        m.add_at(0, 0, Complex::ONE);
+        m.add_at(0, 1, -Complex::ONE);
+        m.add_at(1, 0, Complex::ONE);
+        m.add_at(1, 1, Complex::ONE);
+        let x = m.solve(&[Complex::J, Complex::ONE]).unwrap();
+        // x0 = (1+j)/2, x1 = (1-j)/2
+        assert!((x[0].re - 0.5).abs() < 1e-12 && (x[0].im - 0.5).abs() < 1e-12);
+        assert!((x[1].re - 0.5).abs() < 1e-12 && (x[1].im + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_solve_singular() {
+        let m = ComplexMatrix::zeros(2);
+        assert!(matches!(
+            m.solve(&[Complex::ONE, Complex::ONE]),
+            Err(SolveMatrixError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+    }
+}

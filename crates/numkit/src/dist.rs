@@ -1,0 +1,207 @@
+//! Random distributions layered over [`rand`].
+//!
+//! Only the distributions the workspace needs are provided: standard and
+//! scaled normals (Box–Muller), truncated normals (for bounded process
+//! parameters) and uniform sampling within bounds. All samplers take the
+//! RNG explicitly so every stochastic experiment is reproducible from a
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Creates the workspace's deterministic RNG from a seed.
+///
+/// All experiments route their randomness through this constructor so a
+/// single `u64` reproduces a full run.
+///
+/// # Examples
+///
+/// ```
+/// let mut a = numkit::dist::seeded_rng(7);
+/// let mut b = numkit::dist::seeded_rng(7);
+/// assert_eq!(numkit::dist::standard_normal(&mut a),
+///            numkit::dist::standard_normal(&mut b));
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Draws one standard normal deviate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal deviate with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std_dev` is negative or non-finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "standard deviation must be finite and non-negative"
+    );
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a normal deviate truncated to `±clip_sigma` standard deviations
+/// by rejection sampling. Used for process parameters that must stay
+/// physical (e.g. a mobility multiplier cannot go negative).
+///
+/// # Panics
+///
+/// Panics if `clip_sigma <= 0` or `std_dev < 0`.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    clip_sigma: f64,
+) -> f64 {
+    assert!(clip_sigma > 0.0, "clip_sigma must be positive");
+    assert!(
+        std_dev.is_finite() && std_dev >= 0.0,
+        "standard deviation must be finite and non-negative"
+    );
+    if std_dev == 0.0 {
+        return mean;
+    }
+    loop {
+        let z = standard_normal(rng);
+        if z.abs() <= clip_sigma {
+            return mean + std_dev * z;
+        }
+    }
+}
+
+/// Draws a uniform deviate in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or either bound is non-finite.
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+    assert!(lo <= hi, "lower bound must not exceed upper bound");
+    lo + (hi - lo) * rng.random::<f64>()
+}
+
+/// Fills `out` with a Latin-hypercube sample of `out.len()` points across
+/// dimension `bounds.len()`; each inner `Vec` is one point.
+///
+/// Latin-hypercube sampling stratifies each axis so even small initial
+/// populations cover the design space, which matters for the GA seeding.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `bounds` is empty, or any bound pair is invalid.
+pub fn latin_hypercube<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    bounds: &[(f64, f64)],
+) -> Vec<Vec<f64>> {
+    assert!(n > 0, "sample count must be positive");
+    assert!(!bounds.is_empty(), "at least one dimension required");
+    for &(lo, hi) in bounds {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid bounds");
+    }
+    let dim = bounds.len();
+    let mut points = vec![vec![0.0; dim]; n];
+    for (d, &(lo, hi)) in bounds.iter().enumerate() {
+        // Permute the n strata for this axis.
+        let mut strata: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            strata.swap(i, j);
+        }
+        for (i, point) in points.iter_mut().enumerate() {
+            let frac = (strata[i] as f64 + rng.random::<f64>()) / n as f64;
+            point[d] = lo + (hi - lo) * frac;
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        for _ in 0..10 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = seeded_rng(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn normal_scales_and_shifts() {
+        let mut rng = seeded_rng(2);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn truncated_normal_respects_clip() {
+        let mut rng = seeded_rng(3);
+        for _ in 0..5_000 {
+            let v = truncated_normal(&mut rng, 0.0, 1.0, 2.0);
+            assert!(v.abs() <= 2.0);
+        }
+    }
+
+    #[test]
+    fn truncated_normal_zero_sigma_is_mean() {
+        let mut rng = seeded_rng(4);
+        assert_eq!(truncated_normal(&mut rng, 5.0, 0.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds() {
+        let mut rng = seeded_rng(5);
+        for _ in 0..1_000 {
+            let v = uniform(&mut rng, -2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn latin_hypercube_stratifies_each_axis() {
+        let mut rng = seeded_rng(6);
+        let n = 10;
+        let pts = latin_hypercube(&mut rng, n, &[(0.0, 1.0), (10.0, 20.0)]);
+        assert_eq!(pts.len(), n);
+        // Each of the n strata along axis 0 must contain exactly one point.
+        let mut seen = vec![false; n];
+        for p in &pts {
+            let stratum = (p[0] * n as f64).floor() as usize;
+            let stratum = stratum.min(n - 1);
+            assert!(!seen[stratum], "stratum {stratum} hit twice");
+            seen[stratum] = true;
+            assert!((10.0..20.0).contains(&p[1]));
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn uniform_rejects_inverted_bounds() {
+        let mut rng = seeded_rng(7);
+        let _ = uniform(&mut rng, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Small numerical toolkit shared across the hiersizer workspace.
+//!
+//! This crate provides the numerical primitives the rest of the workspace is
+//! built on, implemented from scratch so the reproduction has no external
+//! numerical dependencies:
+//!
+//! * [`matrix::Matrix`] — dense row-major `f64` matrices with LU
+//!   factorisation and linear solves ([`matrix::LuFactors`]).
+//! * [`complex::Complex`] — complex arithmetic plus a complex dense solver
+//!   for small-signal (AC) analysis.
+//! * [`stats`] — summary statistics (mean, variance, quantiles) and the
+//!   [`stats::Summary`] type used by the Monte-Carlo engine.
+//! * [`dist`] — random distributions (standard normal via Box–Muller,
+//!   truncated normal, uniform in bounds) layered over [`rand`].
+//!
+//! # Examples
+//!
+//! Solving a small linear system:
+//!
+//! ```
+//! use numkit::matrix::Matrix;
+//!
+//! # fn main() -> Result<(), numkit::matrix::SolveMatrixError> {
+//! let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.solve(&[3.0, 5.0])?;
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod dist;
+pub mod matrix;
+pub mod stats;
+
+pub use complex::Complex;
+pub use matrix::Matrix;
+
+/// Boltzmann constant in J/K, used by thermal-noise calculations.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Default simulation temperature in kelvin (27 °C, the SPICE default).
+pub const ROOM_TEMPERATURE: f64 = 300.15;
+
+/// `k·T` at [`ROOM_TEMPERATURE`], in joules.
+pub const KT_ROOM: f64 = BOLTZMANN * ROOM_TEMPERATURE;
+
+/// Returns `true` when two floats agree to a relative tolerance `rel`,
+/// with an absolute floor `abs` for values near zero.
+///
+/// # Examples
+///
+/// ```
+/// assert!(numkit::approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-12));
+/// assert!(!numkit::approx_eq(1.0, 1.1, 1e-9, 1e-12));
+/// ```
+pub fn approx_eq(a: f64, b: f64, rel: f64, abs: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= abs || diff <= rel * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_floor() {
+        assert!(approx_eq(0.0, 1e-15, 1e-9, 1e-12));
+        assert!(!approx_eq(0.0, 1e-6, 1e-9, 1e-12));
+    }
+
+    #[test]
+    fn kt_room_magnitude() {
+        assert!(KT_ROOM > 4.0e-21 && KT_ROOM < 4.3e-21);
+    }
+}

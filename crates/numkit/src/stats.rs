@@ -1,0 +1,303 @@
+//! Summary statistics used by the Monte-Carlo engine and the experiment
+//! harnesses.
+
+use std::fmt;
+
+/// Summary statistics of a sample: count, mean, standard deviation,
+/// extrema and quantiles.
+///
+/// # Examples
+///
+/// ```
+/// use numkit::stats::Summary;
+///
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).expect("non-empty");
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for a single sample).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `samples`.
+    ///
+    /// Returns `None` when `samples` is empty or contains a non-finite
+    /// value, so callers must handle degenerate Monte-Carlo batches
+    /// explicitly.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() || samples.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let var = if count > 1 {
+            samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count - 1) as f64
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Some(Summary {
+            count,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[count - 1],
+            median: quantile_sorted(&sorted, 0.5),
+        })
+    }
+
+    /// Relative spread `k·σ/|µ|` expressed in percent; the workspace's
+    /// ∆ columns use `k = 1` (see `variation::mc::McRun::delta_percent`).
+    ///
+    /// Returns `None` when the mean is zero (relative spread undefined).
+    pub fn delta_percent(&self, k_sigma: f64) -> Option<f64> {
+        if self.mean == 0.0 {
+            return None;
+        }
+        Some(100.0 * k_sigma * self.std_dev / self.mean.abs())
+    }
+
+    /// Coefficient of variation `σ/|µ|`, or `None` for zero mean.
+    pub fn cv(&self) -> Option<f64> {
+        if self.mean == 0.0 {
+            None
+        } else {
+            Some(self.std_dev / self.mean.abs())
+        }
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.6e} std={:.6e} min={:.6e} max={:.6e}",
+            self.count, self.mean, self.std_dev, self.min, self.max
+        )
+    }
+}
+
+/// Quantile `q ∈ [0, 1]` of an already-sorted slice using linear
+/// interpolation between order statistics.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Wilson score interval for a binomial proportion, used for yield
+/// confidence intervals.
+///
+/// Returns `(low, high)` bounds on the true proportion given `successes`
+/// out of `trials` at confidence level `z` standard normal deviates
+/// (z = 1.96 for 95 %).
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `successes > trials`.
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "wilson interval needs at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Fixed-width histogram of a sample: returns `(bin_edges, counts)` with
+/// `bins + 1` edges spanning `[min, max]`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty, contains non-finite values, or
+/// `bins == 0`.
+pub fn histogram(samples: &[f64], bins: usize) -> (Vec<f64>, Vec<usize>) {
+    assert!(!samples.is_empty(), "histogram of empty sample");
+    assert!(bins > 0, "need at least one bin");
+    assert!(
+        samples.iter().all(|v| v.is_finite()),
+        "histogram needs finite samples"
+    );
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if max > min { max - min } else { 1.0 };
+    let edges: Vec<f64> = (0..=bins)
+        .map(|i| min + span * i as f64 / bins as f64)
+        .collect();
+    let mut counts = vec![0usize; bins];
+    for &v in samples {
+        let idx = (((v - min) / span) * bins as f64) as usize;
+        counts[idx.min(bins - 1)] += 1;
+    }
+    (edges, counts)
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `None` if the slices differ in length, have fewer than two
+/// points, or either has zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Root-mean-square error between predictions and references.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(pred: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(pred.len(), reference.len(), "rmse slice length mismatch");
+    assert!(!pred.is_empty(), "rmse of empty slices");
+    let sum: f64 = pred
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| (p - r) * (p - r))
+        .sum();
+    (sum / pred.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic set is ~2.138
+        assert!((s.std_dev - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[42.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::from_samples(&[]).is_none());
+        assert!(Summary::from_samples(&[1.0, f64::NAN]).is_none());
+        assert!(Summary::from_samples(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn delta_percent_matches_hand_calc() {
+        let s = Summary::from_samples(&[9.0, 10.0, 11.0]).unwrap();
+        // mean 10, std 1 → 3σ/µ = 30 %
+        let d = s.delta_percent(3.0).unwrap();
+        assert!((d - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
+        assert!((quantile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_estimate() {
+        let (lo, hi) = wilson_interval(95, 100, 1.96);
+        assert!(lo < 0.95 && 0.95 < hi);
+        assert!(lo > 0.88 && hi < 0.99);
+    }
+
+    #[test]
+    fn wilson_interval_full_yield_is_below_one() {
+        let (lo, hi) = wilson_interval(500, 500, 1.96);
+        assert!(hi <= 1.0);
+        // With 500/500 the lower bound should still be above 99 %.
+        assert!(lo > 0.99);
+    }
+
+    #[test]
+    fn histogram_counts_everything_once() {
+        let samples = [0.0, 0.1, 0.5, 0.9, 1.0, 0.5];
+        let (edges, counts) = histogram(&samples, 4);
+        assert_eq!(edges.len(), 5);
+        assert_eq!(counts.iter().sum::<usize>(), samples.len());
+        assert_eq!(edges[0], 0.0);
+        assert_eq!(edges[4], 1.0);
+    }
+
+    #[test]
+    fn histogram_degenerate_single_value() {
+        let (edges, counts) = histogram(&[3.0, 3.0, 3.0], 2);
+        assert_eq!(counts.iter().sum::<usize>(), 3);
+        assert_eq!(edges[0], 3.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert!(pearson(&[1.0], &[1.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn rmse_zero_for_identical() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+}

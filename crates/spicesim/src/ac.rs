@@ -1,0 +1,357 @@
+//! AC (small-signal) analysis.
+//!
+//! The circuit is linearised about a DC operating point: MOSFETs become
+//! their gm/gds small-signal equivalents, capacitors become `jωC`
+//! admittances, the designated input source gets a unit AC magnitude and
+//! every other independent source is nulled (voltage sources short,
+//! current sources open).
+
+use netlist::{Circuit, Device, DeviceId, NodeId};
+use numkit::complex::{Complex, ComplexMatrix};
+
+use crate::dc::OpPoint;
+use crate::error::SimError;
+use crate::mna::MnaSystem;
+use crate::mosfet::eval_mosfet;
+
+/// Result of an AC sweep: node phasors per frequency point.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    freqs: Vec<f64>,
+    /// `phasors[point][node_index]`, ground included as zero.
+    phasors: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// The swept frequencies (Hz).
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Phasor of `node` at sweep point `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` or the node index is out of range.
+    pub fn phasor(&self, idx: usize, node: NodeId) -> Complex {
+        self.phasors[idx][node.index()]
+    }
+
+    /// Magnitude response of `node` across the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        self.phasors
+            .iter()
+            .map(|row| row[node.index()].abs())
+            .collect()
+    }
+
+    /// Magnitude response in decibels.
+    pub fn magnitude_db(&self, node: NodeId) -> Vec<f64> {
+        self.magnitude(node)
+            .into_iter()
+            .map(|m| 20.0 * m.max(1e-300).log10())
+            .collect()
+    }
+
+    /// Phase response of `node` in degrees.
+    pub fn phase_deg(&self, node: NodeId) -> Vec<f64> {
+        self.phasors
+            .iter()
+            .map(|row| row[node.index()].arg().to_degrees())
+            .collect()
+    }
+
+    /// Frequency where the magnitude of `node` first falls below
+    /// `level` (linear), interpolated on a log axis — e.g. the −3 dB
+    /// bandwidth with `level = 1/√2·|H(0)|`. Returns `None` if the
+    /// response never crosses the level.
+    pub fn crossing_frequency(&self, node: NodeId, level: f64) -> Option<f64> {
+        let mags = self.magnitude(node);
+        for i in 1..mags.len() {
+            if mags[i - 1] >= level && mags[i] < level {
+                let (f0, f1) = (self.freqs[i - 1], self.freqs[i]);
+                let (m0, m1) = (mags[i - 1], mags[i]);
+                let frac = (m0 - level) / (m0 - m1);
+                return Some(f0 * (f1 / f0).powf(frac));
+            }
+        }
+        None
+    }
+}
+
+/// Generates `n` logarithmically spaced frequencies in `[f_start, f_stop]`.
+///
+/// # Panics
+///
+/// Panics if the bounds are non-positive, inverted, or `n < 2`.
+pub fn log_sweep(f_start: f64, f_stop: f64, n: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start, "need 0 < f_start < f_stop");
+    assert!(n >= 2, "need at least two sweep points");
+    let ratio = (f_stop / f_start).ln();
+    (0..n)
+        .map(|i| f_start * (ratio * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+/// Runs an AC sweep with a unit AC magnitude on `input` (a voltage or
+/// current source), linearised about `op`.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadConfig`] if `input` is not an independent
+/// source, [`SimError::Singular`] if the small-signal matrix is singular,
+/// or [`SimError::BadCircuit`] for invalid circuits.
+pub fn ac_analysis(
+    circuit: &Circuit,
+    op: &OpPoint,
+    input: DeviceId,
+    freqs: &[f64],
+) -> Result<AcResult, SimError> {
+    let sys = MnaSystem::new(circuit)?;
+    match circuit.device(input) {
+        Device::VSource { .. } | Device::ISource { .. } => {}
+        _ => {
+            return Err(SimError::BadConfig {
+                message: format!(
+                    "ac input `{}` must be an independent source",
+                    circuit.device_name(input)
+                ),
+            })
+        }
+    }
+    let n = sys.size();
+    let mut result = AcResult {
+        freqs: freqs.to_vec(),
+        phasors: Vec::with_capacity(freqs.len()),
+    };
+
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut a = ComplexMatrix::zeros(n);
+        let mut b = vec![Complex::ZERO; n];
+
+        for (id, device) in circuit.devices() {
+            match device {
+                Device::Resistor { a: na, b: nb, value } => {
+                    stamp_admittance(&sys, &mut a, *na, *nb, Complex::from_real(1.0 / value));
+                }
+                Device::Capacitor { a: na, b: nb, value, .. } => {
+                    stamp_admittance(&sys, &mut a, *na, *nb, Complex::new(0.0, omega * value));
+                }
+                Device::Inductor { a: na, b: nb, value, .. } => {
+                    // Branch formulation: va − vb − jωL·i = 0.
+                    let br = sys.branch_index(id).expect("inductor branch");
+                    if let Some(i) = sys.voltage_index(*na) {
+                        a.add_at(i, br, Complex::ONE);
+                        a.add_at(br, i, Complex::ONE);
+                    }
+                    if let Some(j) = sys.voltage_index(*nb) {
+                        a.add_at(j, br, -Complex::ONE);
+                        a.add_at(br, j, -Complex::ONE);
+                    }
+                    a.add_at(br, br, Complex::new(0.0, -omega * value));
+                }
+                Device::Vcvs {
+                    out_p,
+                    out_n,
+                    in_p,
+                    in_n,
+                    gain,
+                } => {
+                    let br = sys.branch_index(id).expect("vcvs branch");
+                    if let Some(i) = sys.voltage_index(*out_p) {
+                        a.add_at(i, br, Complex::ONE);
+                        a.add_at(br, i, Complex::ONE);
+                    }
+                    if let Some(j) = sys.voltage_index(*out_n) {
+                        a.add_at(j, br, -Complex::ONE);
+                        a.add_at(br, j, -Complex::ONE);
+                    }
+                    if let Some(cp) = sys.voltage_index(*in_p) {
+                        a.add_at(br, cp, Complex::from_real(-gain));
+                    }
+                    if let Some(cn) = sys.voltage_index(*in_n) {
+                        a.add_at(br, cn, Complex::from_real(*gain));
+                    }
+                }
+                Device::VSource { pos, neg, .. } => {
+                    let br = sys.branch_index(id).expect("vsource branch");
+                    if let Some(p) = sys.voltage_index(*pos) {
+                        a.add_at(p, br, Complex::ONE);
+                        a.add_at(br, p, Complex::ONE);
+                    }
+                    if let Some(ng) = sys.voltage_index(*neg) {
+                        a.add_at(ng, br, -Complex::ONE);
+                        a.add_at(br, ng, -Complex::ONE);
+                    }
+                    if id == input {
+                        b[br] = Complex::ONE;
+                    }
+                }
+                Device::ISource { pos, neg, .. } => {
+                    if id == input {
+                        if let Some(p) = sys.voltage_index(*pos) {
+                            b[p] += -Complex::ONE;
+                        }
+                        if let Some(ng) = sys.voltage_index(*neg) {
+                            b[ng] += Complex::ONE;
+                        }
+                    }
+                }
+                Device::Mos(m) => {
+                    let vd = op.voltage(m.drain);
+                    let vg = op.voltage(m.gate);
+                    let vs = op.voltage(m.source);
+                    let e = eval_mosfet(m, vd, vg, vs);
+                    // Small-signal: i_d = g_d·v_d + g_g·v_g + g_s·v_s.
+                    stamp_ss(&sys, &mut a, m.drain, m.drain, e.g_d);
+                    stamp_ss(&sys, &mut a, m.drain, m.gate, e.g_g);
+                    stamp_ss(&sys, &mut a, m.drain, m.source, e.g_s);
+                    stamp_ss_neg(&sys, &mut a, m.source, m.drain, e.g_d);
+                    stamp_ss_neg(&sys, &mut a, m.source, m.gate, e.g_g);
+                    stamp_ss_neg(&sys, &mut a, m.source, m.source, e.g_s);
+                    // Gate capacitance to source (lumped), for realistic
+                    // high-frequency roll-off at small-signal level.
+                    let cgs = m.gate_cap();
+                    stamp_admittance(&sys, &mut a, m.gate, m.source, Complex::new(0.0, omega * cgs));
+                    // The gmin floor used by the nonlinear analyses.
+                    stamp_admittance(&sys, &mut a, m.drain, m.source, Complex::from_real(1e-12));
+                }
+                Device::Vccs {
+                    out_p,
+                    out_n,
+                    in_p,
+                    in_n,
+                    gm,
+                } => {
+                    stamp_ss(&sys, &mut a, *out_p, *in_p, *gm);
+                    stamp_ss(&sys, &mut a, *out_p, *in_n, -*gm);
+                    stamp_ss_neg(&sys, &mut a, *out_n, *in_p, *gm);
+                    stamp_ss_neg(&sys, &mut a, *out_n, *in_n, -*gm);
+                }
+            }
+        }
+
+        let x = a
+            .solve(&b)
+            .map_err(|e| SimError::from_solve(e, "ac"))?;
+        let mut row = vec![Complex::ZERO; circuit.num_nodes()];
+        for node_idx in 1..circuit.num_nodes() {
+            row[node_idx] = x[node_idx - 1];
+        }
+        result.phasors.push(row);
+    }
+    Ok(result)
+}
+
+fn stamp_admittance(
+    sys: &MnaSystem<'_>,
+    a: &mut ComplexMatrix,
+    na: NodeId,
+    nb: NodeId,
+    y: Complex,
+) {
+    if let Some(i) = sys.voltage_index(na) {
+        a.add_at(i, i, y);
+        if let Some(j) = sys.voltage_index(nb) {
+            a.add_at(i, j, -y);
+            a.add_at(j, i, -y);
+            a.add_at(j, j, y);
+        }
+    } else if let Some(j) = sys.voltage_index(nb) {
+        a.add_at(j, j, y);
+    }
+}
+
+fn stamp_ss(sys: &MnaSystem<'_>, a: &mut ComplexMatrix, nr: NodeId, nc: NodeId, g: f64) {
+    if let (Some(r), Some(c)) = (sys.voltage_index(nr), sys.voltage_index(nc)) {
+        a.add_at(r, c, Complex::from_real(g));
+    }
+}
+
+fn stamp_ss_neg(sys: &MnaSystem<'_>, a: &mut ComplexMatrix, nr: NodeId, nc: NodeId, g: f64) {
+    stamp_ss(sys, a, nr, nc, -g);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use crate::options::SimOptions;
+    use netlist::topology::{build_rc_lowpass, build_two_stage_opamp, OpampSizing};
+    use netlist::SourceWaveform;
+
+    #[test]
+    fn log_sweep_endpoints() {
+        let f = log_sweep(1.0, 1000.0, 4);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[3] - 1000.0).abs() < 1e-9);
+        assert!((f[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rc_lowpass_bode() {
+        let c = build_rc_lowpass(1e3, 1e-9, SourceWaveform::Dc(0.0));
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let vin = c.find_device("Vin").unwrap();
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9); // ≈ 159 kHz
+        let freqs = log_sweep(1e3, 1e8, 101);
+        let ac = ac_analysis(&c, &op, vin, &freqs).unwrap();
+        let out = c.find_node("out").unwrap();
+        // Low-frequency gain is unity.
+        assert!((ac.magnitude(out)[0] - 1.0).abs() < 1e-3);
+        // −3 dB point close to analytic.
+        let measured = ac
+            .crossing_frequency(out, 1.0 / 2f64.sqrt())
+            .expect("crosses -3 dB");
+        assert!(
+            (measured / f3db - 1.0).abs() < 0.05,
+            "-3 dB at {measured}, expected {f3db}"
+        );
+        // One-pole slope: magnitude at 100×f3db about 40 dB down from 1×.
+        let hi = ac.magnitude(out).last().copied().unwrap();
+        assert!(hi < 0.01);
+    }
+
+    #[test]
+    fn rc_phase_at_pole_is_minus_45deg() {
+        let c = build_rc_lowpass(1e3, 1e-9, SourceWaveform::Dc(0.0));
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let vin = c.find_device("Vin").unwrap();
+        let f3db = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+        let ac = ac_analysis(&c, &op, vin, &[f3db]).unwrap();
+        let out = c.find_node("out").unwrap();
+        let phase = ac.phase_deg(out)[0];
+        assert!((phase + 45.0).abs() < 1.0, "phase {phase}");
+    }
+
+    #[test]
+    fn opamp_has_dc_gain_and_rolloff() {
+        let amp = build_two_stage_opamp(&OpampSizing::nominal(), 1.2, 20e-6);
+        let op = dc_operating_point(&amp.circuit, &SimOptions::default()).unwrap();
+        let vin = amp.circuit.find_device("Vinp").unwrap();
+        let freqs = log_sweep(1e2, 1e9, 61);
+        let ac = ac_analysis(&amp.circuit, &op, vin, &freqs).unwrap();
+        let gain = ac.magnitude(amp.out);
+        assert!(
+            gain[0] > 10.0,
+            "two-stage opamp should have DC gain >> 1, got {}",
+            gain[0]
+        );
+        assert!(
+            gain.last().unwrap() < &gain[0],
+            "gain must roll off at high frequency"
+        );
+    }
+
+    #[test]
+    fn ac_input_must_be_source() {
+        let c = build_rc_lowpass(1e3, 1e-9, SourceWaveform::Dc(0.0));
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let r1 = c.find_device("R1").unwrap();
+        assert!(matches!(
+            ac_analysis(&c, &op, r1, &[1e3]),
+            Err(SimError::BadConfig { .. })
+        ));
+    }
+}

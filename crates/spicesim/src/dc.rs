@@ -1,0 +1,565 @@
+//! DC operating-point analysis: damped Newton–Raphson with gmin and
+//! source-stepping continuation.
+
+use netlist::{Circuit, DeviceId, NodeId};
+use numkit::Matrix;
+
+use crate::error::SimError;
+use crate::mna::{AssembleContext, MnaSystem};
+use crate::options::SimOptions;
+
+/// A solved operating point (also used as the transient starting state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpPoint {
+    x: Vec<f64>,
+    n_voltages: usize,
+    branch: Vec<Option<usize>>,
+}
+
+impl OpPoint {
+    /// Voltage of `node` (0 for ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to the solved circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.index() - 1]
+        }
+    }
+
+    /// Branch current of a voltage source, or `None` for other devices.
+    /// A supply delivering current reports a negative value (see the MNA
+    /// sign conventions in [`crate::mna`]).
+    pub fn branch_current(&self, device: DeviceId) -> Option<f64> {
+        self.branch
+            .get(device.index())
+            .copied()
+            .flatten()
+            .map(|i| self.x[i])
+    }
+
+    /// The raw solution vector (voltages then branch currents).
+    pub fn solution(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Damped Newton–Raphson on the assembled MNA system.
+///
+/// Returns the converged solution vector, or `Err` carrying the iteration
+/// count on failure. `x0` is the starting iterate.
+pub(crate) fn newton_solve(
+    sys: &MnaSystem<'_>,
+    x0: &[f64],
+    ctx: &AssembleContext<'_>,
+    opts: &SimOptions,
+    analysis: &'static str,
+) -> Result<Vec<f64>, SimError> {
+    let n = sys.size();
+    let nv = sys.num_voltage_unknowns();
+    let mut x = x0.to_vec();
+    let mut g = Matrix::zeros(n, n);
+    let mut b = vec![0.0; n];
+
+    for _iter in 0..opts.max_newton_iterations {
+        sys.assemble(&x, ctx, &mut g, &mut b);
+        let x_new = g
+            .solve(&b)
+            .map_err(|e| SimError::from_solve(e, analysis))?;
+
+        let mut converged = true;
+        for i in 0..n {
+            let dx = x_new[i] - x[i];
+            let tol = if i < nv {
+                opts.vntol + opts.reltol * x_new[i].abs()
+            } else {
+                opts.abstol + opts.reltol * x_new[i].abs()
+            };
+            if dx.abs() > tol {
+                converged = false;
+            }
+            // Damp voltage updates only; branch currents follow freely.
+            if i < nv {
+                x[i] += dx.clamp(-opts.max_voltage_step, opts.max_voltage_step);
+            } else {
+                x[i] = x_new[i];
+            }
+        }
+        if converged {
+            return Ok(x);
+        }
+    }
+    Err(SimError::NoConvergence {
+        analysis,
+        time: ctx.time,
+        iterations: opts.max_newton_iterations,
+    })
+}
+
+/// Computes the DC operating point of `circuit`.
+///
+/// Strategy: plain Newton from a zero initial guess; if that fails, gmin
+/// stepping (relaxing then tightening the minimum conductance); if that
+/// also fails, source stepping (ramping all independent sources from zero)
+/// followed by a final gmin tightening pass.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadCircuit`] for invalid circuits,
+/// [`SimError::NoConvergence`] when every continuation strategy fails, or
+/// [`SimError::Singular`] for structurally singular systems.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<OpPoint, SimError> {
+    opts.validate()?;
+    let sys = MnaSystem::new(circuit)?;
+    let x = solve_dc(&sys, opts)?;
+    Ok(make_op(&sys, x))
+}
+
+fn make_op(sys: &MnaSystem<'_>, x: Vec<f64>) -> OpPoint {
+    let circuit = sys.circuit();
+    let branch = circuit
+        .devices()
+        .map(|(id, _)| sys.branch_index(id))
+        .collect();
+    OpPoint {
+        x,
+        n_voltages: sys.num_voltage_unknowns(),
+        branch,
+    }
+}
+
+pub(crate) fn solve_dc(sys: &MnaSystem<'_>, opts: &SimOptions) -> Result<Vec<f64>, SimError> {
+    let base_ctx = AssembleContext {
+        time: 0.0,
+        dc_sources: true,
+        gmin: opts.gmin,
+        source_scale: 1.0,
+        companions: None,
+        noise: None,
+        prev_solution: None,
+        dt: 0.0,
+    };
+    let x0 = vec![0.0; sys.size()];
+
+    // 1. Direct attempt.
+    if let Ok(x) = newton_solve(sys, &x0, &base_ctx, opts, "dc") {
+        return Ok(x);
+    }
+
+    // 2. Gmin stepping: start very conductive, tighten towards opts.gmin.
+    let mut x = x0.clone();
+    let mut ok = true;
+    let mut gmin = 1e-2;
+    while gmin > opts.gmin {
+        let ctx = AssembleContext { gmin, ..base_ctx };
+        match newton_solve(sys, &x, &ctx, opts, "dc") {
+            Ok(next) => x = next,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+        gmin *= 0.1;
+    }
+    if ok {
+        if let Ok(final_x) = newton_solve(sys, &x, &base_ctx, opts, "dc") {
+            return Ok(final_x);
+        }
+    }
+
+    // 3. Source stepping with a relaxed gmin, then tighten.
+    let mut x = x0;
+    let steps = 20;
+    for k in 1..=steps {
+        let scale = k as f64 / steps as f64;
+        let ctx = AssembleContext {
+            gmin: 1e-9,
+            source_scale: scale,
+            ..base_ctx
+        };
+        x = newton_solve(sys, &x, &ctx, opts, "dc")?;
+    }
+    let mut gmin = 1e-9;
+    while gmin > opts.gmin {
+        gmin *= 0.1;
+        let ctx = AssembleContext {
+            gmin: gmin.max(opts.gmin),
+            ..base_ctx
+        };
+        x = newton_solve(sys, &x, &ctx, opts, "dc")?;
+    }
+    newton_solve(sys, &x, &base_ctx, opts, "dc")
+}
+
+/// Sweeps the DC value of one independent source over `values`, solving
+/// the operating point at each step with the previous solution as the
+/// initial guess (source-stepping continuation for free).
+///
+/// Returns one [`OpPoint`] per swept value.
+///
+/// # Errors
+///
+/// Returns [`SimError::BadConfig`] if `device` is not an independent
+/// source, plus any DC-convergence error.
+pub fn dc_sweep(
+    circuit: &Circuit,
+    device: DeviceId,
+    values: &[f64],
+    opts: &SimOptions,
+) -> Result<Vec<OpPoint>, SimError> {
+    opts.validate()?;
+    match circuit.device(device) {
+        netlist::Device::VSource { .. } | netlist::Device::ISource { .. } => {}
+        _ => {
+            return Err(SimError::BadConfig {
+                message: format!(
+                    "dc sweep target `{}` must be an independent source",
+                    circuit.device_name(device)
+                ),
+            })
+        }
+    }
+    let mut work = circuit.clone();
+    let mut results = Vec::with_capacity(values.len());
+    let mut guess: Option<Vec<f64>> = None;
+    for &value in values {
+        match work.device_mut(device) {
+            netlist::Device::VSource { waveform, .. }
+            | netlist::Device::ISource { waveform, .. } => {
+                *waveform = netlist::SourceWaveform::Dc(value);
+            }
+            _ => unreachable!("checked above"),
+        }
+        let sys = MnaSystem::new(&work)?;
+        let base_ctx = AssembleContext {
+            time: 0.0,
+            dc_sources: true,
+            gmin: opts.gmin,
+            source_scale: 1.0,
+            companions: None,
+            noise: None,
+            prev_solution: None,
+            dt: 0.0,
+        };
+        let x = match &guess {
+            Some(g) => match newton_solve(&sys, g, &base_ctx, opts, "dc") {
+                Ok(x) => x,
+                Err(_) => solve_dc(&sys, opts)?,
+            },
+            None => solve_dc(&sys, opts)?,
+        };
+        guess = Some(x.clone());
+        results.push(make_op(&sys, x));
+    }
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::topology::{build_ring_vco, build_two_stage_opamp, OpampSizing, VcoSizing};
+    use netlist::{Circuit, MosModel, Mosfet, SourceWaveform};
+
+    #[test]
+    fn divider_op() {
+        let mut c = Circuit::new("div");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(2.0));
+        c.add_resistor("R1", a, b, 1e3);
+        c.add_resistor("R2", b, Circuit::GROUND, 3e3);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        assert!((op.voltage(b) - 1.5).abs() < 1e-9);
+        assert!((op.voltage(a) - 2.0).abs() < 1e-12);
+        let v1 = c.find_device("V1").unwrap();
+        assert!((op.branch_current(v1).unwrap() + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmos_inverter_transfer_points() {
+        // NMOS with resistive pull-up: check low and high input.
+        let build = |vin: f64| {
+            let mut c = Circuit::new("inv");
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add_vsource("Vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+            c.add_vsource("Vin", inp, Circuit::GROUND, SourceWaveform::Dc(vin));
+            c.add_resistor("RL", vdd, out, 10e3);
+            c.add_mosfet(
+                "M1",
+                Mosfet {
+                    drain: out,
+                    gate: inp,
+                    source: Circuit::GROUND,
+                    w: 1e-6,
+                    l: 0.12e-6,
+                    model: MosModel::nmos_012(),
+                },
+            );
+            c
+        };
+        let opts = SimOptions::default();
+        let c_off = build(0.0);
+        let op_off = dc_operating_point(&c_off, &opts).unwrap();
+        let out = c_off.find_node("out").unwrap();
+        assert!(
+            (op_off.voltage(out) - 1.2).abs() < 1e-3,
+            "off transistor → output at vdd, got {}",
+            op_off.voltage(out)
+        );
+        let c_on = build(1.2);
+        let op_on = dc_operating_point(&c_on, &opts).unwrap();
+        let out = c_on.find_node("out").unwrap();
+        assert!(
+            op_on.voltage(out) < 0.1,
+            "on transistor → output pulled low, got {}",
+            op_on.voltage(out)
+        );
+    }
+
+    #[test]
+    fn cmos_inverter_rails() {
+        let build = |vin: f64| {
+            let mut c = Circuit::new("cmos_inv");
+            let vdd = c.node("vdd");
+            let inp = c.node("in");
+            let out = c.node("out");
+            c.add_vsource("Vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+            c.add_vsource("Vin", inp, Circuit::GROUND, SourceWaveform::Dc(vin));
+            c.add_mosfet(
+                "Mn",
+                Mosfet {
+                    drain: out,
+                    gate: inp,
+                    source: Circuit::GROUND,
+                    w: 10e-6,
+                    l: 0.12e-6,
+                    model: MosModel::nmos_012(),
+                },
+            );
+            c.add_mosfet(
+                "Mp",
+                Mosfet {
+                    drain: out,
+                    gate: inp,
+                    source: vdd,
+                    w: 20e-6,
+                    l: 0.12e-6,
+                    model: MosModel::pmos_012(),
+                },
+            );
+            c
+        };
+        let opts = SimOptions::default();
+        let low = dc_operating_point(&build(1.2), &opts).unwrap();
+        let c = build(1.2);
+        let out = c.find_node("out").unwrap();
+        assert!(low.voltage(out) < 1e-3, "out = {}", low.voltage(out));
+        let high = dc_operating_point(&build(0.0), &opts).unwrap();
+        assert!(
+            (high.voltage(out) - 1.2).abs() < 1e-3,
+            "out = {}",
+            high.voltage(out)
+        );
+    }
+
+    #[test]
+    fn mosfet_diode_drop() {
+        // Diode-connected NMOS fed by a current source through the supply.
+        let mut c = Circuit::new("diode");
+        let n = c.node("n");
+        let vdd = c.node("vdd");
+        c.add_vsource("Vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_isource("I1", vdd, n, SourceWaveform::Dc(100e-6));
+        c.add_mosfet(
+            "M1",
+            Mosfet {
+                drain: n,
+                gate: n,
+                source: Circuit::GROUND,
+                w: 10e-6,
+                l: 0.12e-6,
+                model: MosModel::nmos_012(),
+            },
+        );
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let v = op.voltage(n);
+        // v = vto + sqrt(2I/beta): beta = 350e-6*83.3 = 29.2m, sqrt(2e-4/29.2e-3)=0.083
+        assert!(
+            v > 0.38 && v < 0.48,
+            "diode-connected gate voltage {v} out of range"
+        );
+    }
+
+    #[test]
+    fn ring_vco_dc_converges_to_metastable_point() {
+        // The DC solution of a ring oscillator is its metastable point —
+        // a demanding convergence test for the continuation strategies.
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.8);
+        let op = dc_operating_point(&vco.circuit, &SimOptions::default()).unwrap();
+        for &node in &vco.stage_outputs {
+            let v = op.voltage(node);
+            assert!(
+                (0.0..=1.2).contains(&v),
+                "stage output {v} outside supply range"
+            );
+        }
+    }
+
+    #[test]
+    fn opamp_dc_converges() {
+        let op = build_two_stage_opamp(&OpampSizing::nominal(), 1.2, 20e-6);
+        let sol = dc_operating_point(&op.circuit, &SimOptions::default()).unwrap();
+        let vout = sol.voltage(op.out);
+        assert!(
+            vout.is_finite() && (0.0..=1.2).contains(&vout),
+            "opamp output {vout} should sit between the rails"
+        );
+    }
+
+    #[test]
+    fn dc_sweep_inverter_vtc_is_monotone() {
+        let mut c = Circuit::new("inv");
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("Vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        let vin = c.add_vsource("Vin", inp, Circuit::GROUND, SourceWaveform::Dc(0.0));
+        c.add_mosfet(
+            "Mn",
+            Mosfet {
+                drain: out,
+                gate: inp,
+                source: Circuit::GROUND,
+                w: 10e-6,
+                l: 0.12e-6,
+                model: MosModel::nmos_012(),
+            },
+        );
+        c.add_mosfet(
+            "Mp",
+            Mosfet {
+                drain: out,
+                gate: inp,
+                source: vdd,
+                w: 20e-6,
+                l: 0.12e-6,
+                model: MosModel::pmos_012(),
+            },
+        );
+        let values: Vec<f64> = (0..=24).map(|i| i as f64 * 0.05).collect();
+        let sweep = dc_sweep(&c, vin, &values, &SimOptions::default()).unwrap();
+        let out_node = c.find_node("out").unwrap();
+        let vtc: Vec<f64> = sweep.iter().map(|op| op.voltage(out_node)).collect();
+        assert!((vtc[0] - 1.2).abs() < 1e-3, "output high at vin=0");
+        assert!(vtc[vtc.len() - 1] < 1e-3, "output low at vin=1.2");
+        for w in vtc.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "vtc must fall monotonically");
+        }
+    }
+
+    #[test]
+    fn dc_sweep_rejects_non_source() {
+        let mut c = Circuit::new("r");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        let r = c.add_resistor("R1", a, Circuit::GROUND, 1e3);
+        assert!(matches!(
+            dc_sweep(&c, r, &[1.0], &SimOptions::default()),
+            Err(SimError::BadConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn inductor_is_dc_short() {
+        let mut c = Circuit::new("l");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_inductor("L1", a, b, 1e-6);
+        c.add_resistor("R1", b, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        assert!((op.voltage(b) - 1.0).abs() < 1e-9, "inductor shorts in dc");
+        let l1 = c.find_device("L1").unwrap();
+        assert!((op.branch_current(l1).unwrap() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vcvs_amplifies_dc() {
+        let mut c = Circuit::new("e");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", inp, Circuit::GROUND, SourceWaveform::Dc(0.1));
+        c.add_device(
+            "E1",
+            netlist::Device::Vcvs {
+                out_p: out,
+                out_n: Circuit::GROUND,
+                in_p: inp,
+                in_n: Circuit::GROUND,
+                gain: 10.0,
+            },
+        );
+        c.add_resistor("RL", out, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        assert!((op.voltage(out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cap_isolated_node_is_singular_in_dc() {
+        // A node reachable only through capacitors floats at DC: the MNA
+        // matrix is singular and the error says so rather than panicking.
+        let mut c = Circuit::new("float");
+        let a = c.node("a");
+        let x = c.node("x");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3);
+        c.add_capacitor("C1", a, x, 1e-12);
+        c.add_capacitor("C2", x, Circuit::GROUND, 1e-12);
+        let err = dc_operating_point(&c, &SimOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, SimError::Singular { .. } | SimError::NoConvergence { .. }),
+            "expected singular/non-convergent, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn transient_resolves_cap_isolated_node() {
+        // The same circuit is fine in transient: the capacitor companions
+        // make the node well-defined.
+        use crate::transient::{run_transient, TransientSpec};
+        let mut c = Circuit::new("float");
+        let a = c.node("a");
+        let x = c.node("x");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3);
+        c.add_capacitor("C1", a, x, 1e-12);
+        c.add_capacitor("C2", x, Circuit::GROUND, 1e-12);
+        let spec = TransientSpec::new(1e-8, 1e-10).with_ic();
+        let r = run_transient(&c, &spec, &SimOptions::default()).unwrap();
+        // Capacitive divider: x settles to va/2.
+        let vx = r.voltage(x).final_value();
+        assert!((vx - 0.5).abs() < 0.05, "cap divider voltage {vx}");
+    }
+
+    #[test]
+    fn op_point_solution_accessors() {
+        let mut c = Circuit::new("r");
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::Dc(1.0));
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        assert_eq!(op.solution().len(), 2);
+        assert_eq!(op.voltage(Circuit::GROUND), 0.0);
+        let r1 = c.find_device("R1").unwrap();
+        assert_eq!(op.branch_current(r1), None);
+    }
+}

@@ -1,0 +1,113 @@
+//! Simulator error type.
+
+use std::fmt;
+
+use numkit::matrix::SolveMatrixError;
+
+/// Errors produced by the analyses in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The circuit failed structural validation before analysis.
+    BadCircuit(netlist::NetlistError),
+    /// The MNA matrix was singular (usually a floating subcircuit).
+    Singular {
+        /// Analysis that failed (`"dc"`, `"transient"`, `"ac"`).
+        analysis: &'static str,
+    },
+    /// Newton iteration failed to converge within the iteration budget.
+    NoConvergence {
+        /// Analysis that failed.
+        analysis: &'static str,
+        /// Simulation time at the failure (0 for DC).
+        time: f64,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A post-processing measurement could not be computed.
+    Measurement {
+        /// Human-readable description (e.g. `"circuit did not oscillate"`).
+        message: String,
+    },
+    /// An analysis was configured with invalid settings.
+    BadConfig {
+        /// Description of the bad setting.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadCircuit(e) => write!(f, "bad circuit: {e}"),
+            SimError::Singular { analysis } => {
+                write!(f, "singular mna matrix during {analysis} analysis")
+            }
+            SimError::NoConvergence {
+                analysis,
+                time,
+                iterations,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge after {iterations} iterations at t={time:e}"
+            ),
+            SimError::Measurement { message } => write!(f, "measurement failed: {message}"),
+            SimError::BadConfig { message } => write!(f, "bad analysis configuration: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::BadCircuit(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<netlist::NetlistError> for SimError {
+    fn from(e: netlist::NetlistError) -> Self {
+        SimError::BadCircuit(e)
+    }
+}
+
+impl SimError {
+    pub(crate) fn from_solve(e: SolveMatrixError, analysis: &'static str) -> Self {
+        match e {
+            SolveMatrixError::Singular { .. } => SimError::Singular { analysis },
+            // Dimension errors indicate an internal bug; surface them loudly.
+            other => panic!("internal mna dimension error: {other}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::NoConvergence {
+            analysis: "dc",
+            time: 0.0,
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("dc"));
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+
+    #[test]
+    fn netlist_error_converts() {
+        let ne = netlist::NetlistError::Invalid {
+            message: "x".into(),
+        };
+        let se: SimError = ne.clone().into();
+        assert!(matches!(se, SimError::BadCircuit(e) if e == ne));
+    }
+}

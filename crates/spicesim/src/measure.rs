@@ -1,0 +1,271 @@
+//! Oscillator characterisation: frequency and supply current.
+//!
+//! The measurement runs a two-pass transient: a coarse pass estimates the
+//! oscillation frequency, then a fine pass with the step sized to that
+//! frequency measures periods and average supply current over an integer
+//! number of cycles. This mirrors how a designer scripts an oscillator
+//! testbench in a commercial simulator.
+
+use netlist::{Circuit, DeviceId, NodeId};
+
+use crate::error::SimError;
+use crate::options::SimOptions;
+use crate::transient::{run_transient, TransientSpec};
+
+/// Configuration of an oscillator measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OscConfig {
+    /// Threshold for period crossings (usually VDD/2).
+    pub threshold: f64,
+    /// Periods to discard as start-up warm-up.
+    pub warmup_periods: usize,
+    /// Periods to measure.
+    pub measure_periods: usize,
+    /// Time points per period in the fine pass.
+    pub points_per_period: usize,
+    /// Lowest plausible oscillation frequency (sizes the coarse window).
+    pub f_min_expected: f64,
+    /// Highest plausible oscillation frequency (sizes the coarse step).
+    pub f_max_expected: f64,
+}
+
+impl Default for OscConfig {
+    fn default() -> Self {
+        OscConfig {
+            threshold: 0.6,
+            warmup_periods: 4,
+            measure_periods: 12,
+            points_per_period: 48,
+            f_min_expected: 50e6,
+            f_max_expected: 8e9,
+        }
+    }
+}
+
+impl OscConfig {
+    fn validate(&self) -> Result<(), SimError> {
+        if self.measure_periods < 2
+            || self.points_per_period < 8
+            || !(self.f_min_expected > 0.0)
+            || self.f_max_expected <= self.f_min_expected
+        {
+            return Err(SimError::BadConfig {
+                message: "oscillator measurement configuration out of range".to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Measured oscillator characteristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OscMeasurement {
+    /// Mean oscillation frequency (Hz).
+    pub freq: f64,
+    /// Individual measured periods (s).
+    pub periods: Vec<f64>,
+    /// Average supply current magnitude over the measurement window (A).
+    pub avg_supply_current: f64,
+}
+
+impl OscMeasurement {
+    /// Sample standard deviation of the measured periods (s) — the
+    /// period jitter when the underlying transient injected noise.
+    pub fn period_std_dev(&self) -> f64 {
+        let n = self.periods.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.periods.iter().sum::<f64>() / n as f64;
+        let var = self
+            .periods
+            .iter()
+            .map(|p| (p - mean).powi(2))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Measures the oscillation frequency at `out` and the average current
+/// delivered by `vdd_source`.
+///
+/// `noise_seed` enables thermal-noise injection in the fine pass (for
+/// jitter measurement); the coarse pass always runs noiseless.
+///
+/// # Errors
+///
+/// Returns [`SimError::Measurement`] when the circuit does not oscillate
+/// within the coarse window, plus any transient-analysis error.
+pub fn measure_oscillator(
+    circuit: &Circuit,
+    out: NodeId,
+    vdd_source: DeviceId,
+    cfg: &OscConfig,
+    opts: &SimOptions,
+    noise_seed: Option<u64>,
+) -> Result<OscMeasurement, SimError> {
+    cfg.validate()?;
+
+    // Coarse pass: fixed step sized for the fastest plausible oscillation,
+    // window sized for the slowest.
+    let dt_coarse = 1.0 / (cfg.f_max_expected * 10.0);
+    let t_coarse = 8.0 / cfg.f_min_expected;
+    let coarse_spec = TransientSpec::new(t_coarse, dt_coarse).with_ic();
+    let coarse = run_transient(circuit, &coarse_spec, opts)?;
+    let wave = coarse.voltage(out);
+    let crossings = wave.rising_crossings(cfg.threshold);
+    if crossings.len() < 4 {
+        return Err(SimError::Measurement {
+            message: format!(
+                "circuit did not oscillate: {} rising crossings of {} V in {:.3e} s",
+                crossings.len(),
+                cfg.threshold,
+                t_coarse
+            ),
+        });
+    }
+    // Use the later crossings (start-up settled) for the coarse estimate.
+    let tail = &crossings[crossings.len() / 2..];
+    let f_coarse = if tail.len() >= 2 {
+        (tail.len() - 1) as f64 / (tail[tail.len() - 1] - tail[0])
+    } else {
+        (crossings.len() - 1) as f64 / (crossings[crossings.len() - 1] - crossings[0])
+    };
+
+    // Fine pass. Trapezoidal integration: backward Euler's O(dt) phase
+    // error would alias the per-sample step choice into the measured
+    // frequency, polluting Monte-Carlo spreads (∆Kvco in particular).
+    let dt = 1.0 / (f_coarse * cfg.points_per_period as f64);
+    let total_periods = cfg.warmup_periods + cfg.measure_periods + 1;
+    let t_stop = total_periods as f64 / f_coarse;
+    let mut fine_spec = TransientSpec::new(t_stop, dt).with_ic();
+    if let Some(seed) = noise_seed {
+        fine_spec = fine_spec.with_noise(seed);
+    }
+    let fine_opts = crate::SimOptions {
+        method: crate::IntegrationMethod::Trapezoidal,
+        ..*opts
+    };
+    let fine = run_transient(circuit, &fine_spec, &fine_opts)?;
+    let wave = fine.voltage(out);
+    let periods = wave.periods(cfg.threshold, cfg.warmup_periods);
+    if periods.len() < 2 {
+        return Err(SimError::Measurement {
+            message: "fine pass lost the oscillation".to_string(),
+        });
+    }
+    let mean_period = periods.iter().sum::<f64>() / periods.len() as f64;
+
+    // Average supply current over the measured window (integer periods).
+    let crossings = wave.rising_crossings(cfg.threshold);
+    let w_start = crossings[cfg.warmup_periods.min(crossings.len() - 2)];
+    let w_end = crossings[crossings.len() - 1];
+    let supply = fine
+        .branch_current(vdd_source)
+        .ok_or_else(|| SimError::Measurement {
+            message: "vdd source has no branch current".to_string(),
+        })?;
+    let avg_current = supply.mean_between(w_start, w_end).abs();
+
+    Ok(OscMeasurement {
+        freq: 1.0 / mean_period,
+        periods,
+        avg_supply_current: avg_current,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::topology::{build_ring_vco, VcoSizing};
+
+    fn measure(vctrl: f64) -> OscMeasurement {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, vctrl);
+        measure_oscillator(
+            &vco.circuit,
+            vco.out,
+            vco.vdd_source,
+            &OscConfig::default(),
+            &SimOptions::default(),
+            None,
+        )
+        .expect("vco oscillates")
+    }
+
+    #[test]
+    fn nominal_vco_frequency_in_band() {
+        let m = measure(0.9);
+        assert!(
+            (1e8..6e9).contains(&m.freq),
+            "frequency {:.3e} outside plausible band",
+            m.freq
+        );
+        assert!(m.avg_supply_current > 1e-4, "current {}", m.avg_supply_current);
+        assert!(m.periods.len() >= 10);
+    }
+
+    #[test]
+    fn frequency_increases_with_control_voltage() {
+        let lo = measure(0.55);
+        let hi = measure(1.1);
+        assert!(
+            hi.freq > lo.freq * 1.05,
+            "kvco must be positive: f({:.2})={:.3e}, f({:.2})={:.3e}",
+            0.55,
+            lo.freq,
+            1.1,
+            hi.freq
+        );
+    }
+
+    #[test]
+    fn current_increases_with_control_voltage() {
+        let lo = measure(0.55);
+        let hi = measure(1.1);
+        assert!(hi.avg_supply_current > lo.avg_supply_current);
+    }
+
+    #[test]
+    fn dead_circuit_reports_measurement_error() {
+        // Control voltage at 0: starve devices off, no oscillation.
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.0);
+        let err = measure_oscillator(
+            &vco.circuit,
+            vco.out,
+            vco.vdd_source,
+            &OscConfig::default(),
+            &SimOptions::default(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Measurement { .. }));
+    }
+
+    #[test]
+    fn period_std_dev_zero_without_noise_is_small() {
+        let m = measure(0.9);
+        // Noiseless: period dispersion limited by the fixed-step sampling.
+        assert!(m.period_std_dev() < 0.02 / m.freq);
+    }
+
+    #[test]
+    fn bad_config_is_rejected() {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+        let cfg = OscConfig {
+            measure_periods: 1,
+            ..Default::default()
+        };
+        assert!(matches!(
+            measure_oscillator(
+                &vco.circuit,
+                vco.out,
+                vco.vdd_source,
+                &cfg,
+                &SimOptions::default(),
+                None
+            ),
+            Err(SimError::BadConfig { .. })
+        ));
+    }
+}

@@ -1,0 +1,173 @@
+//! Jitter extraction: noise-injected transient measurement and the fast
+//! analytic ring-oscillator estimator.
+//!
+//! Two routes to the same observable (period jitter σ):
+//!
+//! 1. [`measure_period_jitter`] — a transient with per-MOSFET thermal
+//!    noise current sources (PSD `4kTγ·gm`), measuring the standard
+//!    deviation of the oscillation periods. Accurate but expensive;
+//!    used for calibration and verification.
+//! 2. [`analytic_ring_jitter`] — a closed-form first-order estimate used
+//!    inside optimisation loops where thousands of evaluations are
+//!    needed. Derivation: each stage transition crosses the threshold
+//!    with voltage uncertainty `σ_v = √(γkT/C)`, converted to time by the
+//!    slew `VDD/t_d` where `t_d = 1/(2N·f)` is the stage delay; a period
+//!    accumulates `2N` independent transitions. Hence
+//!    `σ_per = √(2N·γkT/C) / (2N·f·VDD) · √(2N) = √(γkT/C)/(√(2N)·f·VDD)`
+//!    — up to the calibration factor that absorbs everything first-order
+//!    theory drops (waveform shape, correlated starve-device noise).
+
+use netlist::{Circuit, DeviceId, NodeId};
+
+use crate::error::SimError;
+use crate::measure::{measure_oscillator, OscConfig, OscMeasurement};
+use crate::options::SimOptions;
+
+/// Default calibration factor for [`analytic_ring_jitter`], fitted once
+/// against the noise-injected transient on the nominal VCO sizing (see
+/// the `jitter_calibration` integration test).
+pub const DEFAULT_JITTER_CALIBRATION: f64 = 8.0;
+
+/// Result of a noise-injected jitter measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitterMeasurement {
+    /// Period jitter: standard deviation of the measured periods (s).
+    pub sigma: f64,
+    /// Mean oscillation frequency during the measurement (Hz).
+    pub freq: f64,
+    /// Number of periods measured.
+    pub periods_measured: usize,
+}
+
+/// Measures period jitter by running the oscillator with thermal-noise
+/// injection enabled and collecting the period statistics.
+///
+/// # Errors
+///
+/// Propagates oscillator-measurement errors; see
+/// [`measure_oscillator`].
+pub fn measure_period_jitter(
+    circuit: &Circuit,
+    out: NodeId,
+    vdd_source: DeviceId,
+    periods: usize,
+    seed: u64,
+    opts: &SimOptions,
+) -> Result<JitterMeasurement, SimError> {
+    let cfg = OscConfig {
+        measure_periods: periods,
+        points_per_period: 64,
+        ..Default::default()
+    };
+    let m: OscMeasurement =
+        measure_oscillator(circuit, out, vdd_source, &cfg, opts, Some(seed))?;
+    Ok(JitterMeasurement {
+        sigma: m.period_std_dev(),
+        freq: m.freq,
+        periods_measured: m.periods.len(),
+    })
+}
+
+/// First-order analytic period jitter of an `stages`-stage ring
+/// oscillator (see the module docs for the derivation).
+///
+/// * `c_load` — per-stage load capacitance (F);
+/// * `gamma` — thermal-noise excess factor of the devices;
+/// * `freq` — oscillation frequency (Hz);
+/// * `vdd` — supply voltage (V);
+/// * `calibration` — multiplicative fit factor
+///   ([`DEFAULT_JITTER_CALIBRATION`] reproduces the noise transient on
+///   this workspace's VCO).
+///
+/// # Panics
+///
+/// Panics if any argument is non-positive.
+pub fn analytic_ring_jitter(
+    stages: usize,
+    c_load: f64,
+    gamma: f64,
+    freq: f64,
+    vdd: f64,
+    calibration: f64,
+) -> f64 {
+    assert!(stages > 0, "stage count must be positive");
+    assert!(
+        c_load > 0.0 && gamma > 0.0 && freq > 0.0 && vdd > 0.0 && calibration > 0.0,
+        "all jitter parameters must be positive"
+    );
+    let sigma_v = (gamma * numkit::KT_ROOM / c_load).sqrt();
+    calibration * sigma_v / ((2.0 * stages as f64).sqrt() * freq * vdd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::topology::{build_ring_vco, VcoSizing};
+
+    #[test]
+    fn analytic_jitter_scales_correctly() {
+        let base = analytic_ring_jitter(5, 100e-15, 1.5, 1e9, 1.2, 1.0);
+        // Bigger cap → less jitter (σ ∝ 1/√C).
+        let big_c = analytic_ring_jitter(5, 400e-15, 1.5, 1e9, 1.2, 1.0);
+        assert!((big_c / base - 0.5).abs() < 1e-9);
+        // Higher frequency → proportionally less absolute jitter.
+        let fast = analytic_ring_jitter(5, 100e-15, 1.5, 2e9, 1.2, 1.0);
+        assert!((fast / base - 0.5).abs() < 1e-9);
+        // More stages → less jitter per the 1/√(2N) factor.
+        let more_stages = analytic_ring_jitter(10, 100e-15, 1.5, 1e9, 1.2, 1.0);
+        assert!(more_stages < base);
+    }
+
+    #[test]
+    fn analytic_jitter_is_sub_picosecond_at_nominal() {
+        let s = VcoSizing::nominal();
+        let model = netlist::MosModel::nmos_012();
+        let c_load = model.cox_per_area * (s.wn + s.wp) * s.l_inv
+            + model.cj_per_width * (s.wn + s.wp);
+        let j = analytic_ring_jitter(5, c_load, 1.5, 1.5e9, 1.2, DEFAULT_JITTER_CALIBRATION);
+        assert!(
+            j > 1e-15 && j < 2e-12,
+            "nominal jitter {j:.3e} s outside the paper's magnitude window"
+        );
+    }
+
+    #[test]
+    #[ignore = "expensive noise transient; run explicitly for calibration"]
+    fn noise_transient_agrees_with_analytic_within_factor_three() {
+        let sizing = VcoSizing::nominal();
+        let vco = build_ring_vco(&sizing, 5, 1.2, 0.9);
+        let meas = measure_period_jitter(
+            &vco.circuit,
+            vco.out,
+            vco.vdd_source,
+            60,
+            7,
+            &SimOptions::default(),
+        )
+        .unwrap();
+        let model = netlist::MosModel::nmos_012();
+        let c_load = model.cox_per_area * (sizing.wn + sizing.wp) * sizing.l_inv
+            + model.cj_per_width * (sizing.wn + sizing.wp);
+        let analytic = analytic_ring_jitter(
+            5,
+            c_load,
+            model.gamma_noise,
+            meas.freq,
+            1.2,
+            DEFAULT_JITTER_CALIBRATION,
+        );
+        let ratio = meas.sigma / analytic;
+        assert!(
+            (0.33..3.0).contains(&ratio),
+            "noise sim {:.3e} vs analytic {:.3e} (ratio {ratio:.2})",
+            meas.sigma,
+            analytic
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn analytic_jitter_rejects_bad_args() {
+        let _ = analytic_ring_jitter(5, -1.0, 1.5, 1e9, 1.2, 1.0);
+    }
+}

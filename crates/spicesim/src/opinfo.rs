@@ -1,0 +1,179 @@
+//! Operating-point reports: the `.op` printout of classic SPICE — every
+//! MOSFET's bias point, small-signal parameters and region.
+
+use netlist::{Circuit, Device, DeviceId};
+
+use crate::dc::OpPoint;
+use crate::mosfet::{eval_mosfet, MosRegion};
+
+/// One MOSFET's operating-point record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosOpInfo {
+    /// Device id in the circuit.
+    pub device: DeviceId,
+    /// Device name.
+    pub name: String,
+    /// Gate-source voltage (V).
+    pub vgs: f64,
+    /// Drain-source voltage (V).
+    pub vds: f64,
+    /// Drain current, drain→source positive (A).
+    pub id: f64,
+    /// Transconductance magnitude (S).
+    pub gm: f64,
+    /// Output conductance ∂id/∂vds (S).
+    pub gds: f64,
+    /// Operating region.
+    pub region: MosRegion,
+}
+
+impl MosOpInfo {
+    /// Overdrive voltage `|vgs| − |vto|` would need the model; instead
+    /// report the intrinsic gain `gm/gds` (∞-safe).
+    pub fn intrinsic_gain(&self) -> f64 {
+        if self.gds.abs() < 1e-30 {
+            f64::INFINITY
+        } else {
+            self.gm / self.gds.abs()
+        }
+    }
+}
+
+/// Extracts the operating-point record of every MOSFET in `circuit` at
+/// the solved point `op`.
+pub fn mosfet_op_info(circuit: &Circuit, op: &OpPoint) -> Vec<MosOpInfo> {
+    let mut out = Vec::new();
+    for (id, device) in circuit.devices() {
+        if let Device::Mos(m) = device {
+            let vd = op.voltage(m.drain);
+            let vg = op.voltage(m.gate);
+            let vs = op.voltage(m.source);
+            let e = eval_mosfet(m, vd, vg, vs);
+            out.push(MosOpInfo {
+                device: id,
+                name: circuit.device_name(id).to_string(),
+                vgs: vg - vs,
+                vds: vd - vs,
+                id: e.id,
+                gm: e.gm_mag,
+                gds: e.g_d.abs(),
+                region: e.region,
+            });
+        }
+    }
+    out
+}
+
+/// Renders an `.op`-style text report.
+pub fn format_op_report(infos: &[MosOpInfo]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>9} {:>9} {:>11} {:>10} {:>10} {:>6}",
+        "device", "vgs(V)", "vds(V)", "id(A)", "gm(S)", "gds(S)", "region"
+    );
+    for i in infos {
+        let region = match i.region {
+            MosRegion::Cutoff => "off",
+            MosRegion::Triode => "lin",
+            MosRegion::Saturation => "sat",
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>9.4} {:>9.4} {:>11.3e} {:>10.3e} {:>10.3e} {:>6}",
+            i.name, i.vgs, i.vds, i.id, i.gm, i.gds, region
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::dc_operating_point;
+    use crate::SimOptions;
+    use netlist::{MosModel, Mosfet, SourceWaveform};
+
+    fn inverter(vin: f64) -> Circuit {
+        let mut c = Circuit::new("inv");
+        let vdd = c.node("vdd");
+        let inp = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("Vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_vsource("Vin", inp, Circuit::GROUND, SourceWaveform::Dc(vin));
+        c.add_mosfet(
+            "Mn",
+            Mosfet {
+                drain: out,
+                gate: inp,
+                source: Circuit::GROUND,
+                w: 10e-6,
+                l: 0.12e-6,
+                model: MosModel::nmos_012(),
+            },
+        );
+        c.add_mosfet(
+            "Mp",
+            Mosfet {
+                drain: out,
+                gate: inp,
+                source: vdd,
+                w: 20e-6,
+                l: 0.12e-6,
+                model: MosModel::pmos_012(),
+            },
+        );
+        c
+    }
+
+    #[test]
+    fn inverter_regions_at_low_input() {
+        let c = inverter(0.0);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let infos = mosfet_op_info(&c, &op);
+        assert_eq!(infos.len(), 2);
+        let mn = infos.iter().find(|i| i.name == "Mn").unwrap();
+        let mp = infos.iter().find(|i| i.name == "Mp").unwrap();
+        assert_eq!(mn.region, MosRegion::Cutoff);
+        // PMOS fully on, output at vdd → vds ≈ 0 → triode.
+        assert_eq!(mp.region, MosRegion::Triode);
+        assert!(mn.id.abs() < 1e-9);
+    }
+
+    #[test]
+    fn bias_voltages_are_consistent() {
+        let c = inverter(0.6);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let infos = mosfet_op_info(&c, &op);
+        let mn = infos.iter().find(|i| i.name == "Mn").unwrap();
+        assert!((mn.vgs - 0.6).abs() < 1e-9);
+        let out = c.find_node("out").unwrap();
+        assert!((mn.vds - op.voltage(out)).abs() < 1e-9);
+        // Mid-transition: both devices carry the same current magnitude.
+        let mp = infos.iter().find(|i| i.name == "Mp").unwrap();
+        assert!((mn.id + mp.id).abs() < 1e-6 * mn.id.abs().max(1e-12));
+    }
+
+    #[test]
+    fn report_renders_all_devices() {
+        let c = inverter(0.6);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let report = format_op_report(&mosfet_op_info(&c, &op));
+        assert!(report.contains("Mn"));
+        assert!(report.contains("Mp"));
+        assert!(report.contains("sat") || report.contains("lin"));
+    }
+
+    #[test]
+    fn intrinsic_gain_is_positive_in_saturation() {
+        let c = inverter(0.55);
+        let op = dc_operating_point(&c, &SimOptions::default()).unwrap();
+        let infos = mosfet_op_info(&c, &op);
+        for i in infos {
+            if i.region == MosRegion::Saturation {
+                assert!(i.intrinsic_gain() > 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Waveform container and post-processing measurements.
+
+use std::fmt;
+
+/// A sampled waveform: strictly increasing times with one value each.
+///
+/// # Examples
+///
+/// ```
+/// use spicesim::Waveform;
+///
+/// let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0]);
+/// assert_eq!(w.value_at(0.5), 0.5);
+/// assert_eq!(w.max(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    t: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, are empty, or the times
+    /// are not strictly increasing.
+    pub fn new(t: Vec<f64>, v: Vec<f64>) -> Self {
+        assert_eq!(t.len(), v.len(), "time/value length mismatch");
+        assert!(!t.is_empty(), "waveform must not be empty");
+        assert!(
+            t.windows(2).all(|w| w[1] > w[0]),
+            "times must be strictly increasing"
+        );
+        Waveform { t, v }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.t.len()
+    }
+
+    /// Whether the waveform has no samples (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.t.is_empty()
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// First sample time.
+    pub fn t_start(&self) -> f64 {
+        self.t[0]
+    }
+
+    /// Last sample time.
+    pub fn t_end(&self) -> f64 {
+        self.t[self.t.len() - 1]
+    }
+
+    /// Last sample value.
+    pub fn final_value(&self) -> f64 {
+        self.v[self.v.len() - 1]
+    }
+
+    /// Linear interpolation at time `t`, clamped to the end values
+    /// outside the sampled range.
+    pub fn value_at(&self, t: f64) -> f64 {
+        if t <= self.t[0] {
+            return self.v[0];
+        }
+        if t >= self.t_end() {
+            return self.final_value();
+        }
+        // Binary search for the bracketing interval.
+        let idx = self.t.partition_point(|&ti| ti <= t);
+        let (t0, t1) = (self.t[idx - 1], self.t[idx]);
+        let (v0, v1) = (self.v[idx - 1], self.v[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.v.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Trapezoidal time-average over the full span.
+    pub fn mean(&self) -> f64 {
+        self.mean_between(self.t_start(), self.t_end())
+    }
+
+    /// Trapezoidal time-average restricted to `[t0, t1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t1 <= t0`.
+    pub fn mean_between(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "integration window must be positive");
+        if self.len() == 1 {
+            return self.v[0];
+        }
+        let mut integral = 0.0;
+        let mut prev_t = t0;
+        let mut prev_v = self.value_at(t0);
+        for i in 0..self.len() {
+            let ti = self.t[i];
+            if ti <= t0 {
+                continue;
+            }
+            let (ti, vi) = if ti >= t1 {
+                (t1, self.value_at(t1))
+            } else {
+                (ti, self.v[i])
+            };
+            integral += 0.5 * (prev_v + vi) * (ti - prev_t);
+            prev_t = ti;
+            prev_v = vi;
+            if ti >= t1 {
+                break;
+            }
+        }
+        if prev_t < t1 {
+            integral += 0.5 * (prev_v + self.value_at(t1)) * (t1 - prev_t);
+        }
+        integral / (t1 - t0)
+    }
+
+    /// Root-mean-square value over the full span (trapezoid on v²).
+    pub fn rms(&self) -> f64 {
+        if self.len() == 1 {
+            return self.v[0].abs();
+        }
+        let mut integral = 0.0;
+        for i in 1..self.len() {
+            let dt = self.t[i] - self.t[i - 1];
+            integral += 0.5 * (self.v[i - 1].powi(2) + self.v[i].powi(2)) * dt;
+        }
+        (integral / (self.t_end() - self.t_start())).sqrt()
+    }
+
+    /// Times of rising crossings through `level`, linearly interpolated.
+    pub fn rising_crossings(&self, level: f64) -> Vec<f64> {
+        self.crossings(level, true)
+    }
+
+    /// Times of falling crossings through `level`, linearly interpolated.
+    pub fn falling_crossings(&self, level: f64) -> Vec<f64> {
+        self.crossings(level, false)
+    }
+
+    fn crossings(&self, level: f64, rising: bool) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.len() {
+            let (v0, v1) = (self.v[i - 1], self.v[i]);
+            let crossed = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crossed {
+                let (t0, t1) = (self.t[i - 1], self.t[i]);
+                let frac = (level - v0) / (v1 - v0);
+                out.push(t0 + frac * (t1 - t0));
+            }
+        }
+        out
+    }
+
+    /// Periods between consecutive rising crossings of `level`, after
+    /// skipping the first `skip` crossings (warm-up).
+    pub fn periods(&self, level: f64, skip: usize) -> Vec<f64> {
+        let crossings = self.rising_crossings(level);
+        if crossings.len() <= skip + 1 {
+            return Vec::new();
+        }
+        crossings[skip..].windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Mean oscillation frequency from [`Waveform::periods`], or `None`
+    /// when fewer than two usable crossings exist.
+    pub fn frequency(&self, level: f64, skip: usize) -> Option<f64> {
+        let periods = self.periods(level, skip);
+        if periods.is_empty() {
+            return None;
+        }
+        let mean = periods.iter().sum::<f64>() / periods.len() as f64;
+        Some(1.0 / mean)
+    }
+
+    /// Fraction of time the waveform spends above `level` between the
+    /// first and last crossing (the duty cycle of a clock-like signal).
+    /// Returns `None` with fewer than two crossings.
+    pub fn duty_cycle(&self, level: f64) -> Option<f64> {
+        let rising = self.rising_crossings(level);
+        let falling = self.falling_crossings(level);
+        if rising.is_empty() || falling.is_empty() {
+            return None;
+        }
+        let start = rising[0].min(falling[0]);
+        let end = rising[rising.len() - 1].max(falling[falling.len() - 1]);
+        if end <= start {
+            return None;
+        }
+        // Integrate high-time via the crossings: walk events in order.
+        let mut events: Vec<(f64, bool)> = rising
+            .iter()
+            .map(|&t| (t, true))
+            .chain(falling.iter().map(|&t| (t, false)))
+            .collect();
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        let mut high_since: Option<f64> = None;
+        let mut high_total = 0.0;
+        for (t, is_rising) in events {
+            match (is_rising, high_since) {
+                (true, None) => high_since = Some(t),
+                (false, Some(t0)) => {
+                    high_total += t - t0;
+                    high_since = None;
+                }
+                _ => {}
+            }
+        }
+        Some(high_total / (end - start))
+    }
+
+    /// 10–90 % rise time of the first rising edge between `v_low` and
+    /// `v_high`, or `None` when the waveform never completes one.
+    pub fn rise_time(&self, v_low: f64, v_high: f64) -> Option<f64> {
+        let lo_level = v_low + 0.1 * (v_high - v_low);
+        let hi_level = v_low + 0.9 * (v_high - v_low);
+        let lo_cross = self.rising_crossings(lo_level);
+        let hi_cross = self.rising_crossings(hi_level);
+        let t_lo = lo_cross.first()?;
+        let t_hi = hi_cross.iter().find(|&&t| t > *t_lo)?;
+        Some(t_hi - t_lo)
+    }
+
+    /// First time after which the waveform stays within `±tol` of
+    /// `target` until the end, or `None` if it never settles.
+    pub fn settling_time(&self, target: f64, tol: f64) -> Option<f64> {
+        let mut settled_since: Option<f64> = None;
+        for i in 0..self.len() {
+            if (self.v[i] - target).abs() <= tol {
+                if settled_since.is_none() {
+                    settled_since = Some(self.t[i]);
+                }
+            } else {
+                settled_since = None;
+            }
+        }
+        settled_since
+    }
+}
+
+impl fmt::Display for Waveform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "waveform[{} samples, t={:.3e}..{:.3e}]",
+            self.len(),
+            self.t_start(),
+            self.t_end()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(freq: f64, n: usize, t_end: f64) -> Waveform {
+        let t: Vec<f64> = (0..n).map(|i| t_end * i as f64 / (n - 1) as f64).collect();
+        let v: Vec<f64> = t
+            .iter()
+            .map(|&ti| (2.0 * std::f64::consts::PI * freq * ti).sin())
+            .collect();
+        Waveform::new(t, v)
+    }
+
+    #[test]
+    fn value_at_interpolates_and_clamps() {
+        let w = Waveform::new(vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 40.0]);
+        assert_eq!(w.value_at(0.0), 10.0);
+        assert_eq!(w.value_at(1.5), 15.0);
+        assert_eq!(w.value_at(2.5), 30.0);
+        assert_eq!(w.value_at(9.0), 40.0);
+    }
+
+    #[test]
+    fn mean_of_ramp() {
+        let w = Waveform::new(vec![0.0, 1.0], vec![0.0, 2.0]);
+        assert!((w.mean() - 1.0).abs() < 1e-12);
+        assert!((w.mean_between(0.0, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_dc() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![3.0, 3.0, 3.0]);
+        assert!((w.rms() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_sine_is_amplitude_over_sqrt2() {
+        let w = sine(5.0, 10_001, 1.0);
+        assert!((w.rms() - 1.0 / 2f64.sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn crossings_of_sine() {
+        let w = sine(4.0, 4_001, 1.0);
+        let rising = w.rising_crossings(0.0);
+        // 4 Hz over 1 s: rising zero crossings at 0.25, 0.5, 0.75 (plus ends).
+        assert!(rising.len() >= 3);
+        assert!((rising[0] - 0.25).abs() < 1e-3);
+        let falling = w.falling_crossings(0.0);
+        assert!((falling[0] - 0.125).abs() < 1e-3);
+    }
+
+    #[test]
+    fn frequency_measurement() {
+        let w = sine(8.0, 8_001, 1.0);
+        let f = w.frequency(0.0, 1).unwrap();
+        assert!((f - 8.0).abs() < 0.01, "measured {f}");
+    }
+
+    #[test]
+    fn frequency_none_without_oscillation() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.1, 0.2, 0.3]);
+        assert!(w.frequency(0.5, 0).is_none());
+    }
+
+    #[test]
+    fn periods_skip_warmup() {
+        let w = sine(10.0, 20_001, 1.0);
+        let all = w.periods(0.0, 0);
+        let skipped = w.periods(0.0, 3);
+        assert_eq!(all.len(), skipped.len() + 3);
+        for p in skipped {
+            assert!((p - 0.1).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn settling_time_detects_final_entry() {
+        let w = Waveform::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.5, 0.9, 1.02, 0.98],
+        );
+        let ts = w.settling_time(1.0, 0.05).unwrap();
+        assert_eq!(ts, 3.0);
+        assert!(w.settling_time(5.0, 0.01).is_none());
+    }
+
+    #[test]
+    fn duty_cycle_of_square_wave() {
+        // 25 % duty square wave sampled densely.
+        let n = 4000;
+        let t: Vec<f64> = (0..n).map(|i| i as f64 * 1e-3).collect();
+        let v: Vec<f64> = t
+            .iter()
+            .map(|&ti| if (ti % 1.0) < 0.25 { 1.0 } else { 0.0 })
+            .collect();
+        let w = Waveform::new(t, v);
+        let d = w.duty_cycle(0.5).unwrap();
+        assert!((d - 0.25).abs() < 0.02, "duty {d}");
+    }
+
+    #[test]
+    fn rise_time_of_ramp() {
+        // Linear ramp 0→1 over 1 s: 10-90 % rise time = 0.8 s.
+        let t: Vec<f64> = (0..=1000).map(|i| i as f64 * 1e-3).collect();
+        let v = t.clone();
+        let w = Waveform::new(t, v);
+        let rt = w.rise_time(0.0, 1.0).unwrap();
+        assert!((rt - 0.8).abs() < 0.01, "rise time {rt}");
+    }
+
+    #[test]
+    fn duty_cycle_none_without_crossings() {
+        let w = Waveform::new(vec![0.0, 1.0], vec![0.0, 0.1]);
+        assert!(w.duty_cycle(0.5).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotonic_times_panic() {
+        let _ = Waveform::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+}

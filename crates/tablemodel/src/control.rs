@@ -1,0 +1,168 @@
+//! Verilog-A `$table_model` control-string parsing.
+//!
+//! A control string carries one clause per input dimension, comma
+//! separated. Each clause is a degree digit (`1` linear, `2` quadratic,
+//! `3` cubic spline) followed by an optional extrapolation letter:
+//! `C` clamp to the end values, `L` extrapolate linearly, `E` error
+//! (refuse to extrapolate). The paper uses `"3E"` throughout — cubic
+//! splines, extrapolation forbidden.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::TableModelError;
+
+/// Interpolation degree of one table dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterpDegree {
+    /// Piecewise linear.
+    Linear,
+    /// Local quadratic (3-point Lagrange).
+    Quadratic,
+    /// Natural cubic spline.
+    #[default]
+    Cubic,
+}
+
+/// Extrapolation behaviour outside the sampled domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Extrapolation {
+    /// Clamp to the boundary value.
+    Clamp,
+    /// Continue with the boundary slope.
+    Linear,
+    /// Refuse: evaluation returns
+    /// [`TableModelError::OutOfDomain`].
+    #[default]
+    Error,
+}
+
+/// Parsed control clause for one input dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ControlSpec {
+    /// Interpolation degree.
+    pub degree: InterpDegree,
+    /// Extrapolation behaviour.
+    pub extrapolation: Extrapolation,
+}
+
+impl ControlSpec {
+    /// The paper's choice: cubic spline, no extrapolation (`"3E"`).
+    pub fn cubic_no_extrapolation() -> Self {
+        ControlSpec {
+            degree: InterpDegree::Cubic,
+            extrapolation: Extrapolation::Error,
+        }
+    }
+
+    /// Parses a comma-separated multi-dimension control string like
+    /// `"3E,3E,1C"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::BadControl`] on malformed clauses.
+    pub fn parse_multi(s: &str) -> Result<Vec<ControlSpec>, TableModelError> {
+        s.split(',').map(|clause| clause.trim().parse()).collect()
+    }
+}
+
+impl FromStr for ControlSpec {
+    type Err = TableModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let bad = || TableModelError::BadControl {
+            token: s.to_string(),
+        };
+        let mut chars = s.chars();
+        let degree = match chars.next().ok_or_else(bad)? {
+            '1' => InterpDegree::Linear,
+            '2' => InterpDegree::Quadratic,
+            '3' => InterpDegree::Cubic,
+            _ => return Err(bad()),
+        };
+        let extrapolation = match chars.next() {
+            None => Extrapolation::default(),
+            Some(c) => match c.to_ascii_uppercase() {
+                'C' => Extrapolation::Clamp,
+                'L' => Extrapolation::Linear,
+                'E' => Extrapolation::Error,
+                _ => return Err(bad()),
+            },
+        };
+        if chars.next().is_some() {
+            return Err(bad());
+        }
+        Ok(ControlSpec {
+            degree,
+            extrapolation,
+        })
+    }
+}
+
+impl fmt::Display for ControlSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = match self.degree {
+            InterpDegree::Linear => '1',
+            InterpDegree::Quadratic => '2',
+            InterpDegree::Cubic => '3',
+        };
+        let e = match self.extrapolation {
+            Extrapolation::Clamp => 'C',
+            Extrapolation::Linear => 'L',
+            Extrapolation::Error => 'E',
+        };
+        write!(f, "{d}{e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_control() {
+        let c: ControlSpec = "3E".parse().unwrap();
+        assert_eq!(c, ControlSpec::cubic_no_extrapolation());
+    }
+
+    #[test]
+    fn parses_all_degrees_and_modes() {
+        for (s, d, e) in [
+            ("1C", InterpDegree::Linear, Extrapolation::Clamp),
+            ("2L", InterpDegree::Quadratic, Extrapolation::Linear),
+            ("3e", InterpDegree::Cubic, Extrapolation::Error),
+            ("1", InterpDegree::Linear, Extrapolation::Error),
+        ] {
+            let c: ControlSpec = s.parse().unwrap();
+            assert_eq!(c.degree, d, "{s}");
+            assert_eq!(c.extrapolation, e, "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_multi_splits_dimensions() {
+        let v = ControlSpec::parse_multi("3E, 1C,2L").unwrap();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[1].degree, InterpDegree::Linear);
+        assert_eq!(v[2].extrapolation, Extrapolation::Linear);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!("4E".parse::<ControlSpec>().is_err());
+        assert!("3X".parse::<ControlSpec>().is_err());
+        assert!("".parse::<ControlSpec>().is_err());
+        assert!("3EE".parse::<ControlSpec>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["1C", "2L", "3E"] {
+            let c: ControlSpec = s.parse().unwrap();
+            assert_eq!(c.to_string(), s);
+            let back: ControlSpec = c.to_string().parse().unwrap();
+            assert_eq!(back, c);
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for table-model construction and evaluation.
+
+use std::fmt;
+
+/// Errors produced by table-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableModelError {
+    /// A `.tbl` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A control string was malformed.
+    BadControl {
+        /// The offending token.
+        token: String,
+    },
+    /// The table data itself is unusable (too few points, unsorted axis,
+    /// dimension mismatch…).
+    BadData {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A query fell outside the table domain and the control string
+    /// forbids extrapolation (`E`).
+    OutOfDomain {
+        /// Input dimension that violated the domain.
+        dim: usize,
+        /// Queried value.
+        value: f64,
+        /// Domain lower bound.
+        lo: f64,
+        /// Domain upper bound.
+        hi: f64,
+    },
+    /// A scattered-data query fell inside the bounding box but too far
+    /// from any sample (off the Pareto manifold).
+    TooFarFromSamples {
+        /// Normalised distance to the nearest sample.
+        distance: f64,
+        /// Configured maximum.
+        max_gap: f64,
+    },
+    /// Underlying file I/O failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// OS error description.
+        message: String,
+    },
+}
+
+impl fmt::Display for TableModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableModelError::Parse { line, message } => {
+                write!(f, "tbl parse error at line {line}: {message}")
+            }
+            TableModelError::BadControl { token } => {
+                write!(f, "malformed control string `{token}`")
+            }
+            TableModelError::BadData { message } => write!(f, "bad table data: {message}"),
+            TableModelError::OutOfDomain { dim, value, lo, hi } => write!(
+                f,
+                "query {value} on input {dim} outside table domain [{lo}, {hi}] and extrapolation is disabled"
+            ),
+            TableModelError::TooFarFromSamples { distance, max_gap } => write!(
+                f,
+                "query is {distance:.3} (normalised) from the nearest sample, beyond the {max_gap:.3} manifold guard"
+            ),
+            TableModelError::Io { path, message } => {
+                write!(f, "i/o error on `{path}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_domain_bounds() {
+        let e = TableModelError::OutOfDomain {
+            dim: 1,
+            value: 9.0,
+            lo: 0.0,
+            hi: 5.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains('9') && s.contains('5') && s.contains("input 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TableModelError>();
+    }
+}

@@ -1,0 +1,309 @@
+//! N-dimensional regular-grid tables with tensor-product interpolation.
+//!
+//! Evaluation reduces one dimension at a time: the table is sliced along
+//! the first axis, each slice evaluated recursively, and the resulting
+//! per-knot values interpolated as a 1-D table with that axis's control
+//! spec. This matches Verilog-A `$table_model` semantics for gridded
+//! data of any dimension.
+
+use crate::control::ControlSpec;
+use crate::error::TableModelError;
+use crate::interp::Table1d;
+
+/// An N-dimensional regular grid table.
+///
+/// # Examples
+///
+/// ```
+/// use tablemodel::control::ControlSpec;
+/// use tablemodel::grid::GridTable;
+///
+/// # fn main() -> Result<(), tablemodel::TableModelError> {
+/// // f(x, y) = x + 10·y on a 3×2 grid.
+/// let t = GridTable::new(
+///     vec![vec![0.0, 1.0, 2.0], vec![0.0, 1.0]],
+///     vec![0.0, 10.0, 1.0, 11.0, 2.0, 12.0],
+///     vec!["1E".parse()?, "1E".parse()?],
+/// )?;
+/// assert!((t.eval(&[1.5, 0.5])? - 6.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTable {
+    axes: Vec<Vec<f64>>,
+    /// Row-major values: the **last** axis varies fastest.
+    values: Vec<f64>,
+    controls: Vec<ControlSpec>,
+}
+
+impl GridTable {
+    /// Builds a grid table.
+    ///
+    /// `values` is row-major with the last axis varying fastest; its
+    /// length must equal the product of the axis lengths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::BadData`] for inconsistent dimensions,
+    /// axes that are not strictly increasing, or non-finite data.
+    pub fn new(
+        axes: Vec<Vec<f64>>,
+        values: Vec<f64>,
+        controls: Vec<ControlSpec>,
+    ) -> Result<Self, TableModelError> {
+        if axes.is_empty() {
+            return Err(TableModelError::BadData {
+                message: "grid needs at least one axis".to_string(),
+            });
+        }
+        if controls.len() != axes.len() {
+            return Err(TableModelError::BadData {
+                message: format!(
+                    "{} control specs for {} axes",
+                    controls.len(),
+                    axes.len()
+                ),
+            });
+        }
+        let expected: usize = axes.iter().map(|a| a.len()).product();
+        if values.len() != expected {
+            return Err(TableModelError::BadData {
+                message: format!("{} values for a {expected}-cell grid", values.len()),
+            });
+        }
+        for axis in &axes {
+            if axis.len() < 2 {
+                return Err(TableModelError::BadData {
+                    message: "every grid axis needs at least two points".to_string(),
+                });
+            }
+            if axis.windows(2).any(|w| w[1] <= w[0]) {
+                return Err(TableModelError::BadData {
+                    message: "grid axes must be strictly increasing".to_string(),
+                });
+            }
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(TableModelError::BadData {
+                message: "grid values must be finite".to_string(),
+            });
+        }
+        Ok(GridTable {
+            axes,
+            values,
+            controls,
+        })
+    }
+
+    /// Number of input dimensions.
+    pub fn dim(&self) -> usize {
+        self.axes.len()
+    }
+
+    /// Domain of input dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dim()`.
+    pub fn domain(&self, d: usize) -> (f64, f64) {
+        let axis = &self.axes[d];
+        (axis[0], axis[axis.len() - 1])
+    }
+
+    /// Evaluates the table at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::BadData`] for a dimension mismatch and
+    /// [`TableModelError::OutOfDomain`] per the control specs.
+    pub fn eval(&self, point: &[f64]) -> Result<f64, TableModelError> {
+        if point.len() != self.dim() {
+            return Err(TableModelError::BadData {
+                message: format!("{}-d query on a {}-d grid", point.len(), self.dim()),
+            });
+        }
+        self.eval_rec(point, 0, &self.values)
+            .map_err(|e| offset_dim(e, 0))
+    }
+
+    fn eval_rec(&self, point: &[f64], d: usize, values: &[f64]) -> Result<f64, TableModelError> {
+        let axis = &self.axes[d];
+        if d == self.dim() - 1 {
+            let t = Table1d::new(axis.clone(), values.to_vec(), self.controls[d])?;
+            return t.eval(point[d]).map_err(|e| offset_dim(e, d));
+        }
+        let stride: usize = self.axes[d + 1..].iter().map(|a| a.len()).product();
+        let mut reduced = Vec::with_capacity(axis.len());
+        for (k, _) in axis.iter().enumerate() {
+            let slice = &values[k * stride..(k + 1) * stride];
+            reduced.push(self.eval_rec(point, d + 1, slice)?);
+        }
+        let t = Table1d::new(axis.clone(), reduced, self.controls[d])?;
+        t.eval(point[d]).map_err(|e| offset_dim(e, d))
+    }
+}
+
+fn offset_dim(e: TableModelError, d: usize) -> TableModelError {
+    match e {
+        TableModelError::OutOfDomain {
+            dim: 0,
+            value,
+            lo,
+            hi,
+        } => TableModelError::OutOfDomain {
+            dim: d,
+            value,
+            lo,
+            hi,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(s: &str) -> ControlSpec {
+        s.parse().unwrap()
+    }
+
+    fn bilinear_table() -> GridTable {
+        // f(x, y) = 2x + 3y on a 4×3 grid.
+        let xs = vec![0.0, 1.0, 2.0, 3.0];
+        let ys = vec![0.0, 0.5, 1.0];
+        let mut values = Vec::new();
+        for x in &xs {
+            for y in &ys {
+                values.push(2.0 * x + 3.0 * y);
+            }
+        }
+        GridTable::new(vec![xs, ys], values, vec![ctrl("1E"), ctrl("1E")]).unwrap()
+    }
+
+    #[test]
+    fn bilinear_exact_on_plane() {
+        let t = bilinear_table();
+        for (x, y) in [(0.25, 0.25), (1.5, 0.75), (2.9, 0.05)] {
+            let got = t.eval(&[x, y]).unwrap();
+            let want = 2.0 * x + 3.0 * y;
+            assert!((got - want).abs() < 1e-12, "at ({x},{y}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn grid_hits_knots_exactly() {
+        let t = bilinear_table();
+        assert!((t.eval(&[2.0, 0.5]).unwrap() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_domain_reports_correct_dimension() {
+        let t = bilinear_table();
+        match t.eval(&[1.0, 9.0]) {
+            Err(TableModelError::OutOfDomain { dim, .. }) => assert_eq!(dim, 1),
+            other => panic!("expected out-of-domain on dim 1, got {other:?}"),
+        }
+        match t.eval(&[-5.0, 0.5]) {
+            Err(TableModelError::OutOfDomain { dim, .. }) => assert_eq!(dim, 0),
+            other => panic!("expected out-of-domain on dim 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clamped_dimension_clamps_only_itself() {
+        let xs = vec![0.0, 1.0];
+        let ys = vec![0.0, 1.0];
+        let values = vec![0.0, 1.0, 10.0, 11.0]; // f = 10x + y
+        let t = GridTable::new(
+            vec![xs, ys],
+            values,
+            vec![ctrl("1C"), ctrl("1E")],
+        )
+        .unwrap();
+        // x clamps to 1 → f(1, 0.5) = 10.5.
+        assert!((t.eval(&[5.0, 0.5]).unwrap() - 10.5).abs() < 1e-12);
+        // y still errors.
+        assert!(t.eval(&[0.5, 5.0]).is_err());
+    }
+
+    #[test]
+    fn cubic_grid_reproduces_smooth_surface() {
+        let xs: Vec<f64> = (0..9).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = (0..9).map(|i| i as f64 * 0.25).collect();
+        let mut values = Vec::new();
+        for x in &xs {
+            for y in &ys {
+                values.push((x + 0.5 * y).sin());
+            }
+        }
+        let t = GridTable::new(
+            vec![xs, ys],
+            values,
+            vec![ctrl("3E"), ctrl("3E")],
+        )
+        .unwrap();
+        for (x, y) in [(0.4, 0.4), (1.1, 1.7), (1.9, 0.2)] {
+            let got = t.eval(&[x, y]).unwrap();
+            let want = (x + 0.5 * y).sin();
+            assert!((got - want).abs() < 5e-3, "at ({x},{y}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn three_dimensional_grid() {
+        // f(x,y,z) = x + 2y + 4z.
+        let axis = vec![0.0, 1.0];
+        let mut values = Vec::new();
+        for x in &axis {
+            for y in &axis {
+                for z in &axis {
+                    values.push(x + 2.0 * y + 4.0 * z);
+                }
+            }
+        }
+        let t = GridTable::new(
+            vec![axis.clone(), axis.clone(), axis],
+            values,
+            vec![ctrl("1E"); 3],
+        )
+        .unwrap();
+        let got = t.eval(&[0.5, 0.5, 0.5]).unwrap();
+        assert!((got - 3.5).abs() < 1e-12);
+        assert_eq!(t.dim(), 3);
+        assert_eq!(t.domain(2), (0.0, 1.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let t = bilinear_table();
+        assert!(matches!(
+            t.eval(&[1.0]),
+            Err(TableModelError::BadData { .. })
+        ));
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(GridTable::new(vec![], vec![], vec![]).is_err());
+        assert!(GridTable::new(
+            vec![vec![0.0, 1.0]],
+            vec![1.0],
+            vec![ctrl("1E")]
+        )
+        .is_err());
+        assert!(GridTable::new(
+            vec![vec![1.0, 0.0]],
+            vec![1.0, 2.0],
+            vec![ctrl("1E")]
+        )
+        .is_err());
+        assert!(GridTable::new(
+            vec![vec![0.0, 1.0]],
+            vec![1.0, 2.0],
+            vec![]
+        )
+        .is_err());
+    }
+}

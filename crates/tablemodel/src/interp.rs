@@ -1,0 +1,331 @@
+//! 1-D table interpolation with control-string semantics.
+
+use crate::control::{ControlSpec, Extrapolation, InterpDegree};
+use crate::error::TableModelError;
+use crate::spline::CubicSpline;
+
+/// A 1-D lookup table: sorted sample points, one value each, and a
+/// control spec deciding interpolation degree and extrapolation policy.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1d {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    control: ControlSpec,
+    spline: Option<CubicSpline>,
+}
+
+impl Table1d {
+    /// Builds a table. Points are sorted by `x` internally; duplicate
+    /// abscissae are averaged (Pareto data often carries near-duplicate
+    /// performance points).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::BadData`] when fewer than two distinct
+    /// points remain or data is not finite.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>, control: ControlSpec) -> Result<Self, TableModelError> {
+        if xs.len() != ys.len() {
+            return Err(TableModelError::BadData {
+                message: format!("{} x values vs {} y values", xs.len(), ys.len()),
+            });
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(TableModelError::BadData {
+                message: "table data must be finite".to_string(),
+            });
+        }
+        let mut pairs: Vec<(f64, f64)> = xs.into_iter().zip(ys).collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite keys"));
+        // Merge duplicates by averaging.
+        let mut merged: Vec<(f64, f64, usize)> = Vec::with_capacity(pairs.len());
+        for (x, y) in pairs {
+            match merged.last_mut() {
+                Some((mx, my, count)) if (*mx - x).abs() < 1e-300 || *mx == x => {
+                    *my += y;
+                    *count += 1;
+                }
+                _ => merged.push((x, y, 1)),
+            }
+        }
+        let xs: Vec<f64> = merged.iter().map(|(x, _, _)| *x).collect();
+        let ys: Vec<f64> = merged
+            .iter()
+            .map(|(_, y, count)| y / *count as f64)
+            .collect();
+        if xs.len() < 2 {
+            return Err(TableModelError::BadData {
+                message: "table needs at least two distinct points".to_string(),
+            });
+        }
+        let spline = if control.degree == InterpDegree::Cubic {
+            Some(CubicSpline::natural(&xs, &ys)?)
+        } else {
+            None
+        };
+        Ok(Table1d {
+            xs,
+            ys,
+            control,
+            spline,
+        })
+    }
+
+    /// The table domain `(min x, max x)`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
+    /// Number of distinct sample points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the table is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Evaluates the table at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::OutOfDomain`] when `x` lies outside the
+    /// sampled range and the control string is `E`.
+    pub fn eval(&self, x: f64) -> Result<f64, TableModelError> {
+        let (lo, hi) = self.domain();
+        if x < lo || x > hi {
+            match self.control.extrapolation {
+                Extrapolation::Error => {
+                    return Err(TableModelError::OutOfDomain {
+                        dim: 0,
+                        value: x,
+                        lo,
+                        hi,
+                    })
+                }
+                Extrapolation::Clamp => {
+                    return Ok(if x < lo {
+                        self.ys[0]
+                    } else {
+                        self.ys[self.ys.len() - 1]
+                    });
+                }
+                Extrapolation::Linear => {
+                    // Continue with the boundary slope of the interpolant.
+                    let (x0, y0, slope) = if x < lo {
+                        (lo, self.ys[0], self.boundary_slope(true))
+                    } else {
+                        (hi, self.ys[self.ys.len() - 1], self.boundary_slope(false))
+                    };
+                    return Ok(y0 + slope * (x - x0));
+                }
+            }
+        }
+        Ok(self.interpolate(x))
+    }
+
+    /// First derivative of the interpolant at `x` (cubic: analytic
+    /// spline derivative; linear/quadratic: central finite difference of
+    /// the interpolant). Outside the domain the boundary slope is
+    /// returned regardless of extrapolation policy — sensitivities at
+    /// the domain edge remain well-defined.
+    pub fn derivative(&self, x: f64) -> f64 {
+        let (lo, hi) = self.domain();
+        let x = x.clamp(lo, hi);
+        if let Some(s) = &self.spline {
+            return s.derivative(x);
+        }
+        let h = (hi - lo) * 1e-7;
+        let a = self.interpolate((x - h).max(lo));
+        let b = self.interpolate((x + h).min(hi));
+        let span = (x + h).min(hi) - (x - h).max(lo);
+        (b - a) / span
+    }
+
+    fn boundary_slope(&self, at_start: bool) -> f64 {
+        match &self.spline {
+            Some(s) => {
+                let (lo, hi) = self.domain();
+                s.derivative(if at_start { lo } else { hi })
+            }
+            None => {
+                let n = self.xs.len();
+                if at_start {
+                    (self.ys[1] - self.ys[0]) / (self.xs[1] - self.xs[0])
+                } else {
+                    (self.ys[n - 1] - self.ys[n - 2]) / (self.xs[n - 1] - self.xs[n - 2])
+                }
+            }
+        }
+    }
+
+    fn interpolate(&self, x: f64) -> f64 {
+        match self.control.degree {
+            InterpDegree::Cubic => self.spline.as_ref().expect("cubic spline built").eval(x),
+            InterpDegree::Linear => {
+                let i = self.segment(x);
+                let (x0, x1) = (self.xs[i], self.xs[i + 1]);
+                let (y0, y1) = (self.ys[i], self.ys[i + 1]);
+                y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+            }
+            InterpDegree::Quadratic => {
+                // Local 3-point Lagrange around the containing segment.
+                let n = self.xs.len();
+                if n == 2 {
+                    let (x0, x1) = (self.xs[0], self.xs[1]);
+                    return self.ys[0] + (self.ys[1] - self.ys[0]) * (x - x0) / (x1 - x0);
+                }
+                let i = self.segment(x).min(n - 3);
+                let (x0, x1, x2) = (self.xs[i], self.xs[i + 1], self.xs[i + 2]);
+                let (y0, y1, y2) = (self.ys[i], self.ys[i + 1], self.ys[i + 2]);
+                let l0 = (x - x1) * (x - x2) / ((x0 - x1) * (x0 - x2));
+                let l1 = (x - x0) * (x - x2) / ((x1 - x0) * (x1 - x2));
+                let l2 = (x - x0) * (x - x1) / ((x2 - x0) * (x2 - x1));
+                y0 * l0 + y1 * l1 + y2 * l2
+            }
+        }
+    }
+
+    fn segment(&self, x: f64) -> usize {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return 0;
+        }
+        if x >= self.xs[n - 1] {
+            return n - 2;
+        }
+        self.xs.partition_point(|&xi| xi <= x) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn control(s: &str) -> ControlSpec {
+        s.parse().unwrap()
+    }
+
+    fn quad_table(ctrl: &str) -> Table1d {
+        let xs: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        Table1d::new(xs, ys, control(ctrl)).unwrap()
+    }
+
+    #[test]
+    fn linear_interpolation_exact_on_lines() {
+        let t = Table1d::new(
+            vec![0.0, 1.0, 2.0],
+            vec![1.0, 3.0, 5.0],
+            control("1E"),
+        )
+        .unwrap();
+        assert!((t.eval(0.5).unwrap() - 2.0).abs() < 1e-12);
+        assert!((t.eval(1.75).unwrap() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_is_exact_on_parabola() {
+        let t = quad_table("2E");
+        for x in [0.3, 1.5, 2.7, 4.9] {
+            assert!((t.eval(x).unwrap() - x * x).abs() < 1e-10, "at {x}");
+        }
+    }
+
+    #[test]
+    fn cubic_beats_linear_on_curvature() {
+        let lin = quad_table("1E");
+        let cub = quad_table("3E");
+        let x = 2.5;
+        let err_lin = (lin.eval(x).unwrap() - x * x).abs();
+        let err_cub = (cub.eval(x).unwrap() - x * x).abs();
+        assert!(err_cub < err_lin, "cubic {err_cub} vs linear {err_lin}");
+    }
+
+    #[test]
+    fn error_extrapolation_refuses() {
+        let t = quad_table("3E");
+        assert!(matches!(
+            t.eval(-0.1),
+            Err(TableModelError::OutOfDomain { .. })
+        ));
+        assert!(matches!(
+            t.eval(5.1),
+            Err(TableModelError::OutOfDomain { .. })
+        ));
+        assert!(t.eval(5.0).is_ok());
+        assert!(t.eval(0.0).is_ok());
+    }
+
+    #[test]
+    fn clamp_extrapolation_holds_boundary() {
+        let t = quad_table("3C");
+        assert_eq!(t.eval(-3.0).unwrap(), 0.0);
+        assert_eq!(t.eval(99.0).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn linear_extrapolation_continues_slope() {
+        let t = Table1d::new(
+            vec![0.0, 1.0, 2.0],
+            vec![0.0, 1.0, 2.0],
+            control("1L"),
+        )
+        .unwrap();
+        assert!((t.eval(4.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((t.eval(-1.0).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let t = Table1d::new(
+            vec![2.0, 0.0, 1.0],
+            vec![4.0, 0.0, 1.0],
+            control("1E"),
+        )
+        .unwrap();
+        assert!((t.eval(1.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_abscissae_are_averaged() {
+        let t = Table1d::new(
+            vec![0.0, 1.0, 1.0, 2.0],
+            vec![0.0, 1.0, 3.0, 2.0],
+            control("1E"),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+        assert!((t.eval(1.0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_of_parabola_table() {
+        let t = quad_table("3C");
+        for x in [1.0, 2.5, 4.0] {
+            let d = t.derivative(x);
+            assert!(
+                (d - 2.0 * x).abs() < 0.3,
+                "spline derivative {d} vs analytic {} at {x}",
+                2.0 * x
+            );
+        }
+        let lin = quad_table("1C");
+        // Linear interpolant of x² on integer knots has slope ≈ 2x ± 1.
+        let d = lin.derivative(2.5);
+        assert!((d - 5.0).abs() < 1.01, "linear-table derivative {d}");
+    }
+
+    #[test]
+    fn degenerate_tables_rejected() {
+        assert!(Table1d::new(vec![1.0], vec![1.0], control("1E")).is_err());
+        assert!(Table1d::new(vec![1.0, 1.0], vec![1.0, 2.0], control("1E")).is_err());
+        assert!(
+            Table1d::new(vec![0.0, 1.0], vec![f64::INFINITY, 0.0], control("1E")).is_err()
+        );
+    }
+}

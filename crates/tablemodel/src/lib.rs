@@ -1,0 +1,57 @@
+//! Verilog-A style table models: lookup tables with interpolation.
+//!
+//! The DATE 2009 flow stores Pareto-front performance and variation data
+//! in `.tbl` files and interpolates them with the Verilog-A
+//! `$table_model` system function, using cubic splines and **no
+//! extrapolation** (control string `"3E"`). This crate reproduces those
+//! semantics:
+//!
+//! * [`control`] — control-string parsing (`"1C"`, `"2L"`, `"3E"`,
+//!   comma-separated per input dimension);
+//! * [`spline`] — natural cubic splines;
+//! * [`interp`] — 1-D tables with linear/quadratic/cubic interpolation
+//!   and clamp/linear/error extrapolation;
+//! * [`grid`] — N-dimensional regular-grid tables (tensor-product
+//!   interpolation, dimension-reducing evaluation);
+//! * [`scattered`] — scattered-data models (inverse-distance weighting
+//!   and Gaussian radial basis functions) for Pareto clouds, which are
+//!   not grid data;
+//! * [`tbl_io`] — the whitespace-separated `.tbl` file format;
+//! * [`model`] — [`model::TableModel`], the `$table_model` facade that
+//!   loads a file, inspects its structure (grid vs scattered) and
+//!   dispatches accordingly.
+//!
+//! # Examples
+//!
+//! A 1-D cubic-spline table with the paper's no-extrapolation rule:
+//!
+//! ```
+//! use tablemodel::interp::Table1d;
+//! use tablemodel::control::ControlSpec;
+//!
+//! # fn main() -> Result<(), tablemodel::TableModelError> {
+//! let control: ControlSpec = "3E".parse()?;
+//! let table = Table1d::new(
+//!     vec![0.0, 1.0, 2.0, 3.0],
+//!     vec![0.0, 1.0, 4.0, 9.0],
+//!     control,
+//! )?;
+//! let y = table.eval(1.5)?;
+//! assert!((y - 2.25).abs() < 0.15); // near x² with spline accuracy
+//! assert!(table.eval(5.0).is_err()); // "E": no extrapolation
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod control;
+pub mod error;
+pub mod grid;
+pub mod interp;
+pub mod model;
+pub mod scattered;
+pub mod spline;
+pub mod tbl_io;
+
+pub use control::{ControlSpec, Extrapolation, InterpDegree};
+pub use error::TableModelError;
+pub use model::TableModel;

@@ -1,0 +1,290 @@
+//! The `$table_model` facade: load a `.tbl` file, inspect its structure
+//! and dispatch to the right interpolator.
+//!
+//! Verilog-A's `$table_model(x1, …, xn, "file.tbl", "ctrl")` assumes
+//! gridded data; Pareto fronts are scattered. [`TableModel`] therefore
+//! auto-detects: 1-D data uses [`Table1d`]; N-D data forming a complete
+//! grid uses [`GridTable`]; anything else uses [`ScatteredTable`] with
+//! the strict no-extrapolation guard (degree is honoured where the
+//! structure allows, extrapolation policy always is).
+
+use std::path::Path;
+
+use crate::control::{ControlSpec, Extrapolation};
+use crate::error::TableModelError;
+use crate::grid::GridTable;
+use crate::interp::Table1d;
+use crate::scattered::{ScatterMethod, ScatteredTable};
+use crate::tbl_io::{parse_tbl, read_tbl_file, TblData};
+
+/// A loaded table model, dispatching on data structure.
+#[derive(Debug, Clone)]
+pub enum TableModel {
+    /// One input dimension.
+    OneD(Table1d),
+    /// Complete N-dimensional grid.
+    Grid(GridTable),
+    /// Scattered N-dimensional samples.
+    Scattered(ScatteredTable),
+}
+
+impl TableModel {
+    /// Builds a model from parsed `.tbl` data and a control string
+    /// (single clause applied to all dimensions, or one clause per
+    /// dimension comma-separated, like Verilog-A).
+    ///
+    /// # Errors
+    ///
+    /// Propagates control-string, data-validation and construction
+    /// errors from the underlying interpolators.
+    pub fn from_data(data: &TblData, control: &str) -> Result<Self, TableModelError> {
+        let mut controls = ControlSpec::parse_multi(control)?;
+        let dim = data.dim();
+        if controls.len() == 1 && dim > 1 {
+            controls = vec![controls[0]; dim];
+        }
+        if controls.len() != dim {
+            return Err(TableModelError::BadControl {
+                token: control.to_string(),
+            });
+        }
+
+        if dim == 1 {
+            let xs: Vec<f64> = data.points.iter().map(|p| p[0]).collect();
+            return Ok(TableModel::OneD(Table1d::new(
+                xs,
+                data.values.clone(),
+                controls[0],
+            )?));
+        }
+
+        if let Some((axes, values)) = detect_grid(data) {
+            return Ok(TableModel::Grid(GridTable::new(axes, values, controls)?));
+        }
+
+        // Scattered fallback: honour the extrapolation policy via the
+        // domain margin (Error → none, Clamp/Linear approximated by a
+        // generous margin since true extrapolation of scattered data is
+        // ill-posed).
+        let strict = controls
+            .iter()
+            .all(|c| c.extrapolation == Extrapolation::Error);
+        let table = ScatteredTable::new(
+            data.points.clone(),
+            data.values.clone(),
+            ScatterMethod::default(),
+        )?
+        .with_margin(if strict { 0.0 } else { 0.25 });
+        Ok(TableModel::Scattered(table))
+    }
+
+    /// Loads a model from `.tbl` text.
+    ///
+    /// # Errors
+    ///
+    /// See [`TableModel::from_data`].
+    pub fn from_str_data(text: &str, control: &str) -> Result<Self, TableModelError> {
+        Self::from_data(&parse_tbl(text)?, control)
+    }
+
+    /// Loads a model from a `.tbl` file — the equivalent of
+    /// `$table_model(…, path, control)`.
+    ///
+    /// # Errors
+    ///
+    /// Adds [`TableModelError::Io`] to the set from
+    /// [`TableModel::from_data`].
+    pub fn from_file<P: AsRef<Path>>(path: P, control: &str) -> Result<Self, TableModelError> {
+        Self::from_data(&read_tbl_file(path)?, control)
+    }
+
+    /// Number of input dimensions.
+    pub fn dim(&self) -> usize {
+        match self {
+            TableModel::OneD(_) => 1,
+            TableModel::Grid(g) => g.dim(),
+            TableModel::Scattered(s) => s.dim(),
+        }
+    }
+
+    /// Evaluates the model at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::OutOfDomain`] per the control policy
+    /// and [`TableModelError::BadData`] on dimension mismatch.
+    pub fn eval(&self, point: &[f64]) -> Result<f64, TableModelError> {
+        match self {
+            TableModel::OneD(t) => {
+                if point.len() != 1 {
+                    return Err(TableModelError::BadData {
+                        message: format!("{}-d query on a 1-d table", point.len()),
+                    });
+                }
+                t.eval(point[0])
+            }
+            TableModel::Grid(g) => g.eval(point),
+            TableModel::Scattered(s) => s.eval(point),
+        }
+    }
+
+    /// Domain of input dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dim()`.
+    pub fn domain(&self, d: usize) -> (f64, f64) {
+        match self {
+            TableModel::OneD(t) => {
+                assert_eq!(d, 0, "1-d table has a single dimension");
+                t.domain()
+            }
+            TableModel::Grid(g) => g.domain(d),
+            TableModel::Scattered(s) => s.domain()[d],
+        }
+    }
+}
+
+/// Detects whether scattered rows actually form a complete regular grid;
+/// returns the axes and row-major (last axis fastest) values if so.
+fn detect_grid(data: &TblData) -> Option<(Vec<Vec<f64>>, Vec<f64>)> {
+    let dim = data.dim();
+    let mut axes: Vec<Vec<f64>> = vec![Vec::new(); dim];
+    for p in &data.points {
+        for (d, &v) in p.iter().enumerate() {
+            axes[d].push(v);
+        }
+    }
+    for axis in axes.iter_mut() {
+        axis.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        axis.dedup_by(|a, b| (*a - *b).abs() < 1e-30 || a == b);
+    }
+    let cells: usize = axes.iter().map(|a| a.len()).product();
+    if cells != data.len() || axes.iter().any(|a| a.len() < 2) {
+        return None;
+    }
+    // Place every sample into its grid cell; every cell must be filled
+    // exactly once.
+    let mut values = vec![f64::NAN; cells];
+    let mut filled = vec![false; cells];
+    for (p, &v) in data.points.iter().zip(&data.values) {
+        let mut index = 0usize;
+        for (d, &x) in p.iter().enumerate() {
+            let k = axes[d].iter().position(|&a| a == x)?;
+            index = index * axes[d].len() + k;
+        }
+        if filled[index] {
+            return None;
+        }
+        filled[index] = true;
+        values[index] = v;
+    }
+    if filled.iter().all(|&f| f) {
+        Some((axes, values))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_d_dispatch() {
+        let m = TableModel::from_str_data("0 0\n1 1\n2 4\n3 9\n", "3E").unwrap();
+        assert!(matches!(m, TableModel::OneD(_)));
+        assert_eq!(m.dim(), 1);
+        assert!(m.eval(&[3.5]).is_err());
+        assert!((m.eval(&[3.0]).unwrap() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_dispatch_and_eval() {
+        // 2×3 grid of f = x + 10y, rows in scrambled order.
+        let text = "\
+1 20 201
+0 10 100
+1 10 101
+0 30 300
+1 30 301
+0 20 200
+";
+        let m = TableModel::from_str_data(text, "1E,1E").unwrap();
+        assert!(matches!(m, TableModel::Grid(_)));
+        let v = m.eval(&[0.5, 15.0]).unwrap();
+        // f = x + 10y with our synthetic values: f(0,10)=100 …
+        // bilinear between 100,101,200,201 at midpoints → 150.5.
+        assert!((v - 150.5).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn scattered_dispatch_for_pareto_like_data() {
+        // 5 points in 2-d that do not form a grid.
+        let text = "\
+0.0 0.0 1.0
+1.0 0.1 2.0
+0.2 0.9 3.0
+0.7 0.6 2.5
+0.4 0.3 1.8
+";
+        let m = TableModel::from_str_data(text, "3E").unwrap();
+        assert!(matches!(m, TableModel::Scattered(_)));
+        assert!(m.eval(&[0.4, 0.3]).is_ok());
+        assert!(m.eval(&[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn single_control_broadcasts_to_all_dims() {
+        let text = "0 0 0\n0 1 1\n1 0 2\n1 1 3\n";
+        let m = TableModel::from_str_data(text, "1E").unwrap();
+        assert!(matches!(m, TableModel::Grid(_)));
+        assert!((m.eval(&[0.5, 0.5]).unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn control_count_mismatch_rejected() {
+        let text = "0 0 0\n0 1 1\n1 0 2\n1 1 3\n";
+        assert!(matches!(
+            TableModel::from_str_data(text, "1E,1E,1E"),
+            Err(TableModelError::BadControl { .. })
+        ));
+    }
+
+    #[test]
+    fn incomplete_grid_falls_back_to_scattered() {
+        // 2×2 grid with one cell missing plus an extra point → scattered.
+        let text = "0 0 0\n0 1 1\n1 0 2\n0.5 0.5 1.5\n";
+        let m = TableModel::from_str_data(text, "3E").unwrap();
+        assert!(matches!(m, TableModel::Scattered(_)));
+    }
+
+    #[test]
+    fn duplicate_grid_cell_falls_back_to_scattered() {
+        let text = "0 0 0\n0 1 1\n1 0 2\n1 0 5\n";
+        // 4 samples, axes 2×2, but cell (1,0) duplicated and (1,1) missing.
+        let m = TableModel::from_str_data(text, "1E").unwrap();
+        assert!(matches!(m, TableModel::Scattered(_)));
+    }
+
+    #[test]
+    fn domain_accessor() {
+        let m = TableModel::from_str_data("0 1\n5 2\n", "1C").unwrap();
+        assert_eq!(m.domain(0), (0.0, 5.0));
+    }
+
+    #[test]
+    fn file_loading_matches_str_loading() {
+        let dir = std::env::temp_dir().join("tablemodel_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.tbl");
+        std::fs::write(&path, "0 0\n1 2\n2 4\n").unwrap();
+        let from_file = TableModel::from_file(&path, "1E").unwrap();
+        let from_str = TableModel::from_str_data("0 0\n1 2\n2 4\n", "1E").unwrap();
+        assert_eq!(
+            from_file.eval(&[1.5]).unwrap(),
+            from_str.eval(&[1.5]).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

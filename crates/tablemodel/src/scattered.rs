@@ -1,0 +1,501 @@
+//! Scattered-data interpolation for Pareto clouds.
+//!
+//! Pareto fronts are not grid data: the optimal solutions lie on an
+//! irregular manifold in performance space. The paper stores them in
+//! `.tbl` files and interpolates; we provide two scattered-data methods
+//! with the same strict no-extrapolation domain guard:
+//!
+//! * **IDW** — Shepard's inverse-distance weighting: robust, cheap,
+//!   exact at the sample points;
+//! * **RBF** — Gaussian radial basis functions with ridge
+//!   regularisation: smoother reconstruction, exact at the samples,
+//!   better for derivative-sensitive lookups.
+//!
+//! Inputs are normalised per dimension to the unit cube so heterogeneous
+//! units (hertz next to amperes) do not skew distances.
+
+use numkit::Matrix;
+
+use crate::error::TableModelError;
+
+/// Interpolation method for scattered data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScatterMethod {
+    /// Shepard inverse-distance weighting with the given power
+    /// (2 is the classic choice).
+    Idw {
+        /// Distance exponent.
+        power: f64,
+    },
+    /// Gaussian RBF with shape parameter relative to the mean sample
+    /// spacing, plus ridge regularisation for conditioning.
+    Rbf {
+        /// Kernel width multiplier (1.0 ≈ mean nearest-neighbour
+        /// spacing).
+        shape: f64,
+    },
+}
+
+impl Default for ScatterMethod {
+    fn default() -> Self {
+        ScatterMethod::Idw { power: 2.0 }
+    }
+}
+
+/// A scattered-data table: sample points in d dimensions with one value
+/// each.
+#[derive(Debug, Clone)]
+pub struct ScatteredTable {
+    points: Vec<Vec<f64>>,
+    values: Vec<f64>,
+    /// Per-dimension (min, max) of the samples: the query domain.
+    domain: Vec<(f64, f64)>,
+    /// Per-dimension scale for normalisation (max − min, or 1).
+    scales: Vec<f64>,
+    method: ScatterMethod,
+    /// RBF weights (empty for IDW).
+    rbf_weights: Vec<f64>,
+    /// RBF kernel width in normalised space.
+    rbf_width: f64,
+    /// Fractional domain margin tolerated before declaring
+    /// out-of-domain (Pareto interiors are ragged; a small margin keeps
+    /// legitimate interior queries alive).
+    margin: f64,
+    /// Maximum normalised nearest-sample distance tolerated; `None`
+    /// disables the check. Pareto clouds are thin manifolds inside their
+    /// bounding box — this guard is what "no extrapolation" means for
+    /// scattered data.
+    max_gap: Option<f64>,
+}
+
+impl ScatteredTable {
+    /// Builds a scattered table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::BadData`] when fewer than 2 points are
+    /// given, dimensions are inconsistent, or data is not finite. RBF
+    /// construction can also fail on a singular system (degenerate
+    /// geometry); IDW never fails past validation.
+    pub fn new(
+        points: Vec<Vec<f64>>,
+        values: Vec<f64>,
+        method: ScatterMethod,
+    ) -> Result<Self, TableModelError> {
+        if points.len() != values.len() {
+            return Err(TableModelError::BadData {
+                message: format!("{} points vs {} values", points.len(), values.len()),
+            });
+        }
+        if points.len() < 2 {
+            return Err(TableModelError::BadData {
+                message: "scattered table needs at least two points".to_string(),
+            });
+        }
+        let dim = points[0].len();
+        if dim == 0 {
+            return Err(TableModelError::BadData {
+                message: "points must have at least one dimension".to_string(),
+            });
+        }
+        for p in &points {
+            if p.len() != dim {
+                return Err(TableModelError::BadData {
+                    message: "inconsistent point dimensions".to_string(),
+                });
+            }
+            if p.iter().any(|v| !v.is_finite()) {
+                return Err(TableModelError::BadData {
+                    message: "points must be finite".to_string(),
+                });
+            }
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(TableModelError::BadData {
+                message: "values must be finite".to_string(),
+            });
+        }
+
+        let mut domain = vec![(f64::INFINITY, f64::NEG_INFINITY); dim];
+        for p in &points {
+            for (d, &v) in p.iter().enumerate() {
+                domain[d].0 = domain[d].0.min(v);
+                domain[d].1 = domain[d].1.max(v);
+            }
+        }
+        let scales: Vec<f64> = domain
+            .iter()
+            .map(|&(lo, hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+
+        let mut table = ScatteredTable {
+            points,
+            values,
+            domain,
+            scales,
+            method,
+            rbf_weights: Vec::new(),
+            rbf_width: 0.0,
+            margin: 0.0,
+            max_gap: None,
+        };
+
+        if let ScatterMethod::Rbf { shape } = method {
+            table.fit_rbf(shape)?;
+        }
+        Ok(table)
+    }
+
+    /// Sets a fractional domain margin (e.g. 0.02 allows queries up to
+    /// 2 % of the axis span outside the sampled bounding box).
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin.max(0.0);
+        self
+    }
+
+    /// Restricts queries to the sampled manifold: evaluation fails when
+    /// the normalised distance to the nearest sample exceeds `gap`.
+    pub fn with_max_gap(mut self, gap: f64) -> Self {
+        self.max_gap = Some(gap.max(0.0));
+        self
+    }
+
+    /// Mean nearest-neighbour distance among the samples (normalised
+    /// units) — the natural length scale for [`ScatteredTable::with_max_gap`].
+    pub fn mean_nn_distance(&self) -> f64 {
+        let n = self.points.len();
+        let mut total = 0.0;
+        for i in 0..n {
+            let mut best = f64::INFINITY;
+            for j in 0..n {
+                if i != j {
+                    best = best.min(self.norm_dist2(&self.points[i], &self.points[j]));
+                }
+            }
+            total += best.sqrt();
+        }
+        total / n as f64
+    }
+
+    /// Normalised distance from `point` to the nearest sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `point.len() != dim()`.
+    pub fn gap_of(&self, point: &[f64]) -> f64 {
+        assert_eq!(point.len(), self.dim(), "dimension mismatch");
+        self.nearest(point).1
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the table has no samples (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of input dimensions.
+    pub fn dim(&self) -> usize {
+        self.domain.len()
+    }
+
+    /// Per-dimension sampled domain.
+    pub fn domain(&self) -> &[(f64, f64)] {
+        &self.domain
+    }
+
+    fn fit_rbf(&mut self, shape: f64) -> Result<(), TableModelError> {
+        let n = self.points.len();
+        // Mean nearest-neighbour distance in normalised space sets the
+        // kernel width.
+        let mut total_nn = 0.0;
+        for i in 0..n {
+            let mut best = f64::INFINITY;
+            for j in 0..n {
+                if i != j {
+                    best = best.min(self.norm_dist2(&self.points[i], &self.points[j]));
+                }
+            }
+            total_nn += best.sqrt();
+        }
+        let mean_nn = (total_nn / n as f64).max(1e-9);
+        self.rbf_width = (shape * mean_nn).max(1e-9);
+
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let r2 = self.norm_dist2(&self.points[i], &self.points[j]);
+                let mut k = (-r2 / (2.0 * self.rbf_width * self.rbf_width)).exp();
+                if i == j {
+                    k += 1e-8; // ridge regularisation
+                }
+                a[(i, j)] = k;
+            }
+        }
+        let w = a.solve(&self.values).map_err(|_| TableModelError::BadData {
+            message: "rbf system is singular (degenerate point geometry)".to_string(),
+        })?;
+        self.rbf_weights = w;
+        Ok(())
+    }
+
+    fn norm_dist2(&self, a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .zip(&self.scales)
+            .map(|((x, y), s)| {
+                let d = (x - y) / s;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Evaluates the model at `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::OutOfDomain`] when `point` leaves the
+    /// sampled bounding box (plus margin) — scattered models never
+    /// extrapolate, matching the paper's `"3E"` policy — and
+    /// [`TableModelError::BadData`] on dimension mismatch.
+    pub fn eval(&self, point: &[f64]) -> Result<f64, TableModelError> {
+        if point.len() != self.dim() {
+            return Err(TableModelError::BadData {
+                message: format!("{}-d query on a {}-d table", point.len(), self.dim()),
+            });
+        }
+        for (d, (&v, &(lo, hi))) in point.iter().zip(&self.domain).enumerate() {
+            let m = self.margin * self.scales[d];
+            if v < lo - m || v > hi + m {
+                return Err(TableModelError::OutOfDomain {
+                    dim: d,
+                    value: v,
+                    lo,
+                    hi,
+                });
+            }
+        }
+        if let Some(gap) = self.max_gap {
+            let d = self.nearest(point).1;
+            if d > gap {
+                return Err(TableModelError::TooFarFromSamples {
+                    distance: d,
+                    max_gap: gap,
+                });
+            }
+        }
+        match self.method {
+            ScatterMethod::Idw { power } => Ok(self.eval_idw(point, power)),
+            ScatterMethod::Rbf { .. } => Ok(self.eval_rbf(point)),
+        }
+    }
+
+    fn eval_idw(&self, point: &[f64], power: f64) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (p, &v) in self.points.iter().zip(&self.values) {
+            let d2 = self.norm_dist2(point, p);
+            if d2 < 1e-24 {
+                return v; // exact hit
+            }
+            let w = d2.powf(-power / 2.0);
+            num += w * v;
+            den += w;
+        }
+        num / den
+    }
+
+    fn eval_rbf(&self, point: &[f64]) -> f64 {
+        let two_w2 = 2.0 * self.rbf_width * self.rbf_width;
+        self.points
+            .iter()
+            .zip(&self.rbf_weights)
+            .map(|(p, &w)| w * (-self.norm_dist2(point, p) / two_w2).exp())
+            .sum()
+    }
+
+    /// Finds the sample nearest to `point` (normalised distance),
+    /// returning `(index, distance)`. Useful for inverse lookups that
+    /// need the discrete designs behind an interpolated value.
+    pub fn nearest(&self, point: &[f64]) -> (usize, f64) {
+        let mut best = (0usize, f64::INFINITY);
+        for (i, p) in self.points.iter().enumerate() {
+            let d2 = self.norm_dist2(point, p);
+            if d2 < best.1 {
+                best = (i, d2);
+            }
+        }
+        (best.0, best.1.sqrt())
+    }
+
+    /// The raw sample points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
+    /// The raw sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_samples() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // f(x, y) = 3x − 2y + 1 sampled irregularly.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.25],
+            vec![0.25, 0.75],
+            vec![0.8, 0.6],
+            vec![0.3, 0.2],
+        ];
+        let vals = pts.iter().map(|p| 3.0 * p[0] - 2.0 * p[1] + 1.0).collect();
+        (pts, vals)
+    }
+
+    #[test]
+    fn idw_exact_at_samples() {
+        let (pts, vals) = plane_samples();
+        let t = ScatteredTable::new(pts.clone(), vals.clone(), ScatterMethod::default()).unwrap();
+        for (p, v) in pts.iter().zip(&vals) {
+            assert!((t.eval(p).unwrap() - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rbf_exact_at_samples() {
+        let (pts, vals) = plane_samples();
+        let t = ScatteredTable::new(
+            pts.clone(),
+            vals.clone(),
+            ScatterMethod::Rbf { shape: 1.5 },
+        )
+        .unwrap();
+        for (p, v) in pts.iter().zip(&vals) {
+            assert!(
+                (t.eval(p).unwrap() - v).abs() < 1e-3,
+                "rbf at {p:?}: {} vs {v}",
+                t.eval(p).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rbf_beats_idw_on_smooth_field_interior() {
+        let (pts, vals) = plane_samples();
+        let idw = ScatteredTable::new(pts.clone(), vals.clone(), ScatterMethod::default())
+            .unwrap();
+        let rbf =
+            ScatteredTable::new(pts, vals, ScatterMethod::Rbf { shape: 1.5 }).unwrap();
+        let probe = [0.6, 0.4];
+        let truth = 3.0 * probe[0] - 2.0 * probe[1] + 1.0;
+        let err_idw = (idw.eval(&probe).unwrap() - truth).abs();
+        let err_rbf = (rbf.eval(&probe).unwrap() - truth).abs();
+        assert!(
+            err_rbf < err_idw,
+            "rbf {err_rbf} should beat idw {err_idw} on a smooth plane"
+        );
+    }
+
+    #[test]
+    fn no_extrapolation_outside_bounding_box() {
+        let (pts, vals) = plane_samples();
+        let t = ScatteredTable::new(pts, vals, ScatterMethod::default()).unwrap();
+        assert!(matches!(
+            t.eval(&[2.0, 0.5]),
+            Err(TableModelError::OutOfDomain { dim: 0, .. })
+        ));
+        assert!(matches!(
+            t.eval(&[0.5, -1.0]),
+            Err(TableModelError::OutOfDomain { dim: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn margin_expands_domain() {
+        let (pts, vals) = plane_samples();
+        let t = ScatteredTable::new(pts, vals, ScatterMethod::default())
+            .unwrap()
+            .with_margin(0.1);
+        assert!(t.eval(&[1.05, 0.5]).is_ok());
+        assert!(t.eval(&[1.5, 0.5]).is_err());
+    }
+
+    #[test]
+    fn nearest_finds_closest_sample() {
+        let (pts, vals) = plane_samples();
+        let t = ScatteredTable::new(pts, vals, ScatterMethod::default()).unwrap();
+        let (idx, d) = t.nearest(&[0.49, 0.26]);
+        assert_eq!(idx, 4); // (0.5, 0.25)
+        assert!(d < 0.05);
+    }
+
+    #[test]
+    fn heterogeneous_scales_are_normalised() {
+        // One axis in GHz, the other in mA: without normalisation the
+        // large axis would dominate distances entirely.
+        let pts = vec![
+            vec![1.0e9, 1.0e-3],
+            vec![2.0e9, 1.0e-3],
+            vec![1.0e9, 5.0e-3],
+            vec![2.0e9, 5.0e-3],
+        ];
+        let vals = vec![0.0, 1.0, 10.0, 11.0];
+        let t = ScatteredTable::new(pts, vals, ScatterMethod::default()).unwrap();
+        // Mid-point should be influenced equally by both axes: near the mean.
+        let mid = t.eval(&[1.5e9, 3.0e-3]).unwrap();
+        assert!((mid - 5.5).abs() < 1.0, "got {mid}");
+    }
+
+    #[test]
+    fn max_gap_rejects_off_manifold_queries() {
+        // Samples along the diagonal of the unit square: the corner
+        // (1, 0) is inside the bounding box but far from the manifold.
+        let pts: Vec<Vec<f64>> = (0..11)
+            .map(|i| vec![i as f64 / 10.0, i as f64 / 10.0])
+            .collect();
+        let vals: Vec<f64> = pts.iter().map(|p| p[0]).collect();
+        let t = ScatteredTable::new(pts, vals, ScatterMethod::default())
+            .unwrap()
+            .with_max_gap(0.2);
+        assert!(t.eval(&[0.52, 0.55]).is_ok(), "near the diagonal");
+        assert!(matches!(
+            t.eval(&[1.0, 0.0]),
+            Err(TableModelError::TooFarFromSamples { .. })
+        ));
+        assert!(t.gap_of(&[1.0, 0.0]) > 0.5);
+        assert!(t.mean_nn_distance() > 0.0);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert!(ScatteredTable::new(vec![], vec![], ScatterMethod::default()).is_err());
+        assert!(ScatteredTable::new(
+            vec![vec![0.0], vec![1.0, 2.0]],
+            vec![0.0, 1.0],
+            ScatterMethod::default()
+        )
+        .is_err());
+        assert!(ScatteredTable::new(
+            vec![vec![0.0], vec![1.0]],
+            vec![0.0],
+            ScatterMethod::default()
+        )
+        .is_err());
+        assert!(ScatteredTable::new(
+            vec![vec![f64::NAN], vec![1.0]],
+            vec![0.0, 1.0],
+            ScatterMethod::default()
+        )
+        .is_err());
+    }
+}

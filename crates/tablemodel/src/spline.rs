@@ -1,0 +1,209 @@
+//! Natural cubic splines (the paper's equation (3) interpolant).
+
+use crate::error::TableModelError;
+
+/// A natural cubic spline through strictly increasing knots.
+///
+/// "Natural" boundary conditions: zero second derivative at both ends.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), tablemodel::TableModelError> {
+/// use tablemodel::spline::CubicSpline;
+///
+/// let s = CubicSpline::natural(&[0.0, 1.0, 2.0], &[0.0, 1.0, 0.0])?;
+/// assert!((s.eval(1.0) - 1.0).abs() < 1e-12); // interpolates knots
+/// assert!(s.eval(0.5) > 0.4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CubicSpline {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    /// Second derivatives at the knots.
+    m: Vec<f64>,
+}
+
+impl CubicSpline {
+    /// Fits a natural cubic spline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableModelError::BadData`] when fewer than 2 points are
+    /// given, the axis is not strictly increasing, or values are not
+    /// finite. With exactly 2 points the spline degenerates to a line.
+    pub fn natural(xs: &[f64], ys: &[f64]) -> Result<Self, TableModelError> {
+        if xs.len() != ys.len() {
+            return Err(TableModelError::BadData {
+                message: format!("{} x values vs {} y values", xs.len(), ys.len()),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(TableModelError::BadData {
+                message: "spline needs at least two points".to_string(),
+            });
+        }
+        if xs.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(TableModelError::BadData {
+                message: "spline axis must be strictly increasing".to_string(),
+            });
+        }
+        if xs.iter().chain(ys).any(|v| !v.is_finite()) {
+            return Err(TableModelError::BadData {
+                message: "spline data must be finite".to_string(),
+            });
+        }
+        let n = xs.len();
+        let mut m = vec![0.0; n];
+        if n > 2 {
+            // Tridiagonal system for interior second derivatives
+            // (Thomas algorithm).
+            let mut sub = vec![0.0; n];
+            let mut diag = vec![0.0; n];
+            let mut sup = vec![0.0; n];
+            let mut rhs = vec![0.0; n];
+            for i in 1..n - 1 {
+                let h0 = xs[i] - xs[i - 1];
+                let h1 = xs[i + 1] - xs[i];
+                sub[i] = h0;
+                diag[i] = 2.0 * (h0 + h1);
+                sup[i] = h1;
+                rhs[i] = 6.0 * ((ys[i + 1] - ys[i]) / h1 - (ys[i] - ys[i - 1]) / h0);
+            }
+            // Forward sweep over interior rows 1..n-1.
+            for i in 2..n - 1 {
+                let w = sub[i] / diag[i - 1];
+                diag[i] -= w * sup[i - 1];
+                rhs[i] -= w * rhs[i - 1];
+            }
+            // Back substitution.
+            m[n - 2] = rhs[n - 2] / diag[n - 2];
+            for i in (1..n - 2).rev() {
+                m[i] = (rhs[i] - sup[i] * m[i + 1]) / diag[i];
+            }
+        }
+        Ok(CubicSpline {
+            xs: xs.to_vec(),
+            ys: ys.to_vec(),
+            m,
+        })
+    }
+
+    /// Domain of the spline.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
+    /// Evaluates the spline at `x`. Outside the knot range the boundary
+    /// polynomial continues — callers enforce extrapolation policy.
+    pub fn eval(&self, x: f64) -> f64 {
+        let i = self.segment(x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        a * self.ys[i]
+            + b * self.ys[i + 1]
+            + ((a * a * a - a) * self.m[i] + (b * b * b - b) * self.m[i + 1]) * h * h / 6.0
+    }
+
+    /// First derivative at `x`.
+    pub fn derivative(&self, x: f64) -> f64 {
+        let i = self.segment(x);
+        let h = self.xs[i + 1] - self.xs[i];
+        let a = (self.xs[i + 1] - x) / h;
+        let b = (x - self.xs[i]) / h;
+        (self.ys[i + 1] - self.ys[i]) / h
+            + ((3.0 * b * b - 1.0) * self.m[i + 1] - (3.0 * a * a - 1.0) * self.m[i]) * h / 6.0
+    }
+
+    fn segment(&self, x: f64) -> usize {
+        let n = self.xs.len();
+        if x <= self.xs[0] {
+            return 0;
+        }
+        if x >= self.xs[n - 1] {
+            return n - 2;
+        }
+        self.xs.partition_point(|&xi| xi <= x) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_knots_exactly() {
+        let xs = [0.0, 0.7, 1.3, 2.9, 4.0];
+        let ys = [1.0, -0.5, 2.0, 0.3, 0.3];
+        let s = CubicSpline::natural(&xs, &ys).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!((s.eval(*x) - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_points_degenerate_to_line() {
+        let s = CubicSpline::natural(&[0.0, 2.0], &[0.0, 4.0]).unwrap();
+        assert!((s.eval(1.0) - 2.0).abs() < 1e-12);
+        assert!((s.derivative(1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reproduces_smooth_function_accurately() {
+        let xs: Vec<f64> = (0..21).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (2.0 * x).sin()).collect();
+        let s = CubicSpline::natural(&xs, &ys).unwrap();
+        for i in 0..200 {
+            let x = 0.05 + i as f64 * 0.0095;
+            let err = (s.eval(x) - (2.0 * x).sin()).abs();
+            // Natural boundary conditions leave O(h²) error near the
+            // ends; the interior is far more accurate.
+            assert!(err < 5e-3, "error {err} at {x}");
+            if (0.5..=1.5).contains(&x) {
+                assert!(err < 5e-5, "interior error {err} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let xs: Vec<f64> = (0..11).map(|i| i as f64 * 0.3).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x - x).collect();
+        let s = CubicSpline::natural(&xs, &ys).unwrap();
+        for &x in &[0.5, 1.0, 2.0, 2.8] {
+            let h = 1e-6;
+            let fd = (s.eval(x + h) - s.eval(x - h)) / (2.0 * h);
+            assert!((s.derivative(x) - fd).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn natural_boundary_second_derivative_is_zero() {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x * 0.9).cos()).collect();
+        let s = CubicSpline::natural(&xs, &ys).unwrap();
+        // Approximate d²/dx² at the ends via the derivative.
+        let h = 1e-5;
+        let d2_start = (s.derivative(h) - s.derivative(0.0)) / h;
+        let d2_end = (s.derivative(7.0) - s.derivative(7.0 - h)) / h;
+        assert!(d2_start.abs() < 1e-3, "start curvature {d2_start}");
+        assert!(d2_end.abs() < 1e-3, "end curvature {d2_end}");
+    }
+
+    #[test]
+    fn rejects_bad_data() {
+        assert!(CubicSpline::natural(&[0.0], &[1.0]).is_err());
+        assert!(CubicSpline::natural(&[0.0, 0.0], &[1.0, 2.0]).is_err());
+        assert!(CubicSpline::natural(&[0.0, 1.0], &[1.0]).is_err());
+        assert!(CubicSpline::natural(&[0.0, 1.0], &[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn domain_reports_knot_range() {
+        let s = CubicSpline::natural(&[1.0, 2.0, 5.0], &[0.0, 1.0, 2.0]).unwrap();
+        assert_eq!(s.domain(), (1.0, 5.0));
+    }
+}

@@ -1,0 +1,242 @@
+//! The `.tbl` data-file format of Verilog-A `$table_model`:
+//! whitespace-separated columns, one sample per line, the last column is
+//! the value, `#` and `//` start comments.
+
+use std::path::Path;
+
+use crate::error::TableModelError;
+
+/// Parsed `.tbl` content: points (one row per sample, inputs only) and
+/// the value column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TblData {
+    /// Input coordinates, one row per sample.
+    pub points: Vec<Vec<f64>>,
+    /// Sampled values (last column).
+    pub values: Vec<f64>,
+}
+
+impl TblData {
+    /// Number of input dimensions.
+    pub fn dim(&self) -> usize {
+        self.points.first().map_or(0, |p| p.len())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the file contained no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Parses `.tbl` text.
+///
+/// # Errors
+///
+/// Returns [`TableModelError::Parse`] (with line numbers) on malformed
+/// rows and [`TableModelError::BadData`] when rows have inconsistent
+/// column counts or no data lines exist.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), tablemodel::TableModelError> {
+/// let data = tablemodel::tbl_io::parse_tbl("# f(x)\n0 0\n1 1\n2 4\n")?;
+/// assert_eq!(data.dim(), 1);
+/// assert_eq!(data.values, vec![0.0, 1.0, 4.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_tbl(text: &str) -> Result<TblData, TableModelError> {
+    let mut points = Vec::new();
+    let mut values = Vec::new();
+    let mut columns: Option<usize> = None;
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = match raw.find(['#']) {
+            Some(i) => &raw[..i],
+            None => raw,
+        };
+        let line = match line.find("//") {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut row = Vec::new();
+        for tok in line.split_whitespace() {
+            let v: f64 = tok.parse().map_err(|_| TableModelError::Parse {
+                line: lineno + 1,
+                message: format!("malformed number `{tok}`"),
+            })?;
+            row.push(v);
+        }
+        if row.len() < 2 {
+            return Err(TableModelError::Parse {
+                line: lineno + 1,
+                message: "need at least one input column and one value column".to_string(),
+            });
+        }
+        match columns {
+            None => columns = Some(row.len()),
+            Some(c) if c != row.len() => {
+                return Err(TableModelError::Parse {
+                    line: lineno + 1,
+                    message: format!("row has {} columns, expected {c}", row.len()),
+                })
+            }
+            _ => {}
+        }
+        let value = row.pop().expect("row non-empty");
+        points.push(row);
+        values.push(value);
+    }
+
+    if points.is_empty() {
+        return Err(TableModelError::BadData {
+            message: "tbl file contains no data rows".to_string(),
+        });
+    }
+    Ok(TblData { points, values })
+}
+
+/// Reads and parses a `.tbl` file.
+///
+/// # Errors
+///
+/// Returns [`TableModelError::Io`] on filesystem errors plus any parse
+/// error.
+pub fn read_tbl_file<P: AsRef<Path>>(path: P) -> Result<TblData, TableModelError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| TableModelError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })?;
+    parse_tbl(&text)
+}
+
+/// Serialises samples to `.tbl` text (full precision, one row per
+/// sample).
+///
+/// # Panics
+///
+/// Panics if `points` and `values` differ in length.
+pub fn format_tbl(points: &[Vec<f64>], values: &[f64], header: &str) -> String {
+    assert_eq!(points.len(), values.len(), "points/values length mismatch");
+    let mut out = String::new();
+    for line in header.lines() {
+        out.push_str("# ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    for (p, v) in points.iter().zip(values) {
+        for x in p {
+            out.push_str(&format!("{x:.12e} "));
+        }
+        out.push_str(&format!("{v:.12e}\n"));
+    }
+    out
+}
+
+/// Writes samples to a `.tbl` file.
+///
+/// # Errors
+///
+/// Returns [`TableModelError::Io`] on filesystem errors.
+///
+/// # Panics
+///
+/// Panics if `points` and `values` differ in length.
+pub fn write_tbl_file<P: AsRef<Path>>(
+    path: P,
+    points: &[Vec<f64>],
+    values: &[f64],
+    header: &str,
+) -> Result<(), TableModelError> {
+    let path = path.as_ref();
+    std::fs::write(path, format_tbl(points, values, header)).map_err(|e| TableModelError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_multicolumn_with_comments() {
+        let text = "\
+# kvco ivco jvco
+// another comment style
+1e9  1e-3  0.13e-12
+2e9  2e-3  0.29e-12   # inline comment
+";
+        let d = parse_tbl(text).unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 2);
+        assert!((d.points[1][0] - 2e9).abs() < 1.0);
+        assert!((d.values[0] - 0.13e-12).abs() < 1e-20);
+    }
+
+    #[test]
+    fn rejects_inconsistent_columns() {
+        let err = parse_tbl("1 2\n1 2 3\n").unwrap_err();
+        assert!(matches!(err, TableModelError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_numbers() {
+        let err = parse_tbl("1 abc\n").unwrap_err();
+        assert!(matches!(err, TableModelError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        assert!(matches!(
+            parse_tbl("# only comments\n"),
+            Err(TableModelError::BadData { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_single_column() {
+        assert!(parse_tbl("42\n").is_err());
+    }
+
+    #[test]
+    fn format_and_parse_round_trip() {
+        let points = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        let values = vec![0.5, -0.25];
+        let text = format_tbl(&points, &values, "performance model");
+        let back = parse_tbl(&text).unwrap();
+        assert_eq!(back.points, points);
+        assert_eq!(back.values, values);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("tablemodel_test_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.tbl");
+        let points = vec![vec![1e9], vec![2e9], vec![3e9]];
+        let values = vec![0.1, 0.2, 0.15];
+        write_tbl_file(&path, &points, &values, "1-d").unwrap();
+        let back = read_tbl_file(&path).unwrap();
+        assert_eq!(back.points, points);
+        assert_eq!(back.values, values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = read_tbl_file("/definitely/not/here.tbl").unwrap_err();
+        assert!(matches!(err, TableModelError::Io { .. }));
+    }
+}

@@ -1,0 +1,51 @@
+//! Statistical process variation, mismatch modelling and Monte Carlo.
+//!
+//! This crate is the workspace's substitute for foundry statistical
+//! models (the paper used proprietary "foundry variation and mismatch
+//! models" with SpectreRF):
+//!
+//! * [`process`] — **global** (die-to-die) parameter variation: VTO
+//!   shift, KP multiplier and λ multiplier drawn per Monte-Carlo sample
+//!   and applied to every device of a polarity;
+//! * [`mismatch`] — **local** (device-to-device) variation following
+//!   Pelgrom's law, `σ(∆VTO) = A_VT/√(W·L)`, applied independently per
+//!   transistor;
+//! * [`sampler`] — applies one drawn sample to a [`netlist::Circuit`],
+//!   producing the perturbed circuit to simulate;
+//! * [`mc`] — the Monte-Carlo engine: N samples, parallel evaluation,
+//!   per-metric [`numkit::stats::Summary`] spreads;
+//! * [`yields`] — specification windows and yield estimation with
+//!   Wilson confidence intervals.
+//!
+//! # Examples
+//!
+//! Estimating the spread of a (synthetic) metric:
+//!
+//! ```
+//! use variation::mc::{MonteCarlo, McConfig};
+//! use variation::process::ProcessSpec;
+//! use netlist::{Circuit, SourceWaveform};
+//!
+//! let mut c = Circuit::new("r");
+//! let n = c.node("n");
+//! c.add_vsource("V1", n, Circuit::GROUND, SourceWaveform::Dc(1.0));
+//! c.add_resistor("R1", n, Circuit::GROUND, 1.0e3);
+//!
+//! let mc = MonteCarlo::new(ProcessSpec::default());
+//! let cfg = McConfig { samples: 16, seed: 1, threads: 1 };
+//! let run = mc.run(&c, &cfg, |_sample, _circuit| {
+//!     // A real evaluator would simulate the perturbed circuit.
+//!     Some(vec![1.0])
+//! });
+//! assert_eq!(run.accepted, 16);
+//! ```
+
+pub mod mc;
+pub mod mismatch;
+pub mod process;
+pub mod sampler;
+pub mod yields;
+
+pub use mc::{McConfig, McRun, MonteCarlo};
+pub use process::ProcessSpec;
+pub use yields::{Spec, SpecSet, YieldEstimate};

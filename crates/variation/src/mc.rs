@@ -1,0 +1,271 @@
+//! The Monte-Carlo engine.
+//!
+//! Draws N variation samples, produces the perturbed circuit for each,
+//! hands them to a user evaluator (typically a `spicesim` measurement)
+//! and aggregates per-metric spreads. Evaluation is deterministic per
+//! seed regardless of thread count: each sample's RNG is derived from
+//! `seed + sample index`.
+
+use netlist::Circuit;
+
+use numkit::dist;
+use numkit::stats::Summary;
+
+use crate::process::{GlobalSample, ProcessSpec};
+use crate::sampler::perturbed_circuit;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McConfig {
+    /// Number of samples (the paper uses 100 for characterisation and
+    /// 500 for final verification).
+    pub samples: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Worker threads (1 = serial; results identical either way).
+    pub threads: usize,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            samples: 100,
+            seed: 0,
+            threads: 1,
+        }
+    }
+}
+
+/// Result of a Monte-Carlo run.
+#[derive(Debug, Clone)]
+pub struct McRun {
+    /// Metric vectors of the accepted (successfully evaluated) samples.
+    pub metrics: Vec<Vec<f64>>,
+    /// Number of accepted samples.
+    pub accepted: usize,
+    /// Number of samples whose evaluation failed (e.g. a perturbed
+    /// circuit that no longer oscillates — itself a yield loss signal).
+    pub failed: usize,
+}
+
+impl McRun {
+    /// Summary statistics of metric `k` across accepted samples, or
+    /// `None` when no sample produced it.
+    pub fn summary(&self, k: usize) -> Option<Summary> {
+        let column: Vec<f64> = self
+            .metrics
+            .iter()
+            .filter_map(|row| row.get(k).copied())
+            .collect();
+        Summary::from_samples(&column)
+    }
+
+    /// The paper's ∆ columns: relative spread `σ/µ` in percent for
+    /// metric `k` (the paper's magnitudes — ∆Ivco ≈ 2.6–2.9 % for a
+    /// process with ~2–3 % current sigma — indicate a one-sigma
+    /// definition).
+    pub fn delta_percent(&self, k: usize) -> Option<f64> {
+        self.summary(k).and_then(|s| s.delta_percent(1.0))
+    }
+
+    /// Raw column of metric `k`.
+    pub fn column(&self, k: usize) -> Vec<f64> {
+        self.metrics
+            .iter()
+            .filter_map(|row| row.get(k).copied())
+            .collect()
+    }
+}
+
+/// The Monte-Carlo engine, parameterised by a process spec.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    spec: ProcessSpec,
+}
+
+impl MonteCarlo {
+    /// Creates an engine for the given process.
+    pub fn new(spec: ProcessSpec) -> Self {
+        spec.assert_valid();
+        MonteCarlo { spec }
+    }
+
+    /// The process spec in use.
+    pub fn spec(&self) -> &ProcessSpec {
+        &self.spec
+    }
+
+    /// Runs `cfg.samples` evaluations of `evaluate(sample_index,
+    /// perturbed_circuit)`; the evaluator returns the metric vector or
+    /// `None` on failure.
+    ///
+    /// Sample `i` is always generated from RNG seed `cfg.seed + i`, so
+    /// results are bit-identical across thread counts.
+    pub fn run<F>(&self, circuit: &Circuit, cfg: &McConfig, evaluate: F) -> McRun
+    where
+        F: Fn(usize, &Circuit) -> Option<Vec<f64>> + Sync,
+    {
+        assert!(cfg.samples > 0, "monte carlo needs at least one sample");
+        let run_one = |i: usize| -> Option<Vec<f64>> {
+            let mut rng = dist::seeded_rng(cfg.seed.wrapping_add(i as u64));
+            let global = GlobalSample::draw(&self.spec, &mut rng);
+            let perturbed = perturbed_circuit(circuit, &self.spec, &global, &mut rng);
+            evaluate(i, &perturbed)
+        };
+
+        let results: Vec<Option<Vec<f64>>> = if cfg.threads <= 1 {
+            (0..cfg.samples).map(run_one).collect()
+        } else {
+            let mut slots: Vec<Option<Vec<f64>>> = vec![None; cfg.samples];
+            let chunk = cfg.samples.div_ceil(cfg.threads);
+            std::thread::scope(|scope| {
+                for (c, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                    let run_one = &run_one;
+                    scope.spawn(move || {
+                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
+                            *slot = run_one(c * chunk + j);
+                        }
+                    });
+                }
+            });
+            slots
+        };
+
+        let mut metrics = Vec::with_capacity(cfg.samples);
+        let mut failed = 0;
+        for r in results {
+            match r {
+                Some(m) => metrics.push(m),
+                None => failed += 1,
+            }
+        }
+        McRun {
+            accepted: metrics.len(),
+            metrics,
+            failed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::{Device, SourceWaveform};
+
+    fn tiny_circuit() -> Circuit {
+        let mut c = Circuit::new("m");
+        let n = c.node("n");
+        c.add_vsource("V1", n, Circuit::GROUND, SourceWaveform::Dc(1.2));
+        c.add_mosfet(
+            "M1",
+            netlist::Mosfet {
+                drain: n,
+                gate: n,
+                source: Circuit::GROUND,
+                w: 10e-6,
+                l: 0.12e-6,
+                model: netlist::MosModel::nmos_012(),
+            },
+        );
+        c
+    }
+
+    /// Evaluator returning the perturbed VTO of M1.
+    fn vto_metric(_i: usize, c: &Circuit) -> Option<Vec<f64>> {
+        match c.device(c.find_device("M1")?) {
+            Device::Mos(m) => Some(vec![m.model.vto]),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn spread_matches_combined_sigma() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 2_000,
+            seed: 3,
+            threads: 1,
+        };
+        let run = mc.run(&c, &cfg, vto_metric);
+        let s = run.summary(0).unwrap();
+        // Combined σ = sqrt(global² + pelgrom²).
+        let spec = ProcessSpec::default();
+        let pelgrom = spec.a_vt / (10e-6f64 * 0.12e-6).sqrt();
+        let expected = (spec.sigma_vto_n.powi(2) + pelgrom.powi(2)).sqrt();
+        assert!((s.mean - 0.35).abs() < 1e-3, "mean {}", s.mean);
+        assert!(
+            (s.std_dev - expected).abs() < 0.1 * expected,
+            "std {} vs expected {}",
+            s.std_dev,
+            expected
+        );
+    }
+
+    #[test]
+    fn parallel_matches_serial_exactly() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let serial = mc.run(
+            &c,
+            &McConfig {
+                samples: 64,
+                seed: 5,
+                threads: 1,
+            },
+            vto_metric,
+        );
+        let parallel = mc.run(
+            &c,
+            &McConfig {
+                samples: 64,
+                seed: 5,
+                threads: 4,
+            },
+            vto_metric,
+        );
+        assert_eq!(serial.metrics, parallel.metrics);
+    }
+
+    #[test]
+    fn failed_evaluations_are_counted() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 10,
+            seed: 1,
+            threads: 1,
+        };
+        let run = mc.run(&c, &cfg, |i, _| if i % 2 == 0 { Some(vec![1.0]) } else { None });
+        assert_eq!(run.accepted, 5);
+        assert_eq!(run.failed, 5);
+    }
+
+    #[test]
+    fn delta_percent_is_one_sigma_relative() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 500,
+            seed: 7,
+            threads: 1,
+        };
+        let run = mc.run(&c, &cfg, vto_metric);
+        let s = run.summary(0).unwrap();
+        let d = run.delta_percent(0).unwrap();
+        assert!((d - 100.0 * s.std_dev / s.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_metric_summary_is_none() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 4,
+            seed: 1,
+            threads: 1,
+        };
+        let run = mc.run(&c, &cfg, vto_metric);
+        assert!(run.summary(3).is_none());
+    }
+}

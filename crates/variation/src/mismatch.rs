@@ -1,0 +1,106 @@
+//! Local (device-to-device) mismatch following Pelgrom's law.
+
+use rand::Rng;
+
+use numkit::dist;
+
+use crate::process::ProcessSpec;
+
+/// Mismatch deviations drawn for one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceMismatch {
+    /// Additive threshold deviation (V).
+    pub dvto: f64,
+    /// Multiplicative current-factor deviation (applied to KP).
+    pub beta_mult: f64,
+}
+
+impl DeviceMismatch {
+    /// No mismatch.
+    pub fn nominal() -> Self {
+        DeviceMismatch {
+            dvto: 0.0,
+            beta_mult: 1.0,
+        }
+    }
+
+    /// Draws mismatch for a device of the given geometry (metres).
+    ///
+    /// Pelgrom: `σ(∆VTO) = A_VT / √(W·L)` and
+    /// `σ(∆β)/β = A_β / √(W·L)` — larger devices match better.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` or `l` is non-positive.
+    pub fn draw<R: Rng + ?Sized>(spec: &ProcessSpec, w: f64, l: f64, rng: &mut R) -> Self {
+        assert!(w > 0.0 && l > 0.0, "device geometry must be positive");
+        let area_sqrt = (w * l).sqrt();
+        let sigma_vto = spec.a_vt / area_sqrt;
+        let sigma_beta = spec.a_beta / area_sqrt;
+        DeviceMismatch {
+            dvto: dist::normal(rng, 0.0, sigma_vto),
+            beta_mult: dist::truncated_normal(rng, 1.0, sigma_beta, 4.0).max(1e-3),
+        }
+    }
+
+    /// The σ(∆VTO) Pelgrom predicts for a geometry, exposed for tests
+    /// and documentation tables.
+    pub fn sigma_vto(spec: &ProcessSpec, w: f64, l: f64) -> f64 {
+        spec.a_vt / (w * l).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::dist::seeded_rng;
+
+    #[test]
+    fn bigger_devices_match_better() {
+        let spec = ProcessSpec::default();
+        let small = DeviceMismatch::sigma_vto(&spec, 1e-6, 0.12e-6);
+        let large = DeviceMismatch::sigma_vto(&spec, 100e-6, 1e-6);
+        assert!(large < small / 10.0);
+    }
+
+    #[test]
+    fn pelgrom_magnitude_at_unit_area() {
+        // A 1 µm × 1 µm device with A_VT = 3.5 mV·µm → σ = 3.5 mV.
+        let spec = ProcessSpec::default();
+        let sigma = DeviceMismatch::sigma_vto(&spec, 1e-6, 1e-6);
+        assert!((sigma - 3.5e-3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drawn_mismatch_statistics() {
+        let spec = ProcessSpec::default();
+        let mut rng = seeded_rng(3);
+        let (w, l) = (10e-6, 0.12e-6);
+        let expected = DeviceMismatch::sigma_vto(&spec, w, l);
+        let n = 5_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|_| DeviceMismatch::draw(&spec, w, l, &mut rng).dvto)
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std = (samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!((std - expected).abs() < 0.05 * expected);
+    }
+
+    #[test]
+    fn beta_multiplier_stays_positive() {
+        let spec = ProcessSpec::default();
+        let mut rng = seeded_rng(4);
+        for _ in 0..2_000 {
+            let m = DeviceMismatch::draw(&spec, 1e-6, 0.12e-6, &mut rng);
+            assert!(m.beta_mult > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_geometry_panics() {
+        let spec = ProcessSpec::default();
+        let mut rng = seeded_rng(5);
+        let _ = DeviceMismatch::draw(&spec, 0.0, 1e-6, &mut rng);
+    }
+}

@@ -1,0 +1,168 @@
+//! Global (die-to-die) process variation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use numkit::dist;
+
+/// Standard deviations of the global process parameters, per polarity.
+///
+/// Values follow published 0.13 µm-class statistical corners: ~10 mV of
+/// global VTO spread, a few percent on mobility (KP) and channel-length
+/// modulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSpec {
+    /// σ of the global NMOS threshold shift (V).
+    pub sigma_vto_n: f64,
+    /// σ of the global PMOS threshold shift (V).
+    pub sigma_vto_p: f64,
+    /// Relative σ of the KP multiplier (dimensionless).
+    pub sigma_kp_rel: f64,
+    /// Relative σ of the λ multiplier (dimensionless).
+    pub sigma_lambda_rel: f64,
+    /// Pelgrom mismatch coefficient A_VT (V·m): σ(∆VTO) = A_VT/√(WL).
+    pub a_vt: f64,
+    /// Pelgrom current-factor coefficient A_β (m): σ(∆β)/β = A_β/√(WL).
+    pub a_beta: f64,
+}
+
+impl Default for ProcessSpec {
+    fn default() -> Self {
+        ProcessSpec {
+            sigma_vto_n: 6e-3,
+            sigma_vto_p: 7e-3,
+            sigma_kp_rel: 0.02,
+            sigma_lambda_rel: 0.05,
+            // A_VT = 3.5 mV·µm expressed in V·m.
+            a_vt: 3.5e-9,
+            // A_β = 1 %·µm expressed in m.
+            a_beta: 1.0e-8,
+        }
+    }
+}
+
+impl ProcessSpec {
+    /// Validates physical plausibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any σ is negative or the relative σ exceed 0.5 (such a
+    /// process would be broken, and the truncated sampling below would
+    /// distort badly).
+    pub fn assert_valid(&self) {
+        assert!(
+            self.sigma_vto_n >= 0.0
+                && self.sigma_vto_p >= 0.0
+                && self.sigma_kp_rel >= 0.0
+                && self.sigma_lambda_rel >= 0.0
+                && self.a_vt >= 0.0
+                && self.a_beta >= 0.0,
+            "process sigmas must be non-negative"
+        );
+        assert!(
+            self.sigma_kp_rel < 0.5 && self.sigma_lambda_rel < 0.5,
+            "relative process sigmas above 50 % are non-physical"
+        );
+    }
+}
+
+/// One drawn global process sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalSample {
+    /// Additive NMOS threshold shift (V).
+    pub dvto_n: f64,
+    /// Additive PMOS threshold shift (V) — note PMOS VTO is negative, so
+    /// a positive shift moves it towards zero.
+    pub dvto_p: f64,
+    /// Multiplier on NMOS KP.
+    pub kp_mult_n: f64,
+    /// Multiplier on PMOS KP.
+    pub kp_mult_p: f64,
+    /// Multiplier on λ′ (both polarities).
+    pub lambda_mult: f64,
+}
+
+impl GlobalSample {
+    /// The nominal (no variation) sample.
+    pub fn nominal() -> Self {
+        GlobalSample {
+            dvto_n: 0.0,
+            dvto_p: 0.0,
+            kp_mult_n: 1.0,
+            kp_mult_p: 1.0,
+            lambda_mult: 1.0,
+        }
+    }
+
+    /// Draws a global sample. Multiplicative parameters are truncated at
+    /// ±4σ so they stay positive.
+    pub fn draw<R: Rng + ?Sized>(spec: &ProcessSpec, rng: &mut R) -> Self {
+        spec.assert_valid();
+        GlobalSample {
+            dvto_n: dist::normal(rng, 0.0, spec.sigma_vto_n),
+            dvto_p: dist::normal(rng, 0.0, spec.sigma_vto_p),
+            kp_mult_n: dist::truncated_normal(rng, 1.0, spec.sigma_kp_rel, 4.0),
+            kp_mult_p: dist::truncated_normal(rng, 1.0, spec.sigma_kp_rel, 4.0),
+            lambda_mult: dist::truncated_normal(rng, 1.0, spec.sigma_lambda_rel, 4.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numkit::dist::seeded_rng;
+
+    #[test]
+    fn nominal_is_identity() {
+        let s = GlobalSample::nominal();
+        assert_eq!(s.dvto_n, 0.0);
+        assert_eq!(s.kp_mult_n, 1.0);
+        assert_eq!(s.lambda_mult, 1.0);
+    }
+
+    #[test]
+    fn draw_statistics_match_spec() {
+        let spec = ProcessSpec::default();
+        let mut rng = seeded_rng(1);
+        let n = 5_000;
+        let samples: Vec<GlobalSample> =
+            (0..n).map(|_| GlobalSample::draw(&spec, &mut rng)).collect();
+        let mean_dvto: f64 = samples.iter().map(|s| s.dvto_n).sum::<f64>() / n as f64;
+        let var_dvto: f64 = samples
+            .iter()
+            .map(|s| (s.dvto_n - mean_dvto).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean_dvto.abs() < 1e-3);
+        assert!((var_dvto.sqrt() - spec.sigma_vto_n).abs() < 0.1 * spec.sigma_vto_n);
+        // Multipliers stay positive.
+        assert!(samples.iter().all(|s| s.kp_mult_n > 0.0));
+    }
+
+    #[test]
+    fn zero_spec_draws_nominal() {
+        let spec = ProcessSpec {
+            sigma_vto_n: 0.0,
+            sigma_vto_p: 0.0,
+            sigma_kp_rel: 0.0,
+            sigma_lambda_rel: 0.0,
+            a_vt: 0.0,
+            a_beta: 0.0,
+        };
+        let mut rng = seeded_rng(2);
+        let s = GlobalSample::draw(&spec, &mut rng);
+        assert_eq!(s.dvto_n, 0.0);
+        assert_eq!(s.kp_mult_n, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_sigma_panics() {
+        let spec = ProcessSpec {
+            sigma_vto_n: -1.0,
+            ..Default::default()
+        };
+        spec.assert_valid();
+    }
+}

@@ -1,0 +1,136 @@
+//! Applies drawn variation samples to circuits.
+
+use netlist::{Circuit, Device, MosPolarity};
+use rand::Rng;
+
+use crate::mismatch::DeviceMismatch;
+use crate::process::{GlobalSample, ProcessSpec};
+
+/// Produces a perturbed copy of `circuit`: the global sample shifts every
+/// MOSFET's model parameters by polarity, then per-device Pelgrom
+/// mismatch is drawn from `rng` and applied on top.
+///
+/// Only MOSFETs are perturbed — in this workspace's circuits the
+/// passives are either supplies/testbench elements or geometry-derived
+/// parasitics whose variation is second-order for the paper's
+/// experiments (documented in DESIGN.md).
+pub fn perturbed_circuit<R: Rng + ?Sized>(
+    circuit: &Circuit,
+    spec: &ProcessSpec,
+    global: &GlobalSample,
+    rng: &mut R,
+) -> Circuit {
+    let mut out = circuit.clone();
+    let ids: Vec<_> = out.devices().map(|(id, _)| id).collect();
+    for id in ids {
+        if let Device::Mos(m) = out.device_mut(id) {
+            let (dvto_global, kp_mult) = match m.model.polarity {
+                MosPolarity::Nmos => (global.dvto_n, global.kp_mult_n),
+                MosPolarity::Pmos => (global.dvto_p, global.kp_mult_p),
+            };
+            let mm = DeviceMismatch::draw(spec, m.w, m.l, rng);
+            m.model.vto += dvto_global + mm.dvto;
+            m.model.kp *= kp_mult * mm.beta_mult;
+            m.model.lambda_prime *= global.lambda_mult;
+        }
+    }
+    out
+}
+
+/// Applies only the global sample (no mismatch) — used to separate the
+/// two variation contributions in ablation experiments.
+pub fn perturbed_circuit_global_only(
+    circuit: &Circuit,
+    global: &GlobalSample,
+) -> Circuit {
+    let mut out = circuit.clone();
+    let ids: Vec<_> = out.devices().map(|(id, _)| id).collect();
+    for id in ids {
+        if let Device::Mos(m) = out.device_mut(id) {
+            let (dvto, kp_mult) = match m.model.polarity {
+                MosPolarity::Nmos => (global.dvto_n, global.kp_mult_n),
+                MosPolarity::Pmos => (global.dvto_p, global.kp_mult_p),
+            };
+            m.model.vto += dvto;
+            m.model.kp *= kp_mult;
+            m.model.lambda_prime *= global.lambda_mult;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::topology::{build_ring_vco, VcoSizing};
+    use numkit::dist::seeded_rng;
+
+    fn vto_of(c: &Circuit, name: &str) -> f64 {
+        match c.device(c.find_device(name).unwrap()) {
+            Device::Mos(m) => m.model.vto,
+            _ => panic!("not a mosfet"),
+        }
+    }
+
+    #[test]
+    fn global_shift_applies_to_all_same_polarity_devices() {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+        let global = GlobalSample {
+            dvto_n: 0.05,
+            dvto_p: -0.02,
+            kp_mult_n: 1.1,
+            kp_mult_p: 0.9,
+            lambda_mult: 1.2,
+        };
+        let p = perturbed_circuit_global_only(&vco.circuit, &global);
+        // NMOS vto rose by exactly 50 mV, PMOS fell by 20 mV.
+        assert!((vto_of(&p, "Mn0") - (0.35 + 0.05)).abs() < 1e-12);
+        assert!((vto_of(&p, "Mn4") - (0.35 + 0.05)).abs() < 1e-12);
+        assert!((vto_of(&p, "Mp0") - (-0.38 - 0.02)).abs() < 1e-12);
+        // Original untouched.
+        assert!((vto_of(&vco.circuit, "Mn0") - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatch_differs_per_device() {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+        let mut rng = seeded_rng(7);
+        let spec = ProcessSpec::default();
+        let p = perturbed_circuit(&vco.circuit, &spec, &GlobalSample::nominal(), &mut rng);
+        let v0 = vto_of(&p, "Mn0");
+        let v1 = vto_of(&p, "Mn1");
+        assert_ne!(v0, v1, "mismatch must decorrelate devices");
+        // Both within a plausible window (±5σ of Pelgrom for this size).
+        let sizing = VcoSizing::nominal();
+        let sigma = crate::mismatch::DeviceMismatch::sigma_vto(&spec, sizing.wn, sizing.l_inv);
+        assert!((v0 - 0.35).abs() < 5.0 * sigma + 1e-9);
+    }
+
+    #[test]
+    fn same_seed_reproduces_perturbation() {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+        let spec = ProcessSpec::default();
+        let mut r1 = seeded_rng(9);
+        let mut r2 = seeded_rng(9);
+        let a = perturbed_circuit(&vco.circuit, &spec, &GlobalSample::nominal(), &mut r1);
+        let b = perturbed_circuit(&vco.circuit, &spec, &GlobalSample::nominal(), &mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_mos_devices_untouched() {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+        let mut rng = seeded_rng(11);
+        let p = perturbed_circuit(
+            &vco.circuit,
+            &ProcessSpec::default(),
+            &GlobalSample::nominal(),
+            &mut rng,
+        );
+        let cap = |c: &Circuit| match c.device(c.find_device("Cl0").unwrap()) {
+            Device::Capacitor { value, .. } => *value,
+            _ => panic!(),
+        };
+        assert_eq!(cap(&p), cap(&vco.circuit));
+    }
+}

@@ -1,0 +1,225 @@
+//! Specification windows and yield estimation.
+
+use serde::{Deserialize, Serialize};
+
+use numkit::stats::wilson_interval;
+
+/// One performance specification: an optional lower and upper bound on a
+/// named metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spec {
+    /// Metric name (documentation only).
+    pub name: String,
+    /// Index of the metric in the Monte-Carlo metric vector.
+    pub metric: usize,
+    /// Lower bound, if any.
+    pub min: Option<f64>,
+    /// Upper bound, if any.
+    pub max: Option<f64>,
+}
+
+impl Spec {
+    /// `metric ≥ min` specification.
+    pub fn at_least(name: &str, metric: usize, min: f64) -> Self {
+        Spec {
+            name: name.to_string(),
+            metric,
+            min: Some(min),
+            max: None,
+        }
+    }
+
+    /// `metric ≤ max` specification.
+    pub fn at_most(name: &str, metric: usize, max: f64) -> Self {
+        Spec {
+            name: name.to_string(),
+            metric,
+            min: None,
+            max: Some(max),
+        }
+    }
+
+    /// `min ≤ metric ≤ max` specification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn window(name: &str, metric: usize, min: f64, max: f64) -> Self {
+        assert!(min <= max, "spec window inverted");
+        Spec {
+            name: name.to_string(),
+            metric,
+            min: Some(min),
+            max: Some(max),
+        }
+    }
+
+    /// Whether a metric vector passes this spec; metrics the vector does
+    /// not carry fail (missing data is never a pass).
+    pub fn passes(&self, metrics: &[f64]) -> bool {
+        let Some(&v) = metrics.get(self.metric) else {
+            return false;
+        };
+        if !v.is_finite() {
+            return false;
+        }
+        if let Some(min) = self.min {
+            if v < min {
+                return false;
+            }
+        }
+        if let Some(max) = self.max {
+            if v > max {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A set of specifications, all of which must pass.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpecSet {
+    /// The specifications.
+    pub specs: Vec<Spec>,
+}
+
+impl SpecSet {
+    /// Creates an empty set (everything passes).
+    pub fn new() -> Self {
+        SpecSet::default()
+    }
+
+    /// Adds a spec, builder style.
+    #[must_use]
+    pub fn with(mut self, spec: Spec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Whether all specs pass for one sample's metrics.
+    pub fn passes(&self, metrics: &[f64]) -> bool {
+        self.specs.iter().all(|s| s.passes(metrics))
+    }
+
+    /// Estimates yield over a Monte-Carlo run's metric rows. Samples
+    /// that failed evaluation entirely should be appended as empty rows
+    /// by the caller if they are to count as failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn yield_estimate(&self, rows: &[Vec<f64>]) -> YieldEstimate {
+        assert!(!rows.is_empty(), "yield needs at least one sample");
+        let passed = rows.iter().filter(|r| self.passes(r)).count();
+        let (lo, hi) = wilson_interval(passed, rows.len(), 1.96);
+        YieldEstimate {
+            passed,
+            total: rows.len(),
+            value: passed as f64 / rows.len() as f64,
+            ci_low: lo,
+            ci_high: hi,
+        }
+    }
+}
+
+/// A yield estimate with its 95 % Wilson confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct YieldEstimate {
+    /// Samples passing all specs.
+    pub passed: usize,
+    /// Total samples.
+    pub total: usize,
+    /// Point estimate (fraction).
+    pub value: f64,
+    /// 95 % confidence lower bound.
+    pub ci_low: f64,
+    /// 95 % confidence upper bound.
+    pub ci_high: f64,
+}
+
+impl std::fmt::Display for YieldEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1}% ({}/{}, 95% CI [{:.1}%, {:.1}%])",
+            100.0 * self.value,
+            self.passed,
+            self.total,
+            100.0 * self.ci_low,
+            100.0 * self.ci_high
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_bounds() {
+        let s = Spec::window("freq", 0, 1.0, 2.0);
+        assert!(s.passes(&[1.5]));
+        assert!(s.passes(&[1.0]));
+        assert!(s.passes(&[2.0]));
+        assert!(!s.passes(&[0.9]));
+        assert!(!s.passes(&[2.1]));
+        assert!(!s.passes(&[]));
+        assert!(!s.passes(&[f64::NAN]));
+    }
+
+    #[test]
+    fn one_sided_specs() {
+        assert!(Spec::at_least("a", 0, 1.0).passes(&[5.0]));
+        assert!(!Spec::at_least("a", 0, 1.0).passes(&[0.5]));
+        assert!(Spec::at_most("b", 0, 1.0).passes(&[0.5]));
+        assert!(!Spec::at_most("b", 0, 1.0).passes(&[1.5]));
+    }
+
+    #[test]
+    fn spec_set_conjunction() {
+        let set = SpecSet::new()
+            .with(Spec::at_least("x", 0, 1.0))
+            .with(Spec::at_most("y", 1, 10.0));
+        assert!(set.passes(&[2.0, 5.0]));
+        assert!(!set.passes(&[0.0, 5.0]));
+        assert!(!set.passes(&[2.0, 50.0]));
+    }
+
+    #[test]
+    fn yield_counts_and_ci() {
+        let set = SpecSet::new().with(Spec::at_most("v", 0, 1.0));
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![if i < 90 { 0.5 } else { 2.0 }])
+            .collect();
+        let y = set.yield_estimate(&rows);
+        assert_eq!(y.passed, 90);
+        assert!((y.value - 0.9).abs() < 1e-12);
+        assert!(y.ci_low < 0.9 && y.ci_high > 0.9);
+        assert!(y.ci_low > 0.80);
+    }
+
+    #[test]
+    fn hundred_percent_yield_has_tight_ci() {
+        let set = SpecSet::new().with(Spec::at_most("v", 0, 1.0));
+        let rows = vec![vec![0.5]; 500];
+        let y = set.yield_estimate(&rows);
+        assert_eq!(y.value, 1.0);
+        assert!(y.ci_low > 0.99, "500 passing samples → CI above 99 %");
+    }
+
+    #[test]
+    fn empty_spec_set_passes_everything() {
+        let set = SpecSet::new();
+        let y = set.yield_estimate(&[vec![1.0], vec![2.0]]);
+        assert_eq!(y.value, 1.0);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let set = SpecSet::new().with(Spec::at_most("v", 0, 1.0));
+        let y = set.yield_estimate(&[vec![0.5], vec![5.0]]);
+        let s = y.to_string();
+        assert!(s.contains("50.0%"), "{s}");
+    }
+}

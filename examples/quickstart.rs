@@ -1,0 +1,73 @@
+//! Quickstart: size the paper's 5-stage ring VCO with NSGA-II against
+//! the five performance objectives and print the resulting trade-off
+//! front.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Pass `--full` for the paper-scale budget (population 100 × 30
+//! generations — expect a long run on a laptop).
+
+use hierflow::vco_problem::VcoSizingProblem;
+use hierflow::VcoTestbench;
+use moea::nsga2::{run_nsga2, Nsga2Config};
+use netlist::topology::VcoSizing;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let cfg = if full {
+        Nsga2Config {
+            population: 100,
+            generations: 30,
+            seed: 2009,
+            eval_threads: 2,
+            ..Default::default()
+        }
+    } else {
+        Nsga2Config {
+            population: 20,
+            generations: 5,
+            seed: 2009,
+            eval_threads: 2,
+            ..Default::default()
+        }
+    };
+
+    println!(
+        "sizing the 5-stage current-starved ring VCO: {} individuals x {} generations\n",
+        cfg.population, cfg.generations
+    );
+
+    let problem = VcoSizingProblem::new(VcoTestbench::default());
+    let result = run_nsga2(&problem, &cfg);
+    let front = result.pareto_front();
+
+    println!(
+        "{} transistor-level evaluations -> {} pareto-optimal designs\n",
+        result.evaluations,
+        front.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",
+        "Kvco(MHz/V)", "Jvco(fs)", "Ivco(mA)", "fmin(GHz)", "fmax(GHz)", "Wn(um)", "Wsn(um)", "Linv(nm)"
+    );
+    for ind in &front {
+        let perf = VcoSizingProblem::perf_of(&ind.objectives);
+        let sizing = VcoSizing::from_array(&ind.x);
+        println!(
+            "{:>10.0} {:>10.1} {:>10.2} {:>10.3} {:>10.3} | {:>8.1} {:>8.1} {:>8.0}",
+            perf.kvco / 1e6,
+            perf.jvco * 1e15,
+            perf.ivco * 1e3,
+            perf.fmin / 1e9,
+            perf.fmax / 1e9,
+            sizing.wn * 1e6,
+            sizing.wsn * 1e6,
+            sizing.l_inv * 1e9,
+        );
+    }
+    println!("\nnext step: examples/vco_characterize.rs adds the variation model.");
+}

@@ -1,0 +1,76 @@
+//! Build the combined performance + variation model of the VCO
+//! (paper §3.3–3.4): size the circuit with NSGA-II, run a Monte-Carlo
+//! per Pareto point, and write the Verilog-A style `.tbl` data files of
+//! Listing 1 into `target/vco_model/`.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example vco_characterize
+//! ```
+
+use hierflow::charmodel::characterize_front;
+use hierflow::report::format_table1;
+use hierflow::vco_problem::VcoSizingProblem;
+use hierflow::{PerfVariationModel, VcoTestbench};
+use moea::nsga2::{run_nsga2, Nsga2Config};
+use variation::mc::{McConfig, MonteCarlo};
+use variation::process::ProcessSpec;
+
+fn main() {
+    // Stage 1: a compact sizing run (see quickstart for the full GA).
+    let testbench = VcoTestbench::default();
+    let problem = VcoSizingProblem::new(testbench.clone());
+    let ga = Nsga2Config {
+        population: 16,
+        generations: 4,
+        seed: 2009,
+        eval_threads: 2,
+        ..Default::default()
+    };
+    println!("stage 1: circuit-level optimisation ({} x {})...", ga.population, ga.generations);
+    let result = run_nsga2(&problem, &ga);
+    let front = result.pareto_front();
+    println!("  {} pareto designs from {} evaluations", front.len(), result.evaluations);
+
+    // Stage 2: Monte-Carlo characterisation.
+    let engine = MonteCarlo::new(ProcessSpec::default());
+    let mc = McConfig {
+        samples: 20,
+        seed: 42,
+        threads: 2,
+    };
+    println!("stage 2: {}-sample monte carlo per pareto point...", mc.samples);
+    let characterized =
+        characterize_front(&front, &testbench, &engine, &mc).expect("characterisation");
+
+    println!("\nTable 1 — performance and variation values:\n");
+    println!("{}", format_table1(&characterized));
+
+    // Stage 3: write the Listing-1 table files and reload them.
+    let dir = std::path::Path::new("target/vco_model");
+    std::fs::create_dir_all(dir).expect("create output dir");
+    characterized.write_tbl_files(dir).expect("write .tbl files");
+    println!("wrote Listing-1 .tbl files to {}", dir.display());
+
+    let model = PerfVariationModel::from_tbl_dir(dir).expect("reload model");
+    let dom = model.design_domain();
+    println!(
+        "model domain: kvco in [{:.0}, {:.0}] MHz/V, ivco in [{:.2}, {:.2}] mA",
+        dom[0].0 / 1e6,
+        dom[0].1 / 1e6,
+        dom[1].0 * 1e3,
+        dom[1].1 * 1e3
+    );
+    let kvco = 0.5 * (dom[0].0 + dom[0].1);
+    let ivco = 0.5 * (dom[1].0 + dom[1].1);
+    match model.query(kvco, ivco) {
+        Ok(q) => println!(
+            "query at the domain centre: jvco = {:.3} ps (corners {:.3}..{:.3} ps)",
+            q.jvco * 1e12,
+            q.jvco_min * 1e12,
+            q.jvco_max * 1e12
+        ),
+        Err(e) => println!("domain-centre query outside the pareto cloud: {e}"),
+    }
+}

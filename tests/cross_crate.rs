@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: pairs of subsystems working together
+//! below the full-flow level.
+
+use std::sync::Arc;
+
+use behavioral::spec::PllSpec;
+use behavioral::timesim::LockSimConfig;
+use hierflow::charmodel::{characterize_front, CharPoint, CharacterizedFront, VcoDeltas};
+use hierflow::model::PerfVariationModel;
+use hierflow::system_opt::{PllArchitecture, PllSystemProblem};
+use hierflow::vco_eval::{VcoPerf, VcoTestbench};
+use hierflow::vco_problem::VcoSizingProblem;
+use moea::problem::{Evaluation, Individual, Problem};
+use netlist::topology::{build_ring_vco, VcoSizing};
+use spicesim::measure::{measure_oscillator, OscConfig};
+use spicesim::SimOptions;
+use variation::mc::{McConfig, MonteCarlo};
+use variation::process::ProcessSpec;
+use variation::sampler::perturbed_circuit;
+use variation::yields::{Spec, SpecSet};
+
+/// netlist → spicesim: the generated VCO oscillates and its frequency
+/// rises monotonically across the control range used by the flow.
+#[test]
+fn vco_tuning_curve_is_monotonic() {
+    let mut last = 0.0;
+    for vctrl in [0.5, 0.7, 0.9, 1.1] {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, vctrl);
+        let m = measure_oscillator(
+            &vco.circuit,
+            vco.out,
+            vco.vdd_source,
+            &OscConfig::default(),
+            &SimOptions::default(),
+            None,
+        )
+        .expect("oscillates");
+        assert!(
+            m.freq > last,
+            "tuning curve not monotonic at vctrl={vctrl}: {} after {last}",
+            m.freq
+        );
+        last = m.freq;
+    }
+}
+
+/// netlist → variation → spicesim: process perturbation moves the
+/// oscillation frequency, and the spread matches the ~1 % scale implied
+/// by the process spec.
+#[test]
+fn mc_frequency_spread_is_percent_scale() {
+    let tb = VcoTestbench::default();
+    let ring = tb.build(&VcoSizing::nominal());
+    let engine = MonteCarlo::new(ProcessSpec::default());
+    let cfg = McConfig {
+        samples: 12,
+        seed: 5,
+        threads: 2,
+    };
+    let run = engine.run(&ring.circuit, &cfg, |_i, c| {
+        tb.evaluate_circuit(c, &ring).ok().map(|p| vec![p.fmax])
+    });
+    assert!(run.accepted >= 10, "most samples evaluate");
+    let s = run.summary(0).expect("fmax spread");
+    let rel = s.std_dev / s.mean;
+    assert!(
+        (1e-4..0.1).contains(&rel),
+        "fmax relative spread {rel} outside the plausible window"
+    );
+}
+
+/// variation → yields: the spec machinery applied to real MC metrics.
+#[test]
+fn yield_of_loose_and_tight_specs() {
+    let tb = VcoTestbench::default();
+    let ring = tb.build(&VcoSizing::nominal());
+    let engine = MonteCarlo::new(ProcessSpec::default());
+    let cfg = McConfig {
+        samples: 10,
+        seed: 11,
+        threads: 2,
+    };
+    let run = engine.run(&ring.circuit, &cfg, |_i, c| {
+        tb.evaluate_circuit(c, &ring).ok().map(|p| vec![p.fmax])
+    });
+    let loose = SpecSet::new().with(Spec::window("fmax", 0, 0.1e9, 100e9));
+    let tight = SpecSet::new().with(Spec::window("fmax", 0, 0.0, 1.0));
+    let y_loose = loose.yield_estimate(&run.metrics);
+    let y_tight = tight.yield_estimate(&run.metrics);
+    assert_eq!(y_loose.passed, run.accepted);
+    assert_eq!(y_tight.passed, 0);
+}
+
+/// spicesim → variation: a single perturbed circuit changes frequency
+/// but stays a valid oscillator (the common case backing ∆ columns).
+#[test]
+fn perturbed_vco_still_oscillates() {
+    let tb = VcoTestbench::default();
+    let ring = tb.build(&VcoSizing::nominal());
+    let mut rng = numkit::dist::seeded_rng(17);
+    let spec = ProcessSpec::default();
+    let global = variation::process::GlobalSample::draw(&spec, &mut rng);
+    let perturbed = perturbed_circuit(&ring.circuit, &spec, &global, &mut rng);
+    let nominal = tb.evaluate_circuit(&ring.circuit, &ring).expect("nominal");
+    let shifted = tb.evaluate_circuit(&perturbed, &ring).expect("perturbed");
+    assert_ne!(nominal.fmax, shifted.fmax);
+    let rel = (nominal.fmax - shifted.fmax).abs() / nominal.fmax;
+    assert!(rel < 0.2, "single-sample shift {rel} implausibly large");
+}
+
+/// hierflow(charmodel) → tablemodel → hierflow(model): characterise two
+/// real sizings, write .tbl files, reload, and query.
+#[test]
+fn characterise_write_reload_query() {
+    let tb = VcoTestbench::default();
+    let sizings = [
+        VcoSizing::nominal(),
+        {
+            let mut s = VcoSizing::nominal();
+            s.wsn = 60e-6;
+            s.wsp = 90e-6;
+            s
+        },
+        {
+            let mut s = VcoSizing::nominal();
+            s.wsn = 18e-6;
+            s.wsp = 36e-6;
+            s
+        },
+    ];
+    let front: Vec<Individual> = sizings
+        .iter()
+        .map(|s| {
+            let perf = tb.evaluate_sizing(s).expect("evaluates");
+            Individual::new(
+                s.to_array().to_vec(),
+                Evaluation::feasible(VcoSizingProblem::objectives_of(&perf)),
+            )
+        })
+        .collect();
+    let engine = MonteCarlo::new(ProcessSpec::default());
+    let mc = McConfig {
+        samples: 8,
+        seed: 23,
+        threads: 2,
+    };
+    let characterized = characterize_front(&front, &tb, &engine, &mc).expect("characterise");
+    let dir = std::env::temp_dir().join("hiersizer_cross_crate");
+    std::fs::create_dir_all(&dir).unwrap();
+    characterized.write_tbl_files(&dir).expect("write");
+    let model = PerfVariationModel::from_tbl_dir(&dir).expect("reload");
+    // Query at one of the exact characterised points.
+    let p = &characterized.points[0];
+    let q = model.query(p.perf.kvco, p.perf.ivco).expect("query");
+    assert!((q.jvco - p.perf.jvco).abs() < 0.3 * p.perf.jvco);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// model → behavioral: the system-level problem evaluates with a model
+/// built from synthetic (but realistic) characterised data.
+#[test]
+fn system_problem_full_pipeline_evaluation() {
+    let n = 12;
+    let points: Vec<CharPoint> = (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            CharPoint {
+                sizing: VcoSizing::nominal(),
+                perf: VcoPerf {
+                    kvco: 0.9e9 + 1.4e9 * t,
+                    ivco: 2e-3 + 5e-3 * t,
+                    jvco: 0.3e-12 - 0.18e-12 * t,
+                    fmin: 0.35e9 + 0.1e9 * t,
+                    fmax: 1.4e9 + 1.0e9 * t,
+                },
+                delta: VcoDeltas {
+                    kvco: 0.4,
+                    ivco: 2.7,
+                    jvco: 22.0,
+                    fmin: 1.0,
+                    fmax: 1.0,
+                },
+                mc_accepted: 100,
+                mc_failed: 0,
+            }
+        })
+        .collect();
+    let model =
+        Arc::new(PerfVariationModel::from_front(&CharacterizedFront { points }).unwrap());
+    let problem = PllSystemProblem::new(
+        model,
+        PllArchitecture::default(),
+        PllSpec::default(),
+        LockSimConfig::default(),
+    );
+    let eval = problem.evaluate(&[1.6e9, 4.5e-3, 30e-12, 3e-12, 4e3]);
+    assert_eq!(eval.objectives.len(), 3);
+    assert_eq!(eval.constraints.len(), 6);
+    assert!(eval.objectives[0].is_finite(), "lock time finite");
+    // Jitter sum carries the paper's ~4 ps magnitude.
+    assert!((1e-12..1e-11).contains(&eval.objectives[1]));
+}

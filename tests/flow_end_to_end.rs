@@ -1,0 +1,63 @@
+//! Integration test: the complete hierarchical flow at reduced budget.
+//!
+//! This is the repository's strongest correctness statement — every
+//! stage of the paper's algorithm runs for real: transistor-level
+//! NSGA-II sizing, Monte-Carlo characterisation, table-model
+//! construction, system-level optimisation with corners, spec
+//! propagation and bottom-up yield verification.
+
+use hierflow::flow::{FlowConfig, HierarchicalFlow};
+use hierflow::report::{format_table1, format_table2};
+
+/// The full five-stage flow with `FlowConfig::quick` budgets.
+/// Expensive (several minutes of transistor-level simulation); marked
+/// ignored so `cargo test` stays fast — run explicitly with
+/// `cargo test --release --test flow_end_to_end -- --ignored`.
+#[test]
+#[ignore = "minutes of transistor-level simulation; run with --ignored"]
+fn quick_flow_end_to_end() {
+    let mut config = FlowConfig::quick();
+    // Loosen the spec window slightly relative to the paper so the tiny
+    // GA budget reliably finds a compliant corner of the space.
+    config.spec.lock_time_max = 2e-6;
+    config.spec.current_max = 30e-3;
+    let flow = HierarchicalFlow::new(config);
+    let report = flow.run().expect("flow completes");
+
+    // Stage 1+2: a characterised front exists and is self-consistent.
+    assert!(report.front.points.len() >= 2);
+    for p in &report.front.points {
+        assert!(p.perf.fmax > p.perf.fmin);
+        assert!(p.perf.kvco > 0.0);
+        assert!(p.delta.kvco >= 0.0);
+        assert!(p.mc_accepted > 0);
+    }
+
+    // Stage 4: system solutions carry corner information.
+    assert!(!report.system_front.is_empty());
+    for s in &report.system_front {
+        assert!(s.kvco_min <= s.kvco && s.kvco <= s.kvco_max);
+        assert!(s.jitter_min <= s.jitter && s.jitter <= s.jitter_max);
+    }
+
+    // Stage 5: the selected solution meets spec and verification yields
+    // a sensible number.
+    assert!(report.selected.meets_spec);
+    assert!(report.verification.total > 0);
+    assert!(report.verification.yield_value >= 0.0);
+    assert!(report.verification.yield_value <= 1.0);
+    // The paper's headline: the selected design verifies at high yield.
+    assert!(
+        report.verification.yield_value >= 0.5,
+        "selected design verified at only {:.0}% yield",
+        100.0 * report.verification.yield_value
+    );
+
+    // The report renders.
+    assert!(!format_table1(&report.front).is_empty());
+    assert!(!format_table2(&report.system_front).is_empty());
+
+    // The report serialises (for EXPERIMENTS.md bookkeeping).
+    let json = serde_json::to_string(&report).expect("report serialises");
+    assert!(json.contains("yield_value"));
+}
