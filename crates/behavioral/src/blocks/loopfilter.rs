@@ -154,9 +154,7 @@ mod tests {
         let z_lo = f.impedance(Complex::new(0.0, w_lo)).abs();
         assert!((z_lo * w_lo * (f.c1 + f.c2) - 1.0).abs() < 0.01);
         // Between zero and parasitic pole: |Z| ≈ R1·C1/(C1+C2).
-        let w_mid = 2.0
-            * std::f64::consts::PI
-            * (f.zero_freq() * f.pole_freq()).sqrt();
+        let w_mid = 2.0 * std::f64::consts::PI * (f.zero_freq() * f.pole_freq()).sqrt();
         let z_mid = f.impedance(Complex::new(0.0, w_mid)).abs();
         let plateau = f.r1 * f.c1 / (f.c1 + f.c2);
         assert!(

@@ -94,7 +94,12 @@ impl PllParams {
         if self.kvco <= 0.0 {
             return Err(format!("kvco {} must be positive", self.kvco));
         }
-        if !(self.fmin < self.fmax) || self.f0 < self.fmin || self.f0 > self.fmax {
+        // `partial_cmp` keeps a NaN bound invalid (an operator rewrite
+        // like `fmin >= fmax` would silently accept it).
+        if self.fmin.partial_cmp(&self.fmax) != Some(std::cmp::Ordering::Less)
+            || self.f0 < self.fmin
+            || self.f0 > self.fmax
+        {
             return Err(format!(
                 "vco range invalid: fmin={} f0={} fmax={}",
                 self.fmin, self.f0, self.fmax

@@ -59,7 +59,12 @@ impl PllSpec {
                 self.f_out_max, perf.fmax
             ));
         }
-        if !(perf.lock_time <= self.lock_time_max) {
+        // `partial_cmp` keeps NaN a violation (a failed lock must not
+        // pass the spec via an operator rewrite).
+        if !matches!(
+            perf.lock_time.partial_cmp(&self.lock_time_max),
+            Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)
+        ) {
             v.push(format!(
                 "lock time {:.3e} exceeds {:.3e}",
                 perf.lock_time, self.lock_time_max

@@ -131,7 +131,7 @@ pub fn simulate_lock(
         });
     }
     assert!(cfg.substeps >= 2, "need at least 2 substeps per cycle");
-    assert!(cfg.max_ref_cycles >= cfg.lock_hold_cycles + 1);
+    assert!(cfg.max_ref_cycles > cfg.lock_hold_cycles);
 
     let pfd = Pfd::new();
     let cp = ChargePump::new(params.icp);

@@ -69,5 +69,10 @@ fn bench_oscillator_measurement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dc, bench_transient, bench_oscillator_measurement);
+criterion_group!(
+    benches,
+    bench_dc,
+    bench_transient,
+    bench_oscillator_measurement
+);
 criterion_main!(benches);

@@ -63,10 +63,9 @@ fn bench_scattered(c: &mut Criterion) {
         })
         .collect();
     let values: Vec<f64> = points.iter().map(|p| p[0] * 3.0 - p[1]).collect();
-    let idw = ScatteredTable::new(points.clone(), values.clone(), ScatterMethod::default())
-        .unwrap();
-    let rbf =
-        ScatteredTable::new(points, values, ScatterMethod::Rbf { shape: 1.5 }).unwrap();
+    let idw =
+        ScatteredTable::new(points.clone(), values.clone(), ScatterMethod::default()).unwrap();
+    let rbf = ScatteredTable::new(points, values, ScatterMethod::Rbf { shape: 1.5 }).unwrap();
     c.bench_function("scattered_idw_24pts_eval", |b| {
         b.iter(|| idw.eval(black_box(&[0.5, 0.5])).unwrap())
     });
@@ -75,5 +74,11 @@ fn bench_scattered(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_spline, bench_table1d, bench_grid, bench_scattered);
+criterion_group!(
+    benches,
+    bench_spline,
+    bench_table1d,
+    bench_grid,
+    bench_scattered
+);
 criterion_main!(benches);

@@ -21,9 +21,9 @@ fn front_hv(front: &[Individual]) -> f64 {
         .iter()
         .map(|ind| {
             vec![
-                ind.objectives[0] * 1e12,  // jitter ps
-                ind.objectives[1] * 1e3,   // current mA
-                ind.objectives[2] / 1e9,   // -gain GHz/V (already negated)
+                ind.objectives[0] * 1e12, // jitter ps
+                ind.objectives[1] * 1e3,  // current mA
+                ind.objectives[2] / 1e9,  // -gain GHz/V (already negated)
             ]
         })
         .collect();

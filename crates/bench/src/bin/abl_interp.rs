@@ -51,7 +51,12 @@ fn main() {
             }
         }
         let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
-        println!("  degree {} : mean |rel err| = {:.4} ({} points)", &ctrl[..1], mean, errs.len());
+        println!(
+            "  degree {} : mean |rel err| = {:.4} ({} points)",
+            &ctrl[..1],
+            mean,
+            errs.len()
+        );
     }
 
     // Scattered models: (kvco, ivco) -> jvco.
@@ -85,7 +90,11 @@ fn main() {
             }
         }
         let mean = errs.iter().sum::<f64>() / errs.len().max(1) as f64;
-        println!("  {name:<12}: mean |rel err| = {:.4} ({} points)", mean, errs.len());
+        println!(
+            "  {name:<12}: mean |rel err| = {:.4} ({} points)",
+            mean,
+            errs.len()
+        );
     }
 
     println!("\n# paper choice: cubic splines (\"3E\"); the ablation shows whether");

@@ -36,7 +36,10 @@ fn main() {
     };
 
     println!("# ABL-JITTER: analytic vs noise-transient jitter extraction");
-    println!("# design: lean band-covering sizing, {} MC samples\n", mc.samples);
+    println!(
+        "# design: lean band-covering sizing, {} MC samples\n",
+        mc.samples
+    );
 
     for (label, mode) in [
         ("analytic", JitterMode::Analytic),

@@ -21,7 +21,10 @@ fn main() {
 
     println!("# ABL-MCN: delta-estimate stability vs MC sample count");
     println!("# (nominal sizing, {} seeds per budget)", seeds.len());
-    println!("{:>8} | {:>10} {:>10} | {:>10} {:>10}", "samples", "dKvco%", "spread", "dIvco%", "spread");
+    println!(
+        "{:>8} | {:>10} {:>10} | {:>10} {:>10}",
+        "samples", "dKvco%", "spread", "dIvco%", "spread"
+    );
 
     for samples in [10usize, 25, 50, 100] {
         let mut dk = Vec::new();

@@ -10,9 +10,9 @@
 
 use std::sync::Arc;
 
-use bench::{load_or_build_front, Budget};
 use behavioral::spec::PllSpec;
 use behavioral::timesim::LockSimConfig;
+use bench::{load_or_build_front, Budget};
 use hierflow::charmodel::CharacterizedFront;
 use hierflow::model::PerfVariationModel;
 use hierflow::system_opt::{PllArchitecture, PllSystemProblem};
@@ -51,23 +51,18 @@ fn main() {
 
     println!("# ABL-VAR: system optimisation with vs without the variation model\n");
     let mut corner_stats = Vec::new();
-    for (label, model) in [("with-variation", with_var.clone()), ("without-variation", without_var)] {
-        let problem = PllSystemProblem::new(
-            Arc::clone(&model),
-            arch,
-            spec,
-            LockSimConfig::default(),
-        );
+    for (label, model) in [
+        ("with-variation", with_var.clone()),
+        ("without-variation", without_var),
+    ] {
+        let problem =
+            PllSystemProblem::new(Arc::clone(&model), arch, spec, LockSimConfig::default());
         let result = run_nsga2_seeded(&problem, &ga, &problem.warm_start_seeds());
         let pareto = result.pareto_front();
 
         // Judge each front under the TRUE (variation-aware) corners.
-        let judge = PllSystemProblem::new(
-            Arc::clone(&with_var),
-            arch,
-            spec,
-            LockSimConfig::default(),
-        );
+        let judge =
+            PllSystemProblem::new(Arc::clone(&with_var), arch, spec, LockSimConfig::default());
         let mut pass_self = 0usize;
         let mut pass_true = 0usize;
         for ind in &pareto {

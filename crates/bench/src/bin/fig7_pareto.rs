@@ -15,7 +15,11 @@ fn main() {
     let budget = Budget::from_args();
     let front = load_or_build_front(budget);
 
-    println!("# FIG7: vco pareto front ({} budget), {} points", budget.label(), front.points.len());
+    println!(
+        "# FIG7: vco pareto front ({} budget), {} points",
+        budget.label(),
+        front.points.len()
+    );
     println!("# jitter_ps  current_mA  gain_MHzV  fmin_GHz  fmax_GHz");
     let mut points: Vec<_> = front.points.iter().collect();
     points.sort_by(|a, b| {

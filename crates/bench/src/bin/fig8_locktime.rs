@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use bench::{artifact_dir, load_or_build_front, Budget};
 use behavioral::spec::PllSpec;
 use behavioral::timesim::{simulate_lock, LockSimConfig};
+use bench::{artifact_dir, load_or_build_front, Budget};
 use hierflow::model::PerfVariationModel;
 use hierflow::system_opt::{PllArchitecture, PllSystemProblem};
 
@@ -78,7 +78,10 @@ fn main() {
         x[4] / 1e3
     );
     match result.lock_time {
-        Some(t) => println!("# lock time: {:.3} us (paper: ~0.9 us, spec < 1 us)", t * 1e6),
+        Some(t) => println!(
+            "# lock time: {:.3} us (paper: ~0.9 us, spec < 1 us)",
+            t * 1e6
+        ),
         None => println!("# loop did not lock within the window"),
     }
     println!("# time_us  vctrl_V  freq_GHz");

@@ -23,13 +23,20 @@ fn main() {
     // Shape summary — the paper's ordering of the spread magnitudes:
     // ∆Jvco (~22-26 %) >> ∆Ivco (~2.6-2.9 %) > ∆Kvco (~0.3-0.5 %).
     let mean = |f: &dyn Fn(&hierflow::charmodel::CharPoint) -> f64| -> f64 {
-        front.points.iter().map(|p| f(p)).sum::<f64>() / front.points.len() as f64
+        front.points.iter().map(f).sum::<f64>() / front.points.len() as f64
     };
     let dk = mean(&|p| p.delta.kvco);
     let di = mean(&|p| p.delta.ivco);
     let dj = mean(&|p| p.delta.jvco);
     println!("# mean spreads: dKvco = {dk:.2}%  dIvco = {di:.2}%  dJvco = {dj:.2}%");
-    println!("# paper ordering check (dKvco smallest): {}", if dk <= di && dk <= dj { "HOLDS" } else { "VIOLATED" });
+    println!(
+        "# paper ordering check (dKvco smallest): {}",
+        if dk <= di && dk <= dj {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    );
     println!("# note: with the default analytic jitter model dJvco tracks dIvco;");
     println!("# the paper's ~22% dJvco (noise-transient estimator variance) is");
     println!("# reproduced by JitterMode::NoiseTransient — see EXPERIMENTS.md.");

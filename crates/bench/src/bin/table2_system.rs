@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use bench::{artifact_dir, load_or_build_front, Budget};
 use behavioral::spec::PllSpec;
 use behavioral::timesim::LockSimConfig;
+use bench::{artifact_dir, load_or_build_front, Budget};
 use hierflow::model::PerfVariationModel;
 use hierflow::propagate::select_design;
 use hierflow::report::format_table2;

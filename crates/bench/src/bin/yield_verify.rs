@@ -9,9 +9,9 @@
 
 use std::sync::Arc;
 
-use bench::{load_or_build_front, Budget};
 use behavioral::spec::PllSpec;
 use behavioral::timesim::LockSimConfig;
+use bench::{load_or_build_front, Budget};
 use hierflow::model::PerfVariationModel;
 use hierflow::propagate::select_verified_design;
 use hierflow::system_opt::{PllArchitecture, PllSystemProblem};
@@ -40,7 +40,10 @@ fn main() {
         axial_seeds: true,
         ..Default::default()
     };
-    eprintln!("system-level optimisation ({}x{})...", ga.population, ga.generations);
+    eprintln!(
+        "system-level optimisation ({}x{})...",
+        ga.population, ga.generations
+    );
     let result = run_nsga2_seeded(&problem, &ga, &problem.warm_start_seeds());
     let pareto = result.pareto_front();
 
@@ -57,7 +60,10 @@ fn main() {
     };
 
     let s = &picked.sizing;
-    println!("# YIELD: bottom-up verification ({} budget)", budget.label());
+    println!(
+        "# YIELD: bottom-up verification ({} budget)",
+        budget.label()
+    );
     println!(
         "# selected (model): kvco={:.0} MHz/V ivco={:.2} mA — {} candidate(s) rejected in-loop",
         picked.solution.kvco / 1e6,
@@ -85,7 +91,10 @@ fn main() {
 
     let engine = MonteCarlo::new(ProcessSpec::default());
     let mc = budget.verify_mc();
-    eprintln!("running {}-sample transistor-level monte carlo...", mc.samples);
+    eprintln!(
+        "running {}-sample transistor-level monte carlo...",
+        mc.samples
+    );
     let report = verify_design(
         &picked.sizing,
         (picked.solution.c1, picked.solution.c2, picked.solution.r1),

@@ -5,9 +5,9 @@
 
 use std::path::PathBuf;
 
-use hierflow::charmodel::{characterize_front, CharacterizedFront};
+use hierflow::charmodel::{characterize_front_with, CharacterizedFront};
 use hierflow::vco_problem::VcoSizingProblem;
-use hierflow::VcoTestbench;
+use hierflow::{DegradePolicy, FlowEvents, VcoTestbench};
 use moea::nsga2::{run_nsga2, Nsga2Config};
 use variation::mc::{McConfig, MonteCarlo};
 use variation::process::ProcessSpec;
@@ -130,8 +130,25 @@ pub fn load_or_build_front(budget: Budget) -> CharacterizedFront {
     );
     thin(&mut front, budget.max_char_points());
     let engine = MonteCarlo::new(ProcessSpec::default());
-    let characterized = characterize_front(&front, &testbench, &engine, &budget.char_mc())
-        .expect("characterisation succeeds");
+    // Long experiment runs absorb solver hiccups (retry relaxed, then
+    // drop the point) rather than discarding the stage-1 investment.
+    let mut events = FlowEvents::new();
+    let characterized = characterize_front_with(
+        &front,
+        &testbench,
+        &engine,
+        &budget.char_mc(),
+        DegradePolicy::RetryRelaxed {
+            max_retries: 2,
+            min_surviving_points: 2,
+        },
+        None,
+        &mut events,
+    )
+    .expect("characterisation succeeds");
+    for event in events.iter() {
+        eprintln!("  [event] {event}");
+    }
     let json = serde_json::to_string(&characterized).expect("serialise front");
     std::fs::write(&path, json).expect("cache front");
     eprintln!("  stage 2 done: cached to {}", path.display());

@@ -2,7 +2,9 @@
 //! solution (paper §3.3/§4.3, producing Table 1) and `.tbl` emission
 //! (Listing 1).
 
+use std::collections::BTreeMap;
 use std::path::Path;
+use std::sync::Mutex;
 
 use moea::problem::Individual;
 use netlist::topology::VcoSizing;
@@ -11,6 +13,9 @@ use tablemodel::tbl_io::write_tbl_file;
 use variation::mc::{McConfig, MonteCarlo};
 
 use crate::error::FlowError;
+use crate::events::{FlowEvent, FlowEvents, FlowStage};
+use crate::faults::FaultInjector;
+use crate::policy::{relaxed_options, DegradePolicy};
 use crate::vco_eval::{VcoPerf, VcoTestbench};
 use crate::vco_problem::VcoSizingProblem;
 
@@ -62,59 +67,259 @@ pub struct CharacterizedFront {
     pub points: Vec<CharPoint>,
 }
 
-/// Characterises every Pareto-front individual: for each one, a
-/// `mc.samples`-sample Monte Carlo re-measures the five performances on
-/// perturbed circuits and records the relative spreads.
+/// Outcome of one characterisation attempt of one point.
+struct PointAttempt {
+    point: Option<CharPoint>,
+    /// `(sample index, failure description)` of every failing sample.
+    failures: Vec<(usize, String)>,
+}
+
+/// One Monte-Carlo pass over one Pareto point. Output validation runs
+/// here: a measurement that *returns* non-finite values (the
+/// quietest failure mode a simulator has) counts as a failed sample,
+/// never as data.
+#[allow(clippy::too_many_arguments)]
+fn characterize_point(
+    point: usize,
+    sizing: &VcoSizing,
+    nominal: VcoPerf,
+    attempt: usize,
+    testbench: &VcoTestbench,
+    engine: &MonteCarlo,
+    mc: &McConfig,
+    faults: Option<&FaultInjector>,
+) -> PointAttempt {
+    let ring = testbench.build(sizing);
+    let messages: Mutex<BTreeMap<usize, String>> = Mutex::new(BTreeMap::new());
+    let run = engine.run(&ring.circuit, mc, |i, perturbed| {
+        let result = match faults {
+            Some(inj) => inj.evaluate(point, i, attempt, testbench, perturbed, &ring),
+            None => testbench.evaluate_circuit(perturbed, &ring),
+        };
+        match result {
+            Ok(perf) if perf.is_finite() => Some(perf.to_array().to_vec()),
+            Ok(_) => {
+                messages
+                    .lock()
+                    .expect("no panics hold this lock")
+                    .insert(i, "measurement returned non-finite values".into());
+                None
+            }
+            Err(e) => {
+                messages
+                    .lock()
+                    .expect("no panics hold this lock")
+                    .insert(i, e.to_string());
+                None
+            }
+        }
+    });
+    let messages = messages.into_inner().expect("threads joined");
+    let failures: Vec<(usize, String)> = run
+        .failed_samples
+        .iter()
+        .map(|&i| {
+            let message = messages
+                .get(&i)
+                .cloned()
+                .unwrap_or_else(|| "evaluation failed".into());
+            (i, message)
+        })
+        .collect();
+
+    if run.accepted == 0 {
+        return PointAttempt {
+            point: None,
+            failures,
+        };
+    }
+    // A spread that cannot be computed (zero-mean metric) is a failed
+    // point under every policy — zeroing it silently would tell the
+    // system level this design has no variation at all.
+    let mut delta = [0.0f64; 5];
+    for (k, slot) in delta.iter_mut().enumerate() {
+        match run.delta_percent(k) {
+            Some(d) => *slot = d,
+            None => {
+                return PointAttempt {
+                    point: None,
+                    failures: vec![(
+                        usize::MAX,
+                        format!(
+                            "spread of metric {} undefined (zero mean)",
+                            VcoPerf::NAMES[k]
+                        ),
+                    )],
+                };
+            }
+        }
+    }
+    PointAttempt {
+        point: Some(CharPoint {
+            sizing: *sizing,
+            perf: nominal,
+            delta: VcoDeltas {
+                kvco: delta[0],
+                ivco: delta[1],
+                jvco: delta[2],
+                fmin: delta[3],
+                fmax: delta[4],
+            },
+            mc_accepted: run.accepted,
+            mc_failed: run.failed,
+        }),
+        failures,
+    }
+}
+
+/// Characterises every Pareto-front individual under a degradation
+/// policy: for each one, a `mc.samples`-sample Monte Carlo re-measures
+/// the five performances on perturbed circuits and records the relative
+/// spreads. Failures are absorbed per the policy — aborted on with full
+/// provenance ([`DegradePolicy::Strict`]), skipped
+/// ([`DegradePolicy::SkipFailedPoints`]), or retried with relaxed
+/// solver options ([`DegradePolicy::RetryRelaxed`]) — and every
+/// decision is appended to `events`. An optional [`FaultInjector`]
+/// deterministically fails selected `(point, sample)` evaluations for
+/// failure-semantics testing.
 ///
 /// # Errors
 ///
-/// Returns [`FlowError::Stage`] when the front is empty or every MC
-/// sample of a point fails.
+/// Returns [`FlowError::Stage`] when the front is empty or fewer than
+/// the policy's minimum points survive, and
+/// [`FlowError::Characterization`] (with stage, point and sample
+/// provenance) when a strict policy meets a failed sample.
+pub fn characterize_front_with(
+    front: &[Individual],
+    testbench: &VcoTestbench,
+    engine: &MonteCarlo,
+    mc: &McConfig,
+    policy: DegradePolicy,
+    faults: Option<&FaultInjector>,
+    events: &mut FlowEvents,
+) -> Result<CharacterizedFront, FlowError> {
+    const STAGE: FlowStage = FlowStage::Characterize;
+    if front.is_empty() {
+        return Err(FlowError::stage(STAGE.name(), "empty pareto front"));
+    }
+    let mut points = Vec::with_capacity(front.len());
+    let mut skipped: Vec<usize> = Vec::new();
+    for (idx, ind) in front.iter().enumerate() {
+        let sizing = VcoSizing::from_array(&ind.x);
+        let nominal = VcoSizingProblem::perf_of(&ind.objectives);
+
+        let mut attempt = 0usize;
+        let mut outcome = characterize_point(
+            idx, &sizing, nominal, attempt, testbench, engine, mc, faults,
+        );
+        while outcome.point.is_none() && attempt < policy.max_retries() {
+            attempt += 1;
+            events.push(FlowEvent::RetryAttempted {
+                stage: STAGE,
+                point: idx,
+                attempt,
+            });
+            let mut relaxed_tb = testbench.clone();
+            relaxed_tb.sim = relaxed_options(&testbench.sim, attempt);
+            outcome = characterize_point(
+                idx,
+                &sizing,
+                nominal,
+                attempt,
+                &relaxed_tb,
+                engine,
+                mc,
+                faults,
+            );
+        }
+
+        match outcome.point {
+            Some(char_point) => {
+                if !outcome.failures.is_empty() {
+                    if policy.is_strict() {
+                        let (sample, message) = outcome.failures[0].clone();
+                        return Err(FlowError::characterization(
+                            STAGE,
+                            idx,
+                            Some(sample),
+                            message,
+                        ));
+                    }
+                    events.push(FlowEvent::SampleFailures {
+                        stage: STAGE,
+                        point: idx,
+                        samples: outcome.failures.iter().map(|(i, _)| *i).collect(),
+                        total: mc.samples,
+                    });
+                }
+                points.push(char_point);
+            }
+            None => {
+                let (sample, message) = outcome
+                    .failures
+                    .first()
+                    .cloned()
+                    .unwrap_or((usize::MAX, "characterisation produced no samples".into()));
+                let sample = (sample != usize::MAX).then_some(sample);
+                if policy.is_strict() {
+                    return Err(FlowError::characterization(STAGE, idx, sample, message));
+                }
+                events.push(FlowEvent::PointSkipped {
+                    stage: STAGE,
+                    point: idx,
+                    reason: format!(
+                        "{message} ({} of {} samples failed, {} retries)",
+                        outcome.failures.len(),
+                        mc.samples,
+                        attempt
+                    ),
+                });
+                skipped.push(idx);
+            }
+        }
+    }
+
+    if points.len() < policy.min_surviving_points() {
+        return Err(FlowError::stage(
+            STAGE.name(),
+            format!(
+                "only {} of {} pareto points survived characterisation \
+                 (minimum {}; skipped points: {:?})",
+                points.len(),
+                front.len(),
+                policy.min_surviving_points(),
+                skipped
+            ),
+        ));
+    }
+    Ok(CharacterizedFront { points })
+}
+
+/// Characterises a front under the default degradation policy
+/// ([`DegradePolicy::default`]: skip failed points, keep at least the
+/// two survivors the table model needs) with no fault injection and a
+/// discarded event log. Prefer [`characterize_front_with`] where the
+/// event log matters.
+///
+/// # Errors
+///
+/// As [`characterize_front_with`].
 pub fn characterize_front(
     front: &[Individual],
     testbench: &VcoTestbench,
     engine: &MonteCarlo,
     mc: &McConfig,
 ) -> Result<CharacterizedFront, FlowError> {
-    if front.is_empty() {
-        return Err(FlowError::stage("characterise", "empty pareto front"));
-    }
-    let mut points = Vec::with_capacity(front.len());
-    for ind in front {
-        let sizing = VcoSizing::from_array(&ind.x);
-        let nominal = VcoSizingProblem::perf_of(&ind.objectives);
-        let ring = testbench.build(&sizing);
-        let run = engine.run(&ring.circuit, mc, |_i, perturbed| {
-            testbench
-                .evaluate_circuit(perturbed, &ring)
-                .ok()
-                .map(|p| p.to_array().to_vec())
-        });
-        if run.accepted == 0 {
-            return Err(FlowError::stage(
-                "characterise",
-                format!(
-                    "all {} monte-carlo samples failed for sizing {:?}",
-                    mc.samples, sizing
-                ),
-            ));
-        }
-        let delta_of = |k: usize| run.delta_percent(k).unwrap_or(0.0);
-        points.push(CharPoint {
-            sizing,
-            perf: nominal,
-            delta: VcoDeltas {
-                kvco: delta_of(0),
-                ivco: delta_of(1),
-                jvco: delta_of(2),
-                fmin: delta_of(3),
-                fmax: delta_of(4),
-            },
-            mc_accepted: run.accepted,
-            mc_failed: run.failed,
-        });
-    }
-    Ok(CharacterizedFront { points })
+    let mut events = FlowEvents::new();
+    characterize_front_with(
+        front,
+        testbench,
+        engine,
+        mc,
+        DegradePolicy::default(),
+        None,
+        &mut events,
+    )
 }
 
 impl CharacterizedFront {
@@ -133,8 +338,7 @@ impl CharacterizedFront {
     pub fn write_tbl_files<P: AsRef<Path>>(&self, dir: P) -> Result<(), FlowError> {
         let dir = dir.as_ref();
         let perf_arrays: Vec<[f64; 5]> = self.points.iter().map(|p| p.perf.to_array()).collect();
-        let delta_arrays: Vec<[f64; 5]> =
-            self.points.iter().map(|p| p.delta.to_array()).collect();
+        let delta_arrays: Vec<[f64; 5]> = self.points.iter().map(|p| p.delta.to_array()).collect();
 
         for (k, name) in VcoPerf::NAMES.iter().enumerate() {
             let points: Vec<Vec<f64>> = perf_arrays.iter().map(|p| vec![p[k]]).collect();
@@ -216,6 +420,181 @@ mod tests {
             // is checked at paper scale in the table1 experiment.
             assert!(p.delta.kvco >= 0.0 && p.delta.jvco >= 0.0);
         }
+    }
+
+    #[test]
+    fn strict_policy_aborts_with_point_and_sample_provenance() {
+        let front = fake_front(2);
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 4,
+            seed: 1,
+            threads: 1,
+        };
+        let faults =
+            FaultInjector::new().fail_sample(1, 2, crate::faults::FaultKind::SingularMatrix);
+        let mut events = FlowEvents::new();
+        let err = characterize_front_with(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::Strict,
+            Some(&faults),
+            &mut events,
+        )
+        .unwrap_err();
+        assert_eq!(err.flow_stage(), Some(FlowStage::Characterize));
+        assert_eq!(err.point(), Some(1));
+        assert_eq!(err.sample(), Some(2));
+        assert!(err.to_string().contains("singular"), "{err}");
+    }
+
+    #[test]
+    fn skip_policy_drops_failed_point_and_records_events() {
+        let front = fake_front(3);
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 4,
+            seed: 1,
+            threads: 2,
+        };
+        // Point 1 fails completely; point 0 loses one sample.
+        let faults = FaultInjector::new()
+            .fail_point(1, crate::faults::FaultKind::NonConvergence)
+            .fail_sample(0, 0, crate::faults::FaultKind::Timeout);
+        let mut events = FlowEvents::new();
+        let out = characterize_front_with(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::SkipFailedPoints {
+                min_surviving_points: 2,
+            },
+            Some(&faults),
+            &mut events,
+        )
+        .unwrap();
+        assert_eq!(out.points.len(), 2, "point 1 dropped, 0 and 2 survive");
+        assert_eq!(events.skipped_points(FlowStage::Characterize), vec![1]);
+        // The partial failure on point 0 is recorded, not fatal.
+        let partial = events.iter().any(|e| {
+            matches!(e, FlowEvent::SampleFailures { point: 0, samples, .. }
+                if samples == &vec![0])
+        });
+        assert!(partial, "sample failure on point 0 must be logged");
+        assert_eq!(out.points[0].mc_failed, 1);
+        assert_eq!(out.points[0].mc_accepted, 3);
+    }
+
+    #[test]
+    fn retry_policy_recovers_transient_faults() {
+        let front = fake_front(2);
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 4,
+            seed: 1,
+            threads: 1,
+        };
+        // Point 0 fails wholesale on attempt 0, succeeds on retry.
+        let faults = FaultInjector::new()
+            .fail_point(0, crate::faults::FaultKind::NonConvergence)
+            .transient();
+        let mut events = FlowEvents::new();
+        let out = characterize_front_with(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::RetryRelaxed {
+                max_retries: 1,
+                min_surviving_points: 2,
+            },
+            Some(&faults),
+            &mut events,
+        )
+        .unwrap();
+        assert_eq!(out.points.len(), 2, "retry must recover the point");
+        assert!(events.skipped_points(FlowStage::Characterize).is_empty());
+        let retried = events.iter().any(|e| {
+            matches!(
+                e,
+                FlowEvent::RetryAttempted {
+                    point: 0,
+                    attempt: 1,
+                    ..
+                }
+            )
+        });
+        assert!(retried, "the retry must be logged");
+    }
+
+    #[test]
+    fn surviving_point_floor_is_enforced() {
+        let front = fake_front(2);
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 4,
+            seed: 1,
+            threads: 1,
+        };
+        let faults = FaultInjector::new()
+            .fail_point(0, crate::faults::FaultKind::SingularMatrix)
+            .fail_point(1, crate::faults::FaultKind::SingularMatrix);
+        let mut events = FlowEvents::new();
+        let err = characterize_front_with(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::default(),
+            Some(&faults),
+            &mut events,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlowError::Stage { .. }));
+        assert!(err.to_string().contains("0 of 2"), "{err}");
+    }
+
+    #[test]
+    fn nan_outputs_are_caught_by_validation_not_trusted() {
+        // NanOutput *succeeds* with NaN performances — the quietest
+        // failure mode. It must surface as a failed sample.
+        let front = fake_front(1);
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 4,
+            seed: 1,
+            threads: 1,
+        };
+        let faults = FaultInjector::new().fail_sample(0, 1, crate::faults::FaultKind::NanOutput);
+        let mut events = FlowEvents::new();
+        let out = characterize_front_with(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::SkipFailedPoints {
+                min_surviving_points: 1,
+            },
+            Some(&faults),
+            &mut events,
+        )
+        .unwrap();
+        assert_eq!(out.points[0].mc_failed, 1, "NaN sample must not count");
+        assert_eq!(out.points[0].mc_accepted, 3);
+        assert!(out.points[0].delta.to_array().iter().all(|d| d.is_finite()));
+        let logged = events.iter().any(|e| {
+            matches!(e, FlowEvent::SampleFailures { point: 0, samples, .. }
+                if samples == &vec![1])
+        });
+        assert!(logged);
     }
 
     #[test]

@@ -1,0 +1,295 @@
+//! Stage checkpointing: persisting each stage's artifact to a run
+//! directory so an interrupted flow resumes instead of recomputing.
+//!
+//! A paper-scale run spends hours in stage 1 (3 000 transistor-level
+//! evaluations) and stage 2 (100-sample Monte Carlo per Pareto point);
+//! a crash during stage 4 or 5 must not discard that work. The flow
+//! writes one JSON artifact per completed stage into a [`RunDir`]:
+//!
+//! | file                       | contents                                   |
+//! |----------------------------|--------------------------------------------|
+//! | `manifest.json`            | config digest guarding artifact reuse      |
+//! | `stage1_front.json`        | thinned circuit-level Pareto front         |
+//! | `stage2_characterized.json`| Monte-Carlo-characterised front            |
+//! | `stage4_system.json`       | system-level front and Table-2 rows        |
+//! | `stage5_selected.json`     | selected design, sizing and verification   |
+//! | `events.json`              | the run's [`FlowEvents`](crate::events) log|
+//!
+//! Stage 3 (the table model) is rebuilt from the stage-2 artifact on
+//! every run — it is cheap and its internals are not serialisable.
+//!
+//! Writes are atomic (temp file + rename), so a kill mid-write leaves
+//! the previous artifact intact rather than a truncated file. A
+//! manifest digest of the flow configuration guards against resuming
+//! with artifacts produced under different budgets.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use moea::problem::Individual;
+use netlist::topology::VcoSizing;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FlowError;
+use crate::system_opt::SystemSolution;
+use crate::verify::VerificationReport;
+
+/// Stage-1 artifact file name.
+pub const STAGE1_FRONT: &str = "stage1_front.json";
+/// Stage-2 artifact file name.
+pub const STAGE2_CHARACTERIZED: &str = "stage2_characterized.json";
+/// Stage-4 artifact file name.
+pub const STAGE4_SYSTEM: &str = "stage4_system.json";
+/// Stage-5 artifact file name.
+pub const STAGE5_SELECTED: &str = "stage5_selected.json";
+/// Event-log file name.
+pub const EVENTS_FILE: &str = "events.json";
+/// Manifest file name.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Stage-1 artifact: the thinned circuit-level Pareto front and the
+/// evaluation budget it cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage1Artifact {
+    /// Thinned feasible Pareto front.
+    pub front: Vec<Individual>,
+    /// Transistor-level evaluations spent producing it.
+    pub evaluations: usize,
+}
+
+/// Stage-4 artifact: the system-level front, its Table-2 rows and the
+/// evaluation budget it cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage4Artifact {
+    /// System-level non-dominated front.
+    pub front: Vec<Individual>,
+    /// Corner-aware Table-2 rows of the front.
+    pub rows: Vec<SystemSolution>,
+    /// Model-based evaluations spent producing it.
+    pub evaluations: usize,
+}
+
+/// Stage-5 artifact: the selected design and its bottom-up verification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage5Artifact {
+    /// Decision vector of the selected system solution.
+    pub x: Vec<f64>,
+    /// The selected Table-2 row.
+    pub solution: SystemSolution,
+    /// Transistor sizing recovered by spec propagation.
+    pub sizing: VcoSizing,
+    /// Bottom-up Monte-Carlo verification outcome.
+    pub verification: VerificationReport,
+}
+
+/// The run manifest: identifies which configuration produced the
+/// directory's artifacts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// FNV-1a digest of the flow configuration's debug representation.
+    pub config_digest: u64,
+    /// Artifact format version.
+    pub version: u32,
+}
+
+/// Current artifact format version.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+/// Stable FNV-1a digest of a configuration description, used to refuse
+/// resuming from artifacts produced under a different configuration.
+pub fn config_digest(description: &str) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in description.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A checkpoint run directory.
+#[derive(Debug, Clone)]
+pub struct RunDir {
+    root: PathBuf,
+}
+
+impl RunDir {
+    /// Opens (creating if necessary) a run directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] when the directory cannot be
+    /// created.
+    pub fn create<P: AsRef<Path>>(path: P) -> Result<Self, FlowError> {
+        let root = path.as_ref().to_path_buf();
+        fs::create_dir_all(&root)
+            .map_err(|e| FlowError::checkpoint(root.display().to_string(), e.to_string()))?;
+        Ok(RunDir { root })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.root
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    /// Whether an artifact file exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.file(name).is_file()
+    }
+
+    /// Atomically writes `value` as pretty JSON to `name`: the payload
+    /// lands in a temp file first and is renamed into place, so a kill
+    /// mid-write never leaves a truncated artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] on I/O failure.
+    pub fn save<T: Serialize>(&self, name: &str, value: &T) -> Result<(), FlowError> {
+        let path = self.file(name);
+        let tmp = self.file(&format!("{name}.tmp"));
+        let text = serde_json::to_string_pretty(value)
+            .map_err(|e| FlowError::checkpoint(path.display().to_string(), e.to_string()))?;
+        fs::write(&tmp, text)
+            .map_err(|e| FlowError::checkpoint(tmp.display().to_string(), e.to_string()))?;
+        fs::rename(&tmp, &path)
+            .map_err(|e| FlowError::checkpoint(path.display().to_string(), e.to_string()))?;
+        Ok(())
+    }
+
+    /// Loads an artifact, returning `Ok(None)` when the file does not
+    /// exist (the stage has not completed yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] when the file exists but cannot
+    /// be read or parsed — a present-but-corrupt artifact is reported,
+    /// never silently recomputed.
+    pub fn load<T: Deserialize>(&self, name: &str) -> Result<Option<T>, FlowError> {
+        let path = self.file(name);
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(&path)
+            .map_err(|e| FlowError::checkpoint(path.display().to_string(), e.to_string()))?;
+        let value = serde_json::from_str(&text)
+            .map_err(|e| FlowError::checkpoint(path.display().to_string(), e.to_string()))?;
+        Ok(Some(value))
+    }
+
+    /// Validates (or creates) the run manifest for a configuration
+    /// digest. A mismatching digest means the directory's artifacts were
+    /// produced under different budgets and must not be mixed into this
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Checkpoint`] on digest mismatch, version
+    /// mismatch, or I/O failure.
+    pub fn ensure_manifest(&self, digest: u64) -> Result<(), FlowError> {
+        match self.load::<RunManifest>(MANIFEST_FILE)? {
+            Some(existing) => {
+                if existing.version != ARTIFACT_VERSION {
+                    return Err(FlowError::checkpoint(
+                        self.file(MANIFEST_FILE).display().to_string(),
+                        format!(
+                            "artifact version {} does not match supported version {}",
+                            existing.version, ARTIFACT_VERSION
+                        ),
+                    ));
+                }
+                if existing.config_digest != digest {
+                    return Err(FlowError::checkpoint(
+                        self.file(MANIFEST_FILE).display().to_string(),
+                        "run directory was produced by a different flow configuration; \
+                         use a fresh directory or the original configuration",
+                    ));
+                }
+                Ok(())
+            }
+            None => self.save(
+                MANIFEST_FILE,
+                &RunManifest {
+                    config_digest: digest,
+                    version: ARTIFACT_VERSION,
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moea::problem::Evaluation;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hierflow_ckpt_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn stage1_artifact_round_trips() {
+        let dir = tmp_dir("stage1");
+        let run = RunDir::create(&dir).unwrap();
+        let artifact = Stage1Artifact {
+            front: vec![Individual::new(
+                vec![1.0, 2.0],
+                Evaluation::feasible(vec![0.5, 0.25]),
+            )],
+            evaluations: 320,
+        };
+        run.save(STAGE1_FRONT, &artifact).unwrap();
+        assert!(run.has(STAGE1_FRONT));
+        let back: Stage1Artifact = run.load(STAGE1_FRONT).unwrap().unwrap();
+        assert_eq!(back, artifact);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_artifact_loads_as_none() {
+        let dir = tmp_dir("missing");
+        let run = RunDir::create(&dir).unwrap();
+        let loaded: Option<Stage1Artifact> = run.load(STAGE1_FRONT).unwrap();
+        assert!(loaded.is_none());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_is_an_error_not_a_recompute() {
+        let dir = tmp_dir("corrupt");
+        let run = RunDir::create(&dir).unwrap();
+        fs::write(dir.join(STAGE1_FRONT), "{ truncated").unwrap();
+        let loaded: Result<Option<Stage1Artifact>, _> = run.load(STAGE1_FRONT);
+        assert!(matches!(loaded, Err(FlowError::Checkpoint { .. })));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_guards_against_config_drift() {
+        let dir = tmp_dir("manifest");
+        let run = RunDir::create(&dir).unwrap();
+        run.ensure_manifest(42).unwrap();
+        // Same digest: fine (idempotent).
+        run.ensure_manifest(42).unwrap();
+        // Different digest: refused.
+        let err = run.ensure_manifest(43).unwrap_err();
+        assert!(matches!(err, FlowError::Checkpoint { .. }));
+        assert!(err.to_string().contains("different flow configuration"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let a = config_digest("FlowConfig { population: 100 }");
+        let b = config_digest("FlowConfig { population: 100 }");
+        let c = config_digest("FlowConfig { population: 101 }");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

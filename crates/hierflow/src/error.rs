@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::events::FlowStage;
+
 /// Errors surfaced by the hierarchical flow.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
@@ -18,6 +20,27 @@ pub enum FlowError {
         /// Description of the problem.
         message: String,
     },
+    /// A characterisation evaluation failed, with full provenance: the
+    /// stage, the Pareto-point index within the (thinned) front, and —
+    /// when a single Monte-Carlo sample is at fault — the sample index.
+    Characterization {
+        /// The stage that failed.
+        stage: FlowStage,
+        /// Index of the Pareto point within the thinned front.
+        point: usize,
+        /// Index of the failing Monte-Carlo sample, when attributable
+        /// to one sample (`None` when the whole point failed).
+        sample: Option<usize>,
+        /// Description of the failure.
+        message: String,
+    },
+    /// A checkpoint artifact could not be written, read or trusted.
+    Checkpoint {
+        /// Path of the offending file or directory.
+        path: String,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -27,6 +50,21 @@ impl fmt::Display for FlowError {
             FlowError::Table(e) => write!(f, "table model: {e}"),
             FlowError::Pll(e) => write!(f, "pll simulation: {e}"),
             FlowError::Stage { stage, message } => write!(f, "{stage} stage: {message}"),
+            FlowError::Characterization {
+                stage,
+                point,
+                sample,
+                message,
+            } => {
+                write!(f, "{stage} stage: point {point}")?;
+                if let Some(s) = sample {
+                    write!(f, ", sample {s}")?;
+                }
+                write!(f, ": {message}")
+            }
+            FlowError::Checkpoint { path, message } => {
+                write!(f, "checkpoint {path}: {message}")
+            }
         }
     }
 }
@@ -37,7 +75,9 @@ impl std::error::Error for FlowError {
             FlowError::Sim(e) => Some(e),
             FlowError::Table(e) => Some(e),
             FlowError::Pll(e) => Some(e),
-            FlowError::Stage { .. } => None,
+            FlowError::Stage { .. }
+            | FlowError::Characterization { .. }
+            | FlowError::Checkpoint { .. } => None,
         }
     }
 }
@@ -68,6 +108,54 @@ impl FlowError {
             message: message.into(),
         }
     }
+
+    /// Convenience constructor for characterisation errors with
+    /// point/sample provenance.
+    pub fn characterization(
+        stage: FlowStage,
+        point: usize,
+        sample: Option<usize>,
+        message: impl Into<String>,
+    ) -> Self {
+        FlowError::Characterization {
+            stage,
+            point,
+            sample,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for checkpoint errors.
+    pub fn checkpoint(path: impl Into<String>, message: impl Into<String>) -> Self {
+        FlowError::Checkpoint {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// The failing stage, when the error knows one.
+    pub fn flow_stage(&self) -> Option<FlowStage> {
+        match self {
+            FlowError::Characterization { stage, .. } => Some(*stage),
+            _ => None,
+        }
+    }
+
+    /// The failing Pareto-point index, when the error carries one.
+    pub fn point(&self) -> Option<usize> {
+        match self {
+            FlowError::Characterization { point, .. } => Some(*point),
+            _ => None,
+        }
+    }
+
+    /// The failing Monte-Carlo sample index, when attributable.
+    pub fn sample(&self) -> Option<usize> {
+        match self {
+            FlowError::Characterization { sample, .. } => *sample,
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -86,5 +174,35 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FlowError>();
+    }
+
+    #[test]
+    fn characterization_error_carries_provenance() {
+        let e = FlowError::characterization(
+            FlowStage::Characterize,
+            3,
+            Some(17),
+            "injected singular matrix",
+        );
+        assert_eq!(e.flow_stage(), Some(FlowStage::Characterize));
+        assert_eq!(e.point(), Some(3));
+        assert_eq!(e.sample(), Some(17));
+        let text = e.to_string();
+        assert!(text.contains("characterise"));
+        assert!(text.contains("point 3"));
+        assert!(text.contains("sample 17"));
+
+        let whole_point =
+            FlowError::characterization(FlowStage::Characterize, 1, None, "whole point lost");
+        assert_eq!(whole_point.sample(), None);
+        assert!(!whole_point.to_string().contains("sample"));
+        assert!(whole_point.to_string().contains("point 1"));
+    }
+
+    #[test]
+    fn checkpoint_error_names_path() {
+        let e = FlowError::checkpoint("/tmp/run/stage1_front.json", "corrupt json");
+        assert!(e.to_string().contains("stage1_front.json"));
+        assert_eq!(e.point(), None);
     }
 }

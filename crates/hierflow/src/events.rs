@@ -1,0 +1,260 @@
+//! Structured per-run event log: what each stage did, which points were
+//! skipped or retried, which checkpoints were written or reused.
+//!
+//! The flow appends [`FlowEvent`]s as it executes; the log rides along
+//! in [`crate::flow::FlowReport`], is persisted to `events.json` in the
+//! checkpoint directory, and is printed by the example and bench
+//! binaries. Long paper-scale runs degrade gracefully (points skipped,
+//! solvers relaxed) — the event log is how those silent decisions stay
+//! visible afterwards.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The five stages of the hierarchical flow (paper Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlowStage {
+    /// Stage 1: circuit-level multi-objective sizing.
+    CircuitOpt,
+    /// Stage 2: Monte-Carlo characterisation of the Pareto front.
+    Characterize,
+    /// Stage 3: combined performance + variation table model.
+    Model,
+    /// Stage 4: system-level optimisation with the model in the loop.
+    SystemOpt,
+    /// Stage 5: spec propagation and bottom-up verification.
+    Verify,
+}
+
+impl FlowStage {
+    /// Stable lower-case stage name (used in error messages and
+    /// checkpoint file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowStage::CircuitOpt => "circuit-opt",
+            FlowStage::Characterize => "characterise",
+            FlowStage::Model => "model",
+            FlowStage::SystemOpt => "system-opt",
+            FlowStage::Verify => "verify",
+        }
+    }
+}
+
+impl fmt::Display for FlowStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One entry in the per-run event log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlowEvent {
+    /// A stage began computing (not emitted when its checkpoint is
+    /// reused).
+    StageStarted {
+        /// The stage.
+        stage: FlowStage,
+    },
+    /// A stage finished computing.
+    StageFinished {
+        /// The stage.
+        stage: FlowStage,
+    },
+    /// A stage's artifact was written to the checkpoint directory.
+    CheckpointSaved {
+        /// The stage.
+        stage: FlowStage,
+        /// Artifact file name within the run directory.
+        file: String,
+    },
+    /// A stage was skipped because its artifact was already present.
+    CheckpointLoaded {
+        /// The stage.
+        stage: FlowStage,
+        /// Artifact file name within the run directory.
+        file: String,
+    },
+    /// A Pareto point was dropped under a degradation policy.
+    PointSkipped {
+        /// The stage.
+        stage: FlowStage,
+        /// Index of the point within the (thinned) front.
+        point: usize,
+        /// Why it was dropped.
+        reason: String,
+    },
+    /// A failed point is being re-characterised with relaxed solver
+    /// options.
+    RetryAttempted {
+        /// The stage.
+        stage: FlowStage,
+        /// Index of the point within the (thinned) front.
+        point: usize,
+        /// Retry number (1 = first retry).
+        attempt: usize,
+    },
+    /// Some (but not all) Monte-Carlo samples of a point failed; the
+    /// point survived.
+    SampleFailures {
+        /// The stage.
+        stage: FlowStage,
+        /// Index of the point within the (thinned) front.
+        point: usize,
+        /// Failing sample indices.
+        samples: Vec<usize>,
+        /// Total samples drawn.
+        total: usize,
+    },
+}
+
+impl fmt::Display for FlowEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowEvent::StageStarted { stage } => write!(f, "[{stage}] started"),
+            FlowEvent::StageFinished { stage } => write!(f, "[{stage}] finished"),
+            FlowEvent::CheckpointSaved { stage, file } => {
+                write!(f, "[{stage}] checkpoint saved: {file}")
+            }
+            FlowEvent::CheckpointLoaded { stage, file } => {
+                write!(f, "[{stage}] checkpoint reused: {file}")
+            }
+            FlowEvent::PointSkipped {
+                stage,
+                point,
+                reason,
+            } => write!(f, "[{stage}] point {point} skipped: {reason}"),
+            FlowEvent::RetryAttempted {
+                stage,
+                point,
+                attempt,
+            } => write!(
+                f,
+                "[{stage}] point {point}: retry {attempt} with relaxed solver options"
+            ),
+            FlowEvent::SampleFailures {
+                stage,
+                point,
+                samples,
+                total,
+            } => write!(
+                f,
+                "[{stage}] point {point}: {}/{} monte-carlo samples failed (indices {:?})",
+                samples.len(),
+                total,
+                samples
+            ),
+        }
+    }
+}
+
+/// The per-run event log.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowEvents {
+    events: Vec<FlowEvent>,
+}
+
+impl FlowEvents {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: FlowEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in order.
+    pub fn iter(&self) -> impl Iterator<Item = &FlowEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Indices of points skipped during `stage`.
+    pub fn skipped_points(&self, stage: FlowStage) -> Vec<usize> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::PointSkipped {
+                    stage: s, point, ..
+                } if *s == stage => Some(*point),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether a stage's checkpoint was reused instead of recomputed.
+    pub fn stage_resumed(&self, stage: FlowStage) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, FlowEvent::CheckpointLoaded { stage: s, .. } if *s == stage))
+    }
+}
+
+impl fmt::Display for FlowEvents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for event in &self.events {
+            writeln!(f, "{event}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_records_and_queries() {
+        let mut log = FlowEvents::new();
+        assert!(log.is_empty());
+        log.push(FlowEvent::StageStarted {
+            stage: FlowStage::Characterize,
+        });
+        log.push(FlowEvent::PointSkipped {
+            stage: FlowStage::Characterize,
+            point: 3,
+            reason: "all samples failed".into(),
+        });
+        log.push(FlowEvent::CheckpointLoaded {
+            stage: FlowStage::CircuitOpt,
+            file: "stage1_front.json".into(),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.skipped_points(FlowStage::Characterize), vec![3]);
+        assert!(log.stage_resumed(FlowStage::CircuitOpt));
+        assert!(!log.stage_resumed(FlowStage::SystemOpt));
+        let text = log.to_string();
+        assert!(text.contains("point 3 skipped"));
+        assert!(text.contains("checkpoint reused"));
+    }
+
+    #[test]
+    fn log_round_trips_through_json() {
+        let mut log = FlowEvents::new();
+        log.push(FlowEvent::SampleFailures {
+            stage: FlowStage::Characterize,
+            point: 1,
+            samples: vec![0, 4],
+            total: 10,
+        });
+        log.push(FlowEvent::RetryAttempted {
+            stage: FlowStage::Characterize,
+            point: 1,
+            attempt: 1,
+        });
+        let text = serde_json::to_string(&log).unwrap();
+        let back: FlowEvents = serde_json::from_str(&text).unwrap();
+        assert_eq!(log, back);
+    }
+}

@@ -1,0 +1,218 @@
+//! Deterministic fault injection for the characterisation stage.
+//!
+//! A [`FaultInjector`] wraps the [`VcoTestbench`] evaluation inside the
+//! Monte-Carlo loop and makes selected `(point, sample)` evaluations
+//! fail with a chosen [`FaultKind`] — a singular matrix, solver
+//! non-convergence, NaN outputs, or a timeout. Faults are keyed by
+//! index, so a test reproduces the same failure pattern on every run
+//! and every thread count (the MC engine already guarantees sample
+//! determinism).
+//!
+//! Faults can be *transient*: they fire only on the first
+//! characterisation attempt of a point, so the
+//! [`DegradePolicy::RetryRelaxed`](crate::policy::DegradePolicy) path
+//! can be exercised end to end — the retry with relaxed solver options
+//! genuinely succeeds.
+
+use std::collections::BTreeMap;
+
+use netlist::topology::RingVco;
+use netlist::Circuit;
+use spicesim::SimError;
+
+use crate::error::FlowError;
+use crate::vco_eval::{VcoPerf, VcoTestbench};
+
+/// The failure modes a long transistor-level run actually produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The linearised system became singular.
+    SingularMatrix,
+    /// Newton iteration failed to converge.
+    NonConvergence,
+    /// The measurement returned NaN without erroring (the nastiest
+    /// mode: it must be caught by output validation, not error
+    /// handling).
+    NanOutput,
+    /// The evaluation exceeded its time budget.
+    Timeout,
+}
+
+impl FaultKind {
+    /// The error this fault surfaces as (not applicable to
+    /// [`FaultKind::NanOutput`], which succeeds with poisoned values).
+    pub fn to_error(self) -> FlowError {
+        match self {
+            FaultKind::SingularMatrix => FlowError::Sim(SimError::Singular {
+                analysis: "injected",
+            }),
+            FaultKind::NonConvergence => FlowError::Sim(SimError::NoConvergence {
+                analysis: "injected",
+                time: 0.0,
+                iterations: 0,
+            }),
+            FaultKind::NanOutput => FlowError::Sim(SimError::Measurement {
+                message: "injected nan output".into(),
+            }),
+            FaultKind::Timeout => FlowError::Sim(SimError::Measurement {
+                message: "injected timeout: evaluation exceeded budget".into(),
+            }),
+        }
+    }
+}
+
+/// Deterministic fault plan over `(point, sample)` evaluation indices.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    sample_faults: BTreeMap<(usize, usize), FaultKind>,
+    point_faults: BTreeMap<usize, FaultKind>,
+    transient: bool,
+}
+
+impl FaultInjector {
+    /// An injector with no faults planned.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fails one Monte-Carlo sample of one point.
+    pub fn fail_sample(mut self, point: usize, sample: usize, kind: FaultKind) -> Self {
+        self.sample_faults.insert((point, sample), kind);
+        self
+    }
+
+    /// Fails every Monte-Carlo sample of a point.
+    pub fn fail_point(mut self, point: usize, kind: FaultKind) -> Self {
+        self.point_faults.insert(point, kind);
+        self
+    }
+
+    /// Fails an evenly spread `fraction` of a point's `samples`
+    /// Monte-Carlo samples: every ⌈1/fraction⌉-th index starting at 0.
+    /// Deterministic by construction.
+    pub fn fail_fraction(
+        mut self,
+        point: usize,
+        samples: usize,
+        fraction: f64,
+        kind: FaultKind,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
+        if fraction > 0.0 {
+            let step = ((1.0 / fraction).ceil() as usize).max(1);
+            for sample in (0..samples).step_by(step) {
+                self.sample_faults.insert((point, sample), kind);
+            }
+        }
+        self
+    }
+
+    /// Makes all planned faults transient: they fire only on attempt 0,
+    /// so a retry (e.g. with relaxed solver options) succeeds.
+    pub fn transient(mut self) -> Self {
+        self.transient = true;
+        self
+    }
+
+    /// The fault planned for this `(point, sample)` evaluation on the
+    /// given characterisation attempt, if any.
+    pub fn fault_for(&self, point: usize, sample: usize, attempt: usize) -> Option<FaultKind> {
+        if self.transient && attempt > 0 {
+            return None;
+        }
+        self.point_faults
+            .get(&point)
+            .or_else(|| self.sample_faults.get(&(point, sample)))
+            .copied()
+    }
+
+    /// Evaluates one Monte-Carlo sample through the testbench, applying
+    /// any fault planned for `(point, sample)` at this `attempt`.
+    ///
+    /// [`FaultKind::NanOutput`] *succeeds* with NaN performances —
+    /// callers must validate outputs, exactly as with a real measurement
+    /// gone quietly wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected fault's error, or the testbench's own error
+    /// when the (unfaulted) evaluation fails for real.
+    pub fn evaluate(
+        &self,
+        point: usize,
+        sample: usize,
+        attempt: usize,
+        testbench: &VcoTestbench,
+        circuit: &Circuit,
+        handles: &RingVco,
+    ) -> Result<VcoPerf, FlowError> {
+        match self.fault_for(point, sample, attempt) {
+            Some(FaultKind::NanOutput) => Ok(VcoPerf {
+                kvco: f64::NAN,
+                jvco: f64::NAN,
+                ivco: f64::NAN,
+                fmin: f64::NAN,
+                fmax: f64::NAN,
+            }),
+            Some(kind) => Err(kind.to_error()),
+            None => testbench.evaluate_circuit(circuit, handles),
+        }
+    }
+
+    /// Number of faults planned (point faults count once).
+    pub fn planned(&self) -> usize {
+        self.sample_faults.len() + self.point_faults.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_lookup_is_deterministic() {
+        let inj = FaultInjector::new()
+            .fail_sample(0, 3, FaultKind::SingularMatrix)
+            .fail_point(2, FaultKind::NonConvergence);
+        assert_eq!(inj.fault_for(0, 3, 0), Some(FaultKind::SingularMatrix));
+        assert_eq!(inj.fault_for(0, 4, 0), None);
+        // Point faults hit every sample.
+        assert_eq!(inj.fault_for(2, 0, 0), Some(FaultKind::NonConvergence));
+        assert_eq!(inj.fault_for(2, 99, 0), Some(FaultKind::NonConvergence));
+    }
+
+    #[test]
+    fn fraction_spreads_failures_evenly() {
+        let inj = FaultInjector::new().fail_fraction(1, 10, 0.2, FaultKind::Timeout);
+        let failing: Vec<usize> = (0..10)
+            .filter(|&s| inj.fault_for(1, s, 0).is_some())
+            .collect();
+        assert_eq!(failing, vec![0, 5], "20% of 10 samples, evenly spread");
+    }
+
+    #[test]
+    fn transient_faults_clear_on_retry() {
+        let inj = FaultInjector::new()
+            .fail_point(0, FaultKind::NonConvergence)
+            .transient();
+        assert!(inj.fault_for(0, 0, 0).is_some());
+        assert!(inj.fault_for(0, 0, 1).is_none());
+    }
+
+    #[test]
+    fn fault_kinds_map_to_sim_errors() {
+        assert!(matches!(
+            FaultKind::SingularMatrix.to_error(),
+            FlowError::Sim(SimError::Singular { .. })
+        ));
+        assert!(matches!(
+            FaultKind::NonConvergence.to_error(),
+            FlowError::Sim(SimError::NoConvergence { .. })
+        ));
+        let msg = FaultKind::Timeout.to_error().to_string();
+        assert!(msg.contains("timeout"));
+    }
+}

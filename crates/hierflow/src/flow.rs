@@ -1,5 +1,15 @@
-//! End-to-end orchestration of the hierarchical flow (paper Fig 4).
+//! End-to-end orchestration of the hierarchical flow (paper Fig 4),
+//! with stage checkpointing, graceful degradation and a structured
+//! event log.
+//!
+//! [`HierarchicalFlow::run`] executes all five stages in memory.
+//! [`HierarchicalFlow::run_with_checkpoints`] additionally persists each
+//! stage's artifact to a run directory (see [`crate::checkpoint`]), and
+//! [`HierarchicalFlow::resume`] picks a run back up from whatever
+//! artifacts the directory already holds — a crash mid-verification no
+//! longer costs the circuit-level GA budget.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use behavioral::spec::PllSpec;
@@ -11,9 +21,15 @@ use serde::Serialize;
 use variation::mc::{McConfig, MonteCarlo};
 use variation::process::ProcessSpec;
 
-use crate::charmodel::{characterize_front, CharacterizedFront};
+use crate::charmodel::{characterize_front_with, CharacterizedFront};
+use crate::checkpoint::{
+    self, config_digest, RunDir, Stage1Artifact, Stage4Artifact, Stage5Artifact,
+};
 use crate::error::FlowError;
+use crate::events::{FlowEvent, FlowEvents, FlowStage};
+use crate::faults::FaultInjector;
 use crate::model::PerfVariationModel;
+use crate::policy::DegradePolicy;
 use crate::propagate::select_verified_design;
 use crate::system_opt::{PllArchitecture, PllSystemProblem, SystemSolution};
 use crate::vco_eval::VcoTestbench;
@@ -42,8 +58,11 @@ pub struct FlowConfig {
     /// Final verification Monte-Carlo settings (paper: 500 samples).
     pub verify_mc: McConfig,
     /// Cap on characterised Pareto points (cost control; the front is
-    /// thinned evenly along the current axis).
+    /// thinned evenly along the supply-current axis).
     pub max_char_points: usize,
+    /// What to do when a Pareto point fails Monte-Carlo
+    /// characterisation (see [`DegradePolicy`]).
+    pub degrade: DegradePolicy,
 }
 
 impl FlowConfig {
@@ -84,6 +103,13 @@ impl FlowConfig {
                 threads: 2,
             },
             max_char_points: 24,
+            // Long runs absorb solver hiccups: retry with relaxed
+            // options, then drop the point, but never model fewer than
+            // a third of the budgeted front.
+            degrade: DegradePolicy::RetryRelaxed {
+                max_retries: 2,
+                min_surviving_points: 8,
+            },
         }
     }
 
@@ -98,7 +124,14 @@ impl FlowConfig {
         cfg.system_ga.generations = 24;
         cfg.verify_mc.samples = 40;
         cfg.max_char_points = 10;
+        cfg.degrade = DegradePolicy::default();
         cfg
+    }
+
+    /// Stable digest of this configuration, used by the checkpoint
+    /// manifest to refuse mixing artifacts across configurations.
+    fn digest(&self) -> u64 {
+        config_digest(&format!("{self:?}"))
     }
 }
 
@@ -117,22 +150,40 @@ pub struct FlowReport {
     pub final_sizing: VcoSizing,
     /// Bottom-up verification outcome (yield, paper §4.5).
     pub verification: VerificationReport,
-    /// Transistor-level evaluations spent in stage 1.
+    /// Transistor-level evaluations spent in stage 1 (from the stage-1
+    /// artifact; unchanged when the stage was resumed from checkpoint).
     pub circuit_evaluations: usize,
+    /// Transistor-level GA evaluations actually performed by *this*
+    /// run — 0 when stage 1 was loaded from a checkpoint.
+    pub circuit_evaluations_this_run: usize,
     /// Model-based evaluations spent in stage 4.
     pub system_evaluations: usize,
+    /// Structured log of what this run did: stages computed or resumed,
+    /// points skipped, retries attempted.
+    pub events: FlowEvents,
 }
 
 /// The flow orchestrator.
 #[derive(Debug, Clone)]
 pub struct HierarchicalFlow {
     config: FlowConfig,
+    faults: Option<FaultInjector>,
 }
 
 impl HierarchicalFlow {
     /// Creates a flow with the given configuration.
     pub fn new(config: FlowConfig) -> Self {
-        HierarchicalFlow { config }
+        HierarchicalFlow {
+            config,
+            faults: None,
+        }
+    }
+
+    /// Installs a deterministic [`FaultInjector`] on the
+    /// characterisation stage (failure-semantics testing).
+    pub fn with_fault_injector(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The configuration in use.
@@ -140,114 +191,352 @@ impl HierarchicalFlow {
         &self.config
     }
 
-    /// Runs all five stages end to end.
+    /// Runs all five stages end to end, in memory (no checkpoints).
     ///
     /// # Errors
     ///
     /// Propagates stage errors: an empty Pareto front, model-domain
     /// failures, no spec-compliant system solution, or a broken final
-    /// design.
+    /// design. Under [`DegradePolicy::Strict`], also any failed
+    /// Monte-Carlo sample (with point/sample provenance).
     pub fn run(&self) -> Result<FlowReport, FlowError> {
+        self.execute(None)
+    }
+
+    /// Runs the flow, persisting each stage's artifact into `dir` as it
+    /// completes. Stages whose artifacts are already present in `dir`
+    /// are loaded instead of recomputed, so this doubles as the resume
+    /// entry point.
+    ///
+    /// # Errors
+    ///
+    /// As [`HierarchicalFlow::run`]; additionally
+    /// [`FlowError::Checkpoint`] when the directory is unusable, holds
+    /// a corrupt artifact, or was produced by a different configuration.
+    pub fn run_with_checkpoints<P: AsRef<Path>>(&self, dir: P) -> Result<FlowReport, FlowError> {
+        let run_dir = RunDir::create(dir)?;
+        run_dir.ensure_manifest(self.config.digest())?;
+        self.execute(Some(&run_dir))
+    }
+
+    /// Resumes a checkpointed run: stages with artifacts in `dir` are
+    /// skipped (their artifacts loaded), the rest computed and
+    /// checkpointed. Identical to [`HierarchicalFlow::run_with_checkpoints`] —
+    /// a fresh directory runs everything, a partial one resumes.
+    ///
+    /// # Errors
+    ///
+    /// As [`HierarchicalFlow::run_with_checkpoints`].
+    pub fn resume<P: AsRef<Path>>(&self, dir: P) -> Result<FlowReport, FlowError> {
+        self.run_with_checkpoints(dir)
+    }
+
+    fn execute(&self, dir: Option<&RunDir>) -> Result<FlowReport, FlowError> {
         let cfg = &self.config;
+        let mut events = match dir {
+            Some(d) => d
+                .load::<FlowEvents>(checkpoint::EVENTS_FILE)?
+                .unwrap_or_default(),
+            None => FlowEvents::new(),
+        };
+
+        // A stage failure must not lose the event log: persist it
+        // best-effort before surfacing the error.
+        macro_rules! bail_on_err {
+            ($result:expr) => {
+                match $result {
+                    Ok(v) => v,
+                    Err(e) => {
+                        let _ = persist_events(dir, &events);
+                        return Err(e);
+                    }
+                }
+            };
+        }
 
         // Stage 1: circuit-level multi-objective sizing, with the
         // system band propagated down as coverage constraints (Fig 3).
-        let problem = VcoSizingProblem::with_band(
-            cfg.testbench.clone(),
-            cfg.spec.f_out_min,
-            cfg.spec.f_out_max,
-        );
-        let result = run_nsga2(&problem, &cfg.circuit_ga);
-        let mut front = result.pareto_front();
-        if front.is_empty() {
-            return Err(FlowError::stage(
-                "circuit-opt",
-                "circuit-level optimisation produced no feasible designs",
-            ));
-        }
-        thin_front(&mut front, cfg.max_char_points);
+        let mut circuit_evaluations_this_run = 0;
+        let stage1 = match load_artifact::<Stage1Artifact>(
+            dir,
+            checkpoint::STAGE1_FRONT,
+            FlowStage::CircuitOpt,
+            &mut events,
+        )? {
+            Some(artifact) => artifact,
+            None => {
+                events.push(FlowEvent::StageStarted {
+                    stage: FlowStage::CircuitOpt,
+                });
+                let problem = VcoSizingProblem::with_band(
+                    cfg.testbench.clone(),
+                    cfg.spec.f_out_min,
+                    cfg.spec.f_out_max,
+                );
+                let result = run_nsga2(&problem, &cfg.circuit_ga);
+                circuit_evaluations_this_run = result.evaluations;
+                let mut front = result.pareto_front();
+                if front.is_empty() {
+                    let _ = persist_events(dir, &events);
+                    return Err(FlowError::stage(
+                        FlowStage::CircuitOpt.name(),
+                        "circuit-level optimisation produced no feasible designs",
+                    ));
+                }
+                thin_front(&mut front, cfg.max_char_points);
+                events.push(FlowEvent::StageFinished {
+                    stage: FlowStage::CircuitOpt,
+                });
+                let artifact = Stage1Artifact {
+                    front,
+                    evaluations: result.evaluations,
+                };
+                bail_on_err!(save_artifact(
+                    dir,
+                    checkpoint::STAGE1_FRONT,
+                    FlowStage::CircuitOpt,
+                    &artifact,
+                    &mut events,
+                ));
+                artifact
+            }
+        };
+        bail_on_err!(persist_events(dir, &events));
 
-        // Stage 2: Monte-Carlo characterisation of the front.
+        // Stage 2: Monte-Carlo characterisation of the front, under the
+        // configured degradation policy.
         let engine = MonteCarlo::new(cfg.process);
-        let characterized =
-            characterize_front(&front, &cfg.testbench, &engine, &cfg.char_mc)?;
+        let characterized = match load_artifact::<CharacterizedFront>(
+            dir,
+            checkpoint::STAGE2_CHARACTERIZED,
+            FlowStage::Characterize,
+            &mut events,
+        )? {
+            Some(artifact) => artifact,
+            None => {
+                events.push(FlowEvent::StageStarted {
+                    stage: FlowStage::Characterize,
+                });
+                let characterized = bail_on_err!(characterize_front_with(
+                    &stage1.front,
+                    &cfg.testbench,
+                    &engine,
+                    &cfg.char_mc,
+                    cfg.degrade,
+                    self.faults.as_ref(),
+                    &mut events,
+                ));
+                events.push(FlowEvent::StageFinished {
+                    stage: FlowStage::Characterize,
+                });
+                bail_on_err!(save_artifact(
+                    dir,
+                    checkpoint::STAGE2_CHARACTERIZED,
+                    FlowStage::Characterize,
+                    &characterized,
+                    &mut events,
+                ));
+                characterized
+            }
+        };
+        bail_on_err!(persist_events(dir, &events));
 
-        // Stage 3: the combined performance + variation model.
-        let model = Arc::new(PerfVariationModel::from_front(&characterized)?);
+        // Stage 3: the combined performance + variation model. Rebuilt
+        // every run — cheap, and its spline internals do not serialise.
+        events.push(FlowEvent::StageStarted {
+            stage: FlowStage::Model,
+        });
+        let model = Arc::new(bail_on_err!(PerfVariationModel::from_front(&characterized)));
+        events.push(FlowEvent::StageFinished {
+            stage: FlowStage::Model,
+        });
 
         // Stage 4: system-level optimisation with the model in the loop.
-        let system_problem = PllSystemProblem::new(
-            Arc::clone(&model),
-            cfg.arch,
-            cfg.spec,
-            cfg.lock_sim,
-        );
-        let system_result = run_nsga2_seeded(
-            &system_problem,
-            &cfg.system_ga,
-            &system_problem.warm_start_seeds(),
-        );
-        let system_front = system_result.pareto_front();
-        let system_rows: Vec<SystemSolution> = system_front
-            .iter()
-            .filter_map(|ind| system_problem.detail(&ind.x).ok())
-            .collect();
+        let system_problem =
+            PllSystemProblem::new(Arc::clone(&model), cfg.arch, cfg.spec, cfg.lock_sim);
+        let stage4 = match load_artifact::<Stage4Artifact>(
+            dir,
+            checkpoint::STAGE4_SYSTEM,
+            FlowStage::SystemOpt,
+            &mut events,
+        )? {
+            Some(artifact) => artifact,
+            None => {
+                events.push(FlowEvent::StageStarted {
+                    stage: FlowStage::SystemOpt,
+                });
+                let system_result = run_nsga2_seeded(
+                    &system_problem,
+                    &cfg.system_ga,
+                    &system_problem.warm_start_seeds(),
+                );
+                let system_front = system_result.pareto_front();
+                let rows: Vec<SystemSolution> = system_front
+                    .iter()
+                    .filter_map(|ind| system_problem.detail(&ind.x).ok())
+                    .collect();
+                events.push(FlowEvent::StageFinished {
+                    stage: FlowStage::SystemOpt,
+                });
+                let artifact = Stage4Artifact {
+                    front: system_front,
+                    rows,
+                    evaluations: system_result.evaluations,
+                };
+                bail_on_err!(save_artifact(
+                    dir,
+                    checkpoint::STAGE4_SYSTEM,
+                    FlowStage::SystemOpt,
+                    &artifact,
+                    &mut events,
+                ));
+                artifact
+            }
+        };
+        bail_on_err!(persist_events(dir, &events));
 
         // Stage 5: spec propagation with verification-in-the-loop
         // (Fig 3's two-way arrows), then bottom-up Monte Carlo.
-        let picked = select_verified_design(
-            &system_problem,
-            &system_front,
-            &model,
-            &cfg.testbench,
-            &cfg.arch,
-            &cfg.spec,
-            &cfg.lock_sim,
-            12,
-        )?;
-        let verification = verify_design(
-            &picked.sizing,
-            (picked.solution.c1, picked.solution.c2, picked.solution.r1),
-            &cfg.testbench,
-            &cfg.arch,
-            &cfg.spec,
-            &engine,
-            &cfg.verify_mc,
-            &cfg.lock_sim,
-        )?;
+        let stage5 = match load_artifact::<Stage5Artifact>(
+            dir,
+            checkpoint::STAGE5_SELECTED,
+            FlowStage::Verify,
+            &mut events,
+        )? {
+            Some(artifact) => artifact,
+            None => {
+                events.push(FlowEvent::StageStarted {
+                    stage: FlowStage::Verify,
+                });
+                let picked = bail_on_err!(select_verified_design(
+                    &system_problem,
+                    &stage4.front,
+                    &model,
+                    &cfg.testbench,
+                    &cfg.arch,
+                    &cfg.spec,
+                    &cfg.lock_sim,
+                    12,
+                ));
+                let verification = bail_on_err!(verify_design(
+                    &picked.sizing,
+                    (picked.solution.c1, picked.solution.c2, picked.solution.r1),
+                    &cfg.testbench,
+                    &cfg.arch,
+                    &cfg.spec,
+                    &engine,
+                    &cfg.verify_mc,
+                    &cfg.lock_sim,
+                ));
+                events.push(FlowEvent::StageFinished {
+                    stage: FlowStage::Verify,
+                });
+                let artifact = Stage5Artifact {
+                    x: picked.x,
+                    solution: picked.solution,
+                    sizing: picked.sizing,
+                    verification,
+                };
+                bail_on_err!(save_artifact(
+                    dir,
+                    checkpoint::STAGE5_SELECTED,
+                    FlowStage::Verify,
+                    &artifact,
+                    &mut events,
+                ));
+                artifact
+            }
+        };
+        bail_on_err!(persist_events(dir, &events));
 
         Ok(FlowReport {
             front: characterized,
-            system_front: system_rows,
-            selected: picked.solution,
-            selected_x: picked.x,
-            final_sizing: picked.sizing,
-            verification,
-            circuit_evaluations: result.evaluations,
-            system_evaluations: system_result.evaluations,
+            system_front: stage4.rows,
+            selected: stage5.solution,
+            selected_x: stage5.x,
+            final_sizing: stage5.sizing,
+            verification: stage5.verification,
+            circuit_evaluations: stage1.evaluations,
+            circuit_evaluations_this_run,
+            system_evaluations: stage4.evaluations,
+            events,
         })
     }
 }
 
+/// Loads a stage artifact from the run directory (when checkpointing is
+/// active and the file exists), recording the reuse in the event log.
+fn load_artifact<T: serde::Deserialize>(
+    dir: Option<&RunDir>,
+    file: &str,
+    stage: FlowStage,
+    events: &mut FlowEvents,
+) -> Result<Option<T>, FlowError> {
+    let Some(d) = dir else {
+        return Ok(None);
+    };
+    match d.load::<T>(file)? {
+        Some(value) => {
+            events.push(FlowEvent::CheckpointLoaded {
+                stage,
+                file: file.to_string(),
+            });
+            Ok(Some(value))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Saves a stage artifact to the run directory (when checkpointing is
+/// active), recording the write in the event log.
+fn save_artifact<T: serde::Serialize>(
+    dir: Option<&RunDir>,
+    file: &str,
+    stage: FlowStage,
+    value: &T,
+    events: &mut FlowEvents,
+) -> Result<(), FlowError> {
+    if let Some(d) = dir {
+        d.save(file, value)?;
+        events.push(FlowEvent::CheckpointSaved {
+            stage,
+            file: file.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Persists the event log to the run directory (when checkpointing is
+/// active), so interrupted runs keep their history.
+fn persist_events(dir: Option<&RunDir>, events: &FlowEvents) -> Result<(), FlowError> {
+    match dir {
+        Some(d) => d.save(checkpoint::EVENTS_FILE, events),
+        None => Ok(()),
+    }
+}
+
 /// Thins a front to at most `max_points`, spread evenly along the
-/// minimum-frequency axis: the system level needs designs spanning from
-/// band-bottom coverage (low fmin) to band-top coverage (high fmax), and
-/// fmin orders the front along exactly that trade-off.
+/// supply-current axis (`objectives[1]`): with the band constraint
+/// active every feasible design covers the frequency band, so current
+/// orders the power/jitter trade-off the system level explores, and an
+/// even spread along it keeps both the leanest and the fastest designs.
+/// `max_points == 0` disables thinning; `max_points == 1` keeps the
+/// lowest-current design.
 fn thin_front(front: &mut Vec<Individual>, max_points: usize) {
     if front.len() <= max_points || max_points == 0 {
         return;
     }
-    // Sort by the current objective: with the band constraint active
-    // every feasible design covers the band, so current orders the
-    // power/jitter trade-off the system level explores.
     front.sort_by(|a, b| {
         a.objectives[1]
             .partial_cmp(&b.objectives[1])
             .unwrap_or(std::cmp::Ordering::Equal)
     });
     let n = front.len();
+    // `max(1)` keeps the stride denominator non-zero when a single
+    // point is requested (k is then always 0 → the lowest-current one).
+    let denom = (max_points - 1).max(1);
     let picked: Vec<Individual> = (0..max_points)
-        .map(|k| front[k * (n - 1) / (max_points - 1)].clone())
+        .map(|k| front[k * (n - 1) / denom].clone())
         .collect();
     *front = picked;
 }
@@ -282,6 +571,32 @@ mod tests {
     }
 
     #[test]
+    fn thinning_to_zero_is_a_noop_cap() {
+        let mut front: Vec<Individual> = (0..7).map(|i| ind(i as f64)).collect();
+        thin_front(&mut front, 0);
+        assert_eq!(front.len(), 7, "0 means no cap");
+    }
+
+    #[test]
+    fn thinning_to_one_point_keeps_the_leanest() {
+        // Regression: `k * (n-1) / (max_points - 1)` divided by zero
+        // when max_points == 1.
+        let mut front: Vec<Individual> = (0..9).rev().map(|i| ind(i as f64)).collect();
+        thin_front(&mut front, 1);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].objectives[1], 0.0, "lowest-current design");
+    }
+
+    #[test]
+    fn thinning_to_two_points_keeps_both_extremes() {
+        let mut front: Vec<Individual> = (0..9).map(|i| ind(i as f64)).collect();
+        thin_front(&mut front, 2);
+        assert_eq!(front.len(), 2);
+        assert_eq!(front[0].objectives[1], 0.0);
+        assert_eq!(front[1].objectives[1], 8.0);
+    }
+
+    #[test]
     fn quick_config_is_smaller_than_paper_scale() {
         let q = FlowConfig::quick();
         let p = FlowConfig::paper_scale();
@@ -291,5 +606,22 @@ mod tests {
         assert_eq!(p.circuit_ga.generations, 30, "paper §4.2");
         assert_eq!(p.char_mc.samples, 100, "paper §4.3");
         assert_eq!(p.verify_mc.samples, 500, "paper §4.5");
+    }
+
+    #[test]
+    fn paper_scale_degrades_gracefully_by_default() {
+        let p = FlowConfig::paper_scale();
+        assert!(!p.degrade.is_strict(), "hour-long runs must absorb faults");
+        assert!(p.degrade.max_retries() > 0);
+        assert!(p.degrade.min_surviving_points() >= 2);
+    }
+
+    #[test]
+    fn config_digest_distinguishes_budgets() {
+        let a = FlowConfig::quick();
+        let mut b = FlowConfig::quick();
+        assert_eq!(a.digest(), b.digest());
+        b.char_mc.samples += 1;
+        assert_ne!(a.digest(), b.digest());
     }
 }

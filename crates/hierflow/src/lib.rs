@@ -27,9 +27,13 @@
 //! `examples/pll_hierarchical.rs` runs it end to end.
 
 pub mod charmodel;
+pub mod checkpoint;
 pub mod error;
+pub mod events;
+pub mod faults;
 pub mod flow;
 pub mod model;
+pub mod policy;
 pub mod propagate;
 pub mod report;
 pub mod sensitivity;
@@ -39,6 +43,9 @@ pub mod vco_problem;
 pub mod verify;
 
 pub use error::FlowError;
+pub use events::{FlowEvent, FlowEvents, FlowStage};
+pub use faults::{FaultInjector, FaultKind};
 pub use flow::{FlowConfig, FlowReport, HierarchicalFlow};
 pub use model::PerfVariationModel;
+pub use policy::DegradePolicy;
 pub use vco_eval::{VcoPerf, VcoTestbench};

@@ -67,10 +67,8 @@ impl DeltaModel {
 
     fn eval(&self, key: f64) -> f64 {
         match self {
-            DeltaModel::Table(t) => t.eval(key).unwrap_or_else(|_| {
-                // 1C clamps, so this is unreachable; keep a safe value.
-                0.0
-            }),
+            // 1C clamps, so the error arm is unreachable; keep a safe value.
+            DeltaModel::Table(t) => t.eval(key).unwrap_or(0.0),
             DeltaModel::Constant(c) => *c,
         }
     }
@@ -283,10 +281,7 @@ impl PerfVariationModel {
         let dj = self.delta_jvco.eval(jvco) / 100.0;
         let candidates = [jvco * (1.0 - dj), jvco * (1.0 + dj), j1, j2];
         let jvco_min = candidates.iter().copied().fold(f64::INFINITY, f64::min);
-        let jvco_max = candidates
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let jvco_max = candidates.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
         Ok(VcoQuery {
             kvco,

@@ -1,0 +1,133 @@
+//! Graceful-degradation policies for the characterisation stage.
+//!
+//! The paper-scale flow spends hours of transistor-level simulation; a
+//! single Pareto point whose Monte-Carlo samples all fail should not
+//! discard that investment. A [`DegradePolicy`] decides what happens
+//! instead: abort with full provenance ([`DegradePolicy::Strict`]),
+//! drop the point and continue
+//! ([`DegradePolicy::SkipFailedPoints`]), or re-characterise with
+//! progressively relaxed solver options before dropping
+//! ([`DegradePolicy::RetryRelaxed`]). Both degrading policies enforce a
+//! minimum surviving-point count before the combined table model
+//! ([`crate::model::PerfVariationModel`]) is attempted, since a model
+//! built from too few points extrapolates wildly.
+
+use spicesim::SimOptions;
+
+/// What to do when a Pareto point fails characterisation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradePolicy {
+    /// Any failed Monte-Carlo sample aborts the run with stage, point
+    /// and sample provenance. For CI and debugging: nothing is papered
+    /// over.
+    Strict,
+    /// Points that fail characterisation outright (no usable samples or
+    /// undefined spreads) are dropped and reported in the event log.
+    /// Partial sample failures are tolerated and recorded.
+    SkipFailedPoints {
+        /// Minimum points that must survive for the flow to continue.
+        min_surviving_points: usize,
+    },
+    /// Like `SkipFailedPoints`, but a failing point is first retried
+    /// with progressively relaxed solver options.
+    RetryRelaxed {
+        /// Maximum retries per point (each one relaxes further).
+        max_retries: usize,
+        /// Minimum points that must survive for the flow to continue.
+        min_surviving_points: usize,
+    },
+}
+
+impl Default for DegradePolicy {
+    /// Skip failed points, requiring the two survivors the table model
+    /// needs as an absolute floor.
+    fn default() -> Self {
+        DegradePolicy::SkipFailedPoints {
+            min_surviving_points: 2,
+        }
+    }
+}
+
+impl DegradePolicy {
+    /// The surviving-point floor this policy enforces (1 under
+    /// [`DegradePolicy::Strict`], where no point may be dropped at
+    /// all).
+    pub fn min_surviving_points(&self) -> usize {
+        match *self {
+            DegradePolicy::Strict => 1,
+            DegradePolicy::SkipFailedPoints {
+                min_surviving_points,
+            }
+            | DegradePolicy::RetryRelaxed {
+                min_surviving_points,
+                ..
+            } => min_surviving_points.max(1),
+        }
+    }
+
+    /// Retries this policy allows per point.
+    pub fn max_retries(&self) -> usize {
+        match *self {
+            DegradePolicy::RetryRelaxed { max_retries, .. } => max_retries,
+            _ => 0,
+        }
+    }
+
+    /// Whether partial sample failures abort the run.
+    pub fn is_strict(&self) -> bool {
+        matches!(self, DegradePolicy::Strict)
+    }
+}
+
+/// Solver options for retry `attempt` (attempt 0 = the originals).
+///
+/// Each retry relaxes the Newton iteration by a decade of `gmin`, a
+/// decade of `reltol` (capped at 1e-2 — beyond that the "measurement"
+/// is noise), and 50% more iterations: the standard SPICE ladder for
+/// coaxing a non-convergent operating point.
+pub fn relaxed_options(base: &SimOptions, attempt: usize) -> SimOptions {
+    if attempt == 0 {
+        return *base;
+    }
+    let decades = 10f64.powi(attempt as i32);
+    let mut opts = *base;
+    opts.gmin = base.gmin * decades;
+    opts.reltol = (base.reltol * decades).min(1e-2);
+    opts.max_newton_iterations =
+        base.max_newton_iterations + base.max_newton_iterations / 2 * attempt;
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_skips_with_model_floor() {
+        let p = DegradePolicy::default();
+        assert_eq!(p.min_surviving_points(), 2);
+        assert_eq!(p.max_retries(), 0);
+        assert!(!p.is_strict());
+    }
+
+    #[test]
+    fn strict_never_drops_points() {
+        let p = DegradePolicy::Strict;
+        assert!(p.is_strict());
+        assert_eq!(p.max_retries(), 0);
+    }
+
+    #[test]
+    fn relaxation_ladder_is_monotone() {
+        let base = SimOptions::default();
+        let r0 = relaxed_options(&base, 0);
+        assert_eq!(r0, base, "attempt 0 must not alter the solver");
+        let r1 = relaxed_options(&base, 1);
+        let r2 = relaxed_options(&base, 2);
+        assert!(r1.gmin > base.gmin && r2.gmin > r1.gmin);
+        assert!(r1.reltol > base.reltol);
+        assert!(r2.reltol <= 1e-2, "reltol capped");
+        assert!(r1.max_newton_iterations > base.max_newton_iterations);
+        assert!(r2.max_newton_iterations > r1.max_newton_iterations);
+    }
+}

@@ -39,8 +39,7 @@ pub fn select_design(
         let better = match &best {
             None => true,
             Some((_, b)) => {
-                sol.jitter < b.jitter
-                    || (sol.jitter == b.jitter && sol.current < b.current)
+                sol.jitter < b.jitter || (sol.jitter == b.jitter && sol.current < b.current)
             }
         };
         if better {

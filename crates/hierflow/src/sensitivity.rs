@@ -129,12 +129,28 @@ mod tests {
         let tb = VcoTestbench::default();
         let m = sensitivity_matrix(&tb, &VcoSizing::nominal(), 0.08).unwrap();
         // ivco (row 1) rises with the starve widths (columns 2, 3).
-        assert!(m.elasticity[1][2] > 0.0, "ivco vs wsn: {}", m.elasticity[1][2]);
-        assert!(m.elasticity[1][3] > 0.0, "ivco vs wsp: {}", m.elasticity[1][3]);
+        assert!(
+            m.elasticity[1][2] > 0.0,
+            "ivco vs wsn: {}",
+            m.elasticity[1][2]
+        );
+        assert!(
+            m.elasticity[1][3] > 0.0,
+            "ivco vs wsp: {}",
+            m.elasticity[1][3]
+        );
         // fmax (row 4) falls with the inverter widths (more load).
-        assert!(m.elasticity[4][0] < 0.0, "fmax vs wn: {}", m.elasticity[4][0]);
+        assert!(
+            m.elasticity[4][0] < 0.0,
+            "fmax vs wn: {}",
+            m.elasticity[4][0]
+        );
         // jvco (row 2) falls as inverter width grows (bigger C).
-        assert!(m.elasticity[2][0] < 0.0, "jvco vs wn: {}", m.elasticity[2][0]);
+        assert!(
+            m.elasticity[2][0] < 0.0,
+            "jvco vs wn: {}",
+            m.elasticity[2][0]
+        );
         let table = m.to_table();
         assert!(table.contains("kvco") && table.contains("w_bias"));
     }

@@ -272,8 +272,7 @@ impl Problem for PllSystemProblem {
         // Combined stability margin: phase margin headroom AND the
         // discrete-time bandwidth rule (crossover below fref/10).
         let pm_margin = (analysis.phase_margin_deg - 20.0) / 90.0;
-        let bw_margin =
-            (self.arch.fref / 10.0 - analysis.crossover_hz) / (self.arch.fref / 10.0);
+        let bw_margin = (self.arch.fref / 10.0 - analysis.crossover_hz) / (self.arch.fref / 10.0);
         let stability_margin = pm_margin.min(bw_margin);
 
         let Ok(sol) = self.detail(x) else {
@@ -336,9 +335,7 @@ mod tests {
                 }
             })
             .collect();
-        Arc::new(
-            PerfVariationModel::from_front(&CharacterizedFront { points }).unwrap(),
-        )
+        Arc::new(PerfVariationModel::from_front(&CharacterizedFront { points }).unwrap())
     }
 
     fn problem() -> PllSystemProblem {

@@ -5,9 +5,7 @@ use netlist::topology::{build_ring_vco, RingVco, VcoSizing};
 use netlist::{Circuit, Device, SourceWaveform};
 use serde::{Deserialize, Serialize};
 use spicesim::measure::{measure_oscillator, OscConfig};
-use spicesim::noise::{
-    analytic_ring_jitter, measure_period_jitter, DEFAULT_JITTER_CALIBRATION,
-};
+use spicesim::noise::{analytic_ring_jitter, measure_period_jitter, DEFAULT_JITTER_CALIBRATION};
 use spicesim::SimOptions;
 
 use crate::error::FlowError;
@@ -53,6 +51,13 @@ impl VcoPerf {
 
     /// Names of the performance functions, in array order.
     pub const NAMES: [&'static str; 5] = ["kvco", "ivco", "jvco", "fmin", "fmax"];
+
+    /// Whether every performance value is finite. A measurement can
+    /// return NaN without erroring (e.g. a degenerate waveform fit);
+    /// consumers must validate before treating the result as data.
+    pub fn is_finite(&self) -> bool {
+        self.to_array().iter().all(|v| v.is_finite())
+    }
 }
 
 /// How jitter is extracted during evaluation.

@@ -106,10 +106,9 @@ impl Problem for VcoSizingProblem {
         match self.testbench.evaluate_sizing(&sizing) {
             Ok(perf) => {
                 let constraints = match self.band {
-                    Some((f_lo, f_hi)) => vec![
-                        (f_lo - perf.fmin) / f_lo,
-                        (perf.fmax - f_hi) / f_hi,
-                    ],
+                    Some((f_lo, f_hi)) => {
+                        vec![(f_lo - perf.fmin) / f_lo, (perf.fmax - f_hi) / f_hi]
+                    }
                     None => Vec::new(),
                 };
                 Evaluation {

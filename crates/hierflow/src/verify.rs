@@ -42,6 +42,7 @@ pub struct VerificationReport {
 ///
 /// Returns [`FlowError::Stage`] when every sample fails to evaluate
 /// (the design is broken, not merely low-yield).
+#[allow(clippy::too_many_arguments)]
 pub fn verify_design(
     sizing: &VcoSizing,
     filter: (f64, f64, f64),
@@ -162,7 +163,10 @@ mod tests {
         assert!(report.yield_value > 0.5, "yield {}", report.yield_value);
         assert!(report.yield_ci.0 <= report.yield_value);
         assert!(report.yield_ci.1 >= report.yield_value);
-        assert_eq!(report.vco_samples.len(), report.total - report.evaluation_failures);
+        assert_eq!(
+            report.vco_samples.len(),
+            report.total - report.evaluation_failures
+        );
     }
 
     #[test]

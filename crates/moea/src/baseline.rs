@@ -100,12 +100,7 @@ pub fn run_weighted_sum_ga<P: Problem>(
     let mut rng = dist::seeded_rng(cfg.seed);
     let bounds = problem.all_bounds();
     let fitness = |ind: &Individual| -> f64 {
-        let weighted: f64 = ind
-            .objectives
-            .iter()
-            .zip(weights)
-            .map(|(o, w)| o * w)
-            .sum();
+        let weighted: f64 = ind.objectives.iter().zip(weights).map(|(o, w)| o * w).sum();
         weighted + 1e6 * ind.violation()
     };
 

@@ -92,7 +92,10 @@ pub fn igd(approximation: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
     );
     let dim = reference[0].len();
     assert!(
-        approximation.iter().chain(reference).all(|p| p.len() == dim),
+        approximation
+            .iter()
+            .chain(reference)
+            .all(|p| p.len() == dim),
         "igd dimension mismatch"
     );
     let total: f64 = reference
@@ -134,8 +137,7 @@ mod tests {
     #[test]
     fn dominated_points_add_nothing() {
         let base = hypervolume_2d(&[vec![1.0, 1.0]], &[3.0, 3.0]);
-        let with_dominated =
-            hypervolume_2d(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]);
+        let with_dominated = hypervolume_2d(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]);
         assert!((base - with_dominated).abs() < 1e-12);
     }
 

@@ -58,7 +58,7 @@ impl Default for Nsga2Config {
 impl Nsga2Config {
     fn validate(&self) {
         assert!(self.population >= 4, "population must be at least 4");
-        assert!(self.population % 2 == 0, "population must be even");
+        assert!(self.population.is_multiple_of(2), "population must be even");
         assert!(self.generations >= 1, "need at least one generation");
         assert!(
             (0.0..=1.0).contains(&self.crossover_prob),
@@ -245,7 +245,10 @@ fn generation_stats(generation: usize, population: &[Individual]) -> GenerationS
         .iter()
         .filter(|i| i.is_feasible())
         .map(|i| i.objectives[0])
-        .fold(f64::NAN, |acc, v| if acc.is_nan() || v < acc { v } else { acc });
+        .fold(
+            f64::NAN,
+            |acc, v| if acc.is_nan() || v < acc { v } else { acc },
+        );
     GenerationStats {
         generation,
         feasible,
@@ -345,13 +348,7 @@ fn sbx_crossover(
 }
 
 /// Polynomial mutation, bound-respecting variant.
-fn polynomial_mutation(
-    x: &mut [f64],
-    bounds: &[(f64, f64)],
-    pm: f64,
-    eta: f64,
-    rng: &mut StdRng,
-) {
+fn polynomial_mutation(x: &mut [f64], bounds: &[(f64, f64)], pm: f64, eta: f64, rng: &mut StdRng) {
     for i in 0..x.len() {
         if rng.random::<f64>() >= pm {
             continue;
@@ -402,12 +399,21 @@ fn evaluate_all<P: Problem>(
     results.into_iter().map(|o| o.expect("evaluated")).collect()
 }
 
-/// Guards against NaN objectives leaking into the dominance machinery.
+/// Guards the dominance machinery against broken evaluations: a
+/// panicking evaluator, non-finite objectives, or NaN constraints all
+/// become a failed candidate (worst objectives, violated constraint)
+/// instead of poisoning the sort or aborting a worker thread.
+/// Non-finite *constraints* other than NaN stay as-is — ±∞ violations
+/// still order correctly.
 fn checked_eval<P: Problem>(problem: &P, x: &[f64]) -> Evaluation {
-    let eval = problem.evaluate(x);
-    if eval.objectives.iter().any(|v| v.is_nan())
-        || eval.constraints.iter().any(|v| v.is_nan())
-    {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| problem.evaluate(x)));
+    let Ok(eval) = result else {
+        return Evaluation::failed(problem.num_objectives());
+    };
+    let broken = eval.objectives.len() != problem.num_objectives()
+        || eval.objectives.iter().any(|v| !v.is_finite())
+        || eval.constraints.iter().any(|v| v.is_nan());
+    if broken {
         Evaluation::failed(problem.num_objectives())
     } else {
         eval
@@ -595,10 +601,7 @@ mod tests {
         let cold = run_nsga2(&Island, &cfg);
         let warm = run_nsga2_seeded(&Island, &cfg, &[vec![0.123, 0.456]]);
         assert!(warm.pareto_front().iter().any(|i| i.is_feasible()));
-        assert!(warm
-            .pareto_front()
-            .iter()
-            .any(|i| i.objectives[0] < 1e-12));
+        assert!(warm.pareto_front().iter().any(|i| i.objectives[0] < 1e-12));
         // The cold run almost surely misses the island in one generation.
         let _ = cold;
     }
@@ -719,6 +722,102 @@ mod tests {
         for ind in &front {
             assert!(ind.objectives.iter().all(|v| v.is_finite()));
         }
+    }
+
+    #[test]
+    fn infinite_objectives_become_failed_candidates() {
+        // ±∞ compares fine but saturates crowding-distance arithmetic
+        // and shadows every real trade-off; it must be quarantined the
+        // same way NaN is.
+        struct InfProblem;
+        impl Problem for InfProblem {
+            fn num_vars(&self) -> usize {
+                1
+            }
+            fn bounds(&self, _i: usize) -> (f64, f64) {
+                (0.0, 1.0)
+            }
+            fn num_objectives(&self) -> usize {
+                2
+            }
+            fn evaluate(&self, x: &[f64]) -> Evaluation {
+                if x[0] > 0.5 {
+                    Evaluation::feasible(vec![f64::NEG_INFINITY, 0.0])
+                } else {
+                    Evaluation::feasible(vec![x[0], 1.0 - x[0]])
+                }
+            }
+        }
+        let cfg = Nsga2Config {
+            population: 20,
+            generations: 10,
+            seed: 4,
+            ..Default::default()
+        };
+        let result = run_nsga2(&InfProblem, &cfg);
+        let front = result.pareto_front();
+        assert!(!front.is_empty());
+        for ind in &front {
+            assert!(
+                ind.objectives.iter().all(|v| v.is_finite()),
+                "-inf objective survived into the front: {:?}",
+                ind.objectives
+            );
+        }
+    }
+
+    #[test]
+    fn panicking_evaluator_becomes_failed_candidate() {
+        // A panic in evaluate() (index bug, assert, poisoned solver
+        // state) must cost one candidate, not the run: serially and
+        // with worker threads alike.
+        struct PanickyProblem;
+        impl Problem for PanickyProblem {
+            fn num_vars(&self) -> usize {
+                1
+            }
+            fn bounds(&self, _i: usize) -> (f64, f64) {
+                (0.0, 1.0)
+            }
+            fn num_objectives(&self) -> usize {
+                2
+            }
+            fn evaluate(&self, x: &[f64]) -> Evaluation {
+                assert!(x[0] <= 0.7, "solver blew up at x = {}", x[0]);
+                Evaluation::feasible(vec![x[0], 1.0 - x[0]])
+            }
+        }
+        // Silence the panic hook for the duration: these panics are the
+        // test fixture, not failures worth printing hundreds of times.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let run = std::panic::catch_unwind(|| {
+            let cfg = Nsga2Config {
+                population: 20,
+                generations: 8,
+                seed: 6,
+                ..Default::default()
+            };
+            let serial = run_nsga2(&PanickyProblem, &cfg);
+            let cfg_par = Nsga2Config {
+                eval_threads: 4,
+                ..cfg
+            };
+            let parallel = run_nsga2(&PanickyProblem, &cfg_par);
+            (serial, parallel)
+        });
+        std::panic::set_hook(hook);
+        let (serial, parallel) = run.expect("the GA itself must not panic");
+        for result in [&serial, &parallel] {
+            let front = result.pareto_front();
+            assert!(!front.is_empty());
+            for ind in &front {
+                assert!(ind.x[0] <= 0.7, "panicking candidate won: {:?}", ind.x);
+                assert!(ind.objectives.iter().all(|v| v.is_finite()));
+            }
+        }
+        // Failure handling is deterministic too.
+        assert_eq!(serial.population, parallel.population);
     }
 
     #[test]

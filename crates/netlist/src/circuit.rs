@@ -8,9 +8,7 @@ use crate::device::{Device, Mosfet, SourceWaveform};
 use crate::error::NetlistError;
 
 /// Identifier of a circuit node. Node 0 is always ground.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -26,9 +24,7 @@ impl NodeId {
 }
 
 /// Identifier of a device within its circuit.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DeviceId(pub(crate) usize);
 
 impl DeviceId {
@@ -203,11 +199,7 @@ impl Circuit {
     ///
     /// Returns [`NetlistError::DuplicateDevice`] when `name` is already
     /// used in this circuit.
-    pub fn try_add_device(
-        &mut self,
-        name: &str,
-        device: Device,
-    ) -> Result<DeviceId, NetlistError> {
+    pub fn try_add_device(&mut self, name: &str, device: Device) -> Result<DeviceId, NetlistError> {
         if self.find_device(name).is_some() {
             return Err(NetlistError::DuplicateDevice {
                 name: name.to_string(),

@@ -70,7 +70,7 @@ impl MosModel {
             vto: 0.35,
             kp: 350e-6,
             lambda_prime: 0.04e-6,
-            cox_per_area: 0.010,  // 10 fF/µm²
+            cox_per_area: 0.010, // 10 fF/µm²
             // Effective junction + local interconnect loading; sized so
             // the ring VCO covers the paper's 0.5 GHz band edge and its
             // gain lands in Table 1's 0.4-2.3 GHz/V window.
@@ -419,7 +419,10 @@ mod tests {
         assert!(m.lambda() > 0.0);
         let lambda_short = m.lambda();
         m.l *= 2.0;
-        assert!(m.lambda() < lambda_short, "longer channel → less modulation");
+        assert!(
+            m.lambda() < lambda_short,
+            "longer channel → less modulation"
+        );
     }
 
     #[test]

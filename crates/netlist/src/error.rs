@@ -97,7 +97,9 @@ mod tests {
             message: "expected node name".into(),
         };
         assert_eq!(e.to_string(), "parse error at line 3: expected node name");
-        let e = NetlistError::BadValue { token: "2.2x".into() };
+        let e = NetlistError::BadValue {
+            token: "2.2x".into(),
+        };
         assert!(e.to_string().contains("2.2x"));
     }
 

@@ -71,7 +71,10 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
         }
         if lower.starts_with(".subckt") {
             if current_sub.is_some() {
-                return Err(parse_err(lineno, "nested .subckt definitions not supported"));
+                return Err(parse_err(
+                    lineno,
+                    "nested .subckt definitions not supported",
+                ));
             }
             let tokens: Vec<&str> = line.split_whitespace().collect();
             if tokens.len() < 3 {
@@ -85,9 +88,9 @@ pub fn parse(text: &str) -> Result<Circuit, NetlistError> {
             continue;
         }
         if lower.starts_with(".ends") {
-            let sub = current_sub.take().ok_or_else(|| {
-                parse_err(lineno, ".ends without a matching .subckt")
-            })?;
+            let sub = current_sub
+                .take()
+                .ok_or_else(|| parse_err(lineno, ".ends without a matching .subckt"))?;
             subckts.insert(sub.name.clone(), sub);
             continue;
         }
@@ -197,8 +200,7 @@ fn parse_two_terminal(
             }
             let ic = tokens.iter().skip(4).find_map(|t| {
                 let t = t.to_ascii_lowercase();
-                t.strip_prefix("ic=")
-                    .and_then(|v| parse_value(v).ok())
+                t.strip_prefix("ic=").and_then(|v| parse_value(v).ok())
             });
             Device::Capacitor { a, b, value, ic }
         }
@@ -211,8 +213,7 @@ fn parse_two_terminal(
             }
             let ic = tokens.iter().skip(4).find_map(|t| {
                 let t = t.to_ascii_lowercase();
-                t.strip_prefix("ic=")
-                    .and_then(|v| parse_value(v).ok())
+                t.strip_prefix("ic=").and_then(|v| parse_value(v).ok())
             });
             Device::Inductor { a, b, value, ic }
         }
@@ -271,7 +272,10 @@ fn parse_waveform(spec: &str, lineno: usize) -> Result<SourceWaveform, NetlistEr
     if lower.starts_with("sin") {
         let args = paren_args(spec, lineno)?;
         if args.len() != 3 {
-            return Err(parse_err(lineno, "sin needs 3 arguments (offset ampl freq)"));
+            return Err(parse_err(
+                lineno,
+                "sin needs 3 arguments (offset ampl freq)",
+            ));
         }
         return Ok(SourceWaveform::Sine {
             offset: args[0],
@@ -412,9 +416,7 @@ fn parse_model_card(line: &str, lineno: usize) -> Result<(String, MosModel), Net
         return Err(parse_err(lineno, "expected `.model name NMOS|PMOS (...)`"));
     }
     let name = tokens[1].to_string();
-    let kind = tokens[2]
-        .trim_start_matches('(')
-        .to_ascii_lowercase();
+    let kind = tokens[2].trim_start_matches('(').to_ascii_lowercase();
     let mut model = match kind.as_str() {
         "nmos" => MosModel::nmos_012(),
         "pmos" => MosModel::pmos_012(),
@@ -444,7 +446,10 @@ fn parse_model_card(line: &str, lineno: usize) -> Result<(String, MosModel), Net
             "cj" => model.cj_per_width = v,
             "gamma" => model.gamma_noise = v,
             _ => {
-                return Err(parse_err(lineno, format!("unknown model parameter `{key}`")));
+                return Err(parse_err(
+                    lineno,
+                    format!("unknown model parameter `{key}`"),
+                ));
             }
         }
     }

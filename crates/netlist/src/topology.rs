@@ -54,13 +54,13 @@ impl VcoSizing {
     /// Paper §4.2 bounds: widths 10–100 µm, lengths 0.12–1 µm, in the
     /// parameter order of [`VcoSizing::to_array`].
     pub const BOUNDS: [(f64, f64); Self::DIM] = [
-        (10e-6, 100e-6),   // wn
-        (10e-6, 100e-6),   // wp
-        (10e-6, 100e-6),   // wsn
-        (10e-6, 100e-6),   // wsp
-        (0.12e-6, 1e-6),   // l_inv
-        (0.12e-6, 1e-6),   // l_starve
-        (10e-6, 100e-6),   // w_bias
+        (10e-6, 100e-6), // wn
+        (10e-6, 100e-6), // wp
+        (10e-6, 100e-6), // wsn
+        (10e-6, 100e-6), // wsp
+        (0.12e-6, 1e-6), // l_inv
+        (0.12e-6, 1e-6), // l_starve
+        (10e-6, 100e-6), // w_bias
     ];
 
     /// Human-readable parameter names, in array order (these are the
@@ -155,7 +155,10 @@ pub struct RingVco {
 /// Panics if `stages` is even or < 3 (an even ring latches instead of
 /// oscillating), or if the sizing is non-positive.
 pub fn build_ring_vco(sizing: &VcoSizing, stages: usize, vdd: f64, vctrl: f64) -> RingVco {
-    assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+    assert!(
+        stages >= 3 && stages % 2 == 1,
+        "ring needs an odd stage count >= 3"
+    );
     let s = sizing;
     for v in s.to_array() {
         assert!(v > 0.0, "sizing parameters must be positive");
@@ -168,8 +171,12 @@ pub fn build_ring_vco(sizing: &VcoSizing, stages: usize, vdd: f64, vctrl: f64) -
     let vctrl_node = c.node("vctrl");
     let nb = c.node("nb");
     let vdd_source = c.add_vsource("Vdd", vdd_node, Circuit::GROUND, SourceWaveform::Dc(vdd));
-    let vctrl_source =
-        c.add_vsource("Vctrl", vctrl_node, Circuit::GROUND, SourceWaveform::Dc(vctrl));
+    let vctrl_source = c.add_vsource(
+        "Vctrl",
+        vctrl_node,
+        Circuit::GROUND,
+        SourceWaveform::Dc(vctrl),
+    );
 
     // Bias branch: Mbn (gate = vctrl) pulls current through diode-connected
     // Mbp, producing the PMOS starve gate voltage at `nb`.
@@ -196,13 +203,11 @@ pub fn build_ring_vco(sizing: &VcoSizing, stages: usize, vdd: f64, vctrl: f64) -
         },
     );
     // Bias node parasitics: Mbp junction + all PMOS starve gate caps.
-    let c_nb = pmos.cj_per_width * 2.0 * s.w_bias
-        + pmos.cox_per_area * s.wsp * s.l_starve * stages as f64;
+    let c_nb =
+        pmos.cj_per_width * 2.0 * s.w_bias + pmos.cox_per_area * s.wsp * s.l_starve * stages as f64;
     c.add_capacitor("Cnb", nb, Circuit::GROUND, c_nb.max(1e-18));
 
-    let stage_outputs: Vec<NodeId> = (0..stages)
-        .map(|i| c.node(&format!("s{i}")))
-        .collect();
+    let stage_outputs: Vec<NodeId> = (0..stages).map(|i| c.node(&format!("s{i}"))).collect();
 
     for i in 0..stages {
         let input = stage_outputs[(i + stages - 1) % stages];
@@ -254,8 +259,8 @@ pub fn build_ring_vco(sizing: &VcoSizing, stages: usize, vdd: f64, vctrl: f64) -
             },
         );
         // Stage load: next stage's gate caps + this stage's junction caps.
-        let c_load = nmos.cox_per_area * (s.wn + s.wp) * s.l_inv
-            + nmos.cj_per_width * (s.wn + s.wp);
+        let c_load =
+            nmos.cox_per_area * (s.wn + s.wp) * s.l_inv + nmos.cj_per_width * (s.wn + s.wp);
         // Alternate the initial condition around the ring so the transient
         // starts from an asymmetric state and oscillation builds immediately.
         let ic = if i % 2 == 0 { 0.0 } else { vdd };
@@ -390,12 +395,7 @@ pub fn build_two_stage_opamp(sizing: &OpampSizing, vdd: f64, ibias: f64) -> TwoS
     c.add_vsource("Vinp", in_p, Circuit::GROUND, SourceWaveform::Dc(vdd / 2.0));
     c.add_vsource("Vinn", in_n, Circuit::GROUND, SourceWaveform::Dc(vdd / 2.0));
     // Bias current into diode-connected NMOS sets the tail mirror gate.
-    c.add_isource(
-        "Ibias",
-        vdd_node,
-        nbias,
-        SourceWaveform::Dc(ibias),
-    );
+    c.add_isource("Ibias", vdd_node, nbias, SourceWaveform::Dc(ibias));
     c.add_mosfet(
         "Mbias",
         Mosfet {
@@ -507,8 +507,7 @@ pub fn build_two_stage_opamp(sizing: &OpampSizing, vdd: f64, ibias: f64) -> TwoS
         "Cdm",
         dm,
         Circuit::GROUND,
-        nmos.cj_per_width * (s.w_diff + s.w_load)
-            + pmos.cox_per_area * 2.0 * s.w_load * s.l,
+        nmos.cj_per_width * (s.w_diff + s.w_load) + pmos.cox_per_area * 2.0 * s.w_load * s.l,
     );
     c.add_capacitor(
         "Cnbias",

@@ -39,12 +39,8 @@ pub fn parse_value(token: &str) -> Result<f64, NetlistError> {
     // Split at the first character that cannot belong to a float literal.
     let mut split = token.len();
     for (i, ch) in token.char_indices() {
-        let numeric = ch.is_ascii_digit()
-            || ch == '.'
-            || ch == '-'
-            || ch == '+'
-            || ch == 'e'
-            || ch == 'E';
+        let numeric =
+            ch.is_ascii_digit() || ch == '.' || ch == '-' || ch == '+' || ch == 'e' || ch == 'E';
         // 'e'/'E' only counts as numeric if followed by digit or sign —
         // otherwise it is a suffix-or-unit character (e.g. "2.2e" is a unit-less
         // trailing char, but "1e6" is scientific notation).

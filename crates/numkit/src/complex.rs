@@ -122,6 +122,8 @@ impl Mul for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Division as multiplication by the reciprocal — intentional.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -184,7 +186,10 @@ impl ComplexMatrix {
     ///
     /// Panics if `r` or `c` is out of bounds.
     pub fn add_at(&mut self, r: usize, c: usize, value: Complex) {
-        assert!(r < self.n && c < self.n, "complex matrix index out of bounds");
+        assert!(
+            r < self.n && c < self.n,
+            "complex matrix index out of bounds"
+        );
         self.data[r * self.n + c] += value;
     }
 
@@ -194,7 +199,10 @@ impl ComplexMatrix {
     ///
     /// Panics if `r` or `c` is out of bounds.
     pub fn get(&self, r: usize, c: usize) -> Complex {
-        assert!(r < self.n && c < self.n, "complex matrix index out of bounds");
+        assert!(
+            r < self.n && c < self.n,
+            "complex matrix index out of bounds"
+        );
         self.data[r * self.n + c]
     }
 

@@ -104,7 +104,10 @@ pub fn latin_hypercube<R: Rng + ?Sized>(
     assert!(n > 0, "sample count must be positive");
     assert!(!bounds.is_empty(), "at least one dimension required");
     for &(lo, hi) in bounds {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid bounds");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid bounds"
+        );
     }
     let dim = bounds.len();
     let mut points = vec![vec![0.0; dim]; n];

@@ -72,6 +72,7 @@ mod tests {
 
     #[test]
     fn kt_room_magnitude() {
-        assert!(KT_ROOM > 4.0e-21 && KT_ROOM < 4.3e-21);
+        let kt = KT_ROOM;
+        assert!(kt > 4.0e-21 && kt < 4.3e-21);
     }
 }

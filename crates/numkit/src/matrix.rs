@@ -146,13 +146,13 @@ impl Matrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut y = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, y_r) in y.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x) {
                 acc += a * b;
             }
-            y[r] = acc;
+            *y_r = acc;
         }
         y
     }
@@ -293,16 +293,16 @@ impl LuFactors {
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
         for r in 1..n {
             let mut acc = x[r];
-            for c in 0..r {
-                acc -= self.lu[r * n + c] * x[c];
+            for (c, &x_c) in x.iter().enumerate().take(r) {
+                acc -= self.lu[r * n + c] * x_c;
             }
             x[r] = acc;
         }
         // Back-substitute U.
         for r in (0..n).rev() {
             let mut acc = x[r];
-            for c in (r + 1)..n {
-                acc -= self.lu[r * n + c] * x[c];
+            for (c, &x_c) in x.iter().enumerate().skip(r + 1) {
+                acc -= self.lu[r * n + c] * x_c;
             }
             x[r] = acc / self.lu[r * n + r];
         }
@@ -324,11 +324,7 @@ mod tests {
 
     #[test]
     fn solve_known_3x3() {
-        let a = Matrix::from_rows(&[
-            &[2.0, 1.0, -1.0],
-            &[-3.0, -1.0, 2.0],
-            &[-2.0, 1.0, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[&[2.0, 1.0, -1.0], &[-3.0, -1.0, 2.0], &[-2.0, 1.0, 2.0]]);
         let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
         assert!((x[1] - 3.0).abs() < 1e-12);
@@ -377,11 +373,7 @@ mod tests {
 
     #[test]
     fn mul_vec_matches_solve_roundtrip() {
-        let a = Matrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[3.0, 6.0, -4.0],
-            &[2.0, 1.0, 8.0],
-        ]);
+        let a = Matrix::from_rows(&[&[4.0, -2.0, 1.0], &[3.0, 6.0, -4.0], &[2.0, 1.0, 8.0]]);
         let x_true = [0.5, -1.25, 2.0];
         let b = a.mul_vec(&x_true);
         let x = a.solve(&b).unwrap();

@@ -100,7 +100,10 @@ impl fmt::Display for Summary {
 /// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty slice");
-    assert!((0.0..=1.0).contains(&q), "quantile fraction must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile fraction must be in [0,1]"
+    );
     if sorted.len() == 1 {
         return sorted[0];
     }

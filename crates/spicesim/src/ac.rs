@@ -85,7 +85,10 @@ impl AcResult {
 ///
 /// Panics if the bounds are non-positive, inverted, or `n < 2`.
 pub fn log_sweep(f_start: f64, f_stop: f64, n: usize) -> Vec<f64> {
-    assert!(f_start > 0.0 && f_stop > f_start, "need 0 < f_start < f_stop");
+    assert!(
+        f_start > 0.0 && f_stop > f_start,
+        "need 0 < f_start < f_stop"
+    );
     assert!(n >= 2, "need at least two sweep points");
     let ratio = (f_stop / f_start).ln();
     (0..n)
@@ -132,13 +135,27 @@ pub fn ac_analysis(
 
         for (id, device) in circuit.devices() {
             match device {
-                Device::Resistor { a: na, b: nb, value } => {
+                Device::Resistor {
+                    a: na,
+                    b: nb,
+                    value,
+                } => {
                     stamp_admittance(&sys, &mut a, *na, *nb, Complex::from_real(1.0 / value));
                 }
-                Device::Capacitor { a: na, b: nb, value, .. } => {
+                Device::Capacitor {
+                    a: na,
+                    b: nb,
+                    value,
+                    ..
+                } => {
                     stamp_admittance(&sys, &mut a, *na, *nb, Complex::new(0.0, omega * value));
                 }
-                Device::Inductor { a: na, b: nb, value, .. } => {
+                Device::Inductor {
+                    a: na,
+                    b: nb,
+                    value,
+                    ..
+                } => {
                     // Branch formulation: va − vb − jωL·i = 0.
                     let br = sys.branch_index(id).expect("inductor branch");
                     if let Some(i) = sys.voltage_index(*na) {
@@ -213,7 +230,13 @@ pub fn ac_analysis(
                     // Gate capacitance to source (lumped), for realistic
                     // high-frequency roll-off at small-signal level.
                     let cgs = m.gate_cap();
-                    stamp_admittance(&sys, &mut a, m.gate, m.source, Complex::new(0.0, omega * cgs));
+                    stamp_admittance(
+                        &sys,
+                        &mut a,
+                        m.gate,
+                        m.source,
+                        Complex::new(0.0, omega * cgs),
+                    );
                     // The gmin floor used by the nonlinear analyses.
                     stamp_admittance(&sys, &mut a, m.drain, m.source, Complex::from_real(1e-12));
                 }
@@ -232,13 +255,9 @@ pub fn ac_analysis(
             }
         }
 
-        let x = a
-            .solve(&b)
-            .map_err(|e| SimError::from_solve(e, "ac"))?;
+        let x = a.solve(&b).map_err(|e| SimError::from_solve(e, "ac"))?;
         let mut row = vec![Complex::ZERO; circuit.num_nodes()];
-        for node_idx in 1..circuit.num_nodes() {
-            row[node_idx] = x[node_idx - 1];
-        }
+        row[1..circuit.num_nodes()].copy_from_slice(&x[..circuit.num_nodes() - 1]);
         result.phasors.push(row);
     }
     Ok(result)

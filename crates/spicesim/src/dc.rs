@@ -66,9 +66,7 @@ pub(crate) fn newton_solve(
 
     for _iter in 0..opts.max_newton_iterations {
         sys.assemble(&x, ctx, &mut g, &mut b);
-        let x_new = g
-            .solve(&b)
-            .map_err(|e| SimError::from_solve(e, analysis))?;
+        let x_new = g.solve(&b).map_err(|e| SimError::from_solve(e, analysis))?;
 
         let mut converged = true;
         for i in 0..n {
@@ -526,7 +524,10 @@ mod tests {
         c.add_capacitor("C2", x, Circuit::GROUND, 1e-12);
         let err = dc_operating_point(&c, &SimOptions::default()).unwrap_err();
         assert!(
-            matches!(err, SimError::Singular { .. } | SimError::NoConvergence { .. }),
+            matches!(
+                err,
+                SimError::Singular { .. } | SimError::NoConvergence { .. }
+            ),
             "expected singular/non-convergent, got {err:?}"
         );
     }

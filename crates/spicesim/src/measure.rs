@@ -44,9 +44,11 @@ impl Default for OscConfig {
 
 impl OscConfig {
     fn validate(&self) -> Result<(), SimError> {
+        // `partial_cmp` keeps a NaN bound invalid, matching the old
+        // `!(x > 0.0)` semantics without the negated-operator form.
         if self.measure_periods < 2
             || self.points_per_period < 8
-            || !(self.f_min_expected > 0.0)
+            || self.f_min_expected.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
             || self.f_max_expected <= self.f_min_expected
         {
             return Err(SimError::BadConfig {
@@ -77,12 +79,7 @@ impl OscMeasurement {
             return 0.0;
         }
         let mean = self.periods.iter().sum::<f64>() / n as f64;
-        let var = self
-            .periods
-            .iter()
-            .map(|p| (p - mean).powi(2))
-            .sum::<f64>()
-            / (n - 1) as f64;
+        let var = self.periods.iter().map(|p| (p - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
         var.sqrt()
     }
 }
@@ -201,7 +198,11 @@ mod tests {
             "frequency {:.3e} outside plausible band",
             m.freq
         );
-        assert!(m.avg_supply_current > 1e-4, "current {}", m.avg_supply_current);
+        assert!(
+            m.avg_supply_current > 1e-4,
+            "current {}",
+            m.avg_supply_current
+        );
         assert!(m.periods.len() >= 10);
     }
 

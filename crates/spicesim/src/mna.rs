@@ -141,13 +141,7 @@ impl<'c> MnaSystem<'c> {
     /// # Panics
     ///
     /// Panics if `g`/`b` have the wrong dimensions (internal misuse).
-    pub fn assemble(
-        &self,
-        x: &[f64],
-        ctx: &AssembleContext<'_>,
-        g: &mut Matrix,
-        b: &mut [f64],
-    ) {
+    pub fn assemble(&self, x: &[f64], ctx: &AssembleContext<'_>, g: &mut Matrix, b: &mut [f64]) {
         assert_eq!(g.rows(), self.size, "matrix size mismatch");
         assert_eq!(b.len(), self.size, "rhs size mismatch");
         g.clear();
@@ -167,7 +161,9 @@ impl<'c> MnaSystem<'c> {
                     }
                     // DC: capacitor is an open circuit — no stamp.
                 }
-                Device::Inductor { a, b: nb, value, .. } => {
+                Device::Inductor {
+                    a, b: nb, value, ..
+                } => {
                     let br = self.branch_index[id.index()].expect("inductor has branch");
                     if let Some(ia) = self.voltage_index(*a) {
                         g.add_at(ia, br, 1.0);
@@ -471,9 +467,6 @@ mod tests {
     #[test]
     fn invalid_circuit_is_rejected() {
         let c = Circuit::new("empty");
-        assert!(matches!(
-            MnaSystem::new(&c),
-            Err(SimError::BadCircuit(_))
-        ));
+        assert!(matches!(MnaSystem::new(&c), Err(SimError::BadCircuit(_))));
     }
 }

@@ -143,12 +143,12 @@ mod tests {
     fn check_jacobian(m: &Mosfet, vd: f64, vg: f64, vs: f64) {
         let e = eval_mosfet(m, vd, vg, vs);
         let h = 1e-7;
-        let fd_d = (eval_mosfet(m, vd + h, vg, vs).id - eval_mosfet(m, vd - h, vg, vs).id)
-            / (2.0 * h);
-        let fd_g = (eval_mosfet(m, vd, vg + h, vs).id - eval_mosfet(m, vd, vg - h, vs).id)
-            / (2.0 * h);
-        let fd_s = (eval_mosfet(m, vd, vg, vs + h).id - eval_mosfet(m, vd, vg, vs - h).id)
-            / (2.0 * h);
+        let fd_d =
+            (eval_mosfet(m, vd + h, vg, vs).id - eval_mosfet(m, vd - h, vg, vs).id) / (2.0 * h);
+        let fd_g =
+            (eval_mosfet(m, vd, vg + h, vs).id - eval_mosfet(m, vd, vg - h, vs).id) / (2.0 * h);
+        let fd_s =
+            (eval_mosfet(m, vd, vg, vs + h).id - eval_mosfet(m, vd, vg, vs - h).id) / (2.0 * h);
         let scale = e.g_d.abs().max(e.g_g.abs()).max(e.g_s.abs()).max(1e-12);
         assert!(
             (e.g_d - fd_d).abs() < 1e-4 * scale,
@@ -205,7 +205,11 @@ mod tests {
         // Source at 1.2 V, gate at 0 → vsg = 1.2 > |vto|: conducting,
         // current flows source→drain so id (drain→source) is negative.
         let e = eval_mosfet(&m, 0.0, 0.0, 1.2);
-        assert!(e.id < 0.0, "pmos drain current should be negative, got {}", e.id);
+        assert!(
+            e.id < 0.0,
+            "pmos drain current should be negative, got {}",
+            e.id
+        );
         assert_eq!(e.region, MosRegion::Saturation);
         assert_eq!(m.model.polarity, MosPolarity::Pmos);
     }
@@ -241,11 +245,11 @@ mod tests {
     fn jacobian_matches_finite_difference_nmos() {
         let m = nmos();
         for (vd, vg, vs) in [
-            (1.2, 1.2, 0.0),  // saturation
-            (0.1, 1.2, 0.0),  // triode
-            (1.2, 0.2, 0.0),  // cutoff-ish
-            (0.0, 1.2, 0.6),  // reverse channel
-            (0.4, 0.9, 0.1),  // triode, lifted source
+            (1.2, 1.2, 0.0), // saturation
+            (0.1, 1.2, 0.0), // triode
+            (1.2, 0.2, 0.0), // cutoff-ish
+            (0.0, 1.2, 0.6), // reverse channel
+            (0.4, 0.9, 0.1), // triode, lifted source
         ] {
             check_jacobian(&m, vd, vg, vs);
         }

@@ -59,8 +59,7 @@ pub fn measure_period_jitter(
         points_per_period: 64,
         ..Default::default()
     };
-    let m: OscMeasurement =
-        measure_oscillator(circuit, out, vdd_source, &cfg, opts, Some(seed))?;
+    let m: OscMeasurement = measure_oscillator(circuit, out, vdd_source, &cfg, opts, Some(seed))?;
     Ok(JitterMeasurement {
         sigma: m.period_std_dev(),
         freq: m.freq,
@@ -122,8 +121,8 @@ mod tests {
     fn analytic_jitter_is_sub_picosecond_at_nominal() {
         let s = VcoSizing::nominal();
         let model = netlist::MosModel::nmos_012();
-        let c_load = model.cox_per_area * (s.wn + s.wp) * s.l_inv
-            + model.cj_per_width * (s.wn + s.wp);
+        let c_load =
+            model.cox_per_area * (s.wn + s.wp) * s.l_inv + model.cj_per_width * (s.wn + s.wp);
         let j = analytic_ring_jitter(5, c_load, 1.5, 1.5e9, 1.2, DEFAULT_JITTER_CALIBRATION);
         assert!(
             j > 1e-15 && j < 2e-12,

@@ -98,11 +98,15 @@ mod tests {
 
     #[test]
     fn bad_options_rejected() {
-        let mut o = SimOptions::default();
-        o.vntol = 0.0;
+        let o = SimOptions {
+            vntol: 0.0,
+            ..Default::default()
+        };
         assert!(o.validate().is_err());
-        let mut o = SimOptions::default();
-        o.max_newton_iterations = 0;
+        let o = SimOptions {
+            max_newton_iterations: 0,
+            ..Default::default()
+        };
         assert!(o.validate().is_err());
     }
 

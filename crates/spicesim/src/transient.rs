@@ -66,7 +66,13 @@ impl TransientSpec {
     }
 
     fn validate(&self) -> Result<(), SimError> {
-        if !(self.t_stop > 0.0) || !(self.dt > 0.0) || self.dt > self.t_stop {
+        // `partial_cmp` keeps NaN invalid, matching the old `!(x > 0.0)`
+        // semantics without the negated-operator form.
+        use std::cmp::Ordering;
+        if self.t_stop.partial_cmp(&0.0) != Some(Ordering::Greater)
+            || self.dt.partial_cmp(&0.0) != Some(Ordering::Greater)
+            || self.dt > self.t_stop
+        {
             return Err(SimError::BadConfig {
                 message: format!(
                     "transient needs 0 < dt <= t_stop, got dt={} t_stop={}",
@@ -249,7 +255,11 @@ pub fn run_transient(
         .map(|(id, _)| (id, Vec::with_capacity(est_samples)))
         .collect();
 
-    let record = |t: f64, x: &[f64], node_v: &mut Vec<Vec<f64>>, branch: &mut Vec<(DeviceId, Vec<f64>)>, times: &mut Vec<f64>| {
+    let record = |t: f64,
+                  x: &[f64],
+                  node_v: &mut Vec<Vec<f64>>,
+                  branch: &mut Vec<(DeviceId, Vec<f64>)>,
+                  times: &mut Vec<f64>| {
         times.push(t);
         node_v[0].push(0.0);
         for node_idx in 1..circuit.num_nodes() {
@@ -268,10 +278,24 @@ pub fn run_transient(
         // a consistent state. Sources are evaluated at t=0.
         let dt_pin = spec.dt * 1e-6;
         x = step(
-            &sys, circuit, &mut caps, &x, -dt_pin, dt_pin, opts, &noise, 0,
+            &sys,
+            circuit,
+            &mut caps,
+            &x,
+            -dt_pin,
+            dt_pin,
+            opts,
+            &noise,
+            0,
             IntegrationMethod::BackwardEuler,
         )?;
-        update_cap_state(&sys, &mut caps, &x, dt_pin, IntegrationMethod::BackwardEuler);
+        update_cap_state(
+            &sys,
+            &mut caps,
+            &x,
+            dt_pin,
+            IntegrationMethod::BackwardEuler,
+        );
         // Discard the bogus pinning current so trapezoidal bootstrapping
         // starts from rest.
         for cap in caps.iter_mut() {
@@ -293,8 +317,7 @@ pub fn run_transient(
                     let vg = sys.voltage_of(&x, m.gate);
                     let vs = sys.voltage_of(&x, m.source);
                     let gm = eval_mosfet(m, vd, vg, vs).gm_mag;
-                    let sigma =
-                        (2.0 * numkit::KT_ROOM * m.model.gamma_noise * gm / spec.dt).sqrt();
+                    let sigma = (2.0 * numkit::KT_ROOM * m.model.gamma_noise * gm / spec.dt).sqrt();
                     noise[id.index()] = dist::normal(rng, 0.0, sigma);
                 }
             }
@@ -306,7 +329,15 @@ pub fn run_transient(
             opts.method
         };
         x = step(
-            &sys, circuit, &mut caps, &x, t - spec.dt, spec.dt, opts, &noise, 0,
+            &sys,
+            circuit,
+            &mut caps,
+            &x,
+            t - spec.dt,
+            spec.dt,
+            opts,
+            &noise,
+            0,
             method,
         )?;
         update_cap_state(&sys, &mut caps, &x, spec.dt, method);
@@ -378,13 +409,29 @@ fn step(
             // the midpoint, so clone, advance, and write back.
             let mut mid_caps = caps.to_vec();
             let x_mid = step(
-                sys, circuit, &mut mid_caps, x_prev, t_prev, dt / 2.0, opts, noise,
-                depth + 1, method,
+                sys,
+                circuit,
+                &mut mid_caps,
+                x_prev,
+                t_prev,
+                dt / 2.0,
+                opts,
+                noise,
+                depth + 1,
+                method,
             )?;
             update_cap_state(sys, &mut mid_caps, &x_mid, dt / 2.0, method);
             let x_end = step(
-                sys, circuit, &mut mid_caps, &x_mid, t_prev + dt / 2.0, dt / 2.0, opts,
-                noise, depth + 1, method,
+                sys,
+                circuit,
+                &mut mid_caps,
+                &x_mid,
+                t_prev + dt / 2.0,
+                dt / 2.0,
+                opts,
+                noise,
+                depth + 1,
+                method,
             )?;
             update_cap_state(sys, &mut mid_caps, &x_end, dt / 2.0, method);
             caps.copy_from_slice(&mid_caps);
@@ -404,9 +451,7 @@ fn update_cap_state(
         let v_now = sys.voltage_of(x, cap.a) - sys.voltage_of(x, cap.b);
         cap.i_prev = match method {
             IntegrationMethod::BackwardEuler => cap.c / dt * (v_now - cap.v_prev),
-            IntegrationMethod::Trapezoidal => {
-                2.0 * cap.c / dt * (v_now - cap.v_prev) - cap.i_prev
-            }
+            IntegrationMethod::Trapezoidal => 2.0 * cap.c / dt * (v_now - cap.v_prev) - cap.i_prev,
         };
         cap.v_prev = v_now;
     }
@@ -513,7 +558,9 @@ mod tests {
     #[test]
     fn ring_vco_oscillates() {
         let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 1.0);
-        let spec = TransientSpec::new(30e-9, 2e-12).with_ic().recording_every(4);
+        let spec = TransientSpec::new(30e-9, 2e-12)
+            .with_ic()
+            .recording_every(4);
         let r = run_transient(&vco.circuit, &spec, &SimOptions::default()).unwrap();
         let out = r.voltage(vco.out);
         let swing = out.max() - out.min();
@@ -533,7 +580,9 @@ mod tests {
     #[test]
     fn supply_current_is_recorded() {
         let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 1.0);
-        let spec = TransientSpec::new(10e-9, 2e-12).with_ic().recording_every(4);
+        let spec = TransientSpec::new(10e-9, 2e-12)
+            .with_ic()
+            .recording_every(4);
         let r = run_transient(&vco.circuit, &spec, &SimOptions::default()).unwrap();
         let i = r.branch_current(vco.vdd_source).expect("vdd branch");
         // Supply delivers current → branch current negative on average.

@@ -59,11 +59,7 @@ impl GridTable {
         }
         if controls.len() != axes.len() {
             return Err(TableModelError::BadData {
-                message: format!(
-                    "{} control specs for {} axes",
-                    controls.len(),
-                    axes.len()
-                ),
+                message: format!("{} control specs for {} axes", controls.len(), axes.len()),
             });
         }
         let expected: usize = axes.iter().map(|a| a.len()).product();
@@ -216,12 +212,7 @@ mod tests {
         let xs = vec![0.0, 1.0];
         let ys = vec![0.0, 1.0];
         let values = vec![0.0, 1.0, 10.0, 11.0]; // f = 10x + y
-        let t = GridTable::new(
-            vec![xs, ys],
-            values,
-            vec![ctrl("1C"), ctrl("1E")],
-        )
-        .unwrap();
+        let t = GridTable::new(vec![xs, ys], values, vec![ctrl("1C"), ctrl("1E")]).unwrap();
         // x clamps to 1 → f(1, 0.5) = 10.5.
         assert!((t.eval(&[5.0, 0.5]).unwrap() - 10.5).abs() < 1e-12);
         // y still errors.
@@ -238,12 +229,7 @@ mod tests {
                 values.push((x + 0.5 * y).sin());
             }
         }
-        let t = GridTable::new(
-            vec![xs, ys],
-            values,
-            vec![ctrl("3E"), ctrl("3E")],
-        )
-        .unwrap();
+        let t = GridTable::new(vec![xs, ys], values, vec![ctrl("3E"), ctrl("3E")]).unwrap();
         for (x, y) in [(0.4, 0.4), (1.1, 1.7), (1.9, 0.2)] {
             let got = t.eval(&[x, y]).unwrap();
             let want = (x + 0.5 * y).sin();
@@ -287,23 +273,8 @@ mod tests {
     #[test]
     fn construction_errors() {
         assert!(GridTable::new(vec![], vec![], vec![]).is_err());
-        assert!(GridTable::new(
-            vec![vec![0.0, 1.0]],
-            vec![1.0],
-            vec![ctrl("1E")]
-        )
-        .is_err());
-        assert!(GridTable::new(
-            vec![vec![1.0, 0.0]],
-            vec![1.0, 2.0],
-            vec![ctrl("1E")]
-        )
-        .is_err());
-        assert!(GridTable::new(
-            vec![vec![0.0, 1.0]],
-            vec![1.0, 2.0],
-            vec![]
-        )
-        .is_err());
+        assert!(GridTable::new(vec![vec![0.0, 1.0]], vec![1.0], vec![ctrl("1E")]).is_err());
+        assert!(GridTable::new(vec![vec![1.0, 0.0]], vec![1.0, 2.0], vec![ctrl("1E")]).is_err());
+        assert!(GridTable::new(vec![vec![0.0, 1.0]], vec![1.0, 2.0], vec![]).is_err());
     }
 }

@@ -218,12 +218,7 @@ mod tests {
 
     #[test]
     fn linear_interpolation_exact_on_lines() {
-        let t = Table1d::new(
-            vec![0.0, 1.0, 2.0],
-            vec![1.0, 3.0, 5.0],
-            control("1E"),
-        )
-        .unwrap();
+        let t = Table1d::new(vec![0.0, 1.0, 2.0], vec![1.0, 3.0, 5.0], control("1E")).unwrap();
         assert!((t.eval(0.5).unwrap() - 2.0).abs() < 1e-12);
         assert!((t.eval(1.75).unwrap() - 4.5).abs() < 1e-12);
     }
@@ -270,24 +265,14 @@ mod tests {
 
     #[test]
     fn linear_extrapolation_continues_slope() {
-        let t = Table1d::new(
-            vec![0.0, 1.0, 2.0],
-            vec![0.0, 1.0, 2.0],
-            control("1L"),
-        )
-        .unwrap();
+        let t = Table1d::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0], control("1L")).unwrap();
         assert!((t.eval(4.0).unwrap() - 4.0).abs() < 1e-12);
         assert!((t.eval(-1.0).unwrap() + 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn unsorted_input_is_sorted() {
-        let t = Table1d::new(
-            vec![2.0, 0.0, 1.0],
-            vec![4.0, 0.0, 1.0],
-            control("1E"),
-        )
-        .unwrap();
+        let t = Table1d::new(vec![2.0, 0.0, 1.0], vec![4.0, 0.0, 1.0], control("1E")).unwrap();
         assert!((t.eval(1.5).unwrap() - 2.5).abs() < 1e-12);
     }
 
@@ -324,8 +309,6 @@ mod tests {
     fn degenerate_tables_rejected() {
         assert!(Table1d::new(vec![1.0], vec![1.0], control("1E")).is_err());
         assert!(Table1d::new(vec![1.0, 1.0], vec![1.0, 2.0], control("1E")).is_err());
-        assert!(
-            Table1d::new(vec![0.0, 1.0], vec![f64::INFINITY, 0.0], control("1E")).is_err()
-        );
+        assert!(Table1d::new(vec![0.0, 1.0], vec![f64::INFINITY, 0.0], control("1E")).is_err());
     }
 }

@@ -235,9 +235,11 @@ impl ScatteredTable {
                 a[(i, j)] = k;
             }
         }
-        let w = a.solve(&self.values).map_err(|_| TableModelError::BadData {
-            message: "rbf system is singular (degenerate point geometry)".to_string(),
-        })?;
+        let w = a
+            .solve(&self.values)
+            .map_err(|_| TableModelError::BadData {
+                message: "rbf system is singular (degenerate point geometry)".to_string(),
+            })?;
         self.rbf_weights = w;
         Ok(())
     }
@@ -374,12 +376,8 @@ mod tests {
     #[test]
     fn rbf_exact_at_samples() {
         let (pts, vals) = plane_samples();
-        let t = ScatteredTable::new(
-            pts.clone(),
-            vals.clone(),
-            ScatterMethod::Rbf { shape: 1.5 },
-        )
-        .unwrap();
+        let t = ScatteredTable::new(pts.clone(), vals.clone(), ScatterMethod::Rbf { shape: 1.5 })
+            .unwrap();
         for (p, v) in pts.iter().zip(&vals) {
             assert!(
                 (t.eval(p).unwrap() - v).abs() < 1e-3,
@@ -392,10 +390,8 @@ mod tests {
     #[test]
     fn rbf_beats_idw_on_smooth_field_interior() {
         let (pts, vals) = plane_samples();
-        let idw = ScatteredTable::new(pts.clone(), vals.clone(), ScatterMethod::default())
-            .unwrap();
-        let rbf =
-            ScatteredTable::new(pts, vals, ScatterMethod::Rbf { shape: 1.5 }).unwrap();
+        let idw = ScatteredTable::new(pts.clone(), vals.clone(), ScatterMethod::default()).unwrap();
+        let rbf = ScatteredTable::new(pts, vals, ScatterMethod::Rbf { shape: 1.5 }).unwrap();
         let probe = [0.6, 0.4];
         let truth = 3.0 * probe[0] - 2.0 * probe[1] + 1.0;
         let err_idw = (idw.eval(&probe).unwrap() - truth).abs();

@@ -46,6 +46,10 @@ pub struct McRun {
     /// Number of samples whose evaluation failed (e.g. a perturbed
     /// circuit that no longer oscillates — itself a yield loss signal).
     pub failed: usize,
+    /// Indices of the failing samples, ascending. Sample indices are
+    /// stable across thread counts (sample `i` always uses RNG seed
+    /// `seed + i`), so failures are attributable and reproducible.
+    pub failed_samples: Vec<usize>,
 }
 
 impl McRun {
@@ -132,17 +136,18 @@ impl MonteCarlo {
         };
 
         let mut metrics = Vec::with_capacity(cfg.samples);
-        let mut failed = 0;
-        for r in results {
+        let mut failed_samples = Vec::new();
+        for (i, r) in results.into_iter().enumerate() {
             match r {
                 Some(m) => metrics.push(m),
-                None => failed += 1,
+                None => failed_samples.push(i),
             }
         }
         McRun {
             accepted: metrics.len(),
             metrics,
-            failed,
+            failed: failed_samples.len(),
+            failed_samples,
         }
     }
 }
@@ -236,9 +241,47 @@ mod tests {
             seed: 1,
             threads: 1,
         };
-        let run = mc.run(&c, &cfg, |i, _| if i % 2 == 0 { Some(vec![1.0]) } else { None });
+        let run = mc.run(
+            &c,
+            &cfg,
+            |i, _| if i % 2 == 0 { Some(vec![1.0]) } else { None },
+        );
         assert_eq!(run.accepted, 5);
         assert_eq!(run.failed, 5);
+        assert_eq!(run.failed_samples, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn failed_sample_indices_stable_across_threads() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let eval = |i: usize, _: &Circuit| {
+            if i.is_multiple_of(3) {
+                None
+            } else {
+                Some(vec![1.0])
+            }
+        };
+        let serial = mc.run(
+            &c,
+            &McConfig {
+                samples: 16,
+                seed: 2,
+                threads: 1,
+            },
+            eval,
+        );
+        let parallel = mc.run(
+            &c,
+            &McConfig {
+                samples: 16,
+                seed: 2,
+                threads: 4,
+            },
+            eval,
+        );
+        assert_eq!(serial.failed_samples, parallel.failed_samples);
+        assert_eq!(serial.failed_samples, vec![0, 3, 6, 9, 12, 15]);
     }
 
     #[test]

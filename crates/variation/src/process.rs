@@ -126,8 +126,9 @@ mod tests {
         let spec = ProcessSpec::default();
         let mut rng = seeded_rng(1);
         let n = 5_000;
-        let samples: Vec<GlobalSample> =
-            (0..n).map(|_| GlobalSample::draw(&spec, &mut rng)).collect();
+        let samples: Vec<GlobalSample> = (0..n)
+            .map(|_| GlobalSample::draw(&spec, &mut rng))
+            .collect();
         let mean_dvto: f64 = samples.iter().map(|s| s.dvto_n).sum::<f64>() / n as f64;
         let var_dvto: f64 = samples
             .iter()

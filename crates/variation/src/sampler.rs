@@ -39,10 +39,7 @@ pub fn perturbed_circuit<R: Rng + ?Sized>(
 
 /// Applies only the global sample (no mismatch) — used to separate the
 /// two variation contributions in ablation experiments.
-pub fn perturbed_circuit_global_only(
-    circuit: &Circuit,
-    global: &GlobalSample,
-) -> Circuit {
+pub fn perturbed_circuit_global_only(circuit: &Circuit, global: &GlobalSample) -> Circuit {
     let mut out = circuit.clone();
     let ids: Vec<_> = out.devices().map(|(id, _)| id).collect();
     for id in ids {

@@ -6,35 +6,59 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example pll_hierarchical            # quick budgets
-//! cargo run --release --example pll_hierarchical -- --full  # paper budgets
+//! cargo run --release --example pll_hierarchical                    # quick budgets
+//! cargo run --release --example pll_hierarchical -- --full          # paper budgets
+//! cargo run --release --example pll_hierarchical -- --run-dir DIR   # checkpoint to DIR
+//! cargo run --release --example pll_hierarchical -- --run-dir DIR --resume
 //! ```
+//!
+//! With `--run-dir`, each stage's artifact is written to `DIR` as it
+//! completes; re-running with the same directory (`--resume` is an
+//! alias for documentation's sake — any run with `--run-dir` resumes)
+//! skips completed stages. See README.md's failure-handling runbook.
 
 use hierflow::flow::{FlowConfig, HierarchicalFlow};
 use hierflow::report::{format_table1, format_table2};
 
 fn main() {
-    let full = std::env::args().any(|a| a == "--full");
+    let args: Vec<String> = std::env::args().collect();
+    let full = args.iter().any(|a| a == "--full");
+    let run_dir = args
+        .iter()
+        .position(|a| a == "--run-dir")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let config = if full {
         FlowConfig::paper_scale()
     } else {
         FlowConfig::quick()
     };
     println!(
-        "hierarchical flow: circuit GA {}x{}, char MC {}, system GA {}x{}, verify MC {}\n",
+        "hierarchical flow: circuit GA {}x{}, char MC {}, system GA {}x{}, verify MC {}, policy {:?}\n",
         config.circuit_ga.population,
         config.circuit_ga.generations,
         config.char_mc.samples,
         config.system_ga.population,
         config.system_ga.generations,
         config.verify_mc.samples,
+        config.degrade,
     );
 
     let flow = HierarchicalFlow::new(config);
-    let report = match flow.run() {
+    let result = match &run_dir {
+        Some(dir) => {
+            println!("checkpointing to {dir} (re-run with the same directory to resume)\n");
+            flow.run_with_checkpoints(dir)
+        }
+        None => flow.run(),
+    };
+    let report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("flow failed: {e}");
+            if let Some(dir) = &run_dir {
+                eprintln!("completed stages are checkpointed in {dir}; fix and re-run to resume");
+            }
             std::process::exit(1);
         }
     };
@@ -70,7 +94,18 @@ fn main() {
         100.0 * v.yield_ci.1
     );
     println!(
-        "evaluations: {} transistor-level (stage 1) + {} model-based (stage 4)",
-        report.circuit_evaluations, report.system_evaluations
+        "evaluations: {} transistor-level (stage 1{}) + {} model-based (stage 4)",
+        report.circuit_evaluations,
+        if report.circuit_evaluations_this_run == 0 && report.circuit_evaluations > 0 {
+            ", resumed from checkpoint"
+        } else {
+            ""
+        },
+        report.system_evaluations
     );
+
+    println!("\nflow events ({}):", report.events.len());
+    for event in report.events.iter() {
+        println!("  {event}");
+    }
 }

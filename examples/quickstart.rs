@@ -52,7 +52,14 @@ fn main() {
     );
     println!(
         "{:>10} {:>10} {:>10} {:>10} {:>10} | {:>8} {:>8} {:>8}",
-        "Kvco(MHz/V)", "Jvco(fs)", "Ivco(mA)", "fmin(GHz)", "fmax(GHz)", "Wn(um)", "Wsn(um)", "Linv(nm)"
+        "Kvco(MHz/V)",
+        "Jvco(fs)",
+        "Ivco(mA)",
+        "fmin(GHz)",
+        "fmax(GHz)",
+        "Wn(um)",
+        "Wsn(um)",
+        "Linv(nm)"
     );
     for ind in &front {
         let perf = VcoSizingProblem::perf_of(&ind.objectives);

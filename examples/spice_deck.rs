@@ -43,7 +43,10 @@ fn main() {
 
     let opts = SimOptions::default();
     let op = dc_operating_point(&circuit, &opts).expect("dc converges");
-    println!("operating point ({} MOSFETs):\n", mosfet_op_info(&circuit, &op).len());
+    println!(
+        "operating point ({} MOSFETs):\n",
+        mosfet_op_info(&circuit, &op).len()
+    );
     println!("{}", format_op_report(&mosfet_op_info(&circuit, &op)));
 
     // DC transfer sweep of the first stage.

@@ -28,10 +28,17 @@ fn main() {
         eval_threads: 2,
         ..Default::default()
     };
-    println!("stage 1: circuit-level optimisation ({} x {})...", ga.population, ga.generations);
+    println!(
+        "stage 1: circuit-level optimisation ({} x {})...",
+        ga.population, ga.generations
+    );
     let result = run_nsga2(&problem, &ga);
     let front = result.pareto_front();
-    println!("  {} pareto designs from {} evaluations", front.len(), result.evaluations);
+    println!(
+        "  {} pareto designs from {} evaluations",
+        front.len(),
+        result.evaluations
+    );
 
     // Stage 2: Monte-Carlo characterisation.
     let engine = MonteCarlo::new(ProcessSpec::default());
@@ -40,7 +47,10 @@ fn main() {
         seed: 42,
         threads: 2,
     };
-    println!("stage 2: {}-sample monte carlo per pareto point...", mc.samples);
+    println!(
+        "stage 2: {}-sample monte carlo per pareto point...",
+        mc.samples
+    );
     let characterized =
         characterize_front(&front, &testbench, &engine, &mc).expect("characterisation");
 
@@ -50,7 +60,9 @@ fn main() {
     // Stage 3: write the Listing-1 table files and reload them.
     let dir = std::path::Path::new("target/vco_model");
     std::fs::create_dir_all(dir).expect("create output dir");
-    characterized.write_tbl_files(dir).expect("write .tbl files");
+    characterized
+        .write_tbl_files(dir)
+        .expect("write .tbl files");
     println!("wrote Listing-1 .tbl files to {}", dir.display());
 
     let model = PerfVariationModel::from_tbl_dir(dir).expect("reload model");

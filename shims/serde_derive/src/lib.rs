@@ -1,0 +1,452 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the sibling `serde` shim's JSON-shaped `Value` data model. The input
+//! item is parsed directly from the `proc_macro::TokenStream` (no
+//! `syn`/`quote` — those live on the unreachable registry), which is
+//! sufficient for the shapes this workspace derives on: non-generic
+//! structs with named or tuple fields, and enums with unit, tuple, or
+//! struct variants (encoded externally tagged, matching real serde).
+//!
+//! The only field attribute honoured is `#[serde(skip)]`: the field is
+//! omitted on serialize and rebuilt with `Default::default()` on
+//! deserialize. Anything else under `#[serde(...)]` is a compile error
+//! rather than a silent behaviour change.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsed representation
+// ---------------------------------------------------------------------
+
+struct Field {
+    /// Field identifier for named fields, `None` for tuple fields.
+    name: Option<String>,
+    /// `#[serde(skip)]` present.
+    skip: bool,
+}
+
+enum Body {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(Vec<Field>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        body: Body,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Body)>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_fields(g.stream(), true))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Body::Tuple(parse_fields(g.stream(), false))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("serde shim derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, body }
+        }
+        "enum" => {
+            let group = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            let variants = split_top_level(group.stream())
+                .into_iter()
+                .map(parse_variant)
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde shim derive supports struct/enum, got `{other}`"),
+    }
+}
+
+/// Skips (and discards) any leading `#[...]` attributes.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '!') {
+            *i += 1;
+        }
+        *i += 1; // bracket group
+    }
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(in ...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Splits a token stream on top-level commas. Angle brackets are plain
+/// punctuation (not groups), so commas inside `HashMap<String, NodeId>`
+/// are kept with their chunk by tracking `<`/`>` depth.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0usize;
+    let mut prev_minus = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // Don't treat the `>` of `->` (fn-type returns) as a closer.
+                '>' if !prev_minus => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    prev_minus = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_minus = p.as_char() == '-';
+        } else {
+            prev_minus = false;
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Parses one chunk's leading attributes, returning whether
+/// `#[serde(skip)]` was present and the index past the attributes.
+fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, usize) {
+    let mut skip = false;
+    let mut i = 0;
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+                match inner.get(1) {
+                    Some(TokenTree::Group(args)) => {
+                        let text = args.stream().to_string();
+                        if text.trim() == "skip" {
+                            skip = true;
+                        } else {
+                            panic!("serde shim derive supports only #[serde(skip)], got #[serde({text})]");
+                        }
+                    }
+                    other => panic!("serde shim derive: malformed serde attribute {other:?}"),
+                }
+            }
+        }
+        i += 2;
+    }
+    (skip, i)
+}
+
+fn parse_fields(stream: TokenStream, named: bool) -> Vec<Field> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let (skip, mut i) = parse_field_attrs(&chunk);
+            skip_visibility(&chunk, &mut i);
+            let name = if named {
+                Some(expect_ident(&chunk, &mut i))
+            } else {
+                None
+            };
+            Field { name, skip }
+        })
+        .collect()
+}
+
+fn parse_variant(chunk: Vec<TokenTree>) -> (String, Body) {
+    let (_, mut i) = parse_field_attrs(&chunk);
+    let name = expect_ident(&chunk, &mut i);
+    let body = match chunk.get(i) {
+        None => Body::Unit,
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_fields(g.stream(), true))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(parse_fields(g.stream(), false))
+        }
+        other => panic!("serde shim derive: unexpected token in variant `{name}`: {other:?}"),
+    };
+    (name, body)
+}
+
+// ---------------------------------------------------------------------
+// Code generation (string-built, absolute paths throughout)
+// ---------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_code = match body {
+                Body::Unit => "::serde::Value::Null".to_string(),
+                Body::Named(fields) => {
+                    let mut code = String::from(
+                        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in fields {
+                        if f.skip {
+                            continue;
+                        }
+                        let fname = f.name.as_ref().unwrap();
+                        code.push_str(&format!(
+                            "fields.push((\"{fname}\".to_string(), ::serde::Serialize::to_value(&self.{fname})));\n",
+                        ));
+                    }
+                    code.push_str("::serde::Value::Object(fields)");
+                    code
+                }
+                Body::Tuple(fields) if fields.len() == 1 => {
+                    // Newtype structs serialise transparently, like serde.
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Body::Tuple(fields) => {
+                    let elems: Vec<String> = (0..fields.len())
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                }
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body_code}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for (vname, body) in variants {
+                match body {
+                    Body::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    Body::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|k| format!("f{k}")).collect();
+                        let payload = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let mut inner = String::from(
+                            "let mut payload: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            if f.skip {
+                                continue;
+                            }
+                            let fname = f.name.as_ref().unwrap();
+                            inner.push_str(&format!(
+                                "payload.push((\"{fname}\".to_string(), ::serde::Serialize::to_value({fname})));\n",
+                            ));
+                        }
+                        inner.push_str(&format!(
+                            "::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(payload))])"
+                        ));
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n{inner}\n}}\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, body } => {
+            let body_code = match body {
+                Body::Unit => format!("let _ = v; Ok({name})"),
+                Body::Named(fields) => {
+                    let mut code = format!(
+                        "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{\n"
+                    );
+                    for f in fields {
+                        let fname = f.name.as_ref().unwrap();
+                        if f.skip {
+                            code.push_str(&format!(
+                                "{fname}: ::core::default::Default::default(),\n"
+                            ));
+                        } else {
+                            code.push_str(&format!(
+                                "{fname}: ::serde::Deserialize::from_value(::serde::value_get(obj, \"{fname}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{fname}` in {name}\"))?)?,\n",
+                            ));
+                        }
+                    }
+                    code.push_str("})");
+                    code
+                }
+                Body::Tuple(fields) if fields.len() == 1 => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Body::Tuple(fields) => {
+                    let n = fields.len();
+                    let mut code = format!(
+                        "let arr = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                         if arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                         Ok({name}(",
+                    );
+                    for k in 0..n {
+                        code.push_str(&format!("::serde::Deserialize::from_value(&arr[{k}])?, "));
+                    }
+                    code.push_str("))");
+                    code
+                }
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body_code}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, body) in variants {
+                match body {
+                    Body::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
+                    }
+                    Body::Tuple(fields) => {
+                        let build = if fields.len() == 1 {
+                            format!(
+                                "Ok({name}::{vname}(::serde::Deserialize::from_value(payload)?))"
+                            )
+                        } else {
+                            let n = fields.len();
+                            let mut code = format!(
+                                "let arr = payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload for {name}::{vname}\"))?;\n\
+                                 if arr.len() != {n} {{ return Err(::serde::Error::custom(\"wrong payload length for {name}::{vname}\")); }}\n\
+                                 Ok({name}::{vname}(",
+                            );
+                            for k in 0..n {
+                                code.push_str(&format!(
+                                    "::serde::Deserialize::from_value(&arr[{k}])?, "
+                                ));
+                            }
+                            code.push_str("))");
+                            code
+                        };
+                        tagged_arms.push_str(&format!("\"{vname}\" => {{\n{build}\n}}\n"));
+                    }
+                    Body::Named(fields) => {
+                        let mut build = format!(
+                            "let obj = payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload for {name}::{vname}\"))?;\n\
+                             Ok({name}::{vname} {{\n"
+                        );
+                        for f in fields {
+                            let fname = f.name.as_ref().unwrap();
+                            if f.skip {
+                                build.push_str(&format!(
+                                    "{fname}: ::core::default::Default::default(),\n"
+                                ));
+                            } else {
+                                build.push_str(&format!(
+                                    "{fname}: ::serde::Deserialize::from_value(::serde::value_get(obj, \"{fname}\").ok_or_else(|| ::serde::Error::custom(\"missing field `{fname}` in {name}::{vname}\"))?)?,\n",
+                                ));
+                            }
+                        }
+                        build.push_str("})");
+                        tagged_arms.push_str(&format!("\"{vname}\" => {{\n{build}\n}}\n"));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => Err(::serde::Error::custom(format!(\"expected externally tagged enum for {name}, got {{other:?}}\"))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}

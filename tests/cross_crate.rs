@@ -185,8 +185,7 @@ fn system_problem_full_pipeline_evaluation() {
             }
         })
         .collect();
-    let model =
-        Arc::new(PerfVariationModel::from_front(&CharacterizedFront { points }).unwrap());
+    let model = Arc::new(PerfVariationModel::from_front(&CharacterizedFront { points }).unwrap());
     let problem = PllSystemProblem::new(
         model,
         PllArchitecture::default(),

@@ -6,8 +6,194 @@
 //! construction, system-level optimisation with corners, spec
 //! propagation and bottom-up yield verification.
 
+use hierflow::checkpoint::{RunDir, Stage1Artifact, STAGE4_SYSTEM, STAGE5_SELECTED};
 use hierflow::flow::{FlowConfig, HierarchicalFlow};
 use hierflow::report::{format_table1, format_table2};
+use hierflow::{DegradePolicy, FaultInjector, FaultKind, FlowStage, VcoTestbench};
+use moea::problem::{Evaluation, Individual};
+use netlist::topology::VcoSizing;
+
+/// Micro budgets: every stage runs for real but in seconds, not
+/// minutes. The spec window is loosened accordingly — the point of
+/// these tests is the flow's failure semantics, not front quality.
+fn micro_config() -> FlowConfig {
+    let mut cfg = FlowConfig::quick();
+    cfg.circuit_ga.population = 16;
+    cfg.circuit_ga.generations = 3;
+    cfg.char_mc.samples = 5;
+    cfg.max_char_points = 4;
+    cfg.system_ga.population = 32;
+    cfg.system_ga.generations = 10;
+    cfg.verify_mc.samples = 10;
+    cfg.spec.lock_time_max = 5e-6;
+    cfg.spec.current_max = 50e-3;
+    cfg
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hierflow_e2e_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small Pareto front built from *real* testbench evaluations of
+/// hand-picked sizings, packaged as a stage-1 checkpoint — so flow
+/// tests can start at stage 2 without paying for the GA.
+fn seeded_stage1(dir: &std::path::Path, testbench: &VcoTestbench, n: usize) -> Stage1Artifact {
+    let front: Vec<Individual> = (0..n)
+        .map(|i| {
+            let mut sizing = VcoSizing::nominal();
+            sizing.wsn *= 1.0 + 0.25 * i as f64;
+            sizing.wsp *= 1.0 + 0.25 * i as f64;
+            let perf = testbench
+                .evaluate_sizing(&sizing)
+                .expect("nominal-family sizing evaluates");
+            Individual::new(
+                sizing.to_array().to_vec(),
+                Evaluation::feasible(hierflow::vco_problem::VcoSizingProblem::objectives_of(
+                    &perf,
+                )),
+            )
+        })
+        .collect();
+    let artifact = Stage1Artifact {
+        front,
+        evaluations: n,
+    };
+    let run = RunDir::create(dir).expect("run dir");
+    run.save(hierflow::checkpoint::STAGE1_FRONT, &artifact)
+        .expect("seed stage-1 artifact");
+    artifact
+}
+
+/// A flow killed after stage 2 resumes from its checkpoint directory
+/// and completes without re-running any circuit-level GA evaluation.
+#[test]
+fn checkpointed_flow_resumes_without_repeating_circuit_work() {
+    let dir = fresh_dir("resume");
+    let config = micro_config();
+
+    let first = HierarchicalFlow::new(config.clone())
+        .run_with_checkpoints(&dir)
+        .expect("first run completes");
+    assert!(
+        first.circuit_evaluations_this_run > 0,
+        "the first run must pay for the GA"
+    );
+    assert!(!first.events.stage_resumed(FlowStage::CircuitOpt));
+
+    // Simulate a kill after stage 2: stages 4 and 5 never landed.
+    std::fs::remove_file(dir.join(STAGE4_SYSTEM)).expect("drop stage-4 artifact");
+    std::fs::remove_file(dir.join(STAGE5_SELECTED)).expect("drop stage-5 artifact");
+
+    let resumed = HierarchicalFlow::new(config)
+        .resume(&dir)
+        .expect("resume completes");
+
+    // Stages 1 and 2 were loaded, not recomputed; the GA budget was
+    // spent exactly once across both runs.
+    assert_eq!(
+        resumed.circuit_evaluations_this_run, 0,
+        "resume must not re-run circuit-level GA evaluations"
+    );
+    assert!(resumed.events.stage_resumed(FlowStage::CircuitOpt));
+    assert!(resumed.events.stage_resumed(FlowStage::Characterize));
+    assert!(!resumed.events.stage_resumed(FlowStage::SystemOpt));
+
+    // Identical inputs + deterministic seeds: the resumed run lands on
+    // the same design the uninterrupted run selected.
+    assert_eq!(resumed.selected, first.selected);
+    assert_eq!(resumed.front, first.front);
+    assert_eq!(resumed.circuit_evaluations, first.circuit_evaluations);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A stale checkpoint directory from a different configuration is
+/// refused, not silently mixed into the run.
+#[test]
+fn resume_refuses_a_directory_from_another_config() {
+    let dir = fresh_dir("drift");
+    let config = micro_config();
+    let run = RunDir::create(&dir).expect("run dir");
+    // Seed a manifest as if a different config had produced the dir.
+    run.save(
+        hierflow::checkpoint::MANIFEST_FILE,
+        &hierflow::checkpoint::RunManifest {
+            config_digest: 0xdead_beef,
+            version: hierflow::checkpoint::ARTIFACT_VERSION,
+        },
+    )
+    .expect("seed manifest");
+    let err = HierarchicalFlow::new(config).resume(&dir).unwrap_err();
+    assert!(
+        err.to_string().contains("different flow configuration"),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The ISSUE's degradation acceptance case: with an injector failing
+/// 20 % of one point's Monte-Carlo samples and *all* samples of
+/// another, `SkipFailedPoints` completes the flow end to end and
+/// reports the skipped point in the event log, while `Strict` aborts
+/// with stage + point + sample provenance.
+#[test]
+fn fault_injected_flow_degrades_or_aborts_per_policy() {
+    let testbench = VcoTestbench::default();
+    let samples = 10;
+    // 20% of point 0's samples fail; point 1 fails wholesale.
+    let injector = FaultInjector::new()
+        .fail_fraction(0, samples, 0.2, FaultKind::NonConvergence)
+        .fail_point(1, FaultKind::SingularMatrix);
+
+    let mut config = micro_config();
+    config.char_mc.samples = samples;
+
+    // Strict: abort, with provenance down to the sample.
+    let strict_dir = fresh_dir("strict");
+    seeded_stage1(&strict_dir, &testbench, 4);
+    let mut strict_cfg = config.clone();
+    strict_cfg.degrade = DegradePolicy::Strict;
+    let err = HierarchicalFlow::new(strict_cfg)
+        .with_fault_injector(injector.clone())
+        .run_with_checkpoints(&strict_dir)
+        .unwrap_err();
+    assert_eq!(err.flow_stage(), Some(FlowStage::Characterize));
+    assert_eq!(err.point(), Some(0), "point 0's sample 0 fails first");
+    assert_eq!(err.sample(), Some(0));
+
+    // Skip: the flow completes, the dead point is dropped and reported.
+    let skip_dir = fresh_dir("skip");
+    seeded_stage1(&skip_dir, &testbench, 4);
+    let mut skip_cfg = config;
+    skip_cfg.degrade = DegradePolicy::SkipFailedPoints {
+        min_surviving_points: 2,
+    };
+    let report = HierarchicalFlow::new(skip_cfg)
+        .with_fault_injector(injector)
+        .run_with_checkpoints(&skip_dir)
+        .expect("degraded flow completes");
+    assert_eq!(report.front.points.len(), 3, "point 1 dropped, 3 survive");
+    assert_eq!(
+        report.events.skipped_points(FlowStage::Characterize),
+        vec![1]
+    );
+    // The partial failures on point 0 are logged, and its spreads come
+    // from the surviving 80% of samples.
+    assert!(report.events.iter().any(|e| matches!(
+        e,
+        hierflow::FlowEvent::SampleFailures { point: 0, samples, total: 10, .. }
+            if samples.len() == 2
+    )));
+    assert_eq!(report.front.points[0].mc_failed, 2);
+    assert_eq!(report.front.points[0].mc_accepted, 8);
+    // The degraded run still produces a verified selection.
+    assert!(report.verification.total > 0);
+
+    std::fs::remove_dir_all(&strict_dir).ok();
+    std::fs::remove_dir_all(&skip_dir).ok();
+}
 
 /// The full five-stage flow with `FlowConfig::quick` budgets.
 /// Expensive (several minutes of transistor-level simulation); marked
