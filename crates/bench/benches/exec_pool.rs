@@ -1,0 +1,95 @@
+//! Scheduling benchmark: static contiguous chunking versus the
+//! supervised pool's shared-cursor work stealing, on a deliberately
+//! skewed workload.
+//!
+//! The skew mirrors what Monte-Carlo characterisation actually sees:
+//! a handful of samples land on hard solver corners and cost an order
+//! of magnitude more than the rest, and under static chunking they all
+//! sit in the same worker's chunk. Work stealing lets the idle workers
+//! drain the cheap tail instead of waiting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use exec::{run_batch, ExecPolicy};
+
+const TASKS: usize = 64;
+const LIGHT_SPINS: u64 = 2_000;
+const HEAVY_SPINS: u64 = 40_000;
+
+/// Tasks in the first quarter are ~20x the cost of the rest — the
+/// worst case for contiguous chunking, which hands every heavy task
+/// to worker 0.
+fn spins_for(task: usize) -> u64 {
+    if task < TASKS / 4 {
+        HEAVY_SPINS
+    } else {
+        LIGHT_SPINS
+    }
+}
+
+/// Deterministic busy work standing in for a simulator evaluation.
+fn evaluate(task: usize) -> f64 {
+    let mut acc = task as f64 + 1.0;
+    for k in 0..spins_for(task) {
+        acc = (acc + k as f64).sqrt() + 1.0;
+    }
+    acc
+}
+
+/// Baseline: split the index range into contiguous per-worker chunks
+/// up front, no rebalancing.
+fn static_chunk(workers: usize) -> Vec<f64> {
+    let mut out = vec![0.0; TASKS];
+    let chunk = TASKS.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = (w * chunk).min(TASKS);
+                let hi = ((w + 1) * chunk).min(TASKS);
+                scope.spawn(move || (lo, (lo..hi).map(evaluate).collect::<Vec<f64>>()))
+            })
+            .collect();
+        for handle in handles {
+            let (lo, vals) = handle.join().expect("chunk worker panicked");
+            out[lo..lo + vals.len()].copy_from_slice(&vals);
+        }
+    });
+    out
+}
+
+fn work_stealing(workers: usize) -> Vec<f64> {
+    let batch = run_batch(TASKS, &ExecPolicy::with_threads(workers), |ctx| {
+        Ok(evaluate(ctx.index))
+    });
+    batch
+        .items
+        .into_iter()
+        .map(|v| v.expect("no task may fail in this benchmark"))
+        .collect()
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    // Same skewed batch under both schedulers; identical output is
+    // asserted once so the timed bodies stay pure.
+    let workers = exec::threads_from_env(4).max(2);
+    assert_eq!(static_chunk(workers), work_stealing(workers));
+
+    let mut group = c.benchmark_group("exec_pool");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box((0..TASKS).map(evaluate).collect::<Vec<f64>>());
+        })
+    });
+    group.bench_function(format!("static_chunk_{workers}t").as_str(), |b| {
+        b.iter(|| black_box(static_chunk(workers)))
+    });
+    group.bench_function(format!("work_stealing_{workers}t").as_str(), |b| {
+        b.iter(|| black_box(work_stealing(workers)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

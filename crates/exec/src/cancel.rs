@@ -1,0 +1,130 @@
+//! Cooperative cancellation.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+
+/// A cooperative cancellation flag shared between a supervisor and the
+/// workers it runs. Cloning shares the flag; once
+/// [`CancelToken::cancel`] fires every clone observes it.
+///
+/// Cancellation is *cooperative*: nothing is pre-empted. The pool polls
+/// the token between tasks, and long evaluators may poll it themselves
+/// through [`TaskCtx`](crate::TaskCtx).
+///
+/// For deterministic tests, [`CancelToken::cancel_after`] builds a
+/// token that self-cancels after a fixed number of polls — with a
+/// single worker thread that pins the cancellation point exactly.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    cancelled: AtomicBool,
+    /// Remaining polls before self-cancellation; negative = disabled.
+    countdown: AtomicI64,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                countdown: AtomicI64::new(-1),
+            }),
+        }
+    }
+
+    /// A token that self-cancels once it has been polled `polls` times
+    /// (so `polls = 0` is cancelled on the first poll). Deterministic
+    /// under a single worker thread.
+    pub fn cancel_after(polls: u64) -> Self {
+        let token = CancelToken::new();
+        token
+            .inner
+            .countdown
+            .store(polls.min(i64::MAX as u64) as i64, Ordering::SeqCst);
+        token
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested. Does not consume a
+    /// self-cancellation poll.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Polls the token from a worker: consumes one self-cancellation
+    /// count (when armed) and returns whether the batch should stop.
+    pub fn poll(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return true;
+        }
+        if self.inner.countdown.load(Ordering::SeqCst) >= 0
+            && self.inner.countdown.fetch_sub(1, Ordering::SeqCst) <= 0
+        {
+            self.cancel();
+            return true;
+        }
+        false
+    }
+}
+
+// Stable output regardless of runtime state: the token rides inside
+// configs whose `Debug` rendering feeds checkpoint digests, and a
+// cancelled run must still match its own checkpoint directory.
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CancelToken")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_is_shared_between_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && a.poll());
+    }
+
+    #[test]
+    fn cancel_after_counts_polls() {
+        let t = CancelToken::cancel_after(2);
+        assert!(!t.poll());
+        assert!(!t.poll());
+        assert!(t.poll(), "third poll crosses the budget");
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_after_zero_cancels_immediately_on_poll() {
+        let t = CancelToken::cancel_after(0);
+        assert!(!t.is_cancelled(), "not cancelled until polled");
+        assert!(t.poll());
+    }
+
+    #[test]
+    fn debug_is_state_independent() {
+        let t = CancelToken::new();
+        let before = format!("{t:?}");
+        t.cancel();
+        assert_eq!(before, format!("{t:?}"));
+    }
+}

@@ -1,0 +1,127 @@
+//! Wall-clock deadlines and run budgets.
+
+use std::time::{Duration, Instant};
+
+/// An absolute wall-clock deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now.
+    pub fn after(limit: Duration) -> Self {
+        Deadline {
+            at: Instant::now() + limit,
+        }
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+
+    /// The earlier of two optional deadlines — how a per-stage limit
+    /// composes with a whole-run limit.
+    pub fn earliest(a: Option<Deadline>, b: Option<Deadline>) -> Option<Deadline> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.at <= y.at { x } else { y }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
+
+/// Wall-clock budgets for a supervised run, at three scopes:
+///
+/// * `task` — limit on one evaluation (a slow sample becomes a
+///   [`TaskFailure::TimedOut`](crate::TaskFailure) instead of holding a
+///   worker hostage);
+/// * `stage` — limit on one flow stage, measured from stage start;
+/// * `run` — limit on the whole run, measured from run start.
+///
+/// `None` means unlimited — the default. Budgets compose: a batch stops
+/// at whichever of the stage and run deadlines comes first.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Per-task wall-clock limit.
+    pub task: Option<Duration>,
+    /// Per-stage wall-clock limit.
+    pub stage: Option<Duration>,
+    /// Whole-run wall-clock limit.
+    pub run: Option<Duration>,
+    /// Retry policy for transient and timed-out tasks.
+    pub retry: crate::RetryPolicy,
+}
+
+impl RunBudget {
+    /// An unlimited budget (no deadlines, no retries).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Sets the per-task limit.
+    pub fn per_task(mut self, limit: Duration) -> Self {
+        self.task = Some(limit);
+        self
+    }
+
+    /// Sets the per-stage limit.
+    pub fn per_stage(mut self, limit: Duration) -> Self {
+        self.stage = Some(limit);
+        self
+    }
+
+    /// Sets the whole-run limit.
+    pub fn whole_run(mut self, limit: Duration) -> Self {
+        self.run = Some(limit);
+        self
+    }
+
+    /// Sets the retry policy.
+    pub fn with_retry(mut self, retry: crate::RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expires() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn earliest_composes_optionals() {
+        let near = Deadline::after(Duration::from_millis(1));
+        let far = Deadline::after(Duration::from_secs(60));
+        assert_eq!(Deadline::earliest(Some(near), Some(far)), Some(near));
+        assert_eq!(Deadline::earliest(None, Some(far)), Some(far));
+        assert_eq!(Deadline::earliest(None, None), None);
+    }
+
+    #[test]
+    fn budget_builders_set_scopes() {
+        let b = RunBudget::unlimited()
+            .per_task(Duration::from_millis(5))
+            .per_stage(Duration::from_secs(1))
+            .whole_run(Duration::from_secs(10));
+        assert_eq!(b.task, Some(Duration::from_millis(5)));
+        assert_eq!(b.stage, Some(Duration::from_secs(1)));
+        assert_eq!(b.run, Some(Duration::from_secs(10)));
+        assert_eq!(RunBudget::default().task, None);
+    }
+}

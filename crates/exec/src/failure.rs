@@ -1,0 +1,146 @@
+//! Per-task failure taxonomy.
+
+use std::fmt;
+use std::time::Duration;
+
+/// How a failure relates to retrying: transient faults (a solver that
+/// did not converge this time, a timeout under contention) are worth a
+/// retry; permanent ones (a singular matrix, a structural bug) are not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Retrying may succeed.
+    Transient,
+    /// Retrying will reproduce the same failure.
+    Permanent,
+}
+
+/// Why one task of a batch produced no result. Every variant costs the
+/// batch exactly one item — never the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskFailure {
+    /// The task body panicked; the payload message is preserved.
+    Panicked {
+        /// Panic payload rendered to text.
+        message: String,
+    },
+    /// The task ran longer than its per-task deadline. Its result (if
+    /// any) is discarded: a measurement that blows its budget is a
+    /// failure even when it eventually returns.
+    TimedOut {
+        /// Observed wall-clock duration.
+        elapsed: Duration,
+        /// The per-task limit it exceeded.
+        limit: Duration,
+    },
+    /// The task never ran (or was abandoned between retries) because
+    /// the batch was cancelled or hit a batch-level deadline.
+    Cancelled,
+    /// The task body reported a failure.
+    Failed {
+        /// Description of the failure.
+        message: String,
+        /// Retry classification.
+        class: FaultClass,
+    },
+}
+
+impl TaskFailure {
+    /// A permanent (non-retryable) failure.
+    pub fn permanent(message: impl Into<String>) -> Self {
+        TaskFailure::Failed {
+            message: message.into(),
+            class: FaultClass::Permanent,
+        }
+    }
+
+    /// A transient (retryable) failure.
+    pub fn transient(message: impl Into<String>) -> Self {
+        TaskFailure::Failed {
+            message: message.into(),
+            class: FaultClass::Transient,
+        }
+    }
+
+    /// Whether the retry policy applies to this failure: transient
+    /// faults and timeouts, never panics or cancellations.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TaskFailure::TimedOut { .. }
+                | TaskFailure::Failed {
+                    class: FaultClass::Transient,
+                    ..
+                }
+        )
+    }
+}
+
+impl fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskFailure::Panicked { message } => write!(f, "panicked: {message}"),
+            TaskFailure::TimedOut { elapsed, limit } => write!(
+                f,
+                "timed out: ran {:.1} ms against a {:.1} ms deadline",
+                elapsed.as_secs_f64() * 1e3,
+                limit.as_secs_f64() * 1e3
+            ),
+            TaskFailure::Cancelled => f.write_str("cancelled before completion"),
+            TaskFailure::Failed { message, .. } => f.write_str(message),
+        }
+    }
+}
+
+/// Why a batch stopped before exhausting its work list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// The [`CancelToken`](crate::CancelToken) fired.
+    Cancelled,
+    /// The batch-level deadline expired.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for AbortReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbortReason::Cancelled => f.write_str("cancelled"),
+            AbortReason::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_classification() {
+        assert!(TaskFailure::transient("solver wobble").is_retryable());
+        assert!(!TaskFailure::permanent("singular matrix").is_retryable());
+        assert!(TaskFailure::TimedOut {
+            elapsed: Duration::from_millis(20),
+            limit: Duration::from_millis(10),
+        }
+        .is_retryable());
+        assert!(!TaskFailure::Cancelled.is_retryable());
+        assert!(!TaskFailure::Panicked {
+            message: "boom".into()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn failures_render_for_provenance() {
+        let t = TaskFailure::TimedOut {
+            elapsed: Duration::from_millis(25),
+            limit: Duration::from_millis(10),
+        };
+        let text = t.to_string();
+        assert!(text.contains("timed out"), "{text}");
+        assert!(text.contains("10.0 ms"), "{text}");
+        assert_eq!(TaskFailure::permanent("bad").to_string(), "bad");
+        assert!(AbortReason::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+    }
+}

@@ -1,0 +1,63 @@
+//! Supervised execution runtime for embarrassingly parallel evaluation
+//! batches.
+//!
+//! The paper's flow spends nearly all of its wall clock in three loops:
+//! 3 000 transistor-level GA evaluations, a 100-sample Monte Carlo per
+//! Pareto point, and a 500-sample bottom-up verification. All three are
+//! batches of independent tasks — exactly the workload stochastic
+//! simulators treat as a *budgeted, failure-tolerant batch*, not a bare
+//! thread loop. This crate is that treatment:
+//!
+//! * **Work-stealing pool** ([`run_batch`]): workers claim tasks from a
+//!   shared atomic index over the work list, so the batch's wall clock
+//!   is set by total work, not by the unluckiest static chunk.
+//! * **Panic isolation**: each task runs under `catch_unwind`; a
+//!   panicking evaluator becomes a per-item
+//!   [`TaskFailure::Panicked`], never a process abort.
+//! * **Cooperative cancellation** ([`CancelToken`]): polled between
+//!   tasks; a cancelled batch stops claiming work and reports the
+//!   unrun items as [`TaskFailure::Cancelled`].
+//! * **Deadlines** ([`Deadline`], [`RunBudget`]): per-task wall-clock
+//!   limits convert slow evaluations into [`TaskFailure::TimedOut`];
+//!   a batch-level deadline stops the whole batch like a cancellation.
+//! * **Retry with backoff** ([`RetryPolicy`], [`FaultClass`]):
+//!   transient task failures are retried in place with exponential
+//!   backoff before they count as failures.
+//!
+//! Results are keyed by task index, never by worker, so a batch is
+//! bit-identical across thread counts — the property every determinism
+//! test in this workspace leans on.
+
+mod cancel;
+mod deadline;
+mod failure;
+mod pool;
+mod retry;
+
+pub use cancel::CancelToken;
+pub use deadline::{Deadline, RunBudget};
+pub use failure::{AbortReason, FaultClass, TaskFailure};
+pub use pool::{run_batch, BatchResult, ExecPolicy, PoolStats, TaskCtx};
+pub use retry::RetryPolicy;
+
+/// Worker-thread count requested via the `HIERSIZER_THREADS`
+/// environment variable, or `default` when unset or unparsable. Lets a
+/// CI matrix drive every pool in the workspace through 1-thread and
+/// N-thread schedules without touching configs.
+pub fn threads_from_env(default: usize) -> usize {
+    std::env::var("HIERSIZER_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_thread_override_parses_or_defaults() {
+        // No env manipulation (tests run concurrently); just the parse
+        // fallback paths via the public API contract.
+        assert!(super::threads_from_env(3) >= 1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Retry policy with exponential backoff.
+
+use std::time::Duration;
+
+/// How many times a retryable task failure is retried in place, and how
+/// long to back off between attempts (doubling per retry). The default
+/// is no retries — retrying is an opt-in budget decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per task (0 = first failure is final).
+    pub max_retries: usize,
+    /// Backoff before the first retry; doubles each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Up to `max_retries` retries, starting at `backoff` and doubling.
+    pub fn new(max_retries: usize, backoff: Duration) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff,
+        }
+    }
+
+    /// Backoff before retry `attempt` (1-based), doubling per retry and
+    /// saturating rather than overflowing.
+    pub fn delay(&self, attempt: usize) -> Duration {
+        if attempt == 0 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        let factor = 1u32 << (attempt - 1).min(20) as u32;
+        self.backoff.saturating_mul(factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy::new(3, Duration::from_millis(10));
+        assert_eq!(p.delay(1), Duration::from_millis(10));
+        assert_eq!(p.delay(2), Duration::from_millis(20));
+        assert_eq!(p.delay(3), Duration::from_millis(40));
+        assert_eq!(p.delay(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn default_is_no_retry() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.delay(5), Duration::ZERO);
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate() {
+        let p = RetryPolicy::new(usize::MAX, Duration::from_secs(1));
+        assert!(p.delay(500) >= p.delay(21));
+    }
+}

@@ -2,10 +2,9 @@
 //! solution (paper §3.3/§4.3, producing Table 1) and `.tbl` emission
 //! (Listing 1).
 
-use std::collections::BTreeMap;
 use std::path::Path;
-use std::sync::Mutex;
 
+use exec::{AbortReason, ExecPolicy, FaultClass, PoolStats, TaskFailure};
 use moea::problem::Individual;
 use netlist::topology::VcoSizing;
 use serde::{Deserialize, Serialize};
@@ -13,7 +12,7 @@ use tablemodel::tbl_io::write_tbl_file;
 use variation::mc::{McConfig, MonteCarlo};
 
 use crate::error::FlowError;
-use crate::events::{FlowEvent, FlowEvents, FlowStage};
+use crate::events::{DeadlineScope, FlowEvent, FlowEvents, FlowStage};
 use crate::faults::FaultInjector;
 use crate::policy::{relaxed_options, DegradePolicy};
 use crate::vco_eval::{VcoPerf, VcoTestbench};
@@ -72,12 +71,24 @@ struct PointAttempt {
     point: Option<CharPoint>,
     /// `(sample index, failure description)` of every failing sample.
     failures: Vec<(usize, String)>,
+    /// `(sample index, elapsed ms, limit ms)` of every per-task
+    /// deadline overrun.
+    timeouts: Vec<(usize, u64, u64)>,
+    /// Scheduling statistics of the Monte-Carlo batch.
+    stats: PoolStats,
+    /// Set when the batch stopped early (cancellation or batch
+    /// deadline) — the point's result is meaningless and the whole
+    /// run must wind down.
+    aborted: Option<AbortReason>,
 }
 
-/// One Monte-Carlo pass over one Pareto point. Output validation runs
-/// here: a measurement that *returns* non-finite values (the
-/// quietest failure mode a simulator has) counts as a failed sample,
-/// never as data.
+/// One Monte-Carlo pass over one Pareto point, on the supervised pool.
+/// Output validation runs here: a measurement that *returns* non-finite
+/// values (the quietest failure mode a simulator has) counts as a
+/// failed sample, never as data. Injected faults carry their
+/// [`FaultKind::class`](crate::faults::FaultKind::class) so the pool's
+/// retry policy can tell transient solver wobbles from permanent
+/// failures.
 #[allow(clippy::too_many_arguments)]
 fn characterize_point(
     point: usize,
@@ -87,50 +98,52 @@ fn characterize_point(
     testbench: &VcoTestbench,
     engine: &MonteCarlo,
     mc: &McConfig,
+    exec: &ExecPolicy,
     faults: Option<&FaultInjector>,
 ) -> PointAttempt {
     let ring = testbench.build(sizing);
-    let messages: Mutex<BTreeMap<usize, String>> = Mutex::new(BTreeMap::new());
-    let run = engine.run(&ring.circuit, mc, |i, perturbed| {
+    let run = engine.run_supervised(&ring.circuit, mc, exec, |i, perturbed| {
         let result = match faults {
             Some(inj) => inj.evaluate(point, i, attempt, testbench, perturbed, &ring),
             None => testbench.evaluate_circuit(perturbed, &ring),
         };
         match result {
-            Ok(perf) if perf.is_finite() => Some(perf.to_array().to_vec()),
-            Ok(_) => {
-                messages
-                    .lock()
-                    .expect("no panics hold this lock")
-                    .insert(i, "measurement returned non-finite values".into());
-                None
-            }
-            Err(e) => {
-                messages
-                    .lock()
-                    .expect("no panics hold this lock")
-                    .insert(i, e.to_string());
-                None
-            }
+            Ok(perf) if perf.is_finite() => Ok(perf.to_array().to_vec()),
+            Ok(_) => Err(TaskFailure::permanent(
+                "measurement returned non-finite values",
+            )),
+            Err(e) => Err(TaskFailure::Failed {
+                message: e.to_string(),
+                class: faults
+                    .and_then(|inj| inj.fault_for(point, i, attempt))
+                    .map(|kind| kind.class())
+                    .unwrap_or(FaultClass::Permanent),
+            }),
         }
     });
-    let messages = messages.into_inner().expect("threads joined");
     let failures: Vec<(usize, String)> = run
-        .failed_samples
+        .failures
         .iter()
-        .map(|&i| {
-            let message = messages
-                .get(&i)
-                .cloned()
-                .unwrap_or_else(|| "evaluation failed".into());
-            (i, message)
+        .map(|(i, f)| (*i, f.to_string()))
+        .collect();
+    let timeouts: Vec<(usize, u64, u64)> = run
+        .failures
+        .iter()
+        .filter_map(|(i, f)| match f {
+            TaskFailure::TimedOut { elapsed, limit } => {
+                Some((*i, elapsed.as_millis() as u64, limit.as_millis() as u64))
+            }
+            _ => None,
         })
         .collect();
 
-    if run.accepted == 0 {
+    if run.aborted.is_some() || run.accepted == 0 {
         return PointAttempt {
             point: None,
             failures,
+            timeouts,
+            stats: run.stats,
+            aborted: run.aborted,
         };
     }
     // A spread that cannot be computed (zero-mean metric) is a failed
@@ -150,6 +163,9 @@ fn characterize_point(
                             VcoPerf::NAMES[k]
                         ),
                     )],
+                    timeouts,
+                    stats: run.stats,
+                    aborted: None,
                 };
             }
         }
@@ -169,6 +185,9 @@ fn characterize_point(
             mc_failed: run.failed,
         }),
         failures,
+        timeouts,
+        stats: run.stats,
+        aborted: None,
     }
 }
 
@@ -198,21 +217,84 @@ pub fn characterize_front_with(
     faults: Option<&FaultInjector>,
     events: &mut FlowEvents,
 ) -> Result<CharacterizedFront, FlowError> {
+    characterize_front_supervised(
+        front,
+        testbench,
+        engine,
+        mc,
+        policy,
+        faults,
+        &ExecPolicy::default(),
+        events,
+    )
+}
+
+/// [`characterize_front_with`] under an explicit execution policy:
+/// per-sample wall-clock deadlines (overruns become
+/// [`FlowEvent::TaskTimedOut`] entries and failed samples), cooperative
+/// cancellation and batch deadlines (the stage stops claiming work,
+/// records the interruption and returns a resumable
+/// [`FlowError::Cancelled`] / [`FlowError::DeadlineExceeded`]), and
+/// per-sample retries for transient faults. Every batch's scheduling
+/// statistics land in `events` as [`FlowEvent::PoolBatch`].
+///
+/// Worker threads come from `exec.threads` when set (> 0), falling back
+/// to `mc.threads`; results are bit-identical across thread counts.
+///
+/// # Errors
+///
+/// As [`characterize_front_with`], plus [`FlowError::Cancelled`] when
+/// the policy's token fires and [`FlowError::DeadlineExceeded`] when
+/// its batch deadline expires mid-stage.
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_front_supervised(
+    front: &[Individual],
+    testbench: &VcoTestbench,
+    engine: &MonteCarlo,
+    mc: &McConfig,
+    policy: DegradePolicy,
+    faults: Option<&FaultInjector>,
+    exec: &ExecPolicy,
+    events: &mut FlowEvents,
+) -> Result<CharacterizedFront, FlowError> {
     const STAGE: FlowStage = FlowStage::Characterize;
     if front.is_empty() {
         return Err(FlowError::stage(STAGE.name(), "empty pareto front"));
     }
     let mut points = Vec::with_capacity(front.len());
     let mut skipped: Vec<usize> = Vec::new();
+    let record_batch = |events: &mut FlowEvents, idx: usize, outcome: &PointAttempt| {
+        for &(task, elapsed_ms, limit_ms) in &outcome.timeouts {
+            events.push(FlowEvent::TaskTimedOut {
+                stage: STAGE,
+                point: Some(idx),
+                task,
+                elapsed_ms,
+                limit_ms,
+            });
+        }
+        events.push(FlowEvent::PoolBatch {
+            stage: STAGE,
+            point: Some(idx),
+            tasks: outcome.stats.tasks,
+            workers: outcome.stats.workers,
+            per_worker: outcome.stats.per_worker.clone(),
+            stolen: outcome.stats.stolen,
+            retries: outcome.stats.retries,
+            timeouts: outcome.stats.timeouts,
+        });
+    };
     for (idx, ind) in front.iter().enumerate() {
         let sizing = VcoSizing::from_array(&ind.x);
         let nominal = VcoSizingProblem::perf_of(&ind.objectives);
 
         let mut attempt = 0usize;
         let mut outcome = characterize_point(
-            idx, &sizing, nominal, attempt, testbench, engine, mc, faults,
+            idx, &sizing, nominal, attempt, testbench, engine, mc, exec, faults,
         );
-        while outcome.point.is_none() && attempt < policy.max_retries() {
+        record_batch(events, idx, &outcome);
+        while outcome.aborted.is_none() && outcome.point.is_none() && attempt < policy.max_retries()
+        {
             attempt += 1;
             events.push(FlowEvent::RetryAttempted {
                 stage: STAGE,
@@ -229,8 +311,28 @@ pub fn characterize_front_with(
                 &relaxed_tb,
                 engine,
                 mc,
+                exec,
                 faults,
             );
+            record_batch(events, idx, &outcome);
+        }
+
+        match outcome.aborted {
+            Some(AbortReason::Cancelled) => {
+                events.push(FlowEvent::RunCancelled { stage: STAGE });
+                return Err(FlowError::Cancelled { stage: STAGE });
+            }
+            Some(AbortReason::DeadlineExceeded) => {
+                events.push(FlowEvent::BudgetExhausted {
+                    stage: STAGE,
+                    scope: DeadlineScope::Stage,
+                });
+                return Err(FlowError::DeadlineExceeded {
+                    stage: STAGE,
+                    scope: DeadlineScope::Stage,
+                });
+            }
+            None => {}
         }
 
         match outcome.point {

@@ -41,6 +41,21 @@ pub enum FlowError {
         /// Description of the problem.
         message: String,
     },
+    /// The run's cancellation token fired. Completed stages are already
+    /// checkpointed; [`HierarchicalFlow::resume`](crate::flow::HierarchicalFlow::resume)
+    /// picks the run back up.
+    Cancelled {
+        /// The stage that observed the cancellation.
+        stage: FlowStage,
+    },
+    /// A stage or whole-run wall-clock budget expired. Completed stages
+    /// are already checkpointed; the run is resumable.
+    DeadlineExceeded {
+        /// The stage that observed the expiry.
+        stage: FlowStage,
+        /// Which budget scope expired.
+        scope: crate::events::DeadlineScope,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -65,6 +80,19 @@ impl fmt::Display for FlowError {
             FlowError::Checkpoint { path, message } => {
                 write!(f, "checkpoint {path}: {message}")
             }
+            FlowError::Cancelled { stage } => {
+                write!(
+                    f,
+                    "{stage} stage: run cancelled (checkpoints preserved; resume to continue)"
+                )
+            }
+            FlowError::DeadlineExceeded { stage, scope } => {
+                write!(
+                    f,
+                    "{stage} stage: {scope} deadline exceeded \
+                     (checkpoints preserved; resume to continue)"
+                )
+            }
         }
     }
 }
@@ -77,7 +105,9 @@ impl std::error::Error for FlowError {
             FlowError::Pll(e) => Some(e),
             FlowError::Stage { .. }
             | FlowError::Characterization { .. }
-            | FlowError::Checkpoint { .. } => None,
+            | FlowError::Checkpoint { .. }
+            | FlowError::Cancelled { .. }
+            | FlowError::DeadlineExceeded { .. } => None,
         }
     }
 }
@@ -136,9 +166,23 @@ impl FlowError {
     /// The failing stage, when the error knows one.
     pub fn flow_stage(&self) -> Option<FlowStage> {
         match self {
-            FlowError::Characterization { stage, .. } => Some(*stage),
+            FlowError::Characterization { stage, .. }
+            | FlowError::Cancelled { stage }
+            | FlowError::DeadlineExceeded { stage, .. } => Some(*stage),
             _ => None,
         }
+    }
+
+    /// Whether this error left the run in a resumable state: the stages
+    /// completed so far are checkpointed and
+    /// [`HierarchicalFlow::resume`](crate::flow::HierarchicalFlow::resume)
+    /// continues from them (true for cancellations and expired
+    /// deadlines).
+    pub fn is_resumable_interruption(&self) -> bool {
+        matches!(
+            self,
+            FlowError::Cancelled { .. } | FlowError::DeadlineExceeded { .. }
+        )
     }
 
     /// The failing Pareto-point index, when the error carries one.
@@ -197,6 +241,27 @@ mod tests {
         assert_eq!(whole_point.sample(), None);
         assert!(!whole_point.to_string().contains("sample"));
         assert!(whole_point.to_string().contains("point 1"));
+    }
+
+    #[test]
+    fn interruption_errors_carry_stage_and_resumability() {
+        let c = FlowError::Cancelled {
+            stage: FlowStage::Characterize,
+        };
+        assert!(c.is_resumable_interruption());
+        assert_eq!(c.flow_stage(), Some(FlowStage::Characterize));
+        assert!(c.to_string().contains("resume"), "{c}");
+
+        let d = FlowError::DeadlineExceeded {
+            stage: FlowStage::SystemOpt,
+            scope: crate::events::DeadlineScope::Run,
+        };
+        assert!(d.is_resumable_interruption());
+        assert_eq!(d.flow_stage(), Some(FlowStage::SystemOpt));
+        assert!(d.to_string().contains("deadline exceeded"), "{d}");
+
+        let s = FlowError::stage("verify", "broken");
+        assert!(!s.is_resumable_interruption());
     }
 
     #[test]

@@ -106,6 +106,77 @@ pub enum FlowEvent {
         /// Total samples drawn.
         total: usize,
     },
+    /// One task (a Monte-Carlo sample or GA candidate) blew its
+    /// per-task wall-clock deadline; its result was discarded.
+    TaskTimedOut {
+        /// The stage.
+        stage: FlowStage,
+        /// Pareto-point index, when the task belongs to one.
+        point: Option<usize>,
+        /// Task index within its batch (sample or candidate index).
+        task: usize,
+        /// Observed duration in milliseconds.
+        elapsed_ms: u64,
+        /// The per-task limit in milliseconds.
+        limit_ms: u64,
+    },
+    /// Scheduling summary of one supervised batch: worker utilisation,
+    /// stolen-task count (work a static chunking would have stranded on
+    /// a slow worker), retries, timeouts.
+    PoolBatch {
+        /// The stage.
+        stage: FlowStage,
+        /// Pareto-point index, when the batch belongs to one.
+        point: Option<usize>,
+        /// Tasks in the batch.
+        tasks: usize,
+        /// Worker threads used.
+        workers: usize,
+        /// Tasks executed per worker.
+        per_worker: Vec<usize>,
+        /// Tasks executed by a different worker than static chunking
+        /// would have assigned.
+        stolen: usize,
+        /// Retry attempts performed.
+        retries: usize,
+        /// Per-task deadline overruns.
+        timeouts: usize,
+    },
+    /// The run's cancellation token fired; the stage stopped claiming
+    /// work and the run ended (resumable from its checkpoints).
+    RunCancelled {
+        /// The stage that observed the cancellation.
+        stage: FlowStage,
+    },
+    /// A wall-clock budget expired and the run ended (resumable from
+    /// its checkpoints).
+    BudgetExhausted {
+        /// The stage that observed the expiry.
+        stage: FlowStage,
+        /// Which budget scope expired.
+        scope: DeadlineScope,
+    },
+}
+
+/// Which wall-clock budget scope expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DeadlineScope {
+    /// A single task's deadline.
+    Task,
+    /// A stage's deadline.
+    Stage,
+    /// The whole-run deadline.
+    Run,
+}
+
+impl fmt::Display for DeadlineScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DeadlineScope::Task => "per-task",
+            DeadlineScope::Stage => "per-stage",
+            DeadlineScope::Run => "whole-run",
+        })
+    }
 }
 
 impl fmt::Display for FlowEvent {
@@ -144,6 +215,52 @@ impl fmt::Display for FlowEvent {
                 total,
                 samples
             ),
+            FlowEvent::TaskTimedOut {
+                stage,
+                point,
+                task,
+                elapsed_ms,
+                limit_ms,
+            } => {
+                write!(f, "[{stage}] ")?;
+                if let Some(p) = point {
+                    write!(f, "point {p}, ")?;
+                }
+                write!(
+                    f,
+                    "task {task}: timed out ({elapsed_ms} ms against a {limit_ms} ms deadline)"
+                )
+            }
+            FlowEvent::PoolBatch {
+                stage,
+                point,
+                tasks,
+                workers,
+                per_worker,
+                stolen,
+                retries,
+                timeouts,
+            } => {
+                write!(f, "[{stage}] ")?;
+                if let Some(p) = point {
+                    write!(f, "point {p}: ")?;
+                }
+                write!(
+                    f,
+                    "pool ran {tasks} tasks on {workers} workers \
+                     (per-worker {per_worker:?}, {stolen} stolen, \
+                     {retries} retries, {timeouts} timeouts)"
+                )
+            }
+            FlowEvent::RunCancelled { stage } => {
+                write!(f, "[{stage}] run cancelled (resumable from checkpoints)")
+            }
+            FlowEvent::BudgetExhausted { stage, scope } => {
+                write!(
+                    f,
+                    "[{stage}] {scope} deadline exceeded (resumable from checkpoints)"
+                )
+            }
         }
     }
 }
@@ -198,6 +315,26 @@ impl FlowEvents {
         self.events
             .iter()
             .any(|e| matches!(e, FlowEvent::CheckpointLoaded { stage: s, .. } if *s == stage))
+    }
+
+    /// Number of per-task deadline overruns recorded during `stage`.
+    pub fn task_timeouts(&self, stage: FlowStage) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::TaskTimedOut { stage: s, .. } if *s == stage))
+            .count()
+    }
+
+    /// Whether the run was interrupted (cancelled or out of budget) —
+    /// the conditions under which the checkpoint directory is worth
+    /// resuming.
+    pub fn interrupted(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e,
+                FlowEvent::RunCancelled { .. } | FlowEvent::BudgetExhausted { .. }
+            )
+        })
     }
 }
 

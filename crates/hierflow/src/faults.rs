@@ -15,7 +15,9 @@
 //! genuinely succeeds.
 
 use std::collections::BTreeMap;
+use std::time::Duration;
 
+use exec::FaultClass;
 use netlist::topology::RingVco;
 use netlist::Circuit;
 use spicesim::SimError;
@@ -59,6 +61,19 @@ impl FaultKind {
             }),
         }
     }
+
+    /// How the supervised runtime should classify this fault for retry
+    /// purposes: non-convergence is a transient solver condition (a
+    /// retry with different options can succeed); the rest are
+    /// permanent properties of the evaluation.
+    pub fn class(self) -> FaultClass {
+        match self {
+            FaultKind::NonConvergence => FaultClass::Transient,
+            FaultKind::SingularMatrix | FaultKind::NanOutput | FaultKind::Timeout => {
+                FaultClass::Permanent
+            }
+        }
+    }
 }
 
 /// Deterministic fault plan over `(point, sample)` evaluation indices.
@@ -67,6 +82,7 @@ pub struct FaultInjector {
     sample_faults: BTreeMap<(usize, usize), FaultKind>,
     point_faults: BTreeMap<usize, FaultKind>,
     transient: bool,
+    timeout_stall: Option<Duration>,
 }
 
 impl FaultInjector {
@@ -117,6 +133,21 @@ impl FaultInjector {
         self
     }
 
+    /// Makes [`FaultKind::Timeout`] faults actually consume wall-clock
+    /// time: the injected evaluation sleeps for `stall` before
+    /// returning its error, so a supervised runtime with a per-task
+    /// deadline shorter than the stall observes a *real* deadline
+    /// overrun, not a simulated one.
+    pub fn with_timeout_stall(mut self, stall: Duration) -> Self {
+        self.timeout_stall = Some(stall);
+        self
+    }
+
+    /// The configured wall-clock stall for injected timeouts, if any.
+    pub fn timeout_stall(&self) -> Option<Duration> {
+        self.timeout_stall
+    }
+
     /// The fault planned for this `(point, sample)` evaluation on the
     /// given characterisation attempt, if any.
     pub fn fault_for(&self, point: usize, sample: usize, attempt: usize) -> Option<FaultKind> {
@@ -157,7 +188,14 @@ impl FaultInjector {
                 fmin: f64::NAN,
                 fmax: f64::NAN,
             }),
-            Some(kind) => Err(kind.to_error()),
+            Some(kind) => {
+                if kind == FaultKind::Timeout {
+                    if let Some(stall) = self.timeout_stall {
+                        std::thread::sleep(stall);
+                    }
+                }
+                Err(kind.to_error())
+            }
             None => testbench.evaluate_circuit(circuit, handles),
         }
     }
@@ -200,6 +238,23 @@ mod tests {
             .transient();
         assert!(inj.fault_for(0, 0, 0).is_some());
         assert!(inj.fault_for(0, 0, 1).is_none());
+    }
+
+    #[test]
+    fn fault_classes_match_retryability() {
+        assert_eq!(FaultKind::NonConvergence.class(), FaultClass::Transient);
+        assert_eq!(FaultKind::SingularMatrix.class(), FaultClass::Permanent);
+        assert_eq!(FaultKind::NanOutput.class(), FaultClass::Permanent);
+        assert_eq!(FaultKind::Timeout.class(), FaultClass::Permanent);
+    }
+
+    #[test]
+    fn timeout_stall_is_recorded() {
+        let inj = FaultInjector::new()
+            .fail_sample(0, 0, FaultKind::Timeout)
+            .with_timeout_stall(Duration::from_millis(25));
+        assert_eq!(inj.timeout_stall(), Some(Duration::from_millis(25)));
+        assert_eq!(FaultInjector::new().timeout_stall(), None);
     }
 
     #[test]

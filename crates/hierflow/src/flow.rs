@@ -14,19 +14,20 @@ use std::sync::Arc;
 
 use behavioral::spec::PllSpec;
 use behavioral::timesim::LockSimConfig;
-use moea::nsga2::{run_nsga2, run_nsga2_seeded, Nsga2Config};
+use exec::{AbortReason, CancelToken, Deadline, ExecPolicy, PoolStats, RunBudget};
+use moea::nsga2::{run_nsga2_supervised, Nsga2Config};
 use moea::problem::Individual;
 use netlist::topology::VcoSizing;
 use serde::Serialize;
 use variation::mc::{McConfig, MonteCarlo};
 use variation::process::ProcessSpec;
 
-use crate::charmodel::{characterize_front_with, CharacterizedFront};
+use crate::charmodel::{characterize_front_supervised, CharacterizedFront};
 use crate::checkpoint::{
     self, config_digest, RunDir, Stage1Artifact, Stage4Artifact, Stage5Artifact,
 };
 use crate::error::FlowError;
-use crate::events::{FlowEvent, FlowEvents, FlowStage};
+use crate::events::{DeadlineScope, FlowEvent, FlowEvents, FlowStage};
 use crate::faults::FaultInjector;
 use crate::model::PerfVariationModel;
 use crate::policy::DegradePolicy;
@@ -63,6 +64,9 @@ pub struct FlowConfig {
     /// What to do when a Pareto point fails Monte-Carlo
     /// characterisation (see [`DegradePolicy`]).
     pub degrade: DegradePolicy,
+    /// Wall-clock budgets (per task, per stage, whole run) and retry
+    /// policy for the supervised execution pool. Unlimited by default.
+    pub budget: RunBudget,
 }
 
 impl FlowConfig {
@@ -110,6 +114,7 @@ impl FlowConfig {
                 max_retries: 2,
                 min_surviving_points: 8,
             },
+            budget: RunBudget::unlimited(),
         }
     }
 
@@ -130,8 +135,13 @@ impl FlowConfig {
 
     /// Stable digest of this configuration, used by the checkpoint
     /// manifest to refuse mixing artifacts across configurations.
+    /// Wall-clock budgets shape *when* a run stops, never *what* it
+    /// computes — and an interrupted run is typically resumed with a
+    /// larger budget — so they are excluded from the digest.
     fn digest(&self) -> u64 {
-        config_digest(&format!("{self:?}"))
+        let mut canon = self.clone();
+        canon.budget = RunBudget::unlimited();
+        config_digest(&format!("{canon:?}"))
     }
 }
 
@@ -168,6 +178,7 @@ pub struct FlowReport {
 pub struct HierarchicalFlow {
     config: FlowConfig,
     faults: Option<FaultInjector>,
+    cancel: CancelToken,
 }
 
 impl HierarchicalFlow {
@@ -176,6 +187,7 @@ impl HierarchicalFlow {
         HierarchicalFlow {
             config,
             faults: None,
+            cancel: CancelToken::new(),
         }
     }
 
@@ -183,6 +195,15 @@ impl HierarchicalFlow {
     /// characterisation stage (failure-semantics testing).
     pub fn with_fault_injector(mut self, faults: FaultInjector) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Installs a cooperative cancellation token. Firing it makes the
+    /// run stop claiming work at the next task boundary, flush its
+    /// event log and checkpoints, and return a resumable
+    /// [`FlowError::Cancelled`].
+    pub fn with_cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -254,6 +275,91 @@ impl HierarchicalFlow {
             };
         }
 
+        // The whole-run deadline starts ticking here; each stage's
+        // batch deadline is the earlier of its own stage budget and
+        // whatever remains of the run budget.
+        let run_deadline = cfg.budget.run.map(Deadline::after);
+        let stage_policy = || ExecPolicy {
+            // 0 = inherit each stage's own configured thread count.
+            threads: 0,
+            task_deadline: cfg.budget.task,
+            batch_deadline: Deadline::earliest(cfg.budget.stage.map(Deadline::after), run_deadline),
+            cancel: self.cancel.clone(),
+            retry: cfg.budget.retry,
+        };
+
+        // An aborted supervised batch becomes a resumable flow error,
+        // with the interruption recorded (and persisted) first.
+        macro_rules! bail_abort {
+            ($result:expr, $stage:expr) => {
+                match $result {
+                    Ok(v) => v,
+                    Err(AbortReason::Cancelled) => {
+                        events.push(FlowEvent::RunCancelled { stage: $stage });
+                        let _ = persist_events(dir, &events);
+                        return Err(FlowError::Cancelled { stage: $stage });
+                    }
+                    Err(AbortReason::DeadlineExceeded) => {
+                        let scope = if run_deadline.is_some_and(|d| d.expired()) {
+                            DeadlineScope::Run
+                        } else {
+                            DeadlineScope::Stage
+                        };
+                        events.push(FlowEvent::BudgetExhausted {
+                            stage: $stage,
+                            scope,
+                        });
+                        let _ = persist_events(dir, &events);
+                        return Err(FlowError::DeadlineExceeded {
+                            stage: $stage,
+                            scope,
+                        });
+                    }
+                }
+            };
+        }
+
+        // Cancellation and the run budget are also polled between
+        // stages, so a token fired during a non-supervised section
+        // still stops the run at the next stage boundary.
+        macro_rules! check_interrupt {
+            ($stage:expr) => {
+                if self.cancel.poll() {
+                    events.push(FlowEvent::RunCancelled { stage: $stage });
+                    let _ = persist_events(dir, &events);
+                    return Err(FlowError::Cancelled { stage: $stage });
+                }
+                if run_deadline.is_some_and(|d| d.expired()) {
+                    events.push(FlowEvent::BudgetExhausted {
+                        stage: $stage,
+                        scope: DeadlineScope::Run,
+                    });
+                    let _ = persist_events(dir, &events);
+                    return Err(FlowError::DeadlineExceeded {
+                        stage: $stage,
+                        scope: DeadlineScope::Run,
+                    });
+                }
+            };
+        }
+
+        // Records a GA stage's aggregated pool statistics.
+        macro_rules! record_pool {
+            ($stage:expr, $stats:expr) => {{
+                let stats: &PoolStats = $stats;
+                events.push(FlowEvent::PoolBatch {
+                    stage: $stage,
+                    point: None,
+                    tasks: stats.tasks,
+                    workers: stats.workers,
+                    per_worker: stats.per_worker.clone(),
+                    stolen: stats.stolen,
+                    retries: stats.retries,
+                    timeouts: stats.timeouts,
+                });
+            }};
+        }
+
         // Stage 1: circuit-level multi-objective sizing, with the
         // system band propagated down as coverage constraints (Fig 3).
         let mut circuit_evaluations_this_run = 0;
@@ -265,6 +371,7 @@ impl HierarchicalFlow {
         )? {
             Some(artifact) => artifact,
             None => {
+                check_interrupt!(FlowStage::CircuitOpt);
                 events.push(FlowEvent::StageStarted {
                     stage: FlowStage::CircuitOpt,
                 });
@@ -273,7 +380,11 @@ impl HierarchicalFlow {
                     cfg.spec.f_out_min,
                     cfg.spec.f_out_max,
                 );
-                let result = run_nsga2(&problem, &cfg.circuit_ga);
+                let result = bail_abort!(
+                    run_nsga2_supervised(&problem, &cfg.circuit_ga, &[], &stage_policy()),
+                    FlowStage::CircuitOpt
+                );
+                record_pool!(FlowStage::CircuitOpt, &result.pool);
                 circuit_evaluations_this_run = result.evaluations;
                 let mut front = result.pareto_front();
                 if front.is_empty() {
@@ -314,16 +425,18 @@ impl HierarchicalFlow {
         )? {
             Some(artifact) => artifact,
             None => {
+                check_interrupt!(FlowStage::Characterize);
                 events.push(FlowEvent::StageStarted {
                     stage: FlowStage::Characterize,
                 });
-                let characterized = bail_on_err!(characterize_front_with(
+                let characterized = bail_on_err!(characterize_front_supervised(
                     &stage1.front,
                     &cfg.testbench,
                     &engine,
                     &cfg.char_mc,
                     cfg.degrade,
                     self.faults.as_ref(),
+                    &stage_policy(),
                     &mut events,
                 ));
                 events.push(FlowEvent::StageFinished {
@@ -362,14 +475,20 @@ impl HierarchicalFlow {
         )? {
             Some(artifact) => artifact,
             None => {
+                check_interrupt!(FlowStage::SystemOpt);
                 events.push(FlowEvent::StageStarted {
                     stage: FlowStage::SystemOpt,
                 });
-                let system_result = run_nsga2_seeded(
-                    &system_problem,
-                    &cfg.system_ga,
-                    &system_problem.warm_start_seeds(),
+                let system_result = bail_abort!(
+                    run_nsga2_supervised(
+                        &system_problem,
+                        &cfg.system_ga,
+                        &system_problem.warm_start_seeds(),
+                        &stage_policy(),
+                    ),
+                    FlowStage::SystemOpt
                 );
+                record_pool!(FlowStage::SystemOpt, &system_result.pool);
                 let system_front = system_result.pareto_front();
                 let rows: Vec<SystemSolution> = system_front
                     .iter()
@@ -405,6 +524,7 @@ impl HierarchicalFlow {
         )? {
             Some(artifact) => artifact,
             None => {
+                check_interrupt!(FlowStage::Verify);
                 events.push(FlowEvent::StageStarted {
                     stage: FlowStage::Verify,
                 });
@@ -623,5 +743,17 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.char_mc.samples += 1;
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn config_digest_ignores_wall_clock_budget() {
+        // A run that hit its deadline is resumed with a larger budget;
+        // the checkpoint directory must still accept its artifacts.
+        let a = FlowConfig::quick();
+        let mut b = FlowConfig::quick();
+        b.budget = RunBudget::unlimited()
+            .whole_run(std::time::Duration::from_secs(1))
+            .per_task(std::time::Duration::from_millis(50));
+        assert_eq!(a.digest(), b.digest());
     }
 }

@@ -43,7 +43,8 @@ pub mod vco_problem;
 pub mod verify;
 
 pub use error::FlowError;
-pub use events::{FlowEvent, FlowEvents, FlowStage};
+pub use events::{DeadlineScope, FlowEvent, FlowEvents, FlowStage};
+pub use exec::{CancelToken, RetryPolicy, RunBudget};
 pub use faults::{FaultInjector, FaultKind};
 pub use flow::{FlowConfig, FlowReport, HierarchicalFlow};
 pub use model::PerfVariationModel;

@@ -1,7 +1,15 @@
 //! NSGA-II: elitist non-dominated sorting genetic algorithm
 //! (Deb, Pratap, Agarwal, Meyarivan, 2002) — the optimiser named by the
 //! paper for both the circuit-level and system-level stages.
+//!
+//! Candidate evaluation runs on the supervised [`exec`] pool: workers
+//! claim candidates from a shared cursor (a slow simulation no longer
+//! sets the generation's wall clock through its static chunk), panics
+//! and per-task deadline overruns become failed candidates, and
+//! [`run_nsga2_supervised`] threads a cancellation token and batch
+//! deadline through every generation.
 
+use exec::{AbortReason, ExecPolicy, PoolStats};
 use rand::rngs::StdRng;
 use rand::RngExt;
 use serde::{Deserialize, Serialize};
@@ -94,6 +102,9 @@ pub struct Nsga2Result {
     /// Per-generation convergence history (initial population plus one
     /// entry per generation).
     pub history: Vec<GenerationStats>,
+    /// Accumulated scheduling statistics of every evaluation batch
+    /// (worker utilisation, stolen tasks, panics, timeouts, retries).
+    pub pool: PoolStats,
 }
 
 impl Nsga2Result {
@@ -139,9 +150,41 @@ pub fn run_nsga2_seeded<P: Problem>(
     cfg: &Nsga2Config,
     seeds: &[Vec<f64>],
 ) -> Nsga2Result {
+    run_nsga2_supervised(problem, cfg, seeds, &ExecPolicy::default())
+        .expect("an unsupervised run has no cancellation or deadline to abort it")
+}
+
+/// Runs NSGA-II under an explicit execution policy: candidate
+/// evaluation uses the supervised pool (worker threads from
+/// `exec.threads` when set, else `cfg.eval_threads`), a per-task
+/// deadline turns slow candidates into failed evaluations, and the
+/// cancel token / batch deadline are honoured between tasks and between
+/// generations.
+///
+/// # Errors
+///
+/// Returns the [`AbortReason`] when the run was cancelled or its batch
+/// deadline expired; partial GA state is discarded (a half-evolved
+/// population is not a result).
+///
+/// # Panics
+///
+/// As [`run_nsga2_seeded`].
+pub fn run_nsga2_supervised<P: Problem>(
+    problem: &P,
+    cfg: &Nsga2Config,
+    seeds: &[Vec<f64>],
+    exec: &ExecPolicy,
+) -> Result<Nsga2Result, AbortReason> {
     cfg.validate();
     assert!(problem.num_vars() > 0, "problem has no variables");
     assert!(problem.num_objectives() > 0, "problem has no objectives");
+
+    let mut policy = exec.clone();
+    if policy.threads == 0 {
+        policy.threads = cfg.eval_threads;
+    }
+    let mut pool = PoolStats::default();
 
     let mut rng = dist::seeded_rng(cfg.seed);
     let bounds = problem.all_bounds();
@@ -190,11 +233,17 @@ pub fn run_nsga2_seeded<P: Problem>(
     if remaining > 0 {
         initial.extend(dist::latin_hypercube(&mut rng, remaining, &bounds));
     }
-    let mut population = evaluate_all(problem, initial, cfg.eval_threads);
+    let mut population = evaluate_all(problem, initial, &policy, &mut pool)?;
     evaluations += population.len();
     let mut history = vec![generation_stats(0, &population)];
 
     for gen in 0..cfg.generations {
+        if policy.cancel.is_cancelled() {
+            return Err(AbortReason::Cancelled);
+        }
+        if policy.batch_deadline.is_some_and(|d| d.expired()) {
+            return Err(AbortReason::DeadlineExceeded);
+        }
         // Selection + variation produce an offspring population.
         let ranks = rank_and_crowd(&population);
         let mut offspring_x = Vec::with_capacity(cfg.population);
@@ -219,7 +268,7 @@ pub fn run_nsga2_seeded<P: Problem>(
                 offspring_x.push(c2);
             }
         }
-        let offspring = evaluate_all(problem, offspring_x, cfg.eval_threads);
+        let offspring = evaluate_all(problem, offspring_x, &policy, &mut pool)?;
         evaluations += offspring.len();
 
         // Elitist environmental selection on parents ∪ offspring.
@@ -229,12 +278,13 @@ pub fn run_nsga2_seeded<P: Problem>(
         history.push(generation_stats(gen + 1, &population));
     }
 
-    Nsga2Result {
+    Ok(Nsga2Result {
         population,
         evaluations,
         generations: cfg.generations,
         history,
-    }
+        pool,
+    })
 }
 
 fn generation_stats(generation: usize, population: &[Individual]) -> GenerationStats {
@@ -368,35 +418,36 @@ fn polynomial_mutation(x: &mut [f64], bounds: &[(f64, f64)], pm: f64, eta: f64, 
     }
 }
 
-/// Evaluates a batch of candidates, optionally across threads.
+/// Evaluates a batch of candidates on the supervised pool. Results are
+/// keyed by candidate index, so the outcome is identical across thread
+/// counts. Individual evaluation failures (panics, per-task deadline
+/// overruns) become failed candidates; only a batch-level abort
+/// (cancellation or batch deadline) surfaces as an error.
 fn evaluate_all<P: Problem>(
     problem: &P,
     candidates: Vec<Vec<f64>>,
-    threads: usize,
-) -> Vec<Individual> {
-    if threads <= 1 || candidates.len() < 2 {
-        return candidates
-            .into_iter()
-            .map(|x| {
-                let eval = checked_eval(problem, &x);
-                Individual::new(x, eval)
-            })
-            .collect();
-    }
-    let n = candidates.len();
-    let chunk = n.div_ceil(threads);
-    let mut results: Vec<Option<Individual>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        for (slot_chunk, cand_chunk) in results.chunks_mut(chunk).zip(candidates.chunks(chunk)) {
-            scope.spawn(move || {
-                for (slot, x) in slot_chunk.iter_mut().zip(cand_chunk) {
-                    let eval = checked_eval(problem, x);
-                    *slot = Some(Individual::new(x.clone(), eval));
-                }
-            });
-        }
+    policy: &ExecPolicy,
+    pool: &mut PoolStats,
+) -> Result<Vec<Individual>, AbortReason> {
+    let batch = exec::run_batch(candidates.len(), policy, |ctx| {
+        let x = &candidates[ctx.index];
+        Ok(Individual::new(x.clone(), checked_eval(problem, x)))
     });
-    results.into_iter().map(|o| o.expect("evaluated")).collect()
+    pool.absorb(&batch.stats);
+    if let Some(reason) = batch.aborted {
+        return Err(reason);
+    }
+    // Per-item pool failures (a timed-out or panicking evaluation) cost
+    // the candidate, not the generation: they re-enter the GA as failed
+    // evaluations, exactly like a NaN objective.
+    Ok(batch
+        .items
+        .into_iter()
+        .zip(candidates)
+        .map(|(item, x)| {
+            item.unwrap_or_else(|| Individual::new(x, Evaluation::failed(problem.num_objectives())))
+        })
+        .collect())
 }
 
 /// Guards the dominance machinery against broken evaluations: a
@@ -818,6 +869,96 @@ mod tests {
         }
         // Failure handling is deterministic too.
         assert_eq!(serial.population, parallel.population);
+    }
+
+    #[test]
+    fn supervised_run_reports_pool_stats() {
+        let cfg = Nsga2Config {
+            population: 20,
+            generations: 5,
+            seed: 3,
+            eval_threads: 4,
+            ..Default::default()
+        };
+        let result = run_nsga2(&Zdt1, &cfg);
+        // Initial pop + one offspring batch per generation.
+        assert_eq!(result.pool.tasks, 20 * 6);
+        assert_eq!(result.pool.completed, 20 * 6);
+        assert_eq!(result.pool.workers, 4);
+        assert_eq!(result.pool.panics, 0);
+    }
+
+    #[test]
+    fn cancelled_supervised_run_aborts() {
+        let cfg = Nsga2Config {
+            population: 16,
+            generations: 50,
+            seed: 1,
+            ..Default::default()
+        };
+        let token = exec::CancelToken::new();
+        token.cancel();
+        let err = run_nsga2_supervised(&Zdt1, &cfg, &[], &ExecPolicy::default().with_cancel(token))
+            .unwrap_err();
+        assert_eq!(err, AbortReason::Cancelled);
+    }
+
+    #[test]
+    fn mid_run_cancellation_stops_between_generations() {
+        // One worker + a poll budget that expires during generation 2's
+        // evaluations: the run aborts instead of finishing 50 gens.
+        let cfg = Nsga2Config {
+            population: 16,
+            generations: 50,
+            seed: 1,
+            eval_threads: 1,
+            ..Default::default()
+        };
+        let policy = ExecPolicy::default().with_cancel(exec::CancelToken::cancel_after(40));
+        let err = run_nsga2_supervised(&Zdt1, &cfg, &[], &policy).unwrap_err();
+        assert_eq!(err, AbortReason::Cancelled);
+    }
+
+    #[test]
+    fn per_task_deadline_degrades_slow_candidates_without_losing_the_run() {
+        // Candidates in the slow corner stall past the deadline; they
+        // must become failed evaluations while the rest of the search
+        // proceeds.
+        struct SlowCorner;
+        impl Problem for SlowCorner {
+            fn num_vars(&self) -> usize {
+                1
+            }
+            fn bounds(&self, _i: usize) -> (f64, f64) {
+                (0.0, 1.0)
+            }
+            fn num_objectives(&self) -> usize {
+                2
+            }
+            fn evaluate(&self, x: &[f64]) -> Evaluation {
+                if x[0] > 0.9 {
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                }
+                Evaluation::feasible(vec![x[0], 1.0 - x[0]])
+            }
+        }
+        let cfg = Nsga2Config {
+            population: 12,
+            generations: 2,
+            seed: 5,
+            ..Default::default()
+        };
+        let policy = ExecPolicy::default().task_deadline(std::time::Duration::from_millis(10));
+        let result = run_nsga2_supervised(&SlowCorner, &cfg, &[], &policy)
+            .expect("per-task overruns must not abort the run");
+        assert!(result.pool.timeouts > 0, "the slow corner must get hit");
+        for ind in result.pareto_front() {
+            assert!(
+                ind.x[0] <= 0.9,
+                "a timed-out candidate must not win: {:?}",
+                ind.x
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,14 @@
 //! and aggregates per-metric spreads. Evaluation is deterministic per
 //! seed regardless of thread count: each sample's RNG is derived from
 //! `seed + sample index`.
+//!
+//! Sampling runs on the supervised [`exec`] pool: workers claim samples
+//! from a shared cursor (no static-chunk stragglers), a panicking
+//! evaluator costs one sample instead of the whole run, and
+//! [`MonteCarlo::run_supervised`] additionally accepts per-task
+//! deadlines, cooperative cancellation and retry classification.
 
+use exec::{AbortReason, ExecPolicy, PoolStats, TaskFailure};
 use netlist::Circuit;
 
 use numkit::dist;
@@ -50,6 +57,16 @@ pub struct McRun {
     /// stable across thread counts (sample `i` always uses RNG seed
     /// `seed + i`), so failures are attributable and reproducible.
     pub failed_samples: Vec<usize>,
+    /// `(sample index, failure)` for every failed sample, ascending —
+    /// the full provenance behind [`McRun::failed_samples`], including
+    /// panics, timeouts and cancellations.
+    pub failures: Vec<(usize, TaskFailure)>,
+    /// Scheduling statistics from the supervised pool.
+    pub stats: PoolStats,
+    /// Set when the run stopped early (cancellation or batch deadline);
+    /// the unevaluated samples appear in [`McRun::failures`] as
+    /// [`TaskFailure::Cancelled`].
+    pub aborted: Option<AbortReason>,
 }
 
 impl McRun {
@@ -104,50 +121,62 @@ impl MonteCarlo {
     /// `None` on failure.
     ///
     /// Sample `i` is always generated from RNG seed `cfg.seed + i`, so
-    /// results are bit-identical across thread counts.
+    /// results are bit-identical across thread counts. A panicking
+    /// evaluator costs one sample (it lands in
+    /// [`McRun::failed_samples`]), never the run.
     pub fn run<F>(&self, circuit: &Circuit, cfg: &McConfig, evaluate: F) -> McRun
     where
         F: Fn(usize, &Circuit) -> Option<Vec<f64>> + Sync,
     {
+        self.run_supervised(circuit, cfg, &ExecPolicy::default(), |i, perturbed| {
+            evaluate(i, perturbed).ok_or_else(|| TaskFailure::permanent("evaluation failed"))
+        })
+    }
+
+    /// [`MonteCarlo::run`] under an explicit execution policy: per-task
+    /// deadlines (a slow sample becomes a
+    /// [`TaskFailure::TimedOut`] entry), cooperative cancellation (the
+    /// run stops claiming samples and reports
+    /// [`McRun::aborted`]), and retries for failures the evaluator
+    /// classifies as transient.
+    ///
+    /// Worker threads come from `exec.threads` when set (> 0), falling
+    /// back to `cfg.threads`. Results stay bit-identical across thread
+    /// counts: samples are keyed by index, and sample `i` always draws
+    /// from RNG seed `cfg.seed + i`.
+    pub fn run_supervised<F>(
+        &self,
+        circuit: &Circuit,
+        cfg: &McConfig,
+        exec: &ExecPolicy,
+        evaluate: F,
+    ) -> McRun
+    where
+        F: Fn(usize, &Circuit) -> Result<Vec<f64>, TaskFailure> + Sync,
+    {
         assert!(cfg.samples > 0, "monte carlo needs at least one sample");
-        let run_one = |i: usize| -> Option<Vec<f64>> {
+        let mut policy = exec.clone();
+        if policy.threads == 0 {
+            policy.threads = cfg.threads;
+        }
+        let batch = exec::run_batch(cfg.samples, &policy, |ctx| {
+            let i = ctx.index;
             let mut rng = dist::seeded_rng(cfg.seed.wrapping_add(i as u64));
             let global = GlobalSample::draw(&self.spec, &mut rng);
             let perturbed = perturbed_circuit(circuit, &self.spec, &global, &mut rng);
             evaluate(i, &perturbed)
-        };
+        });
 
-        let results: Vec<Option<Vec<f64>>> = if cfg.threads <= 1 {
-            (0..cfg.samples).map(run_one).collect()
-        } else {
-            let mut slots: Vec<Option<Vec<f64>>> = vec![None; cfg.samples];
-            let chunk = cfg.samples.div_ceil(cfg.threads);
-            std::thread::scope(|scope| {
-                for (c, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
-                    let run_one = &run_one;
-                    scope.spawn(move || {
-                        for (j, slot) in slot_chunk.iter_mut().enumerate() {
-                            *slot = run_one(c * chunk + j);
-                        }
-                    });
-                }
-            });
-            slots
-        };
-
-        let mut metrics = Vec::with_capacity(cfg.samples);
-        let mut failed_samples = Vec::new();
-        for (i, r) in results.into_iter().enumerate() {
-            match r {
-                Some(m) => metrics.push(m),
-                None => failed_samples.push(i),
-            }
-        }
+        let metrics: Vec<Vec<f64>> = batch.items.into_iter().flatten().collect();
+        let failed_samples: Vec<usize> = batch.failures.iter().map(|&(i, _)| i).collect();
         McRun {
             accepted: metrics.len(),
             metrics,
             failed: failed_samples.len(),
             failed_samples,
+            failures: batch.failures,
+            stats: batch.stats,
+            aborted: batch.aborted,
         }
     }
 }
@@ -297,6 +326,130 @@ mod tests {
         let s = run.summary(0).unwrap();
         let d = run.delta_percent(0).unwrap();
         assert!((d - 100.0 * s.std_dev / s.mean).abs() < 1e-9);
+    }
+
+    /// The satellite fix this PR exists for: a panicking evaluator must
+    /// become a `failed_samples` entry (as the docs promise), not abort
+    /// the scope — in the serial path and across worker threads alike.
+    #[test]
+    fn panicking_evaluator_becomes_failed_sample() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let eval = |i: usize, c: &Circuit| {
+            assert!(!i.is_multiple_of(4), "injected evaluator panic");
+            vto_metric(i, c)
+        };
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let runs = std::panic::catch_unwind(|| {
+            let serial = mc.run(
+                &c,
+                &McConfig {
+                    samples: 16,
+                    seed: 2,
+                    threads: 1,
+                },
+                eval,
+            );
+            let parallel = mc.run(
+                &c,
+                &McConfig {
+                    samples: 16,
+                    seed: 2,
+                    threads: 4,
+                },
+                eval,
+            );
+            (serial, parallel)
+        });
+        std::panic::set_hook(hook);
+        let (serial, parallel) = runs.expect("the engine itself must not panic");
+        for run in [&serial, &parallel] {
+            assert_eq!(run.failed_samples, vec![0, 4, 8, 12]);
+            assert_eq!(run.accepted, 12);
+            assert_eq!(run.stats.panics, 4);
+            assert!(run.aborted.is_none());
+            for (_, failure) in &run.failures {
+                assert!(
+                    matches!(failure, TaskFailure::Panicked { message }
+                        if message.contains("injected evaluator panic")),
+                    "{failure}"
+                );
+            }
+        }
+        assert_eq!(serial.metrics, parallel.metrics);
+    }
+
+    #[test]
+    fn supervised_deadline_marks_slow_samples_failed() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 6,
+            seed: 1,
+            threads: 2,
+        };
+        let policy = ExecPolicy::default().task_deadline(std::time::Duration::from_millis(20));
+        let run = mc.run_supervised(&c, &cfg, &policy, |i, c| {
+            if i == 3 {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+            }
+            vto_metric(i, c).ok_or_else(|| TaskFailure::permanent("no metric"))
+        });
+        assert_eq!(run.failed_samples, vec![3]);
+        assert_eq!(run.stats.timeouts, 1);
+        assert!(matches!(run.failures[0].1, TaskFailure::TimedOut { .. }));
+        assert_eq!(run.accepted, 5, "the batch survives the slow sample");
+        assert!(run.aborted.is_none());
+    }
+
+    #[test]
+    fn supervised_cancellation_reports_abort() {
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 10,
+            seed: 1,
+            threads: 1,
+        };
+        // Serial + poll-counted token: exactly 4 samples land.
+        let policy = ExecPolicy::default().with_cancel(exec::CancelToken::cancel_after(4));
+        let run = mc.run_supervised(&c, &cfg, &policy, |i, c| {
+            vto_metric(i, c).ok_or_else(|| TaskFailure::permanent("no metric"))
+        });
+        assert_eq!(run.aborted, Some(AbortReason::Cancelled));
+        assert_eq!(run.accepted, 4);
+        assert_eq!(run.failed, 6);
+        assert!(run
+            .failures
+            .iter()
+            .all(|(_, f)| matches!(f, TaskFailure::Cancelled)));
+    }
+
+    #[test]
+    fn supervised_retry_recovers_transient_sample_faults() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 4,
+            seed: 1,
+            threads: 1,
+        };
+        let policy =
+            ExecPolicy::default().with_retry(exec::RetryPolicy::new(1, std::time::Duration::ZERO));
+        // Sample 2 fails transiently exactly once, then succeeds.
+        let sample2_attempts = AtomicUsize::new(0);
+        let run = mc.run_supervised(&c, &cfg, &policy, |i, c| {
+            if i == 2 && sample2_attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                return Err(TaskFailure::transient("solver wobble"));
+            }
+            vto_metric(i, c).ok_or_else(|| TaskFailure::permanent("no metric"))
+        });
+        assert_eq!(run.accepted, 4, "the retry recovers sample 2");
+        assert!(run.failed_samples.is_empty());
+        assert_eq!(run.stats.retries, 1);
+        assert_eq!(sample2_attempts.load(Ordering::SeqCst), 2);
     }
 
     #[test]

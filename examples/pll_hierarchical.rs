@@ -10,15 +10,23 @@
 //! cargo run --release --example pll_hierarchical -- --full          # paper budgets
 //! cargo run --release --example pll_hierarchical -- --run-dir DIR   # checkpoint to DIR
 //! cargo run --release --example pll_hierarchical -- --run-dir DIR --resume
+//! cargo run --release --example pll_hierarchical -- --run-dir DIR --budget-secs 600
 //! ```
 //!
 //! With `--run-dir`, each stage's artifact is written to `DIR` as it
 //! completes; re-running with the same directory (`--resume` is an
 //! alias for documentation's sake — any run with `--run-dir` resumes)
 //! skips completed stages. See README.md's failure-handling runbook.
+//!
+//! `--budget-secs N` caps the whole run's wall clock: a run that blows
+//! the budget exits with a *resumable* deadline error, leaving every
+//! completed stage checkpointed — re-run with a larger budget (the
+//! config digest ignores the budget, so the artifacts still match).
 
 use hierflow::flow::{FlowConfig, HierarchicalFlow};
 use hierflow::report::{format_table1, format_table2};
+use hierflow::RunBudget;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -28,11 +36,20 @@ fn main() {
         .position(|a| a == "--run-dir")
         .and_then(|i| args.get(i + 1))
         .cloned();
-    let config = if full {
+    let budget_secs: Option<u64> = args
+        .iter()
+        .position(|a| a == "--budget-secs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok());
+    let mut config = if full {
         FlowConfig::paper_scale()
     } else {
         FlowConfig::quick()
     };
+    if let Some(secs) = budget_secs {
+        config.budget = RunBudget::unlimited().whole_run(Duration::from_secs(secs));
+        println!("run budget: {secs} s wall clock\n");
+    }
     println!(
         "hierarchical flow: circuit GA {}x{}, char MC {}, system GA {}x{}, verify MC {}, policy {:?}\n",
         config.circuit_ga.population,
@@ -55,9 +72,21 @@ fn main() {
     let report = match result {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("flow failed: {e}");
-            if let Some(dir) = &run_dir {
-                eprintln!("completed stages are checkpointed in {dir}; fix and re-run to resume");
+            if e.is_resumable_interruption() {
+                eprintln!("flow interrupted: {e}");
+                if let Some(dir) = &run_dir {
+                    eprintln!(
+                        "completed stages are checkpointed in {dir}; \
+                         re-run with the same --run-dir (and a larger --budget-secs) to continue"
+                    );
+                }
+            } else {
+                eprintln!("flow failed: {e}");
+                if let Some(dir) = &run_dir {
+                    eprintln!(
+                        "completed stages are checkpointed in {dir}; fix and re-run to resume"
+                    );
+                }
             }
             std::process::exit(1);
         }

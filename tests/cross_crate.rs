@@ -199,3 +199,97 @@ fn system_problem_full_pipeline_evaluation() {
     // Jitter sum carries the paper's ~4 ps magnitude.
     assert!((1e-12..1e-11).contains(&eval.objectives[1]));
 }
+
+/// moea → exec: NSGA-II results are bit-identical across worker
+/// counts. Work-stealing changes *which worker* evaluates a candidate,
+/// never the candidate's index — the determinism key — so serial and
+/// parallel runs of the same seed must agree to the last bit. The
+/// parallel side honours `HIERSIZER_THREADS` so the CI thread matrix
+/// exercises both sides.
+#[test]
+fn nsga2_front_is_thread_count_invariant() {
+    use moea::nsga2::{run_nsga2, Nsga2Config};
+
+    /// A cheap two-objective bench problem (ZDT1-like trade-off).
+    struct Bench;
+    impl Problem for Bench {
+        fn num_vars(&self) -> usize {
+            4
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn bounds(&self, _i: usize) -> (f64, f64) {
+            (0.0, 1.0)
+        }
+        fn evaluate(&self, x: &[f64]) -> Evaluation {
+            let f1 = x[0];
+            let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / 3.0;
+            let f2 = g * (1.0 - (f1 / g).sqrt());
+            Evaluation::feasible(vec![f1, f2])
+        }
+    }
+
+    let mut cfg = Nsga2Config {
+        population: 24,
+        generations: 8,
+        seed: 11,
+        eval_threads: 1,
+        ..Default::default()
+    };
+    let serial = run_nsga2(&Bench, &cfg);
+    cfg.eval_threads = exec::threads_from_env(4);
+    let parallel = run_nsga2(&Bench, &cfg);
+    assert_eq!(
+        serial.population, parallel.population,
+        "threads=1 vs threads={} populations diverge",
+        cfg.eval_threads
+    );
+    assert_eq!(serial.pareto_front(), parallel.pareto_front());
+    assert_eq!(serial.evaluations, parallel.evaluations);
+}
+
+/// netlist → variation → exec: Monte-Carlo metrics over a perturbed
+/// ring-VCO netlist are bit-identical across worker counts. Sample `i`
+/// always draws from RNG seed `seed + i` regardless of which worker
+/// claims it, so the metric matrix — not just its statistics — must
+/// match exactly.
+#[test]
+fn mc_metrics_are_thread_count_invariant() {
+    let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.8);
+    let engine = MonteCarlo::new(ProcessSpec::default());
+    // Cheap metric: the perturbed VTO and width of one core device —
+    // exercises the full perturbation pipeline without a simulation.
+    let eval = |_i: usize, c: &netlist::Circuit| {
+        let id = c.find_device("Mn0")?;
+        match c.device(id) {
+            netlist::Device::Mos(m) => Some(vec![m.model.vto, m.w]),
+            _ => None,
+        }
+    };
+    let serial = engine.run(
+        &vco.circuit,
+        &McConfig {
+            samples: 40,
+            seed: 9,
+            threads: 1,
+        },
+        eval,
+    );
+    let threads = exec::threads_from_env(4);
+    let parallel = engine.run(
+        &vco.circuit,
+        &McConfig {
+            samples: 40,
+            seed: 9,
+            threads,
+        },
+        eval,
+    );
+    assert_eq!(
+        serial.metrics, parallel.metrics,
+        "threads=1 vs threads={threads} metrics diverge"
+    );
+    assert_eq!(serial.failed_samples, parallel.failed_samples);
+    assert_eq!(serial.accepted, 40, "every sample evaluates");
+}

@@ -6,10 +6,15 @@
 //! construction, system-level optimisation with corners, spec
 //! propagation and bottom-up yield verification.
 
+use std::time::Duration;
+
 use hierflow::checkpoint::{RunDir, Stage1Artifact, STAGE4_SYSTEM, STAGE5_SELECTED};
 use hierflow::flow::{FlowConfig, HierarchicalFlow};
 use hierflow::report::{format_table1, format_table2};
-use hierflow::{DegradePolicy, FaultInjector, FaultKind, FlowStage, VcoTestbench};
+use hierflow::{
+    CancelToken, DegradePolicy, FaultInjector, FaultKind, FlowEvents, FlowStage, RunBudget,
+    VcoTestbench,
+};
 use moea::problem::{Evaluation, Individual};
 use netlist::topology::VcoSizing;
 
@@ -193,6 +198,146 @@ fn fault_injected_flow_degrades_or_aborts_per_policy() {
 
     std::fs::remove_dir_all(&strict_dir).ok();
     std::fs::remove_dir_all(&skip_dir).ok();
+}
+
+/// Cooperative cancellation mid-characterisation: the run stops at a
+/// task boundary with a resumable error, the stage-1 checkpoint and
+/// event log survive in the run directory, and `resume` completes with
+/// results identical to a never-cancelled run.
+#[test]
+fn cancelled_run_leaves_valid_checkpoints_and_resumes_identically() {
+    let testbench = VcoTestbench::default();
+    let mut config = micro_config();
+    // Serial execution makes the poll count — and therefore the exact
+    // cancellation point — deterministic; small budgets keep the three
+    // full (reference, cancelled, resumed) passes affordable.
+    config.char_mc.threads = 1;
+    config.char_mc.samples = 4;
+    config.circuit_ga.eval_threads = 1;
+    config.system_ga.eval_threads = 1;
+
+    // Reference: the same seeded stage-1 front, never cancelled.
+    let ref_dir = fresh_dir("cancel_ref");
+    seeded_stage1(&ref_dir, &testbench, 3);
+    let reference = HierarchicalFlow::new(config.clone())
+        .run_with_checkpoints(&ref_dir)
+        .expect("reference run completes");
+
+    // Cancelled run: the token fires after a handful of cancellation
+    // polls — stage 2 polls once on entry and once per Monte-Carlo
+    // sample, so poll #8 lands inside characterisation, after point 0
+    // but before the front is done.
+    let dir = fresh_dir("cancel");
+    seeded_stage1(&dir, &testbench, 3);
+    let err = HierarchicalFlow::new(config.clone())
+        .with_cancel_token(CancelToken::cancel_after(8))
+        .run_with_checkpoints(&dir)
+        .unwrap_err();
+    assert!(err.is_resumable_interruption(), "{err}");
+    assert_eq!(err.flow_stage(), Some(FlowStage::Characterize));
+
+    // The run directory still holds a valid stage-1 checkpoint and a
+    // persisted event log recording the interruption.
+    let run = RunDir::create(&dir).expect("reopen run dir");
+    let stage1: Option<Stage1Artifact> = run
+        .load(hierflow::checkpoint::STAGE1_FRONT)
+        .expect("stage-1 artifact still parses");
+    assert_eq!(stage1.expect("stage-1 artifact present").front.len(), 3);
+    let events: FlowEvents = run
+        .load(hierflow::checkpoint::EVENTS_FILE)
+        .expect("event log parses")
+        .expect("event log present");
+    assert!(events.interrupted(), "the cancellation must be on record");
+
+    // Resume without the token: completes, and lands on exactly the
+    // same results as the never-cancelled reference.
+    let resumed = HierarchicalFlow::new(config)
+        .resume(&dir)
+        .expect("resume completes");
+    assert_eq!(resumed.front, reference.front);
+    assert_eq!(resumed.selected, reference.selected);
+    assert_eq!(resumed.final_sizing, reference.final_sizing);
+
+    std::fs::remove_dir_all(&ref_dir).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The ISSUE's deadline acceptance case: deliberately slow injected
+/// evaluations (`Timeout` faults with a real wall-clock stall) trip the
+/// per-task deadline — the samples fail and the overruns are visible in
+/// `FlowEvents` — the whole-run budget then expires mid-stage, the run
+/// errors resumably, and `resume` with the budget lifted completes from
+/// the last checkpoint.
+///
+/// Every timed sample here is injected (point 0 fails wholesale), so no
+/// real transistor-level evaluation — seconds each in debug builds —
+/// ever races the millisecond-scale deadlines.
+#[test]
+fn injected_stall_trips_task_deadline_and_budget_exhaustion_is_resumable() {
+    let testbench = VcoTestbench::default();
+    let mut config = micro_config();
+    config.char_mc.threads = 1;
+    config.char_mc.samples = 4;
+    config.degrade = DegradePolicy::SkipFailedPoints {
+        min_surviving_points: 2,
+    };
+
+    let dir = fresh_dir("run_budget");
+    seeded_stage1(&dir, &testbench, 3);
+    let mut strangled = config.clone();
+    strangled.budget = RunBudget::unlimited()
+        .per_task(Duration::from_millis(50))
+        .whole_run(Duration::from_millis(500));
+    // Every sample of point 0 stalls 200 ms against the 50 ms per-task
+    // deadline; two or three such stalls exhaust the 500 ms run budget
+    // before point 0's batch ends — long before any real evaluation.
+    let stalls = FaultInjector::new()
+        .fail_point(0, FaultKind::Timeout)
+        .with_timeout_stall(Duration::from_millis(200));
+    let err = HierarchicalFlow::new(strangled)
+        .with_fault_injector(stalls)
+        .run_with_checkpoints(&dir)
+        .unwrap_err();
+    assert!(err.is_resumable_interruption(), "{err}");
+    assert!(err.to_string().contains("deadline exceeded"), "{err}");
+    assert_eq!(err.flow_stage(), Some(FlowStage::Characterize));
+
+    // The overruns and the budget exhaustion are on record in the
+    // persisted event log, and the stage-1 checkpoint is intact.
+    let run = RunDir::create(&dir).expect("reopen run dir");
+    let events: FlowEvents = run
+        .load(hierflow::checkpoint::EVENTS_FILE)
+        .expect("event log parses")
+        .expect("event log present");
+    assert!(events.task_timeouts(FlowStage::Characterize) >= 1);
+    assert!(events.interrupted());
+    let overrun = events.iter().find_map(|e| match e {
+        hierflow::FlowEvent::TaskTimedOut {
+            point,
+            task,
+            elapsed_ms,
+            limit_ms,
+            ..
+        } => Some((*point, *task, *elapsed_ms, *limit_ms)),
+        _ => None,
+    });
+    let (point, task, elapsed_ms, limit_ms) = overrun.expect("overrun event recorded");
+    assert_eq!((point, task), (Some(0), 0), "point 0's first sample");
+    assert!(elapsed_ms >= limit_ms, "{elapsed_ms} ms vs {limit_ms} ms");
+    let stage1: Option<Stage1Artifact> = run
+        .load(hierflow::checkpoint::STAGE1_FRONT)
+        .expect("stage-1 artifact still parses");
+    assert_eq!(stage1.expect("stage-1 artifact present").front.len(), 3);
+
+    // Resuming with the budget lifted (and the stalls gone) finishes
+    // the flow from the checkpointed stage-1 front.
+    let resumed = HierarchicalFlow::new(config)
+        .resume(&dir)
+        .expect("resume completes once the budget is lifted");
+    assert!(resumed.front.points.len() >= 2);
+    assert!(resumed.verification.total > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// The full five-stage flow with `FlowConfig::quick` budgets.
