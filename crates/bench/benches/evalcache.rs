@@ -1,0 +1,128 @@
+//! Wall-clock benchmark of the evaluation memo cache (`evalcache`):
+//! cold vs warm batch evaluation, and a duplicate-ratio sweep showing
+//! how pre-batch deduplication pays off as genome duplication rises
+//! (late NSGA-II generations routinely re-submit identical survivors).
+//!
+//! Custom harness (no criterion): the numbers are written to
+//! `BENCH_evalcache.json` at the workspace root so the repository
+//! carries a reference record. `--test` runs a seconds-scale smoke
+//! version and skips the JSON write — CI uses it to keep the bench
+//! compiling and running.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use evalcache::{EvalCache, KeyQuantiser};
+
+/// Deterministic stand-in for a transistor-level evaluation: a few
+/// hundred transcendental operations per call, so cache hits are
+/// measurably cheaper than evaluation without the bench taking minutes.
+fn expensive_eval(x: &[f64]) -> Vec<f64> {
+    let mut acc = [0.0f64; 4];
+    for k in 1..=400u32 {
+        for (i, &v) in x.iter().enumerate() {
+            acc[i % 4] += (v * f64::from(k) * 1e-3).sin();
+        }
+    }
+    acc.to_vec()
+}
+
+/// `n` deterministic 7-coordinate designs, of which `dup_percent` are
+/// exact bit-pattern repeats of earlier ones (drawn round-robin).
+fn designs(n: usize, dup_percent: usize) -> Vec<Vec<f64>> {
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut next = move || {
+        // xorshift64*: deterministic, no external RNG dependency.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut out: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i > 0 && i % 100 < dup_percent {
+            out.push(out[i / 2].clone());
+        } else {
+            out.push((0..7).map(|_| next()).collect());
+        }
+    }
+    out
+}
+
+/// Evaluates every design once, through the cache when given, and
+/// returns the elapsed time in microseconds.
+fn run_batch(cache: Option<&EvalCache<Vec<f64>>>, batch: &[Vec<f64>]) -> f64 {
+    let start = Instant::now();
+    for d in batch {
+        match cache {
+            Some(c) => {
+                let key = c.key(d);
+                let v = match c.get(&key) {
+                    Some(v) => v,
+                    None => {
+                        let v = expensive_eval(d);
+                        c.put(key, &v);
+                        v
+                    }
+                };
+                black_box(v);
+            }
+            None => {
+                black_box(expensive_eval(d));
+            }
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let n = if test_mode { 64 } else { 2048 };
+    let mut records: Vec<String> = Vec::new();
+    let mut record = |name: &str, micros: f64| {
+        println!("{name:<44} {micros:>12.1} us");
+        records.push(format!(
+            "  {{ \"name\": \"{name}\", \"micros\": {micros:.1} }}"
+        ));
+    };
+
+    // Cold vs warm: the same unique batch, twice, through one cache.
+    let unique = designs(n, 0);
+    let cache = EvalCache::<Vec<f64>>::new(2 * n, KeyQuantiser::exact(), 0xbe_c4);
+    let uncached = run_batch(None, &unique);
+    let cold = run_batch(Some(&cache), &unique);
+    let warm = run_batch(Some(&cache), &unique);
+    record(&format!("evaluate_{n}/uncached"), uncached);
+    record(&format!("evaluate_{n}/cold_cache"), cold);
+    record(&format!("evaluate_{n}/warm_cache"), warm);
+    assert_eq!(cache.stats().misses as usize, n, "cold pass evaluates all");
+    assert_eq!(cache.stats().hits as usize, n, "warm pass replays all");
+    if !test_mode {
+        assert!(
+            warm < cold,
+            "warm replay ({warm:.1} us) must beat cold evaluation ({cold:.1} us)"
+        );
+    }
+
+    // Duplicate-ratio sweep: one cold pass per ratio; the cache turns
+    // every repeated genome into a probe instead of an evaluation.
+    for dup in [0usize, 50, 90] {
+        let batch = designs(n, dup);
+        let plain = run_batch(None, &batch);
+        let c = EvalCache::<Vec<f64>>::new(2 * n, KeyQuantiser::exact(), dup as u64);
+        let cached = run_batch(Some(&c), &batch);
+        record(&format!("dup_sweep_{n}/{dup}pct/uncached"), plain);
+        record(&format!("dup_sweep_{n}/{dup}pct/cached"), cached);
+    }
+
+    if !test_mode {
+        let json = format!(
+            "{{\n\"bench\": \"evalcache\",\n\"unit\": \"microseconds\",\n\"results\": [\n{}\n]\n}}\n",
+            records.join(",\n")
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_evalcache.json");
+        std::fs::write(path, json).expect("write BENCH_evalcache.json");
+        println!("wrote {path}");
+    }
+}

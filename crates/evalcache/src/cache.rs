@@ -1,0 +1,273 @@
+//! The memo cache proper: key derivation + sharded LRU + optional disk
+//! tier + hit/miss/evict counters.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::disk::DiskTier;
+use crate::key::{CacheKey, KeyQuantiser};
+use crate::lru::ShardedLru;
+
+/// Monotonic counters, updated lock-free by worker threads.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+}
+
+/// A point-in-time snapshot of [`CacheStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheCounters {
+    /// Lookups answered from memory or disk.
+    pub hits: u64,
+    /// Lookups that fell through to evaluation.
+    pub misses: u64,
+    /// Subset of `hits` answered by the disk tier.
+    pub disk_hits: u64,
+    /// Entries written (memory, and disk when enabled).
+    pub stores: u64,
+    /// Entries dropped by the LRU to stay within capacity.
+    pub evictions: u64,
+}
+
+impl CacheCounters {
+    /// Hit fraction over all lookups (`NaN`-free: 0 when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl CacheStats {
+    fn snapshot(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Content-addressed memo cache for evaluation results.
+///
+/// `V` is the memoised value (an objective vector, a metric row, a
+/// characterisation record). Values are stored by [`CacheKey`] — a
+/// quantised design-point digest plus a config digest — so any change
+/// to the evaluation configuration invalidates every prior entry by
+/// construction: old entries simply stop being addressable.
+pub struct EvalCache<V> {
+    quantiser: KeyQuantiser,
+    config_digest: u64,
+    lru: ShardedLru<V>,
+    stats: CacheStats,
+    disk: Option<DiskTier>,
+}
+
+impl<V: Clone + Serialize + Deserialize> EvalCache<V> {
+    /// Creates an in-memory cache.
+    ///
+    /// `config_digest` must digest everything other than the design
+    /// point that determines an evaluation's value (see
+    /// [`crate::key::fnv1a`]); `capacity` bounds resident entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, quantiser: KeyQuantiser, config_digest: u64) -> Self {
+        EvalCache {
+            quantiser,
+            config_digest,
+            lru: ShardedLru::new(capacity),
+            stats: CacheStats::default(),
+            disk: None,
+        }
+    }
+
+    /// Attaches an on-disk tier rooted at `dir` (created if missing).
+    /// Misses fall through to disk and warm the memory tier; stores
+    /// write through to disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the directory cannot be created.
+    pub fn with_disk(mut self, dir: &Path) -> std::io::Result<Self> {
+        self.disk = Some(DiskTier::open(dir)?);
+        Ok(self)
+    }
+
+    /// The config digest this cache was built with.
+    #[must_use]
+    pub fn config_digest(&self) -> u64 {
+        self.config_digest
+    }
+
+    /// Whether a disk tier is attached.
+    #[must_use]
+    pub fn has_disk(&self) -> bool {
+        self.disk.is_some()
+    }
+
+    /// Key for a plain design point.
+    #[must_use]
+    pub fn key(&self, x: &[f64]) -> CacheKey {
+        CacheKey {
+            design: self.quantiser.design_digest(x),
+            config: self.config_digest,
+        }
+    }
+
+    /// Key for a design point plus a salt (e.g. an MC sample index).
+    #[must_use]
+    pub fn key_salted(&self, x: &[f64], salt: u64) -> CacheKey {
+        self.key(x).salted(salt)
+    }
+
+    /// Looks up `key`: memory first, then the disk tier (a disk hit
+    /// warms memory). Counts a hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        if let Some(v) = self.lru.get(key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(v);
+        }
+        if let Some(tier) = &self.disk {
+            if let Some(v) = tier.load::<V>(key) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let evicted = self.lru.put(*key, v.clone());
+                self.stats
+                    .evictions
+                    .fetch_add(evicted as u64, Ordering::Relaxed);
+                return Some(v);
+            }
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `value` under `key` (write-through to disk when
+    /// attached).
+    pub fn put(&self, key: CacheKey, value: &V) {
+        let evicted = self.lru.put(key, value.clone());
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .evictions
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        if let Some(tier) = &self.disk {
+            tier.store(&key, value);
+        }
+    }
+
+    /// Current counter snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CacheCounters {
+        self.stats.snapshot()
+    }
+
+    /// Entries resident in memory.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.lru.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize) -> EvalCache<Vec<f64>> {
+        EvalCache::new(capacity, KeyQuantiser::exact(), 42)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let c = cache(128);
+        let k = c.key(&[1.0, 2.0]);
+        assert_eq!(c.get(&k), None);
+        c.put(k, &vec![7.0]);
+        assert_eq!(c.get(&k), Some(vec![7.0]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.stores), (1, 1, 1));
+        assert_eq!(s.disk_hits, 0);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn config_digest_separates_caches() {
+        let a = EvalCache::<Vec<f64>>::new(16, KeyQuantiser::exact(), 1);
+        let b = EvalCache::<Vec<f64>>::new(16, KeyQuantiser::exact(), 2);
+        assert_ne!(a.key(&[0.5]), b.key(&[0.5]));
+    }
+
+    #[test]
+    fn disk_tier_survives_a_new_cache_instance() {
+        let dir = std::env::temp_dir().join(format!("evalcache-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = cache(16).with_disk(&dir).unwrap();
+        let k = first.key(&[3.0]);
+        first.put(k, &vec![9.0]);
+
+        // A fresh cache (fresh memory tier) over the same directory —
+        // what `HierarchicalFlow::resume` constructs.
+        let second = cache(16).with_disk(&dir).unwrap();
+        let k2 = second.key(&[3.0]);
+        assert_eq!(k, k2);
+        assert_eq!(second.get(&k2), Some(vec![9.0]));
+        let s = second.stats();
+        assert_eq!((s.hits, s.disk_hits), (1, 1));
+        // Warmed into memory: second lookup is a memory hit.
+        assert_eq!(second.get(&k2), Some(vec![9.0]));
+        assert_eq!(second.stats().disk_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_counter_moves() {
+        let c = cache(crate::lru::SHARDS); // one entry per shard
+                                           // Salted keys of one point spread over shards; eventually two
+                                           // land in the same shard and force an eviction.
+        let base = c.key(&[0.0]);
+        for salt in 0..64 {
+            c.put(base.salted(salt), &vec![salt as f64]);
+        }
+        assert!(c.stats().evictions > 0);
+        assert!(c.resident() <= crate::lru::SHARDS);
+    }
+
+    #[test]
+    fn concurrent_probes_and_fills_are_safe() {
+        let c = std::sync::Arc::new(cache(256));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    let k = c.key_salted(&[i as f64], t % 2);
+                    if c.get(&k).is_none() {
+                        c.put(k, &vec![i as f64]);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, 800);
+        assert!(s.stores >= 400);
+    }
+}

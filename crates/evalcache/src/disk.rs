@@ -1,0 +1,122 @@
+//! Optional on-disk cache tier.
+//!
+//! One JSON file per entry under `<dir>/`, named by the cache key's
+//! hex digests. Writes go through a temp file + atomic rename (the same
+//! discipline as `hierflow`'s checkpoint `RunDir`), so a crash mid-write
+//! never leaves a truncated entry: the reader either sees the old file,
+//! the new file, or nothing. Corrupt or unreadable entries are treated
+//! as misses — the cache is always allowed to forget.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::key::CacheKey;
+
+/// A directory of persisted cache entries.
+#[derive(Debug, Clone)]
+pub struct DiskTier {
+    dir: PathBuf,
+}
+
+impl DiskTier {
+    /// Opens (creating if needed) the tier rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created.
+    pub fn open(dir: &Path) -> io::Result<DiskTier> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskTier {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The tier's root directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn entry_path(&self, key: &CacheKey) -> PathBuf {
+        self.dir.join(format!("{}.json", key.file_stem()))
+    }
+
+    /// Loads the entry for `key`; `None` on missing or corrupt files.
+    pub fn load<V: Deserialize>(&self, key: &CacheKey) -> Option<V> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        serde_json::from_str(&text).ok()
+    }
+
+    /// Persists the entry for `key` atomically. I/O failures are
+    /// swallowed: a cache that cannot write degrades to a smaller
+    /// cache, it does not fail the evaluation.
+    pub fn store<V: Serialize>(&self, key: &CacheKey, value: &V) {
+        let Ok(text) = serde_json::to_string(value) else {
+            return;
+        };
+        let path = self.entry_path(key);
+        let tmp = path.with_extension("json.tmp");
+        if fs::write(&tmp, text).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
+    }
+
+    /// Number of persisted entries (for tests and diagnostics).
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("evalcache-disk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_entries() {
+        let dir = temp_dir("rt");
+        let tier = DiskTier::open(&dir).unwrap();
+        let key = CacheKey {
+            design: 0xabc,
+            config: 0xdef,
+        };
+        assert_eq!(tier.load::<Vec<f64>>(&key), None);
+        tier.store(&key, &vec![1.0f64, 2.5]);
+        assert_eq!(tier.load::<Vec<f64>>(&key), Some(vec![1.0, 2.5]));
+        assert_eq!(tier.entry_count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let tier = DiskTier::open(&dir).unwrap();
+        let key = CacheKey {
+            design: 1,
+            config: 2,
+        };
+        fs::write(
+            tier.dir().join(format!("{}.json", key.file_stem())),
+            "{nope",
+        )
+        .unwrap();
+        assert_eq!(tier.load::<Vec<f64>>(&key), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,186 @@
+//! Cache-key derivation: FNV-1a digests over quantised design points.
+//!
+//! The digest scheme is deliberately the same FNV-1a used by
+//! `hierflow::checkpoint::config_digest` (same offset basis and prime),
+//! so a cache key and a checkpoint manifest digest are directly
+//! comparable artifacts of one hashing discipline. `evalcache` sits
+//! *below* `hierflow` in the dependency graph, so the constants are
+//! restated here rather than imported.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice, starting from the offset basis.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_extend(FNV_OFFSET, bytes)
+}
+
+/// Continues an FNV-1a digest over more bytes.
+#[must_use]
+pub fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Folds a 64-bit word into a digest (little-endian byte order).
+#[must_use]
+pub fn mix_word(hash: u64, word: u64) -> u64 {
+    fnv1a_extend(hash, &word.to_le_bytes())
+}
+
+/// Maps design-point coordinates onto hashable integers.
+///
+/// With `quantum == 0.0` (the default) the mapping is the exact IEEE-754
+/// bit pattern: two points collide only when they are bit-identical, so
+/// a cache hit is trivially bit-identical to re-evaluation. A positive
+/// `quantum` buckets each coordinate to the nearest multiple of
+/// `quantum`, trading exactness for near-duplicate reuse — appropriate
+/// only when the evaluation is known to be smooth at that resolution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyQuantiser {
+    /// Coordinate bucket width; `0.0` means exact bit-pattern keys.
+    pub quantum: f64,
+}
+
+impl Default for KeyQuantiser {
+    fn default() -> Self {
+        KeyQuantiser { quantum: 0.0 }
+    }
+}
+
+impl KeyQuantiser {
+    /// Exact bit-pattern keys (no quantisation).
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Buckets coordinates to multiples of `quantum` (must be finite
+    /// and non-negative; `0.0` means exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quantum` is negative or non-finite.
+    #[must_use]
+    pub fn with_quantum(quantum: f64) -> Self {
+        assert!(
+            quantum.is_finite() && quantum >= 0.0,
+            "quantum must be finite and non-negative, got {quantum}"
+        );
+        KeyQuantiser { quantum }
+    }
+
+    /// The hashable integer for one coordinate.
+    #[must_use]
+    pub fn quantise(&self, v: f64) -> u64 {
+        if self.quantum > 0.0 {
+            // Hash the bits of the *rounded* value so that huge or
+            // non-finite inputs stay well-defined (no integer cast UB
+            // concerns, NaN keeps a stable payload).
+            ((v / self.quantum).round() * self.quantum).to_bits()
+        } else {
+            v.to_bits()
+        }
+    }
+
+    /// Digest of a full design point.
+    #[must_use]
+    pub fn design_digest(&self, x: &[f64]) -> u64 {
+        let mut hash = mix_word(FNV_OFFSET, x.len() as u64);
+        for &v in x {
+            hash = mix_word(hash, self.quantise(v));
+        }
+        hash
+    }
+}
+
+/// A content-addressed cache key: design-point digest plus the digest
+/// of everything else that determines the evaluation's value (simulator
+/// options, testbench, process spec, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Digest of the (quantised) design point.
+    pub design: u64,
+    /// Digest of the evaluation configuration.
+    pub config: u64,
+}
+
+impl CacheKey {
+    /// Folds a salt (e.g. a Monte-Carlo sample index) into the design
+    /// digest so distinct stochastic draws of the same point get
+    /// distinct keys.
+    #[must_use]
+    pub fn salted(self, salt: u64) -> CacheKey {
+        CacheKey {
+            design: mix_word(self.design, salt),
+            config: self.config,
+        }
+    }
+
+    /// Stable file-name stem for the on-disk tier.
+    #[must_use]
+    pub fn file_stem(&self) -> String {
+        format!("{:016x}-{:016x}", self.config, self.design)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn exact_keys_distinguish_one_ulp() {
+        let q = KeyQuantiser::exact();
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_ne!(q.design_digest(&[a]), q.design_digest(&[b]));
+        assert_eq!(q.design_digest(&[a]), q.design_digest(&[1.0]));
+    }
+
+    #[test]
+    fn quantised_keys_bucket_near_duplicates() {
+        let q = KeyQuantiser::with_quantum(1e-3);
+        assert_eq!(q.design_digest(&[0.1234]), q.design_digest(&[0.12341]));
+        assert_ne!(q.design_digest(&[0.123]), q.design_digest(&[0.125]));
+    }
+
+    #[test]
+    fn length_is_part_of_the_digest() {
+        let q = KeyQuantiser::exact();
+        assert_ne!(q.design_digest(&[]), q.design_digest(&[0.0]));
+        assert_ne!(q.design_digest(&[0.0]), q.design_digest(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn salting_changes_the_design_digest_only() {
+        let base = CacheKey {
+            design: 7,
+            config: 9,
+        };
+        let salted = base.salted(3);
+        assert_ne!(salted.design, base.design);
+        assert_eq!(salted.config, base.config);
+        assert_ne!(base.salted(3).design, base.salted(4).design);
+        assert_eq!(base.salted(3), base.salted(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be finite")]
+    fn negative_quantum_is_rejected() {
+        let _ = KeyQuantiser::with_quantum(-1.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Content-addressed evaluation memoisation.
+//!
+//! The hierarchical flow pays for the same transistor-level evaluation
+//! many times over: NSGA-II populations carry duplicate genomes across
+//! generations, Monte-Carlo re-runs share nominal points, and a resumed
+//! flow re-characterises points it already solved. This crate provides
+//! the shared memo layer those call sites opt into:
+//!
+//! * [`key`] — FNV-1a digests (the same scheme as checkpoint manifests)
+//!   over quantised design points; [`KeyQuantiser`] defaults to exact
+//!   bit-pattern keys so a hit is bit-identical to re-evaluation.
+//! * [`lru`] — a sharded, mutex-per-shard LRU sized for the exec pool's
+//!   worker threads.
+//! * [`disk`] — an optional one-file-per-entry JSON tier (atomic
+//!   temp-file + rename writes) living in the flow run directory, so
+//!   resume reuses individual evaluations, not just whole stages.
+//! * [`cache`] — [`EvalCache`], tying the three together with
+//!   hit/miss/evict counters ([`CacheCounters`]).
+//!
+//! Nothing in this crate decides *what* to cache: callers derive a
+//! config digest covering everything but the design point, and any
+//! config change makes old entries unaddressable (invalidation by
+//! construction, never by scanning).
+
+pub mod cache;
+pub mod disk;
+pub mod key;
+pub mod lru;
+
+pub use cache::{CacheCounters, EvalCache};
+pub use disk::DiskTier;
+pub use key::{fnv1a, fnv1a_extend, mix_word, CacheKey, KeyQuantiser};
+
+/// Reads the `HIERSIZER_EVALCACHE` environment override: `1`, `true`,
+/// `on` enable, `0`, `false`, `off` disable, anything else (or unset)
+/// falls back to `default`. Mirrors `exec::threads_from_env` so CI can
+/// run the same binary with and without caching.
+#[must_use]
+pub fn enabled_from_env(default: bool) -> bool {
+    match std::env::var("HIERSIZER_EVALCACHE") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => true,
+            "0" | "false" | "off" => false,
+            _ => default,
+        },
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn env_override_parses_common_spellings() {
+        // Can't mutate the process environment safely under a threaded
+        // test harness; exercise the parser through the default path.
+        assert!(super::enabled_from_env(true));
+        assert!(!super::enabled_from_env(false));
+    }
+}

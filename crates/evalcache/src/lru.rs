@@ -1,0 +1,187 @@
+//! Sharded in-memory LRU store.
+//!
+//! The exec pool's worker threads probe and fill the cache
+//! concurrently, so the map is split into [`SHARDS`] independently
+//! locked shards selected by key hash: contention is per-shard, not
+//! global. Recency is a per-shard monotonic tick stamped on every
+//! touch; eviction scans the full shard for the minimum tick. The scan
+//! is O(shard size), which is deliberate — capacities here are
+//! thousands of entries, evictions are rare relative to probes, and a
+//! linked-list LRU buys nothing but unsafe code or extra indirection at
+//! this scale.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::key::CacheKey;
+
+/// Number of independently locked shards (power of two).
+pub const SHARDS: usize = 16;
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+struct Shard<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    tick: u64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Shard {
+            map: HashMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+/// Fixed-capacity concurrent LRU map from [`CacheKey`] to `V`.
+pub struct ShardedLru<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    /// Per-shard entry budget (total capacity / SHARDS, at least 1).
+    per_shard: usize,
+}
+
+impl<V: Clone> ShardedLru<V> {
+    /// Creates a store holding roughly `capacity` entries in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ShardedLru {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard: capacity.div_ceil(SHARDS).max(1),
+        }
+    }
+
+    fn shard(&self, key: &CacheKey) -> &Mutex<Shard<V>> {
+        // The design digest is already well-mixed FNV output; fold in
+        // the config digest so keys differing only in config spread too.
+        let h = key.design ^ key.config.rotate_left(32);
+        &self.shards[(h as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up `key`, bumping its recency on a hit.
+    pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.value.clone()
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, returning how many entries were
+    /// evicted to stay within the shard budget (0 or 1).
+    pub fn put(&self, key: CacheKey, value: V) -> usize {
+        let mut shard = self.shard(&key).lock().expect("cache shard poisoned");
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        let mut evicted = 0;
+        while shard.map.len() > self.per_shard {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("non-empty shard has a minimum");
+            shard.map.remove(&oldest);
+            evicted += 1;
+        }
+        evicted
+    }
+
+    /// Total entries currently resident across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// Whether the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(design: u64) -> CacheKey {
+        CacheKey { design, config: 1 }
+    }
+
+    #[test]
+    fn round_trips_values() {
+        let lru = ShardedLru::new(64);
+        assert_eq!(lru.get(&key(1)), None);
+        assert_eq!(lru.put(key(1), 10), 0);
+        assert_eq!(lru.get(&key(1)), Some(10));
+        assert!(!lru.is_empty());
+    }
+
+    /// Keys that land in the same shard as `key(0)` (the shard index
+    /// depends only on the digests' low mixed bits, which stay zero
+    /// when the config digest differs in bits ≥ 36).
+    fn same_shard_key(i: u64) -> CacheKey {
+        CacheKey {
+            design: 0,
+            config: 1 ^ (i << 40),
+        }
+    }
+
+    #[test]
+    fn evicts_least_recently_used_within_a_shard() {
+        // Capacity 16 → one entry per shard; same-shard collisions
+        // evict the older entry.
+        let lru = ShardedLru::new(SHARDS);
+        let (a, b) = (same_shard_key(1), same_shard_key(2));
+        assert!(std::ptr::eq(lru.shard(&a), lru.shard(&b)));
+        lru.put(a, 1);
+        assert_eq!(lru.put(b, 2), 1);
+        assert_eq!(lru.get(&a), None, "older entry must be evicted");
+        assert_eq!(lru.get(&b), Some(2));
+    }
+
+    #[test]
+    fn refreshing_a_key_does_not_grow_the_shard() {
+        let lru = ShardedLru::new(SHARDS);
+        lru.put(key(3), 1);
+        lru.put(key(3), 2);
+        assert_eq!(lru.get(&key(3)), Some(2));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn get_bumps_recency() {
+        // Two entries per shard: touching `a` makes `b` the eviction
+        // victim when `c` arrives.
+        let lru = ShardedLru::new(SHARDS * 2);
+        let (a, b, c) = (same_shard_key(1), same_shard_key(2), same_shard_key(3));
+        assert!(std::ptr::eq(lru.shard(&a), lru.shard(&c)));
+        lru.put(a, 1);
+        lru.put(b, 2);
+        let _ = lru.get(&a); // a is now fresher than b
+        lru.put(c, 3); // evicts b
+        assert_eq!(lru.get(&a), Some(1));
+        assert_eq!(lru.get(&b), None);
+        assert_eq!(lru.get(&c), Some(3));
+    }
+}

@@ -4,6 +4,7 @@
 
 use std::path::Path;
 
+use evalcache::EvalCache;
 use exec::{AbortReason, ExecPolicy, FaultClass, PoolStats, TaskFailure};
 use moea::problem::Individual;
 use netlist::topology::VcoSizing;
@@ -100,9 +101,16 @@ fn characterize_point(
     mc: &McConfig,
     exec: &ExecPolicy,
     faults: Option<&FaultInjector>,
+    cache: Option<&EvalCache<Vec<f64>>>,
 ) -> PointAttempt {
     let ring = testbench.build(sizing);
-    let run = engine.run_supervised(&ring.circuit, mc, exec, |i, perturbed| {
+    // The memoisation key is the sizing plus the retry attempt: relaxed
+    // solver options change what a sample measures, so attempt 1 must
+    // never replay attempt 0's metrics. The sample index itself is
+    // salted in by the Monte-Carlo engine.
+    let mut design: Vec<f64> = sizing.to_array().to_vec();
+    design.push(attempt as f64);
+    let run = engine.run_cached(&ring.circuit, mc, exec, &design, cache, |i, perturbed| {
         let result = match faults {
             Some(inj) => inj.evaluate(point, i, attempt, testbench, perturbed, &ring),
             None => testbench.evaluate_circuit(perturbed, &ring),
@@ -257,7 +265,41 @@ pub fn characterize_front_supervised(
     exec: &ExecPolicy,
     events: &mut FlowEvents,
 ) -> Result<CharacterizedFront, FlowError> {
+    characterize_front_cached(
+        front, testbench, engine, mc, policy, faults, exec, None, events,
+    )
+}
+
+/// [`characterize_front_supervised`] with an optional evaluation memo
+/// cache: each `(sizing, retry attempt, sample)` measurement is
+/// memoised, so repeated characterisation of the same front — a flow
+/// resumed after its stage-2 checkpoint was lost, or Pareto points
+/// sharing a sizing — replays metric vectors instead of re-simulating.
+/// Results are bit-identical with and without the cache; only
+/// successful samples are memoised, failures re-run every time.
+///
+/// A [`FaultInjector`] disables the cache for the whole call: injected
+/// faults are keyed by `(point, sample, attempt)`, and serving a
+/// memoised success for a sample the injector intended to fail would
+/// defeat the failure-semantics test it exists for.
+///
+/// # Errors
+///
+/// As [`characterize_front_supervised`].
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_front_cached(
+    front: &[Individual],
+    testbench: &VcoTestbench,
+    engine: &MonteCarlo,
+    mc: &McConfig,
+    policy: DegradePolicy,
+    faults: Option<&FaultInjector>,
+    exec: &ExecPolicy,
+    cache: Option<&EvalCache<Vec<f64>>>,
+    events: &mut FlowEvents,
+) -> Result<CharacterizedFront, FlowError> {
     const STAGE: FlowStage = FlowStage::Characterize;
+    let cache = if faults.is_some() { None } else { cache };
     if front.is_empty() {
         return Err(FlowError::stage(STAGE.name(), "empty pareto front"));
     }
@@ -290,7 +332,7 @@ pub fn characterize_front_supervised(
 
         let mut attempt = 0usize;
         let mut outcome = characterize_point(
-            idx, &sizing, nominal, attempt, testbench, engine, mc, exec, faults,
+            idx, &sizing, nominal, attempt, testbench, engine, mc, exec, faults, cache,
         );
         record_batch(events, idx, &outcome);
         while outcome.aborted.is_none() && outcome.point.is_none() && attempt < policy.max_retries()
@@ -313,6 +355,7 @@ pub fn characterize_front_supervised(
                 mc,
                 exec,
                 faults,
+                cache,
             );
             record_batch(events, idx, &outcome);
         }
@@ -522,6 +565,67 @@ mod tests {
             // is checked at paper scale in the table1 experiment.
             assert!(p.delta.kvco >= 0.0 && p.delta.jvco >= 0.0);
         }
+    }
+
+    #[test]
+    fn cached_characterisation_is_bit_identical_and_replays_warm() {
+        let front = fake_front(2);
+        let tb = VcoTestbench::default();
+        let engine = MonteCarlo::new(ProcessSpec::default());
+        let mc = McConfig {
+            samples: 6,
+            seed: 1,
+            threads: 2,
+        };
+        let mut events = FlowEvents::new();
+        let baseline = characterize_front_with(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::default(),
+            None,
+            &mut events,
+        )
+        .unwrap();
+
+        let cache = EvalCache::<Vec<f64>>::new(1024, evalcache::KeyQuantiser::exact(), 0xabc);
+        let mut events = FlowEvents::new();
+        let cold = characterize_front_cached(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::default(),
+            None,
+            &ExecPolicy::default(),
+            Some(&cache),
+            &mut events,
+        )
+        .unwrap();
+        assert_eq!(cold, baseline, "cold cached pass must be bit-identical");
+        assert_eq!(cache.stats().misses, 12, "2 points x 6 samples simulated");
+
+        let mut events = FlowEvents::new();
+        let warm = characterize_front_cached(
+            &front,
+            &tb,
+            &engine,
+            &mc,
+            DegradePolicy::default(),
+            None,
+            &ExecPolicy::default(),
+            Some(&cache),
+            &mut events,
+        )
+        .unwrap();
+        assert_eq!(warm, baseline, "warm cached pass must be bit-identical");
+        assert_eq!(
+            cache.stats().misses,
+            12,
+            "the warm pass must re-simulate nothing"
+        );
+        assert_eq!(cache.stats().hits, 12);
     }
 
     #[test]

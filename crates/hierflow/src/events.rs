@@ -142,6 +142,22 @@ pub enum FlowEvent {
         /// Per-task deadline overruns.
         timeouts: usize,
     },
+    /// Evaluation memo-cache counters after a stage's batch of work
+    /// (only emitted when the flow's cache is enabled; see
+    /// [`crate::flow::CacheConfig`]). Counters are cumulative over the
+    /// cache's lifetime, which spans every stage sharing it.
+    CacheStats {
+        /// The stage whose work the snapshot follows.
+        stage: FlowStage,
+        /// In-memory cache hits.
+        hits: u64,
+        /// Misses (evaluations actually performed).
+        misses: u64,
+        /// Hits served by the on-disk tier (subset of `hits`).
+        disk_hits: u64,
+        /// Entries evicted from the in-memory tier.
+        evictions: u64,
+    },
     /// The run's cancellation token fired; the stage stopped claiming
     /// work and the run ended (resumable from its checkpoints).
     RunCancelled {
@@ -252,6 +268,17 @@ impl fmt::Display for FlowEvent {
                      {retries} retries, {timeouts} timeouts)"
                 )
             }
+            FlowEvent::CacheStats {
+                stage,
+                hits,
+                misses,
+                disk_hits,
+                evictions,
+            } => write!(
+                f,
+                "[{stage}] eval cache: {hits} hits ({disk_hits} from disk), \
+                 {misses} misses, {evictions} evictions"
+            ),
             FlowEvent::RunCancelled { stage } => {
                 write!(f, "[{stage}] run cancelled (resumable from checkpoints)")
             }
@@ -325,6 +352,22 @@ impl FlowEvents {
             .count()
     }
 
+    /// The last evaluation-cache snapshot recorded during `stage`, as
+    /// `(hits, misses, disk_hits, evictions)`. `None` when the stage
+    /// ran without a cache (or was resumed from its checkpoint).
+    pub fn cache_stats(&self, stage: FlowStage) -> Option<(u64, u64, u64, u64)> {
+        self.events.iter().rev().find_map(|e| match e {
+            FlowEvent::CacheStats {
+                stage: s,
+                hits,
+                misses,
+                disk_hits,
+                evictions,
+            } if *s == stage => Some((*hits, *misses, *disk_hits, *evictions)),
+            _ => None,
+        })
+    }
+
     /// Whether the run was interrupted (cancelled or out of budget) —
     /// the conditions under which the checkpoint directory is worth
     /// resuming.
@@ -390,8 +433,46 @@ mod tests {
             point: 1,
             attempt: 1,
         });
+        log.push(FlowEvent::CacheStats {
+            stage: FlowStage::CircuitOpt,
+            hits: 12,
+            misses: 340,
+            disk_hits: 3,
+            evictions: 0,
+        });
         let text = serde_json::to_string(&log).unwrap();
         let back: FlowEvents = serde_json::from_str(&text).unwrap();
         assert_eq!(log, back);
+    }
+
+    #[test]
+    fn cache_stats_query_returns_latest_snapshot_per_stage() {
+        let mut log = FlowEvents::new();
+        assert!(log.cache_stats(FlowStage::CircuitOpt).is_none());
+        log.push(FlowEvent::CacheStats {
+            stage: FlowStage::CircuitOpt,
+            hits: 1,
+            misses: 9,
+            disk_hits: 0,
+            evictions: 0,
+        });
+        log.push(FlowEvent::CacheStats {
+            stage: FlowStage::Characterize,
+            hits: 50,
+            misses: 50,
+            disk_hits: 20,
+            evictions: 2,
+        });
+        assert_eq!(log.cache_stats(FlowStage::CircuitOpt), Some((1, 9, 0, 0)));
+        assert_eq!(
+            log.cache_stats(FlowStage::Characterize),
+            Some((50, 50, 20, 2))
+        );
+        assert!(log.cache_stats(FlowStage::Verify).is_none());
+        let text = log.to_string();
+        assert!(
+            text.contains("eval cache: 50 hits (20 from disk)"),
+            "{text}"
+        );
     }
 }

@@ -14,15 +14,16 @@ use std::sync::Arc;
 
 use behavioral::spec::PllSpec;
 use behavioral::timesim::LockSimConfig;
+use evalcache::{EvalCache, KeyQuantiser};
 use exec::{AbortReason, CancelToken, Deadline, ExecPolicy, PoolStats, RunBudget};
-use moea::nsga2::{run_nsga2_supervised, Nsga2Config};
-use moea::problem::Individual;
+use moea::nsga2::{run_nsga2_cached, Nsga2Config};
+use moea::problem::{Evaluation, Individual};
 use netlist::topology::VcoSizing;
 use serde::Serialize;
 use variation::mc::{McConfig, MonteCarlo};
 use variation::process::ProcessSpec;
 
-use crate::charmodel::{characterize_front_supervised, CharacterizedFront};
+use crate::charmodel::{characterize_front_cached, CharacterizedFront};
 use crate::checkpoint::{
     self, config_digest, RunDir, Stage1Artifact, Stage4Artifact, Stage5Artifact,
 };
@@ -36,6 +37,53 @@ use crate::system_opt::{PllArchitecture, PllSystemProblem, SystemSolution};
 use crate::vco_eval::VcoTestbench;
 use crate::vco_problem::VcoSizingProblem;
 use crate::verify::{verify_design, VerificationReport};
+
+/// Evaluation memo-cache settings (the [`evalcache`] crate wired into
+/// the flow's hot evaluation paths: the stage-1 GA and stage-2
+/// Monte-Carlo characterisation).
+///
+/// Disabled by default: caching is a pure-speed opt-in — results are
+/// bit-identical either way, which
+/// [`FlowConfig::digest`] relies on when it canonicalises these
+/// settings out of the checkpoint manifest. The
+/// `HIERSIZER_EVALCACHE` environment variable (`1`/`0`) overrides
+/// [`CacheConfig::enabled`] at run time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheConfig {
+    /// Master switch (default `false`).
+    pub enabled: bool,
+    /// In-memory entries held per cache (two caches exist: GA
+    /// evaluations and Monte-Carlo sample metrics).
+    pub capacity: usize,
+    /// Design-coordinate quantum for key derivation; `0.0` keys on the
+    /// exact bit pattern, guaranteeing hits are bit-identical replays.
+    pub quantum: f64,
+    /// Mirror entries under `<run dir>/evalcache/` so a resumed run
+    /// reuses individual evaluations, not just whole stage artifacts.
+    /// Only takes effect when the flow runs with checkpoints.
+    pub disk: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            enabled: false,
+            capacity: 65_536,
+            quantum: 0.0,
+            disk: true,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// An enabled cache with the default capacity/quantum/disk tier.
+    pub fn enabled() -> Self {
+        CacheConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
 
 /// Complete configuration of the hierarchical flow.
 #[derive(Debug, Clone)]
@@ -67,6 +115,9 @@ pub struct FlowConfig {
     /// Wall-clock budgets (per task, per stage, whole run) and retry
     /// policy for the supervised execution pool. Unlimited by default.
     pub budget: RunBudget,
+    /// Evaluation memo-cache settings. Disabled by default; purely a
+    /// speed knob — results are bit-identical either way.
+    pub cache: CacheConfig,
 }
 
 impl FlowConfig {
@@ -115,6 +166,7 @@ impl FlowConfig {
                 min_surviving_points: 8,
             },
             budget: RunBudget::unlimited(),
+            cache: CacheConfig::default(),
         }
     }
 
@@ -137,10 +189,14 @@ impl FlowConfig {
     /// manifest to refuse mixing artifacts across configurations.
     /// Wall-clock budgets shape *when* a run stops, never *what* it
     /// computes — and an interrupted run is typically resumed with a
-    /// larger budget — so they are excluded from the digest.
+    /// larger budget — so they are excluded from the digest. The memo
+    /// cache is excluded for the same reason: cached and uncached runs
+    /// produce bit-identical artifacts, and a run is often resumed with
+    /// caching newly enabled to speed up the replay.
     fn digest(&self) -> u64 {
         let mut canon = self.clone();
         canon.budget = RunBudget::unlimited();
+        canon.cache = CacheConfig::default();
         config_digest(&format!("{canon:?}"))
     }
 }
@@ -343,6 +399,40 @@ impl HierarchicalFlow {
             };
         }
 
+        // Evaluation memo caches (opt-in, bit-identical): one for the
+        // stage-1 GA's objective evaluations, one for the stage-2
+        // Monte-Carlo sample metrics. Both key off the canonical config
+        // digest, so a shared disk directory never serves entries
+        // computed under a different configuration.
+        let cache_on = evalcache::enabled_from_env(cfg.cache.enabled);
+        let quantiser = if cfg.cache.quantum > 0.0 {
+            KeyQuantiser::with_quantum(cfg.cache.quantum)
+        } else {
+            KeyQuantiser::exact()
+        };
+        let config_dig = cfg.digest();
+        let circuit_cache: Option<EvalCache<Evaluation>> =
+            cache_on.then(|| build_cache(&cfg.cache, quantiser, config_dig, "circuit", dir));
+        let char_cache: Option<EvalCache<Vec<f64>>> =
+            cache_on.then(|| build_cache(&cfg.cache, quantiser, config_dig, "char", dir));
+
+        // Snapshots a cache's counters into the event log after a
+        // stage's batch of work.
+        macro_rules! record_cache {
+            ($stage:expr, $cache:expr) => {
+                if let Some(c) = $cache {
+                    let s = c.stats();
+                    events.push(FlowEvent::CacheStats {
+                        stage: $stage,
+                        hits: s.hits,
+                        misses: s.misses,
+                        disk_hits: s.disk_hits,
+                        evictions: s.evictions,
+                    });
+                }
+            };
+        }
+
         // Records a GA stage's aggregated pool statistics.
         macro_rules! record_pool {
             ($stage:expr, $stats:expr) => {{
@@ -381,10 +471,17 @@ impl HierarchicalFlow {
                     cfg.spec.f_out_max,
                 );
                 let result = bail_abort!(
-                    run_nsga2_supervised(&problem, &cfg.circuit_ga, &[], &stage_policy()),
+                    run_nsga2_cached(
+                        &problem,
+                        &cfg.circuit_ga,
+                        &[],
+                        &stage_policy(),
+                        circuit_cache.as_ref(),
+                    ),
                     FlowStage::CircuitOpt
                 );
                 record_pool!(FlowStage::CircuitOpt, &result.pool);
+                record_cache!(FlowStage::CircuitOpt, &circuit_cache);
                 circuit_evaluations_this_run = result.evaluations;
                 let mut front = result.pareto_front();
                 if front.is_empty() {
@@ -429,7 +526,7 @@ impl HierarchicalFlow {
                 events.push(FlowEvent::StageStarted {
                     stage: FlowStage::Characterize,
                 });
-                let characterized = bail_on_err!(characterize_front_supervised(
+                let characterized = bail_on_err!(characterize_front_cached(
                     &stage1.front,
                     &cfg.testbench,
                     &engine,
@@ -437,8 +534,10 @@ impl HierarchicalFlow {
                     cfg.degrade,
                     self.faults.as_ref(),
                     &stage_policy(),
+                    char_cache.as_ref(),
                     &mut events,
                 ));
+                record_cache!(FlowStage::Characterize, &char_cache);
                 events.push(FlowEvent::StageFinished {
                     stage: FlowStage::Characterize,
                 });
@@ -479,12 +578,15 @@ impl HierarchicalFlow {
                 events.push(FlowEvent::StageStarted {
                     stage: FlowStage::SystemOpt,
                 });
+                // Model-based evaluations are cheap; the memo cache is
+                // reserved for the transistor-level stages.
                 let system_result = bail_abort!(
-                    run_nsga2_supervised(
+                    run_nsga2_cached(
                         &system_problem,
                         &cfg.system_ga,
                         &system_problem.warm_start_seeds(),
                         &stage_policy(),
+                        None,
                     ),
                     FlowStage::SystemOpt
                 );
@@ -581,6 +683,33 @@ impl HierarchicalFlow {
             system_evaluations: stage4.evaluations,
             events,
         })
+    }
+}
+
+/// Builds one evaluation memo cache, attaching the on-disk tier under
+/// `<run dir>/evalcache/<tag>` when checkpointing is active and the
+/// config asks for it. The `tag` is folded into the config digest so
+/// the GA and Monte-Carlo caches can never serve each other's entries
+/// even if their design vectors collide. An unusable disk directory
+/// degrades to memory-only caching — the cache is an optimisation, not
+/// a correctness dependency.
+fn build_cache<V: Clone + serde::Serialize + serde::Deserialize>(
+    cfg: &CacheConfig,
+    quantiser: KeyQuantiser,
+    config_digest: u64,
+    tag: &str,
+    dir: Option<&RunDir>,
+) -> EvalCache<V> {
+    let digest = evalcache::fnv1a_extend(config_digest, tag.as_bytes());
+    let cache = EvalCache::new(cfg.capacity, quantiser, digest);
+    match dir {
+        Some(d) if cfg.disk => {
+            let path = d.path().join("evalcache").join(tag);
+            cache
+                .with_disk(&path)
+                .unwrap_or_else(|_| EvalCache::new(cfg.capacity, quantiser, digest))
+        }
+        _ => cache,
     }
 }
 
@@ -743,6 +872,19 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         b.char_mc.samples += 1;
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn config_digest_ignores_cache_settings() {
+        // Cached and uncached runs produce bit-identical artifacts, so
+        // a directory started without the cache must accept a resumed
+        // run that enables it (and vice versa).
+        let a = FlowConfig::quick();
+        let mut b = FlowConfig::quick();
+        b.cache = CacheConfig::enabled();
+        b.cache.capacity = 17;
+        b.cache.quantum = 1e-9;
+        assert_eq!(a.digest(), b.digest());
     }
 
     #[test]

@@ -107,7 +107,8 @@ pub fn verify_design(
 
     // Failed transistor-level evaluations count as spec failures.
     let total = run.accepted + run.failed;
-    let (lo, hi) = wilson_interval(passed, total, 1.96);
+    let (lo, hi) = wilson_interval(passed, total, 1.96)
+        .expect("accepted >= 1 was checked above and passed <= total by construction");
     Ok(VerificationReport {
         passed,
         total,

@@ -49,5 +49,5 @@ pub mod nsga2;
 pub mod problem;
 pub mod sorting;
 
-pub use nsga2::{run_nsga2, run_nsga2_seeded, Nsga2Config, Nsga2Result};
+pub use nsga2::{run_nsga2, run_nsga2_cached, run_nsga2_seeded, Nsga2Config, Nsga2Result};
 pub use problem::{Evaluation, Individual, Problem};

@@ -9,6 +9,9 @@
 //! [`run_nsga2_supervised`] threads a cancellation token and batch
 //! deadline through every generation.
 
+use std::collections::HashMap;
+
+use evalcache::EvalCache;
 use exec::{AbortReason, ExecPolicy, PoolStats};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -176,6 +179,36 @@ pub fn run_nsga2_supervised<P: Problem>(
     seeds: &[Vec<f64>],
     exec: &ExecPolicy,
 ) -> Result<Nsga2Result, AbortReason> {
+    run_nsga2_cached(problem, cfg, seeds, exec, None)
+}
+
+/// Runs NSGA-II as [`run_nsga2_supervised`], additionally memoising
+/// candidate evaluations through `cache` when one is provided.
+///
+/// With a cache, each generation's batch is first deduplicated by exact
+/// genome bit pattern (SBX and elitism re-propose identical genomes
+/// across generations), then probed against the cache; only misses
+/// reach the evaluator. Because the default cache key is the exact
+/// IEEE-754 bit pattern and the evaluator is deterministic, the
+/// returned population is bit-identical to an uncached run —
+/// [`Nsga2Result::evaluations`] then counts *evaluator invocations*
+/// (misses), not candidates. Hit/miss counters accumulate on `cache`
+/// for the caller to report.
+///
+/// # Errors
+///
+/// As [`run_nsga2_supervised`].
+///
+/// # Panics
+///
+/// As [`run_nsga2_seeded`].
+pub fn run_nsga2_cached<P: Problem>(
+    problem: &P,
+    cfg: &Nsga2Config,
+    seeds: &[Vec<f64>],
+    exec: &ExecPolicy,
+    cache: Option<&EvalCache<Evaluation>>,
+) -> Result<Nsga2Result, AbortReason> {
     cfg.validate();
     assert!(problem.num_vars() > 0, "problem has no variables");
     assert!(problem.num_objectives() > 0, "problem has no objectives");
@@ -233,8 +266,14 @@ pub fn run_nsga2_supervised<P: Problem>(
     if remaining > 0 {
         initial.extend(dist::latin_hypercube(&mut rng, remaining, &bounds));
     }
-    let mut population = evaluate_all(problem, initial, &policy, &mut pool)?;
-    evaluations += population.len();
+    let mut population = evaluate_all(
+        problem,
+        initial,
+        &policy,
+        &mut pool,
+        cache,
+        &mut evaluations,
+    )?;
     let mut history = vec![generation_stats(0, &population)];
 
     for gen in 0..cfg.generations {
@@ -268,8 +307,14 @@ pub fn run_nsga2_supervised<P: Problem>(
                 offspring_x.push(c2);
             }
         }
-        let offspring = evaluate_all(problem, offspring_x, &policy, &mut pool)?;
-        evaluations += offspring.len();
+        let offspring = evaluate_all(
+            problem,
+            offspring_x,
+            &policy,
+            &mut pool,
+            cache,
+            &mut evaluations,
+        )?;
 
         // Elitist environmental selection on parents ∪ offspring.
         let mut combined = population;
@@ -428,24 +473,100 @@ fn evaluate_all<P: Problem>(
     candidates: Vec<Vec<f64>>,
     policy: &ExecPolicy,
     pool: &mut PoolStats,
+    cache: Option<&EvalCache<Evaluation>>,
+    evaluations: &mut usize,
 ) -> Result<Vec<Individual>, AbortReason> {
-    let batch = exec::run_batch(candidates.len(), policy, |ctx| {
-        let x = &candidates[ctx.index];
-        Ok(Individual::new(x.clone(), checked_eval(problem, x)))
+    let Some(cache) = cache else {
+        *evaluations += candidates.len();
+        let batch = exec::run_batch(candidates.len(), policy, |ctx| {
+            let x = &candidates[ctx.index];
+            Ok(Individual::new(x.clone(), checked_eval(problem, x)))
+        });
+        pool.absorb(&batch.stats);
+        if let Some(reason) = batch.aborted {
+            return Err(reason);
+        }
+        // Per-item pool failures (a timed-out or panicking evaluation)
+        // cost the candidate, not the generation: they re-enter the GA
+        // as failed evaluations, exactly like a NaN objective.
+        return Ok(batch
+            .items
+            .into_iter()
+            .zip(candidates)
+            .map(|(item, x)| {
+                item.unwrap_or_else(|| {
+                    Individual::new(x, Evaluation::failed(problem.num_objectives()))
+                })
+            })
+            .collect());
+    };
+    evaluate_all_cached(problem, candidates, policy, pool, cache, evaluations)
+}
+
+/// Cache-aware evaluation: dedup identical genomes within the batch,
+/// probe the cache per unique genome, evaluate only the misses on the
+/// pool, then fan results back out to every candidate slot. Evaluations
+/// that complete (including deterministic [`Evaluation::failed`]
+/// quarantines from [`checked_eval`]) are cached; pool-level losses
+/// (timeouts, which are wall-clock dependent) are not, so the cache
+/// never replays a transient scheduling failure.
+fn evaluate_all_cached<P: Problem>(
+    problem: &P,
+    candidates: Vec<Vec<f64>>,
+    policy: &ExecPolicy,
+    pool: &mut PoolStats,
+    cache: &EvalCache<Evaluation>,
+    evaluations: &mut usize,
+) -> Result<Vec<Individual>, AbortReason> {
+    // Dedup by exact bit pattern: `slot_of[i]` maps candidate `i` to
+    // its unique-genome slot.
+    let mut unique: Vec<usize> = Vec::new();
+    let mut slot_of: Vec<usize> = Vec::with_capacity(candidates.len());
+    let mut seen: HashMap<Vec<u64>, usize> = HashMap::new();
+    for x in &candidates {
+        let bits: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+        let next_slot = unique.len();
+        let slot = *seen.entry(bits).or_insert(next_slot);
+        if slot == next_slot {
+            unique.push(slot_of.len());
+        }
+        slot_of.push(slot);
+    }
+
+    let mut results: Vec<Option<Evaluation>> = vec![None; unique.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (slot, &ci) in unique.iter().enumerate() {
+        match cache.get(&cache.key(&candidates[ci])) {
+            Some(eval) => results[slot] = Some(eval),
+            None => misses.push(slot),
+        }
+    }
+
+    *evaluations += misses.len();
+    let batch = exec::run_batch(misses.len(), policy, |ctx| {
+        let x = &candidates[unique[misses[ctx.index]]];
+        Ok(checked_eval(problem, x))
     });
     pool.absorb(&batch.stats);
     if let Some(reason) = batch.aborted {
         return Err(reason);
     }
-    // Per-item pool failures (a timed-out or panicking evaluation) cost
-    // the candidate, not the generation: they re-enter the GA as failed
-    // evaluations, exactly like a NaN objective.
-    Ok(batch
-        .items
+    for (k, item) in batch.items.into_iter().enumerate() {
+        if let Some(eval) = item {
+            let slot = misses[k];
+            cache.put(cache.key(&candidates[unique[slot]]), &eval);
+            results[slot] = Some(eval);
+        }
+    }
+
+    Ok(candidates
         .into_iter()
-        .zip(candidates)
-        .map(|(item, x)| {
-            item.unwrap_or_else(|| Individual::new(x, Evaluation::failed(problem.num_objectives())))
+        .zip(slot_of)
+        .map(|(x, slot)| {
+            let eval = results[slot]
+                .clone()
+                .unwrap_or_else(|| Evaluation::failed(problem.num_objectives()));
+            Individual::new(x, eval)
         })
         .collect())
 }
@@ -959,6 +1080,71 @@ mod tests {
                 ind.x
             );
         }
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_to_uncached() {
+        let cfg = Nsga2Config {
+            population: 24,
+            generations: 12,
+            seed: 7,
+            ..Default::default()
+        };
+        let plain = run_nsga2(&Zdt1, &cfg);
+        let cache = EvalCache::new(4096, evalcache::KeyQuantiser::exact(), 0xc0ffee);
+        let cached = run_nsga2_cached(&Zdt1, &cfg, &[], &ExecPolicy::default(), Some(&cache))
+            .expect("no abort configured");
+        assert_eq!(plain.population, cached.population);
+        assert_eq!(plain.history.len(), cached.history.len());
+        for (a, b) in plain.history.iter().zip(&cached.history) {
+            assert_eq!(a, b);
+        }
+        // The GA re-proposes elite genomes, so the cache must have been
+        // exercised and evaluator work must not exceed the plain run's.
+        let stats = cache.stats();
+        assert!(stats.hits > 0, "elitist duplicates should hit the cache");
+        assert!(cached.evaluations <= plain.evaluations);
+        assert_eq!(cached.evaluations as u64, stats.misses);
+    }
+
+    #[test]
+    fn cached_run_with_threads_matches_serial_cached_run() {
+        let cfg = Nsga2Config {
+            population: 20,
+            generations: 8,
+            seed: 13,
+            ..Default::default()
+        };
+        let c1 = EvalCache::new(2048, evalcache::KeyQuantiser::exact(), 1);
+        let serial = run_nsga2_cached(&Zdt1, &cfg, &[], &ExecPolicy::default(), Some(&c1)).unwrap();
+        let c2 = EvalCache::new(2048, evalcache::KeyQuantiser::exact(), 1);
+        let cfg_par = Nsga2Config {
+            eval_threads: 4,
+            ..cfg
+        };
+        let parallel =
+            run_nsga2_cached(&Zdt1, &cfg_par, &[], &ExecPolicy::default(), Some(&c2)).unwrap();
+        assert_eq!(serial.population, parallel.population);
+    }
+
+    #[test]
+    fn warm_cache_eliminates_evaluator_work() {
+        let cfg = Nsga2Config {
+            population: 16,
+            generations: 6,
+            seed: 21,
+            ..Default::default()
+        };
+        let cache = EvalCache::new(8192, evalcache::KeyQuantiser::exact(), 5);
+        let cold =
+            run_nsga2_cached(&Zdt1, &cfg, &[], &ExecPolicy::default(), Some(&cache)).unwrap();
+        // Same seed, same cache: every candidate the rerun proposes was
+        // already evaluated, so the warm pass does zero evaluator work.
+        let warm =
+            run_nsga2_cached(&Zdt1, &cfg, &[], &ExecPolicy::default(), Some(&cache)).unwrap();
+        assert_eq!(cold.population, warm.population);
+        assert_eq!(warm.evaluations, 0, "warm rerun must be all cache hits");
+        assert!(cold.evaluations > 0);
     }
 
     #[test]

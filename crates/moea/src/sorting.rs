@@ -194,4 +194,37 @@ mod tests {
         let pop = vec![ind(&[1.0, 1.0]), ind(&[2.0, 2.0])];
         assert_eq!(pareto_front_indices(&pop), vec![0]);
     }
+
+    #[test]
+    fn constant_objective_yields_no_nan_distances() {
+        // Regression: with f_max == f_min on an objective, the span is
+        // zero and a naive (next - prev) / span produces NaN, which
+        // poisons every tournament comparison downstream. The constant
+        // objective must contribute nothing instead.
+        let pop = vec![
+            ind(&[1.0, 5.0]),
+            ind(&[2.0, 5.0]),
+            ind(&[3.0, 5.0]),
+            ind(&[4.0, 5.0]),
+        ];
+        let front: Vec<usize> = (0..4).collect();
+        let d = crowding_distance(&pop, &front);
+        assert!(d.iter().all(|v| !v.is_nan()), "NaN distance: {d:?}");
+        // Boundaries on the varying objective stay infinitely preferred;
+        // interior points keep their finite spacing-based distance.
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn all_objectives_constant_still_yields_no_nan() {
+        // Fully degenerate front: every member identical. Everything is
+        // a boundary on every objective → all infinite, never NaN.
+        let pop = vec![ind(&[5.0, 5.0]), ind(&[5.0, 5.0]), ind(&[5.0, 5.0])];
+        let front: Vec<usize> = (0..3).collect();
+        let d = crowding_distance(&pop, &front);
+        assert!(d.iter().all(|v| !v.is_nan()), "NaN distance: {d:?}");
+    }
 }

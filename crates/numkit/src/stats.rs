@@ -57,7 +57,7 @@ impl Summary {
             std_dev: var.sqrt(),
             min: sorted[0],
             max: sorted[count - 1],
-            median: quantile_sorted(&sorted, 0.5),
+            median: quantile_sorted(&sorted, 0.5)?,
         })
     }
 
@@ -95,27 +95,25 @@ impl fmt::Display for Summary {
 /// Quantile `q ∈ [0, 1]` of an already-sorted slice using linear
 /// interpolation between order statistics.
 ///
-/// # Panics
-///
-/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
-pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
-    assert!(!sorted.is_empty(), "quantile of empty slice");
-    assert!(
-        (0.0..=1.0).contains(&q),
-        "quantile fraction must be in [0,1]"
-    );
+/// Returns `None` when `sorted` is empty (there is no order statistic
+/// to interpolate — previously this indexed `sorted.len() - 1` and
+/// panicked) or when `q` lies outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
     if sorted.len() == 1 {
-        return sorted[0];
+        return Some(sorted[0]);
     }
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
-    if lo == hi {
+    Some(if lo == hi {
         sorted[lo]
     } else {
         let frac = pos - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
-    }
+    })
 }
 
 /// Wilson score interval for a binomial proportion, used for yield
@@ -125,35 +123,33 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
 /// out of `trials` at confidence level `z` standard normal deviates
 /// (z = 1.96 for 95 %).
 ///
-/// # Panics
-///
-/// Panics if `trials == 0` or `successes > trials`.
-pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
-    assert!(trials > 0, "wilson interval needs at least one trial");
-    assert!(successes <= trials, "successes cannot exceed trials");
+/// Returns `None` when `trials == 0` (the proportion is undefined) or
+/// `successes > trials` (an impossible count, always a caller bug but
+/// one that should surface as a handled condition, not a panic deep in
+/// a yield report).
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> Option<(f64, f64)> {
+    if trials == 0 || successes > trials {
+        return None;
+    }
     let n = trials as f64;
     let p = successes as f64 / n;
     let z2 = z * z;
     let denom = 1.0 + z2 / n;
     let centre = (p + z2 / (2.0 * n)) / denom;
     let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
-    ((centre - half).max(0.0), (centre + half).min(1.0))
+    Some(((centre - half).max(0.0), (centre + half).min(1.0)))
 }
 
 /// Fixed-width histogram of a sample: returns `(bin_edges, counts)` with
 /// `bins + 1` edges spanning `[min, max]`.
 ///
-/// # Panics
-///
-/// Panics if `samples` is empty, contains non-finite values, or
-/// `bins == 0`.
-pub fn histogram(samples: &[f64], bins: usize) -> (Vec<f64>, Vec<usize>) {
-    assert!(!samples.is_empty(), "histogram of empty sample");
-    assert!(bins > 0, "need at least one bin");
-    assert!(
-        samples.iter().all(|v| v.is_finite()),
-        "histogram needs finite samples"
-    );
+/// Returns `None` when `samples` is empty, contains non-finite values,
+/// or `bins == 0` — there is no well-defined binning in any of those
+/// cases.
+pub fn histogram(samples: &[f64], bins: usize) -> Option<(Vec<f64>, Vec<usize>)> {
+    if samples.is_empty() || bins == 0 || samples.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
     let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
     let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = if max > min { max - min } else { 1.0 };
@@ -165,7 +161,7 @@ pub fn histogram(samples: &[f64], bins: usize) -> (Vec<f64>, Vec<usize>) {
         let idx = (((v - min) / span) * bins as f64) as usize;
         counts[idx.min(bins - 1)] += 1;
     }
-    (edges, counts)
+    Some((edges, counts))
 }
 
 /// Pearson correlation coefficient of two equal-length samples.
@@ -195,18 +191,18 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
 
 /// Root-mean-square error between predictions and references.
 ///
-/// # Panics
-///
-/// Panics if the slices differ in length or are empty.
-pub fn rmse(pred: &[f64], reference: &[f64]) -> f64 {
-    assert_eq!(pred.len(), reference.len(), "rmse slice length mismatch");
-    assert!(!pred.is_empty(), "rmse of empty slices");
+/// Returns `None` when the slices differ in length or are empty (a
+/// mean over zero points is undefined).
+pub fn rmse(pred: &[f64], reference: &[f64]) -> Option<f64> {
+    if pred.len() != reference.len() || pred.is_empty() {
+        return None;
+    }
     let sum: f64 = pred
         .iter()
         .zip(reference)
         .map(|(p, r)| (p - r) * (p - r))
         .sum();
-    (sum / pred.len() as f64).sqrt()
+    Some((sum / pred.len() as f64).sqrt())
 }
 
 #[cfg(test)]
@@ -248,30 +244,47 @@ mod tests {
     #[test]
     fn quantile_interpolates() {
         let v = [1.0, 2.0, 3.0, 4.0];
-        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
-        assert_eq!(quantile_sorted(&v, 1.0), 4.0);
-        assert!((quantile_sorted(&v, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile_sorted(&v, 0.0), Some(1.0));
+        assert_eq!(quantile_sorted(&v, 1.0), Some(4.0));
+        assert!((quantile_sorted(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_degenerate_inputs_are_none_not_panics() {
+        // Regression: the empty case used to index `sorted.len() - 1`.
+        assert_eq!(quantile_sorted(&[], 0.5), None);
+        assert_eq!(quantile_sorted(&[1.0], 0.5), Some(1.0));
+        assert_eq!(quantile_sorted(&[1.0, 2.0], -0.1), None);
+        assert_eq!(quantile_sorted(&[1.0, 2.0], 1.1), None);
+        assert_eq!(quantile_sorted(&[1.0, 2.0], f64::NAN), None);
     }
 
     #[test]
     fn wilson_interval_brackets_estimate() {
-        let (lo, hi) = wilson_interval(95, 100, 1.96);
+        let (lo, hi) = wilson_interval(95, 100, 1.96).unwrap();
         assert!(lo < 0.95 && 0.95 < hi);
         assert!(lo > 0.88 && hi < 0.99);
     }
 
     #[test]
     fn wilson_interval_full_yield_is_below_one() {
-        let (lo, hi) = wilson_interval(500, 500, 1.96);
+        let (lo, hi) = wilson_interval(500, 500, 1.96).unwrap();
         assert!(hi <= 1.0);
         // With 500/500 the lower bound should still be above 99 %.
         assert!(lo > 0.99);
     }
 
     #[test]
+    fn wilson_interval_degenerate_inputs_are_none_not_panics() {
+        assert_eq!(wilson_interval(0, 0, 1.96), None);
+        assert_eq!(wilson_interval(5, 3, 1.96), None);
+        assert!(wilson_interval(0, 1, 1.96).is_some());
+    }
+
+    #[test]
     fn histogram_counts_everything_once() {
         let samples = [0.0, 0.1, 0.5, 0.9, 1.0, 0.5];
-        let (edges, counts) = histogram(&samples, 4);
+        let (edges, counts) = histogram(&samples, 4).unwrap();
         assert_eq!(edges.len(), 5);
         assert_eq!(counts.iter().sum::<usize>(), samples.len());
         assert_eq!(edges[0], 0.0);
@@ -280,9 +293,17 @@ mod tests {
 
     #[test]
     fn histogram_degenerate_single_value() {
-        let (edges, counts) = histogram(&[3.0, 3.0, 3.0], 2);
+        let (edges, counts) = histogram(&[3.0, 3.0, 3.0], 2).unwrap();
         assert_eq!(counts.iter().sum::<usize>(), 3);
         assert_eq!(edges[0], 3.0);
+    }
+
+    #[test]
+    fn histogram_degenerate_inputs_are_none_not_panics() {
+        assert_eq!(histogram(&[], 4), None);
+        assert_eq!(histogram(&[1.0], 0), None);
+        assert_eq!(histogram(&[1.0, f64::NAN], 4), None);
+        assert_eq!(histogram(&[1.0, f64::INFINITY], 4), None);
     }
 
     #[test]
@@ -300,7 +321,13 @@ mod tests {
 
     #[test]
     fn rmse_zero_for_identical() {
-        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
-        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), Some(0.0));
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_degenerate_inputs_are_none_not_panics() {
+        assert_eq!(rmse(&[], &[]), None);
+        assert_eq!(rmse(&[1.0], &[1.0, 2.0]), None);
     }
 }

@@ -47,26 +47,54 @@ impl OpPoint {
     }
 }
 
+/// Reusable Newton scratch: the dense MNA matrix and RHS vector.
+///
+/// `MnaSystem::assemble` clears and re-stamps these in place, so one
+/// workspace allocated per analysis serves every Newton iteration,
+/// every continuation step, and (in transient) every timestep — the
+/// matrix is only ever *allocated* once per solve session instead of
+/// once per `newton_solve` call.
+pub(crate) struct SolveWorkspace {
+    g: Matrix,
+    b: Vec<f64>,
+}
+
+impl SolveWorkspace {
+    /// Scratch sized for an `n`-unknown system.
+    pub(crate) fn new(n: usize) -> Self {
+        SolveWorkspace {
+            g: Matrix::zeros(n, n),
+            b: vec![0.0; n],
+        }
+    }
+
+    /// Scratch sized for `sys`.
+    pub(crate) fn for_system(sys: &MnaSystem<'_>) -> Self {
+        Self::new(sys.size())
+    }
+}
+
 /// Damped Newton–Raphson on the assembled MNA system.
 ///
 /// Returns the converged solution vector, or `Err` carrying the iteration
-/// count on failure. `x0` is the starting iterate.
+/// count on failure. `x0` is the starting iterate; `ws` must be sized
+/// for `sys` (it is overwritten, never read).
 pub(crate) fn newton_solve(
     sys: &MnaSystem<'_>,
     x0: &[f64],
     ctx: &AssembleContext<'_>,
     opts: &SimOptions,
     analysis: &'static str,
+    ws: &mut SolveWorkspace,
 ) -> Result<Vec<f64>, SimError> {
     let n = sys.size();
     let nv = sys.num_voltage_unknowns();
     let mut x = x0.to_vec();
-    let mut g = Matrix::zeros(n, n);
-    let mut b = vec![0.0; n];
+    let (g, b) = (&mut ws.g, &mut ws.b);
 
     for _iter in 0..opts.max_newton_iterations {
-        sys.assemble(&x, ctx, &mut g, &mut b);
-        let x_new = g.solve(&b).map_err(|e| SimError::from_solve(e, analysis))?;
+        sys.assemble(&x, ctx, g, b);
+        let x_new = g.solve(b).map_err(|e| SimError::from_solve(e, analysis))?;
 
         let mut converged = true;
         for i in 0..n {
@@ -116,7 +144,8 @@ pub(crate) fn newton_solve(
 pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<OpPoint, SimError> {
     opts.validate()?;
     let sys = MnaSystem::new(circuit)?;
-    let x = solve_dc(&sys, opts)?;
+    let mut ws = SolveWorkspace::for_system(&sys);
+    let x = solve_dc(&sys, opts, &mut ws)?;
     Ok(make_op(&sys, x))
 }
 
@@ -133,7 +162,11 @@ fn make_op(sys: &MnaSystem<'_>, x: Vec<f64>) -> OpPoint {
     }
 }
 
-pub(crate) fn solve_dc(sys: &MnaSystem<'_>, opts: &SimOptions) -> Result<Vec<f64>, SimError> {
+pub(crate) fn solve_dc(
+    sys: &MnaSystem<'_>,
+    opts: &SimOptions,
+    ws: &mut SolveWorkspace,
+) -> Result<Vec<f64>, SimError> {
     let base_ctx = AssembleContext {
         time: 0.0,
         dc_sources: true,
@@ -147,7 +180,7 @@ pub(crate) fn solve_dc(sys: &MnaSystem<'_>, opts: &SimOptions) -> Result<Vec<f64
     let x0 = vec![0.0; sys.size()];
 
     // 1. Direct attempt.
-    if let Ok(x) = newton_solve(sys, &x0, &base_ctx, opts, "dc") {
+    if let Ok(x) = newton_solve(sys, &x0, &base_ctx, opts, "dc", ws) {
         return Ok(x);
     }
 
@@ -157,7 +190,7 @@ pub(crate) fn solve_dc(sys: &MnaSystem<'_>, opts: &SimOptions) -> Result<Vec<f64
     let mut gmin = 1e-2;
     while gmin > opts.gmin {
         let ctx = AssembleContext { gmin, ..base_ctx };
-        match newton_solve(sys, &x, &ctx, opts, "dc") {
+        match newton_solve(sys, &x, &ctx, opts, "dc", ws) {
             Ok(next) => x = next,
             Err(_) => {
                 ok = false;
@@ -167,7 +200,7 @@ pub(crate) fn solve_dc(sys: &MnaSystem<'_>, opts: &SimOptions) -> Result<Vec<f64
         gmin *= 0.1;
     }
     if ok {
-        if let Ok(final_x) = newton_solve(sys, &x, &base_ctx, opts, "dc") {
+        if let Ok(final_x) = newton_solve(sys, &x, &base_ctx, opts, "dc", ws) {
             return Ok(final_x);
         }
     }
@@ -182,7 +215,7 @@ pub(crate) fn solve_dc(sys: &MnaSystem<'_>, opts: &SimOptions) -> Result<Vec<f64
             source_scale: scale,
             ..base_ctx
         };
-        x = newton_solve(sys, &x, &ctx, opts, "dc")?;
+        x = newton_solve(sys, &x, &ctx, opts, "dc", ws)?;
     }
     let mut gmin = 1e-9;
     while gmin > opts.gmin {
@@ -191,9 +224,9 @@ pub(crate) fn solve_dc(sys: &MnaSystem<'_>, opts: &SimOptions) -> Result<Vec<f64
             gmin: gmin.max(opts.gmin),
             ..base_ctx
         };
-        x = newton_solve(sys, &x, &ctx, opts, "dc")?;
+        x = newton_solve(sys, &x, &ctx, opts, "dc", ws)?;
     }
-    newton_solve(sys, &x, &base_ctx, opts, "dc")
+    newton_solve(sys, &x, &base_ctx, opts, "dc", ws)
 }
 
 /// Sweeps the DC value of one independent source over `values`, solving
@@ -227,6 +260,9 @@ pub fn dc_sweep(
     let mut work = circuit.clone();
     let mut results = Vec::with_capacity(values.len());
     let mut guess: Option<Vec<f64>> = None;
+    // One scratch for the whole sweep: only the source value changes
+    // between points, never the system size.
+    let mut ws: Option<SolveWorkspace> = None;
     for &value in values {
         match work.device_mut(device) {
             netlist::Device::VSource { waveform, .. }
@@ -246,12 +282,13 @@ pub fn dc_sweep(
             prev_solution: None,
             dt: 0.0,
         };
+        let ws = ws.get_or_insert_with(|| SolveWorkspace::for_system(&sys));
         let x = match &guess {
-            Some(g) => match newton_solve(&sys, g, &base_ctx, opts, "dc") {
+            Some(g) => match newton_solve(&sys, g, &base_ctx, opts, "dc", ws) {
                 Ok(x) => x,
-                Err(_) => solve_dc(&sys, opts)?,
+                Err(_) => solve_dc(&sys, opts, ws)?,
             },
-            None => solve_dc(&sys, opts)?,
+            None => solve_dc(&sys, opts, ws)?,
         };
         guess = Some(x.clone());
         results.push(make_op(&sys, x));

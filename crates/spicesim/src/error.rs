@@ -23,6 +23,18 @@ pub enum SimError {
         /// Iterations performed.
         iterations: usize,
     },
+    /// Transient step-halving reached its recursion limit
+    /// ([`crate::SimOptions::max_substep_depth`]) without the sub-step
+    /// converging — a bounded alternative to recursing until the stack
+    /// overflows on a pathological waveform.
+    StepLimit {
+        /// Analysis that failed (always `"transient"` today).
+        analysis: &'static str,
+        /// Simulation time at the failing sub-step.
+        time: f64,
+        /// The depth limit that was hit.
+        depth: usize,
+    },
     /// A post-processing measurement could not be computed.
     Measurement {
         /// Human-readable description (e.g. `"circuit did not oscillate"`).
@@ -49,6 +61,14 @@ impl fmt::Display for SimError {
             } => write!(
                 f,
                 "{analysis} analysis failed to converge after {iterations} iterations at t={time:e}"
+            ),
+            SimError::StepLimit {
+                analysis,
+                time,
+                depth,
+            } => write!(
+                f,
+                "{analysis} analysis exhausted step-halving (depth {depth}) at t={time:e}"
             ),
             SimError::Measurement { message } => write!(f, "measurement failed: {message}"),
             SimError::BadConfig { message } => write!(f, "bad analysis configuration: {message}"),
@@ -94,6 +114,17 @@ mod tests {
         };
         assert!(e.to_string().contains("dc"));
         assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn step_limit_display_names_depth_and_time() {
+        let e = SimError::StepLimit {
+            analysis: "transient",
+            time: 1.5e-9,
+            depth: 8,
+        };
+        let text = e.to_string();
+        assert!(text.contains("transient") && text.contains('8'), "{text}");
     }
 
     #[test]

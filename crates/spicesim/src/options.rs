@@ -42,6 +42,12 @@ pub struct SimOptions {
     /// Per-iteration clamp on voltage-unknown updates (V); damping that
     /// keeps Newton from overshooting exponential nonlinearities.
     pub max_voltage_step: f64,
+    /// Maximum recursion depth of transient step-halving: a failing
+    /// step is retried as two half-steps at most this many levels deep
+    /// (so the smallest sub-step is `dt / 2^depth`) before the run
+    /// reports [`crate::SimError::StepLimit`] instead of recursing
+    /// further. `0` disables sub-stepping entirely.
+    pub max_substep_depth: usize,
     /// Integration method for transient analysis.
     pub method: IntegrationMethod,
 }
@@ -55,6 +61,7 @@ impl Default for SimOptions {
             gmin: 1e-12,
             max_newton_iterations: 100,
             max_voltage_step: 0.5,
+            max_substep_depth: 8,
             method: IntegrationMethod::BackwardEuler,
         }
     }

@@ -11,7 +11,7 @@ use netlist::{Circuit, Device, DeviceId, NodeId};
 use numkit::dist;
 use rand::rngs::StdRng;
 
-use crate::dc::solve_dc;
+use crate::dc::{solve_dc, SolveWorkspace};
 use crate::error::SimError;
 use crate::mna::{AssembleContext, CapCompanion, MnaSystem};
 use crate::mosfet::eval_mosfet;
@@ -149,9 +149,11 @@ struct CapState {
 /// # Errors
 ///
 /// Returns [`SimError::BadConfig`] for invalid specs,
-/// [`SimError::BadCircuit`] for invalid circuits, and
-/// [`SimError::NoConvergence`]/[`SimError::Singular`] when a step cannot
-/// be completed even after sub-stepping.
+/// [`SimError::BadCircuit`] for invalid circuits,
+/// [`SimError::NoConvergence`]/[`SimError::Singular`] when the initial
+/// operating point cannot be solved, and [`SimError::StepLimit`] when a
+/// timestep still fails after step-halving has recursed down to
+/// [`SimOptions::max_substep_depth`].
 ///
 /// # Examples
 ///
@@ -184,6 +186,11 @@ pub fn run_transient(
     spec.validate()?;
     let sys = MnaSystem::new(circuit)?;
     let n = sys.size();
+    // Newton scratch and the capacitor-companion buffer are allocated
+    // once here and re-stamped in place by every Newton iteration of
+    // every timestep (and sub-step) of the run.
+    let mut ws = SolveWorkspace::for_system(&sys);
+    let mut companions = vec![CapCompanion::default(); circuit.num_devices()];
 
     // Collect capacitor and MOSFET bookkeeping.
     let mut caps: Vec<CapState> = Vec::new();
@@ -231,7 +238,7 @@ pub fn run_transient(
         }
         x0
     } else {
-        let x0 = solve_dc(&sys, opts)?;
+        let x0 = solve_dc(&sys, opts, &mut ws)?;
         // Capacitors start at their DC voltage (explicit ICs ignored, as
         // in SPICE without UIC).
         for cap in &mut caps {
@@ -279,7 +286,6 @@ pub fn run_transient(
         let dt_pin = spec.dt * 1e-6;
         x = step(
             &sys,
-            circuit,
             &mut caps,
             &x,
             -dt_pin,
@@ -288,6 +294,8 @@ pub fn run_transient(
             &noise,
             0,
             IntegrationMethod::BackwardEuler,
+            &mut ws,
+            &mut companions,
         )?;
         update_cap_state(
             &sys,
@@ -330,7 +338,6 @@ pub fn run_transient(
         };
         x = step(
             &sys,
-            circuit,
             &mut caps,
             &x,
             t - spec.dt,
@@ -339,6 +346,8 @@ pub fn run_transient(
             &noise,
             0,
             method,
+            &mut ws,
+            &mut companions,
         )?;
         update_cap_state(&sys, &mut caps, &x, spec.dt, method);
         first_step = false;
@@ -356,10 +365,13 @@ pub fn run_transient(
 }
 
 /// One integration step, with recursive halving on Newton failure.
+///
+/// `ws` and `companions` are per-run scratch: companion entries for
+/// every capacitor are rewritten at each (sub-)step, non-capacitor
+/// entries stay at their zeroed default for the whole run.
 #[allow(clippy::too_many_arguments)]
 fn step(
     sys: &MnaSystem<'_>,
-    circuit: &Circuit,
     caps: &mut [CapState],
     x_prev: &[f64],
     t_prev: f64,
@@ -368,8 +380,9 @@ fn step(
     noise: &[f64],
     depth: usize,
     method: IntegrationMethod,
+    ws: &mut SolveWorkspace,
+    companions: &mut Vec<CapCompanion>,
 ) -> Result<Vec<f64>, SimError> {
-    let mut companions = vec![CapCompanion::default(); circuit.num_devices()];
     for cap in caps.iter() {
         let comp = match method {
             IntegrationMethod::BackwardEuler => {
@@ -389,28 +402,40 @@ fn step(
         };
         companions[cap.device_index] = comp;
     }
-    let ctx = AssembleContext {
-        time: t_prev + dt,
-        dc_sources: false,
-        gmin: opts.gmin,
-        source_scale: 1.0,
-        companions: Some(&companions),
-        noise: Some(noise),
-        prev_solution: Some(x_prev),
-        dt,
+    let newton = {
+        let ctx = AssembleContext {
+            time: t_prev + dt,
+            dc_sources: false,
+            gmin: opts.gmin,
+            source_scale: 1.0,
+            companions: Some(companions),
+            noise: Some(noise),
+            prev_solution: Some(x_prev),
+            dt,
+        };
+        crate::dc::newton_solve(sys, x_prev, &ctx, opts, "transient", ws)
     };
-    match crate::dc::newton_solve(sys, x_prev, &ctx, opts, "transient") {
+    match newton {
         Ok(x) => Ok(x),
         Err(e) => {
-            if depth >= 8 {
-                return Err(e);
+            if depth >= opts.max_substep_depth {
+                // Sub-stepping is exhausted: report the bounded-depth
+                // failure (singular systems keep their own error — no
+                // amount of halving fixes a floating node).
+                if matches!(e, SimError::Singular { .. }) {
+                    return Err(e);
+                }
+                return Err(SimError::StepLimit {
+                    analysis: "transient",
+                    time: t_prev + dt,
+                    depth,
+                });
             }
             // Sub-step: two halves; capacitor state must advance through
             // the midpoint, so clone, advance, and write back.
             let mut mid_caps = caps.to_vec();
             let x_mid = step(
                 sys,
-                circuit,
                 &mut mid_caps,
                 x_prev,
                 t_prev,
@@ -419,11 +444,12 @@ fn step(
                 noise,
                 depth + 1,
                 method,
+                ws,
+                companions,
             )?;
             update_cap_state(sys, &mut mid_caps, &x_mid, dt / 2.0, method);
             let x_end = step(
                 sys,
-                circuit,
                 &mut mid_caps,
                 &x_mid,
                 t_prev + dt / 2.0,
@@ -432,6 +458,8 @@ fn step(
                 noise,
                 depth + 1,
                 method,
+                ws,
+                companions,
             )?;
             update_cap_state(sys, &mut mid_caps, &x_end, dt / 2.0, method);
             caps.copy_from_slice(&mid_caps);
@@ -657,6 +685,49 @@ mod tests {
             run_transient(&c, &spec, &SimOptions::default()),
             Err(SimError::BadConfig { .. })
         ));
+    }
+
+    #[test]
+    fn exhausted_step_halving_reports_step_limit() {
+        // A strongly nonlinear ring oscillator with a one-iteration
+        // Newton budget cannot converge at any sub-step size, so the
+        // halving recursion must bottom out in a StepLimit error
+        // instead of recursing until the stack overflows.
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 1.0);
+        let spec = TransientSpec::new(30e-9, 2e-12).with_ic();
+        let opts = SimOptions {
+            max_newton_iterations: 1,
+            max_substep_depth: 3,
+            ..Default::default()
+        };
+        let err = run_transient(&vco.circuit, &spec, &opts).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SimError::StepLimit {
+                    analysis: "transient",
+                    depth: 3,
+                    ..
+                }
+            ),
+            "expected StepLimit at depth 3, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_substep_depth_disables_halving() {
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 1.0);
+        let spec = TransientSpec::new(30e-9, 2e-12).with_ic();
+        let opts = SimOptions {
+            max_newton_iterations: 1,
+            max_substep_depth: 0,
+            ..Default::default()
+        };
+        let err = run_transient(&vco.circuit, &spec, &opts).unwrap_err();
+        assert!(
+            matches!(err, SimError::StepLimit { depth: 0, .. }),
+            "expected StepLimit at depth 0, got {err:?}"
+        );
     }
 
     #[test]

@@ -257,6 +257,35 @@ mod tests {
     }
 
     #[test]
+    fn error_extrapolation_boundary_is_exact_to_one_ulp() {
+        // The paper's `"3E"` tables refuse extrapolation; the domain
+        // check must be exact, not tolerance-padded: evaluation *at*
+        // either endpoint interpolates the sampled value, while one ULP
+        // outside is already out of domain.
+        let t = quad_table("3E");
+        let (lo, hi) = t.domain();
+        assert_eq!(t.eval(lo).unwrap(), 0.0, "exact at the lower endpoint");
+        assert_eq!(t.eval(hi).unwrap(), 25.0, "exact at the upper endpoint");
+        assert!(
+            matches!(
+                t.eval(lo.next_down()),
+                Err(TableModelError::OutOfDomain { .. })
+            ),
+            "one ULP below the domain must refuse"
+        );
+        assert!(
+            matches!(
+                t.eval(hi.next_up()),
+                Err(TableModelError::OutOfDomain { .. })
+            ),
+            "one ULP above the domain must refuse"
+        );
+        // One ULP *inside* both endpoints still evaluates.
+        assert!(t.eval(lo.next_up()).is_ok());
+        assert!(t.eval(hi.next_down()).is_ok());
+    }
+
+    #[test]
     fn clamp_extrapolation_holds_boundary() {
         let t = quad_table("3C");
         assert_eq!(t.eval(-3.0).unwrap(), 0.0);

@@ -12,6 +12,7 @@
 //! [`MonteCarlo::run_supervised`] additionally accepts per-task
 //! deadlines, cooperative cancellation and retry classification.
 
+use evalcache::EvalCache;
 use exec::{AbortReason, ExecPolicy, PoolStats, TaskFailure};
 use netlist::Circuit;
 
@@ -154,6 +155,37 @@ impl MonteCarlo {
     where
         F: Fn(usize, &Circuit) -> Result<Vec<f64>, TaskFailure> + Sync,
     {
+        self.run_cached(circuit, cfg, exec, &[], None, evaluate)
+    }
+
+    /// [`MonteCarlo::run_supervised`] with an optional evaluation memo
+    /// cache.
+    ///
+    /// `design` is the design point the caller is analysing; each
+    /// sample is memoised under the cache key of `design` salted with
+    /// `cfg.seed + i`, so a repeated run of the same design, seed and
+    /// sample count (against a cache whose config digest covers the
+    /// circuit topology, process spec and testbench) replays metric
+    /// vectors without invoking the evaluator. Only successful
+    /// evaluations are cached: failures — including wall-clock
+    /// artefacts such as timeouts — are re-attempted on every run.
+    ///
+    /// The cache is probed inside the sample tasks, so accepted-metric
+    /// ordering, failure indices and the returned [`McRun`] stay
+    /// bit-identical with and without a cache. With `cache = None`
+    /// (or an empty cache) this is exactly [`MonteCarlo::run_supervised`].
+    pub fn run_cached<F>(
+        &self,
+        circuit: &Circuit,
+        cfg: &McConfig,
+        exec: &ExecPolicy,
+        design: &[f64],
+        cache: Option<&EvalCache<Vec<f64>>>,
+        evaluate: F,
+    ) -> McRun
+    where
+        F: Fn(usize, &Circuit) -> Result<Vec<f64>, TaskFailure> + Sync,
+    {
         assert!(cfg.samples > 0, "monte carlo needs at least one sample");
         let mut policy = exec.clone();
         if policy.threads == 0 {
@@ -161,10 +193,21 @@ impl MonteCarlo {
         }
         let batch = exec::run_batch(cfg.samples, &policy, |ctx| {
             let i = ctx.index;
-            let mut rng = dist::seeded_rng(cfg.seed.wrapping_add(i as u64));
+            let salt = cfg.seed.wrapping_add(i as u64);
+            let key = cache.map(|c| c.key_salted(design, salt));
+            if let (Some(cache), Some(key)) = (cache, &key) {
+                if let Some(metrics) = cache.get(key) {
+                    return Ok(metrics);
+                }
+            }
+            let mut rng = dist::seeded_rng(salt);
             let global = GlobalSample::draw(&self.spec, &mut rng);
             let perturbed = perturbed_circuit(circuit, &self.spec, &global, &mut rng);
-            evaluate(i, &perturbed)
+            let metrics = evaluate(i, &perturbed)?;
+            if let (Some(cache), Some(key)) = (cache, key) {
+                cache.put(key, &metrics);
+            }
+            Ok(metrics)
         });
 
         let metrics: Vec<Vec<f64>> = batch.items.into_iter().flatten().collect();
@@ -450,6 +493,77 @@ mod tests {
         assert!(run.failed_samples.is_empty());
         assert_eq!(run.stats.retries, 1);
         assert_eq!(sample2_attempts.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn cached_run_is_bit_identical_and_warm_run_skips_evaluator() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 32,
+            seed: 11,
+            threads: 1,
+        };
+        let design = [10e-6, 0.12e-6];
+        let policy = ExecPolicy::default();
+        let eval = |i: usize, c: &Circuit| {
+            vto_metric(i, c).ok_or_else(|| TaskFailure::permanent("no metric"))
+        };
+
+        let uncached = mc.run_supervised(&c, &cfg, &policy, eval);
+        let cache = EvalCache::<Vec<f64>>::new(1024, evalcache::KeyQuantiser::exact(), 0xfeed_beef);
+        let cold = mc.run_cached(&c, &cfg, &policy, &design, Some(&cache), eval);
+        assert_eq!(
+            uncached.metrics, cold.metrics,
+            "cold cached run must be bit-identical"
+        );
+        assert_eq!(cache.stats().misses, cfg.samples as u64);
+
+        let calls = AtomicUsize::new(0);
+        let warm = mc.run_cached(&c, &cfg, &policy, &design, Some(&cache), |i, c| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            eval(i, c)
+        });
+        assert_eq!(
+            uncached.metrics, warm.metrics,
+            "warm cached run must be bit-identical"
+        );
+        assert_eq!(
+            calls.load(Ordering::SeqCst),
+            0,
+            "warm run must not evaluate"
+        );
+        assert_eq!(cache.stats().hits, cfg.samples as u64);
+    }
+
+    #[test]
+    fn failed_samples_are_not_cached() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let c = tiny_circuit();
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        let cfg = McConfig {
+            samples: 8,
+            seed: 3,
+            threads: 1,
+        };
+        let cache = EvalCache::<Vec<f64>>::new(64, evalcache::KeyQuantiser::exact(), 1);
+        let policy = ExecPolicy::default();
+        let attempts = AtomicUsize::new(0);
+        let eval = |i: usize, c: &Circuit| {
+            if i % 2 == 1 {
+                attempts.fetch_add(1, Ordering::SeqCst);
+                return Err(TaskFailure::permanent("odd samples fail"));
+            }
+            vto_metric(i, c).ok_or_else(|| TaskFailure::permanent("no metric"))
+        };
+        let first = mc.run_cached(&c, &cfg, &policy, &[1.0], Some(&cache), eval);
+        let second = mc.run_cached(&c, &cfg, &policy, &[1.0], Some(&cache), eval);
+        assert_eq!(first.failed_samples, vec![1, 3, 5, 7]);
+        assert_eq!(second.failed_samples, first.failed_samples);
+        // Failures were re-attempted on the second run, not replayed.
+        assert_eq!(attempts.load(Ordering::SeqCst), 8);
+        assert_eq!(cache.resident(), 4, "only the successes are resident");
     }
 
     #[test]

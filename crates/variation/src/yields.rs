@@ -112,7 +112,8 @@ impl SpecSet {
     pub fn yield_estimate(&self, rows: &[Vec<f64>]) -> YieldEstimate {
         assert!(!rows.is_empty(), "yield needs at least one sample");
         let passed = rows.iter().filter(|r| self.passes(r)).count();
-        let (lo, hi) = wilson_interval(passed, rows.len(), 1.96);
+        let (lo, hi) = wilson_interval(passed, rows.len(), 1.96)
+            .expect("rows is non-empty and passed <= rows.len() by construction");
         YieldEstimate {
             passed,
             total: rows.len(),

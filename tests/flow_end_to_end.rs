@@ -8,8 +8,10 @@
 
 use std::time::Duration;
 
-use hierflow::checkpoint::{RunDir, Stage1Artifact, STAGE4_SYSTEM, STAGE5_SELECTED};
-use hierflow::flow::{FlowConfig, HierarchicalFlow};
+use hierflow::checkpoint::{
+    RunDir, Stage1Artifact, STAGE2_CHARACTERIZED, STAGE4_SYSTEM, STAGE5_SELECTED,
+};
+use hierflow::flow::{CacheConfig, FlowConfig, HierarchicalFlow};
 use hierflow::report::{format_table1, format_table2};
 use hierflow::{
     CancelToken, DegradePolicy, FaultInjector, FaultKind, FlowEvents, FlowStage, RunBudget,
@@ -112,6 +114,64 @@ fn checkpointed_flow_resumes_without_repeating_circuit_work() {
     assert_eq!(resumed.circuit_evaluations, first.circuit_evaluations);
 
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The tentpole acceptance case: a cache-enabled flow produces
+/// bit-identical artifacts to an uncached one, and after losing its
+/// stage-2 checkpoint a resumed run replays every individual
+/// Monte-Carlo evaluation from the cache's disk tier instead of
+/// re-simulating.
+#[test]
+fn cached_flow_is_bit_identical_and_disk_tier_survives_resume() {
+    let cfg = micro_config();
+    let dir_plain = fresh_dir("cache_plain");
+    let dir_cached = fresh_dir("cache_on");
+    // Identical seeded stage-1 fronts keep the comparison cheap: the
+    // runs start at characterisation.
+    seeded_stage1(&dir_plain, &cfg.testbench, 3);
+    seeded_stage1(&dir_cached, &cfg.testbench, 3);
+
+    let plain = HierarchicalFlow::new(cfg.clone())
+        .run_with_checkpoints(&dir_plain)
+        .expect("uncached run completes");
+
+    let mut cached_cfg = cfg.clone();
+    cached_cfg.cache = CacheConfig::enabled();
+    let cached = HierarchicalFlow::new(cached_cfg.clone())
+        .run_with_checkpoints(&dir_cached)
+        .expect("cached run completes");
+
+    assert_eq!(cached.front, plain.front, "characterised fronts must match");
+    assert_eq!(cached.selected, plain.selected);
+    assert_eq!(cached.final_sizing, plain.final_sizing);
+    let (hits, misses, disk_hits, _) = cached
+        .events
+        .cache_stats(FlowStage::Characterize)
+        .expect("cache stats must be logged");
+    assert!(misses > 0, "the cold run evaluates for real");
+    assert_eq!(hits, 0, "distinct sizings and samples share no keys");
+    assert_eq!(disk_hits, 0);
+
+    // Lose the stage-2 artifact: the resumed run re-characterises, but
+    // its fresh in-memory cache warms entirely from the disk tier.
+    std::fs::remove_file(dir_cached.join(STAGE2_CHARACTERIZED)).expect("drop stage-2 artifact");
+    let resumed = HierarchicalFlow::new(cached_cfg)
+        .resume(&dir_cached)
+        .expect("resume completes");
+    assert_eq!(resumed.front, plain.front, "replayed front must match");
+    let (hits, misses, disk_hits, _) = resumed
+        .events
+        .cache_stats(FlowStage::Characterize)
+        .expect("cache stats must be logged");
+    assert_eq!(misses, 0, "every sample must replay from the cache");
+    assert!(hits > 0);
+    assert_eq!(
+        disk_hits, hits,
+        "a fresh process serves all hits from the disk tier"
+    );
+
+    std::fs::remove_dir_all(&dir_plain).ok();
+    std::fs::remove_dir_all(&dir_cached).ok();
 }
 
 /// A stale checkpoint directory from a different configuration is

@@ -152,14 +152,16 @@ proptest! {
     ) {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        prop_assert!(quantile_sorted(&samples, qa) <= quantile_sorted(&samples, qb) + 1e-12);
+        let va = quantile_sorted(&samples, qa).expect("non-empty, q in range");
+        let vb = quantile_sorted(&samples, qb).expect("non-empty, q in range");
+        prop_assert!(va <= vb + 1e-12);
     }
 
     /// Wilson intervals contain the point estimate and stay in [0, 1].
     #[test]
     fn wilson_contains_estimate(passed in 0usize..100, extra in 0usize..100) {
         let total = passed + extra + 1;
-        let (lo, hi) = wilson_interval(passed.min(total), total, 1.96);
+        let (lo, hi) = wilson_interval(passed.min(total), total, 1.96).expect("total >= 1");
         let p = passed.min(total) as f64 / total as f64;
         prop_assert!((0.0..=1.0).contains(&lo));
         prop_assert!((0.0..=1.0).contains(&hi));
@@ -216,7 +218,7 @@ proptest! {
     /// positive-mean metric.
     #[test]
     fn histogram_partitions_sample(samples in prop::collection::vec(-50.0f64..50.0, 1..100), bins in 1usize..20) {
-        let (edges, counts) = numkit::stats::histogram(&samples, bins);
+        let (edges, counts) = numkit::stats::histogram(&samples, bins).expect("non-empty, bins >= 1");
         prop_assert_eq!(edges.len(), bins + 1);
         prop_assert_eq!(counts.iter().sum::<usize>(), samples.len());
         prop_assert!(edges.windows(2).all(|w| w[1] >= w[0]));
