@@ -1,0 +1,107 @@
+//! Wall-clock overhead of the telemetry layer: the same
+//! transistor-level evaluation batch with telemetry disabled (the
+//! default — every instrumentation site is a single relaxed atomic
+//! load) and enabled (recorder installed, spans and metrics live).
+//!
+//! Custom harness (no criterion): the numbers are written to
+//! `BENCH_telemetry.json` at the workspace root so the repository
+//! carries a reference record of the overhead. The enabled target is
+//! <3 % over disabled on this workload. `--test` runs a seconds-scale
+//! smoke version and skips the JSON write — CI uses it to keep the
+//! bench compiling and running with telemetry actually exercised.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use hierflow::VcoTestbench;
+use netlist::topology::VcoSizing;
+
+/// A small family of nominal-adjacent sizings: every evaluation runs
+/// the real DC + transient testbench, which is exactly the code the
+/// solve spans and Newton histograms instrument.
+fn sizings(n: usize) -> Vec<VcoSizing> {
+    (0..n)
+        .map(|i| {
+            let mut s = VcoSizing::nominal();
+            let f = 1.0 + 0.02 * (i % 7) as f64;
+            s.wsn *= f;
+            s.wsp *= f;
+            s
+        })
+        .collect()
+}
+
+/// Evaluates every sizing once and returns the elapsed microseconds.
+fn run_workload(tb: &VcoTestbench, batch: &[VcoSizing]) -> f64 {
+    let start = Instant::now();
+    for s in batch {
+        black_box(
+            tb.evaluate_sizing(s)
+                .expect("nominal-family sizing evaluates"),
+        );
+    }
+    start.elapsed().as_secs_f64() * 1e6
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let n = if test_mode { 4 } else { 32 };
+    let rounds = if test_mode { 1 } else { 3 };
+    let tb = VcoTestbench::default();
+    let batch = sizings(n);
+
+    // One throwaway pass warms allocator and caches before timing.
+    run_workload(&tb, &batch[..1.min(batch.len())]);
+
+    // Alternate disabled/enabled rounds and keep the fastest of each,
+    // so ambient machine noise hits both arms evenly.
+    let mut disabled_us = f64::INFINITY;
+    let mut enabled_us = f64::INFINITY;
+    let mut recorded_spans = 0u64;
+    for _ in 0..rounds {
+        assert!(
+            !telemetry::enabled(),
+            "baseline round must run with telemetry off"
+        );
+        disabled_us = disabled_us.min(run_workload(&tb, &batch));
+
+        let recorder = telemetry::Recorder::new();
+        let this_round = {
+            let _install = recorder.install();
+            let _run = telemetry::span("run");
+            run_workload(&tb, &batch)
+        };
+        enabled_us = enabled_us.min(this_round);
+        recorded_spans = recorded_spans.max(recorder.records().len() as u64);
+    }
+    assert!(
+        recorded_spans > 0,
+        "the enabled arm must actually record spans"
+    );
+
+    let overhead_percent = 100.0 * (enabled_us - disabled_us) / disabled_us;
+    println!(
+        "{:<44} {disabled_us:>12.1} us",
+        format!("evaluate_{n}/disabled")
+    );
+    println!(
+        "{:<44} {enabled_us:>12.1} us",
+        format!("evaluate_{n}/enabled")
+    );
+    println!(
+        "{:<44} {overhead_percent:>11.2} %  (target < 3 %)",
+        "telemetry_overhead"
+    );
+
+    if !test_mode {
+        let json = format!(
+            "{{\n\"bench\": \"telemetry\",\n\"unit\": \"microseconds\",\n\"results\": [\n  \
+             {{ \"name\": \"evaluate_{n}/disabled\", \"micros\": {disabled_us:.1} }},\n  \
+             {{ \"name\": \"evaluate_{n}/enabled\", \"micros\": {enabled_us:.1} }},\n  \
+             {{ \"name\": \"overhead_percent\", \"micros\": {overhead_percent:.2} }}\n]\n}}\n"
+        );
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.json");
+        std::fs::write(path, json).expect("write BENCH_telemetry.json");
+        println!("wrote {path}");
+    }
+}

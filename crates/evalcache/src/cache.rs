@@ -138,6 +138,21 @@ impl<V: Clone + Serialize + Deserialize> EvalCache<V> {
     /// Looks up `key`: memory first, then the disk tier (a disk hit
     /// warms memory). Counts a hit or a miss.
     pub fn get(&self, key: &CacheKey) -> Option<V> {
+        let probe = telemetry::enabled().then(std::time::Instant::now);
+        let found = self.lookup(key);
+        if let Some(start) = probe {
+            let (latency, counter) = if found.is_some() {
+                ("cache.hit_seconds", "cache.hits")
+            } else {
+                ("cache.miss_seconds", "cache.misses")
+            };
+            telemetry::observe_secs(latency, start.elapsed());
+            telemetry::counter_add(counter, 1);
+        }
+        found
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<V> {
         if let Some(v) = self.lru.get(key) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return Some(v);

@@ -189,6 +189,10 @@ where
     let chunk = tasks.div_ceil(workers).max(1);
     let next = AtomicUsize::new(0);
     let abort = AtomicU8::new(ABORT_NONE);
+    // Ambient telemetry state of the calling thread, re-established on
+    // each worker so spans opened inside task bodies parent correctly.
+    let trace_ctx = telemetry::capture();
+    let batch_start = Instant::now();
 
     let worker_loop = |w: usize| -> WorkerOut<T> {
         let mut out = WorkerOut {
@@ -219,6 +223,9 @@ where
             if i >= tasks {
                 break;
             }
+            if telemetry::enabled() {
+                telemetry::observe_secs("pool.queue_wait_seconds", batch_start.elapsed());
+            }
             let result = run_task(i, policy, &f, &mut out.retries);
             out.results.push((i, result));
         }
@@ -232,7 +239,11 @@ where
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let worker_loop = &worker_loop;
-                    scope.spawn(move || worker_loop(w))
+                    let trace_ctx = trace_ctx.clone();
+                    scope.spawn(move || {
+                        let _trace = trace_ctx.attach();
+                        worker_loop(w)
+                    })
                 })
                 .collect();
             handles
@@ -287,6 +298,14 @@ where
     }
     failures.sort_by_key(|&(i, _)| i);
 
+    if telemetry::enabled() {
+        telemetry::counter_add("pool.tasks", stats.tasks as u64);
+        telemetry::counter_add("pool.retries", stats.retries as u64);
+        telemetry::counter_add("pool.panics", stats.panics as u64);
+        telemetry::counter_add("pool.timeouts", stats.timeouts as u64);
+        telemetry::counter_add("pool.cancelled", stats.cancelled as u64);
+    }
+
     let aborted = if starved
         || failures
             .iter()
@@ -331,6 +350,9 @@ where
         let start = Instant::now();
         let caught = catch_unwind(AssertUnwindSafe(|| f(&ctx)));
         let elapsed = start.elapsed();
+        if telemetry::enabled() {
+            telemetry::observe_secs("pool.task_seconds", elapsed);
+        }
         let outcome = match caught {
             Err(payload) => Err(TaskFailure::Panicked {
                 message: panic_message(payload.as_ref()),

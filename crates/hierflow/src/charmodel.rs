@@ -103,6 +103,10 @@ fn characterize_point(
     faults: Option<&FaultInjector>,
     cache: Option<&EvalCache<Vec<f64>>>,
 ) -> PointAttempt {
+    let _point_span = telemetry::span("point")
+        .attr("stage", FlowStage::Characterize.name())
+        .attr("point", point)
+        .attr("attempt", attempt);
     let ring = testbench.build(sizing);
     // The memoisation key is the sizing plus the retry attempt: relaxed
     // solver options change what a sample measures, so attempt 1 must
@@ -338,6 +342,7 @@ pub fn characterize_front_cached(
         while outcome.aborted.is_none() && outcome.point.is_none() && attempt < policy.max_retries()
         {
             attempt += 1;
+            telemetry::counter_add("flow.retry_attempts", 1);
             events.push(FlowEvent::RetryAttempted {
                 stage: STAGE,
                 point: idx,

@@ -46,6 +46,12 @@ pub const STAGE5_SELECTED: &str = "stage5_selected.json";
 pub const EVENTS_FILE: &str = "events.json";
 /// Manifest file name.
 pub const MANIFEST_FILE: &str = "manifest.json";
+/// Telemetry trace file name (JSON lines, one span/event per line;
+/// written only when the run executes with telemetry enabled).
+pub const TRACE_FILE: &str = "trace.jsonl";
+/// Telemetry metrics/profile file name (written only when the run
+/// executes with telemetry enabled).
+pub const METRICS_FILE: &str = "metrics.json";
 
 /// Stage-1 artifact: the thinned circuit-level Pareto front and the
 /// evaluation budget it cost.

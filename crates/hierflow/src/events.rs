@@ -172,6 +172,12 @@ pub enum FlowEvent {
         /// Which budget scope expired.
         scope: DeadlineScope,
     },
+    /// An event this build does not recognise — typically one written
+    /// into `events.json` by a newer flow version. The raw payload is
+    /// preserved verbatim, so loading and re-persisting an event log
+    /// never drops a future variant's history.
+    #[serde(other)]
+    Unrecognized(serde::Value),
 }
 
 /// Which wall-clock budget scope expired.
@@ -288,6 +294,12 @@ impl fmt::Display for FlowEvent {
                     "[{stage}] {scope} deadline exceeded (resumable from checkpoints)"
                 )
             }
+            FlowEvent::Unrecognized(value) => {
+                write!(
+                    f,
+                    "[unknown] unrecognised event (newer flow version?): {value:?}"
+                )
+            }
         }
     }
 }
@@ -304,8 +316,14 @@ impl FlowEvents {
         Self::default()
     }
 
-    /// Appends an event.
+    /// Appends an event. When telemetry is active, the event is also
+    /// mirrored into the trace as an annotation on the current span,
+    /// carrying its index in this log so `events.json` entries and
+    /// `trace.jsonl` spans correlate.
     pub fn push(&mut self, event: FlowEvent) {
+        if telemetry::enabled() {
+            telemetry::event_indexed(self.events.len(), &event.to_string());
+        }
         self.events.push(event);
     }
 
@@ -442,6 +460,43 @@ mod tests {
         });
         let text = serde_json::to_string(&log).unwrap();
         let back: FlowEvents = serde_json::from_str(&text).unwrap();
+        assert_eq!(log, back);
+    }
+
+    #[test]
+    fn unknown_event_variants_survive_a_round_trip() {
+        // A hand-crafted `events.json` fragment from a hypothetical
+        // future flow version: one variant this build has never heard
+        // of, mixed in with known ones. Loading must not error, the
+        // foreign payload must be preserved verbatim, and re-persisting
+        // must write it back out unchanged.
+        let text = r#"{"events": [
+            {"StageStarted": {"stage": "CircuitOpt"}},
+            {"WarpDriveEngaged": {"stage": "CircuitOpt", "dilithium": 7, "notes": ["a", "b"]}},
+            "QuantumFlush",
+            {"StageFinished": {"stage": "CircuitOpt"}}
+        ]}"#;
+        let log: FlowEvents = serde_json::from_str(text).expect("future variants must not error");
+        assert_eq!(log.len(), 4);
+        assert_eq!(
+            log.iter().next(),
+            Some(&FlowEvent::StageStarted {
+                stage: FlowStage::CircuitOpt
+            })
+        );
+        let unknown: Vec<&FlowEvent> = log
+            .iter()
+            .filter(|e| matches!(e, FlowEvent::Unrecognized(_)))
+            .collect();
+        assert_eq!(unknown.len(), 2, "both foreign shapes are caught");
+        // Display never panics on foreign payloads.
+        assert!(log.to_string().contains("unrecognised event"));
+        // Round trip: the foreign payloads re-serialise verbatim.
+        let reserialized = serde_json::to_string(&log).unwrap();
+        assert!(reserialized.contains("WarpDriveEngaged"));
+        assert!(reserialized.contains("dilithium"));
+        assert!(reserialized.contains("QuantumFlush"));
+        let back: FlowEvents = serde_json::from_str(&reserialized).unwrap();
         assert_eq!(log, back);
     }
 

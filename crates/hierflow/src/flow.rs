@@ -85,6 +85,46 @@ impl CacheConfig {
     }
 }
 
+/// Telemetry settings (the [`telemetry`] crate wired through the five
+/// stages: hierarchical span tracing, a metrics registry and a per-run
+/// profile report).
+///
+/// Disabled by default: telemetry is pure observation — results, cache
+/// keys and the checkpoint config digest are bit-identical either way,
+/// which [`FlowConfig::digest`] relies on when it canonicalises these
+/// settings out of the manifest. The `HIERSIZER_TELEMETRY` environment
+/// variable (`1`/`0`) overrides [`TelemetryConfig::enabled`] at run
+/// time. When the run executes with checkpoints, the trace lands in
+/// `trace.jsonl` and the profile in `metrics.json` next to
+/// `events.json` in the run directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch (default `false`).
+    pub enabled: bool,
+    /// How many of the slowest characterisation points the profile
+    /// report keeps.
+    pub top_points: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            enabled: false,
+            top_points: 10,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// An enabled telemetry configuration with default report settings.
+    pub fn enabled() -> Self {
+        TelemetryConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+}
+
 /// Complete configuration of the hierarchical flow.
 #[derive(Debug, Clone)]
 pub struct FlowConfig {
@@ -118,6 +158,9 @@ pub struct FlowConfig {
     /// Evaluation memo-cache settings. Disabled by default; purely a
     /// speed knob — results are bit-identical either way.
     pub cache: CacheConfig,
+    /// Telemetry settings. Disabled by default; pure observation —
+    /// results are bit-identical either way.
+    pub telemetry: TelemetryConfig,
 }
 
 impl FlowConfig {
@@ -167,6 +210,7 @@ impl FlowConfig {
             },
             budget: RunBudget::unlimited(),
             cache: CacheConfig::default(),
+            telemetry: TelemetryConfig::default(),
         }
     }
 
@@ -197,6 +241,7 @@ impl FlowConfig {
         let mut canon = self.clone();
         canon.budget = RunBudget::unlimited();
         canon.cache = CacheConfig::default();
+        canon.telemetry = TelemetryConfig::default();
         config_digest(&format!("{canon:?}"))
     }
 }
@@ -227,6 +272,14 @@ pub struct FlowReport {
     /// Structured log of what this run did: stages computed or resumed,
     /// points skipped, retries attempted.
     pub events: FlowEvents,
+    /// Wall-clock time per stage, in execution order. Always populated
+    /// (cheap monotonic-clock reads, no telemetry required); resumed
+    /// stages report their checkpoint-load time.
+    pub stage_wall: Vec<telemetry::report::StageProfile>,
+    /// Per-run telemetry profile (stage breakdown, slowest points,
+    /// solver-vs-overhead split, metrics). `None` unless the run
+    /// executed with telemetry enabled.
+    pub profile: Option<telemetry::report::RunProfile>,
 }
 
 /// The flow orchestrator.
@@ -308,7 +361,36 @@ impl HierarchicalFlow {
         self.run_with_checkpoints(dir)
     }
 
+    /// Runs the five stages under an optional telemetry recorder. The
+    /// recorder is installed for the duration of the stage pipeline (a
+    /// `run` span wraps it), then — success or failure alike — the
+    /// trace and profile are flushed to the run directory before the
+    /// result surfaces. Telemetry observes, it never alters: the
+    /// returned artifacts are bit-identical with and without it.
     fn execute(&self, dir: Option<&RunDir>) -> Result<FlowReport, FlowError> {
+        let telemetry_on = telemetry::enabled_from_env(self.config.telemetry.enabled);
+        let recorder = telemetry_on.then(telemetry::Recorder::new);
+        let mut result = {
+            let _install = recorder.as_ref().map(|r| r.install());
+            let _run_span = telemetry::span("run");
+            self.execute_stages(dir)
+        };
+        if let Some(rec) = &recorder {
+            let profile = telemetry::report::build(rec, self.config.telemetry.top_points);
+            if let Some(d) = dir {
+                // Flushes are best-effort: a full disk must not turn a
+                // finished run into an error.
+                let _ = rec.write_trace(d.path().join(checkpoint::TRACE_FILE));
+                let _ = d.save(checkpoint::METRICS_FILE, &profile);
+            }
+            if let Ok(report) = &mut result {
+                report.profile = Some(profile);
+            }
+        }
+        result
+    }
+
+    fn execute_stages(&self, dir: Option<&RunDir>) -> Result<FlowReport, FlowError> {
         let cfg = &self.config;
         let mut events = match dir {
             Some(d) => d
@@ -450,225 +532,258 @@ impl HierarchicalFlow {
             }};
         }
 
+        // Wraps one stage in a telemetry span and an always-on wall
+        // clock. The clock is plain `Instant` arithmetic — it reads no
+        // RNG and feeds nothing back into the stages, so results stay
+        // bit-identical whether or not anyone looks at the timings.
+        let mut stage_wall: Vec<telemetry::report::StageProfile> = Vec::new();
+        macro_rules! timed_stage {
+            ($stage:expr, $body:expr) => {{
+                let _stage_span = telemetry::span("stage").attr("stage", $stage.name());
+                let stage_start = std::time::Instant::now();
+                let value = $body;
+                stage_wall.push(telemetry::report::StageProfile {
+                    stage: $stage.name().to_string(),
+                    wall_us: stage_start.elapsed().as_micros() as u64,
+                });
+                value
+            }};
+        }
+
         // Stage 1: circuit-level multi-objective sizing, with the
         // system band propagated down as coverage constraints (Fig 3).
         let mut circuit_evaluations_this_run = 0;
-        let stage1 = match load_artifact::<Stage1Artifact>(
-            dir,
-            checkpoint::STAGE1_FRONT,
+        let stage1 = timed_stage!(
             FlowStage::CircuitOpt,
-            &mut events,
-        )? {
-            Some(artifact) => artifact,
-            None => {
-                check_interrupt!(FlowStage::CircuitOpt);
-                events.push(FlowEvent::StageStarted {
-                    stage: FlowStage::CircuitOpt,
-                });
-                let problem = VcoSizingProblem::with_band(
-                    cfg.testbench.clone(),
-                    cfg.spec.f_out_min,
-                    cfg.spec.f_out_max,
-                );
-                let result = bail_abort!(
-                    run_nsga2_cached(
-                        &problem,
-                        &cfg.circuit_ga,
-                        &[],
-                        &stage_policy(),
-                        circuit_cache.as_ref(),
-                    ),
-                    FlowStage::CircuitOpt
-                );
-                record_pool!(FlowStage::CircuitOpt, &result.pool);
-                record_cache!(FlowStage::CircuitOpt, &circuit_cache);
-                circuit_evaluations_this_run = result.evaluations;
-                let mut front = result.pareto_front();
-                if front.is_empty() {
-                    let _ = persist_events(dir, &events);
-                    return Err(FlowError::stage(
-                        FlowStage::CircuitOpt.name(),
-                        "circuit-level optimisation produced no feasible designs",
+            match load_artifact::<Stage1Artifact>(
+                dir,
+                checkpoint::STAGE1_FRONT,
+                FlowStage::CircuitOpt,
+                &mut events,
+            )? {
+                Some(artifact) => artifact,
+                None => {
+                    check_interrupt!(FlowStage::CircuitOpt);
+                    events.push(FlowEvent::StageStarted {
+                        stage: FlowStage::CircuitOpt,
+                    });
+                    let problem = VcoSizingProblem::with_band(
+                        cfg.testbench.clone(),
+                        cfg.spec.f_out_min,
+                        cfg.spec.f_out_max,
+                    );
+                    let result = bail_abort!(
+                        run_nsga2_cached(
+                            &problem,
+                            &cfg.circuit_ga,
+                            &[],
+                            &stage_policy(),
+                            circuit_cache.as_ref(),
+                        ),
+                        FlowStage::CircuitOpt
+                    );
+                    record_pool!(FlowStage::CircuitOpt, &result.pool);
+                    record_cache!(FlowStage::CircuitOpt, &circuit_cache);
+                    circuit_evaluations_this_run = result.evaluations;
+                    let mut front = result.pareto_front();
+                    if front.is_empty() {
+                        let _ = persist_events(dir, &events);
+                        return Err(FlowError::stage(
+                            FlowStage::CircuitOpt.name(),
+                            "circuit-level optimisation produced no feasible designs",
+                        ));
+                    }
+                    thin_front(&mut front, cfg.max_char_points);
+                    events.push(FlowEvent::StageFinished {
+                        stage: FlowStage::CircuitOpt,
+                    });
+                    let artifact = Stage1Artifact {
+                        front,
+                        evaluations: result.evaluations,
+                    };
+                    bail_on_err!(save_artifact(
+                        dir,
+                        checkpoint::STAGE1_FRONT,
+                        FlowStage::CircuitOpt,
+                        &artifact,
+                        &mut events,
                     ));
+                    artifact
                 }
-                thin_front(&mut front, cfg.max_char_points);
-                events.push(FlowEvent::StageFinished {
-                    stage: FlowStage::CircuitOpt,
-                });
-                let artifact = Stage1Artifact {
-                    front,
-                    evaluations: result.evaluations,
-                };
-                bail_on_err!(save_artifact(
-                    dir,
-                    checkpoint::STAGE1_FRONT,
-                    FlowStage::CircuitOpt,
-                    &artifact,
-                    &mut events,
-                ));
-                artifact
             }
-        };
+        );
         bail_on_err!(persist_events(dir, &events));
 
         // Stage 2: Monte-Carlo characterisation of the front, under the
         // configured degradation policy.
         let engine = MonteCarlo::new(cfg.process);
-        let characterized = match load_artifact::<CharacterizedFront>(
-            dir,
-            checkpoint::STAGE2_CHARACTERIZED,
+        let characterized = timed_stage!(
             FlowStage::Characterize,
-            &mut events,
-        )? {
-            Some(artifact) => artifact,
-            None => {
-                check_interrupt!(FlowStage::Characterize);
-                events.push(FlowEvent::StageStarted {
-                    stage: FlowStage::Characterize,
-                });
-                let characterized = bail_on_err!(characterize_front_cached(
-                    &stage1.front,
-                    &cfg.testbench,
-                    &engine,
-                    &cfg.char_mc,
-                    cfg.degrade,
-                    self.faults.as_ref(),
-                    &stage_policy(),
-                    char_cache.as_ref(),
-                    &mut events,
-                ));
-                record_cache!(FlowStage::Characterize, &char_cache);
-                events.push(FlowEvent::StageFinished {
-                    stage: FlowStage::Characterize,
-                });
-                bail_on_err!(save_artifact(
-                    dir,
-                    checkpoint::STAGE2_CHARACTERIZED,
-                    FlowStage::Characterize,
-                    &characterized,
-                    &mut events,
-                ));
-                characterized
+            match load_artifact::<CharacterizedFront>(
+                dir,
+                checkpoint::STAGE2_CHARACTERIZED,
+                FlowStage::Characterize,
+                &mut events,
+            )? {
+                Some(artifact) => artifact,
+                None => {
+                    check_interrupt!(FlowStage::Characterize);
+                    events.push(FlowEvent::StageStarted {
+                        stage: FlowStage::Characterize,
+                    });
+                    let characterized = bail_on_err!(characterize_front_cached(
+                        &stage1.front,
+                        &cfg.testbench,
+                        &engine,
+                        &cfg.char_mc,
+                        cfg.degrade,
+                        self.faults.as_ref(),
+                        &stage_policy(),
+                        char_cache.as_ref(),
+                        &mut events,
+                    ));
+                    record_cache!(FlowStage::Characterize, &char_cache);
+                    events.push(FlowEvent::StageFinished {
+                        stage: FlowStage::Characterize,
+                    });
+                    bail_on_err!(save_artifact(
+                        dir,
+                        checkpoint::STAGE2_CHARACTERIZED,
+                        FlowStage::Characterize,
+                        &characterized,
+                        &mut events,
+                    ));
+                    characterized
+                }
             }
-        };
+        );
         bail_on_err!(persist_events(dir, &events));
 
         // Stage 3: the combined performance + variation model. Rebuilt
         // every run — cheap, and its spline internals do not serialise.
-        events.push(FlowEvent::StageStarted {
-            stage: FlowStage::Model,
-        });
-        let model = Arc::new(bail_on_err!(PerfVariationModel::from_front(&characterized)));
-        events.push(FlowEvent::StageFinished {
-            stage: FlowStage::Model,
+        let model = timed_stage!(FlowStage::Model, {
+            events.push(FlowEvent::StageStarted {
+                stage: FlowStage::Model,
+            });
+            let model = Arc::new(bail_on_err!(PerfVariationModel::from_front(&characterized)));
+            events.push(FlowEvent::StageFinished {
+                stage: FlowStage::Model,
+            });
+            model
         });
 
         // Stage 4: system-level optimisation with the model in the loop.
         let system_problem =
             PllSystemProblem::new(Arc::clone(&model), cfg.arch, cfg.spec, cfg.lock_sim);
-        let stage4 = match load_artifact::<Stage4Artifact>(
-            dir,
-            checkpoint::STAGE4_SYSTEM,
+        let stage4 = timed_stage!(
             FlowStage::SystemOpt,
-            &mut events,
-        )? {
-            Some(artifact) => artifact,
-            None => {
-                check_interrupt!(FlowStage::SystemOpt);
-                events.push(FlowEvent::StageStarted {
-                    stage: FlowStage::SystemOpt,
-                });
-                // Model-based evaluations are cheap; the memo cache is
-                // reserved for the transistor-level stages.
-                let system_result = bail_abort!(
-                    run_nsga2_cached(
-                        &system_problem,
-                        &cfg.system_ga,
-                        &system_problem.warm_start_seeds(),
-                        &stage_policy(),
-                        None,
-                    ),
-                    FlowStage::SystemOpt
-                );
-                record_pool!(FlowStage::SystemOpt, &system_result.pool);
-                let system_front = system_result.pareto_front();
-                let rows: Vec<SystemSolution> = system_front
-                    .iter()
-                    .filter_map(|ind| system_problem.detail(&ind.x).ok())
-                    .collect();
-                events.push(FlowEvent::StageFinished {
-                    stage: FlowStage::SystemOpt,
-                });
-                let artifact = Stage4Artifact {
-                    front: system_front,
-                    rows,
-                    evaluations: system_result.evaluations,
-                };
-                bail_on_err!(save_artifact(
-                    dir,
-                    checkpoint::STAGE4_SYSTEM,
-                    FlowStage::SystemOpt,
-                    &artifact,
-                    &mut events,
-                ));
-                artifact
+            match load_artifact::<Stage4Artifact>(
+                dir,
+                checkpoint::STAGE4_SYSTEM,
+                FlowStage::SystemOpt,
+                &mut events,
+            )? {
+                Some(artifact) => artifact,
+                None => {
+                    check_interrupt!(FlowStage::SystemOpt);
+                    events.push(FlowEvent::StageStarted {
+                        stage: FlowStage::SystemOpt,
+                    });
+                    // Model-based evaluations are cheap; the memo cache is
+                    // reserved for the transistor-level stages.
+                    let system_result = bail_abort!(
+                        run_nsga2_cached(
+                            &system_problem,
+                            &cfg.system_ga,
+                            &system_problem.warm_start_seeds(),
+                            &stage_policy(),
+                            None,
+                        ),
+                        FlowStage::SystemOpt
+                    );
+                    record_pool!(FlowStage::SystemOpt, &system_result.pool);
+                    let system_front = system_result.pareto_front();
+                    let rows: Vec<SystemSolution> = system_front
+                        .iter()
+                        .filter_map(|ind| system_problem.detail(&ind.x).ok())
+                        .collect();
+                    events.push(FlowEvent::StageFinished {
+                        stage: FlowStage::SystemOpt,
+                    });
+                    let artifact = Stage4Artifact {
+                        front: system_front,
+                        rows,
+                        evaluations: system_result.evaluations,
+                    };
+                    bail_on_err!(save_artifact(
+                        dir,
+                        checkpoint::STAGE4_SYSTEM,
+                        FlowStage::SystemOpt,
+                        &artifact,
+                        &mut events,
+                    ));
+                    artifact
+                }
             }
-        };
+        );
         bail_on_err!(persist_events(dir, &events));
 
         // Stage 5: spec propagation with verification-in-the-loop
         // (Fig 3's two-way arrows), then bottom-up Monte Carlo.
-        let stage5 = match load_artifact::<Stage5Artifact>(
-            dir,
-            checkpoint::STAGE5_SELECTED,
+        let stage5 = timed_stage!(
             FlowStage::Verify,
-            &mut events,
-        )? {
-            Some(artifact) => artifact,
-            None => {
-                check_interrupt!(FlowStage::Verify);
-                events.push(FlowEvent::StageStarted {
-                    stage: FlowStage::Verify,
-                });
-                let picked = bail_on_err!(select_verified_design(
-                    &system_problem,
-                    &stage4.front,
-                    &model,
-                    &cfg.testbench,
-                    &cfg.arch,
-                    &cfg.spec,
-                    &cfg.lock_sim,
-                    12,
-                ));
-                let verification = bail_on_err!(verify_design(
-                    &picked.sizing,
-                    (picked.solution.c1, picked.solution.c2, picked.solution.r1),
-                    &cfg.testbench,
-                    &cfg.arch,
-                    &cfg.spec,
-                    &engine,
-                    &cfg.verify_mc,
-                    &cfg.lock_sim,
-                ));
-                events.push(FlowEvent::StageFinished {
-                    stage: FlowStage::Verify,
-                });
-                let artifact = Stage5Artifact {
-                    x: picked.x,
-                    solution: picked.solution,
-                    sizing: picked.sizing,
-                    verification,
-                };
-                bail_on_err!(save_artifact(
-                    dir,
-                    checkpoint::STAGE5_SELECTED,
-                    FlowStage::Verify,
-                    &artifact,
-                    &mut events,
-                ));
-                artifact
+            match load_artifact::<Stage5Artifact>(
+                dir,
+                checkpoint::STAGE5_SELECTED,
+                FlowStage::Verify,
+                &mut events,
+            )? {
+                Some(artifact) => artifact,
+                None => {
+                    check_interrupt!(FlowStage::Verify);
+                    events.push(FlowEvent::StageStarted {
+                        stage: FlowStage::Verify,
+                    });
+                    let picked = bail_on_err!(select_verified_design(
+                        &system_problem,
+                        &stage4.front,
+                        &model,
+                        &cfg.testbench,
+                        &cfg.arch,
+                        &cfg.spec,
+                        &cfg.lock_sim,
+                        12,
+                    ));
+                    let verification = bail_on_err!(verify_design(
+                        &picked.sizing,
+                        (picked.solution.c1, picked.solution.c2, picked.solution.r1),
+                        &cfg.testbench,
+                        &cfg.arch,
+                        &cfg.spec,
+                        &engine,
+                        &cfg.verify_mc,
+                        &cfg.lock_sim,
+                    ));
+                    events.push(FlowEvent::StageFinished {
+                        stage: FlowStage::Verify,
+                    });
+                    let artifact = Stage5Artifact {
+                        x: picked.x,
+                        solution: picked.solution,
+                        sizing: picked.sizing,
+                        verification,
+                    };
+                    bail_on_err!(save_artifact(
+                        dir,
+                        checkpoint::STAGE5_SELECTED,
+                        FlowStage::Verify,
+                        &artifact,
+                        &mut events,
+                    ));
+                    artifact
+                }
             }
-        };
+        );
         bail_on_err!(persist_events(dir, &events));
 
         Ok(FlowReport {
@@ -682,6 +797,8 @@ impl HierarchicalFlow {
             circuit_evaluations_this_run,
             system_evaluations: stage4.evaluations,
             events,
+            stage_wall,
+            profile: None,
         })
     }
 }
@@ -884,6 +1001,18 @@ mod tests {
         b.cache = CacheConfig::enabled();
         b.cache.capacity = 17;
         b.cache.quantum = 1e-9;
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn config_digest_ignores_telemetry_settings() {
+        // Telemetry observes, it never alters: artifacts are
+        // bit-identical either way, so a traced resume of an untraced
+        // run (and vice versa) must be accepted.
+        let a = FlowConfig::quick();
+        let mut b = FlowConfig::quick();
+        b.telemetry = TelemetryConfig::enabled();
+        b.telemetry.top_points = 3;
         assert_eq!(a.digest(), b.digest());
     }
 

@@ -46,7 +46,7 @@ pub use error::FlowError;
 pub use events::{DeadlineScope, FlowEvent, FlowEvents, FlowStage};
 pub use exec::{CancelToken, RetryPolicy, RunBudget};
 pub use faults::{FaultInjector, FaultKind};
-pub use flow::{CacheConfig, FlowConfig, FlowReport, HierarchicalFlow};
+pub use flow::{CacheConfig, FlowConfig, FlowReport, HierarchicalFlow, TelemetryConfig};
 pub use model::PerfVariationModel;
 pub use policy::DegradePolicy;
 pub use vco_eval::{VcoPerf, VcoTestbench};

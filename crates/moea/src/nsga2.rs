@@ -277,6 +277,7 @@ pub fn run_nsga2_cached<P: Problem>(
     let mut history = vec![generation_stats(0, &population)];
 
     for gen in 0..cfg.generations {
+        let gen_start = telemetry::enabled().then(std::time::Instant::now);
         if policy.cancel.is_cancelled() {
             return Err(AbortReason::Cancelled);
         }
@@ -321,6 +322,9 @@ pub fn run_nsga2_cached<P: Problem>(
         combined.extend(offspring);
         population = environmental_selection(combined, cfg.population);
         history.push(generation_stats(gen + 1, &population));
+        if let Some(start) = gen_start {
+            telemetry::observe_secs("moea.generation_seconds", start.elapsed());
+        }
     }
 
     Ok(Nsga2Result {
@@ -478,6 +482,7 @@ fn evaluate_all<P: Problem>(
 ) -> Result<Vec<Individual>, AbortReason> {
     let Some(cache) = cache else {
         *evaluations += candidates.len();
+        telemetry::counter_add("moea.evaluations", candidates.len() as u64);
         let batch = exec::run_batch(candidates.len(), policy, |ctx| {
             let x = &candidates[ctx.index];
             Ok(Individual::new(x.clone(), checked_eval(problem, x)))
@@ -543,6 +548,7 @@ fn evaluate_all_cached<P: Problem>(
     }
 
     *evaluations += misses.len();
+    telemetry::counter_add("moea.evaluations", misses.len() as u64);
     let batch = exec::run_batch(misses.len(), policy, |ctx| {
         let x = &candidates[unique[misses[ctx.index]]];
         Ok(checked_eval(problem, x))

@@ -74,6 +74,16 @@ impl SolveWorkspace {
     }
 }
 
+/// Histogram name for an analysis's Newton iteration counts, without
+/// allocating on the per-timestep path.
+fn newton_metric(analysis: &'static str) -> &'static str {
+    match analysis {
+        "dc" => "sim.newton_iterations.dc",
+        "transient" => "sim.newton_iterations.transient",
+        _ => "sim.newton_iterations.other",
+    }
+}
+
 /// Damped Newton–Raphson on the assembled MNA system.
 ///
 /// Returns the converged solution vector, or `Err` carrying the iteration
@@ -92,7 +102,7 @@ pub(crate) fn newton_solve(
     let mut x = x0.to_vec();
     let (g, b) = (&mut ws.g, &mut ws.b);
 
-    for _iter in 0..opts.max_newton_iterations {
+    for iter in 0..opts.max_newton_iterations {
         sys.assemble(&x, ctx, g, b);
         let x_new = g.solve(b).map_err(|e| SimError::from_solve(e, analysis))?;
 
@@ -115,8 +125,15 @@ pub(crate) fn newton_solve(
             }
         }
         if converged {
+            if telemetry::enabled() {
+                telemetry::observe(newton_metric(analysis), (iter + 1) as f64);
+            }
             return Ok(x);
         }
+    }
+    if telemetry::enabled() {
+        telemetry::observe(newton_metric(analysis), opts.max_newton_iterations as f64);
+        telemetry::counter_add("sim.newton_nonconvergence", 1);
     }
     Err(SimError::NoConvergence {
         analysis,
@@ -142,6 +159,7 @@ pub(crate) fn newton_solve(
 ///
 /// See the [crate-level example](crate).
 pub fn dc_operating_point(circuit: &Circuit, opts: &SimOptions) -> Result<OpPoint, SimError> {
+    let _solve_span = telemetry::span("solve").attr("analysis", "dc");
     opts.validate()?;
     let sys = MnaSystem::new(circuit)?;
     let mut ws = SolveWorkspace::for_system(&sys);

@@ -182,6 +182,7 @@ pub fn run_transient(
     spec: &TransientSpec,
     opts: &SimOptions,
 ) -> Result<TranResult, SimError> {
+    let _solve_span = telemetry::span("solve").attr("analysis", "transient");
     opts.validate()?;
     spec.validate()?;
     let sys = MnaSystem::new(circuit)?;
@@ -416,9 +417,17 @@ fn step(
         crate::dc::newton_solve(sys, x_prev, &ctx, opts, "transient", ws)
     };
     match newton {
-        Ok(x) => Ok(x),
+        Ok(x) => {
+            if telemetry::enabled() {
+                telemetry::observe("sim.substep_depth", depth as f64);
+            }
+            Ok(x)
+        }
         Err(e) => {
             if depth >= opts.max_substep_depth {
+                if telemetry::enabled() {
+                    telemetry::counter_add("sim.step_limit", 1);
+                }
                 // Sub-stepping is exhausted: report the bounded-depth
                 // failure (singular systems keep their own error — no
                 // amount of halving fixes a floating node).

@@ -1,0 +1,483 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket
+//! log-scale histograms, all updated lock-free after a first-touch
+//! registration (a short read-locked map lookup).
+//!
+//! Histograms cover the dynamic range the flow actually produces —
+//! sub-nanosecond latencies up to hours, Newton iteration counts,
+//! substep depths — with one bucket per power of two. Observations are
+//! classified exactly from the f64 exponent bits, so bucket boundaries
+//! are deterministic: `2^k` always lands in the bucket whose lower
+//! bound is `2^k`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of histogram buckets (one per power of two).
+pub const BUCKETS: usize = 64;
+
+/// Exponent of the lowest bucket's lower bound: bucket 0 starts at
+/// `2^MIN_EXP` (≈ 2.3e-10 — below one nanosecond in seconds).
+const MIN_EXP: i32 = -32;
+
+/// Bucket index for a positive finite observation: `floor(log2(v))`
+/// shifted and clamped into `0..BUCKETS`. Returns `None` for zero,
+/// negative, or non-finite values — those are tallied separately, not
+/// binned.
+#[must_use]
+pub fn bucket_index(v: f64) -> Option<usize> {
+    if !v.is_finite() || v <= 0.0 {
+        return None;
+    }
+    // Exponent straight from the bits: exact at bucket boundaries,
+    // unlike a floating log2. Subnormals read as -1023 and clamp into
+    // bucket 0.
+    let exp = ((v.to_bits() >> 52) & 0x7ff) as i32 - 1023;
+    Some((exp - MIN_EXP).clamp(0, BUCKETS as i32 - 1) as usize)
+}
+
+/// `[lower, upper)` bounds of bucket `i`. The first bucket also
+/// absorbs smaller positive values and the last absorbs larger ones.
+///
+/// # Panics
+///
+/// Panics when `i >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(i: usize) -> (f64, f64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    let lo = MIN_EXP + i as i32;
+    (2f64.powi(lo), 2f64.powi(lo + 1))
+}
+
+/// A fixed-bucket log-scale histogram, updated lock-free.
+///
+/// Observation classes: positive finite values are binned and counted;
+/// zero and negative finite values count (into `count`, `sum`,
+/// `min`/`max`) but land in `underflow` instead of a bucket; NaN and
+/// infinities are tallied as `invalid` and otherwise ignored.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    underflow: AtomicU64,
+    invalid: AtomicU64,
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+fn update_extreme(cell: &AtomicU64, v: f64, keep_current: impl Fn(f64, f64) -> bool) {
+    let mut current = cell.load(Ordering::Relaxed);
+    loop {
+        let cur = f64::from_bits(current);
+        if !cur.is_nan() && keep_current(cur, v) {
+            return;
+        }
+        match cell.compare_exchange_weak(current, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            underflow: AtomicU64::new(0),
+            invalid: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::NAN.to_bits()),
+            max_bits: AtomicU64::new(f64::NAN.to_bits()),
+        }
+    }
+
+    /// Records one observation (see the type docs for how zero,
+    /// negative, and non-finite values are classified).
+    pub fn observe(&self, v: f64) {
+        if !v.is_finite() {
+            self.invalid.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        match bucket_index(v) {
+            Some(i) => {
+                self.buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                self.underflow.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // f64 add via CAS; fine for statistics, not for money.
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        update_extreme(&self.min_bits, v, |cur, v| cur <= v);
+        update_extreme(&self.max_bits, v, |cur, v| cur >= v);
+    }
+
+    /// Folds `other`'s observations into `self`.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.underflow
+            .fetch_add(other.underflow.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.invalid
+            .fetch_add(other.invalid.load(Ordering::Relaxed), Ordering::Relaxed);
+        let their_sum = f64::from_bits(other.sum_bits.load(Ordering::Relaxed));
+        let mut current = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + their_sum).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => current = seen,
+            }
+        }
+        let their_min = f64::from_bits(other.min_bits.load(Ordering::Relaxed));
+        if !their_min.is_nan() {
+            update_extreme(&self.min_bits, their_min, |cur, v| cur <= v);
+        }
+        let their_max = f64::from_bits(other.max_bits.load(Ordering::Relaxed));
+        if !their_max.is_nan() {
+            update_extreme(&self.max_bits, their_max, |cur, v| cur >= v);
+        }
+    }
+
+    /// A point-in-time copy of the histogram.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count,
+            underflow: self.underflow.load(Ordering::Relaxed),
+            invalid: self.invalid.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+            min: (!min.is_nan()).then_some(min),
+            max: (!max.is_nan()).then_some(max),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| {
+                        let (lo, hi) = bucket_bounds(i);
+                        BucketCount {
+                            index: i,
+                            lo,
+                            hi,
+                            count: n,
+                        }
+                    })
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One non-empty bucket in a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Bucket index (`0..BUCKETS`).
+    pub index: usize,
+    /// Lower bound (inclusive for in-range values).
+    pub lo: f64,
+    /// Upper bound (exclusive for in-range values).
+    pub hi: f64,
+    /// Observations binned here.
+    pub count: u64,
+}
+
+/// Serializable copy of a [`Histogram`]. Empty buckets are omitted.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Finite observations (binned + underflow).
+    pub count: u64,
+    /// Zero or negative finite observations (counted, not binned).
+    pub underflow: u64,
+    /// NaN / infinite observations (rejected).
+    pub invalid: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation, when any.
+    pub min: Option<f64>,
+    /// Largest finite observation, when any.
+    pub max: Option<f64>,
+    /// Non-empty buckets, ascending.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of finite observations (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Total observations binned into buckets.
+    #[must_use]
+    pub fn binned(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+}
+
+/// Named metric registry. First use of a name registers it; later
+/// updates are a read-locked lookup plus atomic ops.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn intern<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    init: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(found) = map.read().unwrap().get(name) {
+        return found.clone();
+    }
+    let mut writer = map.write().unwrap();
+    writer
+        .entry(name.to_string())
+        .or_insert_with(|| Arc::new(init()))
+        .clone()
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        intern(&self.counters, name, || AtomicU64::new(0)).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        intern(&self.gauges, name, || AtomicU64::new(0)).store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.histogram(name).observe(value);
+    }
+
+    /// The named histogram, registered on first use.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        intern(&self.histograms, name, Histogram::new)
+    }
+
+    /// Snapshot of every metric, names ascending.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable copy of a [`Registry`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` counters, names ascending.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauges, names ascending.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` histograms, names ascending.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // 2^k sits in the bucket whose lower bound is 2^k.
+        for k in [-32i32, -5, 0, 1, 10, 31] {
+            let v = 2f64.powi(k);
+            let i = bucket_index(v).unwrap();
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, v, "2^{k}");
+            assert!(v < hi);
+        }
+        // Just under a power of two falls one bucket lower.
+        let under = 2f64.powi(3) * (1.0 - f64::EPSILON);
+        assert_eq!(bucket_index(under), Some(bucket_index(8.0).unwrap() - 1));
+        // Out-of-range magnitudes clamp, never drop.
+        assert_eq!(bucket_index(1e-300), Some(0));
+        assert_eq!(bucket_index(1e300), Some(BUCKETS - 1));
+        assert_eq!(bucket_index(f64::MIN_POSITIVE / 4.0), Some(0));
+        // Non-binnable classes.
+        assert_eq!(bucket_index(0.0), None);
+        assert_eq!(bucket_index(-1.0), None);
+        assert_eq!(bucket_index(f64::NAN), None);
+        assert_eq!(bucket_index(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn histogram_classifies_observations() {
+        let h = Histogram::new();
+        h.observe(4.0);
+        h.observe(0.0);
+        h.observe(-2.0);
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.underflow, 2);
+        assert_eq!(s.invalid, 2);
+        assert_eq!(s.binned(), 1);
+        assert_eq!(s.sum, 2.0);
+        assert_eq!(s.min, Some(-2.0));
+        assert_eq!(s.max, Some(4.0));
+        assert_eq!(s.mean(), Some(2.0 / 3.0));
+    }
+
+    #[test]
+    fn merge_adds_everything() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(1.0);
+        a.observe(0.0);
+        b.observe(8.0);
+        b.observe(f64::NAN);
+        a.merge_from(&b);
+        let s = a.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.underflow, 1);
+        assert_eq!(s.invalid, 1);
+        assert_eq!(s.sum, 9.0);
+        assert_eq!(s.min, Some(0.0));
+        assert_eq!(s.max, Some(8.0));
+    }
+
+    #[test]
+    fn registry_interns_and_snapshots() {
+        let r = Registry::new();
+        r.counter_add("a", 2);
+        r.counter_add("a", 3);
+        r.gauge_set("g", 1.5);
+        r.gauge_set("g", 2.5);
+        r.observe("h", 4.0);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), Some(5));
+        assert_eq!(s.gauges, vec![("g".into(), 2.5)]);
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+        assert_eq!(s.counter("missing"), None);
+    }
+
+    #[test]
+    fn concurrent_observations_are_complete() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        r.counter_add("n", 1);
+                        r.observe("lat", (t * 500 + i) as f64 + 0.5);
+                    }
+                });
+            }
+        });
+        let s = r.snapshot();
+        assert_eq!(s.counter("n"), Some(2000));
+        let h = s.histogram("lat").unwrap();
+        assert_eq!(h.count, 2000);
+        assert_eq!(h.binned() + h.underflow, 2000);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let h = Histogram::new();
+        h.observe(3.0);
+        h.observe(-1.0);
+        let r = Registry::new();
+        r.counter_add("c", 1);
+        r.gauge_set("g", 0.25);
+        r.observe("h", 3.0);
+        let snap = r.snapshot();
+        let text = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,318 @@
+//! Per-run profiling: aggregates a [`Recorder`]'s spans and metrics
+//! into a machine-readable [`RunProfile`] (persisted as
+//! `metrics.json`) and a human-readable table ([`render`]).
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+use crate::span::{Recorder, SpanRecord, TraceRecord};
+
+/// Wall-clock share of one flow stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageProfile {
+    /// Stage name (the `stage` attribute of its span).
+    pub stage: String,
+    /// Stage wall clock in microseconds.
+    pub wall_us: u64,
+}
+
+/// One of the slowest characterised/evaluated points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointProfile {
+    /// Stage the point belongs to.
+    pub stage: String,
+    /// Point index within its stage.
+    pub point: String,
+    /// Retry-ladder attempt the span covers.
+    pub attempt: String,
+    /// Point wall clock in microseconds.
+    pub wall_us: u64,
+}
+
+/// Where evaluation time went: inside the simulator versus around it.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SolverSplit {
+    /// Summed duration of `solve` spans (busy time across threads).
+    pub solver_us: u64,
+    /// Summed duration of `sample` spans.
+    pub sample_us: u64,
+    /// Number of `solve` spans.
+    pub solves: u64,
+    /// Number of `sample` spans.
+    pub samples: u64,
+}
+
+impl SolverSplit {
+    /// Fraction of sample time spent inside the solver (`None` when no
+    /// samples ran).
+    #[must_use]
+    pub fn solver_fraction(&self) -> Option<f64> {
+        (self.sample_us > 0).then(|| self.solver_us as f64 / self.sample_us as f64)
+    }
+}
+
+/// Aggregated profile of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunProfile {
+    /// Profile schema version.
+    pub version: u32,
+    /// Run wall clock in microseconds (the `run` span, or the latest
+    /// span end when no run span closed).
+    pub wall_us: u64,
+    /// Per-stage wall clock, run order.
+    pub stages: Vec<StageProfile>,
+    /// Slowest point spans, descending.
+    pub slowest_points: Vec<PointProfile>,
+    /// Solver-time vs. overhead split.
+    pub solver: SolverSplit,
+    /// Total spans recorded.
+    pub span_count: u64,
+    /// Total events recorded.
+    pub event_count: u64,
+    /// Every metric the run recorded.
+    pub metrics: MetricsSnapshot,
+}
+
+fn attr<'a>(span: &'a SpanRecord, key: &str) -> Option<&'a str> {
+    span.attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Builds the profile from everything `recorder` captured, keeping the
+/// `top_points` slowest point spans.
+#[must_use]
+pub fn build(recorder: &Recorder, top_points: usize) -> RunProfile {
+    let records = recorder.records();
+    let mut spans: Vec<&SpanRecord> = Vec::new();
+    let mut event_count = 0u64;
+    for record in &records {
+        match record {
+            TraceRecord::Span(s) => spans.push(s),
+            TraceRecord::Event(_) => event_count += 1,
+        }
+    }
+
+    let mut wall_us = spans
+        .iter()
+        .find(|s| s.name == "run")
+        .map(|s| s.dur_us)
+        .unwrap_or(0);
+    if wall_us == 0 {
+        wall_us = spans
+            .iter()
+            .map(|s| s.start_us + s.dur_us)
+            .max()
+            .unwrap_or(0);
+    }
+
+    // Stage spans in open order (start_us ascending = run order).
+    let mut stage_spans: Vec<&&SpanRecord> = spans.iter().filter(|s| s.name == "stage").collect();
+    stage_spans.sort_by_key(|s| s.start_us);
+    let stages = stage_spans
+        .iter()
+        .map(|s| StageProfile {
+            stage: attr(s, "stage").unwrap_or("?").to_string(),
+            wall_us: s.dur_us,
+        })
+        .collect();
+
+    let mut points: Vec<PointProfile> = spans
+        .iter()
+        .filter(|s| s.name == "point")
+        .map(|s| PointProfile {
+            stage: attr(s, "stage").unwrap_or("?").to_string(),
+            point: attr(s, "point").unwrap_or("?").to_string(),
+            attempt: attr(s, "attempt").unwrap_or("0").to_string(),
+            wall_us: s.dur_us,
+        })
+        .collect();
+    points.sort_by_key(|p| std::cmp::Reverse(p.wall_us));
+    points.truncate(top_points);
+
+    // The solver split compares like with like: only solve spans that
+    // ran *under* a sample span count, so solves from stages without
+    // sample spans (GA evaluation, verification) don't inflate the
+    // ratio past the sample busy time.
+    let name_of: std::collections::HashMap<u64, (&'static str, Option<u64>)> =
+        spans.iter().map(|s| (s.id, (s.name, s.parent))).collect();
+    let under_sample = |mut parent: Option<u64>| {
+        while let Some(id) = parent {
+            match name_of.get(&id) {
+                Some(("sample", _)) => return true,
+                Some((_, up)) => parent = *up,
+                None => return false,
+            }
+        }
+        false
+    };
+    let mut solver = SolverSplit::default();
+    for s in &spans {
+        match s.name {
+            "solve" if under_sample(s.parent) => {
+                solver.solver_us += s.dur_us;
+                solver.solves += 1;
+            }
+            "sample" => {
+                solver.sample_us += s.dur_us;
+                solver.samples += 1;
+            }
+            _ => {}
+        }
+    }
+
+    RunProfile {
+        version: 1,
+        wall_us,
+        stages,
+        slowest_points: points,
+        solver,
+        span_count: spans.len() as u64,
+        event_count,
+        metrics: recorder.metrics(),
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    let s = us as f64 / 1e6;
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{us} µs")
+    }
+}
+
+/// Renders the profile as a human-readable table (the `--report`
+/// output and the example's end-of-run summary).
+#[must_use]
+pub fn render(profile: &RunProfile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "run profile: {} wall, {} spans, {} events\n",
+        fmt_us(profile.wall_us),
+        profile.span_count,
+        profile.event_count
+    ));
+
+    if !profile.stages.is_empty() {
+        out.push_str("stage breakdown:\n");
+        for s in &profile.stages {
+            let pct = if profile.wall_us > 0 {
+                100.0 * s.wall_us as f64 / profile.wall_us as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<14} {:>10}  {:>5.1}%\n",
+                s.stage,
+                fmt_us(s.wall_us),
+                pct
+            ));
+        }
+    }
+
+    if !profile.slowest_points.is_empty() {
+        out.push_str("slowest points:\n");
+        for p in &profile.slowest_points {
+            out.push_str(&format!(
+                "  {:<14} point {:<4} attempt {:<2} {:>10}\n",
+                p.stage,
+                p.point,
+                p.attempt,
+                fmt_us(p.wall_us)
+            ));
+        }
+    }
+
+    if profile.solver.samples > 0 {
+        let frac = profile.solver.solver_fraction().unwrap_or(0.0) * 100.0;
+        out.push_str(&format!(
+            "solver vs overhead: {} solver / {} sample busy time \
+             ({frac:.1}% in solver, {} solves over {} samples)\n",
+            fmt_us(profile.solver.solver_us),
+            fmt_us(profile.solver.sample_us),
+            profile.solver.solves,
+            profile.solver.samples
+        ));
+    }
+
+    let hot: Vec<&(String, crate::metrics::HistogramSnapshot)> = profile
+        .metrics
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .collect();
+    if !hot.is_empty() {
+        out.push_str("histograms (count / mean / max):\n");
+        for (name, h) in hot {
+            out.push_str(&format!(
+                "  {:<28} {:>8}  {:>12.4}  {:>12.4}\n",
+                name,
+                h.count,
+                h.mean().unwrap_or(0.0),
+                h.max.unwrap_or(0.0)
+            ));
+        }
+    }
+    if !profile.metrics.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, v) in &profile.metrics.counters {
+            out.push_str(&format!("  {name:<28} {v:>8}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span;
+
+    #[test]
+    fn build_aggregates_stages_points_and_solver_split() {
+        let rec = Recorder::new();
+        {
+            let _install = rec.install();
+            let _run = span("run");
+            {
+                let _stage = span("stage").attr("stage", "characterise");
+                for point in 0..3 {
+                    let _p = span("point")
+                        .attr("stage", "characterise")
+                        .attr("point", point)
+                        .attr("attempt", 0);
+                    let _s = span("sample").attr("index", 0);
+                    let _solve = span("solve").attr("analysis", "transient");
+                    std::thread::sleep(std::time::Duration::from_millis(1 + point));
+                }
+            }
+            crate::counter_add("mc.samples", 3);
+            crate::observe("sim.newton_iterations.dc", 4.0);
+        }
+        let profile = build(&rec, 2);
+        assert_eq!(profile.stages.len(), 1);
+        assert_eq!(profile.stages[0].stage, "characterise");
+        assert_eq!(profile.slowest_points.len(), 2, "top-N truncates");
+        assert!(
+            profile.slowest_points[0].wall_us >= profile.slowest_points[1].wall_us,
+            "descending order"
+        );
+        assert_eq!(profile.solver.solves, 3);
+        assert_eq!(profile.solver.samples, 3);
+        assert!(profile.solver.solver_fraction().unwrap() <= 1.0);
+        assert!(profile.wall_us >= profile.stages[0].wall_us);
+        assert_eq!(profile.metrics.counter("mc.samples"), Some(3));
+
+        let text = render(&profile);
+        assert!(text.contains("stage breakdown"), "{text}");
+        assert!(text.contains("characterise"), "{text}");
+        assert!(text.contains("solver vs overhead"), "{text}");
+
+        let json = serde_json::to_string_pretty(&profile).unwrap();
+        let back: RunProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, profile);
+    }
+}

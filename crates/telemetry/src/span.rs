@@ -1,0 +1,441 @@
+//! Hierarchical spans: a per-run [`Recorder`], thread-local ambient
+//! state, RAII [`SpanGuard`]s, and cross-thread [`Context`] capture.
+//!
+//! The recorder is the single sink for one run's trace. Threads opt in
+//! by installing it ([`Recorder::install`]) or attaching a captured
+//! [`Context`] (how pool workers inherit the caller's current span).
+//! Span open is an id allocation plus a clock read; span close pushes
+//! one finished record into a sharded sink — no lock is held while the
+//! instrumented code runs, and a panic unwinding through a guard still
+//! closes its span.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use serde::Value;
+
+use crate::metrics::{MetricsSnapshot, Registry};
+
+/// Sink shards; record pushes hash over these to keep the critical
+/// section from serialising the pool.
+const SHARDS: usize = 8;
+
+thread_local! {
+    static AMBIENT: RefCell<Option<Ambient>> = const { RefCell::new(None) };
+}
+
+/// Per-thread telemetry state: which recorder to write to and which
+/// span is currently open on this thread.
+#[derive(Clone)]
+struct Ambient {
+    recorder: Recorder,
+    current: Option<u64>,
+}
+
+/// A finished span: one interval in the `run → stage → point → sample
+/// → solve` hierarchy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id within the recorder (1-based).
+    pub id: u64,
+    /// Enclosing span at open time, if any.
+    pub parent: Option<u64>,
+    /// Span kind (`run`, `stage`, `point`, `sample`, `solve`, …).
+    pub name: &'static str,
+    /// Open time, microseconds since the recorder's epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds.
+    pub dur_us: u64,
+    /// Free-form key/value annotations.
+    pub attrs: Vec<(String, String)>,
+    /// Global record sequence number (close order).
+    pub seq: u64,
+}
+
+/// A point-in-time annotation tied to the span that was current when
+/// it fired — how `FlowEvent`s correlate with the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Span current on the emitting thread, if any.
+    pub span: Option<u64>,
+    /// Index of the mirrored entry in `events.json`, when the event
+    /// also lives there.
+    pub index: Option<u64>,
+    /// Rendered event text.
+    pub message: String,
+    /// Emission time, microseconds since the recorder's epoch.
+    pub t_us: u64,
+    /// Global record sequence number.
+    pub seq: u64,
+}
+
+/// One line of `trace.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A closed span.
+    Span(SpanRecord),
+    /// A point event.
+    Event(EventRecord),
+}
+
+impl TraceRecord {
+    fn seq(&self) -> u64 {
+        match self {
+            TraceRecord::Span(s) => s.seq,
+            TraceRecord::Event(e) => e.seq,
+        }
+    }
+
+    /// The record as one compact JSON value (a `trace.jsonl` line).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        match self {
+            TraceRecord::Span(s) => Value::Object(vec![
+                ("type".into(), Value::Str("span".into())),
+                ("id".into(), Value::UInt(s.id)),
+                ("parent".into(), s.parent.map_or(Value::Null, Value::UInt)),
+                ("name".into(), Value::Str(s.name.into())),
+                ("start_us".into(), Value::UInt(s.start_us)),
+                ("dur_us".into(), Value::UInt(s.dur_us)),
+                (
+                    "attrs".into(),
+                    Value::Object(
+                        s.attrs
+                            .iter()
+                            .map(|(k, v)| (k.clone(), Value::Str(v.clone())))
+                            .collect(),
+                    ),
+                ),
+                ("seq".into(), Value::UInt(s.seq)),
+            ]),
+            TraceRecord::Event(e) => Value::Object(vec![
+                ("type".into(), Value::Str("event".into())),
+                ("span".into(), e.span.map_or(Value::Null, Value::UInt)),
+                (
+                    "event_index".into(),
+                    e.index.map_or(Value::Null, Value::UInt),
+                ),
+                ("message".into(), Value::Str(e.message.clone())),
+                ("t_us".into(), Value::UInt(e.t_us)),
+                ("seq".into(), Value::UInt(e.seq)),
+            ]),
+        }
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    seq: AtomicU64,
+    shards: [Mutex<Vec<TraceRecord>>; SHARDS],
+    registry: Registry,
+}
+
+/// The per-run span/metric sink. Cheap to clone (an `Arc`); one
+/// instance serves every thread of a run.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Arc<Inner>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an empty recorder; its epoch is now.
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                seq: AtomicU64::new(0),
+                shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+                registry: Registry::new(),
+            }),
+        }
+    }
+
+    /// Installs this recorder as the calling thread's ambient sink
+    /// until the returned guard drops. Nests: the previous ambient
+    /// state (another recorder, or none) is restored on drop. The
+    /// guard must be dropped on the installing thread.
+    #[must_use]
+    pub fn install(&self) -> InstallGuard {
+        let prev = AMBIENT.with(|a| {
+            a.borrow_mut().replace(Ambient {
+                recorder: self.clone(),
+                current: None,
+            })
+        });
+        crate::activate();
+        InstallGuard { prev }
+    }
+
+    /// The recorder's metrics registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.inner.registry
+    }
+
+    /// Snapshot of every metric recorded so far.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.registry.snapshot()
+    }
+
+    /// All records so far, in close order.
+    #[must_use]
+    pub fn records(&self) -> Vec<TraceRecord> {
+        let mut out: Vec<TraceRecord> = Vec::new();
+        for shard in &self.inner.shards {
+            out.extend(shard.lock().unwrap().iter().cloned());
+        }
+        out.sort_by_key(TraceRecord::seq);
+        out
+    }
+
+    /// Writes the trace as JSON lines (one record per line, close
+    /// order) to `path`, atomically via a sibling temp file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error.
+    pub fn write_trace<P: AsRef<Path>>(&self, path: P) -> std::io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("jsonl.tmp");
+        {
+            let mut f = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            for record in self.records() {
+                let line = serde_json::to_string(&record.to_json())
+                    .expect("shim serialisation is infallible");
+                writeln!(f, "{line}")?;
+            }
+            f.flush()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    fn now_us(&self) -> u64 {
+        self.inner.epoch.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, record: TraceRecord) {
+        let shard = (record.seq() % SHARDS as u64) as usize;
+        self.inner.shards[shard].lock().unwrap().push(record);
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.inner.seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// Reverts [`Recorder::install`] on drop.
+pub struct InstallGuard {
+    prev: Option<Ambient>,
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        crate::deactivate();
+        let prev = self.prev.take();
+        let _ = AMBIENT.try_with(|a| *a.borrow_mut() = prev);
+    }
+}
+
+/// A captured snapshot of the calling thread's ambient telemetry
+/// state, for re-establishing it on another thread (pool workers).
+/// Capturing with no recorder installed yields an inert context whose
+/// [`Context::attach`] is a no-op — callers never need to special-case
+/// the disabled path.
+#[derive(Clone)]
+pub struct Context {
+    ambient: Option<Ambient>,
+}
+
+impl Context {
+    /// Attaches the captured state to the calling thread until the
+    /// returned guard drops (which must happen on the same thread).
+    #[must_use]
+    pub fn attach(&self) -> AttachGuard {
+        match &self.ambient {
+            None => AttachGuard {
+                prev: None,
+                active: false,
+            },
+            Some(amb) => {
+                let prev = AMBIENT.with(|a| a.borrow_mut().replace(amb.clone()));
+                crate::activate();
+                AttachGuard { prev, active: true }
+            }
+        }
+    }
+}
+
+/// Captures the calling thread's ambient state (recorder + current
+/// span) for hand-off to another thread.
+#[must_use]
+pub fn capture() -> Context {
+    Context {
+        ambient: AMBIENT.with(|a| a.borrow().clone()),
+    }
+}
+
+/// Reverts [`Context::attach`] on drop.
+pub struct AttachGuard {
+    prev: Option<Ambient>,
+    active: bool,
+}
+
+impl Drop for AttachGuard {
+    fn drop(&mut self) {
+        if self.active {
+            crate::deactivate();
+            let prev = self.prev.take();
+            let _ = AMBIENT.try_with(|a| *a.borrow_mut() = prev);
+        }
+    }
+}
+
+struct OpenSpan {
+    recorder: Recorder,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    attrs: Vec<(String, String)>,
+}
+
+/// RAII handle for an open span; closing (dropping) records it. A
+/// guard obtained with telemetry disabled is inert and free.
+pub struct SpanGuard {
+    inner: Option<OpenSpan>,
+}
+
+impl SpanGuard {
+    /// The span id, when telemetry is live.
+    #[must_use]
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|s| s.id)
+    }
+
+    /// Annotates the span (builder-style, no-op when inert).
+    #[must_use]
+    pub fn attr(mut self, key: &str, value: impl ToString) -> Self {
+        if let Some(open) = &mut self.inner {
+            open.attrs.push((key.to_string(), value.to_string()));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.inner.take() else {
+            return;
+        };
+        let dur_us = open.start.elapsed().as_micros() as u64;
+        // Pop this span off the thread's ambient stack. `try_with`
+        // because Drop may run during thread teardown.
+        let _ = AMBIENT.try_with(|a| {
+            if let Ok(mut slot) = a.try_borrow_mut() {
+                if let Some(amb) = slot.as_mut() {
+                    if amb.current == Some(open.id) {
+                        amb.current = open.parent;
+                    }
+                }
+            }
+        });
+        let seq = open.recorder.next_seq();
+        open.recorder.push(TraceRecord::Span(SpanRecord {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            start_us: open.start_us,
+            dur_us,
+            attrs: open.attrs,
+            seq,
+        }));
+    }
+}
+
+/// Opens a span under the thread's current span (or as a root). Inert
+/// when telemetry is disabled or the thread has no ambient recorder.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { inner: None };
+    }
+    AMBIENT.with(|a| {
+        let mut slot = a.borrow_mut();
+        let Some(amb) = slot.as_mut() else {
+            return SpanGuard { inner: None };
+        };
+        let recorder = amb.recorder.clone();
+        let id = recorder.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let parent = amb.current;
+        amb.current = Some(id);
+        SpanGuard {
+            inner: Some(OpenSpan {
+                start_us: recorder.now_us(),
+                recorder,
+                id,
+                parent,
+                name,
+                start: Instant::now(),
+                attrs: Vec::new(),
+            }),
+        }
+    })
+}
+
+/// The id of the calling thread's current span, if any.
+#[must_use]
+pub fn current_span_id() -> Option<u64> {
+    AMBIENT.with(|a| a.borrow().as_ref().and_then(|amb| amb.current))
+}
+
+/// Records a point event tied to the current span.
+pub fn event(message: &str) {
+    record_event(message, None);
+}
+
+/// Records a point event that mirrors entry `index` of `events.json`,
+/// so the two logs correlate by span id and event index.
+pub fn event_indexed(index: usize, message: &str) {
+    record_event(message, Some(index as u64));
+}
+
+fn record_event(message: &str, index: Option<u64>) {
+    if !crate::enabled() {
+        return;
+    }
+    let Some((recorder, span)) = AMBIENT.with(|a| {
+        a.borrow()
+            .as_ref()
+            .map(|amb| (amb.recorder.clone(), amb.current))
+    }) else {
+        return;
+    };
+    let t_us = recorder.now_us();
+    let seq = recorder.next_seq();
+    recorder.push(TraceRecord::Event(EventRecord {
+        span,
+        index,
+        message: message.to_string(),
+        t_us,
+        seq,
+    }));
+}
+
+pub(crate) fn with_ambient_recorder<R>(f: impl FnOnce(&Recorder) -> R) -> Option<R> {
+    AMBIENT.with(|a| a.borrow().as_ref().map(|amb| f(&amb.recorder)))
+}

@@ -99,6 +99,19 @@ impl McRun {
     }
 }
 
+/// Telemetry counter name for a sample failure, by class.
+fn failure_class_metric(failure: &TaskFailure) -> &'static str {
+    match failure {
+        TaskFailure::Panicked { .. } => "mc.failures.panicked",
+        TaskFailure::TimedOut { .. } => "mc.failures.timed_out",
+        TaskFailure::Cancelled => "mc.failures.cancelled",
+        TaskFailure::Failed { class, .. } => match class {
+            exec::FaultClass::Transient => "mc.failures.transient",
+            exec::FaultClass::Permanent => "mc.failures.permanent",
+        },
+    }
+}
+
 /// The Monte-Carlo engine, parameterised by a process spec.
 #[derive(Debug, Clone)]
 pub struct MonteCarlo {
@@ -193,6 +206,7 @@ impl MonteCarlo {
         }
         let batch = exec::run_batch(cfg.samples, &policy, |ctx| {
             let i = ctx.index;
+            let _sample_span = telemetry::span("sample").attr("index", i);
             let salt = cfg.seed.wrapping_add(i as u64);
             let key = cache.map(|c| c.key_salted(design, salt));
             if let (Some(cache), Some(key)) = (cache, &key) {
@@ -212,6 +226,12 @@ impl MonteCarlo {
 
         let metrics: Vec<Vec<f64>> = batch.items.into_iter().flatten().collect();
         let failed_samples: Vec<usize> = batch.failures.iter().map(|&(i, _)| i).collect();
+        if telemetry::enabled() {
+            telemetry::counter_add("mc.samples", cfg.samples as u64);
+            for (_, failure) in &batch.failures {
+                telemetry::counter_add(failure_class_metric(failure), 1);
+            }
+        }
         McRun {
             accepted: metrics.len(),
             metrics,

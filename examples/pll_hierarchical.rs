@@ -11,6 +11,7 @@
 //! cargo run --release --example pll_hierarchical -- --run-dir DIR   # checkpoint to DIR
 //! cargo run --release --example pll_hierarchical -- --run-dir DIR --resume
 //! cargo run --release --example pll_hierarchical -- --run-dir DIR --budget-secs 600
+//! cargo run --release --example pll_hierarchical -- --run-dir DIR --trace --report
 //! ```
 //!
 //! With `--run-dir`, each stage's artifact is written to `DIR` as it
@@ -22,15 +23,23 @@
 //! the budget exits with a *resumable* deadline error, leaving every
 //! completed stage checkpointed — re-run with a larger budget (the
 //! config digest ignores the budget, so the artifacts still match).
+//!
+//! `--trace` enables telemetry (equivalent to `HIERSIZER_TELEMETRY=1`):
+//! with `--run-dir`, the span trace lands in `DIR/trace.jsonl` and the
+//! aggregated metrics in `DIR/metrics.json`. `--report` additionally
+//! prints the per-run profile table (stage breakdown, slowest points,
+//! solver-vs-overhead split); it implies `--trace`.
 
-use hierflow::flow::{FlowConfig, HierarchicalFlow};
+use hierflow::flow::{FlowConfig, HierarchicalFlow, TelemetryConfig};
 use hierflow::report::{format_table1, format_table2};
-use hierflow::RunBudget;
+use hierflow::{FlowStage, RunBudget};
 use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let full = args.iter().any(|a| a == "--full");
+    let want_report = args.iter().any(|a| a == "--report");
+    let trace = want_report || args.iter().any(|a| a == "--trace");
     let run_dir = args
         .iter()
         .position(|a| a == "--run-dir")
@@ -49,6 +58,13 @@ fn main() {
     if let Some(secs) = budget_secs {
         config.budget = RunBudget::unlimited().whole_run(Duration::from_secs(secs));
         println!("run budget: {secs} s wall clock\n");
+    }
+    if trace {
+        config.telemetry = TelemetryConfig::enabled();
+        match &run_dir {
+            Some(dir) => println!("telemetry on: trace and metrics will land in {dir}\n"),
+            None => println!("telemetry on (add --run-dir to persist trace.jsonl/metrics.json)\n"),
+        }
     }
     println!(
         "hierarchical flow: circuit GA {}x{}, char MC {}, system GA {}x{}, verify MC {}, policy {:?}\n",
@@ -136,5 +152,45 @@ fn main() {
     println!("\nflow events ({}):", report.events.len());
     for event in report.events.iter() {
         println!("  {event}");
+    }
+
+    // One-screen run summary — printed on every run, no telemetry
+    // needed: stage wall clock comes from the always-on report timings,
+    // cache and sample figures from the event log.
+    println!("\nrun summary:");
+    for sp in &report.stage_wall {
+        println!("  {:<12} {:>9.3} s", sp.stage, sp.wall_us as f64 / 1e6);
+    }
+    let total_us: u64 = report.stage_wall.iter().map(|s| s.wall_us).sum();
+    println!("  {:<12} {:>9.3} s", "total", total_us as f64 / 1e6);
+    for stage in [FlowStage::CircuitOpt, FlowStage::Characterize] {
+        if let Some((hits, misses, disk_hits, _)) = report.events.cache_stats(stage) {
+            let lookups = hits + misses;
+            let rate = if lookups == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / lookups as f64
+            };
+            println!(
+                "  eval cache [{stage}]: {rate:.1}% hit rate ({hits}/{lookups} lookups, {disk_hits} from disk)"
+            );
+        }
+    }
+    let failed_samples: usize = report
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            hierflow::FlowEvent::SampleFailures { samples, .. } => Some(samples.len()),
+            _ => None,
+        })
+        .sum();
+    let skipped_points = report.events.skipped_points(FlowStage::Characterize).len();
+    println!("  failed MC samples: {failed_samples}; skipped pareto points: {skipped_points}");
+
+    if want_report {
+        match &report.profile {
+            Some(profile) => println!("\n{}", telemetry::report::render(profile)),
+            None => println!("\n(no profile: telemetry was disabled at run time)"),
+        }
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Provides the subset of the proptest API the workspace's property
 //! tests use: the [`Strategy`] trait with `prop_map`, range and
-//! collection strategies, `prop::num::f64::NORMAL`, and the
-//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//! collection strategies, [`Just`], `prop::num::f64::NORMAL` /
+//! `prop::num::f64::ANY`, and the [`proptest!`] / [`prop_oneof!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
 //!
 //! Unlike real proptest there is no shrinking: a failing case reports
 //! the raw inputs via the assertion message and the deterministic
@@ -108,6 +109,55 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
+/// Strategy producing one fixed value on every draw.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy backed by a sampling closure; the expansion target of
+/// [`prop_oneof!`].
+pub struct FnStrategy<F>(pub F);
+
+impl<T, F: Fn(&mut StdRng) -> T> Strategy for FnStrategy<F> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+#[doc(hidden)]
+pub use rand::rngs::StdRng as __StdRng;
+#[doc(hidden)]
+pub use rand::RngExt as __RngExt;
+
+/// Picks uniformly among the listed strategies (all must produce the
+/// same value type). Unlike real proptest there are no weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let __branches: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::__StdRng) -> _>,
+        > = ::std::vec![
+            $({
+                let __s = $strat;
+                ::std::boxed::Box::new(move |__rng: &mut $crate::__StdRng| {
+                    $crate::Strategy::sample(&__s, __rng)
+                }) as ::std::boxed::Box<dyn Fn(&mut $crate::__StdRng) -> _>
+            }),+
+        ];
+        $crate::FnStrategy(move |__rng: &mut $crate::__StdRng| {
+            let __i = ($crate::__RngExt::random::<u64>(__rng) as usize) % __branches.len();
+            (__branches[__i])(__rng)
+        })
+    }};
+}
+
 macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for core::ops::Range<$t> {
@@ -210,6 +260,21 @@ pub mod num {
         /// many orders of magnitude.
         pub const NORMAL: NormalF64 = NormalF64;
 
+        /// Strategy producing arbitrary `f64` bit patterns: zeroes,
+        /// subnormals, infinities and NaNs included.
+        #[derive(Debug, Clone, Copy)]
+        pub struct AnyF64;
+
+        /// Arbitrary `f64` values drawn uniformly over bit patterns.
+        pub const ANY: AnyF64 = AnyF64;
+
+        impl Strategy for AnyF64 {
+            type Value = f64;
+            fn sample(&self, rng: &mut StdRng) -> f64 {
+                f64::from_bits(rng.random::<u64>())
+            }
+        }
+
         impl Strategy for NormalF64 {
             type Value = f64;
             fn sample(&self, rng: &mut StdRng) -> f64 {
@@ -228,7 +293,8 @@ pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude`.
 
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy, TestCaseError,
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
     };
 
     pub mod prop {
@@ -370,6 +436,23 @@ mod tests {
         #[test]
         fn normal_f64_is_finite_nonzero(x in prop::num::f64::NORMAL) {
             prop_assert!(x.is_finite() && x != 0.0, "got {x}");
+        }
+
+        #[test]
+        fn just_always_yields_its_value(x in Just(7.5f64)) {
+            prop_assert_eq!(x, 7.5);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_branch(x in prop_oneof![0.0f64..1.0, Just(5.0f64)]) {
+            prop_assert!((0.0..1.0).contains(&x) || x == 5.0, "got {x}");
+        }
+
+        #[test]
+        fn any_f64_is_some_bit_pattern(x in prop::num::f64::ANY) {
+            // Every bit pattern is acceptable; just exercise the draw.
+            let _bits = x.to_bits();
+            prop_assert!(true);
         }
     }
 }

@@ -10,8 +10,12 @@
 //!
 //! The only field attribute honoured is `#[serde(skip)]`: the field is
 //! omitted on serialize and rebuilt with `Default::default()` on
-//! deserialize. Anything else under `#[serde(...)]` is a compile error
-//! rather than a silent behaviour change.
+//! deserialize. On enum *variants*, `#[serde(other)]` marks a newtype
+//! catch-all (its field must be able to absorb any `serde::Value`, e.g.
+//! `Value` itself): unknown variant tags deserialize into it instead of
+//! erroring, and it serialises transparently, so foreign payloads
+//! round-trip verbatim. Anything else under `#[serde(...)]` is a
+//! compile error rather than a silent behaviour change.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -50,6 +54,13 @@ enum Body {
     Tuple(Vec<Field>),
 }
 
+struct Variant {
+    name: String,
+    body: Body,
+    /// `#[serde(other)]` present: unknown tags deserialize here.
+    other: bool,
+}
+
 enum Item {
     Struct {
         name: String,
@@ -57,7 +68,7 @@ enum Item {
     },
     Enum {
         name: String,
-        variants: Vec<(String, Body)>,
+        variants: Vec<Variant>,
     },
 }
 
@@ -173,38 +184,39 @@ fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
     chunks
 }
 
-/// Parses one chunk's leading attributes, returning whether
-/// `#[serde(skip)]` was present and the index past the attributes.
-fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, usize) {
+/// Parses one chunk's leading attributes, returning which recognised
+/// serde flags were present (`skip`, `other`) and the index past the
+/// attributes.
+fn parse_field_attrs(tokens: &[TokenTree]) -> (bool, bool, usize) {
     let mut skip = false;
+    let mut other = false;
     let mut i = 0;
     while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
             let inner: Vec<TokenTree> = g.stream().into_iter().collect();
             if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
                 match inner.get(1) {
-                    Some(TokenTree::Group(args)) => {
-                        let text = args.stream().to_string();
-                        if text.trim() == "skip" {
-                            skip = true;
-                        } else {
-                            panic!("serde shim derive supports only #[serde(skip)], got #[serde({text})]");
-                        }
-                    }
+                    Some(TokenTree::Group(args)) => match args.stream().to_string().trim() {
+                        "skip" => skip = true,
+                        "other" => other = true,
+                        text => panic!(
+                            "serde shim derive supports only #[serde(skip)] and #[serde(other)], got #[serde({text})]"
+                        ),
+                    },
                     other => panic!("serde shim derive: malformed serde attribute {other:?}"),
                 }
             }
         }
         i += 2;
     }
-    (skip, i)
+    (skip, other, i)
 }
 
 fn parse_fields(stream: TokenStream, named: bool) -> Vec<Field> {
     split_top_level(stream)
         .into_iter()
         .map(|chunk| {
-            let (skip, mut i) = parse_field_attrs(&chunk);
+            let (skip, _, mut i) = parse_field_attrs(&chunk);
             skip_visibility(&chunk, &mut i);
             let name = if named {
                 Some(expect_ident(&chunk, &mut i))
@@ -216,8 +228,8 @@ fn parse_fields(stream: TokenStream, named: bool) -> Vec<Field> {
         .collect()
 }
 
-fn parse_variant(chunk: Vec<TokenTree>) -> (String, Body) {
-    let (_, mut i) = parse_field_attrs(&chunk);
+fn parse_variant(chunk: Vec<TokenTree>) -> Variant {
+    let (_, other_flag, mut i) = parse_field_attrs(&chunk);
     let name = expect_ident(&chunk, &mut i);
     let body = match chunk.get(i) {
         None => Body::Unit,
@@ -229,7 +241,14 @@ fn parse_variant(chunk: Vec<TokenTree>) -> (String, Body) {
         }
         other => panic!("serde shim derive: unexpected token in variant `{name}`: {other:?}"),
     };
-    (name, body)
+    if other_flag && !matches!(&body, Body::Tuple(fields) if fields.len() == 1) {
+        panic!("serde shim derive: #[serde(other)] requires a newtype variant, `{name}` is not");
+    }
+    Variant {
+        name,
+        body,
+        other: other_flag,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -275,10 +294,16 @@ fn gen_serialize(item: &Item) -> String {
         }
         Item::Enum { name, variants } => {
             let mut arms = String::new();
-            for (vname, body) in variants {
-                match body {
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.body {
                     Body::Unit => arms.push_str(&format!(
                         "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    // The catch-all serialises transparently: whatever
+                    // foreign payload it absorbed goes back out verbatim.
+                    Body::Tuple(_) if variant.other => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Serialize::to_value(f0),\n"
                     )),
                     Body::Tuple(fields) => {
                         let binds: Vec<String> =
@@ -380,8 +405,20 @@ fn gen_deserialize(item: &Item) -> String {
         Item::Enum { name, variants } => {
             let mut unit_arms = String::new();
             let mut tagged_arms = String::new();
-            for (vname, body) in variants {
-                match body {
+            // Unknown shapes fall through to the #[serde(other)]
+            // catch-all when one exists, instead of erroring.
+            let fallthrough = variants.iter().find(|v| v.other).map(|v| {
+                format!(
+                    "Ok({name}::{vname}(::serde::Deserialize::from_value(v)?))",
+                    vname = v.name
+                )
+            });
+            for variant in variants {
+                if variant.other {
+                    continue;
+                }
+                let vname = &variant.name;
+                match &variant.body {
                     Body::Unit => {
                         unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"))
                     }
@@ -429,22 +466,41 @@ fn gen_deserialize(item: &Item) -> String {
                     }
                 }
             }
+            let unknown_unit = match &fallthrough {
+                Some(f) => format!("_ => {f},\n"),
+                None => format!(
+                    "other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n"
+                ),
+            };
+            let unknown_tag = match &fallthrough {
+                Some(f) => format!("_ => {f},\n"),
+                None => format!(
+                    "other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n"
+                ),
+            };
+            let unknown_shape = match &fallthrough {
+                Some(f) => format!("_ => {f},\n"),
+                None => format!(
+                    "other => Err(::serde::Error::custom(format!(\"expected externally tagged enum for {name}, got {{other:?}}\"))),\n"
+                ),
+            };
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
                  fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
                  match v {{\n\
                  ::serde::Value::Str(s) => match s.as_str() {{\n\
                  {unit_arms}\
-                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 {unknown_unit}\
                  }},\n\
                  ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
                  let (tag, payload) = &entries[0];\n\
+                 let _ = payload;\n\
                  match tag.as_str() {{\n\
                  {tagged_arms}\
-                 other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 {unknown_tag}\
                  }}\n\
                  }},\n\
-                 other => Err(::serde::Error::custom(format!(\"expected externally tagged enum for {name}, got {{other:?}}\"))),\n\
+                 {unknown_shape}\
                  }}\n}}\n}}\n"
             )
         }

@@ -452,3 +452,141 @@ fn quick_flow_end_to_end() {
     let json = serde_json::to_string(&report).expect("report serialises");
     assert!(json.contains("yield_value"));
 }
+
+/// The telemetry acceptance case: a telemetry-enabled run writes
+/// `trace.jsonl` and `metrics.json` into the run directory, every
+/// stage/point/sample span nests under a live parent, and the
+/// run's results are bit-identical to a telemetry-disabled run.
+#[test]
+fn telemetry_enabled_run_traces_spans_and_stays_bit_identical() {
+    use hierflow::TelemetryConfig;
+
+    let testbench = VcoTestbench::default();
+    let cfg = micro_config();
+    let dir_off = fresh_dir("telemetry_off");
+    let dir_on = fresh_dir("telemetry_on");
+    seeded_stage1(&dir_off, &testbench, 3);
+    seeded_stage1(&dir_on, &testbench, 3);
+
+    let plain = HierarchicalFlow::new(cfg.clone())
+        .run_with_checkpoints(&dir_off)
+        .expect("disabled run completes");
+    // One CI variant forces HIERSIZER_TELEMETRY=1, which overrides the
+    // config — the "disabled" run is traced there too. Bit identity is
+    // the point either way; the disabled-path assertions only apply
+    // when the environment is not forcing telemetry on.
+    let env_forced = telemetry::enabled_from_env(false);
+    if !env_forced {
+        assert!(plain.profile.is_none(), "no profile without telemetry");
+    }
+
+    let mut traced_cfg = cfg;
+    traced_cfg.telemetry = TelemetryConfig::enabled();
+    let traced = HierarchicalFlow::new(traced_cfg)
+        .run_with_checkpoints(&dir_on)
+        .expect("traced run completes");
+
+    // Bit identity: telemetry observes, never perturbs.
+    assert_eq!(traced.front, plain.front, "fronts must be bit-identical");
+    assert_eq!(traced.selected, plain.selected);
+    assert_eq!(traced.final_sizing, plain.final_sizing);
+    assert_eq!(traced.verification, plain.verification);
+
+    // The always-on stage timings cover all five stages either way.
+    assert_eq!(plain.stage_wall.len(), 5);
+    assert_eq!(traced.stage_wall.len(), 5);
+
+    // The in-memory profile and the persisted metrics.json agree.
+    let profile = traced.profile.as_ref().expect("traced run has a profile");
+    assert!(profile.span_count > 0);
+    assert_eq!(profile.stages.len(), 5, "five stage spans profiled");
+    assert!(
+        profile.metrics.counter("mc.samples").unwrap_or(0) > 0,
+        "Monte-Carlo sample counter must be recorded"
+    );
+    let metrics_path = dir_on.join(hierflow::checkpoint::METRICS_FILE);
+    let metrics_text = std::fs::read_to_string(&metrics_path).expect("metrics.json written");
+    let on_disk: telemetry::report::RunProfile =
+        serde_json::from_str(&metrics_text).expect("metrics.json parses");
+    assert_eq!(&on_disk, profile, "metrics.json mirrors the profile");
+    if !env_forced {
+        assert!(!dir_off.join(hierflow::checkpoint::METRICS_FILE).is_file());
+    }
+
+    // trace.jsonl: every line parses; spans nest correctly.
+    let trace_path = dir_on.join(hierflow::checkpoint::TRACE_FILE);
+    let trace_text = std::fs::read_to_string(&trace_path).expect("trace.jsonl written");
+    // (id -> (parent, name, start_us, seq)) for every span line.
+    let mut spans: Vec<(u64, Option<u64>, String, u64, u64)> = Vec::new();
+    let mut events = 0u64;
+    for line in trace_text.lines() {
+        let v: serde::Value = serde_json::from_str(line).expect("trace line parses");
+        let kind = v.get("type").and_then(|t| t.as_str()).expect("type field");
+        match kind {
+            "span" => {
+                let id = v.get("id").and_then(serde::Value::as_f64).expect("id") as u64;
+                let parent = v
+                    .get("parent")
+                    .filter(|p| !p.is_null())
+                    .and_then(serde::Value::as_f64)
+                    .map(|p| p as u64);
+                let name = v
+                    .get("name")
+                    .and_then(|n| n.as_str())
+                    .expect("name")
+                    .to_string();
+                let start = v
+                    .get("start_us")
+                    .and_then(serde::Value::as_f64)
+                    .expect("start_us") as u64;
+                let seq = v.get("seq").and_then(serde::Value::as_f64).expect("seq") as u64;
+                spans.push((id, parent, name, start, seq));
+            }
+            "event" => events += 1,
+            other => panic!("unexpected trace line type {other:?}"),
+        }
+    }
+    assert_eq!(spans.len() as u64, profile.span_count);
+    assert_eq!(events, profile.event_count);
+
+    let runs: Vec<_> = spans.iter().filter(|s| s.2 == "run").collect();
+    assert_eq!(runs.len(), 1, "exactly one root run span");
+    assert!(runs[0].1.is_none(), "the run span has no parent");
+    assert_eq!(spans.iter().filter(|s| s.2 == "stage").count(), 5);
+    assert!(spans.iter().any(|s| s.2 == "point"));
+    assert!(spans.iter().any(|s| s.2 == "sample"));
+    assert!(spans.iter().any(|s| s.2 == "solve"));
+
+    // Every stage/point/sample span nests under a live parent: the
+    // parent exists, opened no later than the child, and closed after
+    // it (records are appended in close order, so a larger seq means a
+    // later close).
+    let by_id: std::collections::HashMap<u64, &(u64, Option<u64>, String, u64, u64)> =
+        spans.iter().map(|s| (s.0, s)).collect();
+    for child in spans
+        .iter()
+        .filter(|s| matches!(s.2.as_str(), "stage" | "point" | "sample"))
+    {
+        let parent_id = child
+            .1
+            .unwrap_or_else(|| panic!("{} span {} has no parent", child.2, child.0));
+        let parent = by_id
+            .get(&parent_id)
+            .unwrap_or_else(|| panic!("{} span {} has a dead parent", child.2, child.0));
+        assert!(
+            parent.3 <= child.3,
+            "parent {} opened after child {}",
+            parent.0,
+            child.0
+        );
+        assert!(
+            parent.4 > child.4,
+            "parent {} closed before child {}",
+            parent.0,
+            child.0
+        );
+    }
+
+    std::fs::remove_dir_all(&dir_off).ok();
+    std::fs::remove_dir_all(&dir_on).ok();
+}

@@ -247,3 +247,120 @@ fn finite_f64_helper_stays_in_range() {
     // Sanity-check the helper strategy itself (not a proptest).
     let _ = finite_f64(0.0..1.0);
 }
+
+// ---------------------------------------------------------------------
+// Telemetry histogram invariants (the metrics registry's log-scale
+// histogram must classify every f64 exactly once and merge losslessly).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every observation lands in exactly one of the three tallies:
+    /// binned (positive finite), underflow (zero or negative finite),
+    /// or invalid (NaN / infinities) — and the snapshot accounts for
+    /// all of them.
+    #[test]
+    fn histogram_classifies_every_observation_once(
+        values in prop::collection::vec(
+            prop_oneof![
+                -1.0e12f64..1.0e12,
+                Just(0.0f64),
+                Just(-0.0f64),
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                1.0e-300f64..1.0e-250,
+            ],
+            1..200,
+        ),
+    ) {
+        let h = telemetry::Histogram::new();
+        let mut expect_binned = 0u64;
+        let mut expect_under = 0u64;
+        let mut expect_invalid = 0u64;
+        for &v in &values {
+            h.observe(v);
+            if !v.is_finite() {
+                expect_invalid += 1;
+            } else if v > 0.0 {
+                expect_binned += 1;
+            } else {
+                expect_under += 1;
+            }
+        }
+        let snap = h.snapshot();
+        let binned: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        prop_assert_eq!(binned, expect_binned);
+        prop_assert_eq!(snap.underflow, expect_under);
+        prop_assert_eq!(snap.invalid, expect_invalid);
+        // `count` covers every finite observation, valid or underflow.
+        prop_assert_eq!(snap.count, expect_binned + expect_under);
+    }
+
+    /// Positive finite values map into a bucket whose bounds bracket
+    /// them; zero, negatives and non-finite values map to no bucket.
+    #[test]
+    fn histogram_bucket_bounds_bracket_the_value(v in prop::num::f64::ANY) {
+        match telemetry::bucket_index(v) {
+            Some(i) => {
+                prop_assert!(v.is_finite() && v > 0.0);
+                prop_assert!(i < telemetry::BUCKETS);
+                let (lo, hi) = telemetry::bucket_bounds(i);
+                // Clamped edge buckets absorb out-of-range magnitudes;
+                // interior buckets must bracket exactly.
+                if i > 0 && i < telemetry::BUCKETS - 1 {
+                    prop_assert!(lo <= v && v < hi, "{} not in [{}, {})", v, lo, hi);
+                } else if i == 0 {
+                    prop_assert!(v < hi);
+                } else {
+                    prop_assert!(lo <= v);
+                }
+            }
+            None => prop_assert!(!v.is_finite() || v <= 0.0),
+        }
+    }
+
+    /// Exact powers of two land on their bucket's lower bound.
+    #[test]
+    fn histogram_power_of_two_lands_on_lower_bound(exp in -30i32..30) {
+        let v = (2.0f64).powi(exp);
+        let i = telemetry::bucket_index(v).expect("positive finite");
+        let (lo, _) = telemetry::bucket_bounds(i);
+        prop_assert_eq!(lo, v);
+    }
+
+    /// Merging histograms is equivalent to observing the union of
+    /// their samples: bucket-exact, tally-exact, min/max-exact.
+    #[test]
+    fn histogram_merge_equals_union(
+        a in prop::collection::vec(
+            prop_oneof![-100.0f64..100.0, Just(f64::NAN), Just(0.0f64)], 0..60),
+        b in prop::collection::vec(
+            prop_oneof![-100.0f64..100.0, Just(f64::INFINITY), Just(-0.0f64)], 0..60),
+    ) {
+        let ha = telemetry::Histogram::new();
+        let hb = telemetry::Histogram::new();
+        let hu = telemetry::Histogram::new();
+        for &v in &a {
+            ha.observe(v);
+            hu.observe(v);
+        }
+        for &v in &b {
+            hb.observe(v);
+            hu.observe(v);
+        }
+        ha.merge_from(&hb);
+        let merged = ha.snapshot();
+        let union = hu.snapshot();
+        prop_assert_eq!(merged.count, union.count);
+        prop_assert_eq!(merged.underflow, union.underflow);
+        prop_assert_eq!(merged.invalid, union.invalid);
+        prop_assert_eq!(&merged.buckets, &union.buckets);
+        prop_assert_eq!(merged.min, union.min);
+        prop_assert_eq!(merged.max, union.max);
+        // Sums can differ only by float association order.
+        let (ms, us) = (merged.sum, union.sum);
+        prop_assert!((ms - us).abs() <= 1e-9 * us.abs().max(1.0));
+    }
+}
