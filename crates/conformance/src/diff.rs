@@ -1,0 +1,550 @@
+//! The differential runner: one configuration, paired execution modes,
+//! bit-identical results — or a structured divergence report.
+//!
+//! Each of the repo's equivalence promises (serial ≡ pooled, cached ≡
+//! uncached, traced ≡ untraced, fresh ≡ resumed) is exercised by
+//! running the *same* [`FlowConfig`] under both modes and flattening
+//! the two [`FlowReport`]s through [`crate::flatten`]. Any difference
+//! is reported with its stage, point, sample and ULP distance, and the
+//! report is serialisable so CI can archive it as an artifact.
+
+use std::path::{Path, PathBuf};
+
+use hierflow::checkpoint::{
+    RunDir, Stage1Artifact, MANIFEST_FILE, STAGE1_FRONT, STAGE2_CHARACTERIZED, STAGE4_SYSTEM,
+};
+use hierflow::flow::{CacheConfig, FlowConfig, FlowReport, HierarchicalFlow, TelemetryConfig};
+use hierflow::vco_problem::VcoSizingProblem;
+use hierflow::{FlowError, VcoTestbench};
+use moea::problem::{Evaluation, Individual};
+use netlist::topology::VcoSizing;
+use serde::{Deserialize, Serialize};
+
+use crate::flatten::{flatten_report, MetricSample};
+use crate::ulp::{bits_identical, ulp_distance};
+
+/// How many individual divergences a report keeps; the total count is
+/// always recorded.
+const MAX_RECORDED_DIVERGENCES: usize = 32;
+
+/// One differing scalar between two paired runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Flow stage of the diverging scalar.
+    pub stage: String,
+    /// Pareto-point index, when applicable.
+    pub point: Option<usize>,
+    /// Monte-Carlo sample index, when applicable.
+    pub sample: Option<usize>,
+    /// Dotted field path of the scalar.
+    pub metric: String,
+    /// Value under the left (baseline) mode.
+    pub left: f64,
+    /// Value under the right (variant) mode.
+    pub right: f64,
+    /// ULP distance between the two values (`None` when either is NaN).
+    pub ulps: Option<u64>,
+    /// Set when the two reports disagree on *shape* (different point or
+    /// sample counts) rather than on a value — comparison stops there.
+    pub structural: bool,
+}
+
+/// The outcome of comparing two paired runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DivergenceReport {
+    /// Which pair produced this report, e.g. `serial-vs-pooled-4`.
+    pub pair: String,
+    /// Label of the baseline mode.
+    pub left_label: String,
+    /// Label of the variant mode.
+    pub right_label: String,
+    /// How many scalars were compared.
+    pub metrics_compared: usize,
+    /// Total number of diverging scalars.
+    pub total_divergences: usize,
+    /// The first [`MAX_RECORDED_DIVERGENCES`] divergences, in
+    /// execution-stage order — element 0 is the first differing
+    /// stage/point/sample of the whole flow.
+    pub divergences: Vec<Divergence>,
+}
+
+impl DivergenceReport {
+    /// Whether the two runs were bit-identical on every compared
+    /// scalar.
+    pub fn identical(&self) -> bool {
+        self.total_divergences == 0
+    }
+
+    /// The first divergence in execution order, if any.
+    pub fn first(&self) -> Option<&Divergence> {
+        self.divergences.first()
+    }
+
+    /// One-paragraph human summary, leading with the first divergence.
+    pub fn summary(&self) -> String {
+        match self.first() {
+            None => format!(
+                "{}: {} vs {}: bit-identical across {} scalars",
+                self.pair, self.left_label, self.right_label, self.metrics_compared
+            ),
+            Some(d) => {
+                let mut loc = d.stage.clone();
+                if let Some(p) = d.point {
+                    loc.push_str(&format!("[point {p}]"));
+                }
+                if let Some(s) = d.sample {
+                    loc.push_str(&format!("[sample {s}]"));
+                }
+                let ulps = match d.ulps {
+                    Some(u) => format!("{u} ULPs apart"),
+                    None => "NaN involved".to_string(),
+                };
+                format!(
+                    "{}: {} vs {}: {} of {} scalars diverge; first at {}.{}: {:e} vs {:e} ({}{})",
+                    self.pair,
+                    self.left_label,
+                    self.right_label,
+                    self.total_divergences,
+                    self.metrics_compared,
+                    loc,
+                    d.metric,
+                    d.left,
+                    d.right,
+                    ulps,
+                    if d.structural { ", structural" } else { "" },
+                )
+            }
+        }
+    }
+
+    /// Writes the report as pretty JSON into `dir` (created if
+    /// missing), named after the pair. Returns the file path.
+    pub fn write_json(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let name: String = self
+            .pair
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = dir.join(format!("{name}.divergence.json"));
+        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+}
+
+/// Where divergence reports land: `$CONFORMANCE_REPORT_DIR` when set
+/// (CI points this at an artifact-uploaded directory), otherwise
+/// `target/conformance-reports` under the workspace.
+pub fn report_output_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CONFORMANCE_REPORT_DIR") {
+        if !dir.trim().is_empty() {
+            return PathBuf::from(dir);
+        }
+    }
+    // CARGO_MANIFEST_DIR = crates/conformance → workspace target/.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/conformance-reports")
+}
+
+/// Compares two flattened reports scalar by scalar.
+pub fn compare_reports(
+    pair: &str,
+    left_label: &str,
+    right_label: &str,
+    left: &FlowReport,
+    right: &FlowReport,
+) -> DivergenceReport {
+    let a = flatten_report(left);
+    let b = flatten_report(right);
+    let mut divergences = Vec::new();
+    let mut total = 0usize;
+    let compared = a.len().min(b.len());
+
+    for (ma, mb) in a.iter().zip(b.iter()) {
+        if ma.stage != mb.stage
+            || ma.point != mb.point
+            || ma.sample != mb.sample
+            || ma.metric != mb.metric
+        {
+            // Shape drift: after the first structural mismatch the
+            // element-wise pairing is meaningless, so record it and
+            // stop rather than report a cascade of false diffs.
+            total += 1;
+            divergences.push(structural_divergence(ma, mb));
+            break;
+        }
+        if !bits_identical(ma.value, mb.value) {
+            total += 1;
+            if divergences.len() < MAX_RECORDED_DIVERGENCES {
+                divergences.push(Divergence {
+                    stage: ma.stage.clone(),
+                    point: ma.point,
+                    sample: ma.sample,
+                    metric: ma.metric.clone(),
+                    left: ma.value,
+                    right: mb.value,
+                    ulps: ulp_distance(ma.value, mb.value),
+                    structural: false,
+                });
+            }
+        }
+    }
+    if a.len() != b.len() && divergences.iter().all(|d| !d.structural) {
+        // Same prefix, different tails (e.g. one report has extra MC
+        // samples): surface the length mismatch explicitly.
+        total += 1;
+        divergences.push(Divergence {
+            stage: "report".to_string(),
+            point: None,
+            sample: None,
+            metric: "flattened.len".to_string(),
+            left: a.len() as f64,
+            right: b.len() as f64,
+            ulps: None,
+            structural: true,
+        });
+    }
+
+    DivergenceReport {
+        pair: pair.to_string(),
+        left_label: left_label.to_string(),
+        right_label: right_label.to_string(),
+        metrics_compared: compared,
+        total_divergences: total,
+        divergences,
+    }
+}
+
+fn structural_divergence(a: &MetricSample, b: &MetricSample) -> Divergence {
+    Divergence {
+        stage: a.stage.clone(),
+        point: a.point,
+        sample: a.sample,
+        metric: format!("{} (vs {})", a.path(), b.path()),
+        left: a.value,
+        right: b.value,
+        ulps: None,
+        structural: true,
+    }
+}
+
+/// A paired execution mode for [`DiffRunner::run_pair`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairMode {
+    /// Serial (all pools at 1 thread) vs pooled at `n` threads.
+    Pooled(usize),
+    /// Memo cache off vs exact-key cache on (memory + disk tier).
+    Cache,
+    /// Telemetry off vs span tracing + metrics on.
+    Telemetry,
+}
+
+impl PairMode {
+    fn pair_name(self) -> String {
+        match self {
+            PairMode::Pooled(n) => format!("serial-vs-pooled-{n}"),
+            PairMode::Cache => "uncached-vs-cached".to_string(),
+            PairMode::Telemetry => "untraced-vs-traced".to_string(),
+        }
+    }
+
+    fn labels(self) -> (String, String) {
+        match self {
+            PairMode::Pooled(n) => ("serial".to_string(), format!("pooled×{n}")),
+            PairMode::Cache => ("cache-off".to_string(), "cache-exact-key".to_string()),
+            PairMode::Telemetry => ("telemetry-off".to_string(), "telemetry-on".to_string()),
+        }
+    }
+}
+
+/// The outcome of one differential pair: both reports plus their
+/// comparison.
+pub struct PairOutcome {
+    /// The comparison (pair name, labels, divergences).
+    pub report: DivergenceReport,
+    /// The baseline run's full report (reusable as a golden subject).
+    pub baseline: FlowReport,
+}
+
+impl PairOutcome {
+    /// Panics with the summary if the pair diverged, writing the JSON
+    /// report into [`report_output_dir`] first so CI archives it.
+    pub fn assert_identical(&self) {
+        if !self.report.identical() {
+            let dir = report_output_dir();
+            let written = self
+                .report
+                .write_json(&dir)
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|e| format!("unwritable ({e})"));
+            panic!("{} — report: {written}", self.report.summary());
+        }
+    }
+}
+
+/// A conformance-scale flow configuration: every stage runs for real,
+/// but with budgets tuned so a differential *pair* (two full runs)
+/// stays affordable in debug builds. The spec window is loosened the
+/// same way the e2e tests loosen it — the subject here is equivalence,
+/// not front quality.
+pub fn micro_flow_config() -> FlowConfig {
+    let mut cfg = FlowConfig::quick();
+    cfg.circuit_ga.population = 8;
+    cfg.circuit_ga.generations = 2;
+    cfg.char_mc.samples = 3;
+    cfg.max_char_points = 2;
+    cfg.system_ga.population = 16;
+    cfg.system_ga.generations = 6;
+    cfg.verify_mc.samples = 3;
+    cfg.spec.lock_time_max = 5e-6;
+    cfg.spec.current_max = 50e-3;
+    // A differential pair pays for every transistor-level sim twice,
+    // so the oscillator measurement is trimmed hard: fewer warm-up and
+    // measured periods, a coarser fine pass, and a narrower coarse
+    // search window. Equivalence (the subject under test) is
+    // indifferent to measurement fidelity.
+    cfg.testbench.osc.warmup_periods = 2;
+    cfg.testbench.osc.measure_periods = 5;
+    cfg.testbench.osc.points_per_period = 16;
+    cfg.testbench.osc.f_min_expected = 100e6;
+    cfg
+}
+
+/// Runs one [`FlowConfig`] under paired modes and compares the
+/// results.
+///
+/// All runs start from the *same* seeded stage-1 front (a handful of
+/// real testbench evaluations of a nominal-family sweep, paid once in
+/// the constructor), so a pair costs two stage-2→5 passes, not two GA
+/// campaigns. GA pool equivalence is covered separately by the cheap
+/// synthetic-problem differential test.
+pub struct DiffRunner {
+    config: FlowConfig,
+    stage1: Stage1Artifact,
+    scratch: PathBuf,
+}
+
+impl DiffRunner {
+    /// A runner over [`micro_flow_config`] with a 3-point seeded
+    /// front. `tag` isolates this runner's scratch directories.
+    pub fn new(tag: &str) -> Self {
+        Self::with_config(tag, micro_flow_config(), 3)
+    }
+
+    /// A runner over an explicit configuration with an `n`-point
+    /// seeded front.
+    pub fn with_config(tag: &str, config: FlowConfig, n: usize) -> Self {
+        let stage1 = seeded_stage1_front(&config.testbench, n);
+        let scratch =
+            std::env::temp_dir().join(format!("conformance_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        DiffRunner {
+            config,
+            stage1,
+            scratch,
+        }
+    }
+
+    /// The configuration every pair runs under.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Creates a fresh run directory seeded with the shared stage-1
+    /// front, and returns its path.
+    fn prepare_dir(&self, label: &str) -> PathBuf {
+        let dir = self.scratch.join(label);
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = RunDir::create(&dir).expect("conformance run dir");
+        run.save(STAGE1_FRONT, &self.stage1)
+            .expect("seed stage-1 artifact");
+        dir
+    }
+
+    /// Runs one mode of a pair to completion (with checkpoints, so the
+    /// cache's disk tier and resume machinery are exercised for real).
+    pub fn run_one(&self, label: &str, config: FlowConfig) -> Result<FlowReport, FlowError> {
+        let dir = self.prepare_dir(label);
+        HierarchicalFlow::new(config).run_with_checkpoints(&dir)
+    }
+
+    /// Runs a differential pair and returns both the comparison and
+    /// the baseline report.
+    pub fn run_pair(&self, mode: PairMode) -> Result<PairOutcome, FlowError> {
+        let (left_label, right_label) = mode.labels();
+        let pair = mode.pair_name();
+        let (left_cfg, right_cfg) = self.pair_configs(mode);
+        let left = self.run_one(&format!("{pair}_left"), left_cfg)?;
+        let right = self.run_one(&format!("{pair}_right"), right_cfg)?;
+        let report = compare_reports(&pair, &left_label, &right_label, &left, &right);
+        Ok(PairOutcome {
+            report,
+            baseline: left,
+        })
+    }
+
+    fn pair_configs(&self, mode: PairMode) -> (FlowConfig, FlowConfig) {
+        let mut left = self.config.clone();
+        let mut right = self.config.clone();
+        match mode {
+            PairMode::Pooled(n) => {
+                set_threads(&mut left, 1);
+                set_threads(&mut right, n.max(2));
+            }
+            PairMode::Cache => {
+                left.cache.enabled = false;
+                right.cache = CacheConfig::enabled();
+            }
+            PairMode::Telemetry => {
+                left.telemetry.enabled = false;
+                right.telemetry = TelemetryConfig::enabled();
+            }
+        }
+        (left, right)
+    }
+
+    /// The fresh-vs-resumed axis: one fresh checkpointed reference run,
+    /// then one resumed run per stage boundary, each starting from a
+    /// directory holding exactly the artifacts that existed at that
+    /// boundary. Returns one outcome per boundary.
+    pub fn run_resume_pairs(&self) -> Result<Vec<PairOutcome>, FlowError> {
+        let ref_dir = self.prepare_dir("resume_reference");
+        let reference =
+            HierarchicalFlow::new(self.config.clone()).run_with_checkpoints(&ref_dir)?;
+
+        // Stage 3 (model build) is folded into the system-opt stage's
+        // inputs and stage 5's artifact is terminal, so the resumable
+        // boundaries are after stages 1, 2 and 4.
+        let boundaries: [(&str, &[&str]); 3] = [
+            ("after-stage1", &[MANIFEST_FILE, STAGE1_FRONT]),
+            (
+                "after-stage2",
+                &[MANIFEST_FILE, STAGE1_FRONT, STAGE2_CHARACTERIZED],
+            ),
+            (
+                "after-stage4",
+                &[
+                    MANIFEST_FILE,
+                    STAGE1_FRONT,
+                    STAGE2_CHARACTERIZED,
+                    STAGE4_SYSTEM,
+                ],
+            ),
+        ];
+
+        let mut outcomes = Vec::new();
+        for (name, files) in boundaries {
+            let dir = self.scratch.join(format!("resume_{name}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("resume boundary dir");
+            for file in files {
+                std::fs::copy(ref_dir.join(file), dir.join(file))
+                    .unwrap_or_else(|e| panic!("copy {file} for {name}: {e}"));
+            }
+            let resumed = HierarchicalFlow::new(self.config.clone()).resume(&dir)?;
+            let report = compare_reports(
+                &format!("fresh-vs-resumed-{name}"),
+                "fresh",
+                &format!("resumed-{name}"),
+                &reference,
+                &resumed,
+            );
+            outcomes.push(PairOutcome {
+                report,
+                baseline: reference.clone(),
+            });
+        }
+        Ok(outcomes)
+    }
+
+    /// Removes this runner's scratch directories.
+    pub fn cleanup(&self) {
+        let _ = std::fs::remove_dir_all(&self.scratch);
+    }
+}
+
+fn set_threads(cfg: &mut FlowConfig, n: usize) {
+    cfg.circuit_ga.eval_threads = n;
+    cfg.char_mc.threads = n;
+    cfg.system_ga.eval_threads = n;
+    cfg.verify_mc.threads = n;
+}
+
+/// A small Pareto front built from real testbench evaluations of a
+/// nominal-family sizing sweep — the same seeding the e2e tests use,
+/// packaged as a stage-1 checkpoint artifact.
+pub fn seeded_stage1_front(testbench: &VcoTestbench, n: usize) -> Stage1Artifact {
+    let front: Vec<Individual> = (0..n)
+        .map(|i| {
+            let mut sizing = VcoSizing::nominal();
+            sizing.wsn *= 1.0 + 0.25 * i as f64;
+            sizing.wsp *= 1.0 + 0.25 * i as f64;
+            let perf = testbench
+                .evaluate_sizing(&sizing)
+                .expect("nominal-family sizing evaluates");
+            Individual::new(
+                sizing.to_array().to_vec(),
+                Evaluation::feasible(VcoSizingProblem::objectives_of(&perf)),
+            )
+        })
+        .collect();
+    Stage1Artifact {
+        front,
+        evaluations: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divergence_summary_names_stage_point_and_sample() {
+        let report = DivergenceReport {
+            pair: "demo".into(),
+            left_label: "a".into(),
+            right_label: "b".into(),
+            metrics_compared: 10,
+            total_divergences: 1,
+            divergences: vec![Divergence {
+                stage: "characterize".into(),
+                point: Some(2),
+                sample: Some(3),
+                metric: "vco.kvco".into(),
+                left: 1.0,
+                right: 1.5,
+                ulps: ulp_distance(1.0, 1.5),
+                structural: false,
+            }],
+        };
+        let s = report.summary();
+        assert!(s.contains("characterize[point 2][sample 3]"), "{s}");
+        assert!(s.contains("ULPs"), "{s}");
+        assert!(!report.identical());
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = DivergenceReport {
+            pair: "serial-vs-pooled-4".into(),
+            left_label: "serial".into(),
+            right_label: "pooled×4".into(),
+            metrics_compared: 5,
+            total_divergences: 0,
+            divergences: vec![],
+        };
+        let dir = std::env::temp_dir().join(format!("conf_report_{}", std::process::id()));
+        let path = report.write_json(&dir).expect("report writes");
+        let text = std::fs::read_to_string(&path).expect("report readable");
+        let back: DivergenceReport = serde_json::from_str(&text).expect("report parses");
+        assert!(back.identical());
+        assert_eq!(back.pair, report.pair);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

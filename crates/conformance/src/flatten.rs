@@ -1,0 +1,401 @@
+//! Flattens a [`FlowReport`] into a stage-ordered list of named
+//! scalars.
+//!
+//! Both halves of the harness walk reports through this single lens:
+//! the differential runner compares two flattened lists element by
+//! element (so the *first* divergence it reports really is the first
+//! differing stage/point/sample in execution order), and the golden
+//! checker addresses individual scalars by `(stage, point, sample,
+//! metric)` coordinates.
+//!
+//! Only semantic artifacts are flattened. Observational fields —
+//! `events`, `stage_wall`, `profile`, `circuit_evaluations_this_run` —
+//! legitimately differ between paired runs (wall-clock, scheduling,
+//! resume provenance) and are deliberately excluded from the
+//! bit-identity contract.
+
+use hierflow::charmodel::VcoDeltas;
+use hierflow::flow::FlowReport;
+use hierflow::system_opt::SystemSolution;
+use hierflow::VcoPerf;
+use netlist::topology::VcoSizing;
+use serde::{Deserialize, Serialize};
+
+/// One named scalar from a flow report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Flow stage the scalar belongs to: `circuit_opt`,
+    /// `characterize`, `system_opt`, `select` or `verify`.
+    pub stage: String,
+    /// Pareto-point index within the stage, when applicable.
+    pub point: Option<usize>,
+    /// Monte-Carlo sample index within the point, when applicable.
+    pub sample: Option<usize>,
+    /// Dotted field path, e.g. `perf.kvco` or `sizing.wsn`.
+    pub metric: String,
+    /// The value. Counts and booleans are widened to `f64` (exact for
+    /// every magnitude that occurs here).
+    pub value: f64,
+}
+
+impl MetricSample {
+    /// The `(stage, point, sample, metric)` coordinates as a display
+    /// string, e.g. `characterize[point 2].delta.ivco`.
+    pub fn path(&self) -> String {
+        let mut s = self.stage.clone();
+        if let Some(p) = self.point {
+            s.push_str(&format!("[point {p}]"));
+        }
+        if let Some(i) = self.sample {
+            s.push_str(&format!("[sample {i}]"));
+        }
+        s.push('.');
+        s.push_str(&self.metric);
+        s
+    }
+
+    /// Whether this sample sits at the given golden coordinates.
+    pub fn at(
+        &self,
+        stage: &str,
+        point: Option<usize>,
+        sample: Option<usize>,
+        metric: &str,
+    ) -> bool {
+        self.stage == stage && self.point == point && self.sample == sample && self.metric == metric
+    }
+}
+
+/// Flattens a report into execution-stage order. Two runs of the same
+/// configuration must produce identical lists (same paths, same bit
+/// patterns) — that is the contract the differential pairs check.
+pub fn flatten_report(report: &FlowReport) -> Vec<MetricSample> {
+    let mut out = Vec::new();
+    let push = |out: &mut Vec<MetricSample>,
+                stage: &str,
+                point: Option<usize>,
+                sample: Option<usize>,
+                metric: &str,
+                value: f64| {
+        out.push(MetricSample {
+            stage: stage.to_string(),
+            point,
+            sample,
+            metric: metric.to_string(),
+            value,
+        });
+    };
+
+    // Stage 1: circuit-level optimisation. The front itself is interior
+    // to the characterisation artifact; the evaluation budget is the
+    // stage's observable. (`circuit_evaluations_this_run` is resume
+    // provenance, not a result.)
+    push(
+        &mut out,
+        "circuit_opt",
+        None,
+        None,
+        "circuit_evaluations",
+        report.circuit_evaluations as f64,
+    );
+
+    // Stage 2: characterised front (the paper's Table 1 data).
+    push(
+        &mut out,
+        "characterize",
+        None,
+        None,
+        "points.len",
+        report.front.points.len() as f64,
+    );
+    for (p, point) in report.front.points.iter().enumerate() {
+        let p = Some(p);
+        for (name, v) in sizing_fields(&point.sizing) {
+            push(
+                &mut out,
+                "characterize",
+                p,
+                None,
+                &format!("sizing.{name}"),
+                v,
+            );
+        }
+        for (name, v) in perf_fields(&point.perf) {
+            push(
+                &mut out,
+                "characterize",
+                p,
+                None,
+                &format!("perf.{name}"),
+                v,
+            );
+        }
+        // Derived: tuning range must be positive for a working VCO —
+        // a golden band anchors it without naming both endpoints.
+        push(
+            &mut out,
+            "characterize",
+            p,
+            None,
+            "perf.tuning_range",
+            point.perf.fmax - point.perf.fmin,
+        );
+        for (name, v) in delta_fields(&point.delta) {
+            push(
+                &mut out,
+                "characterize",
+                p,
+                None,
+                &format!("delta.{name}"),
+                v,
+            );
+        }
+        push(
+            &mut out,
+            "characterize",
+            p,
+            None,
+            "mc_accepted",
+            point.mc_accepted as f64,
+        );
+        push(
+            &mut out,
+            "characterize",
+            p,
+            None,
+            "mc_failed",
+            point.mc_failed as f64,
+        );
+    }
+
+    // Stage 4: system-level front (the paper's Table 2 data).
+    push(
+        &mut out,
+        "system_opt",
+        None,
+        None,
+        "system_evaluations",
+        report.system_evaluations as f64,
+    );
+    push(
+        &mut out,
+        "system_opt",
+        None,
+        None,
+        "system_front.len",
+        report.system_front.len() as f64,
+    );
+    for (p, sol) in report.system_front.iter().enumerate() {
+        push_system_solution(&mut out, "system_opt", Some(p), sol, &push);
+    }
+
+    // Stage 5a: selection + spec propagation.
+    push_system_solution(&mut out, "select", None, &report.selected, &push);
+    push(
+        &mut out,
+        "select",
+        None,
+        None,
+        "selected_x.len",
+        report.selected_x.len() as f64,
+    );
+    for (i, v) in report.selected_x.iter().enumerate() {
+        push(
+            &mut out,
+            "select",
+            None,
+            None,
+            &format!("selected_x[{i}]"),
+            *v,
+        );
+    }
+    for (name, v) in sizing_fields(&report.final_sizing) {
+        push(
+            &mut out,
+            "select",
+            None,
+            None,
+            &format!("final_sizing.{name}"),
+            v,
+        );
+    }
+
+    // Stage 5b: bottom-up verification.
+    let ver = &report.verification;
+    push(&mut out, "verify", None, None, "passed", ver.passed as f64);
+    push(&mut out, "verify", None, None, "total", ver.total as f64);
+    push(
+        &mut out,
+        "verify",
+        None,
+        None,
+        "yield_value",
+        ver.yield_value,
+    );
+    push(
+        &mut out,
+        "verify",
+        None,
+        None,
+        "yield_ci.lo",
+        ver.yield_ci.0,
+    );
+    push(
+        &mut out,
+        "verify",
+        None,
+        None,
+        "yield_ci.hi",
+        ver.yield_ci.1,
+    );
+    push(
+        &mut out,
+        "verify",
+        None,
+        None,
+        "evaluation_failures",
+        ver.evaluation_failures as f64,
+    );
+    push(
+        &mut out,
+        "verify",
+        None,
+        None,
+        "vco_samples.len",
+        ver.vco_samples.len() as f64,
+    );
+    for (i, perf) in ver.vco_samples.iter().enumerate() {
+        for (name, v) in perf_fields(perf) {
+            push(&mut out, "verify", None, Some(i), &format!("vco.{name}"), v);
+        }
+    }
+
+    out
+}
+
+fn push_system_solution(
+    out: &mut Vec<MetricSample>,
+    stage: &str,
+    point: Option<usize>,
+    sol: &SystemSolution,
+    push: &impl Fn(&mut Vec<MetricSample>, &str, Option<usize>, Option<usize>, &str, f64),
+) {
+    for (name, v) in [
+        ("kvco", sol.kvco),
+        ("kvco_min", sol.kvco_min),
+        ("kvco_max", sol.kvco_max),
+        ("ivco", sol.ivco),
+        ("ivco_min", sol.ivco_min),
+        ("ivco_max", sol.ivco_max),
+        ("c1", sol.c1),
+        ("c2", sol.c2),
+        ("r1", sol.r1),
+        ("lock_time", sol.lock_time),
+        ("lock_time_worst", sol.lock_time_worst),
+        ("jitter", sol.jitter),
+        ("jitter_min", sol.jitter_min),
+        ("jitter_max", sol.jitter_max),
+        ("current", sol.current),
+        ("current_min", sol.current_min),
+        ("current_max", sol.current_max),
+    ] {
+        push(out, stage, point, None, name, v);
+    }
+    push(
+        out,
+        stage,
+        point,
+        None,
+        "meets_spec",
+        f64::from(u8::from(sol.meets_spec)),
+    );
+    // Derived corner margins: non-negative exactly when the nominal
+    // value sits inside its [min, max] corner window — the paper's
+    // corner behaviour as a single golden-checkable scalar each.
+    push(
+        out,
+        stage,
+        point,
+        None,
+        "kvco_corner_margin",
+        corner_margin(sol.kvco, sol.kvco_min, sol.kvco_max),
+    );
+    push(
+        out,
+        stage,
+        point,
+        None,
+        "jitter_corner_margin",
+        corner_margin(sol.jitter, sol.jitter_min, sol.jitter_max),
+    );
+    push(
+        out,
+        stage,
+        point,
+        None,
+        "current_corner_margin",
+        corner_margin(sol.current, sol.current_min, sol.current_max),
+    );
+}
+
+fn corner_margin(nominal: f64, min: f64, max: f64) -> f64 {
+    (nominal - min).min(max - nominal)
+}
+
+fn sizing_fields(s: &VcoSizing) -> [(&'static str, f64); 7] {
+    [
+        ("wn", s.wn),
+        ("wp", s.wp),
+        ("wsn", s.wsn),
+        ("wsp", s.wsp),
+        ("l_inv", s.l_inv),
+        ("l_starve", s.l_starve),
+        ("w_bias", s.w_bias),
+    ]
+}
+
+fn perf_fields(p: &VcoPerf) -> [(&'static str, f64); 5] {
+    [
+        ("kvco", p.kvco),
+        ("ivco", p.ivco),
+        ("jvco", p.jvco),
+        ("fmin", p.fmin),
+        ("fmax", p.fmax),
+    ]
+}
+
+fn delta_fields(d: &VcoDeltas) -> [(&'static str, f64); 5] {
+    [
+        ("kvco", d.kvco),
+        ("ivco", d.ivco),
+        ("jvco", d.jvco),
+        ("fmin", d.fmin),
+        ("fmax", d.fmax),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_renders_all_coordinates() {
+        let m = MetricSample {
+            stage: "characterize".into(),
+            point: Some(2),
+            sample: None,
+            metric: "delta.ivco".into(),
+            value: 2.7,
+        };
+        assert_eq!(m.path(), "characterize[point 2].delta.ivco");
+        assert!(m.at("characterize", Some(2), None, "delta.ivco"));
+        assert!(!m.at("characterize", Some(1), None, "delta.ivco"));
+    }
+
+    #[test]
+    fn corner_margin_sign_encodes_ordering() {
+        assert!(corner_margin(5.0, 4.0, 6.0) > 0.0);
+        assert!(corner_margin(3.0, 4.0, 6.0) < 0.0);
+        assert!(corner_margin(7.0, 4.0, 6.0) < 0.0);
+    }
+}

@@ -1,0 +1,286 @@
+//! The golden corpus: tolerance-banded oracle vectors in
+//! `crates/conformance/golden/`.
+//!
+//! Each vector is a JSON list of `(stage, point, sample, metric)`
+//! coordinates (addressing the [`crate::flatten`] view of a
+//! [`FlowReport`]) with an inclusive `[lo, hi]` band. Two kinds of
+//! vector live side by side:
+//!
+//! * **Paper-anchored bands** (`paper_bands.json`): hand-written
+//!   ranges distilled from PAPER.md — VCO objective magnitudes, ∆%
+//!   spread magnitudes, PLL corner behaviour. These never regenerate;
+//!   editing them is a modelling decision.
+//! * **Regenerable vectors** (`micro_flow.json`): recorded from a
+//!   deterministic reference run with a relative tolerance band, so a
+//!   legitimate algorithm change updates them via
+//!   `cargo test -p conformance --features regen` and the diff is
+//!   reviewable.
+//!
+//! A failing check names the vector, stage, point and metric — the
+//! same provenance the differential reports carry.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use hierflow::flow::FlowReport;
+use serde::{Deserialize, Serialize};
+
+use crate::flatten::{flatten_report, MetricSample};
+
+/// One banded expectation on a single flow scalar.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldenEntry {
+    /// Flow stage of the scalar (see [`crate::flatten`]).
+    pub stage: String,
+    /// Pareto-point index, when applicable.
+    pub point: Option<usize>,
+    /// Monte-Carlo sample index, when applicable.
+    pub sample: Option<usize>,
+    /// Dotted field path of the scalar.
+    pub metric: String,
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+    /// Where the band comes from: a PAPER.md citation for hand-written
+    /// bands, `regen ±N%` for recorded ones.
+    pub note: String,
+}
+
+/// A named set of golden entries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GoldenVector {
+    /// Vector name (also its file stem under `golden/`).
+    pub name: String,
+    /// What this vector anchors and why.
+    pub description: String,
+    /// The banded expectations.
+    pub entries: Vec<GoldenEntry>,
+}
+
+/// One violated golden entry.
+#[derive(Debug, Clone)]
+pub struct GoldenFailure {
+    /// Name of the vector the entry came from.
+    pub vector: String,
+    /// The violated entry.
+    pub entry: GoldenEntry,
+    /// The observed value, or `None` when the coordinates matched no
+    /// scalar in the report (shape drift).
+    pub found: Option<f64>,
+}
+
+impl fmt::Display for GoldenFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = &self.entry;
+        write!(f, "golden vector `{}`: stage {}", self.vector, e.stage)?;
+        if let Some(p) = e.point {
+            write!(f, ", point {p}")?;
+        }
+        if let Some(s) = e.sample {
+            write!(f, ", sample {s}")?;
+        }
+        match self.found {
+            Some(v) => write!(
+                f,
+                ": metric {} = {v:e} outside band [{:e}, {:e}] ({})",
+                e.metric, e.lo, e.hi, e.note
+            ),
+            None => write!(
+                f,
+                ": metric {} missing from the report ({})",
+                e.metric, e.note
+            ),
+        }
+    }
+}
+
+/// The on-disk golden corpus directory,
+/// `crates/conformance/golden/`.
+pub fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// Loads a vector by name from [`golden_dir`].
+pub fn load_vector(name: &str) -> GoldenVector {
+    let path = golden_dir().join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("golden vector {} unreadable: {e}", path.display()));
+    serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("golden vector {} unparsable: {e}", path.display()))
+}
+
+/// Writes a vector into [`golden_dir`] (the `--features regen` path).
+pub fn save_vector(vector: &GoldenVector) {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).expect("golden dir");
+    let path = dir.join(format!("{}.json", vector.name));
+    let json = serde_json::to_string_pretty(vector).expect("golden vector serialises");
+    std::fs::write(&path, json + "\n")
+        .unwrap_or_else(|e| panic!("golden vector {} unwritable: {e}", path.display()));
+}
+
+/// Checks a report against a vector; returns every violated entry
+/// (empty = pass).
+pub fn check_report(vector: &GoldenVector, report: &FlowReport) -> Vec<GoldenFailure> {
+    check_samples(vector, &flatten_report(report))
+}
+
+/// [`check_report`] over an already-flattened report.
+pub fn check_samples(vector: &GoldenVector, samples: &[MetricSample]) -> Vec<GoldenFailure> {
+    let mut failures = Vec::new();
+    for entry in &vector.entries {
+        let found = samples
+            .iter()
+            .find(|m| m.at(&entry.stage, entry.point, entry.sample, &entry.metric))
+            .map(|m| m.value);
+        let ok = match found {
+            Some(v) => v >= entry.lo && v <= entry.hi, // NaN fails both
+            None => false,
+        };
+        if !ok {
+            failures.push(GoldenFailure {
+                vector: vector.name.clone(),
+                entry: entry.clone(),
+                found,
+            });
+        }
+    }
+    failures
+}
+
+/// Panics with every violated entry if the report misses the vector.
+pub fn assert_golden(vector: &GoldenVector, report: &FlowReport) {
+    let failures = check_report(vector, report);
+    if !failures.is_empty() {
+        let lines: Vec<String> = failures.iter().map(GoldenFailure::to_string).collect();
+        panic!(
+            "{} golden violation(s):\n{}",
+            failures.len(),
+            lines.join("\n")
+        );
+    }
+}
+
+/// Builds a regen entry banding the observed value of `sample` with a
+/// symmetric relative tolerance (plus a small absolute floor so
+/// near-zero observations keep a usable band).
+pub fn regen_entry(sample: &MetricSample, rel_tol: f64, abs_floor: f64) -> GoldenEntry {
+    let half_width = (sample.value.abs() * rel_tol).max(abs_floor);
+    GoldenEntry {
+        stage: sample.stage.clone(),
+        point: sample.point,
+        sample: sample.sample,
+        metric: sample.metric.clone(),
+        lo: sample.value - half_width,
+        hi: sample.value + half_width,
+        note: format!("regen ±{:.0}%", rel_tol * 100.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(stage: &str, point: Option<usize>, metric: &str, value: f64) -> MetricSample {
+        MetricSample {
+            stage: stage.into(),
+            point,
+            sample: None,
+            metric: metric.into(),
+            value,
+        }
+    }
+
+    fn vector(entries: Vec<GoldenEntry>) -> GoldenVector {
+        GoldenVector {
+            name: "unit".into(),
+            description: "unit-test vector".into(),
+            entries,
+        }
+    }
+
+    fn entry(stage: &str, point: Option<usize>, metric: &str, lo: f64, hi: f64) -> GoldenEntry {
+        GoldenEntry {
+            stage: stage.into(),
+            point,
+            sample: None,
+            metric: metric.into(),
+            lo,
+            hi,
+            note: "unit".into(),
+        }
+    }
+
+    #[test]
+    fn in_band_passes_out_of_band_fails_with_provenance() {
+        let samples = vec![sample("characterize", Some(1), "delta.ivco", 2.7)];
+        let v = vector(vec![entry("characterize", Some(1), "delta.ivco", 0.1, 5.0)]);
+        assert!(check_samples(&v, &samples).is_empty());
+
+        let tight = vector(vec![entry("characterize", Some(1), "delta.ivco", 0.1, 1.0)]);
+        let failures = check_samples(&tight, &samples);
+        assert_eq!(failures.len(), 1);
+        let msg = failures[0].to_string();
+        assert!(msg.contains("stage characterize"), "{msg}");
+        assert!(msg.contains("point 1"), "{msg}");
+        assert!(msg.contains("delta.ivco"), "{msg}");
+    }
+
+    #[test]
+    fn missing_metric_fails() {
+        let v = vector(vec![entry("verify", None, "yield_value", 0.0, 1.0)]);
+        let failures = check_samples(&v, &[]);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].found.is_none());
+        assert!(
+            failures[0].to_string().contains("missing"),
+            "{}",
+            failures[0]
+        );
+    }
+
+    #[test]
+    fn nan_never_passes_a_band() {
+        let samples = vec![sample("verify", None, "yield_value", f64::NAN)];
+        let v = vector(vec![entry("verify", None, "yield_value", 0.0, 1.0)]);
+        assert_eq!(check_samples(&v, &samples).len(), 1);
+    }
+
+    #[test]
+    fn bands_are_inclusive() {
+        let samples = vec![sample("verify", None, "yield_value", 1.0)];
+        let v = vector(vec![entry("verify", None, "yield_value", 0.0, 1.0)]);
+        assert!(check_samples(&v, &samples).is_empty());
+    }
+
+    #[test]
+    fn regen_entry_bands_the_observation() {
+        let s = sample("select", None, "kvco", 2.0e9);
+        let e = regen_entry(&s, 0.25, 1e-12);
+        assert!(e.lo <= 2.0e9 && 2.0e9 <= e.hi);
+        assert!((e.hi - e.lo) > 0.9e9); // ±25 %
+        let z = regen_entry(
+            &sample("verify", None, "evaluation_failures", 0.0),
+            0.25,
+            0.5,
+        );
+        assert!(z.lo <= 0.0 && z.hi >= 0.0 && z.hi > 0.0);
+    }
+
+    #[test]
+    fn vector_json_round_trips() {
+        let v = vector(vec![entry(
+            "system_opt",
+            Some(0),
+            "kvco_corner_margin",
+            0.0,
+            1e308,
+        )]);
+        let text = serde_json::to_string_pretty(&v).expect("serialises");
+        let back: GoldenVector = serde_json::from_str(&text).expect("parses");
+        assert_eq!(back.entries.len(), 1);
+        assert_eq!(back.entries[0].metric, "kvco_corner_margin");
+        assert_eq!(back.entries[0].hi, 1e308);
+    }
+}

@@ -1,0 +1,43 @@
+//! Conformance harness for the hierarchical flow: differential,
+//! metamorphic and golden-oracle testing (DESIGN.md §11).
+//!
+//! The workspace makes four bit-identity promises — serial ≡ pooled,
+//! cache off ≡ exact-key cache, telemetry off ≡ on, fresh ≡
+//! checkpoint-resumed — and reproduces a paper whose headline numbers
+//! (VCO objective ranges, ∆% Monte-Carlo spreads, PLL corner
+//! behaviour) should be machine-checked, not eyeballed. This crate is
+//! the substrate for both:
+//!
+//! * [`diff`] — a [`diff::DiffRunner`] executing one [`hierflow::flow::FlowConfig`]
+//!   under paired modes and reporting the first differing
+//!   stage/point/sample with ULP distance;
+//! * [`flatten`] — the canonical stage-ordered scalar view of a
+//!   [`hierflow::flow::FlowReport`] both the differ and the golden
+//!   checker address;
+//! * [`golden`] — tolerance-banded JSON vectors under
+//!   `crates/conformance/golden/`, with a `--features regen`
+//!   re-recording path;
+//! * [`ulp`] — exact ULP distance between doubles.
+//!
+//! The metamorphic invariant suite (knot reproduction, extrapolation
+//! refusal, query-order and relabelling invariance, duplicated
+//! objectives, warm-vs-cold Newton) lives in this crate's
+//! `tests/metamorphic.rs`; the paired-mode and golden suites in
+//! `tests/differential.rs` and `tests/golden.rs`. Run with
+//! `cargo test -p conformance`.
+
+pub mod diff;
+pub mod flatten;
+pub mod golden;
+pub mod ulp;
+
+pub use diff::{
+    compare_reports, micro_flow_config, report_output_dir, seeded_stage1_front, DiffRunner,
+    Divergence, DivergenceReport, PairMode, PairOutcome,
+};
+pub use flatten::{flatten_report, MetricSample};
+pub use golden::{
+    assert_golden, check_report, check_samples, golden_dir, load_vector, regen_entry, save_vector,
+    GoldenEntry, GoldenFailure, GoldenVector,
+};
+pub use ulp::{bits_identical, ulp_distance};

@@ -1,0 +1,97 @@
+//! ULP (units in the last place) distance between floats.
+//!
+//! Divergence reports quantify *how far apart* two runs drifted, not
+//! just that they differ: a 1-ULP divergence points at a reassociated
+//! reduction, a 2⁵²-ULP one at a different code path entirely.
+
+/// Whether two floats are the same bit pattern (so NaN == NaN here,
+/// and +0.0 != -0.0). This is the identity the differential pairs
+/// promise — stricter than `==`.
+pub fn bits_identical(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits()
+}
+
+/// ULP distance between two finite floats: how many representable
+/// doubles lie between them (0 for identical bits). `None` when either
+/// value is NaN — NaNs have no meaningful ordering.
+///
+/// Uses the monotone mapping from IEEE-754 bit patterns to a signed
+/// integer line, so the distance is exact across the zero crossing
+/// (+0.0 and -0.0 are 0 apart) and saturates instead of overflowing.
+pub fn ulp_distance(a: f64, b: f64) -> Option<u64> {
+    if a.is_nan() || b.is_nan() {
+        return None;
+    }
+    let ia = monotone_bits(a);
+    let ib = monotone_bits(b);
+    Some(ia.abs_diff(ib))
+}
+
+/// Maps a double to an integer such that the float ordering becomes the
+/// integer ordering and adjacent floats map to adjacent integers.
+fn monotone_bits(x: f64) -> i64 {
+    let bits = x.to_bits() as i64;
+    if bits < 0 {
+        // Negative floats: two's-complement-style flip so that more
+        // negative floats map to more negative integers. -0.0 maps to
+        // the same point as +0.0.
+        i64::MIN.wrapping_add(bits.wrapping_neg())
+    } else {
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_bits_are_zero_ulps() {
+        assert_eq!(ulp_distance(1.5, 1.5), Some(0));
+        assert!(bits_identical(1.5, 1.5));
+        assert!(bits_identical(f64::NAN, f64::NAN));
+    }
+
+    #[test]
+    fn signed_zeros_are_zero_apart_but_not_bit_identical() {
+        assert_eq!(ulp_distance(0.0, -0.0), Some(0));
+        assert!(!bits_identical(0.0, -0.0));
+    }
+
+    #[test]
+    fn adjacent_floats_are_one_ulp() {
+        let a = 1.0f64;
+        let b = f64::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_distance(a, b), Some(1));
+        let c = -1.0f64;
+        let d = f64::from_bits(c.to_bits() + 1); // more negative
+        assert_eq!(ulp_distance(c, d), Some(1));
+    }
+
+    #[test]
+    fn distance_crosses_zero_correctly() {
+        let tiny = f64::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance(tiny, 0.0), Some(1));
+        assert_eq!(ulp_distance(tiny, -tiny), Some(2));
+    }
+
+    #[test]
+    fn nan_has_no_distance() {
+        assert_eq!(ulp_distance(f64::NAN, 1.0), None);
+        assert_eq!(ulp_distance(1.0, f64::NAN), None);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_monotone() {
+        let xs = [-2.0, -1.0, -1e-300, 0.0, 1e-300, 1.0, 2.0, 1e300];
+        for (i, &a) in xs.iter().enumerate() {
+            for &b in &xs[i..] {
+                assert_eq!(ulp_distance(a, b), ulp_distance(b, a));
+            }
+        }
+        // Wider float intervals contain more representable doubles.
+        let near = ulp_distance(1.0, 1.0 + 1e-15).unwrap();
+        let far = ulp_distance(1.0, 1.0 + 1e-12).unwrap();
+        assert!(far > near);
+    }
+}

@@ -1,0 +1,160 @@
+//! Differential conformance: the same configuration under paired
+//! execution modes must produce bit-identical results.
+//!
+//! Each pair runs the full stage-2→5 flow twice from an identical
+//! seeded stage-1 front (see [`conformance::DiffRunner`]); the GA pool
+//! itself is covered by a cheap synthetic-problem pair so no test pays
+//! for two transistor-level GA campaigns. A diverging pair panics with
+//! the first differing stage/point/sample and writes a JSON divergence
+//! report into `target/conformance-reports/` (or
+//! `$CONFORMANCE_REPORT_DIR`) for CI to archive.
+
+use conformance::{compare_reports, DiffRunner, PairMode};
+use moea::problem::{Evaluation, Problem};
+use moea::{run_nsga2, Nsga2Config};
+
+/// Serial pools and N-thread pools schedule work differently but must
+/// land on the same bits: samples are keyed by index, sample `i`
+/// always draws from RNG seed `seed + i`.
+#[test]
+fn serial_vs_pooled_flow_is_bit_identical() {
+    let runner = DiffRunner::new("pooled");
+    let threads = exec::threads_from_env(4).max(2);
+    let outcome = runner
+        .run_pair(PairMode::Pooled(threads))
+        .expect("both modes complete");
+    outcome.assert_identical();
+    runner.cleanup();
+}
+
+/// The exact-key memo cache is a speed knob, never a result knob —
+/// including its disk tier, exercised here because both runs carry
+/// checkpoints.
+#[test]
+fn cached_vs_uncached_flow_is_bit_identical() {
+    let runner = DiffRunner::new("cache");
+    let outcome = runner
+        .run_pair(PairMode::Cache)
+        .expect("both modes complete");
+    outcome.assert_identical();
+
+    // The comparator itself must not be vacuous: perturb one scalar of
+    // the baseline by a single ULP and the differ must name its exact
+    // stage and point.
+    let mut perturbed = outcome.baseline.clone();
+    let v = &mut perturbed.front.points[0].perf.kvco;
+    *v = f64::from_bits(v.to_bits() + 1);
+    let report = compare_reports(
+        "injected",
+        "baseline",
+        "perturbed",
+        &outcome.baseline,
+        &perturbed,
+    );
+    assert_eq!(report.total_divergences, 1, "{}", report.summary());
+    let d = report.first().expect("one divergence");
+    assert_eq!(d.stage, "characterize");
+    assert_eq!(d.point, Some(0));
+    assert_eq!(d.metric, "perf.kvco");
+    assert_eq!(d.ulps, Some(1));
+
+    runner.cleanup();
+}
+
+/// Telemetry is pure observation: span tracing and the metrics
+/// registry must not perturb a single bit of the results.
+#[test]
+fn traced_vs_untraced_flow_is_bit_identical() {
+    let runner = DiffRunner::new("telemetry");
+    let outcome = runner
+        .run_pair(PairMode::Telemetry)
+        .expect("both modes complete");
+    outcome.assert_identical();
+    runner.cleanup();
+}
+
+/// Resuming from a checkpoint directory holding exactly the artifacts
+/// of any stage boundary must complete to the same bits as the
+/// uninterrupted reference run.
+#[test]
+fn resumed_runs_at_every_boundary_match_fresh_run() {
+    let runner = DiffRunner::new("resume");
+    let outcomes = runner.run_resume_pairs().expect("all boundaries complete");
+    assert_eq!(outcomes.len(), 3, "three resumable stage boundaries");
+    for outcome in &outcomes {
+        outcome.assert_identical();
+    }
+    runner.cleanup();
+}
+
+/// A cheap 2-objective problem with enough arithmetic to expose any
+/// order-dependent reduction in the evaluator pool.
+struct SyntheticBowl;
+
+impl Problem for SyntheticBowl {
+    fn num_vars(&self) -> usize {
+        4
+    }
+    fn bounds(&self, _i: usize) -> (f64, f64) {
+        (-2.0, 2.0)
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, x: &[f64]) -> Evaluation {
+        let f1 = x.iter().map(|v| v * v).sum::<f64>();
+        let f2 = x.iter().map(|v| (v - 1.0) * (v - 1.0)).sum::<f64>();
+        Evaluation::feasible(vec![f1, f2])
+    }
+}
+
+/// The NSGA-II evaluator pool at 1 vs N threads: identical final
+/// populations, bit for bit — decision vectors and objectives alike.
+/// This covers the circuit-level GA axis the flow pairs skip by
+/// starting from a seeded stage-1 front.
+#[test]
+fn nsga2_serial_vs_pooled_is_bit_identical() {
+    let mut serial = Nsga2Config {
+        population: 24,
+        generations: 12,
+        seed: 77,
+        eval_threads: 1,
+        ..Default::default()
+    };
+    let mut pooled = serial;
+    pooled.eval_threads = exec::threads_from_env(4).max(2);
+
+    // Larger budgets in one matrix variant would still be cheap; keep
+    // the two configs identical except the thread count.
+    serial.axial_seeds = true;
+    pooled.axial_seeds = true;
+
+    let a = run_nsga2(&SyntheticBowl, &serial);
+    let b = run_nsga2(&SyntheticBowl, &pooled);
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.population.len(), b.population.len());
+    for (i, (ia, ib)) in a.population.iter().zip(&b.population).enumerate() {
+        assert_eq!(ia.x, ib.x, "decision vector of individual {i}");
+        assert_eq!(ia.objectives, ib.objectives, "objectives of individual {i}");
+        assert_eq!(
+            ia.constraints, ib.constraints,
+            "constraints of individual {i}"
+        );
+    }
+}
+
+/// Opt-in diagnostic: prints per-stage wall-clock of one conformance
+/// flow run, for tuning the micro budgets. Run with
+/// `cargo test -p conformance --test differential -- --ignored --nocapture stage_timing`.
+#[test]
+#[ignore = "diagnostic probe, not a conformance check"]
+fn stage_timing_probe() {
+    let runner = DiffRunner::new("timing");
+    let report = runner
+        .run_one("timing", runner.config().clone())
+        .expect("flow completes");
+    for s in &report.stage_wall {
+        eprintln!("stage {}: {} ms", s.stage, s.wall_us / 1000);
+    }
+    runner.cleanup();
+}

@@ -1,0 +1,124 @@
+//! Golden-oracle conformance: one deterministic micro flow against the
+//! banded vectors under `crates/conformance/golden/`.
+//!
+//! Two vectors, two lifecycles:
+//!
+//! * `paper_bands.json` — hand-written physical windows distilled from
+//!   PAPER.md (VCO objective magnitudes, ∆% spread magnitudes, corner
+//!   bracketing, yield as a probability). Editing them is a modelling
+//!   decision; they never regenerate.
+//! * `micro_flow.json` — recorded from the reference run with ±10 %
+//!   bands. A legitimate algorithm change re-records it via
+//!   `cargo test -p conformance --features regen` and the JSON diff is
+//!   what the reviewer reads.
+//!
+//! The flow runs once per process (it is the expensive part) and every
+//! test here checks the same report.
+
+use std::sync::OnceLock;
+
+use conformance::{
+    assert_golden, check_report, flatten_report, load_vector, regen_entry, DiffRunner, GoldenVector,
+};
+use hierflow::flow::FlowReport;
+
+/// The shared reference run: one micro flow per test process.
+fn micro_report() -> &'static FlowReport {
+    static REPORT: OnceLock<FlowReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let runner = DiffRunner::new("golden");
+        let report = runner
+            .run_one("golden", runner.config().clone())
+            .expect("reference flow completes");
+        runner.cleanup();
+        report
+    })
+}
+
+/// Distils the regenerable vector from a report: every stage-level and
+/// per-point scalar except the bulky per-row system front and the
+/// per-sample verification tail, banded at ±10 % (counts and booleans
+/// get a ±0.5 floor so a zero count stays a zero count).
+fn regen_vector(report: &FlowReport) -> GoldenVector {
+    let entries = flatten_report(report)
+        .iter()
+        .filter(|m| m.sample.is_none())
+        .filter(|m| !(m.stage == "system_opt" && m.point.is_some()))
+        .map(|m| {
+            let integral = m.value == m.value.trunc() && m.value.abs() < 1e6;
+            regen_entry(m, 0.10, if integral { 0.5 } else { 0.0 })
+        })
+        .collect();
+    GoldenVector {
+        name: "micro_flow".to_string(),
+        description: "Recorded micro-flow reference (regenerate with \
+                      `cargo test -p conformance --features regen`)"
+            .to_string(),
+        entries,
+    }
+}
+
+/// The paper-anchored windows must hold on any completed flow, micro
+/// budgets included: they encode physics and probability, not a
+/// particular run.
+#[test]
+fn paper_bands_hold_on_the_micro_flow() {
+    let vector = load_vector("paper_bands");
+    assert!(!vector.entries.is_empty(), "paper bands must not be empty");
+    assert_golden(&vector, micro_report());
+}
+
+/// The recorded reference vector holds — or, under `--features regen`,
+/// is re-recorded from the current run and then checked against it.
+#[test]
+fn micro_flow_matches_recorded_vector() {
+    let report = micro_report();
+    #[cfg(feature = "regen")]
+    {
+        let vector = regen_vector(report);
+        conformance::save_vector(&vector);
+        eprintln!(
+            "regenerated golden vector `micro_flow` with {} entries",
+            vector.entries.len()
+        );
+    }
+    let vector = load_vector("micro_flow");
+    assert!(
+        vector.entries.len() > 30,
+        "the recorded vector covers the stage scalars, got {}",
+        vector.entries.len()
+    );
+    assert_golden(&vector, report);
+
+    // The regen distillation must agree with what is on disk about
+    // which coordinates exist, whatever the band widths say.
+    let fresh = regen_vector(report);
+    assert_eq!(
+        fresh.entries.len(),
+        vector.entries.len(),
+        "flatten shape drifted without regenerating the vector"
+    );
+}
+
+/// Corrupting a golden band must fail the checker with the entry's
+/// full provenance — stage, point and metric — not a bare boolean.
+#[test]
+fn corrupting_a_golden_entry_names_stage_and_point() {
+    let mut vector = load_vector("micro_flow");
+    let entry = vector
+        .entries
+        .iter_mut()
+        .find(|e| e.stage == "characterize" && e.point == Some(0) && e.metric == "perf.kvco")
+        .expect("recorded vector bands characterize[point 0].perf.kvco");
+    // Shift the band to an impossible window just above the real value.
+    entry.lo = entry.hi + 1.0;
+    entry.hi = entry.lo + 1.0;
+
+    let failures = check_report(&vector, micro_report());
+    assert_eq!(failures.len(), 1, "exactly the corrupted entry fails");
+    let message = failures[0].to_string();
+    assert!(message.contains("stage characterize"), "{message}");
+    assert!(message.contains("point 0"), "{message}");
+    assert!(message.contains("perf.kvco"), "{message}");
+    assert!(failures[0].found.is_some(), "the value itself was present");
+}

@@ -1,0 +1,273 @@
+//! Metamorphic conformance: invariants that must hold under input
+//! relabellings no component is allowed to observe.
+//!
+//! Each property perturbs an input along an axis the implementation
+//! promises not to depend on — construction order, query order, seed
+//! labelling, duplicated objectives, solver starting point — and
+//! demands the output stay fixed (bit-exact where the contract is
+//! bit-identity, within tolerance where it is numerical convergence).
+
+use moea::problem::{pareto_dominates, Evaluation, Individual};
+use moea::sorting::fast_non_dominated_sort;
+use netlist::topology::{build_ring_vco, VcoSizing};
+use netlist::{Circuit, Device, MosModel, Mosfet, SourceWaveform};
+use proptest::prelude::*;
+use spicesim::dc::{dc_operating_point, dc_sweep};
+use spicesim::SimOptions;
+use tablemodel::error::TableModelError;
+use tablemodel::interp::Table1d;
+use tablemodel::scattered::{ScatterMethod, ScatteredTable};
+use variation::{McConfig, MonteCarlo, ProcessSpec};
+
+/// The paper's `"3E"` control: cubic spline, extrapolation forbidden.
+fn spec_3e() -> tablemodel::control::ControlSpec {
+    "3E".parse().expect("3E parses")
+}
+
+/// Strictly increasing abscissae from positive gaps (distinct xs keep
+/// the duplicate-averaging path out of permutation tests).
+fn cumsum(gaps: &[f64]) -> Vec<f64> {
+    let mut x = 0.0;
+    gaps.iter()
+        .map(|g| {
+            x += g;
+            x
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `"3E"` tables reproduce every knot bit-exactly: at `x = x_i` the
+    /// spline basis collapses to `1·y_i + 0·y_{i+1} + 0`, and the table
+    /// must not launder that through any rounding.
+    #[test]
+    fn table_3e_reproduces_knots_bit_exactly(
+        gaps in prop::collection::vec(0.125f64..2.0, 4..10),
+        ys in prop::collection::vec(0.125f64..8.0, 10),
+    ) {
+        let xs = cumsum(&gaps);
+        let ys = ys[..xs.len()].to_vec();
+        let t = Table1d::new(xs.clone(), ys.clone(), spec_3e()).expect("valid table");
+        for (x, y) in xs.iter().zip(&ys) {
+            let v = t.eval(*x).expect("knots are in-domain");
+            prop_assert_eq!(
+                v.to_bits(), y.to_bits(),
+                "knot x={} expected {:e} got {:e}", x, y, v
+            );
+        }
+    }
+
+    /// `"3E"` refuses extrapolation on both sides with the offending
+    /// value and domain in the error.
+    #[test]
+    fn table_3e_refuses_extrapolation(
+        gaps in prop::collection::vec(0.125f64..2.0, 4..10),
+        ys in prop::collection::vec(0.125f64..8.0, 10),
+        overshoot in 1e-9f64..5.0,
+    ) {
+        let xs = cumsum(&gaps);
+        let ys = ys[..xs.len()].to_vec();
+        let t = Table1d::new(xs, ys, spec_3e()).expect("valid table");
+        let (lo, hi) = t.domain();
+        for probe in [lo - overshoot, hi + overshoot] {
+            match t.eval(probe) {
+                Err(TableModelError::OutOfDomain { value, lo: elo, hi: ehi, .. }) => {
+                    prop_assert_eq!(value, probe);
+                    prop_assert_eq!(elo, lo);
+                    prop_assert_eq!(ehi, hi);
+                }
+                other => prop_assert!(false, "expected OutOfDomain, got {:?}", other),
+            }
+        }
+    }
+
+    /// Table construction is permutation-invariant: feeding the same
+    /// distinct (x, y) pairs in any order yields a table whose spline
+    /// evaluates bit-identically everywhere.
+    #[test]
+    fn table_construction_is_permutation_invariant(
+        ys in prop::collection::vec(0.125f64..8.0, 8),
+        perm in Just((0usize..8).collect::<Vec<usize>>()).prop_shuffle(),
+        probes in prop::collection::vec(0.0f64..3.5, 1..8),
+    ) {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+        let sx: Vec<f64> = perm.iter().map(|&i| xs[i]).collect();
+        let sy: Vec<f64> = perm.iter().map(|&i| ys[i]).collect();
+        let a = Table1d::new(xs, ys, spec_3e()).expect("sorted order builds");
+        let b = Table1d::new(sx, sy, spec_3e()).expect("shuffled order builds");
+        for p in probes {
+            let va = a.eval(p).expect("in-domain");
+            let vb = b.eval(p).expect("in-domain");
+            prop_assert_eq!(va.to_bits(), vb.to_bits(), "probe {}: {:e} vs {:e}", p, va, vb);
+        }
+    }
+
+    /// Spline and scattered-table output is invariant in query order:
+    /// evaluating a batch of probes forwards and in a shuffled order
+    /// produces the same bits probe-for-probe — evaluation holds no
+    /// hidden state.
+    #[test]
+    fn query_order_never_changes_answers(
+        ys in prop::collection::vec(0.125f64..8.0, 8),
+        probes in prop::collection::vec(0.05f64..3.45, 8),
+        order in Just((0usize..8).collect::<Vec<usize>>()).prop_shuffle(),
+    ) {
+        let xs: Vec<f64> = (0..8).map(|i| i as f64 * 0.5).collect();
+        let t = Table1d::new(xs.clone(), ys.clone(), spec_3e()).expect("valid table");
+        let forward: Vec<f64> = probes.iter().map(|&p| t.eval(p).expect("in-domain")).collect();
+        for &i in &order {
+            let v = t.eval(probes[i]).expect("in-domain");
+            prop_assert_eq!(v.to_bits(), forward[i].to_bits());
+        }
+
+        // Same relabelling against the scattered interpolator (the
+        // stage-3 surrogate for ragged Pareto clouds).
+        let points: Vec<Vec<f64>> = xs.iter().map(|&x| vec![x]).collect();
+        let s = ScatteredTable::new(points, ys, ScatterMethod::Idw { power: 2.0 })
+            .expect("valid scattered table")
+            .with_max_gap(1e9);
+        let forward: Vec<f64> = probes
+            .iter()
+            .map(|&p| s.eval(&[p]).expect("in-domain"))
+            .collect();
+        for &i in &order {
+            let v = s.eval(&[probes[i]]).expect("in-domain");
+            prop_assert_eq!(v.to_bits(), forward[i].to_bits());
+        }
+    }
+
+    /// NSGA-II dominance machinery is invariant under objective-vector
+    /// duplication: appending a copy of every objective changes no
+    /// dominance verdict and no front assignment.
+    #[test]
+    fn sorting_invariant_under_objective_duplication(
+        objs in prop::collection::vec(prop::collection::vec(0.0f64..10.0, 2), 2..24),
+    ) {
+        let pop: Vec<Individual> = objs
+            .iter()
+            .map(|o| Individual::new(vec![0.0], Evaluation::feasible(o.clone())))
+            .collect();
+        let dup: Vec<Individual> = objs
+            .iter()
+            .map(|o| {
+                let mut twice = o.clone();
+                twice.extend_from_slice(o);
+                Individual::new(vec![0.0], Evaluation::feasible(twice))
+            })
+            .collect();
+        for a in &objs {
+            for b in &objs {
+                let mut aa = a.clone();
+                aa.extend_from_slice(a);
+                let mut bb = b.clone();
+                bb.extend_from_slice(b);
+                prop_assert_eq!(pareto_dominates(a, b), pareto_dominates(&aa, &bb));
+            }
+        }
+        prop_assert_eq!(fast_non_dominated_sort(&pop), fast_non_dominated_sort(&dup));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Monte-Carlo spread is invariant under seed-salt relabelling.
+    /// Sample `i` always draws from `seed + i`, so a run at
+    /// `(seed + k, n − k)` must reproduce the tail `metrics[k..]` of a
+    /// run at `(seed, n)` bit-for-bit — the sample index is a label,
+    /// not an input.
+    #[test]
+    fn mc_spread_invariant_under_seed_salt_relabelling(
+        seed in 0u64..=1_000_000,
+        k in 0usize..=8,
+    ) {
+        let n = 10usize;
+        let vco = build_ring_vco(&VcoSizing::nominal(), 5, 1.2, 0.9);
+        let mc = MonteCarlo::new(ProcessSpec::default());
+        // The evaluator reads perturbed model parameters directly — the
+        // full sampling pipeline without transient-simulation cost.
+        let eval = |_i: usize, c: &Circuit| {
+            let param = |name: &str| match c.device(c.find_device(name).expect("device exists")) {
+                Device::Mos(m) => (m.model.vto, m.model.kp),
+                _ => panic!("not a mosfet"),
+            };
+            let (vto_n, kp_n) = param("Mn0");
+            let (vto_p, kp_p) = param("Mp0");
+            Some(vec![vto_n, kp_n, vto_p, kp_p])
+        };
+        let base = mc.run(
+            &vco.circuit,
+            &McConfig { samples: n, seed, threads: 1 },
+            eval,
+        );
+        let salted = mc.run(
+            &vco.circuit,
+            &McConfig { samples: n - k, seed: seed + k as u64, threads: 1 },
+            eval,
+        );
+        prop_assert_eq!(base.failed, 0);
+        prop_assert_eq!(salted.failed, 0);
+        prop_assert_eq!(salted.metrics.len(), n - k);
+        for (row_base, row_salted) in base.metrics[k..].iter().zip(&salted.metrics) {
+            prop_assert_eq!(row_base.len(), row_salted.len());
+            for (a, b) in row_base.iter().zip(row_salted) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{:e} vs {:e}", a, b);
+            }
+        }
+    }
+}
+
+/// An NMOS inverter with a resistive pull-up — one stiff nonlinearity,
+/// the canonical Newton workout.
+fn inverter(vin: f64) -> Circuit {
+    let mut c = Circuit::new("inv");
+    let vdd = c.node("vdd");
+    let inp = c.node("in");
+    let out = c.node("out");
+    c.add_vsource("Vdd", vdd, Circuit::GROUND, SourceWaveform::Dc(1.2));
+    c.add_vsource("Vin", inp, Circuit::GROUND, SourceWaveform::Dc(vin));
+    c.add_resistor("RL", vdd, out, 10e3);
+    c.add_mosfet(
+        "M1",
+        Mosfet {
+            drain: out,
+            gate: inp,
+            source: Circuit::GROUND,
+            w: 2e-6,
+            l: 0.12e-6,
+            model: MosModel::nmos_012(),
+        },
+    );
+    c
+}
+
+/// Warm-started and cold-started Newton agree: a DC sweep (each point
+/// seeded from the previous solution) lands on the same operating
+/// point as an independent cold solve at every bias, within solver
+/// tolerance. Convergence must depend on the circuit, not the path
+/// taken to reach it.
+#[test]
+fn warm_and_cold_newton_converge_to_the_same_operating_point() {
+    let vins: Vec<f64> = (0..=12).map(|i| i as f64 * 0.1).collect();
+    let opts = SimOptions::default();
+
+    let circuit = inverter(vins[0]);
+    let vin_dev = circuit.find_device("Vin").expect("Vin exists");
+    let warm = dc_sweep(&circuit, vin_dev, &vins, &opts).expect("sweep converges");
+    assert_eq!(warm.len(), vins.len());
+
+    let out = circuit.find_node("out").expect("out exists");
+    for (i, &vin) in vins.iter().enumerate() {
+        let cold_circuit = inverter(vin);
+        let cold = dc_operating_point(&cold_circuit, &opts).expect("cold solve converges");
+        let cold_out = cold_circuit.find_node("out").expect("out exists");
+        let v_warm = warm[i].voltage(out);
+        let v_cold = cold.voltage(cold_out);
+        assert!(
+            (v_warm - v_cold).abs() < 1e-6,
+            "vin={vin}: warm {v_warm} vs cold {v_cold}"
+        );
+    }
+}

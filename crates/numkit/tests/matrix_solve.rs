@@ -1,0 +1,132 @@
+//! Direct tests of the dense-LU solve paths: degenerate sizes,
+//! singular and ill-conditioned systems, and the pivot threshold —
+//! the failure modes the MNA stamp hands this solver every Newton
+//! iteration.
+
+use numkit::matrix::{Matrix, SolveMatrixError};
+
+fn matrix_from(rows: &[&[f64]]) -> Matrix {
+    Matrix::from_rows(rows)
+}
+
+#[test]
+fn one_by_one_solves_directly() {
+    let m = matrix_from(&[&[4.0]]);
+    let x = m.solve(&[8.0]).expect("1x1 with non-zero pivot solves");
+    assert_eq!(x, vec![2.0]);
+}
+
+#[test]
+fn one_by_one_zero_is_singular_at_step_zero() {
+    let m = matrix_from(&[&[0.0]]);
+    assert_eq!(m.solve(&[1.0]), Err(SolveMatrixError::Singular { step: 0 }));
+}
+
+#[test]
+fn dependent_rows_report_the_elimination_step() {
+    // Row 2 = row 0 + row 1: elimination zeroes the third pivot.
+    let m = matrix_from(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[3.0, 4.0, 1.0]]);
+    assert_eq!(
+        m.solve(&[1.0, 2.0, 3.0]),
+        Err(SolveMatrixError::Singular { step: 2 })
+    );
+
+    // A rank-1 matrix collapses one step earlier.
+    let rank1 = matrix_from(&[&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0], &[4.0, 8.0, 12.0]]);
+    assert_eq!(
+        rank1.solve(&[1.0, 2.0, 4.0]),
+        Err(SolveMatrixError::Singular { step: 1 })
+    );
+}
+
+#[test]
+fn singular_error_message_names_the_step() {
+    let err = matrix_from(&[&[0.0]]).solve(&[1.0]).unwrap_err();
+    assert!(err.to_string().contains("step 0"), "{err}");
+}
+
+#[test]
+fn ill_conditioned_hilbert_still_solves_accurately() {
+    // The 6x6 Hilbert matrix (condition number ~1.5e7) is a classic
+    // ill-conditioning stress: partial pivoting must keep the error
+    // far below the conditioning bound.
+    let n = 6;
+    let mut h = Matrix::zeros(n, n);
+    for r in 0..n {
+        for c in 0..n {
+            h[(r, c)] = 1.0 / (r + c + 1) as f64;
+        }
+    }
+    let ones = vec![1.0; n];
+    let b = h.mul_vec(&ones);
+    let x = h.solve(&b).expect("Hilbert-6 is non-singular");
+    for (i, xi) in x.iter().enumerate() {
+        assert!(
+            (xi - 1.0).abs() < 1e-6,
+            "x[{i}] = {xi}, expected 1 within conditioning-limited accuracy"
+        );
+    }
+    // The residual must be at rounding level even though the solution
+    // error is amplified by the condition number.
+    let back = h.mul_vec(&x);
+    for (bi, bb) in b.iter().zip(&back) {
+        assert!((bi - bb).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn pivot_threshold_separates_tiny_from_zero() {
+    // 1e-299 sits above the 1e-300 pivot threshold and must solve;
+    // 1e-301 sits below it and must be declared singular, not produce
+    // a 1e301-scale garbage solution.
+    let tiny_ok = matrix_from(&[&[1e-299]]);
+    let x = tiny_ok.solve(&[1e-299]).expect("above threshold solves");
+    assert!((x[0] - 1.0).abs() < 1e-12);
+
+    let tiny_bad = matrix_from(&[&[1e-301]]);
+    assert_eq!(
+        tiny_bad.solve(&[1.0]),
+        Err(SolveMatrixError::Singular { step: 0 })
+    );
+}
+
+#[test]
+fn pivoting_rescues_a_zero_leading_diagonal() {
+    // A zero in the (0,0) position is harmless with partial pivoting.
+    let m = matrix_from(&[&[0.0, 1.0], &[1.0, 0.0]]);
+    let x = m.solve(&[3.0, 5.0]).expect("permutation solves it");
+    assert_eq!(x, vec![5.0, 3.0]);
+}
+
+#[test]
+fn shape_errors_are_typed() {
+    let rect = Matrix::zeros(2, 3);
+    assert_eq!(
+        rect.solve(&[1.0, 2.0]),
+        Err(SolveMatrixError::NotSquare { rows: 2, cols: 3 })
+    );
+    let square = Matrix::identity(3);
+    assert_eq!(
+        square.solve(&[1.0]),
+        Err(SolveMatrixError::DimensionMismatch {
+            expected: 3,
+            got: 1
+        })
+    );
+}
+
+#[test]
+fn lu_factors_reuse_matches_direct_solve_bitwise() {
+    let m = matrix_from(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
+    let lu = m.lu().expect("SPD matrix factors");
+    assert_eq!(lu.dim(), 3);
+    for b in [[1.0, 0.0, 0.0], [0.5, -1.5, 2.0]] {
+        let direct = m.solve(&b).expect("solves");
+        let reused = lu.solve(&b).expect("solves");
+        // Same factorisation, same arithmetic: the reuse path must be
+        // bit-identical to the one-shot path.
+        for (a, r) in direct.iter().zip(&reused) {
+            assert_eq!(a.to_bits(), r.to_bits());
+        }
+    }
+}

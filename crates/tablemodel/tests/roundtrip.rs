@@ -1,0 +1,163 @@
+//! `.tbl` file round-trips through the interpolators, plus the
+//! malformed-file surface: what the flow writes it must read back, and
+//! what it cannot read it must refuse with line-level provenance.
+
+use tablemodel::error::TableModelError;
+use tablemodel::interp::Table1d;
+use tablemodel::scattered::{ScatterMethod, ScatteredTable};
+use tablemodel::tbl_io::{format_tbl, parse_tbl, read_tbl_file, write_tbl_file};
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("tablemodel_roundtrip_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Pareto-cloud-shaped 2-D data: (kvco, ivco) → jitter.
+fn cloud() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let points: Vec<Vec<f64>> = (0..12)
+        .map(|i| {
+            let t = i as f64 / 11.0;
+            vec![1.0e9 + 8.0e8 * t, 8.0e-3 + 4.0e-3 * t * t]
+        })
+        .collect();
+    let values: Vec<f64> = points
+        .iter()
+        .map(|p| 1.0e-13 * (2.0 - p[0] / 2.0e9) * (1.0 + p[1] / 1.0e-2))
+        .collect();
+    (points, values)
+}
+
+/// Writing a scattered model to `.tbl` and reading it back preserves
+/// the interpolant within formatting precision, and a second write →
+/// read cycle is a bit-exact fixpoint (the 12-digit format is
+/// idempotent after one pass).
+#[test]
+fn scattered_table_survives_tbl_round_trip() {
+    let dir = scratch_dir("scattered");
+    let path = dir.join("cloud.tbl");
+    let (points, values) = cloud();
+
+    write_tbl_file(&path, &points, &values, "jitter(kvco, ivco)").expect("writes");
+    let once = read_tbl_file(&path).expect("reads back");
+    assert_eq!(once.len(), points.len());
+    assert_eq!(once.dim(), 2);
+
+    let method = ScatterMethod::Idw { power: 2.0 };
+    let original = ScatteredTable::new(points.clone(), values.clone(), method)
+        .expect("original builds")
+        .with_max_gap(1e9);
+    let reread = ScatteredTable::new(once.points.clone(), once.values.clone(), method)
+        .expect("re-read builds")
+        .with_max_gap(1e9);
+    for probe in &points {
+        let a = original.eval(probe).expect("in-domain");
+        let b = reread.eval(probe).expect("in-domain");
+        assert!(
+            (a - b).abs() <= 1e-9 * a.abs(),
+            "probe {probe:?}: {a:e} vs {b:e}"
+        );
+    }
+
+    // Fixpoint: once the data has passed through the 12-digit format,
+    // further round trips must not move a single bit.
+    write_tbl_file(&path, &once.points, &once.values, "second pass").expect("writes");
+    let twice = read_tbl_file(&path).expect("reads back");
+    for (pa, pb) in once.points.iter().zip(&twice.points) {
+        for (a, b) in pa.iter().zip(pb) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+    for (a, b) in once.values.iter().zip(&twice.values) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A 1-D `.tbl` column drives a `"3E"` table whose knots reproduce the
+/// file's values bit-exactly after the first format pass.
+#[test]
+fn table1d_from_tbl_file_reproduces_file_knots() {
+    let dir = scratch_dir("table1d");
+    let path = dir.join("kvco.tbl");
+    let xs: Vec<Vec<f64>> = (0..8).map(|i| vec![0.5 + 0.25 * i as f64]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (1.4 * x[0]).sin() + 2.0).collect();
+
+    write_tbl_file(&path, &xs, &ys, "kvco(vctrl)").expect("writes");
+    let data = read_tbl_file(&path).expect("reads");
+    let table = Table1d::new(
+        data.points.iter().map(|p| p[0]).collect(),
+        data.values.clone(),
+        "3E".parse().expect("3E parses"),
+    )
+    .expect("table builds");
+    for (p, v) in data.points.iter().zip(&data.values) {
+        let got = table.eval(p[0]).expect("knots in-domain");
+        assert_eq!(
+            got.to_bits(),
+            v.to_bits(),
+            "knot {}: {v:e} vs {got:e}",
+            p[0]
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Malformed files fail with the offending line number, through the
+/// file-reading path (not just the string parser).
+#[test]
+fn malformed_files_fail_with_line_provenance() {
+    let dir = scratch_dir("malformed");
+    type ErrCheck = fn(&TableModelError) -> bool;
+    let cases: [(&str, &str, ErrCheck); 5] = [
+        ("garbage.tbl", "1.0 2.0\n1.5 oops\n", |e| {
+            matches!(e, TableModelError::Parse { line: 2, .. })
+        }),
+        ("ragged.tbl", "1 2 3\n1 2\n", |e| {
+            matches!(e, TableModelError::Parse { line: 2, .. })
+        }),
+        ("single_column.tbl", "42\n", |e| {
+            matches!(e, TableModelError::Parse { line: 1, .. })
+        }),
+        ("comments_only.tbl", "# header\n// nothing else\n", |e| {
+            matches!(e, TableModelError::BadData { .. })
+        }),
+        ("empty.tbl", "", |e| {
+            matches!(e, TableModelError::BadData { .. })
+        }),
+    ];
+    for (name, text, is_expected) in cases {
+        let path = dir.join(name);
+        std::fs::write(&path, text).expect("fixture writes");
+        let err = read_tbl_file(&path).expect_err(name);
+        assert!(is_expected(&err), "{name}: unexpected error {err:?}");
+        // The parser must agree with the file path byte for byte.
+        let direct = parse_tbl(text).expect_err(name);
+        assert_eq!(format!("{err}"), format!("{direct}"), "{name}");
+    }
+
+    let missing = read_tbl_file(dir.join("not_there.tbl")).expect_err("missing file");
+    assert!(matches!(missing, TableModelError::Io { .. }), "{missing:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// An inline comment after the value column must not change the parse,
+/// and headers written by `format_tbl` must read back as comments.
+#[test]
+fn comments_and_headers_are_transparent() {
+    let with_comments = "1.0 10.0 # nominal\n2.0 20.0 // corner\n";
+    let plain = "1.0 10.0\n2.0 20.0\n";
+    assert_eq!(
+        parse_tbl(with_comments).expect("comments parse"),
+        parse_tbl(plain).expect("plain parses")
+    );
+
+    let text = format_tbl(&[vec![1.0], vec![2.0]], &[10.0, 20.0], "two-line\nheader");
+    let parsed = parse_tbl(&text).expect("own output parses");
+    assert_eq!(parsed.len(), 2);
+    assert_eq!(parsed.values, vec![10.0, 20.0]);
+}

@@ -94,6 +94,49 @@ pub trait Strategy: Sized {
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
         Map { inner: self, f }
     }
+
+    /// Shuffles the produced collection uniformly (Fisher–Yates),
+    /// mirroring real proptest's `prop_shuffle` — the workhorse of
+    /// permutation-invariance metamorphic tests.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// Collections that [`Strategy::prop_shuffle`] can permute in place.
+pub trait Shuffleable {
+    /// Applies a uniform random permutation.
+    fn shuffle_with(&mut self, rng: &mut StdRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle_with(&mut self, rng: &mut StdRng) {
+        // Fisher–Yates; rand shim has no slice-shuffle helper.
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut StdRng) -> S::Value {
+        let mut v = self.inner.sample(rng);
+        v.shuffle_with(rng);
+        v
+    }
 }
 
 /// Strategy adapter produced by [`Strategy::prop_map`].
@@ -174,11 +217,38 @@ macro_rules! impl_int_range_strategy {
 
 impl_int_range_strategy!(usize, u64, u32, i64, i32);
 
+macro_rules! impl_int_rangeinclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() as i128 - *self.start() as i128 + 1) as u128;
+                let offset = (rng.random::<u64>() as u128) % span;
+                (*self.start() as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_rangeinclusive_strategy!(usize, u64, u32, i64, i32);
+
 impl Strategy for core::ops::Range<f64> {
     type Value = f64;
     fn sample(&self, rng: &mut StdRng) -> f64 {
         assert!(self.start < self.end, "empty range strategy");
         self.start + (self.end - self.start) * rng.random::<f64>()
+    }
+}
+
+impl Strategy for core::ops::RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        // Uniform on [lo, hi]; clamp guards the upper bound against
+        // rounding in the affine map.
+        (lo + (hi - lo) * rng.random::<f64>()).clamp(lo, hi)
     }
 }
 
@@ -241,6 +311,32 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    //! Strategies drawing from explicit value sets.
+
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+
+    /// Strategy choosing uniformly among a fixed set of values.
+    pub struct Select<T: Clone> {
+        items: Vec<T>,
+    }
+
+    /// Picks one of `items` uniformly per case.
+    pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select { items }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.items[rng.random_range(0..self.items.len())].clone()
+        }
+    }
+}
+
 pub mod num {
     //! Numeric strategies.
 
@@ -294,13 +390,14 @@ pub mod prelude {
 
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError,
+        Shuffleable, Strategy, TestCaseError,
     };
 
     pub mod prop {
         //! The `prop` module alias used as `prop::collection::vec` etc.
         pub use crate::collection;
         pub use crate::num;
+        pub use crate::sample;
     }
 }
 
@@ -454,5 +551,34 @@ mod tests {
             let _bits = x.to_bits();
             prop_assert!(true);
         }
+
+        #[test]
+        fn inclusive_ranges_hit_both_bounds_eventually(n in 0usize..=3, x in -1.0f64..=1.0) {
+            prop_assert!(n <= 3);
+            prop_assert!((-1.0..=1.0).contains(&x));
+        }
+
+        #[test]
+        fn shuffle_is_a_permutation(xs in prop::collection::vec(0.0f64..1.0, 5..12).prop_shuffle()) {
+            let mut sorted = xs.clone();
+            sorted.sort_by(f64::total_cmp);
+            prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert_eq!(sorted.len(), xs.len());
+        }
+
+        #[test]
+        fn select_draws_from_the_set(x in prop::sample::select(vec![2usize, 5, 11])) {
+            prop_assert!(x == 2 || x == 5 || x == 11);
+        }
+    }
+
+    #[test]
+    fn inclusive_usize_range_covers_every_value() {
+        let mut rng = crate::test_rng("inclusive_usize_range_covers_every_value");
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[Strategy::sample(&(0usize..=3), &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
     }
 }

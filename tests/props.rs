@@ -364,3 +364,67 @@ proptest! {
         prop_assert!((ms - us).abs() <= 1e-9 * us.abs().max(1.0));
     }
 }
+
+// ---------------------------------------------------------------------
+// Order- and labelling-freedom properties (these exercise the shuffle,
+// selection and inclusive-range strategies the conformance suite
+// relies on).
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pareto membership is order-free: shuffling the population
+    /// permutes indices but must select exactly the same set of
+    /// objective vectors.
+    #[test]
+    fn pareto_membership_is_order_free(
+        objs in prop::collection::vec(prop::collection::vec(0.0f64..10.0, 2), 12),
+        perm in Just((0usize..12).collect::<Vec<usize>>()).prop_shuffle(),
+    ) {
+        let pop: Vec<Individual> = objs
+            .iter()
+            .map(|o| Individual::new(vec![0.0], Evaluation::feasible(o.clone())))
+            .collect();
+        let shuffled: Vec<Individual> = perm.iter().map(|&i| pop[i].clone()).collect();
+        let mut front_a: Vec<Vec<f64>> = moea::sorting::pareto_front_indices(&pop)
+            .into_iter()
+            .map(|i| pop[i].objectives.clone())
+            .collect();
+        let mut front_b: Vec<Vec<f64>> = moea::sorting::pareto_front_indices(&shuffled)
+            .into_iter()
+            .map(|i| shuffled[i].objectives.clone())
+            .collect();
+        let key = |v: &Vec<f64>| (v[0].to_bits(), v[1].to_bits());
+        front_a.sort_by_key(key);
+        front_b.sort_by_key(key);
+        prop_assert_eq!(front_a, front_b);
+    }
+
+    /// Every control clause prints back to itself: Display and FromStr
+    /// are inverse over the whole clause alphabet.
+    #[test]
+    fn control_spec_display_parse_round_trip(
+        clause in prop::sample::select(vec![
+            "1C", "1L", "1E", "2C", "2L", "2E", "3C", "3L", "3E",
+        ]),
+    ) {
+        let spec: ControlSpec = clause.parse().expect("clause parses");
+        prop_assert_eq!(spec.to_string(), clause);
+        let back: ControlSpec = spec.to_string().parse().expect("display parses");
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Quantile endpoints are exact: q = 0 is the minimum, q = 1 the
+    /// maximum (an inclusive integer range drives the endpoint pick).
+    #[test]
+    fn quantile_endpoints_are_min_and_max(
+        mut samples in prop::collection::vec(-10.0f64..10.0, 2..30),
+        pick in 0usize..=1,
+    ) {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let v = quantile_sorted(&samples, pick as f64).expect("q in range");
+        let expected = if pick == 0 { samples[0] } else { *samples.last().unwrap() };
+        prop_assert_eq!(v.to_bits(), expected.to_bits());
+    }
+}
