@@ -15,7 +15,7 @@ use hierflow::checkpoint::{
 };
 use hierflow::flow::{CacheConfig, FlowConfig, FlowReport, HierarchicalFlow, TelemetryConfig};
 use hierflow::vco_problem::VcoSizingProblem;
-use hierflow::{FlowError, VcoTestbench};
+use hierflow::{CancelToken, FlowError, VcoTestbench};
 use moea::problem::{Evaluation, Individual};
 use netlist::topology::VcoSizing;
 use serde::{Deserialize, Serialize};
@@ -461,6 +461,41 @@ impl DiffRunner {
             });
         }
         Ok(outcomes)
+    }
+
+    /// The kill-resume axis (the service crate's crash model,
+    /// in-process): one uninterrupted reference run, then a victim run
+    /// whose cancel token fires after `polls` task polls — landing
+    /// *mid-stage*, not at a clean boundary — resumed over the same
+    /// directory by a second flow instance. The resumed report must be
+    /// bit-identical to the reference.
+    pub fn run_kill_resume_pair(&self, polls: u64) -> Result<PairOutcome, FlowError> {
+        let reference = self.run_one("kill_reference", self.config.clone())?;
+        let dir = self.prepare_dir("kill_victim");
+        let interrupted = HierarchicalFlow::new(self.config.clone())
+            .with_cancel_token(CancelToken::cancel_after(polls))
+            .run_with_checkpoints(&dir);
+        match interrupted {
+            // The interesting case: the token fired mid-stage and the
+            // flow unwound through a resumable interruption.
+            Err(e) if e.is_resumable_interruption() => {}
+            Err(e) => return Err(e),
+            // Poll budget outlived the run; the resume below degrades
+            // to a pure checkpoint replay, still worth comparing.
+            Ok(_) => {}
+        }
+        let resumed = HierarchicalFlow::new(self.config.clone()).resume(&dir)?;
+        let report = compare_reports(
+            &format!("fresh-vs-killed-at-{polls}-polls"),
+            "fresh",
+            "killed+resumed",
+            &reference,
+            &resumed,
+        );
+        Ok(PairOutcome {
+            report,
+            baseline: reference,
+        })
     }
 
     /// Removes this runner's scratch directories.

@@ -87,6 +87,23 @@ fn resumed_runs_at_every_boundary_match_fresh_run() {
     runner.cleanup();
 }
 
+/// The service-layer crash model, in-process: a run cancelled
+/// mid-stage (not at a clean boundary) and resumed over the same
+/// checkpoint directory must converge on the reference bits. This is
+/// the invariant the `service` crate's kill-restart e2e asserts across
+/// real processes.
+#[test]
+fn killed_mid_stage_and_resumed_matches_fresh_run() {
+    let runner = DiffRunner::new("kill_resume");
+    // 40 polls lands inside stage 2 for the micro budget: past the
+    // seeded stage-1 front, before characterisation finishes.
+    let outcome = runner
+        .run_kill_resume_pair(40)
+        .expect("victim resumes to completion");
+    outcome.assert_identical();
+    runner.cleanup();
+}
+
 /// A cheap 2-objective problem with enough arithmetic to expose any
 /// order-dependent reduction in the evaluator pool.
 struct SyntheticBowl;

@@ -16,6 +16,7 @@ pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
     disk_hits: AtomicU64,
+    disk_corrupt: AtomicU64,
     stores: AtomicU64,
     evictions: AtomicU64,
 }
@@ -29,6 +30,11 @@ pub struct CacheCounters {
     pub misses: u64,
     /// Subset of `hits` answered by the disk tier.
     pub disk_hits: u64,
+    /// Disk-tier entries found unreadable, truncated or garbage and
+    /// treated as misses (the corrupt file is quarantined). A non-zero
+    /// count after a crash is expected noise; a steadily growing one
+    /// points at real storage trouble.
+    pub disk_corrupt: u64,
     /// Entries written (memory, and disk when enabled).
     pub stores: u64,
     /// Entries dropped by the LRU to stay within capacity.
@@ -54,6 +60,7 @@ impl CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_corrupt: self.disk_corrupt.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
         }
@@ -158,14 +165,26 @@ impl<V: Clone + Serialize + Deserialize> EvalCache<V> {
             return Some(v);
         }
         if let Some(tier) = &self.disk {
-            if let Some(v) = tier.load::<V>(key) {
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
-                self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
-                let evicted = self.lru.put(*key, v.clone());
-                self.stats
-                    .evictions
-                    .fetch_add(evicted as u64, Ordering::Relaxed);
-                return Some(v);
+            match tier.load_classified::<V>(key) {
+                crate::disk::DiskLoad::Hit(v) => {
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    let evicted = self.lru.put(*key, v.clone());
+                    self.stats
+                        .evictions
+                        .fetch_add(evicted as u64, Ordering::Relaxed);
+                    return Some(v);
+                }
+                crate::disk::DiskLoad::Corrupt => {
+                    // A corrupt entry is a miss, never an error: the
+                    // tier has already quarantined the file, we log the
+                    // event and fall through to evaluation.
+                    self.stats.disk_corrupt.fetch_add(1, Ordering::Relaxed);
+                    if telemetry::enabled() {
+                        telemetry::counter_add("cache.disk_corrupt", 1);
+                    }
+                }
+                crate::disk::DiskLoad::Miss => {}
             }
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
@@ -246,6 +265,31 @@ mod tests {
         // Warmed into memory: second lookup is a memory hit.
         assert_eq!(second.get(&k2), Some(vec![9.0]));
         assert_eq!(second.stats().disk_hits, 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_count_and_degrade_to_misses() {
+        let dir = std::env::temp_dir().join(format!("evalcache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let c = cache(16).with_disk(&dir).unwrap();
+        let k = c.key(&[1.5]);
+        c.put(k, &vec![2.5]);
+
+        // A fresh instance over the same directory, with the entry
+        // smashed on disk: the lookup must be a (counted) miss, not an
+        // error, and the quarantine must leave the key storable again.
+        let second = cache(16).with_disk(&dir).unwrap();
+        let entry = dir.join(format!("{}.json", k.file_stem()));
+        std::fs::write(&entry, "]]not json[[").unwrap();
+        assert_eq!(second.get(&k), None);
+        let s = second.stats();
+        assert_eq!((s.misses, s.disk_corrupt), (1, 1));
+        assert!(!entry.exists(), "corrupt entry quarantined");
+        second.put(k, &vec![2.5]);
+        assert_eq!(second.get(&k), Some(vec![2.5]));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

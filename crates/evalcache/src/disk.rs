@@ -1,19 +1,45 @@
 //! Optional on-disk cache tier.
 //!
 //! One JSON file per entry under `<dir>/`, named by the cache key's
-//! hex digests. Writes go through a temp file + atomic rename (the same
-//! discipline as `hierflow`'s checkpoint `RunDir`), so a crash mid-write
-//! never leaves a truncated entry: the reader either sees the old file,
-//! the new file, or nothing. Corrupt or unreadable entries are treated
-//! as misses — the cache is always allowed to forget.
+//! hex digests. Writes go through a uniquely-named temp file + atomic
+//! rename (the same discipline as `hierflow`'s checkpoint `RunDir`,
+//! hardened for *shared* directories: the temp name embeds the process
+//! id and a per-process counter, so two processes — or two jobs of the
+//! optimisation daemon — writing the same entry never clobber each
+//! other's in-flight temp file). A crash mid-write never leaves a
+//! truncated entry: the reader either sees the old file, the new file,
+//! or nothing.
+//!
+//! Reads classify what they find ([`DiskLoad`]): a missing entry is a
+//! plain miss, while an unreadable, truncated or garbage entry is a
+//! *corrupt* miss — counted separately by the cache, quarantined (the
+//! offending file is removed so a later store can heal it), and never
+//! an error. The cache is always allowed to forget.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use crate::key::CacheKey;
+
+/// Distinguishes per-process temp files in shared directories.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// What a disk-tier lookup found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiskLoad<V> {
+    /// The entry exists and parsed.
+    Hit(V),
+    /// No entry file exists.
+    Miss,
+    /// An entry file exists but is unreadable, truncated or garbage.
+    /// The offending file has been removed (best-effort) so a future
+    /// store can replace it.
+    Corrupt,
+}
 
 /// A directory of persisted cache entries.
 #[derive(Debug, Clone)]
@@ -45,23 +71,56 @@ impl DiskTier {
         self.dir.join(format!("{}.json", key.file_stem()))
     }
 
-    /// Loads the entry for `key`; `None` on missing or corrupt files.
-    pub fn load<V: Deserialize>(&self, key: &CacheKey) -> Option<V> {
-        let text = fs::read_to_string(self.entry_path(key)).ok()?;
-        serde_json::from_str(&text).ok()
+    /// Loads and classifies the entry for `key`. Corrupt entries are
+    /// quarantined: the unreadable file is deleted (best-effort) so the
+    /// next store rewrites it cleanly.
+    pub fn load_classified<V: Deserialize>(&self, key: &CacheKey) -> DiskLoad<V> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return DiskLoad::Miss,
+            Err(_) => {
+                let _ = fs::remove_file(&path);
+                return DiskLoad::Corrupt;
+            }
+        };
+        match serde_json::from_str(&text) {
+            Ok(value) => DiskLoad::Hit(value),
+            Err(_) => {
+                let _ = fs::remove_file(&path);
+                DiskLoad::Corrupt
+            }
+        }
     }
 
-    /// Persists the entry for `key` atomically. I/O failures are
-    /// swallowed: a cache that cannot write degrades to a smaller
-    /// cache, it does not fail the evaluation.
+    /// Loads the entry for `key`; `None` on missing or corrupt files.
+    pub fn load<V: Deserialize>(&self, key: &CacheKey) -> Option<V> {
+        match self.load_classified(key) {
+            DiskLoad::Hit(v) => Some(v),
+            DiskLoad::Miss | DiskLoad::Corrupt => None,
+        }
+    }
+
+    /// Persists the entry for `key` atomically. The temp file name is
+    /// unique per process and write, so concurrent writers of the same
+    /// entry (shared cross-job stores) race only at the final rename —
+    /// which is atomic, and both contenders carry the same
+    /// content-addressed value. I/O failures are swallowed: a cache
+    /// that cannot write degrades to a smaller cache, it does not fail
+    /// the evaluation.
     pub fn store<V: Serialize>(&self, key: &CacheKey, value: &V) {
         let Ok(text) = serde_json::to_string(value) else {
             return;
         };
         let path = self.entry_path(key);
-        let tmp = path.with_extension("json.tmp");
-        if fs::write(&tmp, text).is_ok() {
-            let _ = fs::rename(&tmp, &path);
+        let tmp = self.dir.join(format!(
+            "{}.{}.{}.tmp",
+            key.file_stem(),
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, &path).is_err() {
+            let _ = fs::remove_file(&tmp);
         }
     }
 
@@ -116,7 +175,66 @@ mod tests {
             "{nope",
         )
         .unwrap();
+        assert_eq!(
+            tier.load_classified::<Vec<f64>>(&key),
+            DiskLoad::<Vec<f64>>::Corrupt
+        );
         assert_eq!(tier.load::<Vec<f64>>(&key), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_and_heal_on_store() {
+        let dir = temp_dir("heal");
+        let tier = DiskTier::open(&dir).unwrap();
+        let key = CacheKey {
+            design: 3,
+            config: 4,
+        };
+        let path = tier.dir().join(format!("{}.json", key.file_stem()));
+        fs::write(&path, "\u{0}\u{0}garbage").unwrap();
+        assert_eq!(
+            tier.load_classified::<Vec<f64>>(&key),
+            DiskLoad::<Vec<f64>>::Corrupt
+        );
+        assert!(!path.exists(), "corrupt entry removed");
+        // Second read of the same key is now a clean miss.
+        assert_eq!(
+            tier.load_classified::<Vec<f64>>(&key),
+            DiskLoad::<Vec<f64>>::Miss
+        );
+        tier.store(&key, &vec![5.0f64]);
+        assert_eq!(tier.load::<Vec<f64>>(&key), Some(vec![5.0]));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entries_read_as_corrupt() {
+        let dir = temp_dir("trunc");
+        let tier = DiskTier::open(&dir).unwrap();
+        let key = CacheKey {
+            design: 9,
+            config: 9,
+        };
+        tier.store(&key, &vec![1.0f64, 2.0, 3.0]);
+        // Simulate a torn write that bypassed the atomic rename (disk
+        // corruption, chaos injection): chop the file mid-token.
+        let path = tier.dir().join(format!("{}.json", key.file_stem()));
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(
+            tier.load_classified::<Vec<f64>>(&key),
+            DiskLoad::<Vec<f64>>::Corrupt
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tmp_files_never_count_as_entries() {
+        let dir = temp_dir("tmp");
+        let tier = DiskTier::open(&dir).unwrap();
+        fs::write(tier.dir().join("0001-0002.12345.0.tmp"), "partial").unwrap();
+        assert_eq!(tier.entry_count(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 }

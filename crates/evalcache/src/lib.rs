@@ -28,7 +28,7 @@ pub mod key;
 pub mod lru;
 
 pub use cache::{CacheCounters, EvalCache};
-pub use disk::DiskTier;
+pub use disk::{DiskLoad, DiskTier};
 pub use key::{fnv1a, fnv1a_extend, mix_word, CacheKey, KeyQuantiser};
 
 /// Reads the `HIERSIZER_EVALCACHE` environment override: `1`, `true`,

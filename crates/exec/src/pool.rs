@@ -370,7 +370,10 @@ where
                 if failure.is_retryable() && attempt < policy.retry.max_retries {
                     attempt += 1;
                     *retries += 1;
-                    let delay = policy.retry.delay(attempt);
+                    // Slot-keyed deterministic jitter: the delay depends
+                    // on (task index, attempt) only, so the retry
+                    // schedule is identical across thread counts.
+                    let delay = policy.retry.delay_for(attempt, index);
                     if !delay.is_zero() {
                         std::thread::sleep(delay);
                     }

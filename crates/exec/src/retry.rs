@@ -1,16 +1,37 @@
-//! Retry policy with exponential backoff.
+//! Retry policy with deterministic exponential backoff and seeded,
+//! bounded jitter.
+//!
+//! Retries exist to absorb *transient* faults — a solver that wobbled
+//! under contention, a timed-out evaluation on a loaded box. Retrying
+//! every such task after an identical delay synchronises the retries
+//! (they all hammer the same contended resource again at the same
+//! instant), so the policy supports jitter. Ordinary jitter breaks the
+//! workspace's bit-identity contract; this one does not: the jitter for
+//! a retry is a pure function of `(seed, task slot, attempt)`, so the
+//! delay schedule — like every result in this workspace — is keyed by
+//! task index, never by thread timing. Thread-count invariance holds by
+//! construction.
 
 use std::time::Duration;
 
 /// How many times a retryable task failure is retried in place, and how
-/// long to back off between attempts (doubling per retry). The default
-/// is no retries — retrying is an opt-in budget decision.
+/// long to back off between attempts (doubling per retry, with optional
+/// deterministic jitter). The default is no retries — retrying is an
+/// opt-in budget decision.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Maximum retries per task (0 = first failure is final).
     pub max_retries: usize,
     /// Backoff before the first retry; doubles each further retry.
     pub backoff: Duration,
+    /// Jitter amplitude in permille of the exponential delay: `250`
+    /// spreads each delay over ±25 % of its nominal value. `0` (the
+    /// default) reproduces plain exponential backoff.
+    pub jitter_permille: u16,
+    /// Seed for the deterministic jitter stream. Two policies with the
+    /// same seed produce the same delay schedule for the same task
+    /// slots.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -19,31 +40,85 @@ impl Default for RetryPolicy {
     }
 }
 
+/// SplitMix64 step: the jitter's stateless PRNG. Good avalanche, no
+/// state to share between threads, and a pure function of its input —
+/// exactly what slot-keyed determinism needs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
 impl RetryPolicy {
     /// No retries.
     pub fn none() -> Self {
         RetryPolicy {
             max_retries: 0,
             backoff: Duration::ZERO,
+            jitter_permille: 0,
+            jitter_seed: 0,
         }
     }
 
-    /// Up to `max_retries` retries, starting at `backoff` and doubling.
+    /// Up to `max_retries` retries, starting at `backoff` and doubling
+    /// (no jitter).
     pub fn new(max_retries: usize, backoff: Duration) -> Self {
         RetryPolicy {
             max_retries,
             backoff,
+            ..Self::none()
         }
     }
 
-    /// Backoff before retry `attempt` (1-based), doubling per retry and
-    /// saturating rather than overflowing.
+    /// The recommended policy for transient fault classes: three
+    /// retries from a 10 ms base with ±25 % slot-keyed jitter, instead
+    /// of hammering the fault again immediately. Used by the service
+    /// daemon's default job budget.
+    pub fn transient_backoff() -> Self {
+        RetryPolicy::new(3, Duration::from_millis(10)).with_jitter(250, 0x5eed_5107)
+    }
+
+    /// Adds deterministic jitter: each delay is spread over
+    /// ±`permille`/1000 of its exponential value, keyed by
+    /// `(seed, task slot, attempt)`. Values above 1000 are clamped (a
+    /// delay never goes negative).
+    pub fn with_jitter(mut self, permille: u16, seed: u64) -> Self {
+        self.jitter_permille = permille.min(1000);
+        self.jitter_seed = seed;
+        self
+    }
+
+    /// Nominal (jitter-free) backoff before retry `attempt` (1-based),
+    /// doubling per retry and saturating rather than overflowing.
     pub fn delay(&self, attempt: usize) -> Duration {
         if attempt == 0 || self.backoff.is_zero() {
             return Duration::ZERO;
         }
         let factor = 1u32 << (attempt - 1).min(20) as u32;
         self.backoff.saturating_mul(factor)
+    }
+
+    /// Backoff before retry `attempt` of the task in batch slot `slot`,
+    /// with jitter applied. A pure function of the policy and its two
+    /// arguments: the same `(slot, attempt)` always waits the same
+    /// time, whatever thread runs it or how many workers the pool has.
+    pub fn delay_for(&self, attempt: usize, slot: usize) -> Duration {
+        let base = self.delay(attempt);
+        if base.is_zero() || self.jitter_permille == 0 {
+            return base;
+        }
+        let raw = splitmix64(
+            self.jitter_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((slot as u64) << 32)
+                .wrapping_add(attempt as u64),
+        );
+        // Map the top bits to a signed fraction in [-1, 1).
+        let unit = (raw >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let signed = 2.0 * unit - 1.0;
+        let scale = 1.0 + signed * f64::from(self.jitter_permille) / 1000.0;
+        Duration::from_secs_f64((base.as_secs_f64() * scale).max(0.0))
     }
 }
 
@@ -65,11 +140,82 @@ mod tests {
         let p = RetryPolicy::default();
         assert_eq!(p.max_retries, 0);
         assert_eq!(p.delay(5), Duration::ZERO);
+        assert_eq!(p.jitter_permille, 0);
     }
 
     #[test]
     fn huge_attempt_counts_saturate() {
         let p = RetryPolicy::new(usize::MAX, Duration::from_secs(1));
         assert!(p.delay(500) >= p.delay(21));
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_plain_exponential() {
+        let p = RetryPolicy::new(3, Duration::from_millis(8));
+        for attempt in 0..4 {
+            for slot in [0, 7, 1000] {
+                assert_eq!(p.delay_for(attempt, slot), p.delay(attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_slot_and_attempt() {
+        let p = RetryPolicy::new(3, Duration::from_millis(10)).with_jitter(250, 42);
+        let q = RetryPolicy::new(3, Duration::from_millis(10)).with_jitter(250, 42);
+        for slot in 0..32 {
+            for attempt in 1..4 {
+                assert_eq!(p.delay_for(attempt, slot), q.delay_for(attempt, slot));
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_its_bounds() {
+        let p = RetryPolicy::new(5, Duration::from_millis(100)).with_jitter(250, 7);
+        for slot in 0..64 {
+            for attempt in 1..5 {
+                let nominal = p.delay(attempt);
+                let jittered = p.delay_for(attempt, slot);
+                let lo = nominal.mul_f64(0.75);
+                let hi = nominal.mul_f64(1.2500001);
+                assert!(
+                    jittered >= lo && jittered <= hi,
+                    "slot {slot} attempt {attempt}: {jittered:?} outside [{lo:?}, {hi:?}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_actually_spreads_slots() {
+        let p = RetryPolicy::new(1, Duration::from_millis(100)).with_jitter(500, 1);
+        let delays: Vec<Duration> = (0..16).map(|slot| p.delay_for(1, slot)).collect();
+        let distinct = {
+            let mut d = delays.clone();
+            d.sort();
+            d.dedup();
+            d.len()
+        };
+        assert!(distinct > 8, "16 slots, only {distinct} distinct delays");
+    }
+
+    #[test]
+    fn permille_clamps_at_full_amplitude() {
+        let p = RetryPolicy::new(1, Duration::from_millis(10)).with_jitter(5000, 3);
+        assert_eq!(p.jitter_permille, 1000);
+        for slot in 0..32 {
+            // Full amplitude may reach zero but never wraps negative.
+            let d = p.delay_for(1, slot);
+            assert!(d <= Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn transient_preset_backs_off_with_jitter() {
+        let p = RetryPolicy::transient_backoff();
+        assert!(p.max_retries >= 1);
+        assert!(p.delay(1) > Duration::ZERO, "no immediate retry");
+        assert!(p.jitter_permille > 0);
     }
 }

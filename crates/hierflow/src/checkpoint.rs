@@ -25,6 +25,7 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use moea::problem::Individual;
 use netlist::topology::VcoSizing;
@@ -114,6 +115,40 @@ pub fn config_digest(description: &str) -> u64 {
     hash
 }
 
+/// Distinguishes quarantine file names when one run trips over several
+/// corrupt artifacts (or several processes share a directory).
+static QUARANTINE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Stage artifact and event-log file names, in stage order — everything
+/// a conservative reset must sweep aside when the manifest itself is
+/// unreadable.
+pub const ARTIFACT_FILES: [&str; 5] = [
+    STAGE1_FRONT,
+    STAGE2_CHARACTERIZED,
+    STAGE4_SYSTEM,
+    STAGE5_SELECTED,
+    EVENTS_FILE,
+];
+
+/// Outcome of a lenient artifact load ([`RunDir::load_or_quarantine`]).
+#[derive(Debug)]
+pub enum LoadOutcome<T> {
+    /// The artifact parsed cleanly.
+    Loaded(T),
+    /// No artifact file exists — the stage has not completed yet.
+    Absent,
+    /// The artifact was present but unreadable, truncated or garbage.
+    /// It has been renamed aside (or, failing that, deleted) so the
+    /// stage can be recomputed and its checkpoint rewritten cleanly.
+    Quarantined {
+        /// Where the corrupt bytes went, when the rename succeeded —
+        /// kept for post-mortem, never re-read by the flow.
+        quarantined_to: Option<PathBuf>,
+        /// The read or parse error text.
+        reason: String,
+    },
+}
+
 /// A checkpoint run directory.
 #[derive(Debug, Clone)]
 pub struct RunDir {
@@ -187,17 +222,86 @@ impl RunDir {
         Ok(Some(value))
     }
 
+    /// Moves a (presumed corrupt) artifact aside so the stage that
+    /// produced it can be recomputed and the checkpoint rewritten. The
+    /// bytes are preserved under `<name>.corrupt-<pid>-<n>` for
+    /// post-mortem; if even the rename fails the file is deleted, and
+    /// if *that* fails there is nothing more a recovery path can do.
+    /// Returns the quarantine path when the rename succeeded.
+    pub fn quarantine(&self, name: &str) -> Option<PathBuf> {
+        let path = self.file(name);
+        if !path.is_file() {
+            return None;
+        }
+        let aside = self.file(&format!(
+            "{name}.corrupt-{}-{}",
+            std::process::id(),
+            QUARANTINE_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        if fs::rename(&path, &aside).is_ok() {
+            Some(aside)
+        } else {
+            let _ = fs::remove_file(&path);
+            None
+        }
+    }
+
+    /// Loads an artifact leniently: a present-but-corrupt file is
+    /// quarantined (see [`RunDir::quarantine`]) and reported as
+    /// [`LoadOutcome::Quarantined`] rather than an error, so resume can
+    /// degrade to recomputing the stage instead of refusing to run.
+    pub fn load_or_quarantine<T: Deserialize>(&self, name: &str) -> LoadOutcome<T> {
+        let path = self.file(name);
+        if !path.is_file() {
+            return LoadOutcome::Absent;
+        }
+        let parsed = fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| serde_json::from_str(&text).map_err(|e| e.to_string()));
+        match parsed {
+            Ok(value) => LoadOutcome::Loaded(value),
+            Err(reason) => LoadOutcome::Quarantined {
+                quarantined_to: self.quarantine(name),
+                reason,
+            },
+        }
+    }
+
     /// Validates (or creates) the run manifest for a configuration
     /// digest. A mismatching digest means the directory's artifacts were
     /// produced under different budgets and must not be mixed into this
     /// run.
     ///
+    /// An *unreadable* manifest is handled conservatively: without a
+    /// trustworthy digest none of the directory's artifacts can be
+    /// attributed to any configuration, so every artifact (and the
+    /// event log) is quarantined alongside the manifest and the run
+    /// starts clean. The quarantined manifest path is returned so the
+    /// caller can record provenance.
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError::Checkpoint`] on digest mismatch, version
     /// mismatch, or I/O failure.
-    pub fn ensure_manifest(&self, digest: u64) -> Result<(), FlowError> {
-        match self.load::<RunManifest>(MANIFEST_FILE)? {
+    pub fn ensure_manifest(&self, digest: u64) -> Result<Option<PathBuf>, FlowError> {
+        let existing = match self.load_or_quarantine::<RunManifest>(MANIFEST_FILE) {
+            LoadOutcome::Loaded(m) => Some(m),
+            LoadOutcome::Absent => None,
+            LoadOutcome::Quarantined { quarantined_to, .. } => {
+                for name in ARTIFACT_FILES {
+                    self.quarantine(name);
+                }
+                self.save(
+                    MANIFEST_FILE,
+                    &RunManifest {
+                        config_digest: digest,
+                        version: ARTIFACT_VERSION,
+                    },
+                )?;
+                return Ok(quarantined_to.or_else(|| Some(self.file(MANIFEST_FILE))));
+            }
+        };
+        match existing {
             Some(existing) => {
                 if existing.version != ARTIFACT_VERSION {
                     return Err(FlowError::checkpoint(
@@ -215,15 +319,18 @@ impl RunDir {
                          use a fresh directory or the original configuration",
                     ));
                 }
-                Ok(())
+                Ok(None)
             }
-            None => self.save(
-                MANIFEST_FILE,
-                &RunManifest {
-                    config_digest: digest,
-                    version: ARTIFACT_VERSION,
-                },
-            ),
+            None => {
+                self.save(
+                    MANIFEST_FILE,
+                    &RunManifest {
+                        config_digest: digest,
+                        version: ARTIFACT_VERSION,
+                    },
+                )?;
+                Ok(None)
+            }
         }
     }
 }
@@ -287,6 +394,55 @@ mod tests {
         let err = run.ensure_manifest(43).unwrap_err();
         assert!(matches!(err, FlowError::Checkpoint { .. }));
         assert!(err.to_string().contains("different flow configuration"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_or_quarantine_moves_garbage_aside() {
+        let dir = tmp_dir("lenient");
+        let run = RunDir::create(&dir).unwrap();
+        fs::write(dir.join(STAGE1_FRONT), "{ truncated").unwrap();
+        match run.load_or_quarantine::<Stage1Artifact>(STAGE1_FRONT) {
+            LoadOutcome::Quarantined {
+                quarantined_to,
+                reason,
+            } => {
+                assert!(!reason.is_empty());
+                let aside = quarantined_to.expect("rename succeeded");
+                assert!(aside.is_file());
+                assert!(!dir.join(STAGE1_FRONT).exists());
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // A second load of the same name is now a clean absence.
+        assert!(matches!(
+            run.load_or_quarantine::<Stage1Artifact>(STAGE1_FRONT),
+            LoadOutcome::Absent
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_quarantines_everything_and_starts_clean() {
+        let dir = tmp_dir("manifest_corrupt");
+        let run = RunDir::create(&dir).unwrap();
+        run.ensure_manifest(7).unwrap();
+        let artifact = Stage1Artifact {
+            front: Vec::new(),
+            evaluations: 1,
+        };
+        run.save(STAGE1_FRONT, &artifact).unwrap();
+        fs::write(dir.join(MANIFEST_FILE), "\u{0}not a manifest").unwrap();
+
+        let quarantined = run.ensure_manifest(7).unwrap();
+        assert!(quarantined.is_some(), "corruption reported to the caller");
+        // The stage artifact was swept aside with the manifest: nothing
+        // in the directory can be attributed to a configuration any
+        // more, so nothing may be reused.
+        assert!(!run.has(STAGE1_FRONT));
+        // The fresh manifest is trustworthy and idempotent again.
+        run.ensure_manifest(7).unwrap();
+        assert!(run.ensure_manifest(8).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

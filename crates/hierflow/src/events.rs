@@ -172,6 +172,21 @@ pub enum FlowEvent {
         /// Which budget scope expired.
         scope: DeadlineScope,
     },
+    /// A checkpoint artifact (or the event log itself) was present but
+    /// unreadable — truncated, garbage, or written by an incompatible
+    /// version. The file has been quarantined (renamed aside) and the
+    /// stage recomputed; resume degrades, it never panics and never
+    /// builds a report from a half-trusted artifact.
+    CheckpointCorrupt {
+        /// The stage whose artifact was corrupt; `None` when the event
+        /// log itself (which belongs to no single stage) was the
+        /// casualty.
+        stage: Option<FlowStage>,
+        /// Artifact file name within the run directory.
+        file: String,
+        /// Parse or I/O error text.
+        reason: String,
+    },
     /// An event this build does not recognise — typically one written
     /// into `events.json` by a newer flow version. The raw payload is
     /// preserved verbatim, so loading and re-persisting an event log
@@ -294,6 +309,20 @@ impl fmt::Display for FlowEvent {
                     "[{stage}] {scope} deadline exceeded (resumable from checkpoints)"
                 )
             }
+            FlowEvent::CheckpointCorrupt {
+                stage,
+                file,
+                reason,
+            } => {
+                match stage {
+                    Some(s) => write!(f, "[{s}] ")?,
+                    None => write!(f, "[run] ")?,
+                }
+                write!(
+                    f,
+                    "corrupt checkpoint {file} quarantined, recomputing: {reason}"
+                )
+            }
             FlowEvent::Unrecognized(value) => {
                 write!(
                     f,
@@ -384,6 +413,21 @@ impl FlowEvents {
             } if *s == stage => Some((*hits, *misses, *disk_hits, *evictions)),
             _ => None,
         })
+    }
+
+    /// The `(file, reason)` pairs of every quarantined-checkpoint
+    /// event, in order — the provenance trail a degraded resume leaves
+    /// behind.
+    pub fn checkpoint_corruptions(&self) -> Vec<(String, String)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                FlowEvent::CheckpointCorrupt { file, reason, .. } => {
+                    Some((file.clone(), reason.clone()))
+                }
+                _ => None,
+            })
+            .collect()
     }
 
     /// Whether the run was interrupted (cancelled or out of budget) —

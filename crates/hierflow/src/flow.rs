@@ -9,7 +9,7 @@
 //! artifacts the directory already holds — a crash mid-verification no
 //! longer costs the circuit-level GA budget.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use behavioral::spec::PllSpec;
@@ -25,7 +25,7 @@ use variation::process::ProcessSpec;
 
 use crate::charmodel::{characterize_front_cached, CharacterizedFront};
 use crate::checkpoint::{
-    self, config_digest, RunDir, Stage1Artifact, Stage4Artifact, Stage5Artifact,
+    self, config_digest, LoadOutcome, RunDir, Stage1Artifact, Stage4Artifact, Stage5Artifact,
 };
 use crate::error::FlowError;
 use crate::events::{DeadlineScope, FlowEvent, FlowEvents, FlowStage};
@@ -48,7 +48,7 @@ use crate::verify::{verify_design, VerificationReport};
 /// settings out of the checkpoint manifest. The
 /// `HIERSIZER_EVALCACHE` environment variable (`1`/`0`) overrides
 /// [`CacheConfig::enabled`] at run time.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheConfig {
     /// Master switch (default `false`).
     pub enabled: bool,
@@ -60,8 +60,16 @@ pub struct CacheConfig {
     pub quantum: f64,
     /// Mirror entries under `<run dir>/evalcache/` so a resumed run
     /// reuses individual evaluations, not just whole stage artifacts.
-    /// Only takes effect when the flow runs with checkpoints.
+    /// Only takes effect when the flow runs with checkpoints (or when
+    /// [`CacheConfig::shared_disk`] names an explicit store).
     pub disk: bool,
+    /// Root of a disk store *shared across runs* (the optimisation
+    /// daemon points every job of a tenant here). Overrides the per-run
+    /// `<run dir>/evalcache/` location; safe because entries are
+    /// content-addressed by the canonical config digest, so runs under
+    /// different configurations can never serve each other's values.
+    /// Ignored unless [`CacheConfig::disk`] is set.
+    pub shared_disk: Option<PathBuf>,
 }
 
 impl Default for CacheConfig {
@@ -71,6 +79,7 @@ impl Default for CacheConfig {
             capacity: 65_536,
             quantum: 0.0,
             disk: true,
+            shared_disk: None,
         }
     }
 }
@@ -345,7 +354,23 @@ impl HierarchicalFlow {
     /// a corrupt artifact, or was produced by a different configuration.
     pub fn run_with_checkpoints<P: AsRef<Path>>(&self, dir: P) -> Result<FlowReport, FlowError> {
         let run_dir = RunDir::create(dir)?;
-        run_dir.ensure_manifest(self.config.digest())?;
+        if let Some(aside) = run_dir.ensure_manifest(self.config.digest())? {
+            // The manifest was unreadable: every artifact was swept
+            // aside with it (nothing could be attributed to a
+            // configuration). Seed the fresh event log with the
+            // provenance record — `execute_stages` picks it up from
+            // disk like any other resumed log.
+            let mut events = FlowEvents::new();
+            events.push(FlowEvent::CheckpointCorrupt {
+                stage: None,
+                file: checkpoint::MANIFEST_FILE.to_string(),
+                reason: format!(
+                    "manifest unreadable; run directory reset, corrupt bytes at {}",
+                    aside.display()
+                ),
+            });
+            run_dir.save(checkpoint::EVENTS_FILE, &events)?;
+        }
         self.execute(Some(&run_dir))
     }
 
@@ -393,9 +418,21 @@ impl HierarchicalFlow {
     fn execute_stages(&self, dir: Option<&RunDir>) -> Result<FlowReport, FlowError> {
         let cfg = &self.config;
         let mut events = match dir {
-            Some(d) => d
-                .load::<FlowEvents>(checkpoint::EVENTS_FILE)?
-                .unwrap_or_default(),
+            Some(d) => match d.load_or_quarantine::<FlowEvents>(checkpoint::EVENTS_FILE) {
+                LoadOutcome::Loaded(ev) => ev,
+                LoadOutcome::Absent => FlowEvents::new(),
+                // A smashed event log loses history, never the run: start
+                // a fresh log whose first entry records the loss.
+                LoadOutcome::Quarantined { reason, .. } => {
+                    let mut ev = FlowEvents::new();
+                    ev.push(FlowEvent::CheckpointCorrupt {
+                        stage: None,
+                        file: checkpoint::EVENTS_FILE.to_string(),
+                        reason,
+                    });
+                    ev
+                }
+            },
             None => FlowEvents::new(),
         };
 
@@ -819,19 +856,30 @@ fn build_cache<V: Clone + serde::Serialize + serde::Deserialize>(
 ) -> EvalCache<V> {
     let digest = evalcache::fnv1a_extend(config_digest, tag.as_bytes());
     let cache = EvalCache::new(cfg.capacity, quantiser, digest);
-    match dir {
-        Some(d) if cfg.disk => {
-            let path = d.path().join("evalcache").join(tag);
-            cache
-                .with_disk(&path)
-                .unwrap_or_else(|_| EvalCache::new(cfg.capacity, quantiser, digest))
-        }
-        _ => cache,
+    let path = if !cfg.disk {
+        None
+    } else if let Some(root) = &cfg.shared_disk {
+        Some(root.join(tag))
+    } else {
+        dir.map(|d| d.path().join("evalcache").join(tag))
+    };
+    match path {
+        Some(path) => cache
+            .with_disk(&path)
+            .unwrap_or_else(|_| EvalCache::new(cfg.capacity, quantiser, digest)),
+        None => cache,
     }
 }
 
 /// Loads a stage artifact from the run directory (when checkpointing is
-/// active and the file exists), recording the reuse in the event log.
+/// active and the file exists), recording the reuse in the event log. A
+/// present-but-corrupt artifact — truncated by a torn write that dodged
+/// the atomic rename, or smashed by real disk trouble — is quarantined
+/// and recorded as a [`FlowEvent::CheckpointCorrupt`], and the stage is
+/// recomputed: resume degrades, it never refuses to run and never
+/// builds a report from half-trusted bytes. The `Result` is kept for
+/// call-site symmetry with [`save_artifact`]; it is currently always
+/// `Ok`.
 fn load_artifact<T: serde::Deserialize>(
     dir: Option<&RunDir>,
     file: &str,
@@ -841,15 +889,23 @@ fn load_artifact<T: serde::Deserialize>(
     let Some(d) = dir else {
         return Ok(None);
     };
-    match d.load::<T>(file)? {
-        Some(value) => {
+    match d.load_or_quarantine::<T>(file) {
+        LoadOutcome::Loaded(value) => {
             events.push(FlowEvent::CheckpointLoaded {
                 stage,
                 file: file.to_string(),
             });
             Ok(Some(value))
         }
-        None => Ok(None),
+        LoadOutcome::Absent => Ok(None),
+        LoadOutcome::Quarantined { reason, .. } => {
+            events.push(FlowEvent::CheckpointCorrupt {
+                stage: Some(stage),
+                file: file.to_string(),
+                reason,
+            });
+            Ok(None)
+        }
     }
 }
 
@@ -1001,6 +1057,7 @@ mod tests {
         b.cache = CacheConfig::enabled();
         b.cache.capacity = 17;
         b.cache.quantum = 1e-9;
+        b.cache.shared_disk = Some(PathBuf::from("/tmp/shared-store"));
         assert_eq!(a.digest(), b.digest());
     }
 

@@ -1,0 +1,123 @@
+//! Admission control: bounded queues and per-tenant quotas.
+//!
+//! The daemon never queues unboundedly — an overloaded service that
+//! accepts everything eventually loses everything when it dies with
+//! hours of silently queued work. Instead submission is gated by two
+//! limits, and a refusal is a *structured* [`Rejection`] carrying a
+//! `retry_after_ms` hint, so clients can implement honest backoff
+//! rather than parsing error prose.
+
+use serde::{Deserialize, Serialize};
+
+/// Admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum non-terminal jobs (queued + running) across all tenants.
+    pub max_open: usize,
+    /// Maximum non-terminal jobs per tenant (fair-share cap).
+    pub max_open_per_tenant: usize,
+    /// Retry hint attached to rejections, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_open: 64,
+            max_open_per_tenant: 16,
+            retry_after_ms: 500,
+        }
+    }
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The whole service queue is at capacity.
+    QueueFull,
+    /// The submitting tenant is at its fair-share cap.
+    TenantQuota,
+}
+
+/// A structured admission refusal. Not an error: the service is
+/// healthy, the client should retry after the hinted delay.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rejection {
+    /// Why.
+    pub reason: RejectReason,
+    /// When to retry, in milliseconds from now.
+    pub retry_after_ms: u64,
+    /// Open jobs at refusal time (diagnostics).
+    pub open_jobs: usize,
+}
+
+impl AdmissionConfig {
+    /// Decides admission given the current open-job counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the structured [`Rejection`] when a limit is hit; the
+    /// tenant quota is checked first so a noisy tenant sees its own
+    /// cap, not the global one it is causing.
+    pub fn admit(&self, open_total: usize, open_for_tenant: usize) -> Result<(), Rejection> {
+        if open_for_tenant >= self.max_open_per_tenant {
+            return Err(Rejection {
+                reason: RejectReason::TenantQuota,
+                retry_after_ms: self.retry_after_ms,
+                open_jobs: open_total,
+            });
+        }
+        if open_total >= self.max_open {
+            return Err(Rejection {
+                reason: RejectReason::QueueFull,
+                retry_after_ms: self.retry_after_ms,
+                open_jobs: open_total,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdmissionConfig {
+        AdmissionConfig {
+            max_open: 4,
+            max_open_per_tenant: 2,
+            retry_after_ms: 250,
+        }
+    }
+
+    #[test]
+    fn admits_under_both_limits() {
+        assert!(cfg().admit(1, 0).is_ok());
+    }
+
+    #[test]
+    fn tenant_quota_fires_before_queue_full() {
+        let rej = cfg().admit(4, 2).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::TenantQuota);
+        assert_eq!(rej.retry_after_ms, 250);
+    }
+
+    #[test]
+    fn queue_full_rejects_even_quiet_tenants() {
+        let rej = cfg().admit(4, 0).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::QueueFull);
+        assert_eq!(rej.open_jobs, 4);
+    }
+
+    #[test]
+    fn rejection_serialises_for_clients() {
+        let rej = Rejection {
+            reason: RejectReason::QueueFull,
+            retry_after_ms: 500,
+            open_jobs: 64,
+        };
+        let text = serde_json::to_string(&rej).unwrap();
+        let back: Rejection = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, rej);
+    }
+}

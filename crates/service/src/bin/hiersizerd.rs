@@ -1,0 +1,226 @@
+//! `hiersizerd` — the optimisation-as-a-service daemon.
+//!
+//! ```text
+//! hiersizerd --data-dir DIR [--once] [--workers N] [--chaos SEED]
+//!            [--max-open N] [--max-open-per-tenant N] [--poll-ms N]
+//! ```
+//!
+//! Jobs arrive as JSON [`JobSpec`] files dropped into
+//! `<data>/incoming/`; each poll cycle ingests them (in name order),
+//! admits or rejects them, runs the queue to idle, and refreshes
+//! `status.json` + `health.json`. With `--once` the daemon drains
+//! everything and exits — the mode the kill-restart end-to-end test and
+//! cron-style deployments use. Without it, the daemon polls forever.
+//!
+//! Rejected submissions leave a `<name>.rejected.json` next to the
+//! removed spec, carrying the structured retry-after; malformed specs
+//! are renamed to `<name>.invalid` so they cannot wedge the intake loop.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use service::{ChaosPolicy, Daemon, DaemonConfig, JobSpec, Submission};
+
+struct Args {
+    data_dir: PathBuf,
+    once: bool,
+    workers: usize,
+    chaos_seed: Option<u64>,
+    max_open: Option<usize>,
+    max_open_per_tenant: Option<usize>,
+    poll_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        data_dir: PathBuf::new(),
+        once: false,
+        workers: 1,
+        chaos_seed: None,
+        max_open: None,
+        max_open_per_tenant: None,
+        poll_ms: 200,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--data-dir" => args.data_dir = PathBuf::from(value("--data-dir")?),
+            "--once" => args.once = true,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--chaos" => {
+                args.chaos_seed = Some(
+                    value("--chaos")?
+                        .parse()
+                        .map_err(|e| format!("--chaos: {e}"))?,
+                );
+            }
+            "--max-open" => {
+                args.max_open = Some(
+                    value("--max-open")?
+                        .parse()
+                        .map_err(|e| format!("--max-open: {e}"))?,
+                );
+            }
+            "--max-open-per-tenant" => {
+                args.max_open_per_tenant = Some(
+                    value("--max-open-per-tenant")?
+                        .parse()
+                        .map_err(|e| format!("--max-open-per-tenant: {e}"))?,
+                );
+            }
+            "--poll-ms" => {
+                args.poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|e| format!("--poll-ms: {e}"))?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.data_dir.as_os_str().is_empty() {
+        return Err("--data-dir is required".into());
+    }
+    Ok(args)
+}
+
+/// Ingests every `*.json` spec in `<data>/incoming`, in name order for
+/// determinism. Returns how many were accepted.
+fn ingest_incoming(daemon: &Daemon, incoming: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(incoming) else {
+        return 0;
+    };
+    let mut names: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .filter(|p| {
+            !p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".rejected.json"))
+        })
+        .collect();
+    names.sort();
+    let mut accepted = 0;
+    for path in names {
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let spec: JobSpec = match serde_json::from_str(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("hiersizerd: invalid spec {}: {e}", path.display());
+                let _ = fs::rename(&path, path.with_extension("invalid"));
+                continue;
+            }
+        };
+        match daemon.submit(&spec) {
+            Ok(Submission::Accepted(id)) => {
+                eprintln!("hiersizerd: accepted job {id} from {}", path.display());
+                let _ = fs::remove_file(&path);
+                accepted += 1;
+            }
+            Ok(Submission::Rejected(rej)) => {
+                let note = serde_json::to_string_pretty(&rej).unwrap_or_default();
+                let _ = fs::write(path.with_extension("rejected.json"), note);
+                let _ = fs::remove_file(&path);
+                eprintln!(
+                    "hiersizerd: rejected {} ({:?}, retry in {}ms)",
+                    path.display(),
+                    rej.reason,
+                    rej.retry_after_ms
+                );
+            }
+            Err(e) => eprintln!("hiersizerd: submit failed for {}: {e}", path.display()),
+        }
+    }
+    accepted
+}
+
+fn write_health(data_dir: &Path, heartbeat: u64, open_jobs: usize) {
+    let text = format!(
+        "{{\n  \"healthy\": true,\n  \"pid\": {},\n  \"heartbeat\": {heartbeat},\n  \"open_jobs\": {open_jobs}\n}}\n",
+        std::process::id()
+    );
+    let tmp = data_dir.join("health.json.tmp");
+    if fs::write(&tmp, text).is_ok() {
+        let _ = fs::rename(&tmp, data_dir.join("health.json"));
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("hiersizerd: {e}");
+            eprintln!(
+                "usage: hiersizerd --data-dir DIR [--once] [--workers N] [--chaos SEED] \
+                 [--max-open N] [--max-open-per-tenant N] [--poll-ms N]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cfg = DaemonConfig::new(&args.data_dir);
+    cfg.workers = args.workers.max(1);
+    if let Some(seed) = args.chaos_seed {
+        cfg.chaos = Some(ChaosPolicy::soak(seed));
+    }
+    if let Some(max) = args.max_open {
+        cfg.admission.max_open = max;
+    }
+    if let Some(max) = args.max_open_per_tenant {
+        cfg.admission.max_open_per_tenant = max;
+    }
+
+    let incoming = args.data_dir.join("incoming");
+    let _ = fs::create_dir_all(&incoming);
+
+    let daemon = match Daemon::open(cfg) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("hiersizerd: open failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rec = daemon.recovery();
+    eprintln!(
+        "hiersizerd: recovered {} records ({} corrupt, truncated_tail={}), resuming {} jobs",
+        rec.replayed_records, rec.corrupt_lines, rec.truncated_tail, rec.resumed_jobs
+    );
+
+    let mut heartbeat = 0u64;
+    loop {
+        ingest_incoming(&daemon, &incoming);
+        let executed = daemon.run_until_idle();
+        if executed > 0 {
+            eprintln!("hiersizerd: executed {executed} job(s)");
+        }
+        let status = daemon.status();
+        if let Err(e) = daemon.write_status() {
+            eprintln!("hiersizerd: status write failed: {e}");
+        }
+        heartbeat += 1;
+        write_health(&args.data_dir, heartbeat, status.queued + status.running);
+        if args.once {
+            let drained = status.queued == 0
+                && status.running == 0
+                && ingest_incoming(&daemon, &incoming) == 0;
+            if drained {
+                let _ = daemon.write_status();
+                eprintln!(
+                    "hiersizerd: idle — {} completed, {} failed; exiting (--once)",
+                    status.completed, status.failed
+                );
+                return ExitCode::SUCCESS;
+            }
+        } else {
+            std::thread::sleep(Duration::from_millis(args.poll_ms));
+        }
+    }
+}

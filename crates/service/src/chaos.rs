@@ -1,0 +1,242 @@
+//! The service-level chaos harness.
+//!
+//! PR 1's [`FaultInjector`] perturbs individual solver evaluations;
+//! this module extends the idea one layer up, to the faults a *daemon*
+//! must survive: a worker dying mid-stage, a checkpoint file smashed on
+//! disk, a WAL append torn between `write` and `sync`, a solver
+//! stalling the clock. Every decision is a pure function of the policy
+//! seed and the `(job, attempt)` coordinates — no RNG state, no wall
+//! clock — so a soak run replays bug-for-bug under `--test-threads 1`
+//! or 16, and a failure seed printed by CI reproduces locally.
+//!
+//! Boundedness is part of the contract: crash/panic injection stops
+//! once a job has burned [`ChaosPolicy::max_faults_per_job`] attempts,
+//! so every job's final attempt runs clean and the soak provably
+//! terminates.
+
+use std::time::Duration;
+
+use hierflow::faults::{FaultInjector, FaultKind};
+
+/// Seed-keyed, bounded service-fault injection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosPolicy {
+    /// Master seed; every decision derives from it.
+    pub seed: u64,
+    /// Per-attempt probability (‰) of a simulated hard crash: the
+    /// job's cancel token fires after a deterministic number of task
+    /// polls, interrupting the flow mid-stage exactly where a `kill -9`
+    /// would, minus the process teardown.
+    pub crash_permille: u16,
+    /// Per-attempt probability (‰) of a worker panic before the flow
+    /// starts; the daemon must isolate it and retry the job.
+    pub panic_permille: u16,
+    /// Probability (‰), after an interruption, of smashing bytes in the
+    /// newest stage checkpoint — the resume path must quarantine it and
+    /// recompute.
+    pub corrupt_checkpoint_permille: u16,
+    /// Probability (‰) of tearing a non-`Submitted` WAL append into a
+    /// short write that fails CRC on replay.
+    pub wal_short_write_permille: u16,
+    /// Per-job probability (‰) of attaching a transient solver-fault
+    /// injector (keyed by job only, so every attempt — and the clean
+    /// reference run — sees identical faults).
+    pub sim_fault_permille: u16,
+    /// Wall-clock stall for injected `Timeout` faults, exercising the
+    /// clock-stall path without making results timing-dependent.
+    pub stall_ms: u64,
+    /// Crash/panic budget per job; past it, attempts run clean.
+    pub max_faults_per_job: u32,
+}
+
+impl ChaosPolicy {
+    /// The soak policy: aggressive but bounded.
+    pub fn soak(seed: u64) -> Self {
+        ChaosPolicy {
+            seed,
+            crash_permille: 450,
+            panic_permille: 150,
+            corrupt_checkpoint_permille: 400,
+            wal_short_write_permille: 250,
+            sim_fault_permille: 300,
+            stall_ms: 5,
+            max_faults_per_job: 3,
+        }
+    }
+
+    /// A policy that injects nothing (the identity daemon).
+    pub fn quiet() -> Self {
+        ChaosPolicy {
+            seed: 0,
+            crash_permille: 0,
+            panic_permille: 0,
+            corrupt_checkpoint_permille: 0,
+            wal_short_write_permille: 0,
+            sim_fault_permille: 0,
+            stall_ms: 0,
+            max_faults_per_job: 0,
+        }
+    }
+
+    /// The deterministic roll for a `(job, attempt, channel)` triple.
+    fn roll(&self, job: u64, attempt: u32, channel: u64) -> u64 {
+        splitmix64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(job << 24)
+                .wrapping_add(u64::from(attempt) << 8)
+                .wrapping_add(channel),
+        )
+    }
+
+    fn hits(&self, permille: u16, job: u64, attempt: u32, channel: u64) -> bool {
+        permille > 0 && self.roll(job, attempt, channel) % 1000 < u64::from(permille)
+    }
+
+    /// Whether this attempt's worker panics before the flow starts.
+    /// Checked first; a panicking attempt never also crashes.
+    pub fn inject_panic(&self, job: u64, attempt: u32) -> bool {
+        attempt < self.max_faults_per_job && self.hits(self.panic_permille, job, attempt, 4)
+    }
+
+    /// Simulated hard crash: `Some(polls)` means the attempt's cancel
+    /// token fires after that many task polls.
+    pub fn crash_after_polls(&self, job: u64, attempt: u32) -> Option<u64> {
+        if attempt >= self.max_faults_per_job || !self.hits(self.crash_permille, job, attempt, 0) {
+            return None;
+        }
+        // Between 20 and ~520 polls: early enough to land mid-stage-1
+        // on small presets, late enough to let checkpoints form.
+        Some(20 + self.roll(job, attempt, 5) % 500)
+    }
+
+    /// Whether to smash the newest checkpoint after this attempt's
+    /// interruption.
+    pub fn corrupt_checkpoint(&self, job: u64, attempt: u32) -> bool {
+        self.hits(self.corrupt_checkpoint_permille, job, attempt, 1)
+    }
+
+    /// Whether to tear this attempt's WAL append for `channel` (callers
+    /// pass a distinct channel per record kind; `Submitted` records are
+    /// never torn — they are the durability point of admission).
+    pub fn short_write(&self, job: u64, attempt: u32, record_channel: u64) -> bool {
+        self.hits(
+            self.wal_short_write_permille,
+            job,
+            attempt,
+            0x100 + record_channel,
+        )
+    }
+
+    /// The transient solver-fault injector for a job, if chaos assigns
+    /// one. Keyed by job id only — every attempt, and the chaos-free
+    /// reference run of the same job, sees the identical injector, so
+    /// fault recovery is part of the replayed computation rather than a
+    /// divergence source.
+    pub fn sim_faults(&self, job: u64) -> Option<FaultInjector> {
+        if !self.hits(self.sim_fault_permille, job, 0, 3) {
+            return None;
+        }
+        let pick = self.roll(job, 0, 6);
+        let point = (pick % 2) as usize;
+        let kind = match (pick >> 8) % 3 {
+            0 => FaultKind::NonConvergence,
+            1 => FaultKind::SingularMatrix,
+            _ => FaultKind::Timeout,
+        };
+        let mut injector = FaultInjector::new().fail_point(point, kind).transient();
+        if kind == FaultKind::Timeout && self.stall_ms > 0 {
+            injector = injector.with_timeout_stall(Duration::from_millis(self.stall_ms));
+        }
+        Some(injector)
+    }
+}
+
+/// SplitMix64: the standard 64-bit finaliser, the same generator the
+/// exec retry jitter uses.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = ChaosPolicy::soak(7);
+        let b = ChaosPolicy::soak(7);
+        for job in 0..50u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(
+                    a.crash_after_polls(job, attempt),
+                    b.crash_after_polls(job, attempt)
+                );
+                assert_eq!(a.inject_panic(job, attempt), b.inject_panic(job, attempt));
+                assert_eq!(
+                    a.corrupt_checkpoint(job, attempt),
+                    b.corrupt_checkpoint(job, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_plan() {
+        let a = ChaosPolicy::soak(1);
+        let b = ChaosPolicy::soak(2);
+        let plan = |p: &ChaosPolicy| {
+            (0..64u64)
+                .map(|j| p.crash_after_polls(j, 0).is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(plan(&a), plan(&b));
+    }
+
+    #[test]
+    fn fault_budget_bounds_crashes_and_panics() {
+        let p = ChaosPolicy::soak(3);
+        for job in 0..100u64 {
+            for attempt in p.max_faults_per_job..p.max_faults_per_job + 4 {
+                assert_eq!(p.crash_after_polls(job, attempt), None);
+                assert!(!p.inject_panic(job, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn soak_policy_actually_injects() {
+        let p = ChaosPolicy::soak(11);
+        let crashes = (0..40u64)
+            .filter(|&j| p.crash_after_polls(j, 0).is_some())
+            .count();
+        let sims = (0..40u64).filter(|&j| p.sim_faults(j).is_some()).count();
+        assert!(crashes > 5, "crash channel live ({crashes})");
+        assert!(sims > 3, "sim-fault channel live ({sims})");
+    }
+
+    #[test]
+    fn sim_faults_are_attempt_invariant() {
+        let p = ChaosPolicy::soak(5);
+        for job in 0..20u64 {
+            let a = p.sim_faults(job).map(|i| i.planned());
+            let b = p.sim_faults(job).map(|i| i.planned());
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn quiet_policy_injects_nothing() {
+        let p = ChaosPolicy::quiet();
+        for job in 0..32u64 {
+            assert_eq!(p.crash_after_polls(job, 0), None);
+            assert!(!p.inject_panic(job, 0));
+            assert!(!p.corrupt_checkpoint(job, 0));
+            assert!(!p.short_write(job, 0, 1));
+            assert!(p.sim_faults(job).is_none());
+        }
+    }
+}

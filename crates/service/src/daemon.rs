@@ -1,0 +1,586 @@
+//! The daemon: recovery, scheduling, execution, status.
+//!
+//! A [`Daemon`] owns a data directory:
+//!
+//! ```text
+//! <data>/
+//!   jobs.wal                  append-only, fsync'd job log
+//!   evalcache/                optional cross-job memo store
+//!   jobs/<id>/run/            the job's hierflow checkpoint directory
+//!   jobs/<id>/report_semantic.json   bit-identity projection
+//!   jobs/<id>/report.json            full report (incl. provenance)
+//!   status.json               periodic scheduler snapshot
+//! ```
+//!
+//! **Recovery.** `open` replays the WAL (tolerating truncated tails
+//! and corrupt lines), folds it into a [`Ledger`], and re-queues every
+//! non-terminal job. A job that was `Running` when the process died
+//! resumes from whatever stage checkpoints its run directory holds —
+//! the flow's resume contract makes the finished report bit-identical
+//! to an uninterrupted run, which is the service's headline guarantee.
+//!
+//! **Scheduling.** Workers claim jobs round-robin across *tenants*
+//! (not submission order), so one tenant's burst cannot starve
+//! another's single job. Admission is bounded (see
+//! [`crate::admission`]); `submit` refuses with a structured
+//! retry-after rather than queueing unboundedly.
+//!
+//! **Chaos.** With a [`ChaosPolicy`] installed, execution weaves the
+//! policy's deterministic faults into every seam: panics before the
+//! flow, simulated crashes mid-stage, checkpoint corruption after
+//! interruptions, torn WAL appends. The same job under the same policy
+//! replays the same fault schedule.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use exec::{CancelToken, RetryPolicy};
+use hierflow::HierarchicalFlow;
+use serde::{Deserialize, Serialize};
+
+use crate::admission::{AdmissionConfig, Rejection};
+use crate::chaos::ChaosPolicy;
+use crate::error::ServiceError;
+use crate::jobspec::JobSpec;
+use crate::report::{report_digest, semantic_json};
+use crate::wal::{JobPhase, Ledger, Wal, WalRecord, WAL_FILE};
+
+/// Daemon settings.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Root of the daemon's durable state.
+    pub data_dir: PathBuf,
+    /// Admission limits.
+    pub admission: AdmissionConfig,
+    /// Optional chaos policy (tests and soak runs).
+    pub chaos: Option<ChaosPolicy>,
+    /// Concurrent job workers in [`Daemon::run_until_idle`].
+    pub workers: usize,
+    /// Hard per-job attempt budget — the safety valve above the chaos
+    /// policy's own fault bound.
+    pub max_attempts: u32,
+    /// Share one evaluation memo store across jobs (under
+    /// `<data>/evalcache`) for specs that opt into caching.
+    pub shared_cache: bool,
+}
+
+impl DaemonConfig {
+    /// Defaults rooted at `data_dir`: single worker, default admission,
+    /// no chaos.
+    pub fn new<P: AsRef<Path>>(data_dir: P) -> Self {
+        DaemonConfig {
+            data_dir: data_dir.as_ref().to_path_buf(),
+            admission: AdmissionConfig::default(),
+            chaos: None,
+            workers: 1,
+            max_attempts: 8,
+            shared_cache: true,
+        }
+    }
+}
+
+/// What `open` found while recovering.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Valid records replayed from the WAL.
+    pub replayed_records: usize,
+    /// Corrupt mid-file lines skipped.
+    pub corrupt_lines: usize,
+    /// Whether the WAL ended in a torn partial line.
+    pub truncated_tail: bool,
+    /// Jobs re-queued for execution (non-terminal after the fold).
+    pub resumed_jobs: usize,
+}
+
+/// The outcome of a submission.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Submission {
+    /// Admitted; the id is durable (the `Submitted` record is fsync'd
+    /// before this returns).
+    Accepted(u64),
+    /// Refused by admission control; retry after the hint.
+    Rejected(Rejection),
+}
+
+/// One row of [`DaemonStatus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRow {
+    /// Job id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Attempts started.
+    pub attempts: u32,
+}
+
+/// Point-in-time scheduler snapshot (persisted as `status.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DaemonStatus {
+    /// Jobs waiting for a worker.
+    pub queued: usize,
+    /// Jobs being executed right now.
+    pub running: usize,
+    /// Terminal successes.
+    pub completed: usize,
+    /// Terminal failures.
+    pub failed: usize,
+    /// Chaos faults injected so far (all channels).
+    pub chaos_faults: u64,
+    /// WAL appends deliberately torn by chaos.
+    pub wal_short_writes: u64,
+    /// What recovery found at startup.
+    pub recovery: RecoveryReport,
+    /// Every known job.
+    pub jobs: Vec<JobRow>,
+}
+
+struct SchedState {
+    ledger: Ledger,
+    queue: Vec<u64>,
+    active: BTreeSet<u64>,
+    rr_cursor: usize,
+    chaos_faults: u64,
+    wal_short_writes: u64,
+}
+
+/// The long-running optimisation service.
+pub struct Daemon {
+    cfg: DaemonConfig,
+    wal: Wal,
+    state: Mutex<SchedState>,
+    recovery: RecoveryReport,
+}
+
+impl Daemon {
+    /// Opens (creating or recovering) the daemon over its data
+    /// directory: replays the WAL and re-queues unfinished jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] when the directory or WAL is unusable.
+    pub fn open(cfg: DaemonConfig) -> Result<Self, ServiceError> {
+        fs::create_dir_all(cfg.data_dir.join("jobs"))
+            .map_err(|e| ServiceError::io(cfg.data_dir.display().to_string(), e.to_string()))?;
+        let wal_path = cfg.data_dir.join(WAL_FILE);
+        let replay = Wal::replay(&wal_path)?;
+        let ledger = replay.ledger();
+        let queue = ledger.open_jobs();
+        let recovery = RecoveryReport {
+            replayed_records: replay.records.len(),
+            corrupt_lines: replay.corrupt_lines,
+            truncated_tail: replay.truncated_tail,
+            resumed_jobs: queue.len(),
+        };
+        telemetry::counter_add("daemon.recovered_jobs", recovery.resumed_jobs as u64);
+        let wal = Wal::open(&wal_path)?;
+        Ok(Daemon {
+            cfg,
+            wal,
+            state: Mutex::new(SchedState {
+                ledger,
+                queue,
+                active: BTreeSet::new(),
+                rr_cursor: 0,
+                chaos_faults: 0,
+                wal_short_writes: 0,
+            }),
+            recovery,
+        })
+    }
+
+    /// The recovery summary from `open`.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.cfg
+    }
+
+    fn chaos(&self) -> ChaosPolicy {
+        self.cfg.chaos.unwrap_or_else(ChaosPolicy::quiet)
+    }
+
+    fn job_dir(&self, id: u64) -> PathBuf {
+        self.cfg.data_dir.join("jobs").join(id.to_string())
+    }
+
+    fn shared_cache_dir(&self) -> Option<PathBuf> {
+        self.cfg
+            .shared_cache
+            .then(|| self.cfg.data_dir.join("evalcache"))
+    }
+
+    /// Submits a job. On acceptance the `Submitted` WAL record is
+    /// durable (written + fsync'd) before the id is returned — a crash
+    /// one instruction later loses nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for invalid specs or a WAL that cannot
+    /// be appended; admission refusals are the `Ok(Rejected)` arm, not
+    /// errors.
+    pub fn submit(&self, spec: &JobSpec) -> Result<Submission, ServiceError> {
+        spec.validate()?;
+        let mut st = self.lock();
+        if let Err(rej) = self.cfg.admission.admit(
+            st.ledger.open_total(),
+            st.ledger.open_for_tenant(&spec.tenant),
+        ) {
+            telemetry::counter_add("daemon.rejected", 1);
+            return Ok(Submission::Rejected(rej));
+        }
+        let id = st.ledger.next_id();
+        let rec = WalRecord::Submitted {
+            job: id,
+            spec: spec.clone(),
+        };
+        // The durability point: never chaos-torn, and an append failure
+        // fails the submit rather than admitting a job that would
+        // vanish on restart.
+        self.wal.append(&rec)?;
+        st.ledger.apply(&rec);
+        st.queue.push(id);
+        telemetry::counter_add("daemon.submitted", 1);
+        Ok(Submission::Accepted(id))
+    }
+
+    /// Claims and executes one job if any is queued; returns its id.
+    pub fn run_next(&self) -> Option<u64> {
+        let id = self.claim_next()?;
+        self.execute_job(id);
+        self.lock().active.remove(&id);
+        Some(id)
+    }
+
+    /// Drains the queue with `cfg.workers` concurrent workers; returns
+    /// the number of jobs executed.
+    pub fn run_until_idle(&self) -> usize {
+        let workers = self.cfg.workers.max(1);
+        if workers == 1 {
+            let mut n = 0;
+            while self.run_next().is_some() {
+                n += 1;
+            }
+            return n;
+        }
+        let counter = Mutex::new(0usize);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    while self.run_next().is_some() {
+                        *counter.lock().unwrap_or_else(|p| p.into_inner()) += 1;
+                    }
+                });
+            }
+        });
+        counter.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Round-robin across tenants: each claim advances a cursor over
+    /// the distinct tenants that currently have queued work, then takes
+    /// that tenant's oldest job.
+    fn claim_next(&self) -> Option<u64> {
+        let mut st = self.lock();
+        if st.queue.is_empty() {
+            return None;
+        }
+        let mut tenants: Vec<String> = st
+            .queue
+            .iter()
+            .filter_map(|id| st.ledger.get(*id).map(|e| e.spec.tenant.clone()))
+            .collect();
+        tenants.sort();
+        tenants.dedup();
+        let tenant = tenants[st.rr_cursor % tenants.len()].clone();
+        st.rr_cursor = st.rr_cursor.wrapping_add(1);
+        let pos = st
+            .queue
+            .iter()
+            .position(|id| st.ledger.get(*id).is_some_and(|e| e.spec.tenant == tenant))
+            .expect("tenant derived from queue");
+        let id = st.queue.remove(pos);
+        st.active.insert(id);
+        Some(id)
+    }
+
+    /// Runs one job to a terminal state, weaving in chaos faults and
+    /// resuming from checkpoints across interruptions.
+    fn execute_job(&self, id: u64) {
+        let Some((spec, mut attempt)) = self
+            .lock()
+            .ledger
+            .get(id)
+            .map(|e| (e.spec.clone(), e.attempts))
+        else {
+            return;
+        };
+        let chaos = self.chaos();
+        let run_dir = self.job_dir(id).join("run");
+        let shared_cache = self.shared_cache_dir();
+        let retry = RetryPolicy::transient_backoff();
+        loop {
+            if attempt >= self.cfg.max_attempts {
+                self.record(
+                    id,
+                    attempt,
+                    WalRecord::Failed {
+                        job: id,
+                        attempt,
+                        error: "attempt budget exhausted".into(),
+                    },
+                    4,
+                );
+                return;
+            }
+            if attempt > 0 {
+                // Deterministic slot-keyed backoff between attempts —
+                // the same policy the exec pool applies to transient
+                // task faults, keyed here by job id.
+                std::thread::sleep(retry.delay_for(attempt as usize, id as usize));
+            }
+            self.record(id, attempt, WalRecord::Started { job: id, attempt }, 1);
+            if chaos.inject_panic(id, attempt) {
+                self.bump_chaos();
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    panic!("chaos: injected worker panic (job {id} attempt {attempt})")
+                }));
+                debug_assert!(result.is_err());
+                self.record(
+                    id,
+                    attempt,
+                    WalRecord::Interrupted {
+                        job: id,
+                        attempt,
+                        reason: "worker panic (injected)".into(),
+                    },
+                    2,
+                );
+                attempt += 1;
+                continue;
+            }
+            let cancel = match chaos.crash_after_polls(id, attempt) {
+                Some(polls) => {
+                    self.bump_chaos();
+                    CancelToken::cancel_after(polls)
+                }
+                None => CancelToken::new(),
+            };
+            let config = spec.flow_config(shared_cache.as_deref());
+            if spec.preset.seeded_stage1() {
+                seed_stage1(&run_dir, &config);
+            }
+            let mut flow = HierarchicalFlow::new(config).with_cancel_token(cancel);
+            if let Some(injector) = chaos.sim_faults(id) {
+                flow = flow.with_fault_injector(injector);
+            }
+            match flow.resume(&run_dir) {
+                Ok(report) => {
+                    let digest = report_digest(&report);
+                    self.persist_report(id, &report);
+                    self.record(
+                        id,
+                        attempt,
+                        WalRecord::Completed {
+                            job: id,
+                            attempt,
+                            report_digest: digest,
+                        },
+                        3,
+                    );
+                    telemetry::counter_add("daemon.completed", 1);
+                    return;
+                }
+                Err(e) if e.is_resumable_interruption() => {
+                    self.record(
+                        id,
+                        attempt,
+                        WalRecord::Interrupted {
+                            job: id,
+                            attempt,
+                            reason: e.to_string(),
+                        },
+                        2,
+                    );
+                    if chaos.corrupt_checkpoint(id, attempt) {
+                        self.bump_chaos();
+                        smash_newest_artifact(&run_dir);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => {
+                    self.record(
+                        id,
+                        attempt,
+                        WalRecord::Failed {
+                            job: id,
+                            attempt,
+                            error: e.to_string(),
+                        },
+                        4,
+                    );
+                    telemetry::counter_add("daemon.failed", 1);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Writes the full and semantic reports atomically into the job
+    /// directory. Best-effort: the WAL record (with the semantic
+    /// digest) is the durable truth; a full disk here degrades the
+    /// artifact, not the ledger.
+    fn persist_report(&self, id: u64, report: &hierflow::flow::FlowReport) {
+        let dir = self.job_dir(id);
+        let _ = fs::create_dir_all(&dir);
+        let full = serde_json::to_string_pretty(report).unwrap_or_default();
+        let _ = atomic_write(&dir.join("report.json"), &full);
+        let _ = atomic_write(&dir.join("report_semantic.json"), &semantic_json(report));
+    }
+
+    /// Appends a record (chaos may tear non-`Submitted` channels) and
+    /// folds it into the in-memory ledger. The fold always uses the
+    /// *intact* record: a torn WAL line models losing the record on
+    /// disk, not the daemon forgetting what it just did.
+    fn record(&self, job: u64, attempt: u32, rec: WalRecord, channel: u64) {
+        let torn = self.chaos().short_write(job, attempt, channel);
+        let outcome = if torn {
+            self.wal.append_short(&rec)
+        } else {
+            self.wal.append(&rec)
+        };
+        if let Err(e) = outcome {
+            // A WAL that stops accepting appends degrades durability,
+            // never in-memory correctness; surface it loudly.
+            eprintln!("hiersizerd: WAL append failed: {e}");
+        }
+        let mut st = self.lock();
+        if torn {
+            st.wal_short_writes += 1;
+            st.chaos_faults += 1;
+        }
+        st.ledger.apply(&rec);
+    }
+
+    fn bump_chaos(&self) {
+        self.lock().chaos_faults += 1;
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Current scheduler snapshot.
+    pub fn status(&self) -> DaemonStatus {
+        let st = self.lock();
+        let mut status = DaemonStatus {
+            queued: st.queue.len(),
+            running: st.active.len(),
+            completed: 0,
+            failed: 0,
+            chaos_faults: st.chaos_faults,
+            wal_short_writes: st.wal_short_writes,
+            recovery: self.recovery.clone(),
+            jobs: Vec::new(),
+        };
+        for entry in st.ledger.jobs() {
+            match entry.phase {
+                JobPhase::Completed { .. } => status.completed += 1,
+                JobPhase::Failed { .. } => status.failed += 1,
+                _ => {}
+            }
+            status.jobs.push(JobRow {
+                id: entry.id,
+                tenant: entry.spec.tenant.clone(),
+                phase: entry.phase.clone(),
+                attempts: entry.attempts,
+            });
+        }
+        status
+    }
+
+    /// Persists `status.json` atomically into the data directory.
+    pub fn write_status(&self) -> Result<(), ServiceError> {
+        let status = self.status();
+        let text =
+            serde_json::to_string_pretty(&status).map_err(|e| ServiceError::wal(e.to_string()))?;
+        let path = self.cfg.data_dir.join("status.json");
+        atomic_write(&path, &text)
+            .map_err(|e| ServiceError::io(path.display().to_string(), e.to_string()))
+    }
+}
+
+/// Seeds a Nano job's stage-1 front: three real testbench evaluations
+/// of a nominal-family sweep, a pure function of the testbench — so
+/// every attempt, and every daemon process that resumes the job,
+/// re-derives the identical artifact when it is missing.
+fn seed_stage1(run_dir: &Path, config: &hierflow::flow::FlowConfig) {
+    use hierflow::checkpoint::{RunDir, STAGE1_FRONT};
+    if run_dir.join(STAGE1_FRONT).exists() {
+        return;
+    }
+    let artifact = conformance::seeded_stage1_front(&config.testbench, 3);
+    if let Ok(run) = RunDir::create(run_dir) {
+        let _ = run.save(STAGE1_FRONT, &artifact);
+    }
+}
+
+/// Smashes the newest stage artifact in a run directory — truncates it
+/// mid-token, modelling a torn write that bypassed the atomic rename.
+/// The resume path must quarantine the casualty and recompute that
+/// stage. Stage 1 is spared (for seeded presets it is input, not a
+/// recovery artifact, and a GA recompute would dominate the soak);
+/// when no later stage has landed yet the event log takes the hit,
+/// exercising the events-quarantine path instead.
+fn smash_newest_artifact(run_dir: &Path) {
+    use hierflow::checkpoint::{EVENTS_FILE, STAGE2_CHARACTERIZED, STAGE4_SYSTEM, STAGE5_SELECTED};
+    for name in [
+        STAGE5_SELECTED,
+        STAGE4_SYSTEM,
+        STAGE2_CHARACTERIZED,
+        EVENTS_FILE,
+    ] {
+        let path = run_dir.join(name);
+        if let Ok(text) = fs::read_to_string(&path) {
+            let keep = text.len() / 2;
+            let _ = fs::write(&path, &text[..keep]);
+            return;
+        }
+    }
+}
+
+/// Atomic tmp + rename write, the same discipline as checkpoints.
+fn atomic_write(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, text)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_round_robin_interleaves_claims() {
+        let dir = std::env::temp_dir().join(format!("svc-rr-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let daemon = Daemon::open(DaemonConfig::new(&dir)).unwrap();
+        for tenant in ["a", "a", "a", "b", "b", "b"] {
+            let sub = daemon.submit(&JobSpec::nano(tenant)).unwrap();
+            assert!(matches!(sub, Submission::Accepted(_)));
+        }
+        let mut order = Vec::new();
+        while let Some(id) = daemon.claim_next() {
+            let tenant = daemon.lock().ledger.get(id).unwrap().spec.tenant.clone();
+            order.push(tenant);
+        }
+        assert_eq!(order, ["a", "b", "a", "b", "a", "b"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

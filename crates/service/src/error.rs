@@ -1,0 +1,67 @@
+//! Service-level error type.
+//!
+//! Deliberately small: admission rejections are *not* errors (they are
+//! structured [`crate::Rejection`] responses with a retry hint), and
+//! per-job flow failures are terminal job states recorded in the WAL,
+//! not daemon failures. What remains is the daemon's own plumbing —
+//! unusable data directory, unwritable WAL, malformed job specs.
+
+use std::fmt;
+
+/// A daemon-level failure (never a per-job optimisation failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Filesystem trouble on a daemon-owned path.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error text.
+        message: String,
+    },
+    /// The write-ahead log could not be appended or opened.
+    Wal {
+        /// What went wrong.
+        message: String,
+    },
+    /// A job spec could not be parsed or validated.
+    Spec {
+        /// What was wrong with it.
+        message: String,
+    },
+}
+
+impl ServiceError {
+    /// Builds an [`ServiceError::Io`].
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> Self {
+        ServiceError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a [`ServiceError::Wal`].
+    pub fn wal(message: impl Into<String>) -> Self {
+        ServiceError::Wal {
+            message: message.into(),
+        }
+    }
+
+    /// Builds a [`ServiceError::Spec`].
+    pub fn spec(message: impl Into<String>) -> Self {
+        ServiceError::Spec {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io { path, message } => write!(f, "i/o error on {path}: {message}"),
+            ServiceError::Wal { message } => write!(f, "write-ahead log error: {message}"),
+            ServiceError::Spec { message } => write!(f, "invalid job spec: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}

@@ -1,0 +1,230 @@
+//! Job descriptions: what a tenant submits.
+//!
+//! A [`JobSpec`] is deliberately *not* a [`FlowConfig`]: the config
+//! type carries wall-clock budgets and cache paths that do not
+//! serialise, and letting clients submit raw configs would make the
+//! service's bit-identity contract depend on every client encoding
+//! floats the same way. Instead a spec names a [`JobPreset`] plus a
+//! handful of plain-typed overrides, and
+//! [`JobSpec::flow_config`] maps it onto a `FlowConfig`
+//! deterministically — the same spec always produces the same config,
+//! so a job resumed by a fresh daemon process re-derives exactly the
+//! configuration the original attempt ran under (which the checkpoint
+//! manifest digest then verifies independently).
+
+use std::path::Path;
+
+use hierflow::flow::{CacheConfig, FlowConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServiceError;
+
+/// Named flow-budget presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPreset {
+    /// Smallest flow: a trimmed-oscillator micro budget started from a
+    /// deterministic seeded stage-1 front (the conformance runner's
+    /// seeding — three real testbench evaluations of a nominal-family
+    /// sweep — so no GA campaign). Soak tests and smoke jobs; the
+    /// cheapest job that still runs characterisation, modelling,
+    /// system optimisation and verification for real.
+    Nano,
+    /// The development-scale micro budget (the same shape the e2e suite
+    /// runs): small GA campaigns, loosened spec window. Tens of
+    /// seconds.
+    Micro,
+    /// [`FlowConfig::quick`] unchanged. Minutes.
+    Quick,
+}
+
+impl JobPreset {
+    /// Whether jobs of this preset start from a seeded stage-1 front
+    /// (a deterministic function of the testbench) instead of paying
+    /// for a circuit-GA campaign. Only [`JobPreset::Nano`].
+    pub fn seeded_stage1(self) -> bool {
+        matches!(self, JobPreset::Nano)
+    }
+}
+
+/// A serialisable, deterministic job description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Submitting tenant (admission quotas are per tenant).
+    pub tenant: String,
+    /// Base flow budget.
+    pub preset: JobPreset,
+    /// Deterministic seed perturbation: added to the Monte-Carlo and
+    /// system-GA seeds so tenants can run independent replicas of the
+    /// same preset. The circuit-GA seed is left alone — feasibility of
+    /// the tiny preset campaigns is tuned for it.
+    pub seed_offset: u64,
+    /// Override for [`FlowConfig::max_char_points`]; `0` keeps the
+    /// preset's value.
+    pub max_char_points: usize,
+    /// Opt into the evaluation memo cache for this job.
+    pub cache: bool,
+}
+
+impl JobSpec {
+    /// A nano-preset spec for `tenant`.
+    pub fn nano(tenant: &str) -> Self {
+        JobSpec {
+            tenant: tenant.to_string(),
+            preset: JobPreset::Nano,
+            seed_offset: 0,
+            max_char_points: 0,
+            cache: false,
+        }
+    }
+
+    /// Returns this spec with a seed perturbation.
+    #[must_use]
+    pub fn with_seed_offset(mut self, offset: u64) -> Self {
+        self.seed_offset = offset;
+        self
+    }
+
+    /// Validates the spec's plain-typed fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Spec`] for an empty tenant name (the
+    /// admission ledger keys on it).
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.tenant.trim().is_empty() {
+            return Err(ServiceError::spec("tenant name must not be empty"));
+        }
+        Ok(())
+    }
+
+    /// Deterministically maps the spec onto a flow configuration.
+    /// `shared_cache` is the daemon's cross-job evaluation store root;
+    /// it is attached only when the spec opts into caching (results are
+    /// bit-identical either way — the cache is purely a speed knob).
+    pub fn flow_config(&self, shared_cache: Option<&Path>) -> FlowConfig {
+        let mut cfg = match self.preset {
+            JobPreset::Nano => nano_config(),
+            JobPreset::Micro => micro_config(),
+            JobPreset::Quick => FlowConfig::quick(),
+        };
+        cfg.char_mc.seed = cfg.char_mc.seed.wrapping_add(self.seed_offset);
+        cfg.verify_mc.seed = cfg.verify_mc.seed.wrapping_add(self.seed_offset);
+        cfg.system_ga.seed = cfg.system_ga.seed.wrapping_add(self.seed_offset);
+        if self.max_char_points > 0 {
+            cfg.max_char_points = self.max_char_points;
+        }
+        if self.cache {
+            cfg.cache = CacheConfig::enabled();
+            cfg.cache.shared_disk = shared_cache.map(Path::to_path_buf);
+        }
+        cfg
+    }
+}
+
+/// The development-scale micro budget: the same knobs the end-to-end
+/// suite's full-flow tests run, so every stage (including the circuit
+/// GA) reliably completes.
+fn micro_config() -> FlowConfig {
+    let mut cfg = FlowConfig::quick();
+    cfg.circuit_ga.population = 16;
+    cfg.circuit_ga.generations = 3;
+    cfg.char_mc.samples = 5;
+    cfg.max_char_points = 4;
+    cfg.system_ga.population = 32;
+    cfg.system_ga.generations = 10;
+    cfg.verify_mc.samples = 10;
+    cfg.spec.lock_time_max = 5e-6;
+    cfg.spec.current_max = 50e-3;
+    cfg
+}
+
+/// The soak budget: the micro shape with the system stage and
+/// Monte-Carlo budgets trimmed further. The circuit GA keeps the micro
+/// campaign size — that is what the loosened spec window is tuned
+/// against, and an infeasible stage-1 front would turn soak jobs into
+/// permanent failures.
+fn nano_config() -> FlowConfig {
+    let mut cfg = micro_config();
+    cfg.char_mc.samples = 3;
+    cfg.max_char_points = 2;
+    cfg.system_ga.population = 16;
+    cfg.system_ga.generations = 6;
+    cfg.verify_mc.samples = 3;
+    // The conformance suite's oscillator trims: soak fleets pay for
+    // dozens of complete flows, and the soak's subject is crash
+    // recovery, not measurement fidelity.
+    cfg.testbench.osc.warmup_periods = 2;
+    cfg.testbench.osc.measure_periods = 5;
+    cfg.testbench.osc.points_per_period = 16;
+    cfg.testbench.osc.f_min_expected = 100e6;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = JobSpec::nano("acme").with_seed_offset(7);
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: JobSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        let spec = JobSpec {
+            tenant: "a".into(),
+            preset: JobPreset::Micro,
+            seed_offset: 3,
+            max_char_points: 2,
+            cache: true,
+        };
+        let a = spec.flow_config(Some(Path::new("/tmp/store")));
+        let b = spec.flow_config(Some(Path::new("/tmp/store")));
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.max_char_points, 2);
+        assert!(a.cache.enabled);
+        assert_eq!(
+            a.cache.shared_disk.as_deref(),
+            Some(Path::new("/tmp/store"))
+        );
+    }
+
+    #[test]
+    fn seed_offset_moves_only_the_documented_seeds() {
+        let base = JobSpec::nano("t").flow_config(None);
+        let moved = JobSpec::nano("t").with_seed_offset(11).flow_config(None);
+        assert_eq!(base.circuit_ga.seed, moved.circuit_ga.seed);
+        assert_eq!(base.char_mc.seed + 11, moved.char_mc.seed);
+        assert_eq!(base.verify_mc.seed + 11, moved.verify_mc.seed);
+        assert_eq!(base.system_ga.seed + 11, moved.system_ga.seed);
+    }
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let nano = JobSpec::nano("t").flow_config(None);
+        let micro = JobSpec {
+            preset: JobPreset::Micro,
+            ..JobSpec::nano("t")
+        }
+        .flow_config(None);
+        let quick = JobSpec {
+            preset: JobPreset::Quick,
+            ..JobSpec::nano("t")
+        }
+        .flow_config(None);
+        assert!(nano.verify_mc.samples <= micro.verify_mc.samples);
+        assert!(micro.verify_mc.samples <= quick.verify_mc.samples);
+        assert!(nano.system_ga.population <= micro.system_ga.population);
+    }
+
+    #[test]
+    fn empty_tenant_is_rejected() {
+        let mut spec = JobSpec::nano("ok");
+        spec.validate().unwrap();
+        spec.tenant = "  ".into();
+        assert!(spec.validate().is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Optimisation-as-a-service: a crash-safe daemon around the
+//! hierarchical flow.
+//!
+//! The flow crates solve one sizing problem per process. This crate
+//! turns them into a long-running service that accepts job submissions,
+//! schedules them fairly across tenants, survives being killed at any
+//! instruction, and — the conformance-grade contract — produces a
+//! **bit-identical** final report whether a job ran uninterrupted or
+//! was killed mid-stage and resumed by a fresh daemon process.
+//!
+//! * [`jobspec`] — [`JobSpec`]: the serialisable job description
+//!   (preset + plain-typed overrides) that maps deterministically onto
+//!   a [`hierflow::FlowConfig`]. Jobs are specs, never configs: the
+//!   config type carries non-serialisable budgets and the mapping must
+//!   be reproducible across daemon versions of the same build.
+//! * [`wal`] — the append-only, fsync'd write-ahead log (`jobs.wal`):
+//!   one CRC-framed JSON record per line, replayed on startup to
+//!   rebuild the job [`Ledger`]. Truncated tails (the crash case the
+//!   fsync discipline allows) and corrupt mid-file lines are tolerated
+//!   and counted, never fatal.
+//! * [`admission`] — bounded-queue backpressure and per-tenant quotas;
+//!   rejections are structured ([`Rejection`]) and carry a
+//!   `retry_after_ms` hint instead of an error string.
+//! * [`daemon`] — [`Daemon`]: recovery (WAL replay + checkpoint
+//!   resume), round-robin tenant scheduling over worker threads, and
+//!   the `status.json`/`health.json` snapshots the `hiersizerd` binary
+//!   maintains.
+//! * [`chaos`] — [`ChaosPolicy`]: seed-keyed, bounded fault injection
+//!   at the *service* layer (simulated crashes, torn WAL appends,
+//!   corrupt checkpoint bytes, transient solver faults with clock
+//!   stalls), driving the soak test: N jobs under chaos, every job
+//!   reaches a terminal state, no report diverges from its chaos-free
+//!   reference.
+//! * [`report`] — the semantic projection of a [`hierflow::FlowReport`]
+//!   (results only, no run provenance) whose serialised bytes are the
+//!   cross-process bit-identity oracle, and its FNV digest recorded in
+//!   `Completed` WAL records.
+//!
+//! The `hiersizerd` binary (in `src/bin/`) wraps [`Daemon`] with
+//! file-based ingestion: drop a `JobSpec` JSON into
+//! `<data-dir>/incoming/` and collect `jobs/<id>/report_semantic.json`.
+
+pub mod admission;
+pub mod chaos;
+pub mod daemon;
+pub mod error;
+pub mod jobspec;
+pub mod report;
+pub mod wal;
+
+pub use admission::{AdmissionConfig, RejectReason, Rejection};
+pub use chaos::ChaosPolicy;
+pub use daemon::{Daemon, DaemonConfig, DaemonStatus, JobRow, RecoveryReport, Submission};
+pub use error::ServiceError;
+pub use jobspec::{JobPreset, JobSpec};
+pub use report::{report_digest, semantic_json, semantic_value};
+pub use wal::{JobPhase, Ledger, Wal, WalRecord, WalReplay};

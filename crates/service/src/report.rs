@@ -1,0 +1,54 @@
+//! The semantic report projection: the bit-identity oracle.
+//!
+//! A [`FlowReport`] mixes *results* (fronts, the selected design, the
+//! verification verdict) with *run provenance* (event log, wall-clock
+//! timings, telemetry profile, evaluations-this-run). Provenance
+//! legitimately differs between a clean run and a killed-and-resumed
+//! one; results must not. This module projects a report onto its
+//! semantic fields only — the same exclusion set the conformance
+//! harness's `flatten_report` uses — so the projection's serialised
+//! bytes can be compared across *processes* (the kill-restart e2e
+//! writes them to disk on both sides) and its FNV digest can ride in a
+//! `Completed` WAL record.
+
+use hierflow::flow::FlowReport;
+use serde::Value;
+
+/// The result-bearing fields of a [`FlowReport`], in serialisation
+/// order. Everything else is run provenance.
+pub const SEMANTIC_FIELDS: [&str; 8] = [
+    "front",
+    "system_front",
+    "selected",
+    "selected_x",
+    "final_sizing",
+    "verification",
+    "circuit_evaluations",
+    "system_evaluations",
+];
+
+/// Projects a report onto its semantic fields.
+pub fn semantic_value(report: &FlowReport) -> Value {
+    let full = serde_json::to_value(report);
+    let mut fields = Vec::with_capacity(SEMANTIC_FIELDS.len());
+    for key in SEMANTIC_FIELDS {
+        if let Some(v) = full.get(key) {
+            fields.push((key.to_string(), v.clone()));
+        }
+    }
+    Value::Object(fields)
+}
+
+/// The projection as canonical pretty JSON — what the daemon persists
+/// as `report_semantic.json` and what the kill-restart e2e compares
+/// byte for byte.
+pub fn semantic_json(report: &FlowReport) -> String {
+    serde_json::to_string_pretty(&semantic_value(report)).unwrap_or_default()
+}
+
+/// FNV-1a digest of the compact semantic projection; recorded in
+/// `Completed` WAL records and compared by the chaos soak.
+pub fn report_digest(report: &FlowReport) -> u64 {
+    let compact = serde_json::to_string(&semantic_value(report)).unwrap_or_default();
+    evalcache::fnv1a(compact.as_bytes())
+}

@@ -1,0 +1,483 @@
+//! The write-ahead log: the daemon's single source of durable truth.
+//!
+//! `jobs.wal` is an append-only file of newline-delimited records:
+//!
+//! ```text
+//! {"crc":<fnv1a-of-rec-json>,"rec":{"Submitted":{...}}}
+//! ```
+//!
+//! Every append is one `write_all` of the full framed line followed by
+//! `sync_data`, so after a `submit()` returns, the job exists no matter
+//! when the process dies. The CRC is an FNV-1a digest of the `rec`
+//! payload's canonical JSON — the serde shim serialises objects in
+//! insertion order, so re-serialising the parsed payload reproduces the
+//! written bytes exactly and the digest can be validated without a
+//! second framing layer.
+//!
+//! Replay ([`Wal::replay`]) is tolerant by design:
+//!
+//! * a **truncated tail** (the crash window the fsync discipline
+//!   leaves open: a partial final line with no newline) is dropped and
+//!   flagged, never fatal;
+//! * a **corrupt mid-file line** (torn short write, bit rot) fails its
+//!   CRC or parse, is skipped and counted — later records still apply;
+//! * **duplicate records** are absorbed idempotently when the
+//!   [`Ledger`] folds records into job states.
+//!
+//! Losing a non-`Submitted` record is always recoverable: the ledger
+//! then sees an earlier phase of the job and the daemon simply re-runs
+//! it from its stage checkpoints — the flow's resume bit-identity
+//! contract makes the re-run converge on the same report.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize, Value};
+
+use crate::error::ServiceError;
+use crate::jobspec::JobSpec;
+
+/// WAL file name inside the daemon data directory.
+pub const WAL_FILE: &str = "jobs.wal";
+
+/// One durable event in a job's life. Records are integer/string-typed
+/// only — no floats — so the CRC-over-reserialised-JSON check can never
+/// trip over float formatting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WalRecord {
+    /// A job was admitted. This is the durability point of `submit`.
+    Submitted {
+        /// Job id (monotonic, assigned by the daemon).
+        job: u64,
+        /// The submitted spec, verbatim.
+        spec: JobSpec,
+    },
+    /// An attempt at running the job began.
+    Started {
+        /// Job id.
+        job: u64,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+    /// An attempt was interrupted (cancellation, budget, crash injected
+    /// by the chaos harness, worker panic). The job remains runnable.
+    Interrupted {
+        /// Job id.
+        job: u64,
+        /// The interrupted attempt.
+        attempt: u32,
+        /// Human-readable interruption cause.
+        reason: String,
+    },
+    /// The job finished; `report_digest` is the FNV digest of the
+    /// report's semantic projection (see [`crate::report`]), the value
+    /// the bit-identity soak compares across chaos and clean runs.
+    Completed {
+        /// Job id.
+        job: u64,
+        /// The attempt that completed it.
+        attempt: u32,
+        /// Digest of the semantic report.
+        report_digest: u64,
+    },
+    /// The job failed terminally (non-resumable flow error).
+    Failed {
+        /// Job id.
+        job: u64,
+        /// The attempt that failed.
+        attempt: u32,
+        /// The flow error text.
+        error: String,
+    },
+}
+
+impl WalRecord {
+    /// The job this record belongs to.
+    pub fn job(&self) -> u64 {
+        match self {
+            WalRecord::Submitted { job, .. }
+            | WalRecord::Started { job, .. }
+            | WalRecord::Interrupted { job, .. }
+            | WalRecord::Completed { job, .. }
+            | WalRecord::Failed { job, .. } => *job,
+        }
+    }
+}
+
+/// Frames a record into its durable line (sans newline).
+fn frame(rec: &WalRecord) -> Result<String, ServiceError> {
+    let payload = serde_json::to_string(rec).map_err(|e| ServiceError::wal(e.to_string()))?;
+    let crc = evalcache::fnv1a(payload.as_bytes());
+    Ok(format!("{{\"crc\":{crc},\"rec\":{payload}}}"))
+}
+
+/// Extracts an unsigned integer from a shim JSON value.
+fn value_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::Int(i) if *i >= 0 => Some(*i as u64),
+        Value::UInt(u) => Some(*u),
+        _ => None,
+    }
+}
+
+/// The append side of the log.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: Mutex<fs::File>,
+}
+
+impl Wal {
+    /// Opens (creating if missing) the log at `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] when the file cannot be opened.
+    pub fn open(path: &Path) -> Result<Self, ServiceError> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ServiceError::io(path.display().to_string(), e.to_string()))?;
+        Ok(Wal {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably appends one record: a single write of the framed line,
+    /// then `sync_data`. When this returns `Ok`, the record survives
+    /// any subsequent crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Wal`] on serialisation or I/O failure.
+    pub fn append(&self, rec: &WalRecord) -> Result<(), ServiceError> {
+        let line = frame(rec)?;
+        self.write_line(&format!("{line}\n"))
+    }
+
+    /// Chaos hook: appends a deliberately *short* write — a prefix of
+    /// the framed payload with the newline framing kept intact — so the
+    /// record fails its CRC on replay exactly like a torn write that
+    /// landed between `write` and `sync`. The line framing is preserved
+    /// on purpose: a torn write may garble one record, but the chaos
+    /// harness must not let it cascade into the *next* append's line.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Wal`] on serialisation or I/O failure.
+    pub fn append_short(&self, rec: &WalRecord) -> Result<(), ServiceError> {
+        let line = frame(rec)?;
+        let keep = (line.len() * 2) / 3;
+        self.write_line(&format!("{}\n", &line[..keep]))
+    }
+
+    fn write_line(&self, text: &str) -> Result<(), ServiceError> {
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        file.write_all(text.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| ServiceError::wal(format!("{}: {e}", self.path.display())))
+    }
+
+    /// Replays the log at `path`. A missing file replays as empty (the
+    /// first daemon start). Corrupt lines are skipped and counted; a
+    /// partial final line without newline is flagged as a truncated
+    /// tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] only when the file exists but
+    /// cannot be read at all.
+    pub fn replay(path: &Path) -> Result<WalReplay, ServiceError> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(ServiceError::io(path.display().to_string(), e.to_string())),
+        };
+        let complete = text.ends_with('\n');
+        let lines: Vec<&str> = text.split('\n').filter(|l| !l.is_empty()).collect();
+        let mut replay = WalReplay::default();
+        for (i, line) in lines.iter().enumerate() {
+            let last = i + 1 == lines.len();
+            match decode_line(line) {
+                Some(rec) => replay.records.push(rec),
+                None if last && !complete => replay.truncated_tail = true,
+                None => replay.corrupt_lines += 1,
+            }
+        }
+        Ok(replay)
+    }
+}
+
+/// Decodes one framed line, validating its CRC against the
+/// re-serialised payload. `None` on any mismatch.
+fn decode_line(line: &str) -> Option<WalRecord> {
+    let value: Value = serde_json::from_str(line).ok()?;
+    let crc = value_u64(value.get("crc")?)?;
+    let rec = value.get("rec")?;
+    let payload = serde_json::to_string(rec).ok()?;
+    if evalcache::fnv1a(payload.as_bytes()) != crc {
+        return None;
+    }
+    serde_json::from_value(rec.clone()).ok()
+}
+
+/// The outcome of replaying a WAL.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Every record that decoded and CRC-validated, in file order.
+    pub records: Vec<WalRecord>,
+    /// Mid-file lines dropped for CRC or parse failure.
+    pub corrupt_lines: usize,
+    /// Whether the file ended in a partial line (crash mid-append).
+    pub truncated_tail: bool,
+}
+
+impl WalReplay {
+    /// Folds the replayed records into a job ledger.
+    pub fn ledger(&self) -> Ledger {
+        Ledger::from_records(&self.records)
+    }
+}
+
+/// A job's current phase, as reconstructed from the WAL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Admitted, no attempt started (or the `Started` record was lost).
+    Queued,
+    /// An attempt was running when the log ends — after a crash this
+    /// means "was running when the daemon died" and the job must be
+    /// resumed.
+    Running {
+        /// The in-flight attempt.
+        attempt: u32,
+    },
+    /// The last attempt was interrupted; the job is runnable.
+    Interrupted {
+        /// The interrupted attempt.
+        attempt: u32,
+    },
+    /// Terminal: completed with a semantic report digest.
+    Completed {
+        /// Digest of the semantic report projection.
+        report_digest: u64,
+    },
+    /// Terminal: failed with a flow error.
+    Failed {
+        /// The recorded error text.
+        error: String,
+    },
+}
+
+impl JobPhase {
+    /// Whether the phase is terminal (completed or failed).
+    pub fn terminal(&self) -> bool {
+        matches!(self, JobPhase::Completed { .. } | JobPhase::Failed { .. })
+    }
+}
+
+/// One job's ledger entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobEntry {
+    /// Job id.
+    pub id: u64,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Current phase.
+    pub phase: JobPhase,
+    /// Attempts started so far (for retry budgets after recovery).
+    pub attempts: u32,
+}
+
+/// The in-memory fold of the WAL: every known job and its phase.
+#[derive(Debug, Default, Clone)]
+pub struct Ledger {
+    jobs: BTreeMap<u64, JobEntry>,
+    /// Records that referenced a job with no surviving `Submitted`
+    /// record (their line was corrupted away). Counted for diagnostics.
+    pub orphaned_records: usize,
+}
+
+impl Ledger {
+    /// Folds records in order, idempotently: duplicates re-assert the
+    /// state they already produced, and terminal phases are sticky (a
+    /// duplicated or late `Started` can never resurrect a completed
+    /// job).
+    pub fn from_records(records: &[WalRecord]) -> Self {
+        let mut ledger = Ledger::default();
+        for rec in records {
+            ledger.apply(rec);
+        }
+        ledger
+    }
+
+    /// Applies one record to the fold. Idempotent and terminal-sticky;
+    /// the daemon uses this to keep its in-memory ledger in lockstep
+    /// with the records it appends.
+    pub fn apply(&mut self, rec: &WalRecord) {
+        if let WalRecord::Submitted { job, spec } = rec {
+            self.jobs.entry(*job).or_insert_with(|| JobEntry {
+                id: *job,
+                spec: spec.clone(),
+                phase: JobPhase::Queued,
+                attempts: 0,
+            });
+            return;
+        }
+        let Some(entry) = self.jobs.get_mut(&rec.job()) else {
+            self.orphaned_records += 1;
+            return;
+        };
+        if entry.phase.terminal() {
+            return;
+        }
+        match rec {
+            WalRecord::Submitted { .. } => unreachable!("handled above"),
+            WalRecord::Started { attempt, .. } => {
+                entry.phase = JobPhase::Running { attempt: *attempt };
+                entry.attempts = entry.attempts.max(attempt + 1);
+            }
+            WalRecord::Interrupted { attempt, .. } => {
+                entry.phase = JobPhase::Interrupted { attempt: *attempt };
+                entry.attempts = entry.attempts.max(attempt + 1);
+            }
+            WalRecord::Completed { report_digest, .. } => {
+                entry.phase = JobPhase::Completed {
+                    report_digest: *report_digest,
+                };
+            }
+            WalRecord::Failed { error, .. } => {
+                entry.phase = JobPhase::Failed {
+                    error: error.clone(),
+                };
+            }
+        }
+    }
+
+    /// All jobs, by ascending id.
+    pub fn jobs(&self) -> impl Iterator<Item = &JobEntry> {
+        self.jobs.values()
+    }
+
+    /// One job's entry.
+    pub fn get(&self, id: u64) -> Option<&JobEntry> {
+        self.jobs.get(&id)
+    }
+
+    /// The next unused job id.
+    pub fn next_id(&self) -> u64 {
+        self.jobs.keys().next_back().map_or(1, |last| last + 1)
+    }
+
+    /// Ids of jobs that still need work (non-terminal), in id order —
+    /// a `Running` phase after a replay means the daemon died mid-run
+    /// and the job resumes from its checkpoints.
+    pub fn open_jobs(&self) -> Vec<u64> {
+        self.jobs
+            .values()
+            .filter(|e| !e.phase.terminal())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Number of non-terminal jobs owned by `tenant`.
+    pub fn open_for_tenant(&self, tenant: &str) -> usize {
+        self.jobs
+            .values()
+            .filter(|e| !e.phase.terminal() && e.spec.tenant == tenant)
+            .count()
+    }
+
+    /// Total number of non-terminal jobs.
+    pub fn open_total(&self) -> usize {
+        self.jobs.values().filter(|e| !e.phase.terminal()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(tenant: &str) -> JobSpec {
+        JobSpec::nano(tenant)
+    }
+
+    #[test]
+    fn records_round_trip_through_frames() {
+        let rec = WalRecord::Completed {
+            job: 3,
+            attempt: 1,
+            report_digest: u64::MAX - 5,
+        };
+        let line = frame(&rec).unwrap();
+        assert_eq!(decode_line(&line), Some(rec));
+    }
+
+    #[test]
+    fn crc_rejects_payload_tampering() {
+        let line = frame(&WalRecord::Started { job: 1, attempt: 0 }).unwrap();
+        let tampered = line.replace("\"attempt\":0", "\"attempt\":7");
+        assert_ne!(tampered, line, "tamper must hit the payload");
+        assert_eq!(decode_line(&tampered), None);
+    }
+
+    #[test]
+    fn ledger_fold_is_idempotent_and_terminal_sticky() {
+        let records = vec![
+            WalRecord::Submitted {
+                job: 1,
+                spec: spec("a"),
+            },
+            // Duplicate submit: absorbed.
+            WalRecord::Submitted {
+                job: 1,
+                spec: spec("a"),
+            },
+            WalRecord::Started { job: 1, attempt: 0 },
+            WalRecord::Interrupted {
+                job: 1,
+                attempt: 0,
+                reason: "chaos".into(),
+            },
+            WalRecord::Started { job: 1, attempt: 1 },
+            WalRecord::Completed {
+                job: 1,
+                attempt: 1,
+                report_digest: 42,
+            },
+            // Late duplicates must not resurrect the job.
+            WalRecord::Started { job: 1, attempt: 2 },
+            WalRecord::Completed {
+                job: 1,
+                attempt: 2,
+                report_digest: 43,
+            },
+        ];
+        let ledger = Ledger::from_records(&records);
+        let entry = ledger.get(1).unwrap();
+        assert_eq!(
+            entry.phase,
+            JobPhase::Completed { report_digest: 42 },
+            "first terminal record wins"
+        );
+        assert_eq!(entry.attempts, 2);
+        assert!(ledger.open_jobs().is_empty());
+        assert_eq!(ledger.next_id(), 2);
+    }
+
+    #[test]
+    fn orphaned_records_are_counted_not_fatal() {
+        let ledger = Ledger::from_records(&[WalRecord::Started { job: 9, attempt: 0 }]);
+        assert_eq!(ledger.orphaned_records, 1);
+        assert!(ledger.open_jobs().is_empty());
+    }
+}

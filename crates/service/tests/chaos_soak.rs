@@ -1,0 +1,223 @@
+//! The service-level chaos soak.
+//!
+//! Fleets of nano jobs run under [`ChaosPolicy::soak`]: simulated
+//! crashes mid-stage, worker panics, smashed checkpoints, torn WAL
+//! appends. The invariants:
+//!
+//! 1. **No job lost** — every submitted job reaches a terminal state.
+//! 2. **No report diverges** — the fleet is submitted as *pairs* of
+//!    identical specs under different tenants. The two members of a
+//!    pair draw different fault schedules (decisions are keyed by job
+//!    id), so equal digests within every pair proves chaos never leaks
+//!    into results. Solver-fault injection is disabled for paired
+//!    fleets — it is keyed by job id and legitimately changes the
+//!    computation; its digest-stability is covered by the fault-matched
+//!    reference test in `daemon.rs`.
+//! 3. **No deadlock** — `run_until_idle` returns; the fault budget
+//!    guarantees every job's final attempt runs clean.
+//! 4. **The WAL stays replayable** — torn appends surface as counted
+//!    corrupt lines (or one truncated tail), never as replay failure,
+//!    and every job survives replay.
+//!
+//! Worker count comes from `HIERSIZER_THREADS` so the CI chaos job can
+//! run the same soak single- and multi-threaded.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use service::{ChaosPolicy, Daemon, DaemonConfig, JobPhase, JobSpec, Submission, Wal};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("svc-soak-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn workers_from_env() -> usize {
+    std::env::var("HIERSIZER_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// Submits `pairs` pairs of identical specs (distinct tenants, same
+/// seed offset) and returns `(id, pair_index)` for each job.
+fn submit_pairs(daemon: &Daemon, pairs: usize) -> Vec<(u64, usize)> {
+    let mut out = Vec::new();
+    for p in 0..pairs {
+        for tenant in ["alpha", "beta"] {
+            let spec = JobSpec::nano(tenant).with_seed_offset(p as u64);
+            match daemon.submit(&spec).unwrap() {
+                Submission::Accepted(id) => out.push((id, p)),
+                Submission::Rejected(rej) => panic!("soak fleet rejected: {rej:?}"),
+            }
+        }
+    }
+    out
+}
+
+/// The paired soak policy: the full recovery-path fault surface, no
+/// job-keyed solver faults (those would make pair members compute
+/// different — equally valid — results).
+fn paired_policy(seed: u64) -> ChaosPolicy {
+    ChaosPolicy {
+        sim_fault_permille: 0,
+        ..ChaosPolicy::soak(seed)
+    }
+}
+
+/// Runs `pairs` spec-pairs under soak chaos and checks all four
+/// invariants. Returns (chaos faults injected, WAL short writes).
+fn soak(tag: &str, pairs: usize, seed: u64) -> (u64, u64) {
+    let jobs = pairs * 2;
+    let dir = scratch(tag);
+    let mut cfg = DaemonConfig::new(&dir);
+    cfg.workers = workers_from_env();
+    cfg.chaos = Some(paired_policy(seed));
+    let daemon = Daemon::open(cfg).unwrap();
+    let fleet = submit_pairs(&daemon, pairs);
+
+    // Invariant 3: this returning at all is the no-deadlock check.
+    let executed = daemon.run_until_idle();
+    assert_eq!(executed, jobs, "every job executed to a terminal state");
+
+    // Invariant 1: no job lost, all terminal, none failed.
+    let status = daemon.status();
+    assert_eq!(status.jobs.len(), jobs);
+    for row in &status.jobs {
+        assert!(
+            row.phase.terminal(),
+            "job {} stuck in {:?}",
+            row.id,
+            row.phase
+        );
+    }
+    assert_eq!(
+        status.completed,
+        jobs,
+        "soak jobs must complete, not fail: {:?}",
+        status
+            .jobs
+            .iter()
+            .filter(|r| !matches!(r.phase, JobPhase::Completed { .. }))
+            .collect::<Vec<_>>()
+    );
+
+    // Invariant 2: both members of every pair — different tenants,
+    // different fault schedules, same spec — landed on the same digest.
+    let mut by_pair: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    let digests: BTreeMap<u64, u64> = status
+        .jobs
+        .iter()
+        .filter_map(|r| match r.phase {
+            JobPhase::Completed { report_digest } => Some((r.id, report_digest)),
+            _ => None,
+        })
+        .collect();
+    for (id, pair) in &fleet {
+        by_pair.entry(*pair).or_default().push(digests[id]);
+    }
+    for (pair, ds) in &by_pair {
+        assert_eq!(ds.len(), 2);
+        assert_eq!(
+            ds[0], ds[1],
+            "pair {pair}: chaos leaked into the result (digests {ds:?})"
+        );
+    }
+
+    // Invariant 4: the WAL replays; every torn append is accounted for
+    // as a corrupt line or the truncated tail, and no job vanished.
+    let replay = Wal::replay(&dir.join("jobs.wal")).unwrap();
+    let accounted = replay.corrupt_lines + usize::from(replay.truncated_tail);
+    assert_eq!(
+        accounted, status.wal_short_writes as usize,
+        "every torn append surfaces on replay"
+    );
+    let ledger = replay.ledger();
+    assert_eq!(ledger.jobs().count(), jobs, "Submitted records never torn");
+
+    write_soak_report(&dir, &status, &replay);
+    let _ = fs::remove_dir_all(&dir);
+    (status.chaos_faults, status.wal_short_writes)
+}
+
+/// Drops a machine-readable soak summary where CI can pick it up
+/// (`CONFORMANCE_REPORT_DIR`), mirroring the conformance suite's
+/// artifact convention.
+fn write_soak_report(
+    data_dir: &Path,
+    status: &service::DaemonStatus,
+    replay: &service::wal::WalReplay,
+) {
+    let Ok(report_dir) = std::env::var("CONFORMANCE_REPORT_DIR") else {
+        return;
+    };
+    let _ = fs::create_dir_all(&report_dir);
+    let text = format!(
+        "{{\n  \"jobs\": {},\n  \"completed\": {},\n  \"failed\": {},\n  \"chaos_faults\": {},\n  \"wal_short_writes\": {},\n  \"wal_corrupt_lines\": {},\n  \"wal_truncated_tail\": {},\n  \"data_dir\": \"{}\"\n}}\n",
+        status.jobs.len(),
+        status.completed,
+        status.failed,
+        status.chaos_faults,
+        status.wal_short_writes,
+        replay.corrupt_lines,
+        replay.truncated_tail,
+        data_dir.display()
+    );
+    let name = format!("chaos_soak_{}.json", std::process::id());
+    let _ = fs::write(Path::new(&report_dir).join(name), text);
+}
+
+/// The default-run soak: two pairs, small enough for the tier-1 suite.
+#[test]
+fn soak_small_fleet_under_chaos() {
+    let (faults, _) = soak("small", 2, 0x000c_4a05);
+    assert!(faults > 0, "the soak seed must actually inject chaos");
+}
+
+/// The full CI soak (ISSUE acceptance: >= 20 jobs). Ignored by
+/// default; the CI chaos job runs it with `--ignored`.
+#[test]
+#[ignore = "full soak; run in the CI chaos job"]
+fn soak_full_fleet_under_chaos() {
+    let (faults, short_writes) = soak("full", 10, 0xc4a0_5107);
+    assert!(
+        faults >= 10,
+        "expected a dense fault schedule, got {faults}"
+    );
+    assert!(
+        short_writes > 0,
+        "WAL tear channel must fire in a full soak"
+    );
+}
+
+/// Solver-fault chaos (the clock-stall channel included) on top of the
+/// recovery faults: jobs must still reach a terminal completed state.
+/// Digest stability under sim faults is covered by the fault-matched
+/// reference test in `daemon.rs`; this exercises the channel at soak
+/// intensity. Ignored by default; the CI chaos job runs it.
+#[test]
+#[ignore = "full soak; run in the CI chaos job"]
+fn soak_with_solver_faults_terminates_clean() {
+    let dir = scratch("simfault");
+    let mut cfg = DaemonConfig::new(&dir);
+    cfg.workers = workers_from_env();
+    cfg.chaos = Some(ChaosPolicy {
+        sim_fault_permille: 1000,
+        ..ChaosPolicy::soak(0x51f)
+    });
+    let daemon = Daemon::open(cfg).unwrap();
+    for i in 0..2u64 {
+        let spec = JobSpec::nano("delta").with_seed_offset(100 + i);
+        assert!(matches!(
+            daemon.submit(&spec).unwrap(),
+            Submission::Accepted(_)
+        ));
+    }
+    daemon.run_until_idle();
+    let status = daemon.status();
+    assert_eq!(status.completed, 2, "{:?}", status.jobs);
+    let _ = fs::remove_dir_all(&dir);
+}

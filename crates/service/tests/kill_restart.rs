@@ -1,0 +1,128 @@
+//! The cross-process half of the headline guarantee: `kill -9` the
+//! daemon binary mid-job, restart it, and the finished report is
+//! byte-identical to a never-interrupted in-process run.
+//!
+//! This is the real-process counterpart of the in-process
+//! interrupt-resume test in `daemon.rs`: a hard SIGKILL exercises the
+//! WAL's truncated-tail tolerance and the checkpoint resume path with
+//! genuine process teardown — no destructors, no flushes.
+
+use std::fs;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use service::{Daemon, DaemonConfig, JobSpec, Submission};
+
+/// Kills the child on drop so a failing assertion never leaks a daemon.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_daemon(data_dir: &Path) -> Reaper {
+    let child = Command::new(env!("CARGO_BIN_EXE_hiersizerd"))
+        .args(["--data-dir"])
+        .arg(data_dir)
+        .args(["--once", "--workers", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hiersizerd");
+    Reaper(child)
+}
+
+fn wait_for<F: FnMut() -> bool>(what: &str, timeout: Duration, mut ready: F) {
+    let start = Instant::now();
+    while !ready() {
+        assert!(
+            start.elapsed() < timeout,
+            "timed out after {timeout:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn killed_daemon_resumes_to_bit_identical_report() {
+    let data = std::env::temp_dir().join(format!("svc-kill9-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&data);
+    let incoming = data.join("incoming");
+    fs::create_dir_all(&incoming).unwrap();
+
+    let spec = JobSpec::nano("kill9").with_seed_offset(42);
+    fs::write(
+        incoming.join("job.json"),
+        serde_json::to_string_pretty(&spec).unwrap(),
+    )
+    .unwrap();
+
+    // Phase 1: start the daemon, let it pick up the job and finish
+    // characterisation (the nano preset *seeds* stage 1, so the stage-2
+    // checkpoint is the first one that represents real computed work),
+    // then SIGKILL it mid-flight.
+    let job_run = data.join("jobs").join("1").join("run");
+    let stage2 = job_run.join("stage2_characterized.json");
+    {
+        let mut daemon = spawn_daemon(&data);
+        wait_for("stage-2 checkpoint", Duration::from_secs(600), || {
+            // Bail out early if the daemon exited on its own.
+            if let Ok(Some(status)) = daemon.0.try_wait() {
+                panic!("daemon exited before the kill: {status}");
+            }
+            stage2.exists()
+        });
+        daemon.0.kill().expect("SIGKILL the daemon");
+        let _ = daemon.0.wait();
+    }
+    let report_path = data.join("jobs").join("1").join("report_semantic.json");
+    assert!(
+        !report_path.exists(),
+        "kill must land before the job completed for the test to mean anything"
+    );
+
+    // Phase 2: a fresh daemon process recovers the WAL, resumes the job
+    // from its checkpoints, and drains to idle.
+    {
+        let mut daemon = spawn_daemon(&data);
+        let status = daemon.0.wait().expect("daemon --once runs to completion");
+        assert!(status.success(), "restarted daemon exited with {status}");
+    }
+    let resumed = fs::read_to_string(&report_path).expect("resumed job wrote its report");
+
+    // Reference: the same spec run start-to-finish in-process with no
+    // interruption at all.
+    let ref_dir = std::env::temp_dir().join(format!("svc-kill9-ref-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&ref_dir);
+    let reference = Daemon::open(DaemonConfig::new(&ref_dir)).unwrap();
+    let Submission::Accepted(ref_id) = reference.submit(&spec).unwrap() else {
+        panic!("reference submission rejected");
+    };
+    reference.run_until_idle();
+    let clean = fs::read_to_string(
+        ref_dir
+            .join("jobs")
+            .join(ref_id.to_string())
+            .join("report_semantic.json"),
+    )
+    .unwrap();
+
+    assert_eq!(
+        resumed, clean,
+        "killed-and-restarted daemon produced a different report"
+    );
+
+    // The WAL must replay cleanly after the SIGKILL (a truncated tail
+    // is legal; lost jobs are not).
+    let replay = service::Wal::replay(&data.join("jobs.wal")).unwrap();
+    let ledger = replay.ledger();
+    assert_eq!(ledger.jobs().count(), 1);
+    assert!(ledger.open_jobs().is_empty(), "job reached terminal state");
+
+    let _ = fs::remove_dir_all(&data);
+    let _ = fs::remove_dir_all(&ref_dir);
+}

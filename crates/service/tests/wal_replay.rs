@@ -1,0 +1,140 @@
+//! WAL replay robustness: truncated tails, corrupt lines, duplicates.
+
+use std::fs;
+use std::path::PathBuf;
+
+use service::{JobPhase, JobSpec, Wal, WalRecord};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wal-replay-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn submitted(job: u64) -> WalRecord {
+    WalRecord::Submitted {
+        job,
+        spec: JobSpec::nano("tenant"),
+    }
+}
+
+#[test]
+fn append_then_replay_round_trips() {
+    let dir = scratch("round-trip");
+    let path = dir.join("jobs.wal");
+    let wal = Wal::open(&path).unwrap();
+    let records = vec![
+        submitted(1),
+        WalRecord::Started { job: 1, attempt: 0 },
+        WalRecord::Completed {
+            job: 1,
+            attempt: 0,
+            report_digest: 0xdead_beef,
+        },
+    ];
+    for rec in &records {
+        wal.append(rec).unwrap();
+    }
+    let replay = Wal::replay(&path).unwrap();
+    assert_eq!(replay.records, records);
+    assert_eq!(replay.corrupt_lines, 0);
+    assert!(!replay.truncated_tail);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_file_replays_empty() {
+    let dir = scratch("missing");
+    let replay = Wal::replay(&dir.join("nope.wal")).unwrap();
+    assert!(replay.records.is_empty());
+    assert!(!replay.truncated_tail);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_tail_is_dropped_and_flagged() {
+    let dir = scratch("tail");
+    let path = dir.join("jobs.wal");
+    let wal = Wal::open(&path).unwrap();
+    wal.append(&submitted(1)).unwrap();
+    wal.append(&WalRecord::Started { job: 1, attempt: 0 })
+        .unwrap();
+    // Simulate a crash mid-append: chop the file mid-line, no newline.
+    let text = fs::read_to_string(&path).unwrap();
+    fs::write(&path, &text[..text.len() - 12]).unwrap();
+    let replay = Wal::replay(&path).unwrap();
+    assert_eq!(replay.records, vec![submitted(1)]);
+    assert!(replay.truncated_tail, "partial final line flagged");
+    assert_eq!(replay.corrupt_lines, 0, "a tail is not corruption");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_mid_file_line_is_skipped_and_counted() {
+    let dir = scratch("corrupt");
+    let path = dir.join("jobs.wal");
+    let wal = Wal::open(&path).unwrap();
+    wal.append(&submitted(1)).unwrap();
+    wal.append_short(&WalRecord::Started { job: 1, attempt: 0 })
+        .unwrap();
+    wal.append(&WalRecord::Interrupted {
+        job: 1,
+        attempt: 0,
+        reason: "chaos".into(),
+    })
+    .unwrap();
+    let replay = Wal::replay(&path).unwrap();
+    assert_eq!(replay.corrupt_lines, 1, "torn line counted");
+    assert!(!replay.truncated_tail);
+    assert_eq!(replay.records.len(), 2, "records around the tear survive");
+    // Losing the Started record degrades the phase, never the job: the
+    // ledger still knows the job and still schedules it.
+    let ledger = replay.ledger();
+    let entry = ledger.get(1).unwrap();
+    assert_eq!(entry.phase, JobPhase::Interrupted { attempt: 0 });
+    assert_eq!(ledger.open_jobs(), vec![1]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_flip_fails_crc_and_is_skipped() {
+    let dir = scratch("bitflip");
+    let path = dir.join("jobs.wal");
+    let wal = Wal::open(&path).unwrap();
+    wal.append(&submitted(1)).unwrap();
+    wal.append(&submitted(2)).unwrap();
+    let text = fs::read_to_string(&path).unwrap();
+    // Flip a digit inside the first line's payload (job id 1 -> 7).
+    let flipped = text.replacen("\"job\":1", "\"job\":7", 1);
+    assert_ne!(flipped, text);
+    fs::write(&path, flipped).unwrap();
+    let replay = Wal::replay(&path).unwrap();
+    assert_eq!(replay.corrupt_lines, 1);
+    assert_eq!(replay.records, vec![submitted(2)]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn duplicated_records_replay_idempotently() {
+    let dir = scratch("dup");
+    let path = dir.join("jobs.wal");
+    let wal = Wal::open(&path).unwrap();
+    let complete = WalRecord::Completed {
+        job: 1,
+        attempt: 0,
+        report_digest: 7,
+    };
+    wal.append(&submitted(1)).unwrap();
+    for _ in 0..3 {
+        wal.append(&WalRecord::Started { job: 1, attempt: 0 })
+            .unwrap();
+    }
+    wal.append(&complete).unwrap();
+    wal.append(&complete).unwrap();
+    let ledger = Wal::replay(&path).unwrap().ledger();
+    let entry = ledger.get(1).unwrap();
+    assert_eq!(entry.phase, JobPhase::Completed { report_digest: 7 });
+    assert_eq!(entry.attempts, 1, "duplicates do not inflate attempts");
+    let _ = fs::remove_dir_all(&dir);
+}

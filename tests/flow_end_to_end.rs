@@ -198,6 +198,63 @@ fn resume_refuses_a_directory_from_another_config() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// A corrupt stage checkpoint (torn write, bit rot) must not panic or
+/// poison the run: the resumed flow quarantines the file, records a
+/// `CheckpointCorrupt` provenance event, recomputes the stage, and
+/// still lands on bit-identical results.
+#[test]
+fn resume_quarantines_corrupt_checkpoint_and_stays_bit_identical() {
+    let dir = fresh_dir("corrupt_ckpt");
+    let config = micro_config();
+    seeded_stage1(&dir, &config.testbench, 3);
+
+    let first = HierarchicalFlow::new(config.clone())
+        .run_with_checkpoints(&dir)
+        .expect("reference run completes");
+
+    // Model a kill during stage 4 whose stage-2 artifact also took a
+    // torn write: garbage bytes, later stages missing.
+    std::fs::write(dir.join(STAGE2_CHARACTERIZED), "{ \"front\": [tr").expect("smash stage-2");
+    std::fs::remove_file(dir.join(STAGE4_SYSTEM)).expect("drop stage-4 artifact");
+    std::fs::remove_file(dir.join(STAGE5_SELECTED)).expect("drop stage-5 artifact");
+
+    let resumed = HierarchicalFlow::new(config)
+        .resume(&dir)
+        .expect("resume survives the corrupt checkpoint");
+
+    let corruptions = resumed.events.checkpoint_corruptions();
+    assert!(
+        corruptions
+            .iter()
+            .any(|(file, _)| file == STAGE2_CHARACTERIZED),
+        "corruption must be recorded in provenance: {corruptions:?}"
+    );
+    assert!(
+        !resumed.events.stage_resumed(FlowStage::Characterize),
+        "the corrupt stage is recomputed, not resumed"
+    );
+    assert!(
+        resumed.events.stage_resumed(FlowStage::CircuitOpt),
+        "the intact stage-1 artifact is still reused"
+    );
+    // The casualty was moved aside for post-mortems, not deleted.
+    let quarantined = std::fs::read_dir(&dir)
+        .expect("run dir listable")
+        .flatten()
+        .any(|e| {
+            e.file_name()
+                .to_string_lossy()
+                .starts_with("stage2_characterized.json.corrupt-")
+        });
+    assert!(quarantined, "corrupt artifact must be quarantined on disk");
+
+    assert_eq!(resumed.front, first.front, "recomputed stage matches");
+    assert_eq!(resumed.selected, first.selected);
+    assert_eq!(resumed.final_sizing, first.final_sizing);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The ISSUE's degradation acceptance case: with an injector failing
 /// 20 % of one point's Monte-Carlo samples and *all* samples of
 /// another, `SkipFailedPoints` completes the flow end to end and
