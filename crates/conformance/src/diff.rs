@@ -152,6 +152,114 @@ pub fn report_output_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/conformance-reports")
 }
 
+/// Compares two parsed JSON trees leaf by leaf — the generic cousin of
+/// [`compare_reports`] for artifacts that are JSON on disk rather than
+/// in-memory [`FlowReport`]s (the service's `report_semantic.json`
+/// differential pairs use this: file-drop run vs TCP-submit run).
+///
+/// Numeric leaves are compared *bitwise* (ULP distance reported on
+/// mismatch); strings/booleans/nulls by equality; arrays index-wise
+/// with a length mismatch recorded as structural; objects key-wise
+/// with a key-set mismatch recorded as structural. Structural
+/// mismatches stop recursion below that node but comparison continues
+/// elsewhere, so one missing field does not mask value divergences in
+/// its siblings.
+pub fn compare_semantic_values(
+    pair: &str,
+    left_label: &str,
+    right_label: &str,
+    left: &serde::Value,
+    right: &serde::Value,
+) -> DivergenceReport {
+    struct Walk {
+        compared: usize,
+        total: usize,
+        divergences: Vec<Divergence>,
+    }
+    impl Walk {
+        fn diverge(&mut self, path: &str, left: f64, right: f64, structural: bool) {
+            self.total += 1;
+            if self.divergences.len() < MAX_RECORDED_DIVERGENCES {
+                self.divergences.push(Divergence {
+                    stage: "semantic".to_string(),
+                    point: None,
+                    sample: None,
+                    metric: path.to_string(),
+                    left,
+                    right,
+                    ulps: ulp_distance(left, right),
+                    structural,
+                });
+            }
+        }
+        fn walk(&mut self, path: &str, l: &serde::Value, r: &serde::Value) {
+            use serde::Value;
+            match (l, r) {
+                (Value::Object(a), Value::Object(b)) => {
+                    let keys_a: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+                    let keys_b: Vec<&str> = b.iter().map(|(k, _)| k.as_str()).collect();
+                    if keys_a != keys_b {
+                        self.diverge(&format!("{path}.<keys>"), f64::NAN, f64::NAN, true);
+                        return;
+                    }
+                    for ((k, va), (_, vb)) in a.iter().zip(b.iter()) {
+                        let child = if path.is_empty() {
+                            k.clone()
+                        } else {
+                            format!("{path}.{k}")
+                        };
+                        self.walk(&child, va, vb);
+                    }
+                }
+                (Value::Array(a), Value::Array(b)) => {
+                    if a.len() != b.len() {
+                        self.diverge(
+                            &format!("{path}.<len>"),
+                            a.len() as f64,
+                            b.len() as f64,
+                            true,
+                        );
+                        return;
+                    }
+                    for (i, (va, vb)) in a.iter().zip(b.iter()).enumerate() {
+                        self.walk(&format!("{path}[{i}]"), va, vb);
+                    }
+                }
+                _ => match (l.as_f64(), r.as_f64()) {
+                    (Some(x), Some(y)) => {
+                        self.compared += 1;
+                        if !bits_identical(x, y) {
+                            self.diverge(path, x, y, false);
+                        }
+                    }
+                    _ => {
+                        self.compared += 1;
+                        if l != r {
+                            // Non-numeric or cross-type mismatch: the
+                            // values have no meaningful ULP distance.
+                            self.diverge(path, f64::NAN, f64::NAN, true);
+                        }
+                    }
+                },
+            }
+        }
+    }
+    let mut walk = Walk {
+        compared: 0,
+        total: 0,
+        divergences: Vec::new(),
+    };
+    walk.walk("", left, right);
+    DivergenceReport {
+        pair: pair.to_string(),
+        left_label: left_label.to_string(),
+        right_label: right_label.to_string(),
+        metrics_compared: walk.compared,
+        total_divergences: walk.total,
+        divergences: walk.divergences,
+    }
+}
+
 /// Compares two flattened reports scalar by scalar.
 pub fn compare_reports(
     pair: &str,
@@ -562,6 +670,61 @@ mod tests {
         assert!(s.contains("characterize[point 2][sample 3]"), "{s}");
         assert!(s.contains("ULPs"), "{s}");
         assert!(!report.identical());
+    }
+
+    #[test]
+    fn semantic_value_diff_spots_numeric_and_structural_drift() {
+        let left: serde::Value = serde_json::from_str(
+            r#"{"verification": {"fom": 1.25, "pass": true},
+                "points": [{"f": 1.0e9}, {"f": 2.0e9}],
+                "label": "vco"}"#,
+        )
+        .unwrap();
+        // Identical tree → identical report.
+        let same = compare_semantic_values("pair", "l", "r", &left, &left);
+        assert!(same.identical(), "{}", same.summary());
+        assert!(same.metrics_compared >= 5);
+
+        // One leaf nudged by 1 ULP → one non-structural divergence with
+        // a dotted path and a ULP count.
+        let right: serde::Value = serde_json::from_str(
+            r#"{"verification": {"fom": 1.2500000000000002, "pass": true},
+                "points": [{"f": 1.0e9}, {"f": 2.0e9}],
+                "label": "vco"}"#,
+        )
+        .unwrap();
+        let drift = compare_semantic_values("pair", "l", "r", &left, &right);
+        assert_eq!(drift.total_divergences, 1);
+        let d = drift.first().unwrap();
+        assert_eq!(d.metric, "verification.fom");
+        assert!(!d.structural);
+        assert_eq!(d.ulps, Some(1));
+
+        // Dropped array element → structural at the length, siblings
+        // still compared.
+        let short: serde::Value = serde_json::from_str(
+            r#"{"verification": {"fom": 1.25, "pass": true},
+                "points": [{"f": 1.0e9}],
+                "label": "vco"}"#,
+        )
+        .unwrap();
+        let shape = compare_semantic_values("pair", "l", "r", &left, &short);
+        assert_eq!(shape.total_divergences, 1);
+        let d = shape.first().unwrap();
+        assert!(d.structural);
+        assert_eq!(d.metric, "points.<len>");
+
+        // String mismatch is structural (no ULP distance to report).
+        let relabel: serde::Value = serde_json::from_str(
+            r#"{"verification": {"fom": 1.25, "pass": true},
+                "points": [{"f": 1.0e9}, {"f": 2.0e9}],
+                "label": "lna"}"#,
+        )
+        .unwrap();
+        let lab = compare_semantic_values("pair", "l", "r", &left, &relabel);
+        assert_eq!(lab.total_divergences, 1);
+        assert!(lab.first().unwrap().structural);
+        assert_eq!(lab.first().unwrap().metric, "label");
     }
 
     #[test]

@@ -32,8 +32,8 @@ pub mod golden;
 pub mod ulp;
 
 pub use diff::{
-    compare_reports, micro_flow_config, report_output_dir, seeded_stage1_front, DiffRunner,
-    Divergence, DivergenceReport, PairMode, PairOutcome,
+    compare_reports, compare_semantic_values, micro_flow_config, report_output_dir,
+    seeded_stage1_front, DiffRunner, Divergence, DivergenceReport, PairMode, PairOutcome,
 };
 pub use flatten::{flatten_report, MetricSample};
 pub use golden::{

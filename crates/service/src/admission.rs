@@ -1,11 +1,18 @@
-//! Admission control: bounded queues and per-tenant quotas.
+//! Admission control: bounded queues, per-tenant quotas, compute budgets.
 //!
 //! The daemon never queues unboundedly — an overloaded service that
 //! accepts everything eventually loses everything when it dies with
-//! hours of silently queued work. Instead submission is gated by two
+//! hours of silently queued work. Instead submission is gated by three
 //! limits, and a refusal is a *structured* [`Rejection`] carrying a
 //! `retry_after_ms` hint, so clients can implement honest backoff
 //! rather than parsing error prose.
+//!
+//! The third gate is a per-tenant *compute* budget: completed jobs
+//! charge their wall-clock (the `wall_ms` field on WAL `Completed`
+//! records, so the charge survives restart) against
+//! [`AdmissionConfig::tenant_budget_ms`]. Counting jobs alone lets a
+//! tenant with a few huge jobs starve tenants with many tiny ones;
+//! counting milliseconds is the honest currency.
 
 use serde::{Deserialize, Serialize};
 
@@ -16,8 +23,17 @@ pub struct AdmissionConfig {
     pub max_open: usize,
     /// Maximum non-terminal jobs per tenant (fair-share cap).
     pub max_open_per_tenant: usize,
-    /// Retry hint attached to rejections, in milliseconds.
+    /// Retry hint attached to queue/quota rejections, in milliseconds.
     pub retry_after_ms: u64,
+    /// Per-tenant compute budget in wall-clock milliseconds; `0`
+    /// disables budget enforcement. Charged from completed jobs'
+    /// `wall_ms`, so the spend ledger survives crash/restart.
+    pub tenant_budget_ms: u64,
+    /// Retry hint attached to budget rejections. Budgets replenish on
+    /// operator action (or WAL compaction policy), not on a queue
+    /// draining, so the honest hint is much longer than
+    /// [`retry_after_ms`](Self::retry_after_ms).
+    pub budget_retry_after_ms: u64,
 }
 
 impl Default for AdmissionConfig {
@@ -26,6 +42,8 @@ impl Default for AdmissionConfig {
             max_open: 64,
             max_open_per_tenant: 16,
             retry_after_ms: 500,
+            tenant_budget_ms: 0,
+            budget_retry_after_ms: 60_000,
         }
     }
 }
@@ -37,6 +55,12 @@ pub enum RejectReason {
     QueueFull,
     /// The submitting tenant is at its fair-share cap.
     TenantQuota,
+    /// The submitting tenant has spent its compute budget.
+    BudgetExhausted,
+    /// The service is draining and refuses new work.
+    Draining,
+    /// The tenant is at its network connection cap.
+    ConnLimit,
 }
 
 /// A structured admission refusal. Not an error: the service is
@@ -52,14 +76,29 @@ pub struct Rejection {
 }
 
 impl AdmissionConfig {
-    /// Decides admission given the current open-job counts.
+    /// Decides admission given the current open-job counts and the
+    /// tenant's accumulated compute spend.
     ///
     /// # Errors
     ///
-    /// Returns the structured [`Rejection`] when a limit is hit; the
-    /// tenant quota is checked first so a noisy tenant sees its own
-    /// cap, not the global one it is causing.
-    pub fn admit(&self, open_total: usize, open_for_tenant: usize) -> Result<(), Rejection> {
+    /// Returns the structured [`Rejection`] when a limit is hit. The
+    /// budget is checked first (it is the slowest to clear, and a
+    /// busted-budget tenant should not be told to retry in 500 ms),
+    /// then the tenant quota, so a noisy tenant sees its own cap, not
+    /// the global one it is causing.
+    pub fn admit(
+        &self,
+        open_total: usize,
+        open_for_tenant: usize,
+        tenant_spent_ms: u64,
+    ) -> Result<(), Rejection> {
+        if self.tenant_budget_ms > 0 && tenant_spent_ms >= self.tenant_budget_ms {
+            return Err(Rejection {
+                reason: RejectReason::BudgetExhausted,
+                retry_after_ms: self.budget_retry_after_ms,
+                open_jobs: open_total,
+            });
+        }
         if open_for_tenant >= self.max_open_per_tenant {
             return Err(Rejection {
                 reason: RejectReason::TenantQuota,
@@ -87,32 +126,65 @@ mod tests {
             max_open: 4,
             max_open_per_tenant: 2,
             retry_after_ms: 250,
+            tenant_budget_ms: 0,
+            budget_retry_after_ms: 9_000,
         }
     }
 
     #[test]
     fn admits_under_both_limits() {
-        assert!(cfg().admit(1, 0).is_ok());
+        assert!(cfg().admit(1, 0, 0).is_ok());
     }
 
     #[test]
     fn tenant_quota_fires_before_queue_full() {
-        let rej = cfg().admit(4, 2).unwrap_err();
+        let rej = cfg().admit(4, 2, 0).unwrap_err();
         assert_eq!(rej.reason, RejectReason::TenantQuota);
         assert_eq!(rej.retry_after_ms, 250);
     }
 
     #[test]
     fn queue_full_rejects_even_quiet_tenants() {
-        let rej = cfg().admit(4, 0).unwrap_err();
+        let rej = cfg().admit(4, 0, 0).unwrap_err();
         assert_eq!(rej.reason, RejectReason::QueueFull);
         assert_eq!(rej.open_jobs, 4);
     }
 
     #[test]
+    fn zero_budget_disables_enforcement() {
+        assert!(cfg().admit(0, 0, u64::MAX).is_ok());
+    }
+
+    #[test]
+    fn exhausted_budget_rejects_with_the_long_hint() {
+        let limits = AdmissionConfig {
+            tenant_budget_ms: 1_000,
+            ..cfg()
+        };
+        assert!(limits.admit(0, 0, 999).is_ok(), "under budget admits");
+        let rej = limits.admit(0, 0, 1_000).unwrap_err();
+        assert_eq!(rej.reason, RejectReason::BudgetExhausted);
+        assert_eq!(rej.retry_after_ms, 9_000, "budget hint, not queue hint");
+    }
+
+    #[test]
+    fn budget_outranks_tenant_quota_in_the_rejection() {
+        let limits = AdmissionConfig {
+            tenant_budget_ms: 1,
+            ..cfg()
+        };
+        let rej = limits.admit(4, 2, 5).unwrap_err();
+        assert_eq!(
+            rej.reason,
+            RejectReason::BudgetExhausted,
+            "the slowest-clearing limit wins the retry hint"
+        );
+    }
+
+    #[test]
     fn rejection_serialises_for_clients() {
         let rej = Rejection {
-            reason: RejectReason::QueueFull,
+            reason: RejectReason::BudgetExhausted,
             retry_after_ms: 500,
             open_jobs: 64,
         };

@@ -1,0 +1,251 @@
+//! `hiersizer-cli` — the wire client for `hiersizerd --listen`.
+//!
+//! ```text
+//! hiersizer-cli submit --addr HOST:PORT --tenant T [--key K]
+//!                      [--spec FILE] [--seed-offset N] [--retries N]
+//! hiersizer-cli status --addr HOST:PORT --job ID
+//! hiersizer-cli watch  --addr HOST:PORT --job ID [--from N]
+//! hiersizer-cli ping   --addr HOST:PORT
+//! hiersizer-cli drain  --addr HOST:PORT
+//! ```
+//!
+//! `submit` is always keyed: when `--key` is omitted a process-unique
+//! key is generated (`cli-<pid>-<nanos>`), printed, and reused across
+//! the retry loop — so a lost ACK never double-enqueues, it dedupes.
+//! Retries are classed (transient wire faults back off on deterministic
+//! jitter; structured rejections honour the server's `retry_after_ms`;
+//! protocol errors fail fast). Exit codes: 0 success, 1 failure,
+//! 2 usage.
+
+use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use service::net::client::{self, ClientConfig};
+use service::{JobPhase, JobSpec};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  hiersizer-cli submit --addr A --tenant T [--key K] [--spec FILE] \
+         [--seed-offset N] [--retries N]\n  hiersizer-cli status --addr A --job ID\n  \
+         hiersizer-cli watch --addr A --job ID [--from N]\n  hiersizer-cli ping --addr A\n  \
+         hiersizer-cli drain --addr A"
+    );
+    ExitCode::from(2)
+}
+
+struct Flags {
+    addr: Option<String>,
+    tenant: Option<String>,
+    key: Option<String>,
+    spec: Option<String>,
+    job: Option<u64>,
+    from: u64,
+    seed_offset: u64,
+    retries: Option<usize>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        addr: None,
+        tenant: None,
+        key: None,
+        spec: None,
+        job: None,
+        from: 0,
+        seed_offset: 0,
+        retries: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => flags.addr = Some(value("--addr")?),
+            "--tenant" => flags.tenant = Some(value("--tenant")?),
+            "--key" => flags.key = Some(value("--key")?),
+            "--spec" => flags.spec = Some(value("--spec")?),
+            "--job" => {
+                flags.job = Some(value("--job")?.parse().map_err(|e| format!("--job: {e}"))?);
+            }
+            "--from" => {
+                flags.from = value("--from")?
+                    .parse()
+                    .map_err(|e| format!("--from: {e}"))?;
+            }
+            "--seed-offset" => {
+                flags.seed_offset = value("--seed-offset")?
+                    .parse()
+                    .map_err(|e| format!("--seed-offset: {e}"))?;
+            }
+            "--retries" => {
+                flags.retries = Some(
+                    value("--retries")?
+                        .parse()
+                        .map_err(|e| format!("--retries: {e}"))?,
+                );
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(flags)
+}
+
+/// A key unique to this process invocation: pid + wall-clock nanos.
+/// Uniqueness, not secrecy, is the requirement — two CLI invocations
+/// must not collide, one invocation's retries must.
+fn generate_key() -> String {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("cli-{}-{nanos}", std::process::id())
+}
+
+fn cmd_submit(flags: &Flags) -> ExitCode {
+    let Some(addr) = &flags.addr else {
+        return usage();
+    };
+    let spec = match (&flags.spec, &flags.tenant) {
+        (Some(path), _) => match std::fs::read_to_string(path) {
+            Ok(text) => match serde_json::from_str::<JobSpec>(&text) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("hiersizer-cli: invalid spec {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("hiersizer-cli: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, Some(tenant)) => JobSpec::nano(tenant).with_seed_offset(flags.seed_offset),
+        (None, None) => return usage(),
+    };
+    let key = flags.key.clone().unwrap_or_else(generate_key);
+    let mut cfg = ClientConfig::default();
+    if let Some(retries) = flags.retries {
+        cfg.retries = retries;
+    }
+    eprintln!("hiersizer-cli: submitting with key {key}");
+    match client::submit_with_retry(addr, &spec, &key, &cfg) {
+        Ok(outcome) => {
+            println!(
+                "{{\"job\": {}, \"deduped\": {}, \"attempts\": {}, \"key\": \"{}\"}}",
+                outcome.job, outcome.deduped, outcome.attempts, key
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hiersizer-cli: submit failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_status(flags: &Flags) -> ExitCode {
+    let (Some(addr), Some(job)) = (&flags.addr, flags.job) else {
+        return usage();
+    };
+    match client::status(addr, job, &ClientConfig::default()) {
+        Ok(row) => {
+            match serde_json::to_string_pretty(&row) {
+                Ok(text) => println!("{text}"),
+                Err(e) => {
+                    eprintln!("hiersizer-cli: render failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hiersizer-cli: status failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_watch(flags: &Flags) -> ExitCode {
+    let (Some(addr), Some(job)) = (&flags.addr, flags.job) else {
+        return usage();
+    };
+    // Watching spans the whole job, so give frames a generous deadline;
+    // each individual frame read is still bounded.
+    let cfg = ClientConfig {
+        io_timeout_ms: 300_000,
+        ..ClientConfig::default()
+    };
+    match client::watch(addr, job, flags.from, &cfg, |index, event| {
+        println!("{index}\t{event}");
+    }) {
+        Ok(phase) => {
+            println!("terminal\t{:?}", phase);
+            if matches!(phase, JobPhase::Completed { .. }) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("hiersizer-cli: watch failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ping(flags: &Flags) -> ExitCode {
+    let Some(addr) = &flags.addr else {
+        return usage();
+    };
+    match client::ping(addr, &ClientConfig::default()) {
+        Ok((version, draining)) => {
+            println!("{{\"version\": {version}, \"draining\": {draining}}}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hiersizer-cli: ping failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_drain(flags: &Flags) -> ExitCode {
+    let Some(addr) = &flags.addr else {
+        return usage();
+    };
+    match client::drain(addr, &ClientConfig::default()) {
+        Ok(open_jobs) => {
+            println!("{{\"draining\": true, \"open_jobs\": {open_jobs}}}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hiersizer-cli: drain failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        return usage();
+    };
+    let flags = match parse_flags(rest) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("hiersizer-cli: {e}");
+            return usage();
+        }
+    };
+    match cmd.as_str() {
+        "submit" => cmd_submit(&flags),
+        "status" => cmd_status(&flags),
+        "watch" => cmd_watch(&flags),
+        "ping" => cmd_ping(&flags),
+        "drain" => cmd_drain(&flags),
+        _ => usage(),
+    }
+}

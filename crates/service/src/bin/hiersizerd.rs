@@ -3,25 +3,60 @@
 //! ```text
 //! hiersizerd --data-dir DIR [--once] [--workers N] [--chaos SEED]
 //!            [--max-open N] [--max-open-per-tenant N] [--poll-ms N]
+//!            [--listen ADDR] [--wal-rotate N] [--tenant-budget-ms N]
 //! ```
 //!
-//! Jobs arrive as JSON [`JobSpec`] files dropped into
-//! `<data>/incoming/`; each poll cycle ingests them (in name order),
-//! admits or rejects them, runs the queue to idle, and refreshes
-//! `status.json` + `health.json`. With `--once` the daemon drains
-//! everything and exits — the mode the kill-restart end-to-end test and
-//! cron-style deployments use. Without it, the daemon polls forever.
+//! Jobs arrive two ways: as JSON [`JobSpec`] files dropped into
+//! `<data>/incoming/` (each poll cycle ingests them in name order), and
+//! — with `--listen` — over the TCP protocol served by [`NetServer`]
+//! (`hiersizer-cli` is the matching client). The actual bound address
+//! is written to `<data>/net_addr` so tests and scripts can use port 0.
+//! Each cycle admits or rejects work, runs the queue to idle, and
+//! refreshes `status.json` + `health.json`. With `--once` the daemon
+//! drains everything and exits — the mode the kill-restart end-to-end
+//! test and cron-style deployments use. Without it, the daemon polls
+//! until SIGTERM, which triggers a graceful drain: stop accepting,
+//! finish in-flight jobs, flush status, exit.
 //!
 //! Rejected submissions leave a `<name>.rejected.json` next to the
-//! removed spec, carrying the structured retry-after; malformed specs
-//! are renamed to `<name>.invalid` so they cannot wedge the intake loop.
+//! removed spec, carrying the structured retry-after; *unparseable or
+//! unreadable* drops are quarantined into `incoming/rejected/` with a
+//! `<name>.reason.json` explaining why, and counted in `status.json` —
+//! a torn half-written spec must never wedge the intake loop into
+//! retrying it forever.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
+use service::net::{NetConfig, NetServer};
 use service::{ChaosPolicy, Daemon, DaemonConfig, JobSpec, Submission};
+
+/// Set by the SIGTERM handler; the main loop treats it as `Drain`.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // std links libc; one raw `signal` registration avoids growing a
+    // dependency for a single flag flip. The handler only stores to a
+    // static atomic — async-signal-safe by construction.
+    extern "C" fn on_sigterm(_sig: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
 
 struct Args {
     data_dir: PathBuf,
@@ -31,6 +66,9 @@ struct Args {
     max_open: Option<usize>,
     max_open_per_tenant: Option<usize>,
     poll_ms: u64,
+    listen: Option<String>,
+    wal_rotate: usize,
+    tenant_budget_ms: u64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
         max_open: None,
         max_open_per_tenant: None,
         poll_ms: 200,
+        listen: None,
+        wal_rotate: 0,
+        tenant_budget_ms: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -80,6 +121,17 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--poll-ms: {e}"))?;
             }
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--wal-rotate" => {
+                args.wal_rotate = value("--wal-rotate")?
+                    .parse()
+                    .map_err(|e| format!("--wal-rotate: {e}"))?;
+            }
+            "--tenant-budget-ms" => {
+                args.tenant_budget_ms = value("--tenant-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("--tenant-budget-ms: {e}"))?;
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -87,6 +139,37 @@ fn parse_args() -> Result<Args, String> {
         return Err("--data-dir is required".into());
     }
     Ok(args)
+}
+
+/// Quarantines an intake file that cannot be parsed (or read): moves it
+/// into `incoming/rejected/` and writes a structured reason next to it.
+/// The move is what breaks the retry-forever loop — the poll glob never
+/// looks inside `rejected/`.
+fn quarantine(daemon: &Daemon, incoming: &Path, path: &Path, reason: &str) {
+    let rejected = incoming.join("rejected");
+    let _ = fs::create_dir_all(&rejected);
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed.json".into());
+    let dest = rejected.join(&name);
+    if fs::rename(path, &dest).is_err() {
+        // Cross-device or permission trouble: fall back to copy+remove,
+        // and if even that fails, remove alone still unwedges intake.
+        if fs::copy(path, &dest).is_err() {
+            eprintln!("hiersizerd: could not quarantine {}", path.display());
+        }
+        let _ = fs::remove_file(path);
+    }
+    let note = format!(
+        "{{\n  \"file\": {:?},\n  \"reason\": {:?},\n  \"quarantined_by_pid\": {}\n}}\n",
+        name,
+        reason,
+        std::process::id()
+    );
+    let _ = fs::write(rejected.join(format!("{name}.reason.json")), note);
+    daemon.note_quarantined();
+    eprintln!("hiersizerd: quarantined {}: {reason}", path.display());
 }
 
 /// Ingests every `*.json` spec in `<data>/incoming`, in name order for
@@ -98,6 +181,7 @@ fn ingest_incoming(daemon: &Daemon, incoming: &Path) -> usize {
     let mut names: Vec<PathBuf> = entries
         .flatten()
         .map(|e| e.path())
+        .filter(|p| p.is_file())
         .filter(|p| p.extension().is_some_and(|e| e == "json"))
         .filter(|p| {
             !p.file_name()
@@ -108,14 +192,17 @@ fn ingest_incoming(daemon: &Daemon, incoming: &Path) -> usize {
     names.sort();
     let mut accepted = 0;
     for path in names {
-        let Ok(text) = fs::read_to_string(&path) else {
-            continue;
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                quarantine(daemon, incoming, &path, &format!("unreadable: {e}"));
+                continue;
+            }
         };
         let spec: JobSpec = match serde_json::from_str(&text) {
             Ok(spec) => spec,
             Err(e) => {
-                eprintln!("hiersizerd: invalid spec {}: {e}", path.display());
-                let _ = fs::rename(&path, path.with_extension("invalid"));
+                quarantine(daemon, incoming, &path, &format!("invalid spec: {e}"));
                 continue;
             }
         };
@@ -124,6 +211,10 @@ fn ingest_incoming(daemon: &Daemon, incoming: &Path) -> usize {
                 eprintln!("hiersizerd: accepted job {id} from {}", path.display());
                 let _ = fs::remove_file(&path);
                 accepted += 1;
+            }
+            Ok(Submission::Deduped(id)) => {
+                eprintln!("hiersizerd: deduped job {id} from {}", path.display());
+                let _ = fs::remove_file(&path);
             }
             Ok(Submission::Rejected(rej)) => {
                 let note = serde_json::to_string_pretty(&rej).unwrap_or_default();
@@ -160,14 +251,18 @@ fn main() -> ExitCode {
             eprintln!("hiersizerd: {e}");
             eprintln!(
                 "usage: hiersizerd --data-dir DIR [--once] [--workers N] [--chaos SEED] \
-                 [--max-open N] [--max-open-per-tenant N] [--poll-ms N]"
+                 [--max-open N] [--max-open-per-tenant N] [--poll-ms N] [--listen ADDR] \
+                 [--wal-rotate N] [--tenant-budget-ms N]"
             );
             return ExitCode::from(2);
         }
     };
+    install_sigterm_handler();
 
     let mut cfg = DaemonConfig::new(&args.data_dir);
     cfg.workers = args.workers.max(1);
+    cfg.wal_rotate_records = args.wal_rotate;
+    cfg.admission.tenant_budget_ms = args.tenant_budget_ms;
     if let Some(seed) = args.chaos_seed {
         cfg.chaos = Some(ChaosPolicy::soak(seed));
     }
@@ -182,7 +277,7 @@ fn main() -> ExitCode {
     let _ = fs::create_dir_all(&incoming);
 
     let daemon = match Daemon::open(cfg) {
-        Ok(daemon) => daemon,
+        Ok(daemon) => Arc::new(daemon),
         Err(e) => {
             eprintln!("hiersizerd: open failed: {e}");
             return ExitCode::FAILURE;
@@ -190,12 +285,49 @@ fn main() -> ExitCode {
     };
     let rec = daemon.recovery();
     eprintln!(
-        "hiersizerd: recovered {} records ({} corrupt, truncated_tail={}), resuming {} jobs",
-        rec.replayed_records, rec.corrupt_lines, rec.truncated_tail, rec.resumed_jobs
+        "hiersizerd: recovered {} records ({} corrupt, truncated_tail={}), \
+         resuming {} jobs, compacted {} segment(s)",
+        rec.replayed_records,
+        rec.corrupt_lines,
+        rec.truncated_tail,
+        rec.resumed_jobs,
+        rec.compacted_segments
     );
 
+    let server = match &args.listen {
+        Some(addr) => {
+            let net_cfg = NetConfig {
+                addr: addr.clone(),
+                ..NetConfig::default()
+            };
+            match NetServer::start(Arc::clone(&daemon), net_cfg) {
+                Ok(server) => {
+                    let bound = server.local_addr();
+                    eprintln!("hiersizerd: listening on {bound}");
+                    let tmp = args.data_dir.join("net_addr.tmp");
+                    if fs::write(&tmp, bound.to_string()).is_ok() {
+                        let _ = fs::rename(&tmp, args.data_dir.join("net_addr"));
+                    }
+                    Some(server)
+                }
+                Err(e) => {
+                    eprintln!("hiersizerd: listen on {addr} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+
     let mut heartbeat = 0u64;
-    loop {
+    let exit_code = loop {
+        if TERMINATE.load(Ordering::SeqCst) && !daemon.is_draining() {
+            eprintln!("hiersizerd: SIGTERM — draining");
+            daemon.drain();
+            if let Some(server) = &server {
+                server.stop_accepting();
+            }
+        }
         ingest_incoming(&daemon, &incoming);
         let executed = daemon.run_until_idle();
         if executed > 0 {
@@ -207,6 +339,16 @@ fn main() -> ExitCode {
         }
         heartbeat += 1;
         write_health(&args.data_dir, heartbeat, status.queued + status.running);
+        if daemon.is_draining() {
+            // In-flight work is already done (run_until_idle returned,
+            // and while draining nothing new is claimed); flush and go.
+            let _ = daemon.write_status();
+            eprintln!(
+                "hiersizerd: drained — {} completed, {} failed, {} still queued (durable)",
+                status.completed, status.failed, status.queued
+            );
+            break ExitCode::SUCCESS;
+        }
         if args.once {
             let drained = status.queued == 0
                 && status.running == 0
@@ -217,10 +359,14 @@ fn main() -> ExitCode {
                     "hiersizerd: idle — {} completed, {} failed; exiting (--once)",
                     status.completed, status.failed
                 );
-                return ExitCode::SUCCESS;
+                break ExitCode::SUCCESS;
             }
         } else {
             std::thread::sleep(Duration::from_millis(args.poll_ms));
         }
+    };
+    if let Some(server) = server {
+        server.shutdown(Duration::from_secs(2));
     }
+    exit_code
 }

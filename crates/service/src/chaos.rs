@@ -47,6 +47,12 @@ pub struct ChaosPolicy {
     pub stall_ms: u64,
     /// Crash/panic budget per job; past it, attempts run clean.
     pub max_faults_per_job: u32,
+    /// Per-connection probability (‰) that the wire chaos proxy faults
+    /// a connection (torn frame, disconnect, corrupt byte, stall,
+    /// half-open). Which fault is a second roll on the same key.
+    pub wire_fault_permille: u16,
+    /// Wall-clock stall the proxy's `Stall` fault holds a read for.
+    pub wire_stall_ms: u64,
 }
 
 impl ChaosPolicy {
@@ -61,6 +67,8 @@ impl ChaosPolicy {
             sim_fault_permille: 300,
             stall_ms: 5,
             max_faults_per_job: 3,
+            wire_fault_permille: 400,
+            wire_stall_ms: 10,
         }
     }
 
@@ -75,6 +83,8 @@ impl ChaosPolicy {
             sim_fault_permille: 0,
             stall_ms: 0,
             max_faults_per_job: 0,
+            wire_fault_permille: 0,
+            wire_stall_ms: 0,
         }
     }
 
@@ -126,6 +136,18 @@ impl ChaosPolicy {
             attempt,
             0x100 + record_channel,
         )
+    }
+
+    /// Wire-proxy fault decision for connection `conn` (a per-proxy
+    /// accept counter): `None` means the connection passes through
+    /// clean, `Some(pick)` hands the proxy a deterministic value to
+    /// choose the fault kind from. Channels 7 (gate) and 8 (pick) are
+    /// fresh — wire chaos never perturbs the job-level schedule.
+    pub fn wire_fault_pick(&self, conn: u64) -> Option<u64> {
+        if !self.hits(self.wire_fault_permille, conn, 0, 7) {
+            return None;
+        }
+        Some(self.roll(conn, 0, 8))
     }
 
     /// The transient solver-fault injector for a job, if chaos assigns
@@ -237,6 +259,17 @@ mod tests {
             assert!(!p.corrupt_checkpoint(job, 0));
             assert!(!p.short_write(job, 0, 1));
             assert!(p.sim_faults(job).is_none());
+            assert!(p.wire_fault_pick(job).is_none());
         }
+    }
+
+    #[test]
+    fn wire_channel_is_live_and_deterministic() {
+        let p = ChaosPolicy::soak(21);
+        let picks: Vec<_> = (0..40u64).map(|c| p.wire_fault_pick(c)).collect();
+        assert!(picks.iter().filter(|p| p.is_some()).count() > 5);
+        assert!(picks.iter().filter(|p| p.is_none()).count() > 5);
+        let again: Vec<_> = (0..40u64).map(|c| p.wire_fault_pick(c)).collect();
+        assert_eq!(picks, again);
     }
 }

@@ -35,18 +35,20 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use exec::{CancelToken, RetryPolicy};
 use hierflow::HierarchicalFlow;
 use serde::{Deserialize, Serialize};
 
-use crate::admission::{AdmissionConfig, Rejection};
+use crate::admission::{AdmissionConfig, RejectReason, Rejection};
 use crate::chaos::ChaosPolicy;
 use crate::error::ServiceError;
 use crate::jobspec::JobSpec;
 use crate::report::{report_digest, semantic_json};
-use crate::wal::{JobPhase, Ledger, Wal, WalRecord, WAL_FILE};
+use crate::wal::{self, JobPhase, Ledger, Wal, WalRecord, WAL_FILE};
 
 /// Daemon settings.
 #[derive(Debug, Clone)]
@@ -65,6 +67,10 @@ pub struct DaemonConfig {
     /// Share one evaluation memo store across jobs (under
     /// `<data>/evalcache`) for specs that opt into caching.
     pub shared_cache: bool,
+    /// Rotate the WAL to a sealed segment every this many records;
+    /// `0` disables rotation (single-file WAL, the PR 6 behaviour).
+    /// Sealed segments are compacted away at the next `open`.
+    pub wal_rotate_records: usize,
 }
 
 impl DaemonConfig {
@@ -78,6 +84,7 @@ impl DaemonConfig {
             workers: 1,
             max_attempts: 8,
             shared_cache: true,
+            wal_rotate_records: 0,
         }
     }
 }
@@ -93,6 +100,8 @@ pub struct RecoveryReport {
     pub truncated_tail: bool,
     /// Jobs re-queued for execution (non-terminal after the fold).
     pub resumed_jobs: usize,
+    /// Sealed WAL segments compacted away at startup.
+    pub compacted_segments: usize,
 }
 
 /// The outcome of a submission.
@@ -101,6 +110,10 @@ pub enum Submission {
     /// Admitted; the id is durable (the `Submitted` record is fsync'd
     /// before this returns).
     Accepted(u64),
+    /// A keyed submit matched an existing `client_job_key`: the
+    /// original job id, no new work queued. Retrying a submit whose
+    /// ACK was lost lands here with the id the client never saw.
+    Deduped(u64),
     /// Refused by admission control; retry after the hint.
     Rejected(Rejection),
 }
@@ -133,6 +146,10 @@ pub struct DaemonStatus {
     pub chaos_faults: u64,
     /// WAL appends deliberately torn by chaos.
     pub wal_short_writes: u64,
+    /// Unparseable `incoming/` drops quarantined this process.
+    pub quarantined: u64,
+    /// Whether the daemon is draining (refusing new work).
+    pub draining: bool,
     /// What recovery found at startup.
     pub recovery: RecoveryReport,
     /// Every known job.
@@ -146,6 +163,7 @@ struct SchedState {
     rr_cursor: usize,
     chaos_faults: u64,
     wal_short_writes: u64,
+    quarantined: u64,
 }
 
 /// The long-running optimisation service.
@@ -154,6 +172,7 @@ pub struct Daemon {
     wal: Wal,
     state: Mutex<SchedState>,
     recovery: RecoveryReport,
+    draining: AtomicBool,
 }
 
 impl Daemon {
@@ -169,15 +188,25 @@ impl Daemon {
         let wal_path = cfg.data_dir.join(WAL_FILE);
         let replay = Wal::replay(&wal_path)?;
         let ledger = replay.ledger();
+        // Startup compaction: sealed segments hold only history the
+        // ledger fold has already absorbed, so replace the whole chain
+        // with the ledger's compact image. Safe to crash anywhere in —
+        // the fold is idempotent and terminal-sticky.
+        let compacted_segments = if replay.segment_files > 0 {
+            wal::compact(&wal_path, &ledger)?
+        } else {
+            0
+        };
         let queue = ledger.open_jobs();
         let recovery = RecoveryReport {
             replayed_records: replay.records.len(),
             corrupt_lines: replay.corrupt_lines,
             truncated_tail: replay.truncated_tail,
             resumed_jobs: queue.len(),
+            compacted_segments,
         };
         telemetry::counter_add("daemon.recovered_jobs", recovery.resumed_jobs as u64);
-        let wal = Wal::open(&wal_path)?;
+        let wal = Wal::open_with_rotation(&wal_path, cfg.wal_rotate_records)?;
         Ok(Daemon {
             cfg,
             wal,
@@ -188,8 +217,10 @@ impl Daemon {
                 rr_cursor: 0,
                 chaos_faults: 0,
                 wal_short_writes: 0,
+                quarantined: 0,
             }),
             recovery,
+            draining: AtomicBool::new(false),
         })
     }
 
@@ -227,16 +258,75 @@ impl Daemon {
     /// be appended; admission refusals are the `Ok(Rejected)` arm, not
     /// errors.
     pub fn submit(&self, spec: &JobSpec) -> Result<Submission, ServiceError> {
+        self.submit_keyed(spec, None)
+    }
+
+    /// Submits a job with an optional idempotency key.
+    ///
+    /// With a key, resubmission — in this process or after a restart —
+    /// returns [`Submission::Deduped`] with the original id instead of
+    /// queueing a second job. The reservation is durable *before* the
+    /// `Submitted` record (`SubmitKey` first), so a crash between the
+    /// two appends is recoverable: the retry finds the orphaned
+    /// reservation and completes the submission under the reserved id.
+    ///
+    /// # Errors
+    ///
+    /// As [`submit`](Self::submit).
+    pub fn submit_keyed(
+        &self,
+        spec: &JobSpec,
+        key: Option<&str>,
+    ) -> Result<Submission, ServiceError> {
         spec.validate()?;
         let mut st = self.lock();
+        if let Some(key) = key {
+            if let Some(id) = st.ledger.lookup_key(&spec.tenant, key) {
+                if st.ledger.get(id).is_some() {
+                    telemetry::counter_add("daemon.deduped", 1);
+                    return Ok(Submission::Deduped(id));
+                }
+                // Crash window: the reservation landed but `Submitted`
+                // did not. Complete the original submission under the
+                // reserved id — no admission re-check; it was admitted
+                // when the reservation was made.
+                let rec = WalRecord::Submitted {
+                    job: id,
+                    spec: spec.clone(),
+                };
+                self.wal.append(&rec)?;
+                st.ledger.apply(&rec);
+                st.queue.push(id);
+                telemetry::counter_add("daemon.submitted", 1);
+                return Ok(Submission::Accepted(id));
+            }
+        }
+        if self.is_draining() {
+            telemetry::counter_add("daemon.rejected", 1);
+            return Ok(Submission::Rejected(Rejection {
+                reason: RejectReason::Draining,
+                retry_after_ms: self.cfg.admission.retry_after_ms,
+                open_jobs: st.ledger.open_total(),
+            }));
+        }
         if let Err(rej) = self.cfg.admission.admit(
             st.ledger.open_total(),
             st.ledger.open_for_tenant(&spec.tenant),
+            st.ledger.spent_ms_for_tenant(&spec.tenant),
         ) {
             telemetry::counter_add("daemon.rejected", 1);
             return Ok(Submission::Rejected(rej));
         }
         let id = st.ledger.next_id();
+        if let Some(key) = key {
+            let reserve = WalRecord::SubmitKey {
+                job: id,
+                tenant: spec.tenant.clone(),
+                key: key.to_string(),
+            };
+            self.wal.append(&reserve)?;
+            st.ledger.apply(&reserve);
+        }
         let rec = WalRecord::Submitted {
             job: id,
             spec: spec.clone(),
@@ -249,6 +339,26 @@ impl Daemon {
         st.queue.push(id);
         telemetry::counter_add("daemon.submitted", 1);
         Ok(Submission::Accepted(id))
+    }
+
+    /// Flips the daemon into draining mode: new submissions are
+    /// refused with [`RejectReason::Draining`] and workers stop
+    /// claiming queued jobs (in-flight jobs finish; queued jobs stay
+    /// durable in the WAL for the next start).
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        telemetry::counter_add("daemon.drains", 1);
+    }
+
+    /// Whether [`drain`](Self::drain) has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Counts a quarantined `incoming/` drop in the status snapshot.
+    pub fn note_quarantined(&self) {
+        self.lock().quarantined += 1;
+        telemetry::counter_add("daemon.quarantined", 1);
     }
 
     /// Claims and executes one job if any is queued; returns its id.
@@ -287,6 +397,9 @@ impl Daemon {
     /// the distinct tenants that currently have queued work, then takes
     /// that tenant's oldest job.
     fn claim_next(&self) -> Option<u64> {
+        if self.is_draining() {
+            return None;
+        }
         let mut st = self.lock();
         if st.queue.is_empty() {
             return None;
@@ -325,6 +438,10 @@ impl Daemon {
         let run_dir = self.job_dir(id).join("run");
         let shared_cache = self.shared_cache_dir();
         let retry = RetryPolicy::transient_backoff();
+        // Wall-clock for the tenant's compute-budget charge. Restart
+        // loses the earlier process's share — the budget under-charges
+        // crashed jobs rather than double-charging resumed ones.
+        let started = Instant::now();
         loop {
             if attempt >= self.cfg.max_attempts {
                 self.record(
@@ -384,6 +501,7 @@ impl Daemon {
                 Ok(report) => {
                     let digest = report_digest(&report);
                     self.persist_report(id, &report);
+                    let wall_ms = started.elapsed().as_millis() as u64;
                     self.record(
                         id,
                         attempt,
@@ -391,10 +509,12 @@ impl Daemon {
                             job: id,
                             attempt,
                             report_digest: digest,
+                            wall_ms,
                         },
                         3,
                     );
                     telemetry::counter_add("daemon.completed", 1);
+                    telemetry::observe_secs("daemon.job_wall", started.elapsed());
                     return;
                 }
                 Err(e) if e.is_resumable_interruption() => {
@@ -476,6 +596,23 @@ impl Daemon {
         self.state.lock().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// One job's status row, if the job exists.
+    pub fn job_row(&self, id: u64) -> Option<JobRow> {
+        let st = self.lock();
+        st.ledger.get(id).map(|entry| JobRow {
+            id: entry.id,
+            tenant: entry.spec.tenant.clone(),
+            phase: entry.phase.clone(),
+            attempts: entry.attempts,
+        })
+    }
+
+    /// The hierflow run directory for a job (where `events.json` and
+    /// stage checkpoints land). Exists only once an attempt has run.
+    pub fn job_run_dir(&self, id: u64) -> PathBuf {
+        self.job_dir(id).join("run")
+    }
+
     /// Current scheduler snapshot.
     pub fn status(&self) -> DaemonStatus {
         let st = self.lock();
@@ -486,6 +623,8 @@ impl Daemon {
             failed: 0,
             chaos_faults: st.chaos_faults,
             wal_short_writes: st.wal_short_writes,
+            quarantined: st.quarantined,
+            draining: self.is_draining(),
             recovery: self.recovery.clone(),
             jobs: Vec::new(),
         };

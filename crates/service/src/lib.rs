@@ -31,6 +31,9 @@
 //!   stalls), driving the soak test: N jobs under chaos, every job
 //!   reaches a terminal state, no report diverges from its chaos-free
 //!   reference.
+//! * [`net`] — the TCP ingestion layer: CRC-framed JSON protocol with
+//!   deadlines, quotas, idempotent keyed submission, event streaming,
+//!   graceful drain, and a wire-level chaos proxy for soak tests.
 //! * [`report`] — the semantic projection of a [`hierflow::FlowReport`]
 //!   (results only, no run provenance) whose serialised bytes are the
 //!   cross-process bit-identity oracle, and its FNV digest recorded in
@@ -45,6 +48,7 @@ pub mod chaos;
 pub mod daemon;
 pub mod error;
 pub mod jobspec;
+pub mod net;
 pub mod report;
 pub mod wal;
 
@@ -53,5 +57,6 @@ pub use chaos::ChaosPolicy;
 pub use daemon::{Daemon, DaemonConfig, DaemonStatus, JobRow, RecoveryReport, Submission};
 pub use error::ServiceError;
 pub use jobspec::{JobPreset, JobSpec};
+pub use net::{ChaosProxy, ClientConfig, NetConfig, NetServer};
 pub use report::{report_digest, semantic_json, semantic_value};
 pub use wal::{JobPhase, Ledger, Wal, WalRecord, WalReplay};

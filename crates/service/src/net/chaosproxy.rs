@@ -1,0 +1,337 @@
+//! The in-process wire chaos proxy.
+//!
+//! Sits between a client and a real [`NetServer`](crate::net::server),
+//! forwarding bytes while injecting transport faults the seed-keyed
+//! [`ChaosPolicy`] chooses per *connection*: torn frames, mid-response
+//! disconnects, single-byte corruption (caught by the frame CRC),
+//! stalled reads, and half-open sockets that never answer at all.
+//!
+//! **Termination is guaranteed, not probabilistic.** On top of the
+//! policy's permille gate, the proxy caps *consecutive* faulted
+//! connections at [`MAX_CONSECUTIVE_FAULTS`]; the next connection is
+//! forced clean. A client whose retry budget exceeds the cap therefore
+//! always lands a clean attempt, whatever the seed — the wire soak's
+//! no-lost-jobs invariant rests on this bound, the same way the job
+//! soak rests on `max_faults_per_job`.
+//!
+//! Faults are chosen so every one of them is *transient* from the
+//! client's classification: torn frames, closed connections, CRC
+//! mismatches and timeouts all retry; the proxy never forges a valid
+//! frame (it cannot — it would need the payload to forge the CRC),
+//! so it can garble submissions but never inject one.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::chaos::ChaosPolicy;
+use crate::net::frame::HEADER_LEN;
+
+/// Forced-clean threshold: after this many consecutive faulted
+/// connections the next one passes through untouched.
+pub const MAX_CONSECUTIVE_FAULTS: u32 = 3;
+
+/// The transport faults the proxy can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Forward only a prefix of the response, then close: the client
+    /// sees a stream torn mid-frame.
+    TearFrame,
+    /// Drop both directions as soon as the server starts answering.
+    Disconnect,
+    /// Flip one payload byte of the response; the frame CRC catches it.
+    CorruptByte,
+    /// Hold every forwarded chunk for `wire_stall_ms` (slow server).
+    Stall,
+    /// Accept the client, connect nothing, say nothing, hang up late:
+    /// the half-open socket the idle deadline exists for.
+    HalfOpen,
+}
+
+impl WireFault {
+    fn from_pick(pick: u64) -> WireFault {
+        match pick % 5 {
+            0 => WireFault::TearFrame,
+            1 => WireFault::Disconnect,
+            2 => WireFault::CorruptByte,
+            3 => WireFault::Stall,
+            _ => WireFault::HalfOpen,
+        }
+    }
+}
+
+/// Per-kind injection counters (plus clean passthroughs).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Connections forwarded untouched.
+    pub clean: u64,
+    /// Torn-frame injections.
+    pub torn: u64,
+    /// Mid-response disconnects.
+    pub disconnects: u64,
+    /// Corrupted-byte injections.
+    pub corrupted: u64,
+    /// Stalled connections.
+    pub stalled: u64,
+    /// Half-open connections.
+    pub half_open: u64,
+}
+
+impl ProxyStats {
+    /// Total faulted connections.
+    pub fn faulted(&self) -> u64 {
+        self.torn + self.disconnects + self.corrupted + self.stalled + self.half_open
+    }
+}
+
+struct ProxyShared {
+    target: SocketAddr,
+    policy: ChaosPolicy,
+    stop: AtomicBool,
+    conn_counter: AtomicU64,
+    consecutive_faults: AtomicU32,
+    stats: Mutex<ProxyStats>,
+}
+
+/// A running chaos proxy. Call [`ChaosProxy::shutdown`] to stop it.
+pub struct ChaosProxy {
+    shared: Arc<ProxyShared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Starts a proxy in front of `target` with `policy`'s wire
+    /// channel deciding per-connection faults.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, when no loopback port is available.
+    pub fn start(target: SocketAddr, policy: ChaosPolicy) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(ProxyShared {
+            target,
+            policy,
+            stop: AtomicBool::new(false),
+            conn_counter: AtomicU64::new(0),
+            consecutive_faults: AtomicU32::new(0),
+            stats: Mutex::new(ProxyStats::default()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("chaos-proxy".into())
+            .spawn(move || proxy_accept_loop(&listener, &accept_shared))
+            .expect("spawn proxy thread");
+        Ok(ChaosProxy {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the injection counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.shared
+            .stats
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// Stops accepting and joins the accept loop.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn proxy_accept_loop(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((client, _)) => {
+                let conn = shared.conn_counter.fetch_add(1, Ordering::SeqCst);
+                // The policy proposes; the consecutive-fault cap
+                // disposes. The cap is what turns "probably terminates"
+                // into "terminates".
+                let proposed = shared
+                    .policy
+                    .wire_fault_pick(conn)
+                    .map(WireFault::from_pick);
+                let fault =
+                    if shared.consecutive_faults.load(Ordering::SeqCst) >= MAX_CONSECUTIVE_FAULTS {
+                        None
+                    } else {
+                        proposed
+                    };
+                if fault.is_some() {
+                    shared.consecutive_faults.fetch_add(1, Ordering::SeqCst);
+                } else {
+                    shared.consecutive_faults.store(0, Ordering::SeqCst);
+                }
+                note(shared, fault);
+                let conn_shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("chaos-proxy-conn".into())
+                    .spawn(move || proxy_conn(client, &conn_shared, fault));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn note(shared: &ProxyShared, fault: Option<WireFault>) {
+    let mut stats = shared.stats.lock().unwrap_or_else(|p| p.into_inner());
+    match fault {
+        None => stats.clean += 1,
+        Some(WireFault::TearFrame) => stats.torn += 1,
+        Some(WireFault::Disconnect) => stats.disconnects += 1,
+        Some(WireFault::CorruptByte) => stats.corrupted += 1,
+        Some(WireFault::Stall) => stats.stalled += 1,
+        Some(WireFault::HalfOpen) => stats.half_open += 1,
+    }
+}
+
+fn proxy_conn(client: TcpStream, shared: &Arc<ProxyShared>, fault: Option<WireFault>) {
+    if fault == Some(WireFault::HalfOpen) {
+        // Say nothing, then hang up: the peer's deadline does the rest.
+        std::thread::sleep(Duration::from_millis(
+            (shared.policy.wire_stall_ms * 4).max(20),
+        ));
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    }
+    let Ok(server) = TcpStream::connect(shared.target) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = server.set_read_timeout(Some(Duration::from_millis(100)));
+
+    // Client -> server: always a faithful copy (the proxy corrupts
+    // what the client *sees*, never what the daemon durably records —
+    // forging a submission would need a forged CRC).
+    let c2s_client = client.try_clone().ok();
+    let c2s_server = server.try_clone().ok();
+    let upstream = match (c2s_client, c2s_server) {
+        (Some(src), Some(dst)) => Some(std::thread::spawn(move || pump_clean(src, dst))),
+        _ => None,
+    };
+
+    pump_faulted(server, client, fault, shared.policy.wire_stall_ms);
+    if let Some(t) = upstream {
+        let _ = t.join();
+    }
+}
+
+/// Faithful byte pump until EOF/error (~5 s safety cap).
+fn pump_clean(mut src: TcpStream, mut dst: TcpStream) {
+    let mut buf = [0u8; 4096];
+    for _ in 0..50 {
+        match src.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if dst.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    let _ = dst.shutdown(Shutdown::Write);
+}
+
+/// Server -> client pump with the chosen fault applied.
+fn pump_faulted(
+    mut server: TcpStream,
+    mut client: TcpStream,
+    fault: Option<WireFault>,
+    stall_ms: u64,
+) {
+    let mut buf = [0u8; 4096];
+    let mut first_chunk = true;
+    for _ in 0..50 {
+        match server.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                match fault {
+                    Some(WireFault::TearFrame) if first_chunk => {
+                        // Stop inside the 26-byte header: the client's
+                        // next read hits EOF mid-frame.
+                        let keep = n.min(HEADER_LEN / 2);
+                        let _ = client.write_all(&buf[..keep]);
+                        break;
+                    }
+                    Some(WireFault::Disconnect) if first_chunk => {
+                        // The answer exists (the daemon committed);
+                        // the client never hears it — the lost-ACK
+                        // case idempotency keys exist for.
+                        break;
+                    }
+                    Some(WireFault::CorruptByte) if first_chunk => {
+                        let idx = if n > HEADER_LEN + 1 {
+                            HEADER_LEN
+                        } else {
+                            n - 1
+                        };
+                        buf[idx] ^= 0x01;
+                        if client.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                    Some(WireFault::Stall) => {
+                        std::thread::sleep(Duration::from_millis(stall_ms));
+                        if client.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                    _ => {
+                        if client.write_all(&buf[..n]).is_err() {
+                            break;
+                        }
+                    }
+                }
+                first_chunk = false;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => break,
+        }
+    }
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = server.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_kinds_cover_the_enum() {
+        let kinds: std::collections::BTreeSet<_> = (0..10u64)
+            .map(|p| format!("{:?}", WireFault::from_pick(p)))
+            .collect();
+        assert_eq!(kinds.len(), 5, "all five faults reachable: {kinds:?}");
+    }
+}

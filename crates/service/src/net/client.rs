@@ -1,0 +1,269 @@
+//! The wire client: one-shot requests plus classed retry for submits.
+//!
+//! The retry loop treats the transport and the service differently:
+//!
+//! * **Transient wire faults** (connect refused during a restart, torn
+//!   frames, timeouts, CRC corruption) back off on the exec layer's
+//!   deterministic slot-keyed jitter — the slot is the FNV-1a of the
+//!   idempotency key, so a thousand clients retrying the same outage
+//!   don't stampede in lockstep, yet a given client's schedule is
+//!   reproducible.
+//! * **Structured rejections** honour the server's `retry_after_ms`
+//!   verbatim; the server knows its queue better than any client-side
+//!   backoff curve.
+//! * **Permanent errors** (malformed request, protocol violation) fail
+//!   immediately — retrying a `BadRequest` is how clients melt servers.
+//!
+//! Submission safety relies on the idempotency key, not on luck: a
+//! retry after a lost ACK re-sends the same key and the daemon's WAL
+//! reservation returns the original job id (`deduped: true`).
+
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use evalcache::fnv1a;
+use exec::RetryPolicy;
+
+use crate::admission::Rejection;
+use crate::net::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::net::proto::{from_wire, to_wire, Request, Response};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Whole-response read deadline per request.
+    pub io_timeout_ms: u64,
+    /// Maximum accepted response frame.
+    pub max_frame: usize,
+    /// Submit retry budget (attempts = retries + 1).
+    pub retries: usize,
+    /// Ceiling on any single honoured `retry_after_ms` sleep, so a
+    /// hostile/buggy server cannot park a client for an hour.
+    pub max_retry_after_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            io_timeout_ms: 5_000,
+            max_frame: DEFAULT_MAX_FRAME,
+            retries: 6,
+            max_retry_after_ms: 2_000,
+        }
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Could not connect.
+    Connect(String),
+    /// A frame-layer fault.
+    Wire(FrameError),
+    /// The server answered something the protocol does not allow here.
+    Protocol(String),
+    /// Submit retries exhausted; the last rejection, if the final
+    /// attempt was refused rather than dropped.
+    RetriesExhausted(Option<Rejection>),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(e) => write!(f, "connect failed: {e}"),
+            ClientError::Wire(e) => write!(f, "wire fault: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ClientError::RetriesExhausted(Some(rej)) => {
+                write!(f, "retries exhausted; last rejection {:?}", rej.reason)
+            }
+            ClientError::RetriesExhausted(None) => write!(f, "retries exhausted"),
+        }
+    }
+}
+
+impl ClientError {
+    fn is_transient(&self) -> bool {
+        match self {
+            ClientError::Connect(_) => true,
+            ClientError::Wire(e) => e.is_transient(),
+            ClientError::Protocol(_) | ClientError::RetriesExhausted(_) => false,
+        }
+    }
+}
+
+/// Opens a connection, sends one request, reads one response, closes.
+///
+/// # Errors
+///
+/// [`ClientError`] on connect, frame, or parse failure.
+pub fn request_once(
+    addr: &str,
+    request: &Request,
+    cfg: &ClientConfig,
+) -> Result<Response, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.to_string()))?;
+    let deadline = Instant::now() + Duration::from_millis(cfg.io_timeout_ms);
+    write_frame(&mut stream, &to_wire(request), deadline).map_err(ClientError::Wire)?;
+    let payload = read_frame(&mut stream, cfg.max_frame, deadline).map_err(ClientError::Wire)?;
+    from_wire(&payload).map_err(ClientError::Protocol)
+}
+
+/// The outcome of [`submit_with_retry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitOutcome {
+    /// The durable job id.
+    pub job: u64,
+    /// Whether the server matched an earlier submit with this key.
+    pub deduped: bool,
+    /// Attempts used (1 = first try succeeded).
+    pub attempts: usize,
+}
+
+/// Submits with classed retry. `key` must be non-empty: retrying an
+/// *unkeyed* submit can double-enqueue on a lost ACK, which is exactly
+/// the failure mode the key exists to kill.
+///
+/// # Errors
+///
+/// [`ClientError::RetriesExhausted`] when the budget runs out;
+/// permanent wire/protocol errors immediately.
+pub fn submit_with_retry(
+    addr: &str,
+    spec: &crate::jobspec::JobSpec,
+    key: &str,
+    cfg: &ClientConfig,
+) -> Result<SubmitOutcome, ClientError> {
+    assert!(!key.is_empty(), "keyless retry is not idempotent");
+    let request = Request::Submit {
+        key: key.to_string(),
+        spec: spec.clone(),
+    };
+    let policy = RetryPolicy::transient_backoff();
+    let slot = fnv1a(key.as_bytes()) as usize;
+    let mut last_rejection = None;
+    for attempt in 0..=cfg.retries {
+        if attempt > 0 {
+            std::thread::sleep(policy.delay_for(attempt, slot));
+        }
+        match request_once(addr, &request, cfg) {
+            Ok(Response::Submitted { job, deduped }) => {
+                return Ok(SubmitOutcome {
+                    job,
+                    deduped,
+                    attempts: attempt + 1,
+                });
+            }
+            Ok(Response::Rejected { rejection }) => {
+                telemetry::counter_add("net.client.rejected", 1);
+                let wait = rejection.retry_after_ms.min(cfg.max_retry_after_ms);
+                last_rejection = Some(rejection);
+                std::thread::sleep(Duration::from_millis(wait));
+            }
+            Ok(Response::Error { kind, message }) => {
+                return Err(ClientError::Protocol(format!("{kind:?}: {message}")));
+            }
+            Ok(other) => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected response to Submit: {other:?}"
+                )));
+            }
+            Err(e) if e.is_transient() => {
+                telemetry::counter_add("net.client.transient", 1);
+                // Loop: the deterministic backoff at the top paces us.
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(ClientError::RetriesExhausted(last_rejection))
+}
+
+/// Fetches one job's status row.
+///
+/// # Errors
+///
+/// [`ClientError`] on transport failure or a non-`Status` answer.
+pub fn status(
+    addr: &str,
+    job: u64,
+    cfg: &ClientConfig,
+) -> Result<crate::daemon::JobRow, ClientError> {
+    match request_once(addr, &Request::Status { job }, cfg)? {
+        Response::Status { row } => Ok(row),
+        Response::Error { kind, message } => {
+            Err(ClientError::Protocol(format!("{kind:?}: {message}")))
+        }
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to Status: {other:?}"
+        ))),
+    }
+}
+
+/// Subscribes to a job and invokes `on_event` per streamed event;
+/// returns the terminal phase.
+///
+/// # Errors
+///
+/// [`ClientError`] on transport failure or protocol violation.
+pub fn watch(
+    addr: &str,
+    job: u64,
+    from: u64,
+    cfg: &ClientConfig,
+    mut on_event: impl FnMut(u64, &str),
+) -> Result<crate::wal::JobPhase, ClientError> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| ClientError::Connect(e.to_string()))?;
+    let deadline = Instant::now() + Duration::from_millis(cfg.io_timeout_ms);
+    write_frame(
+        &mut stream,
+        &to_wire(&Request::Subscribe { job, from }),
+        deadline,
+    )
+    .map_err(ClientError::Wire)?;
+    loop {
+        // Each streamed frame gets its own deadline: the stream is
+        // allowed to be long-lived, each frame is not.
+        let frame_deadline = Instant::now() + Duration::from_millis(cfg.io_timeout_ms);
+        let payload =
+            read_frame(&mut stream, cfg.max_frame, frame_deadline).map_err(ClientError::Wire)?;
+        match from_wire::<Response>(&payload).map_err(ClientError::Protocol)? {
+            Response::Event { index, event, .. } => on_event(index, &event),
+            Response::End { phase, .. } => return Ok(phase),
+            Response::Error { kind, message } => {
+                return Err(ClientError::Protocol(format!("{kind:?}: {message}")));
+            }
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "unexpected subscription frame: {other:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// Pings the server; returns `(protocol_version, draining)`.
+///
+/// # Errors
+///
+/// [`ClientError`] on transport failure or a non-`Pong` answer.
+pub fn ping(addr: &str, cfg: &ClientConfig) -> Result<(u32, bool), ClientError> {
+    match request_once(addr, &Request::Ping, cfg)? {
+        Response::Pong { version, draining } => Ok((version, draining)),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to Ping: {other:?}"
+        ))),
+    }
+}
+
+/// Asks the server to drain; returns the open-job count it reported.
+///
+/// # Errors
+///
+/// [`ClientError`] on transport failure or a non-`Draining` answer.
+pub fn drain(addr: &str, cfg: &ClientConfig) -> Result<u64, ClientError> {
+    match request_once(addr, &Request::Drain, cfg)? {
+        Response::Draining { open_jobs } => Ok(open_jobs),
+        other => Err(ClientError::Protocol(format!(
+            "unexpected response to Drain: {other:?}"
+        ))),
+    }
+}

@@ -1,0 +1,367 @@
+//! The wire frame: length-prefixed, CRC-guarded, newline-terminated.
+//!
+//! ```text
+//! LLLLLLLL CCCCCCCCCCCCCCCC <payload bytes>\n
+//! ^8 hex   ^16 hex FNV-1a   ^exactly L bytes
+//! ```
+//!
+//! The 26-byte fixed header (8 hex length digits, space, 16 hex CRC
+//! digits, space) is deliberately boring: it can be read with one
+//! `read_exact`, the length is known *before* the payload is touched
+//! (so an oversized frame is refused without buffering it), and the
+//! trailing `\n` keeps the stream greppable and resynchronisable by a
+//! human with `nc`. The CRC is FNV-1a over the payload bytes — the same
+//! digest the WAL frames use — so wire corruption and disk corruption
+//! are caught by the same arithmetic.
+//!
+//! All socket reads go through [`read_frame`]'s *deadline* loop: the
+//! OS-level read timeout is re-armed to the remaining time before every
+//! `read`, so a peer trickling one byte per second (slow-loris) cannot
+//! hold a connection past the deadline no matter how many reads
+//! succeed.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use evalcache::fnv1a;
+
+/// Fixed header size: 8 hex length + space + 16 hex CRC + space.
+pub const HEADER_LEN: usize = 26;
+
+/// Default maximum payload size accepted by servers and clients.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Why a frame could not be read or written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Clean EOF at a frame boundary: the peer hung up politely.
+    Closed,
+    /// EOF in the middle of a frame: the header or payload was torn.
+    Torn {
+        /// What was being read when the stream ended.
+        at: &'static str,
+    },
+    /// The deadline expired before the frame completed.
+    TimedOut,
+    /// The 26-byte header was not `LLLLLLLL CCCCCCCCCCCCCCCC `.
+    BadHeader {
+        /// What was malformed.
+        reason: &'static str,
+    },
+    /// The declared payload length exceeds the negotiated maximum.
+    TooLarge {
+        /// Declared payload length.
+        len: usize,
+        /// The refusing side's limit.
+        max: usize,
+    },
+    /// The payload's FNV-1a digest does not match the header's CRC.
+    CrcMismatch {
+        /// CRC the header declared.
+        declared: u64,
+        /// CRC of the bytes actually received.
+        actual: u64,
+    },
+    /// The byte after the payload was not `\n`.
+    MissingTerminator,
+    /// Any other socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Torn { at } => write!(f, "stream ended mid-frame (reading {at})"),
+            FrameError::TimedOut => write!(f, "frame deadline expired"),
+            FrameError::BadHeader { reason } => write!(f, "malformed frame header: {reason}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame payload {len} bytes exceeds limit {max}")
+            }
+            FrameError::CrcMismatch { declared, actual } => write!(
+                f,
+                "frame CRC mismatch: header {declared:016x}, payload {actual:016x}"
+            ),
+            FrameError::MissingTerminator => write!(f, "frame missing newline terminator"),
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl FrameError {
+    /// Whether a client retry on a fresh connection may succeed.
+    /// Header/size violations are protocol bugs (permanent); torn
+    /// streams, timeouts and corruption are the transport misbehaving.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Closed
+                | FrameError::Torn { .. }
+                | FrameError::TimedOut
+                | FrameError::CrcMismatch { .. }
+                | FrameError::MissingTerminator
+                | FrameError::Io(_)
+        )
+    }
+}
+
+/// Encodes one payload into a wire frame.
+#[must_use]
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + 1);
+    out.extend_from_slice(format!("{:08x} {:016x} ", payload.len(), fnv1a(payload)).as_bytes());
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+    out
+}
+
+/// Parses the fixed header; returns `(payload_len, declared_crc)`.
+///
+/// # Errors
+///
+/// [`FrameError::BadHeader`] when the 26 bytes do not match the format.
+pub fn parse_header(header: &[u8; HEADER_LEN]) -> Result<(usize, u64), FrameError> {
+    if header[8] != b' ' || header[25] != b' ' {
+        return Err(FrameError::BadHeader {
+            reason: "missing separators",
+        });
+    }
+    let len_text = std::str::from_utf8(&header[..8]).map_err(|_| FrameError::BadHeader {
+        reason: "length not ASCII hex",
+    })?;
+    let crc_text = std::str::from_utf8(&header[9..25]).map_err(|_| FrameError::BadHeader {
+        reason: "crc not ASCII hex",
+    })?;
+    let len = usize::from_str_radix(len_text, 16).map_err(|_| FrameError::BadHeader {
+        reason: "length not hex",
+    })?;
+    let crc = u64::from_str_radix(crc_text, 16).map_err(|_| FrameError::BadHeader {
+        reason: "crc not hex",
+    })?;
+    Ok((len, crc))
+}
+
+/// Decodes one complete frame from a byte slice (no socket involved —
+/// the pure half the property tests drive). Returns the payload and the
+/// total bytes consumed.
+///
+/// # Errors
+///
+/// Every [`FrameError`] a socket read can produce except the
+/// timeout/IO classes.
+pub fn decode_frame(bytes: &[u8], max_frame: usize) -> Result<(Vec<u8>, usize), FrameError> {
+    if bytes.is_empty() {
+        return Err(FrameError::Closed);
+    }
+    if bytes.len() < HEADER_LEN {
+        return Err(FrameError::Torn { at: "header" });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&bytes[..HEADER_LEN]);
+    let (len, declared) = parse_header(&header)?;
+    if len > max_frame {
+        return Err(FrameError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let total = HEADER_LEN + len + 1;
+    if bytes.len() < total {
+        return Err(FrameError::Torn { at: "payload" });
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+    if bytes[HEADER_LEN + len] != b'\n' {
+        return Err(FrameError::MissingTerminator);
+    }
+    let actual = fnv1a(payload);
+    if actual != declared {
+        return Err(FrameError::CrcMismatch { declared, actual });
+    }
+    Ok((payload.to_vec(), total))
+}
+
+/// Reads exactly `buf.len()` bytes before `deadline`, re-arming the
+/// socket read timeout to the remaining time before every `read` so
+/// the *total* wait is bounded (a per-call timeout alone lets a
+/// slow-loris peer reset the clock with each byte).
+fn read_exact_deadline(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+    at: &'static str,
+    any_read: &mut bool,
+) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(FrameError::TimedOut);
+        }
+        stream
+            .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if *any_read {
+                    FrameError::Torn { at }
+                } else {
+                    FrameError::Closed
+                });
+            }
+            Ok(n) => {
+                filled += n;
+                *any_read = true;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                // Loop: the deadline check at the top decides.
+            }
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one frame from `stream`, enforcing `max_frame` and an
+/// absolute `deadline` for the whole frame.
+///
+/// # Errors
+///
+/// [`FrameError::Closed`] on clean EOF before any byte of this frame;
+/// every other variant as described on [`FrameError`].
+pub fn read_frame(
+    stream: &mut TcpStream,
+    max_frame: usize,
+    deadline: Instant,
+) -> Result<Vec<u8>, FrameError> {
+    let mut any_read = false;
+    let mut header = [0u8; HEADER_LEN];
+    read_exact_deadline(stream, &mut header, deadline, "header", &mut any_read)?;
+    let (len, declared) = parse_header(&header)?;
+    if len > max_frame {
+        return Err(FrameError::TooLarge {
+            len,
+            max: max_frame,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_deadline(stream, &mut payload, deadline, "payload", &mut any_read)?;
+    let mut term = [0u8; 1];
+    read_exact_deadline(stream, &mut term, deadline, "terminator", &mut any_read)?;
+    if term[0] != b'\n' {
+        return Err(FrameError::MissingTerminator);
+    }
+    let actual = fnv1a(&payload);
+    if actual != declared {
+        return Err(FrameError::CrcMismatch { declared, actual });
+    }
+    Ok(payload)
+}
+
+/// Writes one frame before `deadline`.
+///
+/// # Errors
+///
+/// [`FrameError::TimedOut`] when the deadline expires mid-write,
+/// otherwise the socket error.
+pub fn write_frame(
+    stream: &mut TcpStream,
+    payload: &[u8],
+    deadline: Instant,
+) -> Result<(), FrameError> {
+    let bytes = encode_frame(payload);
+    let mut written = 0;
+    while written < bytes.len() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(FrameError::TimedOut);
+        }
+        stream
+            .set_write_timeout(Some(remaining.max(Duration::from_millis(1))))
+            .map_err(|e| FrameError::Io(e.to_string()))?;
+        match stream.write(&bytes[written..]) {
+            Ok(0) => return Err(FrameError::Torn { at: "write" }),
+            Ok(n) => written += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut
+                    || e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e.to_string())),
+        }
+    }
+    stream.flush().map_err(|e| FrameError::Io(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for payload in [&b""[..], b"x", b"{\"type\":\"Ping\"}", &[0u8; 300]] {
+            let frame = encode_frame(payload);
+            let (back, used) = decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+            assert_eq!(back, payload);
+            assert_eq!(used, frame.len());
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_fails_crc_with_provenance() {
+        let mut frame = encode_frame(b"hello world");
+        let idx = HEADER_LEN + 3;
+        frame[idx] ^= 0x20;
+        match decode_frame(&frame, DEFAULT_MAX_FRAME) {
+            Err(FrameError::CrcMismatch { declared, actual }) => assert_ne!(declared, actual),
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_is_refused_from_the_header_alone() {
+        let frame = encode_frame(&[7u8; 64]);
+        assert_eq!(
+            decode_frame(&frame, 16),
+            Err(FrameError::TooLarge { len: 64, max: 16 })
+        );
+    }
+
+    #[test]
+    fn torn_frame_reports_where_it_tore() {
+        let frame = encode_frame(b"abcdef");
+        assert_eq!(
+            decode_frame(&frame[..10], DEFAULT_MAX_FRAME),
+            Err(FrameError::Torn { at: "header" })
+        );
+        assert_eq!(
+            decode_frame(&frame[..HEADER_LEN + 2], DEFAULT_MAX_FRAME),
+            Err(FrameError::Torn { at: "payload" })
+        );
+    }
+
+    #[test]
+    fn junk_header_is_a_bad_header_not_a_panic() {
+        let mut frame = encode_frame(b"payload");
+        frame[2] = b'z';
+        assert!(matches!(
+            decode_frame(&frame, DEFAULT_MAX_FRAME),
+            Err(FrameError::BadHeader { .. })
+        ));
+    }
+
+    #[test]
+    fn transience_classification_matches_retry_policy() {
+        assert!(FrameError::TimedOut.is_transient());
+        assert!(FrameError::CrcMismatch {
+            declared: 1,
+            actual: 2
+        }
+        .is_transient());
+        assert!(!FrameError::TooLarge { len: 9, max: 1 }.is_transient());
+        assert!(!FrameError::BadHeader { reason: "x" }.is_transient());
+    }
+}

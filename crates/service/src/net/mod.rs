@@ -1,0 +1,38 @@
+//! The TCP ingestion layer: frames, protocol, server, client, and the
+//! wire-level chaos proxy.
+//!
+//! `hiersizerd`'s PR 6 ingestion was a shared-filesystem drop box; this
+//! module gives the daemon a real service boundary without giving up
+//! any of its guarantees. Everything here is `std`-only — no async
+//! runtime, no protocol crates — because the robustness properties the
+//! service needs (absolute deadlines, bounded frames, structured
+//! backpressure, idempotent submits) live in the protocol design, not
+//! in a dependency.
+//!
+//! * [`frame`] — the CRC-framed, length-prefixed wire unit and the
+//!   deadline-driven socket reads that make slow-loris peers a timeout
+//!   instead of a thread leak.
+//! * [`proto`] — the request/response vocabulary (`Submit`/`Status`/
+//!   `Subscribe`/`Drain`/`Ping`), one externally-tagged JSON message
+//!   per frame.
+//! * [`server`] — [`NetServer`]: accept loop + per-connection handlers
+//!   over an `Arc<Daemon>`, connection quotas, graceful drain.
+//! * [`client`] — one-shot requests plus classed-retry submission that
+//!   honours server `retry_after_ms` hints and relies on idempotency
+//!   keys (never luck) for at-most-once submission.
+//! * [`chaosproxy`] — a seed-keyed man-in-the-middle injecting torn
+//!   frames, disconnects, corrupt bytes, stalls and half-open sockets,
+//!   with a consecutive-fault cap that makes soak termination a
+//!   theorem rather than a likelihood.
+
+pub mod chaosproxy;
+pub mod client;
+pub mod frame;
+pub mod proto;
+pub mod server;
+
+pub use chaosproxy::{ChaosProxy, ProxyStats, WireFault, MAX_CONSECUTIVE_FAULTS};
+pub use client::{ClientConfig, ClientError, SubmitOutcome};
+pub use frame::{decode_frame, encode_frame, FrameError, DEFAULT_MAX_FRAME, HEADER_LEN};
+pub use proto::{Request, Response, WireErrorKind, PROTOCOL_VERSION};
+pub use server::{NetConfig, NetServer};

@@ -1,0 +1,211 @@
+//! The request/response vocabulary spoken inside wire frames.
+//!
+//! Each frame payload is one externally-tagged JSON message —
+//! `{"Submit":{...}}` — so a protocol dump is self-describing. The
+//! vocabulary is deliberately small and forward-compatible in one
+//! direction only: a server must answer anything it cannot parse with
+//! [`Response::Error`] (kind [`WireErrorKind::BadRequest`]), never by
+//! dropping the connection silently.
+//!
+//! **Idempotency keys.** `Submit.key` is the client's job key; the
+//! empty string means "no key, always enqueue fresh". With a key, the
+//! daemon's `SubmitKey` WAL reservation makes resubmission — including
+//! a retry after a crash ate the ACK — return the original job id with
+//! `deduped: true`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::admission::Rejection;
+use crate::daemon::JobRow;
+use crate::jobspec::JobSpec;
+use crate::wal::JobPhase;
+
+/// Protocol revision; servers echo it in [`Response::Pong`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness + version probe.
+    Ping,
+    /// Submit a job. `key` is the idempotency key ("" = unkeyed).
+    Submit {
+        /// Client job key; duplicates dedupe to the original id.
+        key: String,
+        /// The job to run (carries its tenant).
+        spec: JobSpec,
+    },
+    /// One job's current status row.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Stream the job's `FlowEvents` from index `from`, then its
+    /// terminal phase. The server polls until the job finishes.
+    Subscribe {
+        /// Job id.
+        job: u64,
+        /// First event index wanted (0 = from the start).
+        from: u64,
+    },
+    /// Flip the daemon into draining mode.
+    Drain,
+}
+
+/// Machine-readable error class on [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireErrorKind {
+    /// The frame itself was unreadable (bad header, CRC, size).
+    BadFrame,
+    /// The frame held JSON the server could not parse as a [`Request`].
+    BadRequest,
+    /// The requested job id does not exist.
+    UnknownJob,
+    /// The server hit an internal error serving the request.
+    Internal,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong {
+        /// Server protocol revision.
+        version: u32,
+        /// Whether the daemon is draining.
+        draining: bool,
+    },
+    /// The submit was admitted (or matched an existing key).
+    Submitted {
+        /// The durable job id.
+        job: u64,
+        /// True when an idempotency key matched a previous submit.
+        deduped: bool,
+    },
+    /// The submit was refused; the admission rejection verbatim.
+    Rejected {
+        /// Structured refusal with `retry_after_ms`.
+        rejection: Rejection,
+    },
+    /// Answer to [`Request::Status`].
+    Status {
+        /// The job's ledger row.
+        row: JobRow,
+    },
+    /// One streamed flow event (Subscribe). `event` is the event's own
+    /// JSON text, passed through opaquely so the protocol does not
+    /// version-lock to the `FlowEvent` vocabulary.
+    Event {
+        /// Job id.
+        job: u64,
+        /// Index of this event in the job's event log.
+        index: u64,
+        /// The event, as JSON text.
+        event: String,
+    },
+    /// End of a subscription: the job reached a terminal phase.
+    End {
+        /// Job id.
+        job: u64,
+        /// The terminal phase.
+        phase: JobPhase,
+    },
+    /// Answer to [`Request::Drain`].
+    Draining {
+        /// Jobs still open at drain time.
+        open_jobs: u64,
+    },
+    /// Anything that went wrong, with a machine-readable class.
+    Error {
+        /// Error class.
+        kind: WireErrorKind,
+        /// Human-readable provenance.
+        message: String,
+    },
+}
+
+/// Serialises a message for the wire.
+#[must_use]
+pub fn to_wire<T: Serialize>(msg: &T) -> Vec<u8> {
+    serde_json::to_string(msg).unwrap_or_default().into_bytes()
+}
+
+/// Parses a frame payload as a message.
+///
+/// # Errors
+///
+/// The serde error text when the payload is not valid JSON for `T`.
+pub fn from_wire<T: Deserialize>(payload: &[u8]) -> Result<T, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("payload not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::RejectReason;
+
+    #[test]
+    fn requests_round_trip() {
+        let msgs = vec![
+            Request::Ping,
+            Request::Submit {
+                key: "k-1".into(),
+                spec: JobSpec::nano("acme"),
+            },
+            Request::Status { job: 42 },
+            Request::Subscribe { job: 7, from: 3 },
+            Request::Drain,
+        ];
+        for msg in msgs {
+            let back: Request = from_wire(&to_wire(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let msgs = vec![
+            Response::Pong {
+                version: PROTOCOL_VERSION,
+                draining: false,
+            },
+            Response::Submitted {
+                job: 3,
+                deduped: true,
+            },
+            Response::Rejected {
+                rejection: Rejection {
+                    reason: RejectReason::ConnLimit,
+                    retry_after_ms: 250,
+                    open_jobs: 9,
+                },
+            },
+            Response::Event {
+                job: 1,
+                index: 0,
+                event: "{\"StageStarted\":{\"stage\":1}}".into(),
+            },
+            Response::End {
+                job: 1,
+                phase: JobPhase::Completed { report_digest: 5 },
+            },
+            Response::Draining { open_jobs: 2 },
+            Response::Error {
+                kind: WireErrorKind::BadFrame,
+                message: "crc mismatch".into(),
+            },
+        ];
+        for msg in msgs {
+            let back: Response = from_wire(&to_wire(&msg)).unwrap();
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn junk_payload_is_an_error_not_a_panic() {
+        assert!(from_wire::<Request>(b"not json").is_err());
+        assert!(from_wire::<Request>(&[0xff, 0xfe]).is_err());
+        assert!(from_wire::<Request>(b"{\"Nope\":{}}").is_err());
+    }
+}

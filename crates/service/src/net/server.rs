@@ -1,0 +1,481 @@
+//! The TCP ingestion server wrapped around a [`Daemon`].
+//!
+//! One accept loop (non-blocking, so drain/shutdown flags are honoured
+//! within a poll tick), one handler thread per connection. Robustness
+//! posture, in order of the damage each averts:
+//!
+//! * **Deadlines everywhere.** Every frame read carries an absolute
+//!   deadline ([`NetConfig::idle_timeout_ms`] waiting for a request,
+//!   [`NetConfig::read_timeout_ms`] once its first byte arrives), so a
+//!   slow-loris or half-open peer is dropped on schedule instead of
+//!   pinning a thread.
+//! * **Bounded frames.** The length prefix is checked against
+//!   [`NetConfig::max_frame`] before the payload is read; an oversized
+//!   frame costs 26 bytes of buffering, not a gigabyte.
+//! * **Connection quotas.** A global accept-time cap, plus a per-tenant
+//!   cap applied when a connection first submits (the tenant is not
+//!   known earlier); both refuse with the admission layer's structured
+//!   [`Rejection`] so clients see one backoff vocabulary.
+//! * **Draining.** `Drain` (or SIGTERM in the binary) stops the accept
+//!   loop and makes the daemon refuse new work; connected handlers
+//!   finish their current response and close.
+
+use std::collections::BTreeMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::admission::{RejectReason, Rejection};
+use crate::daemon::{Daemon, Submission};
+use crate::net::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_FRAME};
+use crate::net::proto::{from_wire, to_wire, Request, Response, WireErrorKind, PROTOCOL_VERSION};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Bind address; port 0 picks a free port (tests, and the binary
+    /// writes the actual address to `<data>/net_addr`).
+    pub addr: String,
+    /// Maximum accepted frame payload, bytes.
+    pub max_frame: usize,
+    /// Whole-frame read deadline once a request has started arriving.
+    pub read_timeout_ms: u64,
+    /// Per-response write deadline.
+    pub write_timeout_ms: u64,
+    /// How long a quiet connection may sit between requests.
+    pub idle_timeout_ms: u64,
+    /// Global concurrent-connection cap (enforced at accept).
+    pub max_conns: usize,
+    /// Per-tenant concurrent-connection cap (enforced at first submit,
+    /// when the connection's tenant becomes known).
+    pub max_conns_per_tenant: usize,
+    /// Subscribe poll interval while waiting for new events.
+    pub poll_ms: u64,
+    /// Hard ceiling on one subscription's lifetime.
+    pub subscribe_timeout_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".into(),
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout_ms: 2_000,
+            write_timeout_ms: 2_000,
+            idle_timeout_ms: 10_000,
+            max_conns: 64,
+            max_conns_per_tenant: 8,
+            poll_ms: 25,
+            subscribe_timeout_ms: 120_000,
+        }
+    }
+}
+
+struct Shared {
+    daemon: Arc<Daemon>,
+    cfg: NetConfig,
+    stop_accepting: AtomicBool,
+    active_conns: AtomicUsize,
+    tenant_conns: Mutex<BTreeMap<String, usize>>,
+    requests: AtomicU64,
+}
+
+/// A running TCP server. Dropping it does *not* stop it; call
+/// [`NetServer::shutdown`].
+pub struct NetServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, when the address is unusable.
+    pub fn start(daemon: Arc<Daemon>, cfg: NetConfig) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            daemon,
+            cfg,
+            stop_accepting: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+            tenant_conns: Mutex::new(BTreeMap::new()),
+            requests: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("net-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("spawn accept thread");
+        Ok(NetServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (real port when configured with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests served so far (all kinds).
+    pub fn requests_served(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently open.
+    pub fn active_connections(&self) -> usize {
+        self.shared.active_conns.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting new connections (existing handlers continue).
+    pub fn stop_accepting(&self) {
+        self.shared.stop_accepting.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful stop: stop accepting, wait up to `grace` for open
+    /// connections to finish, then return. Handler threads past the
+    /// grace period are abandoned (their sockets keep deadlines, so
+    /// they terminate on their own schedule).
+    pub fn shutdown(mut self, grace: Duration) {
+        self.stop_accepting();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = Instant::now() + grace;
+        while self.shared.active_conns.load(Ordering::Relaxed) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop_accepting.load(Ordering::SeqCst) || shared.daemon.is_draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                telemetry::counter_add("net.conns.accepted", 1);
+                if shared.active_conns.load(Ordering::Relaxed) >= shared.cfg.max_conns {
+                    telemetry::counter_add("net.conns.refused", 1);
+                    refuse_conn(stream, shared);
+                    continue;
+                }
+                shared.active_conns.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("net-conn".into())
+                        .spawn(move || {
+                            handle_conn(stream, &conn_shared);
+                        });
+                if spawned.is_err() {
+                    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+/// Tells an over-quota client to back off, with the same structured
+/// rejection a full queue produces, then closes.
+fn refuse_conn(mut stream: TcpStream, shared: &Shared) {
+    let rejection = Rejection {
+        reason: RejectReason::ConnLimit,
+        retry_after_ms: shared.daemon.config().admission.retry_after_ms,
+        open_jobs: 0,
+    };
+    let deadline = Instant::now() + Duration::from_millis(shared.cfg.write_timeout_ms);
+    let _ = write_frame(
+        &mut stream,
+        &to_wire(&Response::Rejected { rejection }),
+        deadline,
+    );
+}
+
+/// Releases the per-tenant connection slot a handler bound.
+fn release_tenant(shared: &Shared, tenant: &Option<String>) {
+    if let Some(t) = tenant {
+        let mut map = shared
+            .tenant_conns
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some(n) = map.get_mut(t) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                map.remove(t);
+            }
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let mut bound_tenant: Option<String> = None;
+    loop {
+        let idle_deadline = Instant::now() + Duration::from_millis(shared.cfg.idle_timeout_ms);
+        let payload = match read_frame(&mut stream, shared.cfg.max_frame, idle_deadline) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => break,
+            Err(FrameError::TimedOut) => {
+                telemetry::counter_add("net.conns.idle_closed", 1);
+                break;
+            }
+            Err(e) => {
+                // A frame-level fault (torn, CRC, oversized, junk
+                // header) leaves the stream unsynchronised: answer
+                // with provenance, then close.
+                telemetry::counter_add("net.frames.rejected", 1);
+                let deadline = Instant::now() + Duration::from_millis(shared.cfg.write_timeout_ms);
+                let _ = write_frame(
+                    &mut stream,
+                    &to_wire(&Response::Error {
+                        kind: WireErrorKind::BadFrame,
+                        message: e.to_string(),
+                    }),
+                    deadline,
+                );
+                break;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let request: Request = match from_wire(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                telemetry::counter_add("net.requests.bad", 1);
+                let deadline = Instant::now() + Duration::from_millis(shared.cfg.write_timeout_ms);
+                let _ = write_frame(
+                    &mut stream,
+                    &to_wire(&Response::Error {
+                        kind: WireErrorKind::BadRequest,
+                        message: e,
+                    }),
+                    deadline,
+                );
+                continue;
+            }
+        };
+        let keep_going = dispatch(&mut stream, shared, &mut bound_tenant, request);
+        telemetry::observe_secs("net.request_latency", started.elapsed());
+        if !keep_going {
+            break;
+        }
+    }
+    release_tenant(shared, &bound_tenant);
+    shared.active_conns.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Serves one request; returns whether the connection should continue.
+fn dispatch(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    bound_tenant: &mut Option<String>,
+    request: Request,
+) -> bool {
+    let write_deadline = || Instant::now() + Duration::from_millis(shared.cfg.write_timeout_ms);
+    let send = |stream: &mut TcpStream, resp: &Response| {
+        write_frame(stream, &to_wire(resp), write_deadline()).is_ok()
+    };
+    match request {
+        Request::Ping => {
+            telemetry::counter_add("net.requests.ping", 1);
+            send(
+                stream,
+                &Response::Pong {
+                    version: PROTOCOL_VERSION,
+                    draining: shared.daemon.is_draining(),
+                },
+            )
+        }
+        Request::Submit { key, spec } => {
+            telemetry::counter_add("net.requests.submit", 1);
+            // Bind the connection to its tenant on first submit and
+            // enforce the per-tenant connection quota there.
+            if bound_tenant.is_none() {
+                let mut map = shared
+                    .tenant_conns
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                let slot = map.entry(spec.tenant.clone()).or_insert(0);
+                if *slot >= shared.cfg.max_conns_per_tenant {
+                    drop(map);
+                    telemetry::counter_add("net.conns.tenant_refused", 1);
+                    return send(
+                        stream,
+                        &Response::Rejected {
+                            rejection: Rejection {
+                                reason: RejectReason::ConnLimit,
+                                retry_after_ms: shared.daemon.config().admission.retry_after_ms,
+                                open_jobs: 0,
+                            },
+                        },
+                    );
+                }
+                *slot += 1;
+                drop(map);
+                *bound_tenant = Some(spec.tenant.clone());
+            }
+            let key_opt = if key.is_empty() {
+                None
+            } else {
+                Some(key.as_str())
+            };
+            match shared.daemon.submit_keyed(&spec, key_opt) {
+                Ok(Submission::Accepted(job)) => send(
+                    stream,
+                    &Response::Submitted {
+                        job,
+                        deduped: false,
+                    },
+                ),
+                Ok(Submission::Deduped(job)) => {
+                    telemetry::counter_add("net.requests.deduped", 1);
+                    send(stream, &Response::Submitted { job, deduped: true })
+                }
+                Ok(Submission::Rejected(rejection)) => {
+                    telemetry::counter_add("net.requests.rejected", 1);
+                    send(stream, &Response::Rejected { rejection })
+                }
+                Err(e) => send(
+                    stream,
+                    &Response::Error {
+                        kind: WireErrorKind::Internal,
+                        message: e.to_string(),
+                    },
+                ),
+            }
+        }
+        Request::Status { job } => {
+            telemetry::counter_add("net.requests.status", 1);
+            match shared.daemon.job_row(job) {
+                Some(row) => send(stream, &Response::Status { row }),
+                None => send(
+                    stream,
+                    &Response::Error {
+                        kind: WireErrorKind::UnknownJob,
+                        message: format!("no job {job}"),
+                    },
+                ),
+            }
+        }
+        Request::Subscribe { job, from } => {
+            telemetry::counter_add("net.requests.subscribe", 1);
+            serve_subscription(stream, shared, job, from)
+        }
+        Request::Drain => {
+            telemetry::counter_add("net.requests.drain", 1);
+            shared.daemon.drain();
+            shared.stop_accepting.store(true, Ordering::SeqCst);
+            let status = shared.daemon.status();
+            send(
+                stream,
+                &Response::Draining {
+                    open_jobs: (status.queued + status.running) as u64,
+                },
+            )
+        }
+    }
+}
+
+/// Streams a job's events from `from`, polling `events.json` until the
+/// job goes terminal (then sends [`Response::End`]) or the
+/// subscription deadline expires.
+fn serve_subscription(stream: &mut TcpStream, shared: &Arc<Shared>, job: u64, from: u64) -> bool {
+    let write_deadline = || Instant::now() + Duration::from_millis(shared.cfg.write_timeout_ms);
+    let Some(mut row) = shared.daemon.job_row(job) else {
+        return write_frame(
+            stream,
+            &to_wire(&Response::Error {
+                kind: WireErrorKind::UnknownJob,
+                message: format!("no job {job}"),
+            }),
+            write_deadline(),
+        )
+        .is_ok();
+    };
+    let events_path = shared.daemon.job_run_dir(job).join("events.json");
+    let hard_stop = Instant::now() + Duration::from_millis(shared.cfg.subscribe_timeout_ms);
+    let mut next = from;
+    loop {
+        for (index, text) in read_events_from(&events_path, next) {
+            let sent = write_frame(
+                stream,
+                &to_wire(&Response::Event {
+                    job,
+                    index,
+                    event: text,
+                }),
+                write_deadline(),
+            );
+            if sent.is_err() {
+                return false;
+            }
+            next = index + 1;
+        }
+        if row.phase.terminal() {
+            return write_frame(
+                stream,
+                &to_wire(&Response::End {
+                    job,
+                    phase: row.phase,
+                }),
+                write_deadline(),
+            )
+            .is_ok();
+        }
+        if Instant::now() >= hard_stop || shared.stop_accepting.load(Ordering::SeqCst) {
+            let _ = write_frame(
+                stream,
+                &to_wire(&Response::Error {
+                    kind: WireErrorKind::Internal,
+                    message: "subscription deadline".into(),
+                }),
+                write_deadline(),
+            );
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(shared.cfg.poll_ms));
+        match shared.daemon.job_row(job) {
+            Some(r) => row = r,
+            None => return false,
+        }
+    }
+}
+
+/// Reads events with index >= `from` from a hierflow `events.json`
+/// (shape `{"events":[...]}`), returning each as its own JSON text.
+/// Missing or partially-written files read as empty — the next poll
+/// sees the completed write.
+fn read_events_from(path: &std::path::Path, from: u64) -> Vec<(u64, String)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(value) = serde_json::from_str::<serde::Value>(&text) else {
+        return Vec::new();
+    };
+    let Some(events) = value
+        .get("events")
+        .and_then(|e| e.as_array().map(|a| a.to_vec()))
+    else {
+        return Vec::new();
+    };
+    events
+        .iter()
+        .enumerate()
+        .skip(from as usize)
+        .map(|(i, ev)| (i as u64, serde_json::to_string(ev).unwrap_or_default()))
+        .collect()
+}

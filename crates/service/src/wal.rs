@@ -48,6 +48,22 @@ pub const WAL_FILE: &str = "jobs.wal";
 /// trip over float formatting.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WalRecord {
+    /// An idempotency-key reservation, written *before* the paired
+    /// `Submitted` record. Network clients retry submissions after a
+    /// lost acknowledgement; the `(tenant, key)` pair maps durably onto
+    /// one job id, so the retry returns the original job instead of
+    /// creating a duplicate. Writing the reservation first closes the
+    /// crash window: if the daemon dies between the two appends, the
+    /// retry finds the reservation and *completes* the submission under
+    /// the reserved id.
+    SubmitKey {
+        /// The reserved job id.
+        job: u64,
+        /// Submitting tenant (keys are scoped per tenant).
+        tenant: String,
+        /// The client's idempotency key.
+        key: String,
+    },
     /// A job was admitted. This is the durability point of `submit`.
     Submitted {
         /// Job id (monotonic, assigned by the daemon).
@@ -82,6 +98,11 @@ pub enum WalRecord {
         attempt: u32,
         /// Digest of the semantic report.
         report_digest: u64,
+        /// Wall-clock milliseconds the job consumed across all its
+        /// attempts — the quantity charged against the tenant's compute
+        /// budget (see [`crate::admission`]). Recording it in the WAL
+        /// makes budget accounting survive crash/restart.
+        wall_ms: u64,
     },
     /// The job failed terminally (non-resumable flow error).
     Failed {
@@ -98,7 +119,8 @@ impl WalRecord {
     /// The job this record belongs to.
     pub fn job(&self) -> u64 {
         match self {
-            WalRecord::Submitted { job, .. }
+            WalRecord::SubmitKey { job, .. }
+            | WalRecord::Submitted { job, .. }
             | WalRecord::Started { job, .. }
             | WalRecord::Interrupted { job, .. }
             | WalRecord::Completed { job, .. }
@@ -123,20 +145,52 @@ fn value_u64(v: &Value) -> Option<u64> {
     }
 }
 
+/// The active WAL segment plus the record count that drives rotation.
+#[derive(Debug)]
+struct ActiveSegment {
+    file: fs::File,
+    /// Lines in the active file (complete or torn — both occupy a line).
+    lines: usize,
+}
+
 /// The append side of the log.
+///
+/// With rotation enabled (`rotate_records > 0`) the active file is
+/// renamed to `<name>.<seq>` once it holds that many lines and a fresh
+/// active file is started, bounding any single file's size. Replay
+/// reads every segment in sequence order and then the active file; the
+/// daemon compacts terminal-state jobs out of the segments at startup
+/// (see [`crate::daemon`]), so the log's total size tracks the *open*
+/// job set, not service lifetime.
 #[derive(Debug)]
 pub struct Wal {
     path: PathBuf,
-    file: Mutex<fs::File>,
+    rotate_records: usize,
+    file: Mutex<ActiveSegment>,
 }
 
 impl Wal {
-    /// Opens (creating if missing) the log at `path` for appending.
+    /// Opens (creating if missing) the log at `path` for appending,
+    /// with rotation disabled.
     ///
     /// # Errors
     ///
     /// Returns [`ServiceError::Io`] when the file cannot be opened.
     pub fn open(path: &Path) -> Result<Self, ServiceError> {
+        Wal::open_with_rotation(path, 0)
+    }
+
+    /// Opens the log with segment rotation every `rotate_records`
+    /// appended lines (`0` disables rotation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError::Io`] when the file cannot be opened.
+    pub fn open_with_rotation(path: &Path, rotate_records: usize) -> Result<Self, ServiceError> {
+        let lines = match fs::read_to_string(path) {
+            Ok(text) => text.split('\n').filter(|l| !l.is_empty()).count(),
+            Err(_) => 0,
+        };
         let file = fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -144,13 +198,44 @@ impl Wal {
             .map_err(|e| ServiceError::io(path.display().to_string(), e.to_string()))?;
         Ok(Wal {
             path: path.to_path_buf(),
-            file: Mutex::new(file),
+            rotate_records,
+            file: Mutex::new(ActiveSegment { file, lines }),
         })
     }
 
     /// The log's path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Paths of rotated segments next to `path`, in ascending sequence
+    /// order. A segment is `<file-name>.<digits>` in the same
+    /// directory; anything else (tmp files, the active log itself) is
+    /// ignored.
+    pub fn segment_paths(path: &Path) -> Vec<PathBuf> {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return Vec::new();
+        };
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        let prefix = format!("{name}.");
+        let mut seqs: Vec<(u64, PathBuf)> = Vec::new();
+        if let Ok(entries) = fs::read_dir(dir) {
+            for entry in entries.flatten() {
+                let file_name = entry.file_name();
+                let Some(file_name) = file_name.to_str() else {
+                    continue;
+                };
+                if let Some(suffix) = file_name.strip_prefix(&prefix) {
+                    if !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit()) {
+                        if let Ok(seq) = suffix.parse::<u64>() {
+                            seqs.push((seq, entry.path()));
+                        }
+                    }
+                }
+            }
+        }
+        seqs.sort();
+        seqs.into_iter().map(|(_, p)| p).collect()
     }
 
     /// Durably appends one record: a single write of the framed line,
@@ -182,36 +267,81 @@ impl Wal {
     }
 
     fn write_line(&self, text: &str) -> Result<(), ServiceError> {
-        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
-        file.write_all(text.as_bytes())
-            .and_then(|()| file.sync_data())
-            .map_err(|e| ServiceError::wal(format!("{}: {e}", self.path.display())))
+        let mut seg = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        if self.rotate_records > 0 && seg.lines >= self.rotate_records {
+            self.rotate(&mut seg)?;
+        }
+        seg.file
+            .write_all(text.as_bytes())
+            .and_then(|()| seg.file.sync_data())
+            .map_err(|e| ServiceError::wal(format!("{}: {e}", self.path.display())))?;
+        seg.lines += 1;
+        Ok(())
     }
 
-    /// Replays the log at `path`. A missing file replays as empty (the
-    /// first daemon start). Corrupt lines are skipped and counted; a
-    /// partial final line without newline is flagged as a truncated
-    /// tail.
+    /// Renames the active file to the next free segment sequence and
+    /// starts a fresh active file. Called with the append lock held, so
+    /// no record can land between the rename and the reopen.
+    fn rotate(&self, seg: &mut ActiveSegment) -> Result<(), ServiceError> {
+        let next_seq = Wal::segment_paths(&self.path)
+            .last()
+            .and_then(|p| p.extension()?.to_str()?.parse::<u64>().ok())
+            .map_or(1, |seq| seq + 1);
+        let segment = self.path.with_file_name(format!(
+            "{}.{next_seq}",
+            self.path.file_name().and_then(|n| n.to_str()).unwrap_or("")
+        ));
+        fs::rename(&self.path, &segment)
+            .map_err(|e| ServiceError::io(self.path.display().to_string(), e.to_string()))?;
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| ServiceError::io(self.path.display().to_string(), e.to_string()))?;
+        seg.file = file;
+        seg.lines = 0;
+        telemetry::counter_add("wal.rotations", 1);
+        Ok(())
+    }
+
+    /// Replays the log at `path`: every rotated segment in sequence
+    /// order, then the active file. A missing file replays as empty
+    /// (the first daemon start). Corrupt lines are skipped and counted;
+    /// a partial final line without newline is flagged as a truncated
+    /// tail when it ends the *newest* file, and counted as corruption
+    /// when it ends an older segment (rotation only ever retires
+    /// complete files, so a torn segment tail is damage, not a crash
+    /// window).
     ///
     /// # Errors
     ///
-    /// Returns [`ServiceError::Io`] only when the file exists but
-    /// cannot be read at all.
+    /// Returns [`ServiceError::Io`] only when a file exists but cannot
+    /// be read at all.
     pub fn replay(path: &Path) -> Result<WalReplay, ServiceError> {
-        let text = match fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
-            Err(e) => return Err(ServiceError::io(path.display().to_string(), e.to_string())),
+        let mut files = Wal::segment_paths(path);
+        files.push(path.to_path_buf());
+        let mut replay = WalReplay {
+            segment_files: files.len() - 1,
+            ..WalReplay::default()
         };
-        let complete = text.ends_with('\n');
-        let lines: Vec<&str> = text.split('\n').filter(|l| !l.is_empty()).collect();
-        let mut replay = WalReplay::default();
-        for (i, line) in lines.iter().enumerate() {
-            let last = i + 1 == lines.len();
-            match decode_line(line) {
-                Some(rec) => replay.records.push(rec),
-                None if last && !complete => replay.truncated_tail = true,
-                None => replay.corrupt_lines += 1,
+        let last_file = files.len() - 1;
+        for (fi, file) in files.iter().enumerate() {
+            let text = match fs::read_to_string(file) {
+                Ok(text) => text,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => return Err(ServiceError::io(file.display().to_string(), e.to_string())),
+            };
+            let complete = text.ends_with('\n');
+            let lines: Vec<&str> = text.split('\n').filter(|l| !l.is_empty()).collect();
+            for (i, line) in lines.iter().enumerate() {
+                let last_line = i + 1 == lines.len();
+                match decode_line(line) {
+                    Some(rec) => replay.records.push(rec),
+                    None if last_line && !complete && fi == last_file => {
+                        replay.truncated_tail = true;
+                    }
+                    None => replay.corrupt_lines += 1,
+                }
             }
         }
         Ok(replay)
@@ -238,8 +368,11 @@ pub struct WalReplay {
     pub records: Vec<WalRecord>,
     /// Mid-file lines dropped for CRC or parse failure.
     pub corrupt_lines: usize,
-    /// Whether the file ended in a partial line (crash mid-append).
+    /// Whether the newest file ended in a partial line (crash
+    /// mid-append).
     pub truncated_tail: bool,
+    /// Rotated segment files read before the active log.
+    pub segment_files: usize,
 }
 
 impl WalReplay {
@@ -296,12 +429,17 @@ pub struct JobEntry {
     pub phase: JobPhase,
     /// Attempts started so far (for retry budgets after recovery).
     pub attempts: u32,
+    /// Wall-clock milliseconds charged on completion (0 until then).
+    pub wall_ms: u64,
 }
 
 /// The in-memory fold of the WAL: every known job and its phase.
 #[derive(Debug, Default, Clone)]
 pub struct Ledger {
     jobs: BTreeMap<u64, JobEntry>,
+    /// Idempotency reservations: `(tenant, client key) → job id`.
+    /// First reservation wins; duplicates re-assert it.
+    keys: BTreeMap<(String, String), u64>,
     /// Records that referenced a job with no surviving `Submitted`
     /// record (their line was corrupted away). Counted for diagnostics.
     pub orphaned_records: usize,
@@ -324,12 +462,19 @@ impl Ledger {
     /// the daemon uses this to keep its in-memory ledger in lockstep
     /// with the records it appends.
     pub fn apply(&mut self, rec: &WalRecord) {
+        if let WalRecord::SubmitKey { job, tenant, key } = rec {
+            self.keys
+                .entry((tenant.clone(), key.clone()))
+                .or_insert(*job);
+            return;
+        }
         if let WalRecord::Submitted { job, spec } = rec {
             self.jobs.entry(*job).or_insert_with(|| JobEntry {
                 id: *job,
                 spec: spec.clone(),
                 phase: JobPhase::Queued,
                 attempts: 0,
+                wall_ms: 0,
             });
             return;
         }
@@ -341,7 +486,9 @@ impl Ledger {
             return;
         }
         match rec {
-            WalRecord::Submitted { .. } => unreachable!("handled above"),
+            WalRecord::SubmitKey { .. } | WalRecord::Submitted { .. } => {
+                unreachable!("handled above")
+            }
             WalRecord::Started { attempt, .. } => {
                 entry.phase = JobPhase::Running { attempt: *attempt };
                 entry.attempts = entry.attempts.max(attempt + 1);
@@ -350,10 +497,15 @@ impl Ledger {
                 entry.phase = JobPhase::Interrupted { attempt: *attempt };
                 entry.attempts = entry.attempts.max(attempt + 1);
             }
-            WalRecord::Completed { report_digest, .. } => {
+            WalRecord::Completed {
+                report_digest,
+                wall_ms,
+                ..
+            } => {
                 entry.phase = JobPhase::Completed {
                     report_digest: *report_digest,
                 };
+                entry.wall_ms = *wall_ms;
             }
             WalRecord::Failed { error, .. } => {
                 entry.phase = JobPhase::Failed {
@@ -373,9 +525,95 @@ impl Ledger {
         self.jobs.get(&id)
     }
 
-    /// The next unused job id.
+    /// The next unused job id. Idempotency reservations count even
+    /// when their `Submitted` record never landed (the crash window a
+    /// keyed retry later completes): a reserved id is never reissued.
     pub fn next_id(&self) -> u64 {
-        self.jobs.keys().next_back().map_or(1, |last| last + 1)
+        let last_job = self.jobs.keys().next_back().copied().unwrap_or(0);
+        let last_reserved = self.keys.values().max().copied().unwrap_or(0);
+        last_job.max(last_reserved) + 1
+    }
+
+    /// The job id reserved for `(tenant, key)`, if any.
+    pub fn lookup_key(&self, tenant: &str, key: &str) -> Option<u64> {
+        self.keys
+            .get(&(tenant.to_string(), key.to_string()))
+            .copied()
+    }
+
+    /// The client key reserved for `job`, if any (reverse lookup; used
+    /// by compaction to preserve reservations).
+    pub fn key_for_job(&self, job: u64) -> Option<(&str, &str)> {
+        self.keys
+            .iter()
+            .find(|(_, id)| **id == job)
+            .map(|((tenant, key), _)| (tenant.as_str(), key.as_str()))
+    }
+
+    /// Total wall-clock milliseconds charged to `tenant` by completed
+    /// jobs — the quantity the admission budget gates on.
+    pub fn spent_ms_for_tenant(&self, tenant: &str) -> u64 {
+        self.jobs
+            .values()
+            .filter(|e| e.spec.tenant == tenant)
+            .map(|e| e.wall_ms)
+            .sum()
+    }
+
+    /// Synthesises the minimal record sequence that folds back into
+    /// this ledger: per job (id order) the key reservation, the
+    /// `Submitted` record, and one state record — the terminal record
+    /// for finished jobs, an `Interrupted` marker preserving the
+    /// attempt count for open ones. This is the compaction image the
+    /// daemon rewrites segments down to at startup.
+    pub fn compaction_records(&self) -> Vec<WalRecord> {
+        let mut records = Vec::new();
+        for entry in self.jobs.values() {
+            if let Some((tenant, key)) = self.key_for_job(entry.id) {
+                records.push(WalRecord::SubmitKey {
+                    job: entry.id,
+                    tenant: tenant.to_string(),
+                    key: key.to_string(),
+                });
+            }
+            records.push(WalRecord::Submitted {
+                job: entry.id,
+                spec: entry.spec.clone(),
+            });
+            let attempt = entry.attempts.saturating_sub(1);
+            match &entry.phase {
+                JobPhase::Completed { report_digest } => records.push(WalRecord::Completed {
+                    job: entry.id,
+                    attempt,
+                    report_digest: *report_digest,
+                    wall_ms: entry.wall_ms,
+                }),
+                JobPhase::Failed { error } => records.push(WalRecord::Failed {
+                    job: entry.id,
+                    attempt,
+                    error: error.clone(),
+                }),
+                _ if entry.attempts > 0 => records.push(WalRecord::Interrupted {
+                    job: entry.id,
+                    attempt,
+                    reason: "compaction marker".into(),
+                }),
+                _ => {}
+            }
+        }
+        // Reservations whose `Submitted` never landed (crash between
+        // the two appends) must survive compaction: a keyed retry
+        // completes them under the reserved id.
+        for ((tenant, key), job) in &self.keys {
+            if !self.jobs.contains_key(job) {
+                records.push(WalRecord::SubmitKey {
+                    job: *job,
+                    tenant: tenant.clone(),
+                    key: key.clone(),
+                });
+            }
+        }
+        records
     }
 
     /// Ids of jobs that still need work (non-terminal), in id order —
@@ -403,6 +641,50 @@ impl Ledger {
     }
 }
 
+/// Compacts the log at `path` down to `ledger`'s minimal record image:
+/// writes the image to a temporary file (fsync'd), atomically renames
+/// it over the active log, then deletes the rotated segments. Returns
+/// the number of segment files removed.
+///
+/// Crash-safe at every step because the ledger fold is idempotent and
+/// terminal-sticky: a crash before the rename leaves the old files
+/// untouched (the tmp name never parses as a segment); a crash after
+/// the rename but before the deletes replays segments *and* the
+/// compacted image — duplicates are absorbed.
+///
+/// # Errors
+///
+/// Returns [`ServiceError`] when the image cannot be written or
+/// renamed; segment deletion failures are swallowed (they only delay
+/// the next compaction).
+pub fn compact(path: &Path, ledger: &Ledger) -> Result<usize, ServiceError> {
+    let mut image = String::new();
+    for rec in ledger.compaction_records() {
+        image.push_str(&frame(&rec)?);
+        image.push('\n');
+    }
+    let tmp = path.with_file_name(format!(
+        "{}.compact-tmp",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("wal")
+    ));
+    let io_err = |e: std::io::Error| ServiceError::io(tmp.display().to_string(), e.to_string());
+    {
+        let mut file = fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(image.as_bytes()).map_err(io_err)?;
+        file.sync_data().map_err(io_err)?;
+    }
+    fs::rename(&tmp, path)
+        .map_err(|e| ServiceError::io(path.display().to_string(), e.to_string()))?;
+    let mut removed = 0;
+    for segment in Wal::segment_paths(path) {
+        if fs::remove_file(&segment).is_ok() {
+            removed += 1;
+        }
+    }
+    telemetry::counter_add("wal.compactions", 1);
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,9 +699,17 @@ mod tests {
             job: 3,
             attempt: 1,
             report_digest: u64::MAX - 5,
+            wall_ms: 1234,
         };
         let line = frame(&rec).unwrap();
         assert_eq!(decode_line(&line), Some(rec));
+        let key = WalRecord::SubmitKey {
+            job: 9,
+            tenant: "acme".into(),
+            key: "retry-0".into(),
+        };
+        let line = frame(&key).unwrap();
+        assert_eq!(decode_line(&line), Some(key));
     }
 
     #[test]
@@ -453,6 +743,7 @@ mod tests {
                 job: 1,
                 attempt: 1,
                 report_digest: 42,
+                wall_ms: 10,
             },
             // Late duplicates must not resurrect the job.
             WalRecord::Started { job: 1, attempt: 2 },
@@ -460,6 +751,7 @@ mod tests {
                 job: 1,
                 attempt: 2,
                 report_digest: 43,
+                wall_ms: 99,
             },
         ];
         let ledger = Ledger::from_records(&records);
@@ -479,5 +771,135 @@ mod tests {
         let ledger = Ledger::from_records(&[WalRecord::Started { job: 9, attempt: 0 }]);
         assert_eq!(ledger.orphaned_records, 1);
         assert!(ledger.open_jobs().is_empty());
+    }
+
+    #[test]
+    fn submit_keys_reserve_ids_and_survive_lost_submitted() {
+        let ledger = Ledger::from_records(&[
+            WalRecord::SubmitKey {
+                job: 1,
+                tenant: "a".into(),
+                key: "k1".into(),
+            },
+            WalRecord::Submitted {
+                job: 1,
+                spec: spec("a"),
+            },
+            // Crash window: reservation with no Submitted record.
+            WalRecord::SubmitKey {
+                job: 2,
+                tenant: "a".into(),
+                key: "k2".into(),
+            },
+        ]);
+        assert_eq!(ledger.lookup_key("a", "k1"), Some(1));
+        assert_eq!(ledger.lookup_key("a", "k2"), Some(2));
+        assert_eq!(ledger.lookup_key("b", "k1"), None, "keys are per tenant");
+        assert_eq!(ledger.next_id(), 3, "reserved ids are never reissued");
+        assert_eq!(ledger.key_for_job(1), Some(("a", "k1")));
+    }
+
+    #[test]
+    fn duplicate_submit_key_first_reservation_wins() {
+        let ledger = Ledger::from_records(&[
+            WalRecord::SubmitKey {
+                job: 1,
+                tenant: "a".into(),
+                key: "k".into(),
+            },
+            WalRecord::SubmitKey {
+                job: 5,
+                tenant: "a".into(),
+                key: "k".into(),
+            },
+        ]);
+        assert_eq!(ledger.lookup_key("a", "k"), Some(1));
+    }
+
+    #[test]
+    fn completed_wall_ms_charges_the_tenant_budget() {
+        let ledger = Ledger::from_records(&[
+            WalRecord::Submitted {
+                job: 1,
+                spec: spec("a"),
+            },
+            WalRecord::Submitted {
+                job: 2,
+                spec: spec("a"),
+            },
+            WalRecord::Submitted {
+                job: 3,
+                spec: spec("b"),
+            },
+            WalRecord::Completed {
+                job: 1,
+                attempt: 0,
+                report_digest: 1,
+                wall_ms: 150,
+            },
+            WalRecord::Completed {
+                job: 3,
+                attempt: 0,
+                report_digest: 2,
+                wall_ms: 70,
+            },
+        ]);
+        assert_eq!(ledger.spent_ms_for_tenant("a"), 150, "open jobs free");
+        assert_eq!(ledger.spent_ms_for_tenant("b"), 70);
+        assert_eq!(ledger.spent_ms_for_tenant("c"), 0);
+    }
+
+    #[test]
+    fn compaction_records_fold_back_to_the_same_ledger() {
+        let records = vec![
+            WalRecord::SubmitKey {
+                job: 1,
+                tenant: "a".into(),
+                key: "k1".into(),
+            },
+            WalRecord::Submitted {
+                job: 1,
+                spec: spec("a"),
+            },
+            WalRecord::Started { job: 1, attempt: 0 },
+            WalRecord::Completed {
+                job: 1,
+                attempt: 0,
+                report_digest: 77,
+                wall_ms: 41,
+            },
+            WalRecord::Submitted {
+                job: 2,
+                spec: spec("b"),
+            },
+            WalRecord::Started { job: 2, attempt: 0 },
+            WalRecord::Interrupted {
+                job: 2,
+                attempt: 0,
+                reason: "chaos".into(),
+            },
+            WalRecord::Started { job: 2, attempt: 1 },
+            // Orphaned reservation from a crash window.
+            WalRecord::SubmitKey {
+                job: 3,
+                tenant: "c".into(),
+                key: "k3".into(),
+            },
+        ];
+        let ledger = Ledger::from_records(&records);
+        let compacted = Ledger::from_records(&ledger.compaction_records());
+        assert_eq!(
+            compacted.get(1).unwrap().phase,
+            JobPhase::Completed { report_digest: 77 }
+        );
+        assert_eq!(compacted.get(1).unwrap().wall_ms, 41);
+        assert_eq!(compacted.lookup_key("a", "k1"), Some(1));
+        assert_eq!(compacted.lookup_key("c", "k3"), Some(3));
+        let open = compacted.get(2).unwrap();
+        assert_eq!(open.attempts, 2, "attempt count survives compaction");
+        assert!(!open.phase.terminal());
+        assert_eq!(compacted.open_jobs(), vec![2]);
+        assert_eq!(compacted.next_id(), 4);
+        assert_eq!(compacted.spent_ms_for_tenant("a"), 41);
     }
 }

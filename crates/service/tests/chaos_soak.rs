@@ -51,7 +51,7 @@ fn submit_pairs(daemon: &Daemon, pairs: usize) -> Vec<(u64, usize)> {
             let spec = JobSpec::nano(tenant).with_seed_offset(p as u64);
             match daemon.submit(&spec).unwrap() {
                 Submission::Accepted(id) => out.push((id, p)),
-                Submission::Rejected(rej) => panic!("soak fleet rejected: {rej:?}"),
+                other => panic!("soak fleet not accepted: {other:?}"),
             }
         }
     }

@@ -17,7 +17,7 @@ fn scratch(tag: &str) -> PathBuf {
 fn accept(daemon: &Daemon, spec: &JobSpec) -> u64 {
     match daemon.submit(spec).unwrap() {
         Submission::Accepted(id) => id,
-        Submission::Rejected(rej) => panic!("unexpected rejection: {rej:?}"),
+        other => panic!("unexpected submission outcome: {other:?}"),
     }
 }
 
@@ -60,6 +60,7 @@ fn backpressure_rejects_with_structured_retry_after() {
         max_open: 2,
         max_open_per_tenant: 2,
         retry_after_ms: 750,
+        ..AdmissionConfig::default()
     };
     let daemon = Daemon::open(cfg).unwrap();
     accept(&daemon, &JobSpec::nano("a"));

@@ -1,0 +1,118 @@
+//! File-drop intake robustness, exercised through the real binary with
+//! `--once` and no runnable jobs — cheap, no flow ever starts.
+//!
+//! The bug this pins down: an unparseable spec in `incoming/` used to
+//! be left in place, so every poll cycle re-read it, failed again, and
+//! the intake loop ground on it forever. Now it is *quarantined* —
+//! moved to `incoming/rejected/` with a machine-readable reason file —
+//! and counted in `status.json`.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+use service::JobSpec;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("svc-ingest-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn run_once(data: &PathBuf, extra: &[&str]) {
+    let output = Command::new(env!("CARGO_BIN_EXE_hiersizerd"))
+        .args(["--data-dir"])
+        .arg(data)
+        .args(["--once", "--workers", "1"])
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run hiersizerd --once");
+    assert!(
+        output.status.success(),
+        "hiersizerd failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn unparseable_specs_are_quarantined_not_retried_forever() {
+    let data = scratch("quarantine");
+    let incoming = data.join("incoming");
+    fs::create_dir_all(&incoming).unwrap();
+    // Two poison files: invalid JSON (a torn half-write) and valid JSON
+    // that is not a JobSpec. Plus a non-.json bystander that intake
+    // must simply ignore.
+    fs::write(incoming.join("torn.json"), "{\"tenant\": \"half-writ").unwrap();
+    fs::write(incoming.join("wrong.json"), "{\"not\": \"a spec\"}").unwrap();
+    fs::write(incoming.join("notes.txt"), "not a spec, not json").unwrap();
+
+    // The run must terminate (--once drains and exits) — with the old
+    // behaviour it would exit claiming idle but leave the poison in
+    // place for the next cycle to choke on again.
+    run_once(&data, &[]);
+
+    // Both poison files moved out of the intake glob, each with a
+    // structured reason beside it.
+    assert!(!incoming.join("torn.json").exists());
+    assert!(!incoming.join("wrong.json").exists());
+    let rejected = incoming.join("rejected");
+    assert!(rejected.join("torn.json").exists());
+    assert!(rejected.join("wrong.json").exists());
+    let reason = fs::read_to_string(rejected.join("torn.json.reason.json")).unwrap();
+    assert!(reason.contains("invalid spec"), "{reason}");
+    assert!(fs::read_to_string(rejected.join("wrong.json.reason.json"))
+        .unwrap()
+        .contains("invalid spec"));
+    // The bystander is untouched.
+    assert!(incoming.join("notes.txt").exists());
+
+    // The quarantine is visible in status.json.
+    let status = fs::read_to_string(data.join("status.json")).unwrap();
+    let parsed: serde::Value = serde_json::from_str(&status).unwrap();
+    assert_eq!(parsed["quarantined"].as_f64(), Some(2.0), "{status}");
+
+    // A second run with the same data dir finds a clean intake — the
+    // poison does not come back.
+    run_once(&data, &[]);
+    let status = fs::read_to_string(data.join("status.json")).unwrap();
+    let parsed: serde::Value = serde_json::from_str(&status).unwrap();
+    assert_eq!(
+        parsed["quarantined"].as_f64(),
+        Some(0.0),
+        "a fresh process starts with a clean quarantine count: {status}"
+    );
+    let _ = fs::remove_dir_all(&data);
+}
+
+#[test]
+fn rejected_submissions_leave_a_structured_receipt_and_exit() {
+    let data = scratch("reject");
+    let incoming = data.join("incoming");
+    fs::create_dir_all(&incoming).unwrap();
+    let spec = JobSpec::nano("overflow");
+    fs::write(
+        incoming.join("job.json"),
+        serde_json::to_string_pretty(&spec).unwrap(),
+    )
+    .unwrap();
+
+    // --max-open 0: everything is backpressured. The spec is removed,
+    // a .rejected.json receipt holds the structured rejection, and the
+    // daemon still exits idle instead of spinning on the file.
+    run_once(&data, &["--max-open", "0"]);
+
+    assert!(!incoming.join("job.json").exists());
+    let receipt = fs::read_to_string(incoming.join("job.rejected.json")).unwrap();
+    assert!(receipt.contains("QueueFull"), "{receipt}");
+    assert!(receipt.contains("retry_after_ms"), "{receipt}");
+
+    // The receipt itself must not be re-ingested as a spec (it is
+    // valid JSON but carries the .rejected.json suffix the intake glob
+    // skips) — a second run stays clean and quarantines nothing.
+    run_once(&data, &["--max-open", "0"]);
+    assert!(incoming.join("job.rejected.json").exists());
+    assert!(!incoming.join("rejected").join("job.rejected.json").exists());
+    let _ = fs::remove_dir_all(&data);
+}

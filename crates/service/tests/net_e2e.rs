@@ -1,0 +1,211 @@
+//! The network acceptance end-to-end: SIGKILL a real `hiersizerd
+//! --listen` process mid-job after a TCP submit, restart it, resubmit
+//! the *same idempotency key* with the real `hiersizer-cli` binary —
+//! the key resolves to the original job id, the job resumes to
+//! completion, and its `report_semantic.json` is byte-identical to an
+//! uninterrupted file-drop run of the same spec. One scenario, the
+//! whole robustness story: wire ingestion, WAL-backed idempotency
+//! across process death, checkpoint resume, graceful drain over RPC,
+//! and the file-drop/TCP differential pair.
+
+use std::fs;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use service::net::client::{self, ClientConfig};
+use service::{JobPhase, JobSpec};
+
+/// Kills the child on drop so a failing assertion never leaks a daemon.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_listening(data: &Path) -> Reaper {
+    let child = Command::new(env!("CARGO_BIN_EXE_hiersizerd"))
+        .args(["--data-dir"])
+        .arg(data)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--workers",
+            "1",
+            "--poll-ms",
+            "50",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn hiersizerd --listen");
+    Reaper(child)
+}
+
+fn wait_for<F: FnMut() -> bool>(what: &str, timeout: Duration, mut ready: F) {
+    let start = Instant::now();
+    while !ready() {
+        assert!(
+            start.elapsed() < timeout,
+            "timed out after {timeout:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Reads the daemon's advertised address once it appears.
+fn read_addr(data: &Path, daemon: &mut Reaper) -> String {
+    let path = data.join("net_addr");
+    wait_for("net_addr", Duration::from_secs(60), || {
+        if let Ok(Some(status)) = daemon.0.try_wait() {
+            panic!("daemon exited before binding: {status}");
+        }
+        path.exists()
+    });
+    fs::read_to_string(&path).expect("net_addr readable")
+}
+
+#[test]
+fn sigkill_during_tcp_submit_resumes_under_the_same_key() {
+    let data = std::env::temp_dir().join(format!("svc-netkill-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&data);
+    fs::create_dir_all(&data).unwrap();
+    let spec = JobSpec::nano("e2e").with_seed_offset(7);
+    let key = "e2e-key";
+    let cfg = ClientConfig::default();
+
+    // Phase 1: TCP-submit to a live daemon, let it work past the
+    // stage-2 checkpoint (the first checkpoint representing computed
+    // work under the seeded Nano preset), then SIGKILL — no teardown,
+    // no flushes, the ACK for our submit long since delivered.
+    let job_run = data.join("jobs").join("1").join("run");
+    let stage2 = job_run.join("stage2_characterized.json");
+    {
+        let mut daemon = spawn_listening(&data);
+        let addr = read_addr(&data, &mut daemon);
+        let outcome = client::submit_with_retry(&addr, &spec, key, &cfg).unwrap();
+        assert_eq!(outcome.job, 1, "first job on a fresh daemon");
+        wait_for("stage-2 checkpoint", Duration::from_secs(600), || {
+            if let Ok(Some(status)) = daemon.0.try_wait() {
+                panic!("daemon exited before the kill: {status}");
+            }
+            stage2.exists()
+        });
+        daemon.0.kill().expect("SIGKILL the daemon");
+        let _ = daemon.0.wait();
+    }
+    let report_path = data.join("jobs").join("1").join("report_semantic.json");
+    assert!(
+        !report_path.exists(),
+        "kill must land before completion for the test to mean anything"
+    );
+
+    // Phase 2: restart. Recovery resumes job 1 from its checkpoints;
+    // meanwhile the *CLI binary* retries the same key and must be told
+    // "that's job 1, already submitted" — the WAL reservation crossed
+    // the process boundary.
+    let _ = fs::remove_file(data.join("net_addr")); // force a fresh advert
+    {
+        let mut daemon = spawn_listening(&data);
+        let addr = read_addr(&data, &mut daemon);
+        let output = Command::new(env!("CARGO_BIN_EXE_hiersizer-cli"))
+            .args(["submit", "--addr", &addr, "--tenant", "e2e"])
+            .args(["--seed-offset", "7", "--key", key])
+            .output()
+            .expect("run hiersizer-cli");
+        assert!(
+            output.status.success(),
+            "cli submit failed: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains("\"job\": 1") && stdout.contains("\"deduped\": true"),
+            "resubmitted key must dedupe to job 1, got: {stdout}"
+        );
+
+        // The resumed job completes; confirm over the wire, then drain
+        // over the wire and watch the process exit cleanly. The report
+        // file lands just *before* the Completed WAL fold, so poll the
+        // status RPC for the terminal phase rather than racing it.
+        wait_for("resumed completion", Duration::from_secs(600), || {
+            if let Ok(Some(status)) = daemon.0.try_wait() {
+                panic!("daemon exited before finishing: {status}");
+            }
+            match client::status(&addr, 1, &cfg) {
+                Ok(row) => match row.phase {
+                    JobPhase::Completed { .. } => true,
+                    JobPhase::Failed { .. } => {
+                        panic!("resumed job failed instead of completing: {:?}", row.phase)
+                    }
+                    _ => false,
+                },
+                Err(_) => false,
+            }
+        });
+        assert!(report_path.exists(), "completed job must have its report");
+        client::drain(&addr, &cfg).unwrap();
+        let status = daemon.0.wait().expect("daemon exits after drain");
+        assert!(status.success(), "drained daemon exited with {status}");
+    }
+    let resumed = fs::read_to_string(&report_path).unwrap();
+
+    // Reference: the same spec dropped as a file into a fresh daemon's
+    // incoming/ and run without interruption — the other ingestion
+    // path, never touched by TCP or SIGKILL.
+    let ref_dir = std::env::temp_dir().join(format!("svc-netkill-ref-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&ref_dir);
+    let incoming = ref_dir.join("incoming");
+    fs::create_dir_all(&incoming).unwrap();
+    fs::write(
+        incoming.join("job.json"),
+        serde_json::to_string_pretty(&spec).unwrap(),
+    )
+    .unwrap();
+    {
+        let mut reference = Reaper(
+            Command::new(env!("CARGO_BIN_EXE_hiersizerd"))
+                .args(["--data-dir"])
+                .arg(&ref_dir)
+                .args(["--once", "--workers", "1"])
+                .stdout(Stdio::null())
+                .stderr(Stdio::null())
+                .spawn()
+                .expect("spawn reference hiersizerd"),
+        );
+        let status = reference.0.wait().expect("reference runs to completion");
+        assert!(status.success(), "reference daemon exited with {status}");
+    }
+    let clean =
+        fs::read_to_string(ref_dir.join("jobs").join("1").join("report_semantic.json")).unwrap();
+
+    // The headline assertion: byte identity across ingestion paths and
+    // across a SIGKILL.
+    assert_eq!(
+        resumed, clean,
+        "TCP-submitted, killed-and-resumed report diverged from the file-drop run"
+    );
+    // And the structured view agrees: zero divergences, not merely
+    // equal strings (this is what CI prints when the bytes ever drift).
+    let left: serde::Value = serde_json::from_str(&resumed).unwrap();
+    let right: serde::Value = serde_json::from_str(&clean).unwrap();
+    let diff =
+        conformance::compare_semantic_values("tcp-vs-filedrop", "tcp", "filedrop", &left, &right);
+    assert!(diff.identical(), "{}", diff.summary());
+
+    // WAL accountability: one job, keyed, terminal.
+    let replay = service::Wal::replay(&data.join("jobs.wal")).unwrap();
+    let ledger = replay.ledger();
+    assert_eq!(ledger.jobs().count(), 1, "the retry never double-enqueued");
+    assert_eq!(ledger.key_for_job(1), Some(("e2e", key)));
+    assert!(
+        ledger.open_jobs().is_empty(),
+        "job 1 reached terminal state"
+    );
+
+    let _ = fs::remove_dir_all(&data);
+    let _ = fs::remove_dir_all(&ref_dir);
+}

@@ -1,0 +1,440 @@
+//! Server-side wire behaviour, kept cheap: most tests never run a
+//! flow — they exercise framing, quotas, idempotency, and drain
+//! against a daemon whose queue is simply never drained. The one test
+//! that does run a job (`completed_job_serves_status_watch_and_budget`)
+//! runs a single Nano flow and amortises it across status, subscribe,
+//! dedupe-after-terminal, and budget assertions.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use service::net::client::{self, ClientConfig};
+use service::net::frame::{read_frame, write_frame};
+use service::net::proto::{from_wire, to_wire};
+use service::net::{
+    encode_frame, NetConfig, NetServer, Request, Response, WireErrorKind, PROTOCOL_VERSION,
+};
+use service::{Daemon, DaemonConfig, JobPhase, JobSpec, RejectReason};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("svc-net-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(
+    tag: &str,
+    cfg: DaemonConfig,
+    net: NetConfig,
+) -> (Arc<Daemon>, NetServer, String, PathBuf) {
+    let dir = cfg.data_dir.clone();
+    let _ = tag;
+    let daemon = Arc::new(Daemon::open(cfg).unwrap());
+    let server = NetServer::start(Arc::clone(&daemon), net).unwrap();
+    let addr = server.local_addr().to_string();
+    (daemon, server, addr, dir)
+}
+
+fn quick_client() -> ClientConfig {
+    ClientConfig {
+        io_timeout_ms: 2_000,
+        retries: 2,
+        max_retry_after_ms: 50,
+        ..ClientConfig::default()
+    }
+}
+
+/// Sends one raw frame and reads one response on a dedicated stream.
+fn raw_roundtrip(addr: &str, frame: &[u8]) -> Result<Response, service::net::FrameError> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    std::io::Write::write_all(&mut stream, frame).unwrap();
+    let payload = read_frame(&mut stream, 1 << 20, deadline)?;
+    Ok(from_wire::<Response>(&payload).unwrap())
+}
+
+#[test]
+fn ping_reports_version_and_drain_flag() {
+    let (daemon, server, addr, dir) = start(
+        "ping",
+        DaemonConfig::new(scratch("ping")),
+        NetConfig::default(),
+    );
+    let (version, draining) = client::ping(&addr, &quick_client()).unwrap();
+    assert_eq!(version, PROTOCOL_VERSION);
+    assert!(!draining);
+    assert_eq!(server.requests_served(), 1);
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keyed_submit_dedupes_live_and_across_restart() {
+    let dir = scratch("dedupe");
+    let (daemon, server, addr, _) = start("dedupe", DaemonConfig::new(&dir), NetConfig::default());
+    let spec = JobSpec::nano("acme");
+    let cfg = quick_client();
+    let first = client::submit_with_retry(&addr, &spec, "job-key-7", &cfg).unwrap();
+    assert!(!first.deduped);
+    // Same key, same live daemon → the original id, no new enqueue.
+    let again = client::submit_with_retry(&addr, &spec, "job-key-7", &cfg).unwrap();
+    assert_eq!(again.job, first.job);
+    assert!(again.deduped);
+    // A different key is a different job.
+    let other = client::submit_with_retry(&addr, &spec, "job-key-8", &cfg).unwrap();
+    assert_ne!(other.job, first.job);
+    assert_eq!(daemon.status().queued, 2);
+
+    // Restart the daemon on the same data dir: the key reservation is
+    // in the WAL, so the dedupe survives the process boundary.
+    server.shutdown(Duration::from_millis(500));
+    drop(daemon);
+    let (daemon2, server2, addr2, _) =
+        start("dedupe2", DaemonConfig::new(&dir), NetConfig::default());
+    let after = client::submit_with_retry(&addr2, &spec, "job-key-7", &cfg).unwrap();
+    assert_eq!(after.job, first.job, "key must survive restart");
+    assert!(after.deduped);
+    assert_eq!(daemon2.status().queued, 2, "no duplicate enqueue");
+    server2.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_job_status_is_a_structured_error() {
+    let (daemon, server, addr, dir) = start(
+        "unknown",
+        DaemonConfig::new(scratch("unknown")),
+        NetConfig::default(),
+    );
+    let err = client::status(&addr, 999, &quick_client()).unwrap_err();
+    match err {
+        client::ClientError::Protocol(msg) => {
+            assert!(msg.contains("UnknownJob"), "{msg}");
+        }
+        other => panic!("expected Protocol error, got {other:?}"),
+    }
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_frame_is_refused_from_its_header() {
+    let (daemon, server, addr, dir) = start(
+        "oversize",
+        DaemonConfig::new(scratch("oversize")),
+        NetConfig {
+            max_frame: 64,
+            ..NetConfig::default()
+        },
+    );
+    // Declare a 1 MiB payload; send only the header. The server must
+    // answer from the length field alone, without waiting for payload.
+    let header = format!("{:08x} {:016x} ", 1 << 20, 0u64);
+    let resp = raw_roundtrip(&addr, header.as_bytes()).unwrap();
+    let Response::Error { kind, message } = resp else {
+        panic!("expected Error, got {resp:?}");
+    };
+    assert_eq!(kind, WireErrorKind::BadFrame);
+    assert!(message.contains("exceeds limit"), "{message}");
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_crc_is_rejected_with_provenance_then_closed() {
+    let (daemon, server, addr, dir) = start(
+        "crc",
+        DaemonConfig::new(scratch("crc")),
+        NetConfig::default(),
+    );
+    let mut frame = encode_frame(&to_wire(&Request::Ping));
+    let last = frame.len() - 2; // a payload byte, not the terminator
+    frame[last] ^= 0x01;
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    std::io::Write::write_all(&mut stream, &frame).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let payload = read_frame(&mut stream, 1 << 20, deadline).unwrap();
+    let Response::Error { kind, message } = from_wire::<Response>(&payload).unwrap() else {
+        panic!("expected Error response");
+    };
+    assert_eq!(kind, WireErrorKind::BadFrame);
+    assert!(message.contains("CRC mismatch"), "{message}");
+    // The stream is unsynchronised after a frame fault: server closes.
+    let mut rest = Vec::new();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0, "must close");
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn junk_json_keeps_the_connection_usable() {
+    let (daemon, server, addr, dir) = start(
+        "junk",
+        DaemonConfig::new(scratch("junk")),
+        NetConfig::default(),
+    );
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let deadline = || Instant::now() + Duration::from_secs(2);
+    // A well-framed payload that is not a Request: answered BadRequest,
+    // connection stays open (the stream is still synchronised).
+    write_frame(&mut stream, b"{\"Nope\": true}", deadline()).unwrap();
+    let payload = read_frame(&mut stream, 1 << 20, deadline()).unwrap();
+    let Response::Error { kind, .. } = from_wire::<Response>(&payload).unwrap() else {
+        panic!("expected Error response");
+    };
+    assert_eq!(kind, WireErrorKind::BadRequest);
+    // Same connection, valid request → normal service.
+    write_frame(&mut stream, &to_wire(&Request::Ping), deadline()).unwrap();
+    let payload = read_frame(&mut stream, 1 << 20, deadline()).unwrap();
+    assert!(matches!(
+        from_wire::<Response>(&payload).unwrap(),
+        Response::Pong { .. }
+    ));
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn idle_connection_is_closed_on_schedule() {
+    let (daemon, server, addr, dir) = start(
+        "idle",
+        DaemonConfig::new(scratch("idle")),
+        NetConfig {
+            idle_timeout_ms: 150,
+            ..NetConfig::default()
+        },
+    );
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let started = Instant::now();
+    let mut buf = Vec::new();
+    // Say nothing: the server must hang up, not hold the thread.
+    let n = stream.read_to_end(&mut buf).unwrap();
+    assert_eq!(n, 0, "idle close sends nothing");
+    assert!(
+        started.elapsed() < Duration::from_secs(4),
+        "connection closed by the idle deadline, not our read timeout"
+    );
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn global_conn_limit_refuses_with_structured_rejection() {
+    let (daemon, server, addr, dir) = start(
+        "connlimit",
+        DaemonConfig::new(scratch("connlimit")),
+        NetConfig {
+            max_conns: 1,
+            idle_timeout_ms: 5_000,
+            ..NetConfig::default()
+        },
+    );
+    // Occupy the only slot with a silent connection.
+    let _holder = TcpStream::connect(&addr).unwrap();
+    // Give the accept loop a tick to hand it to a handler thread.
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while server.active_connections() < 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(server.active_connections(), 1);
+    // The next connection is refused with the admission vocabulary.
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    let payload = read_frame(
+        &mut stream,
+        1 << 20,
+        Instant::now() + Duration::from_secs(2),
+    )
+    .unwrap();
+    let Response::Rejected { rejection } = from_wire::<Response>(&payload).unwrap() else {
+        panic!("expected Rejected");
+    };
+    assert_eq!(rejection.reason, RejectReason::ConnLimit);
+    assert!(rejection.retry_after_ms > 0);
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tenant_conn_quota_binds_at_first_submit() {
+    let (daemon, server, addr, dir) = start(
+        "tenantconn",
+        DaemonConfig::new(scratch("tenantconn")),
+        NetConfig {
+            max_conns_per_tenant: 1,
+            ..NetConfig::default()
+        },
+    );
+    let deadline = || Instant::now() + Duration::from_secs(2);
+    let submit = |stream: &mut TcpStream, tenant: &str, key: &str| {
+        let req = Request::Submit {
+            key: key.into(),
+            spec: JobSpec::nano(tenant),
+        };
+        write_frame(stream, &to_wire(&req), deadline()).unwrap();
+        let payload = read_frame(stream, 1 << 20, deadline()).unwrap();
+        from_wire::<Response>(&payload).unwrap()
+    };
+    // Conn A binds tenant "noisy" and keeps its slot by staying open.
+    let mut a = TcpStream::connect(&addr).unwrap();
+    assert!(matches!(
+        submit(&mut a, "noisy", "a-1"),
+        Response::Submitted { .. }
+    ));
+    // Conn B, same tenant → refused at bind time with ConnLimit.
+    let mut b = TcpStream::connect(&addr).unwrap();
+    let Response::Rejected { rejection } = submit(&mut b, "noisy", "b-1") else {
+        panic!("second noisy connection must be refused");
+    };
+    assert_eq!(rejection.reason, RejectReason::ConnLimit);
+    // Conn C, different tenant → unaffected.
+    let mut c = TcpStream::connect(&addr).unwrap();
+    assert!(matches!(
+        submit(&mut c, "quiet", "c-1"),
+        Response::Submitted { .. }
+    ));
+    // Conn A hanging up releases the slot for the tenant.
+    drop(a);
+    let released = Instant::now() + Duration::from_secs(2);
+    let mut d = TcpStream::connect(&addr).unwrap();
+    loop {
+        match submit(&mut d, "noisy", "d-1") {
+            Response::Submitted { .. } => break,
+            Response::Rejected { .. } if Instant::now() < released => {
+                drop(d);
+                std::thread::sleep(Duration::from_millis(20));
+                d = TcpStream::connect(&addr).unwrap();
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn drain_stops_new_work_but_answers_connected_clients() {
+    let (daemon, server, addr, dir) = start(
+        "drain",
+        DaemonConfig::new(scratch("drain")),
+        NetConfig::default(),
+    );
+    let cfg = quick_client();
+    // One queued job so drain has something to report.
+    client::submit_with_retry(&addr, &JobSpec::nano("acme"), "drain-1", &cfg).unwrap();
+    // A connection opened before the drain keeps being served.
+    let mut held = TcpStream::connect(&addr).unwrap();
+    let deadline = || Instant::now() + Duration::from_secs(2);
+    write_frame(&mut held, &to_wire(&Request::Ping), deadline()).unwrap();
+    let payload = read_frame(&mut held, 1 << 20, deadline()).unwrap();
+    assert!(matches!(
+        from_wire::<Response>(&payload).unwrap(),
+        Response::Pong {
+            draining: false,
+            ..
+        }
+    ));
+
+    let open = client::drain(&addr, &cfg).unwrap();
+    assert_eq!(open, 1);
+    assert!(daemon.is_draining());
+    // The held connection sees the drain and refuses new submissions
+    // with the structured Draining rejection.
+    let req = Request::Submit {
+        key: "late".into(),
+        spec: JobSpec::nano("acme"),
+    };
+    write_frame(&mut held, &to_wire(&req), deadline()).unwrap();
+    let payload = read_frame(&mut held, 1 << 20, deadline()).unwrap();
+    let Response::Rejected { rejection } = from_wire::<Response>(&payload).unwrap() else {
+        panic!("submit during drain must be rejected");
+    };
+    assert_eq!(rejection.reason, RejectReason::Draining);
+    // Queued work is not lost — it stays durable for the next start.
+    assert_eq!(daemon.status().queued, 1);
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The one flow-running test: a single Nano job completes, then its
+/// lifecycle is inspected entirely over the wire — status row, event
+/// subscription with terminal phase, dedupe of the original key after
+/// the job went terminal, and the per-tenant wall-clock budget
+/// rejecting the tenant's next submission.
+#[test]
+fn completed_job_serves_status_watch_and_budget() {
+    let dir = scratch("lifecycle");
+    let mut cfg = DaemonConfig::new(&dir);
+    cfg.admission.tenant_budget_ms = 1; // one completed job exhausts it
+    cfg.admission.budget_retry_after_ms = 30_000;
+    let (daemon, server, addr, _) = start("lifecycle", cfg, NetConfig::default());
+    let ccfg = quick_client();
+
+    let outcome =
+        client::submit_with_retry(&addr, &JobSpec::nano("metered"), "m-1", &ccfg).unwrap();
+    assert_eq!(daemon.run_until_idle(), 1);
+
+    // Status over the wire shows the terminal row.
+    let row = client::status(&addr, outcome.job, &ccfg).unwrap();
+    assert!(matches!(row.phase, JobPhase::Completed { .. }));
+    assert_eq!(row.tenant, "metered");
+
+    // Subscribe replays the event log and ends with the terminal phase.
+    let mut events = Vec::new();
+    let phase = client::watch(&addr, outcome.job, 0, &ccfg, |index, event| {
+        events.push((index, event.to_string()));
+    })
+    .unwrap();
+    assert!(matches!(phase, JobPhase::Completed { .. }));
+    assert!(!events.is_empty(), "a completed flow has events");
+    assert_eq!(events[0].0, 0, "stream starts at the requested index");
+    // Resuming from a later index skips the prefix.
+    let mut tail = Vec::new();
+    let from = events.len() as u64 - 1;
+    client::watch(&addr, outcome.job, from, &ccfg, |index, event| {
+        tail.push((index, event.to_string()));
+    })
+    .unwrap();
+    assert_eq!(tail.len(), 1);
+    assert_eq!(tail[0], events[events.len() - 1]);
+
+    // The original key still dedupes after the job went terminal.
+    let again = client::submit_with_retry(&addr, &JobSpec::nano("metered"), "m-1", &ccfg).unwrap();
+    assert_eq!(again.job, outcome.job);
+    assert!(again.deduped);
+
+    // The completed job charged its wall-clock to the tenant; the next
+    // fresh submission is over budget, with the long retry hint capped
+    // client-side — so the client exhausts retries on rejections.
+    let err =
+        client::submit_with_retry(&addr, &JobSpec::nano("metered"), "m-2", &ccfg).unwrap_err();
+    let client::ClientError::RetriesExhausted(Some(rejection)) = err else {
+        panic!("expected budget rejection, got {err:?}");
+    };
+    assert_eq!(rejection.reason, RejectReason::BudgetExhausted);
+    assert_eq!(rejection.retry_after_ms, 30_000);
+    // Another tenant is not affected by "metered"'s budget.
+    let other = client::submit_with_retry(&addr, &JobSpec::nano("thrifty"), "t-1", &ccfg).unwrap();
+    assert!(!other.deduped);
+
+    drop(daemon);
+    server.shutdown(Duration::from_millis(500));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,141 @@
+//! Property tests for the wire codec: frames round-trip for arbitrary
+//! payloads, every single-byte corruption is *detected* (never
+//! mis-decoded), truncation at every split point is a torn frame, and
+//! the declared length alone gates oversized frames. The pure
+//! [`decode_frame`] half is driven here; socket-level behaviour
+//! (deadlines, slow-loris) is covered in `net_server.rs`.
+
+use proptest::prelude::*;
+
+use service::net::proto::{from_wire, to_wire};
+use service::net::{
+    decode_frame, encode_frame, FrameError, Request, DEFAULT_MAX_FRAME, HEADER_LEN,
+};
+use service::JobSpec;
+
+fn bytes_of(words: &[u32]) -> Vec<u8> {
+    words.iter().map(|w| (*w & 0xff) as u8).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary binary payloads (including NUL bytes, newlines, and
+    /// bytes that look like header hex) survive encode → decode intact
+    /// and consume exactly the encoded length.
+    #[test]
+    fn frame_round_trips_arbitrary_payloads(
+        words in prop::collection::vec(0u32..256, 0..600),
+    ) {
+        let payload = bytes_of(&words);
+        let frame = encode_frame(&payload);
+        prop_assert_eq!(frame.len(), HEADER_LEN + payload.len() + 1);
+        let (back, used) = decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+        prop_assert_eq!(back, payload);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    /// Flipping any single bit anywhere in the frame is detected: the
+    /// decoder errors rather than silently returning a different
+    /// payload. (Which error depends on where the flip landed — header
+    /// bytes give `BadHeader`/`TooLarge`/`Torn`, payload bytes give
+    /// `CrcMismatch`, the terminator gives `MissingTerminator`.)
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        words in prop::collection::vec(0u32..256, 1..120),
+        pos_seed in 0u32..10_000,
+        bit in 0u32..8,
+    ) {
+        let payload = bytes_of(&words);
+        let mut frame = encode_frame(&payload);
+        let pos = (pos_seed as usize) % frame.len();
+        frame[pos] ^= 1 << bit;
+        if let Ok((back, _)) = decode_frame(&frame, DEFAULT_MAX_FRAME) {
+            // The flip must have been a no-op decode-wise only if it
+            // reconstructed the identical frame (impossible for a
+            // genuine flip) — reaching Ok with the same payload
+            // means the length/CRC hex was case-flipped in a way
+            // that still parses to the same values.
+            prop_assert_eq!(back, payload);
+        }
+    }
+
+    /// Truncating at every possible split point yields `Torn` (or
+    /// `Closed` for the empty prefix) — never a successful decode.
+    #[test]
+    fn every_truncation_is_torn_or_closed(
+        words in prop::collection::vec(0u32..256, 0..80),
+        cut_seed in 0u32..10_000,
+    ) {
+        let payload = bytes_of(&words);
+        let frame = encode_frame(&payload);
+        let cut = (cut_seed as usize) % frame.len(); // strictly short
+        match decode_frame(&frame[..cut], DEFAULT_MAX_FRAME) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Torn { .. }) => {}
+            other => {
+                return Err(TestCaseError::fail(format!(
+                    "cut at {cut}/{} decoded as {other:?}", frame.len()
+                )));
+            }
+        }
+    }
+
+    /// The max-frame gate triggers from the declared length alone: a
+    /// payload one byte over the limit is `TooLarge`, at the limit it
+    /// decodes.
+    #[test]
+    fn max_frame_is_a_sharp_edge(limit in 1usize..512) {
+        let at = encode_frame(&vec![0xa5u8; limit]);
+        prop_assert!(decode_frame(&at, limit).is_ok());
+        let over = encode_frame(&vec![0xa5u8; limit + 1]);
+        prop_assert_eq!(
+            decode_frame(&over, limit),
+            Err(FrameError::TooLarge { len: limit + 1, max: limit })
+        );
+    }
+
+    /// Submit requests round-trip through JSON + framing for arbitrary
+    /// keys and seed offsets — the full client→server encode path.
+    #[test]
+    fn submit_survives_the_full_wire_path(
+        key_words in prop::collection::vec(0u32..26, 0..24),
+        seed_offset in 0u64..1_000_000,
+    ) {
+        let key: String = key_words
+            .iter()
+            .map(|w| (b'a' + (*w & 0xff) as u8) as char)
+            .collect();
+        let msg = Request::Submit {
+            key,
+            spec: JobSpec::nano("prop").with_seed_offset(seed_offset),
+        };
+        let frame = encode_frame(&to_wire(&msg));
+        let (payload, _) = decode_frame(&frame, DEFAULT_MAX_FRAME).unwrap();
+        let back: Request = from_wire(&payload).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+}
+
+/// Back-to-back frames on one buffer decode in sequence using the
+/// consumed-byte count — the stream framing invariant the server's
+/// read loop relies on.
+#[test]
+fn consecutive_frames_decode_in_sequence() {
+    let payloads: Vec<&[u8]> = vec![b"first", b"", b"third frame with spaces"];
+    let mut stream = Vec::new();
+    for p in &payloads {
+        stream.extend_from_slice(&encode_frame(p));
+    }
+    let mut at = 0;
+    for expect in &payloads {
+        let (payload, used) = decode_frame(&stream[at..], DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(&payload, expect);
+        at += used;
+    }
+    assert_eq!(at, stream.len());
+    assert_eq!(
+        decode_frame(&stream[at..], DEFAULT_MAX_FRAME),
+        Err(FrameError::Closed)
+    );
+}

@@ -31,6 +31,7 @@ fn append_then_replay_round_trips() {
             job: 1,
             attempt: 0,
             report_digest: 0xdead_beef,
+            wall_ms: 12,
         },
     ];
     for rec in &records {
@@ -124,6 +125,7 @@ fn duplicated_records_replay_idempotently() {
         job: 1,
         attempt: 0,
         report_digest: 7,
+        wall_ms: 5,
     };
     wal.append(&submitted(1)).unwrap();
     for _ in 0..3 {
@@ -136,5 +138,133 @@ fn duplicated_records_replay_idempotently() {
     let entry = ledger.get(1).unwrap();
     assert_eq!(entry.phase, JobPhase::Completed { report_digest: 7 });
     assert_eq!(entry.attempts, 1, "duplicates do not inflate attempts");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rotation_mid_job_replays_across_segments() {
+    let dir = scratch("rotate");
+    let path = dir.join("jobs.wal");
+    // Rotate every 2 records so a single job's history spans segments.
+    let wal = Wal::open_with_rotation(&path, 2).unwrap();
+    wal.append(&submitted(1)).unwrap();
+    wal.append(&WalRecord::Started { job: 1, attempt: 0 })
+        .unwrap();
+    // Next append rotates: the Interrupted/Started/Completed tail lands
+    // in fresh segments while Submitted lives in a sealed one.
+    wal.append(&WalRecord::Interrupted {
+        job: 1,
+        attempt: 0,
+        reason: "chaos".into(),
+    })
+    .unwrap();
+    wal.append(&WalRecord::Started { job: 1, attempt: 1 })
+        .unwrap();
+    wal.append(&WalRecord::Completed {
+        job: 1,
+        attempt: 1,
+        report_digest: 3,
+        wall_ms: 8,
+    })
+    .unwrap();
+    assert!(
+        !Wal::segment_paths(&path).is_empty(),
+        "rotation must have sealed at least one segment"
+    );
+    let replay = Wal::replay(&path).unwrap();
+    assert_eq!(replay.records.len(), 5, "records stitched across segments");
+    assert!(replay.segment_files >= 1);
+    let ledger = replay.ledger();
+    let entry = ledger.get(1).unwrap();
+    assert_eq!(entry.phase, JobPhase::Completed { report_digest: 3 });
+    assert_eq!(entry.attempts, 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_newest_segment_only_flags_the_tail() {
+    let dir = scratch("rotate-tail");
+    let path = dir.join("jobs.wal");
+    let wal = Wal::open_with_rotation(&path, 1).unwrap();
+    wal.append(&submitted(1)).unwrap();
+    wal.append(&submitted(2)).unwrap();
+    wal.append(&WalRecord::Started { job: 2, attempt: 0 })
+        .unwrap();
+    drop(wal);
+    // Chop the *active* (newest) file mid-line: crash during append.
+    let text = fs::read_to_string(&path).unwrap();
+    assert!(!text.is_empty(), "active file holds the newest record");
+    fs::write(&path, &text[..text.len() - 9]).unwrap();
+    let replay = Wal::replay(&path).unwrap();
+    assert!(
+        replay.truncated_tail,
+        "newest-file tear is a truncated tail"
+    );
+    assert_eq!(replay.corrupt_lines, 0);
+    assert_eq!(replay.records, vec![submitted(1), submitted(2)]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compaction_collapses_segments_and_preserves_the_ledger() {
+    let dir = scratch("compact");
+    let path = dir.join("jobs.wal");
+    let wal = Wal::open_with_rotation(&path, 2).unwrap();
+    for job in 1..=3u64 {
+        wal.append(&submitted(job)).unwrap();
+        wal.append(&WalRecord::Started { job, attempt: 0 }).unwrap();
+        wal.append(&WalRecord::Completed {
+            job,
+            attempt: 0,
+            report_digest: job * 11,
+            wall_ms: job * 10,
+        })
+        .unwrap();
+    }
+    // Job 4 is left open mid-flight across the compaction.
+    wal.append(&submitted(4)).unwrap();
+    wal.append(&WalRecord::Started { job: 4, attempt: 0 })
+        .unwrap();
+    drop(wal);
+
+    let before = Wal::replay(&path).unwrap();
+    assert!(before.segment_files >= 1, "fixture must actually rotate");
+    let ledger = before.ledger();
+    let removed = service::wal::compact(&path, &ledger).unwrap();
+    assert!(removed >= 1, "compaction deletes sealed segments");
+    assert!(Wal::segment_paths(&path).is_empty());
+
+    let after = Wal::replay(&path).unwrap();
+    assert_eq!(after.segment_files, 0);
+    assert_eq!(after.corrupt_lines, 0);
+    assert!(!after.truncated_tail);
+    let compacted = after.ledger();
+    for job in 1..=3u64 {
+        assert_eq!(
+            compacted.get(job).unwrap().phase,
+            JobPhase::Completed {
+                report_digest: job * 11
+            }
+        );
+        assert_eq!(compacted.get(job).unwrap().wall_ms, job * 10);
+    }
+    assert_eq!(compacted.open_jobs(), vec![4], "open job survives");
+    assert_eq!(compacted.next_id(), 5);
+    // The compacted image is strictly smaller than the full history.
+    assert!(after.records.len() < before.records.len());
+    // And appends keep working on the compacted active file.
+    let wal = Wal::open_with_rotation(&path, 2).unwrap();
+    wal.append(&WalRecord::Completed {
+        job: 4,
+        attempt: 0,
+        report_digest: 44,
+        wall_ms: 1,
+    })
+    .unwrap();
+    let ledger = Wal::replay(&path).unwrap().ledger();
+    assert_eq!(
+        ledger.get(4).unwrap().phase,
+        JobPhase::Completed { report_digest: 44 }
+    );
     let _ = fs::remove_dir_all(&dir);
 }
